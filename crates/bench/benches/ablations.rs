@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the design-choice ablations of DESIGN.md.
+//!
+//! Wall-clock proxies for the message-cost claims: S&C vs the inverted
+//! birthday paradox (the §4.3 √l claim), expansion's effect on tour
+//! length (§3.4), and each figure pipeline end-to-end at reduced scale
+//! (`bench_fig1_random_tour`, `bench_fig3_sample_collide`,
+//! `bench_table1` of the DESIGN.md experiment index).
+
+use census_bench::{figures, Params};
+use census_core::birthday::InvertedBirthdayParadox;
+use census_core::{RandomTour, SampleCollide, SizeEstimator};
+use census_graph::generators;
+use census_sampling::CtrwSampler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn tiny_params() -> Params {
+    let mut p = Params::scaled(0.01);
+    p.n = 800;
+    p.rt_runs = 300;
+    p.sc_runs = 40;
+    p.rt_window = 50;
+    p
+}
+
+/// §4.3: same target variance, S&C in one run vs l averaged birthday
+/// runs — S&C should be ~√(πl)/2 faster.
+fn bench_sc_vs_ibp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sc_vs_ibp");
+    group.sample_size(10);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = generators::balanced(4_000, 10, &mut rng);
+    let probe = g.nodes().next().expect("non-empty");
+    for l in [4u32, 16] {
+        let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
+        let mut rng = SmallRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::new("sample_collide", l), &l, |b, _| {
+            b.iter(|| sc.estimate(&g, probe, &mut rng).expect("connected").value)
+        });
+        let ibp = InvertedBirthdayParadox::new(CtrwSampler::new(10.0), l);
+        let mut rng = SmallRng::seed_from_u64(3);
+        group.bench_with_input(BenchmarkId::new("birthday_paradox", l), &l, |b, _| {
+            b.iter(|| ibp.estimate(&g, probe, &mut rng).expect("connected").value)
+        });
+    }
+    group.finish();
+}
+
+/// §3.4: tour cost is topology-independent in expectation (Σd/d_i), but
+/// its *variance* explodes on poor expanders — visible as wildly uneven
+/// iteration times on the ring.
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion_tour");
+    group.sample_size(20);
+    let n = 1_024usize;
+    let mut rng = SmallRng::seed_from_u64(4);
+    let topologies = vec![
+        ("balanced", generators::balanced(n, 10, &mut rng)),
+        ("hypercube", generators::hypercube(10)),
+        ("ring", generators::ring(n)),
+    ];
+    for (name, g) in &topologies {
+        let probe = g.nodes().next().expect("non-empty");
+        let rt = RandomTour::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        group.bench_function(BenchmarkId::new("tour", *name), |b| {
+            b.iter(|| rt.estimate(g, probe, &mut rng).expect("connected").value)
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end figure pipelines at reduced scale — the DESIGN.md bench
+/// targets for fig1, fig3 and table1.
+fn bench_figures(c: &mut Criterion) {
+    let p = tiny_params();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("bench_fig1_random_tour", |b| {
+        b.iter(|| figures::fig1(&p).table.len())
+    });
+    group.bench_function("bench_fig3_sample_collide", |b| {
+        b.iter(|| figures::fig3(&p).table.len())
+    });
+    group.bench_function("bench_table1", |b| b.iter(|| figures::table1(&p).table.len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sc_vs_ibp, bench_expansion, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Criterion micro/meso-benchmarks of the estimators and substrates.
+//!
+//! One group per paper artefact: the cost drivers behind Figures 1–7 and
+//! Table 1 (tour time, sample time, full estimates) plus the substrate
+//! operations they are built on. Run with `cargo bench -p census-bench`.
+
+use census_core::{
+    gossip::GossipAveraging, polling::ProbabilisticPolling, PointEstimator, RandomTour,
+    SampleCollide, SizeEstimator,
+};
+use census_graph::{generators, spectral, Graph};
+use census_sampling::{CtrwSampler, DtrwSampler, MetropolisSampler, Sampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn balanced(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+/// Figure 1/2 cost driver: one Random Tour (expected cost Σd/d_i hops).
+fn bench_random_tour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_tour");
+    for n in [1_000usize, 4_000, 16_000] {
+        let g = balanced(n, 1);
+        let probe = g.nodes().next().expect("non-empty");
+        let mut rng = SmallRng::seed_from_u64(2);
+        let rt = RandomTour::new();
+        group.bench_with_input(BenchmarkId::new("one_tour", n), &n, |b, _| {
+            b.iter(|| rt.estimate(&g, probe, &mut rng).expect("connected").value)
+        });
+    }
+    group.finish();
+}
+
+/// Figure 3 / Table 1 cost driver: one Sample & Collide estimate.
+fn bench_sample_collide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_collide");
+    group.sample_size(10);
+    let g = balanced(4_000, 3);
+    let probe = g.nodes().next().expect("non-empty");
+    for l in [10u32, 100] {
+        let sc = SampleCollide::new(CtrwSampler::new(10.0), l)
+            .with_point_estimator(PointEstimator::Asymptotic);
+        let mut rng = SmallRng::seed_from_u64(4);
+        group.bench_with_input(BenchmarkId::new("estimate", l), &l, |b, _| {
+            b.iter(|| sc.estimate(&g, probe, &mut rng).expect("connected").value)
+        });
+    }
+    group.finish();
+}
+
+/// §4.1 cost driver: one uniform sample per strategy (cost T·d̄ for CTRW).
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let g = balanced(4_000, 5);
+    let probe = g.nodes().next().expect("non-empty");
+    let mut rng = SmallRng::seed_from_u64(6);
+    let ctrw = CtrwSampler::new(10.0);
+    group.bench_function("ctrw_t10", |b| {
+        b.iter(|| ctrw.sample(&g, probe, &mut rng).expect("connected").node)
+    });
+    let dtrw = DtrwSampler::new(75);
+    group.bench_function("dtrw_75_steps", |b| {
+        b.iter(|| dtrw.sample(&g, probe, &mut rng).expect("connected").node)
+    });
+    let mh = MetropolisSampler::new(75);
+    group.bench_function("metropolis_75_steps", |b| {
+        b.iter(|| mh.sample(&g, probe, &mut rng).expect("connected").node)
+    });
+    group.finish();
+}
+
+/// Related-work baselines (§2.2): cost of whole-system protocols.
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let g = balanced(4_000, 7);
+    let probe = g.nodes().next().expect("non-empty");
+    let mut rng = SmallRng::seed_from_u64(8);
+    let gossip = GossipAveraging::new(30);
+    group.bench_function("gossip_30_rounds", |b| b.iter(|| gossip.run(&g, &mut rng).messages));
+    let poll = ProbabilisticPolling::new(0.1);
+    group.bench_function("polling_p0.1", |b| b.iter(|| poll.run(&g, probe, &mut rng).estimate));
+    group.finish();
+}
+
+/// Substrate costs: §5.1 generators and the λ₂ computation behind the
+/// accuracy analysis.
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("balanced_generator", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| generators::balanced(n, 10, &mut rng).num_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("ba_generator", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(10);
+            b.iter(|| generators::barabasi_albert(n, 3, &mut rng).num_edges())
+        });
+    }
+    let g = balanced(2_000, 11);
+    group.bench_function("spectral_gap_n2000", |b| {
+        b.iter(|| spectral::spectral_gap_with(&g, 5_000, 1e-10).lambda2)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_random_tour,
+    bench_sample_collide,
+    bench_samplers,
+    bench_baselines,
+    bench_substrate
+);
+criterion_main!(benches);

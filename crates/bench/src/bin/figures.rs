@@ -1,0 +1,165 @@
+//! CLI regenerating the paper's figures and tables.
+//!
+//! ```text
+//! figures [--scale S] [--timer T] [--svg] [--out DIR] [all | fig1 fig3 table1 ...]
+//! ```
+//!
+//! With no experiment list, prints the available ids. `--scale 1.0`
+//! (default) is the paper's N = 100,000 setup; smaller scales shrink the
+//! overlay and run counts proportionally. Output CSVs and summaries land
+//! in `--out` (default `target/figures`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use census_bench::{run_experiment, Params, ALL_IDS};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut scale = 1.0f64;
+    let mut svg = false;
+    let mut timer: Option<f64> = None;
+    let mut out_dir = PathBuf::from("target/figures");
+    let mut ids: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--scale needs a value in (0, 1]");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<f64>() {
+                    Ok(s) if s > 0.0 && s <= 1.0 => scale = s,
+                    _ => {
+                        eprintln!("invalid scale {v:?}; expected a number in (0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--svg" => svg = true,
+            "--timer" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--timer needs a positive value");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if t > 0.0 && t.is_finite() => timer = Some(t),
+                    _ => {
+                        eprintln!("invalid timer {v:?}; expected a positive number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                out_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--scale S] [--timer T] [--svg] [--out DIR] [all | {}]",
+                    ALL_IDS.join(" | ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| (*s).to_owned())),
+            other => ids.push(other.to_owned()),
+        }
+    }
+
+    if ids.is_empty() {
+        println!("usage: figures [--scale S] [--out DIR] [all | <ids>]");
+        println!("available experiments: {}", ALL_IDS.join(", "));
+        return ExitCode::SUCCESS;
+    }
+    for id in &ids {
+        if !ALL_IDS.contains(&id.as_str()) {
+            eprintln!("unknown experiment {id:?}; available: {}", ALL_IDS.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut params = if (scale - 1.0).abs() < f64::EPSILON {
+        Params::paper()
+    } else {
+        Params::scaled(scale)
+    };
+    if let Some(t) = timer {
+        params.timer = t;
+    }
+    println!(
+        "running {} experiment(s) at scale {scale} (N = {})\n",
+        ids.len(),
+        params.n
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut manifest_entries = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        let result = run_experiment(id, &params);
+        if let Err(e) = result.write_to(&out_dir) {
+            eprintln!("cannot write {id} outputs: {e}");
+            return ExitCode::FAILURE;
+        }
+        if svg {
+            if let Err(e) = result.write_svg(&out_dir) {
+                eprintln!("cannot write {id} svg: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "[{id}] done in {elapsed:.1}s -> {}/{id}.csv\n{}",
+            out_dir.display(),
+            result.summary
+        );
+        manifest_entries.push(ManifestEntry {
+            id: (*id).clone(),
+            rows: result.table.len(),
+            seconds: elapsed,
+        });
+    }
+    let manifest = Manifest {
+        scale,
+        params,
+        experiments: manifest_entries,
+    };
+    match serde_json::to_string_pretty(&manifest) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_dir.join("manifest.json"), json) {
+                eprintln!("cannot write manifest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot serialise manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("manifest -> {}/manifest.json", out_dir.display());
+    ExitCode::SUCCESS
+}
+
+/// Machine-readable record of one harness invocation.
+#[derive(serde::Serialize)]
+struct Manifest {
+    scale: f64,
+    params: Params,
+    experiments: Vec<ManifestEntry>,
+}
+
+#[derive(serde::Serialize)]
+struct ManifestEntry {
+    id: String,
+    rows: usize,
+    seconds: f64,
+}

@@ -1,0 +1,309 @@
+//! Minimal SVG line-chart rendering for the figure harness.
+//!
+//! The paper's figures are simple line and step plots; this module turns
+//! a [`FigureResult`]'s CSV series into a self-contained SVG so the
+//! regenerated evaluation can be *looked at*, not just diffed. No
+//! external dependencies: the SVG is assembled as a string.
+//!
+//! [`FigureResult`]: crate::FigureResult
+
+use std::fmt::Write as _;
+
+use census_stats::csv::CsvTable;
+
+/// Palette for up to six series (colour-blind-safe Okabe–Ito subset).
+const COLORS: &[&str] = &["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"];
+
+const WIDTH: f64 = 760.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// A rendered chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Svg(String);
+
+impl Svg {
+    /// The SVG document text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Writes the SVG to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &self.0)
+    }
+}
+
+fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(hi - lo).is_finite() || hi <= lo {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let first = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders a [`CsvTable`] as a line chart: the first column is the
+/// x-axis, every further column is one series (named by its header).
+///
+/// # Panics
+///
+/// Panics if the table has no rows or fewer than two columns.
+#[must_use]
+pub fn line_chart(table: &CsvTable, title: &str, x_label: &str, y_label: &str) -> Svg {
+    let csv = table.to_csv_string();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("tables have headers").split(',').collect();
+    assert!(header.len() >= 2, "a chart needs an x column and one series");
+    let rows: Vec<Vec<f64>> = lines
+        .map(|l| {
+            l.split(',')
+                .map(|c| c.parse().expect("CsvTable cells are numeric"))
+                .collect()
+        })
+        .collect();
+    assert!(!rows.is_empty(), "cannot chart an empty table");
+
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for r in &rows {
+        x_lo = x_lo.min(r[0]);
+        x_hi = x_hi.max(r[0]);
+        for &v in &r[1..] {
+            if v.is_finite() {
+                y_lo = y_lo.min(v);
+                y_hi = y_hi.max(v);
+            }
+        }
+    }
+    if y_hi <= y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    if x_hi <= x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    // A little headroom.
+    let pad = (y_hi - y_lo) * 0.06;
+    let (y_lo, y_hi) = (y_lo - pad, y_hi + pad);
+
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = move |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+    );
+    let _ = write!(s, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        WIDTH / 2.0,
+        xml_escape(title)
+    );
+
+    // Axes and grid.
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = sy(t);
+        let _ = write!(
+            s,
+            r#"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="gainsboro"/>"#,
+            WIDTH - MARGIN_R
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    for t in nice_ticks(x_lo, x_hi, 8) {
+        let x = sx(t);
+        let _ = write!(
+            s,
+            r#"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="whitesmoke"/>"#,
+            HEIGHT - MARGIN_B
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle" font-size="11">{}</text>"#,
+            HEIGHT - MARGIN_B + 16.0,
+            fmt_tick(t)
+        );
+    }
+    let _ = write!(
+        s,
+        r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="dimgray"/>"#
+    );
+    let _ = write!(
+        s,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 14.0,
+        xml_escape(x_label)
+    );
+    let _ = write!(
+        s,
+        r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(y_label)
+    );
+
+    // Series.
+    for (si, name) in header[1..].iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let mut path = String::new();
+        let mut pen_down = false;
+        for r in &rows {
+            let v = r[si + 1];
+            if !v.is_finite() {
+                pen_down = false;
+                continue;
+            }
+            let cmd = if pen_down { 'L' } else { 'M' };
+            let _ = write!(path, "{cmd}{:.1} {:.1} ", sx(r[0]), sy(v));
+            pen_down = true;
+        }
+        let _ = write!(
+            s,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.6"/>"#
+        );
+        // Legend.
+        let lx = MARGIN_L + 12.0;
+        let ly = MARGIN_T + 14.0 + 16.0 * si as f64;
+        let _ = write!(
+            s,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2.5"/>"#,
+            lx + 22.0
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            xml_escape(name)
+        );
+    }
+    s.push_str("</svg>");
+    Svg(s)
+}
+
+fn xml_escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> CsvTable {
+        let mut t = CsvTable::new(&["run", "alpha", "beta"]);
+        for i in 0..50 {
+            let x = f64::from(i);
+            t.push_row(&[x, (x / 5.0).sin() * 10.0 + 100.0, x * 2.0]);
+        }
+        t
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = line_chart(&sample_table(), "demo", "runs", "value");
+        let body = svg.as_str();
+        assert!(body.starts_with("<svg"));
+        assert!(body.ends_with("</svg>"));
+        assert_eq!(body.matches("<path").count(), 2, "one path per series");
+        assert!(body.contains("alpha") && body.contains("beta"));
+        assert!(body.contains("demo"));
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let svg = line_chart(&sample_table(), "a < b & c", "x", "y");
+        assert!(svg.as_str().contains("a &lt; b &amp; c"));
+        assert!(!svg.as_str().contains("a < b"));
+    }
+
+    #[test]
+    fn handles_constant_series() {
+        let mut t = CsvTable::new(&["x", "flat"]);
+        t.push_row(&[0.0, 5.0]);
+        t.push_row(&[1.0, 5.0]);
+        let svg = line_chart(&t, "flat", "x", "y");
+        assert!(svg.as_str().contains("<path"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover() {
+        let ticks = nice_ticks(0.0, 100.0, 6);
+        assert!(ticks.len() >= 4);
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]));
+        assert!(*ticks.first().expect("non-empty") >= 0.0);
+        assert!(*ticks.last().expect("non-empty") <= 100.0 + 1e-9);
+        // Steps are "nice": multiples of 1/2/5 powers of ten.
+        let step = ticks[1] - ticks[0];
+        let mag = 10f64.powf(step.log10().floor());
+        let norm = step / mag;
+        assert!([1.0, 2.0, 5.0, 10.0].iter().any(|&n| (norm - n).abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn empty_table_panics() {
+        let t = CsvTable::new(&["x", "y"]);
+        let _ = line_chart(&t, "t", "x", "y");
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("census-bench-svg-test");
+        let path = dir.join("chart.svg");
+        line_chart(&sample_table(), "demo", "x", "y")
+            .write_to(&path)
+            .expect("write succeeds");
+        assert!(std::fs::read_to_string(&path).expect("file exists").contains("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,189 @@
+//! The Inverted Birthday Paradox baseline (Bawa et al. \[7\]).
+
+use census_graph::{NodeId, Topology};
+use census_sampling::Sampler;
+use rand::Rng;
+
+use crate::sample_collide::SampleCollide;
+use crate::{Estimate, EstimateError, SizeEstimator};
+
+/// The "Inverted Birthday Paradox" estimator of Bawa et al. — the method
+/// §4 of the paper builds on and improves.
+///
+/// Sample uniform peers until the *first* repeated peer, at sample count
+/// `C₁`; since `E[C₁] ≈ √(πN/2)`, the moment-matching estimate is
+/// `N̂ = 2·C₁²/π`. A single run has relative standard deviation ≈ 52%
+/// (`C₁/√N` is Rayleigh), so `runs` independent repetitions are averaged.
+///
+/// The paper's improvement (Sample & Collide with `l` collisions in *one*
+/// run) reaches the same variance with `√l`-fold fewer samples: averaging
+/// `l` birthday runs costs `l·E[C₁] = Θ(l√N)` samples, against
+/// `E[C_l] = Θ(√(lN))`. The `bench_sc_vs_ibp` ablation measures exactly
+/// this.
+///
+/// # Examples
+///
+/// ```
+/// use census_core::birthday::InvertedBirthdayParadox;
+/// use census_core::SizeEstimator;
+/// use census_sampling::OracleSampler;
+/// use census_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::complete(500);
+/// let mut rng = SmallRng::seed_from_u64(8);
+/// let ibp = InvertedBirthdayParadox::new(OracleSampler::new(), 20);
+/// let est = ibp.estimate(&g, g.nodes().next().unwrap(), &mut rng)?;
+/// // The moment-matched estimator carries \[7\]'s documented ~27% bias.
+/// assert!((est.value / 500.0 - 1.0).abs() < 1.0);
+/// # Ok::<(), census_core::EstimateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvertedBirthdayParadox<S> {
+    sampler: S,
+    runs: u32,
+}
+
+impl<S: Sampler> InvertedBirthdayParadox<S> {
+    /// Creates the estimator averaging `runs` independent first-collision
+    /// experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn new(sampler: S, runs: u32) -> Self {
+        assert!(runs > 0, "need at least one birthday run");
+        Self { sampler, runs }
+    }
+
+    /// The configured number of averaged runs.
+    #[must_use]
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+
+    /// One first-collision experiment: returns `(C₁, messages)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler failures.
+    pub fn single_run<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<(u64, u64), EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        // A Sample & Collide run with l = 1 is exactly the birthday
+        // experiment; reuse its collision bookkeeping.
+        let sc = SampleCollide::new(&self.sampler, 1);
+        let report = sc.collect(topology, initiator, rng)?;
+        Ok((report.c_l, report.messages))
+    }
+}
+
+impl<S: Sampler> SizeEstimator for InvertedBirthdayParadox<S> {
+    fn estimate<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let mut total_estimate = 0.0;
+        let mut messages = 0u64;
+        for _ in 0..self.runs {
+            let (c1, msgs) = self.single_run(topology, initiator, rng)?;
+            let c = c1 as f64;
+            total_estimate += 2.0 * c * c / std::f64::consts::PI;
+            messages += msgs;
+        }
+        Ok(Estimate {
+            value: total_estimate / f64::from(self.runs),
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use census_sampling::OracleSampler;
+    use census_stats::OnlineMoments;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moment_matched_estimate_is_unbiased_in_the_mean() {
+        // E[C_1^2] = ... the 2/pi moment matching targets E[C_1]^2, so the
+        // averaged estimator has a known positive bias of (4-pi)/pi ~ 27%
+        // on E[C_1^2]*2/pi; with Rayleigh C_1/sqrt(N), E[2 C_1^2/pi] =
+        // 2*(2N)/pi = 4N/pi ~ 1.27 N. We assert the measured mean sits at
+        // that documented bias, matching [7]'s behaviour.
+        let n = 2_000.0;
+        let g = generators::complete(2_000);
+        let ibp = InvertedBirthdayParadox::new(OracleSampler::new(), 50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m: OnlineMoments = (0..60)
+            .map(|_| {
+                ibp.estimate(&g, NodeId::new(0), &mut rng)
+                    .expect("oracle cannot fail")
+                    .value
+            })
+            .collect();
+        let expected = 4.0 * n / std::f64::consts::PI;
+        let rel = (m.mean() - expected).abs() / expected;
+        assert!(rel < 0.1, "mean {} vs E-value {expected}", m.mean());
+    }
+
+    #[test]
+    fn averaging_runs_reduces_variance() {
+        let g = generators::complete(1_000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spread = |runs: u32, rng: &mut SmallRng| {
+            let ibp = InvertedBirthdayParadox::new(OracleSampler::new(), runs);
+            let m: OnlineMoments = (0..80)
+                .map(|_| {
+                    ibp.estimate(&g, NodeId::new(0), rng)
+                        .expect("oracle cannot fail")
+                        .value
+                })
+                .collect();
+            m.sample_variance()
+        };
+        let v1 = spread(1, &mut rng);
+        let v16 = spread(16, &mut rng);
+        assert!(
+            v16 < v1 / 6.0,
+            "16-run averaging should cut variance ~16x: {v1} vs {v16}"
+        );
+    }
+
+    #[test]
+    fn single_run_matches_first_collision_definition() {
+        let g = generators::complete(50);
+        let ibp = InvertedBirthdayParadox::new(OracleSampler::new(), 1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (c1, msgs) = ibp
+            .single_run(&g, NodeId::new(0), &mut rng)
+            .expect("oracle cannot fail");
+        assert!(c1 >= 2, "a collision needs at least two samples");
+        assert!(c1 <= 51, "pigeonhole: at most N+1 samples");
+        assert_eq!(msgs, 0, "oracle sampling is free");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one birthday run")]
+    fn zero_runs_panics() {
+        let _ = InvertedBirthdayParadox::new(OracleSampler::new(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Estimate values and failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+use census_walk::WalkError;
+
+/// One system-size (or aggregate) estimate with its message cost.
+///
+/// Cost is measured in overlay messages, the unit of the paper's Figure 5
+/// and Table 1 (one message per walk hop or per protocol exchange).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Estimate {
+    /// The estimated quantity (system size `N̂`, or `Σ̂ f` for aggregate
+    /// queries).
+    pub value: f64,
+    /// Overlay messages spent producing this estimate.
+    pub messages: u64,
+}
+
+impl fmt::Display for Estimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} ({} msgs)", self.value, self.messages)
+    }
+}
+
+/// Why an estimation attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The underlying random walk failed (stuck, timed out, or lost).
+    Walk(WalkError),
+    /// The estimator's parameters cannot produce an estimate on this
+    /// overlay (e.g. Sample & Collide asked for more distinct samples
+    /// than there are peers in a degenerate configuration).
+    Degenerate(String),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::Walk(e) => write!(f, "walk failed: {e}"),
+            EstimateError::Degenerate(msg) => write!(f, "degenerate estimation: {msg}"),
+        }
+    }
+}
+
+impl Error for EstimateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EstimateError::Walk(e) => Some(e),
+            EstimateError::Degenerate(_) => None,
+        }
+    }
+}
+
+impl From<WalkError> for EstimateError {
+    fn from(e: WalkError) -> Self {
+        EstimateError::Walk(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::NodeId;
+
+    #[test]
+    fn display_formats() {
+        let e = Estimate {
+            value: 1234.5,
+            messages: 42,
+        };
+        assert_eq!(format!("{e}"), "1234.5 (42 msgs)");
+    }
+
+    #[test]
+    fn estimate_serde_roundtrip() {
+        let e = Estimate {
+            value: 99.5,
+            messages: 12,
+        };
+        let json = serde_json::to_string(&e).expect("serialize");
+        assert_eq!(serde_json::from_str::<Estimate>(&json).expect("deserialize"), e);
+    }
+
+    #[test]
+    fn error_conversion_and_source() {
+        let err: EstimateError = WalkError::Stuck(NodeId::new(1)).into();
+        assert!(matches!(err, EstimateError::Walk(_)));
+        assert!(Error::source(&err).is_some());
+        let deg = EstimateError::Degenerate("x".into());
+        assert!(Error::source(&deg).is_none());
+        assert!(format!("{deg}").contains("degenerate"));
+    }
+}

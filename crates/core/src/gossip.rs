@@ -1,0 +1,251 @@
+//! Gossip-based averaging baseline (Jelasity & Montresor \[20\]).
+
+use census_graph::spectral::DenseIndex;
+use census_graph::Graph;
+use rand::Rng;
+
+/// The epidemic averaging size estimator of Jelasity & Montresor, §2.2.
+///
+/// One distinguished node starts with counter 1, all others with 0. In
+/// each round, every node contacts a uniformly random neighbour and the
+/// pair resets both counters to their mean. The counters converge to
+/// `1/N`, so every node's reciprocal counter converges to the system
+/// size. Unlike the paper's two methods the estimate is shared by *all*
+/// nodes, amortising the cost; the flip side is `Θ(N)` messages per
+/// round and sensitivity to churn (mass is conserved only in stable
+/// networks). The related work quotes `O(N·log N·log(ε⁻¹)·...)`-type
+/// total costs on expanders.
+///
+/// # Examples
+///
+/// ```
+/// use census_core::gossip::GossipAveraging;
+/// use census_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::complete(64);
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let outcome = GossipAveraging::new(40).run(&g, &mut rng);
+/// let at_node_0 = outcome.estimates[0];
+/// assert!((at_node_0 / 64.0 - 1.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipAveraging {
+    rounds: u32,
+}
+
+/// Result of a gossip averaging execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipOutcome {
+    /// Per-node size estimates (reciprocal counters), in
+    /// [`DenseIndex`] order.
+    pub estimates: Vec<f64>,
+    /// Total messages exchanged (two per pairwise contact: request and
+    /// reply).
+    pub messages: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+impl GossipOutcome {
+    /// Maximum relative disagreement between node estimates — a
+    /// convergence diagnostic (0 means all nodes agree exactly).
+    #[must_use]
+    pub fn disagreement(&self) -> f64 {
+        let min = self.estimates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.estimates.iter().copied().fold(0.0f64, f64::max);
+        if min == 0.0 {
+            f64::INFINITY
+        } else {
+            max / min - 1.0
+        }
+    }
+}
+
+impl GossipAveraging {
+    /// Creates the protocol running for `rounds` synchronous rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    #[must_use]
+    pub fn new(rounds: u32) -> Self {
+        assert!(rounds > 0, "gossip needs at least one round");
+        Self { rounds }
+    }
+
+    /// The configured round count.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Executes the protocol on the whole overlay and returns every
+    /// node's estimate.
+    ///
+    /// Mass conservation (`Σ counters = 1`) is an invariant of the
+    /// pairwise averaging and is `debug_assert`ed each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn run<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
+        let idx = DenseIndex::new(g);
+        let n = idx.len();
+        assert!(n > 0, "gossip on an empty overlay");
+        let mut counters = vec![0.0f64; n];
+        counters[0] = 1.0;
+        let mut messages = 0u64;
+        for _ in 0..self.rounds {
+            for d in 0..n {
+                let v = idx.node(d);
+                if let Some(peer) = g.random_neighbor(v, rng) {
+                    let p = idx.dense(peer);
+                    let mean = 0.5 * (counters[d] + counters[p]);
+                    counters[d] = mean;
+                    counters[p] = mean;
+                    messages += 2;
+                }
+            }
+            debug_assert!(
+                (counters.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "pairwise averaging conserves mass"
+            );
+        }
+        let estimates = counters
+            .iter()
+            .map(|&c| if c > 0.0 { 1.0 / c } else { f64::INFINITY })
+            .collect();
+        GossipOutcome {
+            estimates,
+            messages,
+            rounds: self.rounds,
+        }
+    }
+
+    /// Executes the *asynchronous* variant: instead of synchronous
+    /// rounds, `rounds × N` individual pairwise exchanges fire in random
+    /// order (a random node contacts a random neighbour each tick) —
+    /// the model of \[20\] ("nodes communicate asynchronously") and the
+    /// analysis setting of Boyd et al. \[10\]. Same mass-conservation
+    /// invariant, same estimate semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    pub fn run_async<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
+        let idx = DenseIndex::new(g);
+        let n = idx.len();
+        assert!(n > 0, "gossip on an empty overlay");
+        let mut counters = vec![0.0f64; n];
+        counters[0] = 1.0;
+        let mut messages = 0u64;
+        let ticks = u64::from(self.rounds) * n as u64;
+        for _ in 0..ticks {
+            let v = g.random_node(rng).expect("overlay is non-empty");
+            if let Some(peer) = g.random_neighbor(v, rng) {
+                let (dv, dp) = (idx.dense(v), idx.dense(peer));
+                let mean = 0.5 * (counters[dv] + counters[dp]);
+                counters[dv] = mean;
+                counters[dp] = mean;
+                messages += 2;
+            }
+        }
+        let estimates = counters
+            .iter()
+            .map(|&c| if c > 0.0 { 1.0 / c } else { f64::INFINITY })
+            .collect();
+        GossipOutcome {
+            estimates,
+            messages,
+            rounds: self.rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_expander() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::balanced(256, 10, &mut rng);
+        let outcome = GossipAveraging::new(60).run(&g, &mut rng);
+        let n = g.num_nodes() as f64;
+        for &e in &outcome.estimates {
+            assert!((e / n - 1.0).abs() < 0.05, "estimate {e} vs {n}");
+        }
+        assert!(outcome.disagreement() < 0.1);
+    }
+
+    #[test]
+    fn async_variant_also_converges() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::balanced(256, 10, &mut rng);
+        let outcome = GossipAveraging::new(80).run_async(&g, &mut rng);
+        let n = g.num_nodes() as f64;
+        let me = DenseIndex::new(&g).dense(g.nodes().next().expect("non-empty"));
+        assert!(
+            (outcome.estimates[me] / n - 1.0).abs() < 0.15,
+            "async estimate {} vs {n}",
+            outcome.estimates[me]
+        );
+    }
+
+    #[test]
+    fn async_conserves_mass_in_the_estimates() {
+        // Sum of reciprocal estimates = sum of counters = 1 exactly.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::complete(40);
+        let outcome = GossipAveraging::new(20).run_async(&g, &mut rng);
+        let mass: f64 = outcome.estimates.iter().map(|&e| 1.0 / e).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+    }
+
+    #[test]
+    fn message_cost_is_two_n_per_round() {
+        let g = generators::complete(50);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let outcome = GossipAveraging::new(10).run(&g, &mut rng);
+        assert_eq!(outcome.messages, 2 * 50 * 10);
+    }
+
+    #[test]
+    fn converges_slowly_on_ring() {
+        // Rings are bad expanders: far nodes still disagree wildly after
+        // a few rounds, unlike the expander case above.
+        let g = generators::ring(256);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let outcome = GossipAveraging::new(20).run(&g, &mut rng);
+        assert!(
+            outcome.disagreement() > 1.0,
+            "ring should still disagree: {}",
+            outcome.disagreement()
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_never_learn() {
+        let mut g = generators::complete(5);
+        let lonely = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let outcome = GossipAveraging::new(30).run(&g, &mut rng);
+        let idx = DenseIndex::new(&g);
+        assert!(outcome.estimates[idx.dense(lonely)].is_infinite());
+    }
+
+    #[test]
+    fn singleton_overlay() {
+        let mut g = census_graph::Graph::new();
+        g.add_node();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let outcome = GossipAveraging::new(3).run(&g, &mut rng);
+        assert_eq!(outcome.estimates, vec![1.0]);
+        assert_eq!(outcome.messages, 0);
+    }
+}

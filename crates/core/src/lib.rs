@@ -1,0 +1,104 @@
+//! Peer counting in overlay networks by random walk methods.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Massoulié, Le Merrer, Kermarrec, Ganesh — *Peer counting and sampling
+//! in overlay networks: random walk methods*, PODC 2006): two generic,
+//! topology-agnostic estimators of the number of peers `N` (and, more
+//! generally, of sums `Σ_j f(j)` over all peers), driven purely by local
+//! neighbour knowledge.
+//!
+//! - [`RandomTour`] (§3): launch a discrete-time random walk from the
+//!   initiator and accumulate `f(j)/d_j` at every visited node until the
+//!   walk returns; multiplying the total by the initiator's degree gives
+//!   an *unbiased* estimate (Proposition 1) whose variance is controlled
+//!   by the overlay's spectral gap (Proposition 2). Cost per tour is the
+//!   return time, `(Σ_j d_j)/d_i` in expectation — linear in `N`.
+//!
+//! - [`SampleCollide`] (§4): draw approximately uniform peers with the
+//!   CTRW sampler and stop at the `l`-th *redundant* sample, at sample
+//!   count `C_l`. `C_l` is a sufficient statistic for `N`; the maximum
+//!   likelihood estimate (computed by bisection) and the asymptotic
+//!   estimator `C_l²/(2l)` both achieve relative mean squared error
+//!   `1/l` (Corollary 1), which is optimal (Lemma 2, Cramér–Rao).
+//!   Cost scales as `√(l·N)` samples — the reason the paper recommends it
+//!   for large systems.
+//!
+//! Baselines the paper compares against are also implemented:
+//! [`birthday::InvertedBirthdayParadox`] (Bawa et al., the method §4
+//! improves on), [`gossip::GossipAveraging`] (Jelasity–Montresor) and
+//! [`polling::ProbabilisticPolling`].
+//!
+//! The [`theory`] module carries the paper's closed-form accuracy and
+//! cost laws, which the test-suite verifies against simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use census_core::{RandomTour, SampleCollide, SizeEstimator};
+//! use census_graph::generators;
+//! use census_sampling::CtrwSampler;
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let g = generators::balanced(2_000, 10, &mut rng);
+//! let initiator = g.nodes().next().expect("non-empty");
+//!
+//! // One Random Tour estimate (noisy but unbiased).
+//! let rt = RandomTour::new().estimate(&g, initiator, &mut rng)?;
+//! assert!(rt.value > 0.0);
+//!
+//! // One Sample & Collide estimate with l = 10 (relative std ≈ 32%).
+//! let sc = SampleCollide::new(CtrwSampler::new(10.0), 10);
+//! let est = sc.estimate(&g, initiator, &mut rng)?;
+//! assert!((est.value / 2_000.0 - 1.0).abs() < 1.0);
+//! # Ok::<(), census_core::EstimateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod birthday;
+pub mod gossip;
+pub mod polling;
+pub mod theory;
+
+mod estimate;
+mod random_tour;
+mod sample_collide;
+
+pub use estimate::{Estimate, EstimateError};
+pub use random_tour::RandomTour;
+pub use sample_collide::{
+    asymptotic_estimate, ml_estimate, n_max, n_min, AdaptiveSampleCollide, AdaptiveStep,
+    CollisionReport, PointEstimator, SampleCollide,
+};
+
+use census_graph::{NodeId, Topology};
+use rand::Rng;
+
+/// An initiator-launched system-size estimator.
+///
+/// Implemented by [`RandomTour`], [`SampleCollide`] and
+/// [`birthday::InvertedBirthdayParadox`] — the protocols a single peer can
+/// run by injecting messages into the overlay. (The gossip and polling
+/// baselines are whole-system protocols and expose their own entry
+/// points.)
+pub trait SizeEstimator {
+    /// Produces one estimate of the number of peers reachable from
+    /// `initiator`, with its message cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError`] if the underlying walks cannot complete
+    /// (isolated initiator, timeout under the loss model).
+    fn estimate<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng;
+}

@@ -1,0 +1,306 @@
+//! Probabilistic polling baseline (\[15, 33, 24\] in the paper).
+
+use census_graph::{algo, Graph, NodeId};
+use rand::Rng;
+
+/// The probabilistic polling estimator of §2.2's related work.
+///
+/// The initiator floods a query through the overlay; every reached peer
+/// replies with probability `p`, and the initiator reports `R/p` where
+/// `R` is the number of replies. The estimate is unbiased over the
+/// flooded component, but the method has two structural drawbacks the
+/// paper highlights:
+///
+/// - **cost linear in `N`** — the flood traverses every edge;
+/// - **ACK implosion** — all `≈ pN` replies converge on the initiator
+///   (exposed here as [`PollingOutcome::replies`], the instantaneous
+///   reply load).
+///
+/// # Examples
+///
+/// ```
+/// use census_core::polling::ProbabilisticPolling;
+/// use census_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::complete(100);
+/// let mut rng = SmallRng::seed_from_u64(6);
+/// let poll = ProbabilisticPolling::new(0.25);
+/// let out = poll.run(&g, g.nodes().next().unwrap(), &mut rng);
+/// assert!((out.estimate / 100.0 - 1.0).abs() < 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilisticPolling {
+    reply_probability: f64,
+}
+
+/// Result of one polling execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PollingOutcome {
+    /// The size estimate `R / p`.
+    pub estimate: f64,
+    /// Number of replies that converged on the initiator (the ACK
+    /// implosion load).
+    pub replies: u64,
+    /// Peers reached by the flood.
+    pub reached: u64,
+    /// Total messages: flood transmissions (one per edge per direction
+    /// of first coverage, i.e. `2|E|` worst case) plus replies.
+    pub messages: u64,
+}
+
+impl ProbabilisticPolling {
+    /// Creates the estimator with per-peer reply probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(reply_probability: f64) -> Self {
+        assert!(
+            reply_probability > 0.0 && reply_probability <= 1.0,
+            "reply probability must lie in (0, 1]"
+        );
+        Self { reply_probability }
+    }
+
+    /// The configured reply probability.
+    #[must_use]
+    pub fn reply_probability(&self) -> f64 {
+        self.reply_probability
+    }
+
+    /// Floods from `initiator` and returns the estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiator` is not alive.
+    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
+        let component = algo::connected_component(g, initiator);
+        // Flood cost: every edge within the component carries the query
+        // in both directions in the worst case; we charge the standard
+        // flooding bound of one message per directed edge.
+        let flood_messages: u64 = component.iter().map(|&v| g.degree(v) as u64).sum();
+        let mut replies = 0u64;
+        for _ in &component {
+            if rng.random::<f64>() < self.reply_probability {
+                replies += 1;
+            }
+        }
+        PollingOutcome {
+            estimate: replies as f64 / self.reply_probability,
+            replies,
+            reached: component.len() as u64,
+            messages: flood_messages + replies,
+        }
+    }
+}
+
+/// Hop-limited polling: the flood carries a TTL of `max_hops`, and a
+/// peer at BFS distance `h` replies with probability `p(h)` — the actual
+/// mechanism of Friedman & Towsley \[15\], where the reply probability is
+/// "a function of node characteristics, such as distance (in number of
+/// hops) from the initial requestor".
+///
+/// The estimator corrects each stratum by its own probability:
+/// `N̂ = 1 + Σ_h R_h / p(h)` over reached strata (the initiator counts
+/// itself), unbiased for the peers within `max_hops`; peers beyond the
+/// horizon are simply not counted, so the estimate targets the
+/// `max_hops`-ball around the initiator.
+///
+/// # Examples
+///
+/// ```
+/// use census_core::polling::HopLimitedPolling;
+/// use census_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::ring(100);
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let poll = HopLimitedPolling::new(3, |h| 1.0 / (h + 1) as f64);
+/// let me = g.nodes().next().unwrap();
+/// let out = poll.run(&g, me, &mut rng);
+/// assert_eq!(out.reached, 6, "ring: 3 peers on each side");
+/// ```
+#[derive(Clone, Copy)]
+pub struct HopLimitedPolling<P> {
+    max_hops: usize,
+    reply_probability: P,
+}
+
+impl<P: Fn(usize) -> f64> HopLimitedPolling<P> {
+    /// Creates the estimator with flood radius `max_hops` and per-hop
+    /// reply probability function `reply_probability(hops)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_hops` is zero.
+    #[must_use]
+    pub fn new(max_hops: usize, reply_probability: P) -> Self {
+        assert!(max_hops > 0, "a zero-hop poll reaches nobody");
+        Self {
+            max_hops,
+            reply_probability,
+        }
+    }
+
+    /// Floods up to `max_hops` from `initiator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiator` is not alive, or if the probability
+    /// function returns a value outside `(0, 1]` for a reached stratum.
+    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
+        let distances = algo::bfs_distances(g, initiator);
+        let mut estimate = 1.0f64; // the initiator counts itself
+        let mut replies = 0u64;
+        let mut reached = 0u64;
+        let mut flood_messages = 0u64;
+        for node in g.nodes() {
+            let Some(h) = distances[node.index()] else { continue };
+            if h == 0 || h > self.max_hops {
+                continue;
+            }
+            reached += 1;
+            // Flood transmissions: each node within the ball forwards to
+            // its neighbours unless it sits on the boundary.
+            if h < self.max_hops {
+                flood_messages += g.degree(node) as u64;
+            }
+            let p = (self.reply_probability)(h);
+            assert!(
+                p > 0.0 && p <= 1.0,
+                "reply probability at hop {h} must lie in (0, 1], got {p}"
+            );
+            if rng.random::<f64>() < p {
+                replies += 1;
+                estimate += 1.0 / p;
+            }
+        }
+        flood_messages += g.degree(initiator) as u64;
+        PollingOutcome {
+            estimate,
+            replies,
+            reached,
+            messages: flood_messages + replies,
+        }
+    }
+}
+
+impl<P> std::fmt::Debug for HopLimitedPolling<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HopLimitedPolling")
+            .field("max_hops", &self.max_hops)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use census_stats::OnlineMoments;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hop_limited_counts_the_ball_unbiasedly() {
+        // Torus: the 2-hop ball around any node has 13 nodes (1+4+8).
+        let g = generators::torus(20, 20);
+        let me = g.nodes().next().expect("non-empty");
+        let mut rng = SmallRng::seed_from_u64(11);
+        let poll = HopLimitedPolling::new(2, |h| if h == 1 { 0.9 } else { 0.4 });
+        let m: OnlineMoments = (0..4_000).map(|_| poll.run(&g, me, &mut rng).estimate).collect();
+        let err = (m.mean() - 13.0).abs() / m.standard_error();
+        assert!(err < 4.0, "ball estimate {} vs 13", m.mean());
+    }
+
+    #[test]
+    fn hop_limited_certain_replies_count_exactly() {
+        let g = generators::ring(50);
+        let me = g.nodes().next().expect("non-empty");
+        let mut rng = SmallRng::seed_from_u64(12);
+        let poll = HopLimitedPolling::new(5, |_| 1.0);
+        let out = poll.run(&g, me, &mut rng);
+        assert_eq!(out.estimate, 11.0); // self + 5 on each side
+        assert_eq!(out.replies, 10);
+        assert_eq!(out.reached, 10);
+    }
+
+    #[test]
+    fn hop_limited_messages_scale_with_ball_not_graph() {
+        let g = generators::ring(10_000);
+        let me = g.nodes().next().expect("non-empty");
+        let mut rng = SmallRng::seed_from_u64(13);
+        let out = HopLimitedPolling::new(4, |_| 0.5).run(&g, me, &mut rng);
+        assert!(out.messages < 40, "ball-local cost, got {}", out.messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-hop poll")]
+    fn zero_hops_panics() {
+        let _ = HopLimitedPolling::new(0, |_| 0.5);
+    }
+
+    #[test]
+    fn unbiased_over_component() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::balanced(500, 10, &mut rng);
+        let n = algo::component_size(&g, NodeId::new(0)) as f64;
+        let poll = ProbabilisticPolling::new(0.1);
+        let m: OnlineMoments = (0..2_000)
+            .map(|_| poll.run(&g, NodeId::new(0), &mut rng).estimate)
+            .collect();
+        let err = (m.mean() - n).abs() / m.standard_error();
+        assert!(err < 4.0, "mean {} vs true {n}", m.mean());
+    }
+
+    #[test]
+    fn probability_one_is_exact_count() {
+        let g = generators::ring(30);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = ProbabilisticPolling::new(1.0).run(&g, NodeId::new(0), &mut rng);
+        assert_eq!(out.estimate, 30.0);
+        assert_eq!(out.replies, 30);
+        assert_eq!(out.reached, 30);
+    }
+
+    #[test]
+    fn cost_scales_with_edges_not_probability() {
+        let g = generators::complete(40);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cheap = ProbabilisticPolling::new(0.01).run(&g, NodeId::new(0), &mut rng);
+        // Even with almost no replies, the flood still pays ~2|E|.
+        assert!(cheap.messages >= g.degree_sum() as u64);
+    }
+
+    #[test]
+    fn only_counts_initiators_component() {
+        let mut g = generators::complete(10);
+        let others = g.add_nodes(8);
+        for i in 0..7 {
+            g.add_edge(others[i], others[i + 1]).expect("fresh edge");
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = ProbabilisticPolling::new(1.0).run(&g, others[0], &mut rng);
+        assert_eq!(out.estimate, 8.0);
+    }
+
+    #[test]
+    fn ack_implosion_grows_linearly() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let small = ProbabilisticPolling::new(0.5)
+            .run(&generators::complete(20), NodeId::new(0), &mut rng);
+        let large = ProbabilisticPolling::new(0.5)
+            .run(&generators::complete(200), NodeId::new(0), &mut rng);
+        assert!(large.replies > 4 * small.replies);
+    }
+
+    #[test]
+    #[should_panic(expected = "lie in (0, 1]")]
+    fn zero_probability_panics() {
+        let _ = ProbabilisticPolling::new(0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! The Random Tour estimator (§3).
+
+use census_graph::{NodeId, Topology};
+use census_walk::discrete::random_tour;
+use rand::Rng;
+
+use crate::{Estimate, EstimateError, SizeEstimator};
+
+/// The Random Tour estimator of §3.
+///
+/// A probe message starts at the initiator `i` with counter
+/// `Φ = f(i)/d_i`, performs a discrete-time random walk, and every node
+/// `j` it enters adds `f(j)/d_j`; when it first returns to `i`, the
+/// estimate is `X̂ = d_i · Φ`.
+///
+/// Properties proved in the paper and verified by this crate's tests:
+///
+/// - **Unbiased** (Prop. 1): `E[X̂] = Σ_j f(j)` on any connected overlay,
+///   via the cycle formula for regenerative processes.
+/// - **Variance** (Prop. 2): for `f ≡ 1`,
+///   `N²(1−1/N)² − N ≤ Var(X̂) ≲ N²(1 + 2·d̄/λ₂)` — the relative standard
+///   deviation of one tour is of order 1, so estimates must be averaged
+///   (the paper uses sliding windows of 200–700 tours).
+/// - **Cost**: one tour costs `(Σ_j d_j)/d_i` messages in expectation —
+///   linear in the system size.
+///
+/// The optional step budget models the initiator-side timeout of §5.3.1
+/// for lost probe messages.
+///
+/// # Examples
+///
+/// ```
+/// use census_core::{RandomTour, SizeEstimator};
+/// use census_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::complete(100);
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let initiator = g.nodes().next().expect("non-empty");
+/// let est = RandomTour::new().estimate(&g, initiator, &mut rng)?;
+/// assert!(est.value > 0.0);
+/// # Ok::<(), census_core::EstimateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RandomTour {
+    max_steps: Option<u64>,
+}
+
+impl RandomTour {
+    /// Creates the estimator with no step budget (tours always complete
+    /// on a connected overlay).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { max_steps: None }
+    }
+
+    /// Creates the estimator with a step budget after which the probe is
+    /// declared lost (§5.3.1's timeout; the estimate attempt then fails
+    /// with [`EstimateError::Walk`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps` is zero.
+    #[must_use]
+    pub fn with_timeout(max_steps: u64) -> Self {
+        assert!(max_steps > 0, "a zero-step budget cannot complete any tour");
+        Self {
+            max_steps: Some(max_steps),
+        }
+    }
+
+    /// The configured step budget, if any.
+    #[must_use]
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// Estimates the aggregate `Σ_j f(j)` over the initiator's connected
+    /// component (§3: "our techniques also apply to the estimation of
+    /// sums of functions of the nodes").
+    ///
+    /// `f` is evaluated once per *visit* (a node walked through twice
+    /// contributes twice, with the `1/d_j` weight correcting for it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::Walk`] if the initiator is isolated or
+    /// the step budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive.
+    pub fn estimate_sum<T, R, F>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        mut f: F,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        F: FnMut(NodeId) -> f64,
+    {
+        let mut counter = 0.0f64;
+        let tour = random_tour(topology, initiator, self.max_steps, rng, |node| {
+            counter += f(node) / topology.degree_of(node) as f64;
+        })?;
+        let value = topology.degree_of(initiator) as f64 * counter;
+        Ok(Estimate {
+            value,
+            messages: tour.steps,
+        })
+    }
+}
+
+impl SizeEstimator for RandomTour {
+    fn estimate<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        self.estimate_sum(topology, initiator, |_| 1.0, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::{algo, generators, Graph};
+    use census_stats::OnlineMoments;
+    use census_walk::WalkError;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Empirical mean of `runs` Random Tour estimates from a fixed node.
+    fn mean_estimate(g: &Graph, initiator: NodeId, runs: u32, seed: u64) -> OnlineMoments {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rt = RandomTour::new();
+        (0..runs)
+            .map(|_| {
+                rt.estimate(g, initiator, &mut rng)
+                    .expect("connected overlay")
+                    .value
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_on_two_nodes() {
+        // On K_2 every tour returns in exactly 2 steps with X = 1*(1/1+1/1) = 2.
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).expect("fresh edge");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est = RandomTour::new().estimate(&g, a, &mut rng).expect("completes");
+        assert_eq!(est.value, 2.0);
+        assert_eq!(est.messages, 2);
+    }
+
+    #[test]
+    fn unbiased_on_balanced_graph() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::balanced(300, 10, &mut rng);
+        let n = algo::component_size(&g, NodeId::new(0)) as f64;
+        let m = mean_estimate(&g, NodeId::new(0), 4_000, 3);
+        // Unbiasedness: empirical mean within 4 standard errors of N.
+        let err = (m.mean() - n).abs() / m.standard_error();
+        assert!(err < 4.0, "mean {} vs true {n}: {err} SEs off", m.mean());
+    }
+
+    #[test]
+    fn unbiased_on_scale_free_graph() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let m = mean_estimate(&g, NodeId::new(7), 4_000, 5);
+        let err = (m.mean() - 300.0).abs() / m.standard_error();
+        assert!(err < 4.0, "mean {} vs true 300: {err} SEs off", m.mean());
+    }
+
+    #[test]
+    fn unbiased_from_low_and_high_degree_initiators() {
+        // Prop 1 holds for every initiator; check a hub and a leaf.
+        let g = generators::star(30);
+        // From the hub every tour is hub -> leaf -> hub, so the estimate
+        // is *exactly* N with zero variance.
+        let hub = mean_estimate(&g, NodeId::new(0), 500, 6);
+        assert!((hub.mean() - 30.0).abs() < 1e-9, "hub mean {}", hub.mean());
+        assert!(hub.sample_variance() < 1e-18);
+        let leaf = mean_estimate(&g, NodeId::new(5), 6_000, 7);
+        let err = (leaf.mean() - 30.0).abs() / leaf.standard_error();
+        assert!(err < 4.0, "leaf: mean {} is {err} SEs from 30", leaf.mean());
+    }
+
+    #[test]
+    fn estimates_component_size_not_graph_size() {
+        let mut g = generators::complete(10);
+        // A disjoint clique the walk can never reach.
+        let others = g.add_nodes(5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(others[i], others[j]).expect("fresh edge");
+            }
+        }
+        let m = mean_estimate(&g, NodeId::new(0), 3_000, 8);
+        let err = (m.mean() - 10.0).abs() / m.standard_error();
+        assert!(err < 4.0, "mean {} should match the component (10)", m.mean());
+    }
+
+    #[test]
+    fn aggregate_sum_of_degrees() {
+        // f(j) = d_j: the estimator targets sum of degrees = 2|E|.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::balanced(200, 10, &mut rng);
+        let target = g.degree_sum() as f64;
+        let rt = RandomTour::new();
+        let mut est_rng = SmallRng::seed_from_u64(10);
+        let m: OnlineMoments = (0..4_000)
+            .map(|_| {
+                rt.estimate_sum(&g, NodeId::new(0), |j| g.degree(j) as f64, &mut est_rng)
+                    .expect("connected")
+                    .value
+            })
+            .collect();
+        let err = (m.mean() - target).abs() / m.standard_error();
+        assert!(err < 4.0, "mean {} vs 2|E| = {target}", m.mean());
+    }
+
+    #[test]
+    fn aggregate_degree_threshold_count() {
+        // The paper's example: count nodes with degree above a threshold.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let threshold = 8;
+        let target = algo::count_degree_above(&g, threshold) as f64;
+        assert!(target > 0.0, "test graph should have high-degree nodes");
+        let rt = RandomTour::new();
+        let mut est_rng = SmallRng::seed_from_u64(12);
+        let m: OnlineMoments = (0..6_000)
+            .map(|_| {
+                rt.estimate_sum(
+                    &g,
+                    NodeId::new(0),
+                    |j| if g.degree(j) > threshold { 1.0 } else { 0.0 },
+                    &mut est_rng,
+                )
+                .expect("connected")
+                .value
+            })
+            .collect();
+        let err = (m.mean() - target).abs() / m.standard_error();
+        assert!(err < 4.0, "mean {} vs target {target}", m.mean());
+    }
+
+    #[test]
+    fn variance_within_proposition_2_bounds() {
+        use census_graph::spectral::spectral_gap;
+        for (g, seed) in [
+            (generators::complete(40), 13u64),
+            (generators::hypercube(5), 14),
+            (generators::k_out(60, 3, &mut SmallRng::seed_from_u64(15)), 16),
+        ] {
+            if !algo::is_connected(&g) {
+                continue;
+            }
+            let n = g.num_nodes() as f64;
+            let initiator = g.nodes().next().expect("non-empty");
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let rt = RandomTour::new();
+            let m: OnlineMoments = (0..20_000)
+                .map(|_| rt.estimate(&g, initiator, &mut rng).expect("connected").value)
+                .collect();
+            let var = m.sample_variance();
+            let (lo, hi) = crate::theory::rt_variance_bounds(
+                n,
+                g.average_degree(),
+                spectral_gap(&g),
+            );
+            assert!(
+                var >= lo * 0.8 && var <= hi * 1.2,
+                "n={n}: variance {var} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_fails_cleanly() {
+        let g = generators::ring(1000);
+        let mut rng = SmallRng::seed_from_u64(17);
+        // The shortest possible tour is 2 steps, so a 1-step budget
+        // always times out.
+        let rt = RandomTour::with_timeout(1);
+        let res = rt.estimate(&g, NodeId::new(0), &mut rng);
+        assert_eq!(res, Err(EstimateError::Walk(WalkError::Timeout(1))));
+    }
+
+    #[test]
+    fn isolated_initiator_fails() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(18);
+        assert!(matches!(
+            RandomTour::new().estimate(&g, a, &mut rng),
+            Err(EstimateError::Walk(WalkError::Stuck(_)))
+        ));
+    }
+
+    #[test]
+    fn cost_matches_cycle_formula() {
+        // E[messages] = degree_sum / d_i.
+        let mut rng = SmallRng::seed_from_u64(19);
+        let g = generators::balanced(200, 10, &mut rng);
+        let initiator = NodeId::new(0);
+        let d_i = g.degree(initiator) as f64;
+        let rt = RandomTour::new();
+        let mut est_rng = SmallRng::seed_from_u64(20);
+        let m: OnlineMoments = (0..5_000)
+            .map(|_| {
+                rt.estimate(&g, initiator, &mut est_rng)
+                    .expect("connected")
+                    .messages as f64
+            })
+            .collect();
+        let expected = g.degree_sum() as f64 / d_i;
+        let err = (m.mean() - expected).abs() / m.standard_error();
+        assert!(err < 4.0, "mean cost {} vs {expected}", m.mean());
+    }
+}

@@ -1,0 +1,756 @@
+//! The Sample & Collide estimator (§4).
+
+use std::collections::HashSet;
+
+use census_graph::{NodeId, Topology};
+use census_sampling::{CtrwSampler, Sampler};
+use rand::Rng;
+
+use crate::{Estimate, EstimateError, SizeEstimator};
+
+/// Which point estimate a [`SampleCollide`] instance reports.
+///
+/// All four are asymptotically equivalent (they differ by `O(√N)`,
+/// Remark 2 of the paper) and hence all asymptotically efficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum PointEstimator {
+    /// The maximum likelihood estimate, solved by bisection on the score
+    /// function (Eq. (9)).
+    #[default]
+    MaximumLikelihood,
+    /// `C_l² / (2l)` — the estimator the paper's own experiments use
+    /// ("for ease of computation", Remark 2).
+    Asymptotic,
+    /// The lower bisection bracket `N_min` of Eq. (10).
+    LowerBound,
+    /// The upper bisection bracket `N_max` of Eq. (10).
+    UpperBound,
+}
+
+/// Everything observed by one Sample & Collide run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CollisionReport {
+    /// Total number of samples drawn when the `l`-th redundant sample
+    /// appeared (the sufficient statistic `C_l`).
+    pub c_l: u64,
+    /// The configured number of collisions `l`.
+    pub l: u32,
+    /// Number of distinct peers observed (`C_l − l`).
+    pub distinct: u64,
+    /// Maximum likelihood estimate of `N`.
+    pub ml: f64,
+    /// The asymptotic estimate `C_l²/(2l)`.
+    pub asymptotic: f64,
+    /// Lower bracket `N_min` (Eq. (10)).
+    pub n_min: f64,
+    /// Upper bracket `N_max` (Eq. (10)).
+    pub n_max: f64,
+    /// Overlay messages spent across all sampling walks.
+    pub messages: u64,
+}
+
+impl CollisionReport {
+    /// The estimate selected by `which`.
+    #[must_use]
+    pub fn value(&self, which: PointEstimator) -> f64 {
+        match which {
+            PointEstimator::MaximumLikelihood => self.ml,
+            PointEstimator::Asymptotic => self.asymptotic,
+            PointEstimator::LowerBound => self.n_min,
+            PointEstimator::UpperBound => self.n_max,
+        }
+    }
+}
+
+/// The Sample & Collide estimator of §4.2.
+///
+/// Draws (approximately) uniform peer samples from the configured
+/// [`Sampler`] until `l` *redundant* samples — samples equal to some
+/// previously seen peer — have occurred, at total sample count `C_l`.
+/// `C_l` is a sufficient statistic for `N` (the likelihood factorises,
+/// Eq. (7)); the maximum likelihood estimate solves
+///
+/// ```text
+/// G(N) = Σ_{j=0}^{C_l−l−1} 1/(N−j) − C_l/N = 0
+/// ```
+///
+/// which this implementation brackets by the paper's Eq. (10) bounds and
+/// solves by bisection. Corollary 1: the relative mean squared error
+/// tends to `1/l`; Lemma 2 (Cramér–Rao) shows no unbiased estimator
+/// can do better. Expected cost is `E[C_l] = √(2N)·Γ(l+½)/Γ(l) ≈ √(2lN)`
+/// samples, each costing `T·d̄` messages — `O(√(lN))` overall, a `√l`
+/// factor cheaper than repeating the birthday-paradox method `l` times.
+///
+/// # Examples
+///
+/// ```
+/// use census_core::{SampleCollide, SizeEstimator};
+/// use census_sampling::OracleSampler;
+/// use census_graph::generators;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::complete(1_000);
+/// let mut rng = SmallRng::seed_from_u64(4);
+/// let sc = SampleCollide::new(OracleSampler::new(), 10);
+/// let est = sc.estimate(&g, g.nodes().next().unwrap(), &mut rng)?;
+/// assert!((est.value / 1_000.0 - 1.0).abs() < 1.0);
+/// # Ok::<(), census_core::EstimateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleCollide<S> {
+    sampler: S,
+    l: u32,
+    point: PointEstimator,
+}
+
+impl<S: Sampler> SampleCollide<S> {
+    /// Creates the estimator stopping at the `l`-th collision, reporting
+    /// the maximum likelihood estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero.
+    #[must_use]
+    pub fn new(sampler: S, l: u32) -> Self {
+        assert!(l > 0, "Sample & Collide needs at least one collision");
+        Self {
+            sampler,
+            l,
+            point: PointEstimator::MaximumLikelihood,
+        }
+    }
+
+    /// Selects which point estimate [`SizeEstimator::estimate`] reports.
+    #[must_use]
+    pub fn with_point_estimator(mut self, point: PointEstimator) -> Self {
+        self.point = point;
+        self
+    }
+
+    /// The configured collision target `l`.
+    #[must_use]
+    pub fn collisions(&self) -> u32 {
+        self.l
+    }
+
+    /// The configured sampler.
+    #[must_use]
+    pub fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    /// Runs the full sampling process and reports every statistic of the
+    /// run (the sufficient statistic, all four point estimates, and the
+    /// message cost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler failures as [`EstimateError::Walk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive.
+    pub fn collect<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<CollisionReport, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        assert!(topology.contains(initiator), "initiator must be alive");
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut collisions = 0u32;
+        let mut samples = 0u64;
+        let mut messages = 0u64;
+        while collisions < self.l {
+            let s = self.sampler.sample(topology, initiator, rng)?;
+            samples += 1;
+            messages += s.hops;
+            if !seen.insert(s.node) {
+                collisions += 1;
+            }
+        }
+        let c_l = samples;
+        let l = self.l;
+        Ok(CollisionReport {
+            c_l,
+            l,
+            distinct: c_l - u64::from(l),
+            ml: ml_estimate(c_l, l),
+            asymptotic: asymptotic_estimate(c_l, l),
+            n_min: n_min(c_l, l),
+            n_max: n_max(c_l, l),
+            messages,
+        })
+    }
+}
+
+impl<S: Sampler> SizeEstimator for SampleCollide<S> {
+    fn estimate<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let report = self.collect(topology, initiator, rng)?;
+        Ok(Estimate {
+            value: report.value(self.point),
+            messages: report.messages,
+        })
+    }
+}
+
+/// The lower bracket of Eq. (10): with `K = C_l − l`,
+/// `N_min = K(K−1)/(2l)`, clamped to at least `K` (the number of distinct
+/// peers actually observed).
+///
+/// # Panics
+///
+/// Panics if `l` is zero or `c_l < l`.
+#[must_use]
+pub fn n_min(c_l: u64, l: u32) -> f64 {
+    assert!(l > 0, "l must be positive");
+    assert!(c_l >= u64::from(l), "C_l counts the collisions themselves");
+    let k = (c_l - u64::from(l)) as f64;
+    (k * (k - 1.0) / (2.0 * f64::from(l))).max(k.max(1.0))
+}
+
+/// The upper bracket of Eq. (10): `N_max = K(K−1)/(2l) + K − 1`, clamped
+/// like [`n_min`].
+///
+/// # Panics
+///
+/// Panics if `l` is zero or `c_l < l`.
+#[must_use]
+pub fn n_max(c_l: u64, l: u32) -> f64 {
+    assert!(l > 0, "l must be positive");
+    assert!(c_l >= u64::from(l), "C_l counts the collisions themselves");
+    let k = (c_l - u64::from(l)) as f64;
+    (k * (k - 1.0) / (2.0 * f64::from(l)) + (k - 1.0)).max(k.max(1.0))
+}
+
+/// The asymptotic estimator `Ñ = C_l²/(2l)` the paper's experiments use.
+///
+/// # Panics
+///
+/// Panics if `l` is zero.
+#[must_use]
+pub fn asymptotic_estimate(c_l: u64, l: u32) -> f64 {
+    assert!(l > 0, "l must be positive");
+    let c = c_l as f64;
+    c * c / (2.0 * f64::from(l))
+}
+
+/// Score function `G(N)` of Eq. (9) whose root is the ML estimate.
+fn score(n: f64, c_l: u64, l: u32) -> f64 {
+    let k = c_l - u64::from(l);
+    let mut sum = 0.0;
+    for j in 0..k {
+        sum += 1.0 / (n - j as f64);
+    }
+    sum - c_l as f64 / n
+}
+
+/// Maximum likelihood estimate of `N` from the `l`-th collision time
+/// `C_l`, by bisection of the score function over the Eq. (10) bracket.
+///
+/// Degenerate observations (fewer than two distinct peers seen) return
+/// the number of distinct peers, the boundary ML solution.
+///
+/// # Panics
+///
+/// Panics if `l` is zero or `c_l < l`.
+#[must_use]
+pub fn ml_estimate(c_l: u64, l: u32) -> f64 {
+    assert!(l > 0, "l must be positive");
+    assert!(c_l >= u64::from(l), "C_l counts the collisions themselves");
+    let k = c_l - u64::from(l);
+    if k <= 1 {
+        return k.max(1) as f64;
+    }
+    // The score is positive at N slightly above K−1 (the harmonic sum
+    // diverges) and negative as N → ∞ (it behaves as −l/N), so the root
+    // is bracketed by [K, N_max]; Eq. (10) tightens the lower end.
+    let mut lo = n_min(c_l, l).max(k as f64);
+    let mut hi = n_max(c_l, l) + 1.0;
+    if score(lo, c_l, l) < 0.0 {
+        return lo;
+    }
+    debug_assert!(score(hi, c_l, l) <= 0.0, "upper bracket must be past the root");
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if score(mid, c_l, l) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-9 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// One round of the adaptive timer search (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdaptiveStep {
+    /// The CTRW timer used this round.
+    pub timer: f64,
+    /// The resulting size estimate.
+    pub estimate: f64,
+    /// Messages spent this round.
+    pub messages: u64,
+}
+
+/// The adaptive-timer Sample & Collide procedure suggested in §4.1.
+///
+/// Since neither `N` nor the spectral gap is known a priori, the paper
+/// proposes: run Sample & Collide with some timer `T`, re-run with `2T`,
+/// and repeat until the estimates stabilise ("they should increase with
+/// `T` until `T` is sufficiently large" — under-mixing makes samples
+/// collide early and biases the estimate *downwards*).
+///
+/// # Examples
+///
+/// ```
+/// use census_core::AdaptiveSampleCollide;
+///
+/// let adaptive = AdaptiveSampleCollide::new(10, 1.0)
+///     .with_tolerance(0.2)
+///     .with_max_rounds(6);
+/// assert_eq!(adaptive.initial_timer(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSampleCollide {
+    l: u32,
+    initial_timer: f64,
+    tolerance: f64,
+    max_rounds: u32,
+    point: PointEstimator,
+}
+
+impl AdaptiveSampleCollide {
+    /// Creates the adaptive procedure with relative-stability tolerance
+    /// 0.1 and at most 10 doubling rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero or `initial_timer` is not positive/finite.
+    #[must_use]
+    pub fn new(l: u32, initial_timer: f64) -> Self {
+        assert!(l > 0, "Sample & Collide needs at least one collision");
+        assert!(
+            initial_timer.is_finite() && initial_timer > 0.0,
+            "initial timer must be positive and finite"
+        );
+        Self {
+            l,
+            initial_timer,
+            tolerance: 0.1,
+            max_rounds: 10,
+            point: PointEstimator::MaximumLikelihood,
+        }
+    }
+
+    /// Sets the relative change below which two successive estimates are
+    /// considered stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not in `(0, 1)`.
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance > 0.0 && tolerance < 1.0,
+            "tolerance must lie in (0, 1)"
+        );
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Caps the number of timer-doubling rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds < 2` (stability needs two estimates).
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        assert!(max_rounds >= 2, "stability requires at least two rounds");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Selects the reported point estimate.
+    #[must_use]
+    pub fn with_point_estimator(mut self, point: PointEstimator) -> Self {
+        self.point = point;
+        self
+    }
+
+    /// The starting timer value.
+    #[must_use]
+    pub fn initial_timer(&self) -> f64 {
+        self.initial_timer
+    }
+
+    /// Runs the doubling procedure and returns each round's step; the
+    /// last step holds the accepted estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler failures.
+    pub fn run<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Vec<AdaptiveStep>, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let mut steps: Vec<AdaptiveStep> = Vec::new();
+        let mut timer = self.initial_timer;
+        for _ in 0..self.max_rounds {
+            let sc = SampleCollide::new(CtrwSampler::new(timer), self.l)
+                .with_point_estimator(self.point);
+            let report = sc.collect(topology, initiator, rng)?;
+            let estimate = report.value(self.point);
+            let step = AdaptiveStep {
+                timer,
+                estimate,
+                messages: report.messages,
+            };
+            if let Some(prev) = steps.last() {
+                let rel = (estimate - prev.estimate).abs() / estimate.max(1.0);
+                steps.push(step);
+                if rel < self.tolerance {
+                    return Ok(steps);
+                }
+            } else {
+                steps.push(step);
+            }
+            timer *= 2.0;
+        }
+        Ok(steps)
+    }
+}
+
+impl SizeEstimator for AdaptiveSampleCollide {
+    fn estimate<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let steps = self.run(topology, initiator, rng)?;
+        let messages = steps.iter().map(|s| s.messages).sum();
+        let last = steps.last().expect("at least one round always runs");
+        Ok(Estimate {
+            value: last.estimate,
+            messages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::{generators, Graph, NodeId};
+    use census_sampling::{OracleSampler, Sample};
+    use census_stats::{ks_statistic, OnlineMoments};
+    use census_walk::WalkError;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A sampler replaying a scripted sequence of node indices.
+    struct Scripted(std::cell::RefCell<std::vec::IntoIter<usize>>);
+
+    impl Scripted {
+        fn new(seq: Vec<usize>) -> Self {
+            Self(std::cell::RefCell::new(seq.into_iter()))
+        }
+    }
+
+    impl Sampler for Scripted {
+        fn sample<T, R>(
+            &self,
+            _topology: &T,
+            _initiator: NodeId,
+            _rng: &mut R,
+        ) -> Result<Sample, WalkError>
+        where
+            T: Topology + ?Sized,
+            R: Rng,
+        {
+            let idx = self.0.borrow_mut().next().expect("script long enough");
+            Ok(Sample {
+                node: NodeId::new(idx),
+                hops: 1,
+            })
+        }
+    }
+
+    fn line(n: usize) -> Graph {
+        generators::path(n)
+    }
+
+    #[test]
+    fn collision_counting_follows_definition() {
+        // Sequence a b a c b: first collision at sample 3, second at 5.
+        let g = line(5);
+        let sc = SampleCollide::new(Scripted::new(vec![0, 1, 0, 2, 1]), 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = sc.collect(&g, NodeId::new(0), &mut rng).expect("scripted");
+        assert_eq!(report.c_l, 5);
+        assert_eq!(report.distinct, 3);
+        assert_eq!(report.messages, 5);
+    }
+
+    #[test]
+    fn repeated_collisions_with_same_node_count() {
+        // a a a: collisions at samples 2 and 3.
+        let g = line(3);
+        let sc = SampleCollide::new(Scripted::new(vec![0, 0, 0]), 2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = sc.collect(&g, NodeId::new(0), &mut rng).expect("scripted");
+        assert_eq!(report.c_l, 3);
+        assert_eq!(report.distinct, 1);
+        // Degenerate: one distinct peer -> boundary ML.
+        assert_eq!(report.ml, 1.0);
+    }
+
+    #[test]
+    fn ml_root_lies_in_eq10_bracket() {
+        for (c_l, l) in [(50u64, 3u32), (500, 10), (4_500, 100), (20, 1)] {
+            let ml = ml_estimate(c_l, l);
+            assert!(
+                ml >= n_min(c_l, l) - 1e-6 && ml <= n_max(c_l, l) + 1.0 + 1e-6,
+                "ml {ml} outside [{}, {}] for C={c_l}, l={l}",
+                n_min(c_l, l),
+                n_max(c_l, l)
+            );
+            // The score actually vanishes at the reported root.
+            let k = c_l - u64::from(l);
+            if k > 1 {
+                let g = super::score(ml, c_l, l);
+                assert!(g.abs() < 1e-6, "score at root is {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimators_agree_asymptotically() {
+        // For C_l >> l all four point estimates agree to O(sqrt(N)).
+        let (c_l, l) = (14_142u64, 100u32); // N ~ 1e6
+        let ml = ml_estimate(c_l, l);
+        let asym = asymptotic_estimate(c_l, l);
+        assert!(
+            (ml - asym).abs() / ml < 0.02,
+            "ml {ml} vs asymptotic {asym}"
+        );
+        assert!(n_max(c_l, l) - n_min(c_l, l) < 2.0 * (c_l as f64),
+            "brackets differ by O(C_l)");
+    }
+
+    #[test]
+    fn recovers_known_size_with_oracle_sampling() {
+        let g = generators::complete(800);
+        let sc = SampleCollide::new(OracleSampler::new(), 20);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m: OnlineMoments = (0..300)
+            .map(|_| {
+                sc.estimate(&g, NodeId::new(0), &mut rng)
+                    .expect("oracle cannot fail")
+                    .value
+            })
+            .collect();
+        let rel = (m.mean() - 800.0).abs() / 800.0;
+        assert!(rel < 0.05, "mean {} vs 800", m.mean());
+    }
+
+    #[test]
+    fn corollary_1_relative_mse_is_one_over_l() {
+        let g = generators::complete(2_000);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for l in [10u32, 50] {
+            let sc = SampleCollide::new(OracleSampler::new(), l);
+            let runs = 400;
+            let mse: f64 = (0..runs)
+                .map(|_| {
+                    let v = sc
+                        .estimate(&g, NodeId::new(0), &mut rng)
+                        .expect("oracle cannot fail")
+                        .value;
+                    let r = v / 2_000.0 - 1.0;
+                    r * r
+                })
+                .sum::<f64>()
+                / f64::from(runs);
+            let predicted = 1.0 / f64::from(l);
+            assert!(
+                (mse / predicted - 1.0).abs() < 0.45,
+                "l={l}: relative MSE {mse} vs predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_3_first_moment() {
+        // E[C_l] -> sqrt(2N) * Gamma(l + 1/2)/Gamma(l).
+        let n = 3_000usize;
+        let l = 5u32;
+        let g = generators::complete(n);
+        let sc = SampleCollide::new(OracleSampler::new(), l);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m: OnlineMoments = (0..600)
+            .map(|_| {
+                sc.collect(&g, NodeId::new(0), &mut rng)
+                    .expect("oracle cannot fail")
+                    .c_l as f64
+            })
+            .collect();
+        let predicted = crate::theory::expected_collision_time(n as f64, l);
+        let err = (m.mean() - predicted).abs() / m.standard_error();
+        assert!(err < 4.0, "E[C_l] {} vs predicted {predicted}", m.mean());
+    }
+
+    #[test]
+    fn proposition_3_limit_law_for_l_1_is_rayleigh() {
+        // C_1/sqrt(N) => Rayleigh: F(x) = 1 - exp(-x^2/2).
+        let n = 5_000usize;
+        let g = generators::complete(n);
+        let sc = SampleCollide::new(OracleSampler::new(), 1);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let sample: Vec<f64> = (0..2_000)
+            .map(|_| {
+                sc.collect(&g, NodeId::new(0), &mut rng)
+                    .expect("oracle cannot fail")
+                    .c_l as f64
+                    / (n as f64).sqrt()
+            })
+            .collect();
+        let d = ks_statistic(&sample, |x| {
+            if x <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-x * x / 2.0).exp()
+            }
+        });
+        // KS 1% critical value ~ 1.63/sqrt(2000) = 0.036; allow finite-N bias.
+        assert!(d < 0.05, "KS distance {d} from Rayleigh");
+    }
+
+    #[test]
+    fn works_on_singleton_overlay() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let sc = SampleCollide::new(OracleSampler::new(), 3);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let report = sc.collect(&g, a, &mut rng).expect("oracle cannot fail");
+        assert_eq!(report.c_l, 4);
+        assert_eq!(report.ml, 1.0);
+    }
+
+    #[test]
+    fn ctrw_backed_estimates_are_accurate_on_balanced_graph() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::balanced(1_000, 10, &mut rng);
+        let sc = SampleCollide::new(CtrwSampler::new(10.0), 30)
+            .with_point_estimator(PointEstimator::Asymptotic);
+        let m: OnlineMoments = (0..40)
+            .map(|_| {
+                sc.estimate(&g, NodeId::new(0), &mut rng)
+                    .expect("connected")
+                    .value
+            })
+            .collect();
+        let rel = (m.mean() - 1_000.0).abs() / 1_000.0;
+        assert!(rel < 0.15, "mean {} vs 1000", m.mean());
+    }
+
+    #[test]
+    fn adaptive_timer_stabilises_and_grows() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::balanced(800, 10, &mut rng);
+        let adaptive = AdaptiveSampleCollide::new(20, 0.25).with_tolerance(0.25);
+        let steps = adaptive.run(&g, NodeId::new(0), &mut rng).expect("connected");
+        assert!(steps.len() >= 2, "at least two rounds");
+        for w in steps.windows(2) {
+            assert_eq!(w[1].timer, w[0].timer * 2.0);
+        }
+        let last = steps.last().expect("non-empty");
+        assert!(
+            (last.estimate / 800.0 - 1.0).abs() < 0.5,
+            "final estimate {} vs 800",
+            last.estimate
+        );
+    }
+
+    #[test]
+    fn undermixed_sampling_biases_downwards() {
+        // §4.1: estimates "should increase with T until T is sufficiently
+        // large" — a tiny timer resamples the initiator's neighbourhood,
+        // collides early, and underestimates.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = generators::balanced(2_000, 10, &mut rng);
+        let mean_with_timer = |t: f64, rng: &mut SmallRng| {
+            let sc = SampleCollide::new(CtrwSampler::new(t), 10);
+            let m: OnlineMoments = (0..30)
+                .map(|_| {
+                    sc.estimate(&g, NodeId::new(0), rng)
+                        .expect("connected")
+                        .value
+                })
+                .collect();
+            m.mean()
+        };
+        let small = mean_with_timer(0.05, &mut rng);
+        let large = mean_with_timer(10.0, &mut rng);
+        assert!(
+            small < 0.6 * large,
+            "undermixed {small} should undershoot mixed {large}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one collision")]
+    fn zero_l_panics() {
+        let _ = SampleCollide::new(OracleSampler::new(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ml_estimate_is_finite_positive_and_bracketed(
+            l in 1u32..50,
+            k_extra in 2u64..5_000,
+        ) {
+            let c_l = u64::from(l) + k_extra;
+            let ml = ml_estimate(c_l, l);
+            prop_assert!(ml.is_finite());
+            prop_assert!(ml >= 1.0);
+            prop_assert!(ml >= n_min(c_l, l) - 1e-6);
+            prop_assert!(ml <= n_max(c_l, l) + 1.0 + 1e-6);
+        }
+
+        #[test]
+        fn asymptotic_estimate_monotone_in_cl(l in 1u32..20, c in 2u64..1_000) {
+            let c_l = u64::from(l) + c;
+            prop_assert!(asymptotic_estimate(c_l + 1, l) > asymptotic_estimate(c_l, l));
+        }
+    }
+}

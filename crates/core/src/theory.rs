@@ -1,0 +1,219 @@
+//! Closed-form accuracy and cost laws from the paper's analysis.
+//!
+//! Each function here encodes one formula from §3–§4; the test-suites in
+//! `random_tour` and `sample_collide` verify the
+//! simulated estimators against them, and the benchmark harness prints
+//! them next to measured values.
+
+/// Proposition 2 variance bounds for one Random Tour size estimate on an
+/// `n`-node graph with average degree `avg_degree` and Laplacian spectral
+/// gap `lambda2`:
+///
+/// ```text
+/// N²(1 − 1/N)² − N  ≤  Var(X̂)  ≤  N²·(1 + 2·d̄/λ₂)
+/// ```
+///
+/// The upper bound shows the relative standard deviation of a single
+/// tour is `O(√(d̄/λ₂))` — order one on expanders, which is why the
+/// paper averages hundreds of tours.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, or `lambda2`/`avg_degree` are not positive.
+#[must_use]
+pub fn rt_variance_bounds(n: f64, avg_degree: f64, lambda2: f64) -> (f64, f64) {
+    assert!(n >= 2.0, "variance bounds need n >= 2");
+    assert!(avg_degree > 0.0, "average degree must be positive");
+    assert!(lambda2 > 0.0, "spectral gap must be positive");
+    let lo = (n * n * (1.0 - 1.0 / n).powi(2) - n).max(0.0);
+    let hi = n * n * (1.0 + 2.0 * avg_degree / lambda2);
+    (lo, hi)
+}
+
+/// Number of Random Tours to average so that, by Chebyshev (§3.5), the
+/// relative error exceeds `epsilon` with probability at most `delta`.
+///
+/// Uses the Prop. 2 upper bound on the single-tour relative variance.
+///
+/// # Panics
+///
+/// Panics if any argument is not positive or `delta >= 1`.
+#[must_use]
+pub fn rt_runs_for_accuracy(
+    avg_degree: f64,
+    lambda2: f64,
+    epsilon: f64,
+    delta: f64,
+) -> u64 {
+    assert!(avg_degree > 0.0 && lambda2 > 0.0, "graph constants must be positive");
+    assert!(epsilon > 0.0, "target error must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "confidence must lie in (0, 1)");
+    let rel_var = 1.0 + 2.0 * avg_degree / lambda2;
+    (rel_var / (epsilon * epsilon * delta)).ceil() as u64
+}
+
+/// Corollary 1: the limiting relative mean squared error of the Sample &
+/// Collide ML estimate, `1/l`.
+///
+/// Derivation: by Proposition 3, `C_l/√N ⇒ √(2Γ_l)` with `Γ_l` a sum of
+/// `l` unit exponentials, so `N̂/N = C_l²/(2lN) ⇒ Γ_l/l`, whose variance
+/// is `1/l`. The paper's Table 1 confirms it empirically (variance 0.1 at
+/// l = 10, 0.01 at l = 100), as does its "relative standard deviation of
+/// 10%" remark for l = 100 in §5.3.
+///
+/// # Panics
+///
+/// Panics if `l` is zero.
+#[must_use]
+pub fn sc_relative_mse(l: u32) -> f64 {
+    assert!(l > 0, "l must be positive");
+    1.0 / f64::from(l)
+}
+
+/// Ratio `Γ(l + ½) / Γ(l)`, computed by the recurrence
+/// `r(1) = √π / 2`, `r(l+1) = r(l) · (l + ½)/l`.
+fn gamma_half_ratio(l: u32) -> f64 {
+    let mut r = std::f64::consts::PI.sqrt() / 2.0;
+    for i in 1..l {
+        let i = f64::from(i);
+        r *= (i + 0.5) / i;
+    }
+    r
+}
+
+/// Proposition 3's asymptotic mean of the `l`-th collision time:
+/// `E[C_l] → √(2N) · Γ(l + ½)/Γ(l)` (the mean of `√(2N·Gamma(l, 1))`).
+///
+/// # Panics
+///
+/// Panics if `n` is not positive or `l` is zero.
+#[must_use]
+pub fn expected_collision_time(n: f64, l: u32) -> f64 {
+    assert!(n > 0.0, "system size must be positive");
+    assert!(l > 0, "l must be positive");
+    (2.0 * n).sqrt() * gamma_half_ratio(l)
+}
+
+/// Expected message cost of one Sample & Collide run (§4.3):
+/// `E[C_l] · T · d̄` — each of the `E[C_l]` samples walks for `T·d̄` hops
+/// in expectation.
+///
+/// # Panics
+///
+/// Panics if any argument is not positive.
+#[must_use]
+pub fn sc_expected_messages(n: f64, l: u32, timer: f64, avg_degree: f64) -> f64 {
+    assert!(timer > 0.0, "timer must be positive");
+    assert!(avg_degree > 0.0, "average degree must be positive");
+    expected_collision_time(n, l) * timer * avg_degree
+}
+
+/// Expected message cost of enough Random Tours to match Sample &
+/// Collide's `1/l` relative variance (§4.3's cost comparison): each
+/// tour costs `≈ d̄·N / d_i` messages (we take `d_i = d̄`, i.e. `N`
+/// messages per tour from a typical initiator, times the degree-sum
+/// correction), and `k = rel_var · 2l` tours are needed.
+///
+/// # Panics
+///
+/// Panics if any argument is not positive.
+#[must_use]
+pub fn rt_messages_to_match_sc(n: f64, l: u32, avg_degree: f64, lambda2: f64) -> f64 {
+    assert!(n > 0.0, "system size must be positive");
+    assert!(l > 0, "l must be positive");
+    assert!(avg_degree > 0.0 && lambda2 > 0.0, "graph constants must be positive");
+    let rel_var = 1.0 + 2.0 * avg_degree / lambda2;
+    let runs = rel_var * f64::from(l);
+    runs * n
+}
+
+/// Lemma 1's total-variation bound for the CTRW sample at timer `t`:
+/// `½ √N e^(−λ₂ t)`.
+///
+/// # Panics
+///
+/// Panics if `n` or `lambda2` is not positive, or `t` is negative.
+#[must_use]
+pub fn ctrw_tv_bound(n: f64, lambda2: f64, t: f64) -> f64 {
+    assert!(n > 0.0, "system size must be positive");
+    assert!(lambda2 > 0.0, "spectral gap must be positive");
+    assert!(t >= 0.0, "time must be non-negative");
+    0.5 * n.sqrt() * (-lambda2 * t).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rt_bounds_are_ordered_and_quadratic() {
+        let (lo, hi) = rt_variance_bounds(1_000.0, 7.0, 1.0);
+        assert!(lo < hi);
+        assert!(lo > 900.0 * 900.0, "lower bound is ~N²");
+        assert!(hi < 20.0 * 1_000.0 * 1_000.0, "upper bound is O(N²·d̄/λ₂)");
+    }
+
+    #[test]
+    fn rt_runs_scale_inverse_square_epsilon() {
+        let a = rt_runs_for_accuracy(7.0, 1.0, 0.2, 0.1);
+        let b = rt_runs_for_accuracy(7.0, 1.0, 0.1, 0.1);
+        let ratio = b as f64 / a as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "halving epsilon quadruples runs");
+    }
+
+    #[test]
+    fn sc_mse_matches_paper_table_1() {
+        assert_eq!(sc_relative_mse(1), 1.0);
+        assert_eq!(sc_relative_mse(10), 0.1);
+        assert_eq!(sc_relative_mse(100), 0.01);
+    }
+
+    #[test]
+    fn gamma_ratio_matches_known_values() {
+        // Gamma(1.5)/Gamma(1) = sqrt(pi)/2; Gamma(2.5)/Gamma(2) = 3 sqrt(pi)/4.
+        assert!((gamma_half_ratio(1) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-12);
+        assert!(
+            (gamma_half_ratio(2) - 3.0 * std::f64::consts::PI.sqrt() / 4.0).abs() < 1e-12
+        );
+        // Large-l asymptotics: Gamma(l+1/2)/Gamma(l) ~ sqrt(l).
+        let r = gamma_half_ratio(10_000);
+        assert!((r / 100.0 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn expected_collision_time_scales_as_sqrt_ln() {
+        // E[C_l] ~ sqrt(2 l N) for large l.
+        let e = expected_collision_time(100_000.0, 100);
+        let crude = (2.0_f64 * 100.0 * 100_000.0).sqrt();
+        assert!((e / crude - 1.0).abs() < 0.01, "{e} vs {crude}");
+        // Birthday case: E[C_1] = sqrt(pi N / 2).
+        let e1 = expected_collision_time(10_000.0, 1);
+        let known = (std::f64::consts::PI * 10_000.0 / 2.0).sqrt();
+        assert!((e1 - known).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sc_beats_rt_cost_at_scale() {
+        // §4.3: the cost ratio grows with N and with l.
+        let (n, l, d, gap) = (100_000.0, 100u32, 7.5, 1.0);
+        let sc = sc_expected_messages(n, l, 10.0, d);
+        let rt = rt_messages_to_match_sc(n, l, d, gap);
+        assert!(
+            rt / sc > 50.0,
+            "paper reports orders of magnitude: rt {rt} vs sc {sc}"
+        );
+    }
+
+    #[test]
+    fn tv_bound_decays() {
+        let b1 = ctrw_tv_bound(100_000.0, 2.3, 5.0);
+        let b2 = ctrw_tv_bound(100_000.0, 2.3, 10.0);
+        assert!(b2 < b1 * 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_gap_panics() {
+        let _ = rt_variance_bounds(10.0, 5.0, 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Connectivity and degree-distribution utilities.
+//!
+//! The paper's evaluation always reports the true system size as "that of
+//! the connected component to which the probing node belongs" (§5.1), so
+//! the experiment harness needs fast component queries on overlays that
+//! churn has fragmented.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Identifiers of every node in the connected component containing
+/// `start`, discovered by breadth-first search.
+///
+/// # Panics
+///
+/// Panics if `start` is not alive.
+#[must_use]
+pub fn connected_component(g: &Graph, start: NodeId) -> Vec<NodeId> {
+    assert!(g.is_alive(start), "BFS from dead node {start}");
+    let mut visited = vec![false; g.slot_count()];
+    let mut queue = VecDeque::new();
+    let mut component = Vec::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        component.push(u);
+        for &v in g.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    component
+}
+
+/// Size of the connected component containing `start`.
+///
+/// # Panics
+///
+/// Panics if `start` is not alive.
+#[must_use]
+pub fn component_size(g: &Graph, start: NodeId) -> usize {
+    connected_component(g, start).len()
+}
+
+/// Sizes of all connected components, in decreasing order.
+#[must_use]
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let mut visited = vec![false; g.slot_count()];
+    let mut sizes = Vec::new();
+    for start in g.nodes() {
+        if visited[start.index()] {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        visited[start.index()] = true;
+        queue.push_back(start);
+        let mut size = 0usize;
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Whether all live nodes form a single connected component. An empty
+/// graph is considered connected.
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    match g.nodes().next() {
+        None => true,
+        Some(start) => component_size(g, start) == g.num_nodes(),
+    }
+}
+
+/// BFS distances (in hops) from `start`; dead or unreachable slots map to
+/// `None`. Indexed by [`NodeId::index`].
+///
+/// # Panics
+///
+/// Panics if `start` is not alive.
+#[must_use]
+pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<Option<usize>> {
+    assert!(g.is_alive(start), "BFS from dead node {start}");
+    let mut dist: Vec<Option<usize>> = vec![None; g.slot_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("enqueued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// A lower bound on the diameter of the component containing `start`,
+/// obtained by a double BFS sweep (exact on trees, and a strong heuristic
+/// on the overlay families used here).
+///
+/// # Panics
+///
+/// Panics if `start` is not alive.
+#[must_use]
+pub fn diameter_lower_bound(g: &Graph, start: NodeId) -> usize {
+    let first = bfs_distances(g, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (d, i)))
+        .max()
+        .map(|(_, i)| NodeId::new(i))
+        .expect("start itself has a distance");
+    bfs_distances(g, far)
+        .into_iter()
+        .flatten()
+        .max()
+        .expect("far node has a distance")
+}
+
+/// Counts of each degree value among live nodes; index `d` holds the
+/// number of nodes with degree `d`.
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for n in g.nodes() {
+        hist[g.degree(n)] += 1;
+    }
+    hist
+}
+
+/// Number of live nodes whose degree is strictly greater than `threshold`
+/// — the paper's running example of a non-trivial aggregate (§3).
+#[must_use]
+pub fn count_degree_above(g: &Graph, threshold: usize) -> usize {
+    g.nodes().filter(|&n| g.degree(n) > threshold).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_triangles() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let ids = g.add_nodes(6);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(ids[a], ids[b]).expect("fresh edge");
+        }
+        (g, ids[0], ids[3])
+    }
+
+    #[test]
+    fn component_queries() {
+        let (g, a, b) = two_triangles();
+        assert_eq!(component_size(&g, a), 3);
+        assert_eq!(component_size(&g, b), 3);
+        assert!(!is_connected(&g));
+        assert_eq!(component_sizes(&g), vec![3, 3]);
+        let mut comp = connected_component(&g, a);
+        comp.sort();
+        assert_eq!(comp.iter().map(|n| n.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton_connectivity() {
+        let mut g = Graph::new();
+        assert!(is_connected(&g));
+        let a = g.add_node();
+        assert!(is_connected(&g));
+        assert_eq!(component_size(&g, a), 1);
+        g.add_node();
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, NodeId::new(0));
+        let got: Vec<usize> = d.into_iter().map(|x| x.expect("connected")).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let (mut g, a, b) = two_triangles();
+        g.remove_node(NodeId::new(5)).expect("alive");
+        let d = bfs_distances(&g, a);
+        assert_eq!(d[b.index()], None);
+        assert_eq!(d[a.index()], Some(0));
+    }
+
+    #[test]
+    fn diameter_of_path_is_exact() {
+        let g = generators::path(10);
+        assert_eq!(diameter_lower_bound(&g, NodeId::new(4)), 9);
+    }
+
+    #[test]
+    fn diameter_of_ring() {
+        let g = generators::ring(10);
+        assert_eq!(diameter_lower_bound(&g, NodeId::new(0)), 5);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn count_degree_above_works() {
+        let g = generators::star(5);
+        assert_eq!(count_degree_above(&g, 1), 1);
+        assert_eq!(count_degree_above(&g, 0), 5);
+        assert_eq!(count_degree_above(&g, 4), 0);
+    }
+
+    #[test]
+    fn generated_balanced_graph_mostly_connected() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = generators::balanced(500, 10, &mut rng);
+        let sizes = component_sizes(&g);
+        assert!(sizes[0] > 450, "giant component should dominate: {sizes:?}");
+    }
+}

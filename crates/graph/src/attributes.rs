@@ -1,0 +1,119 @@
+//! Per-node attribute storage for aggregate estimation.
+//!
+//! §3 of the paper generalises peer counting to estimating `Σ_j f(j)` for
+//! arbitrary node functions `f` — e.g. counting peers with degree above a
+//! threshold, or summing upload capacities. [`NodeAttributes`] is the
+//! sparse side table experiments use to attach such per-peer values.
+
+use crate::NodeId;
+
+/// A side table mapping node identifiers to values of type `T`.
+///
+/// Backed by a dense vector indexed by [`NodeId::index`]; absent entries
+/// cost one `Option` discriminant each, which is the right trade-off for
+/// the simulator's dense, never-recycled identifier space.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{attributes::NodeAttributes, NodeId};
+///
+/// let mut caps: NodeAttributes<f64> = NodeAttributes::new();
+/// caps.insert(NodeId::new(3), 12.5);
+/// assert_eq!(caps.get(NodeId::new(3)), Some(&12.5));
+/// assert_eq!(caps.get(NodeId::new(0)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeAttributes<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> NodeAttributes<T> {
+    /// Creates an empty attribute table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Sets the attribute for a node, returning the previous value if any.
+    pub fn insert(&mut self, node: NodeId, value: T) -> Option<T> {
+        let idx = node.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        self.slots[idx].replace(value)
+    }
+
+    /// The attribute of a node, if set.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> Option<&T> {
+        self.slots.get(node.index()).and_then(Option::as_ref)
+    }
+
+    /// Removes and returns the attribute of a node.
+    pub fn remove(&mut self, node: NodeId) -> Option<T> {
+        self.slots.get_mut(node.index()).and_then(Option::take)
+    }
+
+    /// Number of nodes with an attribute set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no node has an attribute set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Iterates over `(node, value)` pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (NodeId::new(i), v)))
+    }
+}
+
+impl<T> FromIterator<(NodeId, T)> for NodeAttributes<T> {
+    fn from_iter<I: IntoIterator<Item = (NodeId, T)>>(iter: I) -> Self {
+        let mut attrs = Self::new();
+        for (node, value) in iter {
+            attrs.insert(node, value);
+        }
+        attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a = NodeAttributes::new();
+        assert!(a.is_empty());
+        assert_eq!(a.insert(NodeId::new(2), "x"), None);
+        assert_eq!(a.insert(NodeId::new(2), "y"), Some("x"));
+        assert_eq!(a.get(NodeId::new(2)), Some(&"y"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove(NodeId::new(2)), Some("y"));
+        assert!(a.is_empty());
+        assert_eq!(a.remove(NodeId::new(100)), None);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let a: NodeAttributes<i32> =
+            [(NodeId::new(5), 50), (NodeId::new(1), 10)].into_iter().collect();
+        let pairs: Vec<_> = a.iter().map(|(n, &v)| (n.index(), v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (5, 50)]);
+    }
+
+    #[test]
+    fn get_beyond_capacity_is_none() {
+        let a: NodeAttributes<u8> = NodeAttributes::new();
+        assert_eq!(a.get(NodeId::new(9)), None);
+    }
+}

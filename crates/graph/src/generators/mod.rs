@@ -1,0 +1,26 @@
+//! Overlay topology generators.
+//!
+//! The paper's evaluation (§5.1) uses two families: *balanced random
+//! graphs* (per-node degrees drawn from 1..=10 with a degree cap, average
+//! degree 7–8) and *scale-free graphs* (Barabási–Albert preferential
+//! attachment). The analysis sections additionally reference Erdős–Rényi
+//! graphs (\[17\]) and k-out random graphs (\[18\]) as examples of expanders,
+//! and Remark 1 builds a counterexample on a regular bipartite graph. The
+//! remaining structured families (rings, tori, hypercubes, stars, ...) are
+//! the standard low- and high-expansion references the test-suite checks
+//! spectral quantities against.
+//!
+//! All generators are deterministic given the caller-supplied RNG, so every
+//! experiment in the repository is reproducible from its seed.
+
+mod balanced;
+mod random_families;
+mod scale_free;
+mod structured;
+
+pub use balanced::balanced;
+pub use random_families::{erdos_renyi, erdos_renyi_mean_degree, k_out, random_regular};
+pub use scale_free::barabasi_albert;
+pub use structured::{
+    complete, complete_bipartite, grid, hypercube, path, regular_bipartite, ring, star, torus,
+};

@@ -1,0 +1,274 @@
+//! Classical random graph families referenced by the paper's analysis.
+
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// Generates an Erdős–Rényi graph `G(n, p)`: each of the `n(n-1)/2`
+/// possible edges is present independently with probability `p`.
+///
+/// Uses geometric edge skipping, so generation is `O(n + |E|)` rather than
+/// `O(n²)` — the paper's analysis cites ER graphs with mean degree
+/// `d ≫ log n` as having expansion `Ω(d)` (\[17\], Thm 5.4), and the
+/// spectral tests exercise that regime at non-trivial sizes.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators::erdos_renyi;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = erdos_renyi(100, 0.1, &mut SmallRng::seed_from_u64(3));
+/// assert_eq!(g.num_nodes(), 100);
+/// ```
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "graph must have at least one node");
+    assert!((0.0..=1.0).contains(&p), "edge probability must lie in [0, 1]");
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+    if p == 0.0 || n == 1 {
+        return g;
+    }
+    if p == 1.0 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(ids[i], ids[j]).expect("fresh complete edge");
+            }
+        }
+        return g;
+    }
+    // Batagelj–Brandes skipping over the lexicographic edge enumeration.
+    let log_q = (1.0 - p).ln();
+    let (mut v, mut w) = (1usize, usize::MAX);
+    while v < n {
+        let r: f64 = rng.random();
+        let skip = ((1.0 - r).ln() / log_q).floor() as usize;
+        w = w.wrapping_add(1 + skip);
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            g.add_edge(ids[v], ids[w]).expect("each pair visited once");
+        }
+    }
+    g
+}
+
+/// Generates `G(n, p)` with `p` chosen so the mean degree is `c`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the implied probability leaves `[0, 1]`.
+pub fn erdos_renyi_mean_degree<R: Rng + ?Sized>(n: usize, c: f64, rng: &mut R) -> Graph {
+    assert!(n >= 2, "mean-degree form needs at least two nodes");
+    erdos_renyi(n, c / (n as f64 - 1.0), rng)
+}
+
+/// Generates a k-out random graph: each node draws `k` distinct targets
+/// uniformly at random and undirected edges are formed by the union of all
+/// choices (mutual choices collapse to a single edge).
+///
+/// The paper cites \[18\] (Ganesh & Xue): for `k ≥ 2` these graphs have
+/// expansion bounded away from zero with high probability, the
+/// "favourable situation" for both estimators.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k >= n`.
+pub fn k_out<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(k > 0, "k must be positive");
+    assert!(k < n, "each node needs k distinct other nodes to choose from");
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+    for &v in &ids {
+        chosen.clear();
+        while chosen.len() < k {
+            let t = ids[rng.random_range(0..n)];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            // A mutual choice may already have created this edge.
+            match g.add_edge(v, t) {
+                Ok(()) | Err(crate::GraphError::DuplicateEdge(_, _)) => {}
+                Err(e) => unreachable!("k-out edge insertion cannot fail otherwise: {e}"),
+            }
+        }
+    }
+    g
+}
+
+/// Generates a random `d`-regular simple graph via the configuration
+/// model: `d` stubs per node are paired uniformly at random and the
+/// pairing is re-drawn until it contains no self-loop or parallel edge.
+///
+/// Rejection keeps the distribution uniform over simple `d`-regular
+/// graphs. The expected number of restarts is `exp((d²-1)/4)` — fine for
+/// the `d ≤ 8` sizes the benchmarks use. Returns an error string if no
+/// simple pairing is found within the attempt budget.
+///
+/// # Errors
+///
+/// Returns an error if `1000` pairings in a row fail to be simple (only
+/// plausible for large `d`).
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd, `d == 0`, or `d >= n`.
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, String> {
+    assert!(d > 0, "degree must be positive");
+    assert!(d < n, "degree must be below node count");
+    assert!((n * d).is_multiple_of(2), "n * d must be even to pair stubs");
+
+    'attempt: for _ in 0..1_000 {
+        let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
+        // Fisher-Yates shuffle, then pair consecutive stubs.
+        for i in (1..stubs.len()).rev() {
+            stubs.swap(i, rng.random_range(0..=i));
+        }
+        let mut g = Graph::with_capacity(n);
+        let ids = g.add_nodes(n);
+        for pair in stubs.chunks_exact(2) {
+            let (a, b) = (ids[pair[0]], ids[pair[1]]);
+            if g.add_edge(a, b).is_err() {
+                continue 'attempt;
+            }
+        }
+        return Ok(g);
+    }
+    Err(format!(
+        "no simple {d}-regular pairing on {n} nodes found within the attempt budget"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_zero_probability_is_empty() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = erdos_renyi(50, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn er_probability_one_is_complete() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn er_edge_count_concentrates() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.num_edges() as f64 - expected).abs() < 6.0 * sd,
+            "edges {} vs expected {expected}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn er_mean_degree_form() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = erdos_renyi_mean_degree(2_000, 10.0, &mut rng);
+        assert!((g.average_degree() - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn er_single_node() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let g = erdos_renyi(1, 0.5, &mut rng);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn k_out_minimum_degree() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = k_out(500, 3, &mut rng);
+        assert!(g.nodes().all(|v| g.degree(v) >= 3));
+        // Union of choices: at most 2k per node on average.
+        assert!(g.average_degree() <= 6.0);
+    }
+
+    #[test]
+    fn k_out_is_connected_for_k2() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = k_out(1_000, 2, &mut rng);
+        assert!(crate::algo::is_connected(&g), "2-out graphs are whp connected");
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = random_regular(100, 4, &mut rng).expect("pairing found");
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn random_regular_d1_is_perfect_matching() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = random_regular(10, 1, &mut rng).expect("pairing found");
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_odd_product_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "lie in [0, 1]")]
+    fn er_bad_probability_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = erdos_renyi(5, 1.5, &mut rng);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn er_simple_graph_invariants(n in 2usize..120, p in 0.0f64..0.3, seed in any::<u64>()) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = erdos_renyi(n, p, &mut rng);
+            for v in g.nodes() {
+                let mut nb = g.neighbors(v).to_vec();
+                nb.sort();
+                nb.dedup();
+                prop_assert_eq!(nb.len(), g.degree(v));
+                prop_assert!(!nb.contains(&v));
+            }
+            let degsum: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degsum, 2 * g.num_edges());
+        }
+
+        #[test]
+        fn k_out_invariants(n in 4usize..150, k in 1usize..4, seed in any::<u64>()) {
+            prop_assume!(k < n);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = k_out(n, k, &mut rng);
+            prop_assert!(g.nodes().all(|v| g.degree(v) >= k));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Barabási–Albert preferential attachment (§5.1, scale-free topology).
+
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// Generates a scale-free random graph by Barabási–Albert preferential
+/// attachment: each arriving node attaches `m` edges to existing nodes
+/// chosen with probability proportional to their current degree, giving
+/// the power-law degree distribution (`P(degree = k) ∝ k^-3`) the paper
+/// uses as its heterogeneous-topology benchmark.
+///
+/// The seed graph is a star on `m + 1` nodes (so every early node already
+/// has positive degree); attachment uses the standard repeated-endpoints
+/// list, and each new node's `m` targets are distinct.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators::barabasi_albert;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = barabasi_albert(500, 3, &mut SmallRng::seed_from_u64(9));
+/// assert_eq!(g.num_nodes(), 500);
+/// // Every non-seed node contributed exactly m = 3 edges.
+/// assert_eq!(g.num_edges(), 3 + (500 - 4) * 3);
+/// ```
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n > m, "need more nodes than attachment edges");
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+
+    // Seed: star on the first m + 1 nodes.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for &leaf in &ids[1..=m] {
+        g.add_edge(ids[0], leaf).expect("fresh star edge");
+        endpoints.push(ids[0]);
+        endpoints.push(leaf);
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for &v in &ids[m + 1..] {
+        targets.clear();
+        // Draw m distinct degree-proportional targets.
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(v, t).expect("new node has no prior edges");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = barabasi_albert(1_000, 3, &mut rng);
+        assert_eq!(g.num_nodes(), 1_000);
+        assert_eq!(g.num_edges(), 3 + (1_000 - 4) * 3);
+    }
+
+    #[test]
+    fn is_connected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = barabasi_albert(2_000, 2, &mut rng);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn hubs_emerge() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = barabasi_albert(5_000, 3, &mut rng);
+        // Scale-free graphs have hubs with degree far above the mean.
+        assert!(g.max_degree() > 10 * g.average_degree() as usize);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = barabasi_albert(20_000, 3, &mut rng);
+        let hist = algo::degree_histogram(&g);
+        let frac = |k: usize| hist.get(k).copied().unwrap_or(0) as f64 / g.num_nodes() as f64;
+        // P(k) ~ 2 m^2 / k^3: the ratio P(3)/P(6) should be near 8.
+        let ratio = frac(3) / frac(6).max(1e-9);
+        assert!(
+            (4.0..16.0).contains(&ratio),
+            "power-law tail ratio {ratio} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = barabasi_albert(500, 4, &mut rng);
+        assert!(g.nodes().all(|v| g.degree(v) >= 4));
+    }
+
+    #[test]
+    fn smallest_valid_instance() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = barabasi_albert(2, 1, &mut rng);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than attachment")]
+    fn n_not_above_m_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be positive")]
+    fn zero_m_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = barabasi_albert(3, 0, &mut rng);
+    }
+}

@@ -1,0 +1,338 @@
+//! Deterministic structured families with known spectra.
+//!
+//! These are the reference topologies the spectral test-suite validates
+//! [`crate::spectral`] against (their Laplacian eigenvalues are closed
+//! form), the low-expansion counterexamples for the ablation benches
+//! (rings and tori mix slowly), and the regular bipartite family used by
+//! the paper's Remark 1 counterexample.
+
+use rand::Rng;
+
+use crate::{Graph, NodeId};
+
+/// A path graph `0 - 1 - ... - n-1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "graph must have at least one node");
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1]).expect("fresh path edge");
+    }
+    g
+}
+
+/// A cycle on `n` nodes. Laplacian gap `2 - 2cos(2π/n)`: the canonical
+/// *bad* expander the paper's bounds degrade on.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least three nodes");
+    let mut g = path(n);
+    g.add_edge(NodeId::new(n - 1), NodeId::new(0)).expect("closing edge is fresh");
+    g
+}
+
+/// The complete graph `K_n`. Laplacian gap `n`: the best possible
+/// expander.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "graph must have at least one node");
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(ids[i], ids[j]).expect("fresh complete edge");
+        }
+    }
+    g
+}
+
+/// A star: node 0 joined to nodes `1..n`. Laplacian gap 1.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "a star needs a centre and at least one leaf");
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+    for &leaf in &ids[1..] {
+        g.add_edge(ids[0], leaf).expect("fresh star edge");
+    }
+    g
+}
+
+/// A `rows × cols` grid with 4-neighbour connectivity (no wraparound).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::with_capacity(rows * cols);
+    let ids = g.add_nodes(rows * cols);
+    let at = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(at(r, c), at(r, c + 1)).expect("fresh grid edge");
+            }
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c)).expect("fresh grid edge");
+            }
+        }
+    }
+    g
+}
+
+/// A `rows × cols` torus (grid with wraparound): the d-dimensional
+/// geometric family whose gossip cost the related-work section quotes.
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3 (wraparound would create
+/// parallel edges).
+#[must_use]
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    let mut g = Graph::with_capacity(rows * cols);
+    let ids = g.add_nodes(rows * cols);
+    let at = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(at(r, c), at(r, (c + 1) % cols)).expect("fresh torus edge");
+            g.add_edge(at(r, c), at((r + 1) % rows, c)).expect("fresh torus edge");
+        }
+    }
+    g
+}
+
+/// The `dim`-dimensional hypercube on `2^dim` nodes. Laplacian gap 2.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `dim > 20`.
+#[must_use]
+pub fn hypercube(dim: usize) -> Graph {
+    assert!(dim > 0, "hypercube dimension must be positive");
+    assert!(dim <= 20, "hypercube beyond 2^20 nodes is outside the design envelope");
+    let n = 1usize << dim;
+    let mut g = Graph::with_capacity(n);
+    let ids = g.add_nodes(n);
+    for v in 0..n {
+        for b in 0..dim {
+            let u = v ^ (1 << b);
+            if v < u {
+                g.add_edge(ids[v], ids[u]).expect("fresh hypercube edge");
+            }
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`. Laplacian gap `min(a, b)`.
+///
+/// # Panics
+///
+/// Panics if either side is empty.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    assert!(a > 0 && b > 0, "both sides must be non-empty");
+    let mut g = Graph::with_capacity(a + b);
+    let ids = g.add_nodes(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            g.add_edge(ids[i], ids[a + j]).expect("fresh bipartite edge");
+        }
+    }
+    g
+}
+
+/// A random `d`-regular bipartite graph on `2 * half` nodes, built as the
+/// union of `d` random perfect matchings between the two sides
+/// (swap-repaired until the union is simple).
+///
+/// This is the family of the paper's Remark 1 counterexample: with
+/// *deterministic* sojourn times, a CTRW on such a graph never mixes
+/// across the bipartition, whereas exponential sojourns do.
+///
+/// # Errors
+///
+/// Returns an error if a matching cannot be repaired into the union
+/// within the pass budget (only plausible when `d` is close to `half`).
+///
+/// # Panics
+///
+/// Panics if `half == 0`, `d == 0`, or `d > half`.
+pub fn regular_bipartite<R: Rng + ?Sized>(
+    half: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, String> {
+    assert!(half > 0, "sides must be non-empty");
+    assert!(d > 0, "degree must be positive");
+    assert!(d <= half, "degree cannot exceed the opposite side's size");
+
+    let mut g = Graph::with_capacity(2 * half);
+    let ids = g.add_nodes(2 * half);
+    for matching in 0..d {
+        // A uniform permutation of the right side, then swap-repair any
+        // assignment that duplicates an earlier matching's edge. (Full
+        // rejection of the whole union succeeds with probability
+        // ~exp(-d(d-1)/2) and is hopeless beyond small d.)
+        let mut perm: Vec<usize> = (0..half).collect();
+        for i in (1..half).rev() {
+            perm.swap(i, rng.random_range(0..=i));
+        }
+        let mut passes = 0;
+        loop {
+            let bad: Vec<usize> = (0..half)
+                .filter(|&l| g.has_edge(ids[l], ids[half + perm[l]]))
+                .collect();
+            if bad.is_empty() {
+                break;
+            }
+            passes += 1;
+            if passes > 200 {
+                return Err(format!(
+                    "could not repair matching {matching} of {d} on 2x{half} nodes"
+                ));
+            }
+            for &l in &bad {
+                let other = rng.random_range(0..half);
+                perm.swap(l, other);
+            }
+        }
+        for (left, &right) in perm.iter().enumerate() {
+            g.add_edge(ids[left], ids[half + right])
+                .expect("repair pass cleared duplicates");
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_and_ring_shapes() {
+        let p = path(5);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.degree(NodeId::new(0)), 1);
+        assert_eq!(p.degree(NodeId::new(2)), 2);
+        let r = ring(5);
+        assert_eq!(r.num_edges(), 5);
+        assert!(r.nodes().all(|v| r.degree(v) == 2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn single_node_complete() {
+        let g = complete(1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(NodeId::new(0)), 6);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // Edges: 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8.
+        assert_eq!(g.num_edges(), 17);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn degenerate_grid_is_path() {
+        let g = grid(1, 6);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 2 * 20);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.num_nodes(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(algo::diameter_lower_bound(&g, NodeId::new(0)), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+        assert_eq!(g.degree(NodeId::new(4)), 2);
+    }
+
+    #[test]
+    fn regular_bipartite_is_regular_and_bipartite() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let half = 20;
+        let g = regular_bipartite(half, 3, &mut rng).expect("simple union found");
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        // No edge inside either side.
+        for (a, b) in g.edges() {
+            assert!(
+                (a.index() < half) != (b.index() < half),
+                "edge {a}-{b} stays within one side"
+            );
+        }
+    }
+
+    #[test]
+    fn regular_bipartite_full_degree_is_complete_bipartite() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = regular_bipartite(3, 3, &mut rng).expect("K_{3,3} is the only option");
+        assert_eq!(g.num_edges(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three nodes")]
+    fn tiny_ring_panics() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_torus_panics() {
+        let _ = torus(2, 5);
+    }
+}

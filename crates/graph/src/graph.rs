@@ -1,0 +1,550 @@
+//! Dynamic undirected overlay graph.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::NodeId;
+
+/// Error returned by fallible [`Graph`] mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// The edge would connect a node to itself.
+    SelfLoop(NodeId),
+    /// The edge already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// One endpoint does not exist or has departed.
+    DeadNode(NodeId),
+    /// The edge to remove does not exist.
+    MissingEdge(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(n) => write!(f, "self-loop at {n} is not allowed"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "edge {a}-{b} already exists"),
+            GraphError::DeadNode(n) => write!(f, "node {n} is not alive"),
+            GraphError::MissingEdge(a, b) => write!(f, "edge {a}-{b} does not exist"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An undirected graph with dynamic membership, modelling a peer-to-peer
+/// overlay.
+///
+/// Design choices follow the needs of the paper's algorithms:
+///
+/// - **Adjacency lists** give the O(1) "forward to a uniformly random
+///   neighbour" primitive every random walk step performs.
+/// - **No self-loops or parallel edges**, matching the overlay model.
+/// - **Node slots are never recycled** (see [`NodeId`]); departed nodes
+///   remain as dead slots. Iteration and uniform node choice skip them.
+/// - **Departures do not trigger repair**: as in §5.1 of the paper,
+///   "the remaining nodes that lose neighbors do not search for new ones",
+///   so churn can disconnect the overlay; size estimation then refers to
+///   the probing node's connected component.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b)?;
+/// assert_eq!(g.degree(a), 1);
+/// assert_eq!(g.num_edges(), 1);
+/// # Ok::<(), census_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    alive: Vec<bool>,
+    num_alive: usize,
+    num_edges: usize,
+}
+
+/// Structural equality: same slot count, same live slots, same edge
+/// *sets* — adjacency-list ordering (an implementation detail perturbed
+/// by `swap_remove` during churn) does not participate.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        if self.alive != other.alive || self.num_edges != other.num_edges {
+            return false;
+        }
+        self.nodes().all(|v| {
+            let mut a = self.adjacency[v.index()].clone();
+            let mut b = other.adjacency[v.index()].clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        })
+    }
+}
+
+impl Eq for Graph {}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `n` nodes.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            adjacency: Vec::with_capacity(n),
+            alive: Vec::with_capacity(n),
+            num_alive: 0,
+            num_edges: 0,
+        }
+    }
+
+    /// Adds an isolated node and returns its identifier.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        self.alive.push(true);
+        self.num_alive += 1;
+        id
+    }
+
+    /// Adds `n` isolated nodes, returning their identifiers.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Whether `node` exists and has not departed.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_alive
+    }
+
+    /// Number of edges between live nodes.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Total node slots ever allocated, including departed ones. This is
+    /// the exclusive upper bound on [`NodeId::index`] values.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Degree of a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        assert!(self.is_alive(node), "degree of dead node {node}");
+        self.adjacency[node.index()].len()
+    }
+
+    /// Neighbour list of a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        assert!(self.is_alive(node), "neighbors of dead node {node}");
+        &self.adjacency[node.index()]
+    }
+
+    /// Whether the edge `a`-`b` exists between live nodes.
+    #[must_use]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.is_alive(a) || !self.is_alive(b) {
+            return false;
+        }
+        // Scan the shorter list.
+        let (u, v) = if self.adjacency[a.index()].len() <= self.adjacency[b.index()].len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.adjacency[u.index()].contains(&v)
+    }
+
+    /// Inserts the undirected edge `a`-`b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `a == b`,
+    /// [`GraphError::DeadNode`] if either endpoint is not alive, and
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if !self.is_alive(a) {
+            return Err(GraphError::DeadNode(a));
+        }
+        if !self.is_alive(b) {
+            return Err(GraphError::DeadNode(b));
+        }
+        if self.has_edge(a, b) {
+            return Err(GraphError::DuplicateEdge(a, b));
+        }
+        self.adjacency[a.index()].push(b);
+        self.adjacency[b.index()].push(a);
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `a`-`b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DeadNode`] if either endpoint is not alive and
+    /// [`GraphError::MissingEdge`] if the edge does not exist.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        if !self.is_alive(a) {
+            return Err(GraphError::DeadNode(a));
+        }
+        if !self.is_alive(b) {
+            return Err(GraphError::DeadNode(b));
+        }
+        if !self.has_edge(a, b) {
+            return Err(GraphError::MissingEdge(a, b));
+        }
+        Self::detach(&mut self.adjacency, a, b);
+        Self::detach(&mut self.adjacency, b, a);
+        self.num_edges -= 1;
+        Ok(())
+    }
+
+    fn detach(adjacency: &mut [Vec<NodeId>], from: NodeId, target: NodeId) {
+        let list = &mut adjacency[from.index()];
+        let pos = list
+            .iter()
+            .position(|&n| n == target)
+            .expect("edge presence was checked");
+        list.swap_remove(pos);
+    }
+
+    /// Removes a node and all its incident edges. The identifier becomes
+    /// permanently dead. Neighbours are *not* rewired (§5.1 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DeadNode`] if the node is not alive.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), GraphError> {
+        if !self.is_alive(node) {
+            return Err(GraphError::DeadNode(node));
+        }
+        let neighbors = std::mem::take(&mut self.adjacency[node.index()]);
+        self.num_edges -= neighbors.len();
+        for n in neighbors {
+            Self::detach(&mut self.adjacency, n, node);
+        }
+        self.alive[node.index()] = false;
+        self.num_alive -= 1;
+        Ok(())
+    }
+
+    /// Iterates over the identifiers of live nodes in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &alive)| alive)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Iterates over edges as `(a, b)` pairs with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.adjacency[a.index()]
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Picks a live node uniformly at random.
+    ///
+    /// Returns `None` on an empty graph. Uses rejection over slots, falling
+    /// back to a linear scan when fewer than one slot in 64 is alive, so it
+    /// stays O(1) expected in all the simulation regimes.
+    pub fn random_node<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.num_alive == 0 {
+            return None;
+        }
+        let slots = self.adjacency.len();
+        if self.num_alive * 64 >= slots {
+            loop {
+                let i = rng.random_range(0..slots);
+                if self.alive[i] {
+                    return Some(NodeId::new(i));
+                }
+            }
+        }
+        let k = rng.random_range(0..self.num_alive);
+        self.nodes().nth(k)
+    }
+
+    /// Picks a uniformly random neighbour of a live node, or `None` for an
+    /// isolated node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive.
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        assert!(self.is_alive(node), "random neighbor of dead node {node}");
+        let list = &self.adjacency[node.index()];
+        if list.is_empty() {
+            None
+        } else {
+            Some(list[rng.random_range(0..list.len())])
+        }
+    }
+
+    /// Sum of degrees over live nodes (equals `2 * num_edges`).
+    #[must_use]
+    pub fn degree_sum(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    /// Average degree over live nodes; `NaN` on an empty graph.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.num_alive == 0 {
+            f64::NAN
+        } else {
+            self.degree_sum() as f64 / self.num_alive as f64
+        }
+    }
+
+    /// Largest degree over live nodes; zero on an empty graph.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|n| self.degree(n)).max().unwrap_or(0)
+    }
+}
+
+/// Stable on-disk shape of a [`Graph`] snapshot: total slot count, dead
+/// slot indices, and edges. Used by the serde impls so the wire format is
+/// independent of the in-memory adjacency layout.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct GraphSnapshot {
+    slots: usize,
+    dead: Vec<u32>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl serde::Serialize for Graph {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let snapshot = GraphSnapshot {
+            slots: self.slot_count(),
+            dead: (0..self.slot_count() as u32)
+                .filter(|&i| !self.is_alive(NodeId::new(i as usize)))
+                .collect(),
+            edges: self
+                .edges()
+                .map(|(a, b)| (a.index() as u32, b.index() as u32))
+                .collect(),
+        };
+        snapshot.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Graph {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error as _;
+        let snapshot = GraphSnapshot::deserialize(deserializer)?;
+        let mut g = Graph::with_capacity(snapshot.slots);
+        g.add_nodes(snapshot.slots);
+        for i in snapshot.dead {
+            let node = NodeId::new(i as usize);
+            if !g.is_alive(node) {
+                return Err(D::Error::custom(format!("invalid dead slot {i}")));
+            }
+            g.remove_node(node).expect("liveness was just checked");
+        }
+        for (a, b) in snapshot.edges {
+            g.add_edge(NodeId::new(a as usize), NodeId::new(b as usize))
+                .map_err(|e| D::Error::custom(format!("invalid edge {a}-{b}: {e}")))?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).expect("fresh edge");
+        g.add_edge(b, c).expect("fresh edge");
+        g.add_edge(c, a).expect("fresh edge");
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.average_degree().is_nan());
+        assert_eq!(g.nodes().count(), 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(g.random_node(&mut rng), None);
+    }
+
+    #[test]
+    fn add_and_query() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(a), 2);
+        assert!(g.has_edge(a, b));
+        assert!(g.has_edge(b, a));
+        assert!(!g.has_edge(a, a));
+        assert_eq!(g.degree_sum(), 6);
+        assert_eq!(g.average_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(a, b), (a, c), (b, c)]);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let (mut g, a, b, _) = triangle();
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge(a, b)));
+        assert_eq!(g.add_edge(b, a), Err(GraphError::DuplicateEdge(b, a)));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_dead_endpoints() {
+        let (mut g, a, b, c) = triangle();
+        g.remove_node(c).expect("alive");
+        assert_eq!(g.add_edge(a, c), Err(GraphError::DeadNode(c)));
+        assert_eq!(g.remove_edge(c, a), Err(GraphError::DeadNode(c)));
+        assert_eq!(g.remove_node(c), Err(GraphError::DeadNode(c)));
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(a, c));
+    }
+
+    #[test]
+    fn remove_edge() {
+        let (mut g, a, b, c) = triangle();
+        g.remove_edge(a, b).expect("edge exists");
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(
+            g.remove_edge(a, b),
+            Err(GraphError::MissingEdge(a, b)),
+            "double removal fails"
+        );
+        assert!(g.has_edge(b, c));
+    }
+
+    #[test]
+    fn remove_node_clears_incident_edges() {
+        let (mut g, a, b, c) = triangle();
+        g.remove_node(a).expect("alive");
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.is_alive(a));
+        assert_eq!(g.degree(b), 1);
+        assert_eq!(g.neighbors(b), &[c]);
+        // Slot is not recycled.
+        let d = g.add_node();
+        assert_ne!(d, a);
+        assert_eq!(g.slot_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead node")]
+    fn degree_of_dead_node_panics() {
+        let (mut g, a, _, _) = triangle();
+        g.remove_node(a).expect("alive");
+        let _ = g.degree(a);
+    }
+
+    #[test]
+    fn random_node_is_alive_and_covers_all() {
+        let (mut g, a, _, _) = triangle();
+        g.remove_node(a).expect("alive");
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let n = g.random_node(&mut rng).expect("non-empty");
+            assert!(g.is_alive(n));
+            seen.insert(n);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn random_node_sparse_alive_fallback() {
+        let mut g = Graph::new();
+        let ids = g.add_nodes(1000);
+        for &n in &ids[..990] {
+            g.remove_node(n).expect("alive");
+        }
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let n = g.random_node(&mut rng).expect("ten nodes remain");
+            assert!(g.is_alive(n));
+        }
+    }
+
+    #[test]
+    fn random_neighbor_none_for_isolated() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(g.random_neighbor(a, &mut rng), None);
+    }
+
+    #[test]
+    fn random_neighbor_uniform_over_list() {
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let leaves = g.add_nodes(4);
+        for &l in &leaves {
+            g.add_edge(hub, l).expect("fresh edge");
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 40_000;
+        for _ in 0..trials {
+            let n = g.random_neighbor(hub, &mut rng).expect("has neighbors");
+            *counts.entry(n).or_insert(0u32) += 1;
+        }
+        for &l in &leaves {
+            let f = f64::from(counts[&l]) / f64::from(trials);
+            assert!((f - 0.25).abs() < 0.02, "leaf frequency {f} far from 1/4");
+        }
+    }
+}

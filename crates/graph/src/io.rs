@@ -1,0 +1,224 @@
+//! Overlay snapshot I/O.
+//!
+//! Two interchange formats for [`Graph`] snapshots:
+//!
+//! - a line-oriented **edge-list** text format (`write_edge_list` /
+//!   `read_edge_list`) for quick inspection and interop with graph tools;
+//! - **serde** support on [`Graph`] itself (via a stable `{slots, dead,
+//!   edges}` representation), so experiments can checkpoint overlays with
+//!   any serde format.
+//!
+//! Both formats preserve dead (departed) node slots: identifiers are
+//! never recycled (see [`crate::NodeId`]), and a faithful snapshot must
+//! keep the slot numbering intact.
+
+use std::io::{self, BufRead, Write};
+
+use crate::{Graph, NodeId};
+
+/// Magic first line of the edge-list format.
+const HEADER: &str = "# overlay-census edge list v1";
+
+/// Writes a graph snapshot in the edge-list text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{generators, io};
+///
+/// let g = generators::ring(4);
+/// let mut buf = Vec::new();
+/// io::write_edge_list(&g, &mut buf)?;
+/// let restored = io::read_edge_list(&buf[..])?;
+/// assert_eq!(g, restored);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "slots {}", g.slot_count())?;
+    for i in 0..g.slot_count() {
+        if !g.is_alive(NodeId::new(i)) {
+            writeln!(w, "dead {i}")?;
+        }
+    }
+    for (a, b) in g.edges() {
+        writeln!(w, "edge {} {}", a.index(), b.index())?;
+    }
+    Ok(())
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads a graph snapshot written by [`write_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on any malformed line, unknown
+/// directive, out-of-range index, duplicate edge, or edge touching a dead
+/// slot, in addition to propagating reader errors.
+pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
+    let mut lines = r.lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| bad_data("empty input".into()))??;
+    if first.trim() != HEADER {
+        return Err(bad_data(format!("missing header, got {first:?}")));
+    }
+    let mut graph: Option<Graph> = None;
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("non-empty line has a token");
+        match directive {
+            "slots" => {
+                if graph.is_some() {
+                    return Err(bad_data("duplicate slots directive".into()));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| bad_data("slots needs a count".into()))?
+                    .parse()
+                    .map_err(|e| bad_data(format!("bad slot count: {e}")))?;
+                let mut g = Graph::with_capacity(n);
+                g.add_nodes(n);
+                graph = Some(g);
+            }
+            "dead" => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| bad_data("dead before slots".into()))?;
+                let i: usize = parts
+                    .next()
+                    .ok_or_else(|| bad_data("dead needs an index".into()))?
+                    .parse()
+                    .map_err(|e| bad_data(format!("bad dead index: {e}")))?;
+                if i >= g.slot_count() {
+                    return Err(bad_data(format!("dead index {i} out of range")));
+                }
+                g.remove_node(NodeId::new(i))
+                    .map_err(|e| bad_data(format!("cannot kill slot {i}: {e}")))?;
+            }
+            "edge" => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| bad_data("edge before slots".into()))?;
+                let mut idx = || -> io::Result<usize> {
+                    parts
+                        .next()
+                        .ok_or_else(|| bad_data("edge needs two endpoints".into()))?
+                        .parse()
+                        .map_err(|e| bad_data(format!("bad endpoint: {e}")))
+                };
+                let (a, b) = (idx()?, idx()?);
+                if a >= g.slot_count() || b >= g.slot_count() {
+                    return Err(bad_data(format!("edge {a}-{b} out of range")));
+                }
+                g.add_edge(NodeId::new(a), NodeId::new(b))
+                    .map_err(|e| bad_data(format!("invalid edge {a}-{b}: {e}")))?;
+            }
+            other => {
+                return Err(bad_data(format!("unknown directive {other:?}")));
+            }
+        }
+    }
+    graph.ok_or_else(|| bad_data("no slots directive".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut g = generators::balanced(100, 10, &mut rng);
+        g.remove_node(NodeId::new(7)).expect("alive");
+        g.remove_node(NodeId::new(42)).expect("alive");
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        let restored = read_edge_list(&buf[..]).expect("read");
+        assert_eq!(g, restored);
+        assert!(!restored.is_alive(NodeId::new(7)));
+        assert_eq!(restored.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = Graph::new();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).expect("write");
+        assert_eq!(read_edge_list(&buf[..]).expect("read"), g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("{HEADER}\n\n# a comment\nslots 2\nedge 0 1\n");
+        let g = read_edge_list(text.as_bytes()).expect("read");
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_edge_list("slots 2\n".as_bytes()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_edge_out_of_range() {
+        let text = format!("{HEADER}\nslots 2\nedge 0 5\n");
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let text = format!("{HEADER}\nslots 2\nedge 0 1\nedge 1 0\n");
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop_and_dead_endpoint() {
+        let loop_text = format!("{HEADER}\nslots 2\nedge 1 1\n");
+        assert!(read_edge_list(loop_text.as_bytes()).is_err());
+        let dead_text = format!("{HEADER}\nslots 2\ndead 0\nedge 0 1\n");
+        assert!(read_edge_list(dead_text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let text = format!("{HEADER}\nslots 1\nfrobnicate 3\n");
+        assert!(read_edge_list(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_via_json() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut g = generators::erdos_renyi(30, 0.2, &mut rng);
+        if g.num_nodes() > 1 {
+            let victim = g.nodes().nth(1).expect("second node exists");
+            g.remove_node(victim).expect("alive");
+        }
+        let json = serde_json::to_string(&g).expect("serialize");
+        let back: Graph = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn serde_rejects_corrupt_snapshots() {
+        // An edge referencing a dead slot must not deserialize.
+        let json = r#"{"slots":2,"dead":[1],"edges":[[0,1]]}"#;
+        assert!(serde_json::from_str::<Graph>(json).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Overlay graph substrate for the overlay-census reproduction.
+//!
+//! The paper (Massoulié et al., PODC 2006) models a peer-to-peer overlay as
+//! an undirected graph in which each peer knows only its neighbours. This
+//! crate provides:
+//!
+//! - [`Graph`]: a dynamic undirected graph supporting the node joins and
+//!   uniform node departures of the paper's §5.3 churn scenarios. Node
+//!   identities are never recycled, so sample-collision semantics stay
+//!   sound across membership changes.
+//! - [`Topology`]: the minimal neighbour-oracle interface the random walk
+//!   engines need — a walker only ever asks a node for its degree and for a
+//!   uniformly random neighbour, exactly the locality constraint of an
+//!   overlay protocol.
+//! - [`generators`]: the two evaluation topologies of §5.1 (balanced random
+//!   graphs with degrees in 1..=10 and Barabási–Albert scale-free graphs)
+//!   plus the analytical reference families (Erdős–Rényi, k-out, random
+//!   regular, rings/tori, hypercubes, bipartite regular for Remark 1, ...).
+//! - [`spectral`]: the Laplacian spectral gap λ₂ and conductance tooling
+//!   that the paper's accuracy bounds (Prop. 2, Lemma 1, Cheeger
+//!   inequality) are stated in terms of.
+//! - [`algo`]: connectivity and degree-distribution utilities (the paper
+//!   always reports sizes relative to the probing node's connected
+//!   component).
+//!
+//! # Examples
+//!
+//! ```
+//! use census_graph::generators;
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let g = generators::balanced(1_000, 10, &mut rng);
+//! assert_eq!(g.num_nodes(), 1_000);
+//! let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+//! assert!((6.0..9.0).contains(&avg), "paper reports average degree 7-8");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod attributes;
+pub mod generators;
+pub mod io;
+pub mod metrics;
+pub mod spectral;
+
+mod graph;
+mod node;
+mod topology;
+
+pub use graph::{Graph, GraphError};
+pub use node::NodeId;
+pub use topology::Topology;

@@ -1,0 +1,185 @@
+//! Topology metrics beyond degrees and components.
+//!
+//! Standard descriptive statistics of overlay structure used throughout
+//! the P2P measurement literature: the local/global clustering
+//! coefficients and the degree assortativity. The test-suite uses them
+//! to characterise the §5.1 generator outputs (balanced graphs are
+//! locally tree-like; BA graphs are degree-disassortative), and they let
+//! downstream users sanity-check their own overlays before estimating
+//! over them.
+
+use crate::{Graph, NodeId};
+
+/// Local clustering coefficient of `node`: the fraction of its
+/// neighbour pairs that are themselves adjacent. Zero for degree < 2.
+///
+/// # Panics
+///
+/// Panics if the node is not alive.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{generators, metrics, NodeId};
+///
+/// let g = generators::complete(4);
+/// assert_eq!(metrics::local_clustering(&g, NodeId::new(0)), 1.0);
+/// ```
+#[must_use]
+pub fn local_clustering(g: &Graph, node: NodeId) -> f64 {
+    let neighbors = g.neighbors(node);
+    let d = neighbors.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Average local clustering coefficient over live nodes (the
+/// Watts–Strogatz form); `NaN` on an empty graph.
+#[must_use]
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.num_nodes() == 0 {
+        return f64::NAN;
+    }
+    g.nodes().map(|v| local_clustering(g, v)).sum::<f64>() / g.num_nodes() as f64
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 × #triangles / #connected-triples`. `NaN` when the graph has no
+/// connected triple.
+#[must_use]
+pub fn transitivity(g: &Graph) -> f64 {
+    let mut triangles3 = 0u64; // every triangle counted once per corner
+    let mut triples = 0u64;
+    for v in g.nodes() {
+        let d = g.degree(v) as u64;
+        triples += d * d.saturating_sub(1) / 2;
+        let neighbors = g.neighbors(v);
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                if g.has_edge(a, b) {
+                    triangles3 += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        f64::NAN
+    } else {
+        triangles3 as f64 / triples as f64
+    }
+}
+
+/// Degree assortativity: the Pearson correlation of the degrees at the
+/// two ends of an edge (Newman's `r`). Positive for social-network-like
+/// mixing, negative for hub-and-spoke (BA) topologies, `NaN` when all
+/// degrees are equal or there are no edges.
+#[must_use]
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    if g.num_edges() == 0 {
+        return f64::NAN;
+    }
+    // Over directed edge endpoints (each undirected edge twice, which
+    // symmetrises the correlation).
+    let (mut s1, mut sx, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (a, b) in g.edges() {
+        let (da, db) = (g.degree(a) as f64, g.degree(b) as f64);
+        for (x, y) in [(da, db), (db, da)] {
+            s1 += 1.0;
+            sx += x;
+            sxx += x * x;
+            sxy += x * y;
+        }
+    }
+    let mean = sx / s1;
+    let var = sxx / s1 - mean * mean;
+    if var <= 1e-12 {
+        return f64::NAN;
+    }
+    (sxy / s1 - mean * mean) / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_is_fully_clustered() {
+        let g = generators::complete(6);
+        assert_eq!(average_clustering(&g), 1.0);
+        assert_eq!(transitivity(&g), 1.0);
+    }
+
+    #[test]
+    fn trees_have_zero_clustering() {
+        let g = generators::star(8);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // Triangle a-b-c with pendant d on a: C(a)=1/3, C(b)=C(c)=1, C(d)=0.
+        let mut g = generators::complete(3);
+        let d = g.add_node();
+        g.add_edge(NodeId::new(0), d).expect("fresh edge");
+        assert!((local_clustering(&g, NodeId::new(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, NodeId::new(1)), 1.0);
+        assert_eq!(local_clustering(&g, d), 0.0);
+        // Transitivity: 3 triangles-at-corner... 1 triangle => 3; triples:
+        // a has d=3 -> 3, b,c have d=2 -> 1 each, d -> 0: total 5.
+        assert!((transitivity(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_overlays_are_locally_tree_like() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::balanced(3_000, 10, &mut rng);
+        let c = average_clustering(&g);
+        // Random sparse graphs: clustering ~ d/n, essentially zero.
+        assert!(c < 0.02, "clustering {c}");
+    }
+
+    #[test]
+    fn ba_graphs_are_disassortative() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(3_000, 3, &mut rng);
+        let r = degree_assortativity(&g);
+        assert!(r < -0.01, "BA assortativity should be negative, got {r}");
+    }
+
+    #[test]
+    fn regular_graphs_have_undefined_assortativity() {
+        let g = generators::ring(20);
+        assert!(degree_assortativity(&g).is_nan());
+    }
+
+    #[test]
+    fn star_is_maximally_disassortative() {
+        let g = generators::star(10);
+        let r = degree_assortativity(&g);
+        assert!((r + 1.0).abs() < 1e-9, "star assortativity {r}");
+    }
+
+    #[test]
+    fn empty_graph_metrics_are_nan() {
+        let g = Graph::new();
+        assert!(average_clustering(&g).is_nan());
+        assert!(transitivity(&g).is_nan());
+        assert!(degree_assortativity(&g).is_nan());
+    }
+
+    use crate::Graph;
+}

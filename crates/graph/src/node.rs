@@ -1,0 +1,79 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a peer in an overlay graph.
+///
+/// Identifiers are dense indices assigned at join time and *never
+/// recycled*: a departed peer's identifier stays dead forever. This matters
+/// for the Sample & Collide estimator, whose collision detection compares
+/// sampled identities across time — recycling an identifier could turn two
+/// distinct peers into a phantom collision during churn.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::NodeId;
+///
+/// let n = NodeId::new(42);
+/// assert_eq!(n.index(), 42);
+/// assert_eq!(format!("{n}"), "n42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — overlays beyond four billion
+    /// peers are outside the simulator's design envelope.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// The dense index of this identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(n: NodeId) -> usize {
+        n.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(usize::from(n), 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(3), NodeId::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "fits in u32")]
+    fn oversized_index_panics() {
+        let _ = NodeId::new(usize::MAX);
+    }
+}

@@ -1,0 +1,593 @@
+//! Laplacian spectral quantities.
+//!
+//! Both of the paper's accuracy results are governed by the spectral gap
+//! λ₂ of the graph Laplacian: Proposition 2 bounds the Random Tour
+//! variance by a λ₂ term, and Lemma 1 bounds the CTRW sampling error by
+//! `½ √N e^(−λ₂ T)`. §3.4 connects λ₂ to the isoperimetric constant
+//! (expansion) through Cheeger's inequality. This module computes all
+//! three quantities:
+//!
+//! - [`spectral_gap`] / [`fiedler_vector`]: λ₂ and its eigenvector via
+//!   projected power iteration (matrix-free, works at simulation sizes).
+//! - [`exact_spectrum`]: full Laplacian spectrum by cyclic Jacobi, for
+//!   small graphs — the test oracle for the iterative path.
+//! - [`isoperimetric_sweep`] / [`isoperimetric_exact`]: the expansion
+//!   constant ι(G) = min_{|S| ≤ N/2} e(S, S̄)/|S|, by Fiedler sweep and by
+//!   exhaustive enumeration respectively.
+//! - [`cheeger_bounds`]: the two-sided Cheeger estimate of λ₂ from ι(G).
+//! - [`mixing_timer`]: the timer value `T` that makes the CTRW sample
+//!   ε-close to uniform per Lemma 1.
+
+use crate::{Graph, NodeId};
+
+/// Dense re-indexing of the live nodes of a graph.
+///
+/// Spectral routines work on dense vectors; this maps between live
+/// [`NodeId`]s and positions `0..n`.
+#[derive(Debug, Clone)]
+pub struct DenseIndex {
+    dense_of_slot: Vec<usize>,
+    node_of_dense: Vec<NodeId>,
+}
+
+impl DenseIndex {
+    /// Builds the index for the current live nodes of `g`.
+    #[must_use]
+    pub fn new(g: &Graph) -> Self {
+        let mut dense_of_slot = vec![usize::MAX; g.slot_count()];
+        let mut node_of_dense = Vec::with_capacity(g.num_nodes());
+        for node in g.nodes() {
+            dense_of_slot[node.index()] = node_of_dense.len();
+            node_of_dense.push(node);
+        }
+        Self {
+            dense_of_slot,
+            node_of_dense,
+        }
+    }
+
+    /// Number of live nodes indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.node_of_dense.len()
+    }
+
+    /// Whether the graph had no live nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_of_dense.is_empty()
+    }
+
+    /// Dense position of a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not live when the index was built.
+    #[must_use]
+    pub fn dense(&self, node: NodeId) -> usize {
+        let d = self.dense_of_slot[node.index()];
+        assert!(d != usize::MAX, "node {node} is not in the dense index");
+        d
+    }
+
+    /// Node at a dense position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is out of range.
+    #[must_use]
+    pub fn node(&self, dense: usize) -> NodeId {
+        self.node_of_dense[dense]
+    }
+}
+
+/// Applies the graph Laplacian: `out = L x` where
+/// `(L x)_v = deg(v)·x_v − Σ_{u ~ v} x_u`.
+///
+/// # Panics
+///
+/// Panics if the vector lengths do not match the index size.
+pub fn laplacian_matvec(g: &Graph, idx: &DenseIndex, x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), idx.len(), "input length must match index");
+    assert_eq!(out.len(), idx.len(), "output length must match index");
+    for d in 0..idx.len() {
+        let v = idx.node(d);
+        let mut acc = g.degree(v) as f64 * x[d];
+        for &u in g.neighbors(v) {
+            acc -= x[idx.dense(u)];
+        }
+        out[d] = acc;
+    }
+}
+
+fn project_out_constant(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+fn normalise(x: &mut [f64]) -> f64 {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+    norm
+}
+
+/// Result of the projected power iteration: the spectral gap λ₂ and the
+/// associated (Fiedler) eigenvector over the dense index.
+#[derive(Debug, Clone)]
+pub struct GapEstimate {
+    /// The estimated second-smallest Laplacian eigenvalue λ₂.
+    pub lambda2: f64,
+    /// Unit eigenvector associated with λ₂, in dense-index order.
+    pub fiedler: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+/// Estimates the Laplacian spectral gap λ₂ and Fiedler vector by power
+/// iteration on `cI − L` projected orthogonally to the constant vector,
+/// with `c = 2·max_degree ≥ λ_max(L)`.
+///
+/// Iteration stops when the Rayleigh quotient changes by less than `tol`
+/// between iterations, or after `max_iters`. For graphs with a small gap
+/// between λ₂ and λ₃ (e.g. long rings) convergence is geometric with rate
+/// `(c−λ₃)/(c−λ₂)`; pass a generous `max_iters` there.
+///
+/// Disconnected graphs have λ₂ = 0 and the iteration converges to (near)
+/// zero — callers should treat values below ~1e-6 as "disconnected or
+/// barely connected".
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two live nodes (λ₂ is undefined).
+#[must_use]
+pub fn spectral_gap_with(g: &Graph, max_iters: usize, tol: f64) -> GapEstimate {
+    let idx = DenseIndex::new(g);
+    let n = idx.len();
+    assert!(n >= 2, "spectral gap needs at least two nodes");
+    let c = 2.0 * g.max_degree() as f64;
+    if c == 0.0 {
+        // No edges at all: L = 0, every non-constant vector has eigenvalue 0.
+        let mut fiedler = vec![0.0; n];
+        fiedler[0] = (1.0 - 1.0 / n as f64).sqrt();
+        return GapEstimate {
+            lambda2: 0.0,
+            fiedler,
+            iterations: 0,
+        };
+    }
+
+    // Deterministic, well-spread start vector (orthogonalised below).
+    let mut x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7548776662 + 0.1).sin()).collect();
+    project_out_constant(&mut x);
+    normalise(&mut x);
+    let mut lx = vec![0.0; n];
+    let mut rayleigh_prev = f64::INFINITY;
+    let mut iterations = 0;
+    for it in 1..=max_iters {
+        iterations = it;
+        laplacian_matvec(g, &idx, &x, &mut lx);
+        // y = (cI - L) x
+        for i in 0..n {
+            lx[i] = c * x[i] - lx[i];
+        }
+        project_out_constant(&mut lx);
+        let norm = normalise(&mut lx);
+        std::mem::swap(&mut x, &mut lx);
+        // Rayleigh quotient of (cI - L) equals its top eigenvalue at
+        // convergence; `norm` is that quotient after normalisation.
+        let rayleigh = norm;
+        if (rayleigh - rayleigh_prev).abs() <= tol * rayleigh.abs().max(1.0) {
+            rayleigh_prev = rayleigh;
+            break;
+        }
+        rayleigh_prev = rayleigh;
+    }
+    // One final exact Rayleigh quotient of L for accuracy.
+    laplacian_matvec(g, &idx, &x, &mut lx);
+    let lambda2 = x.iter().zip(&lx).map(|(a, b)| a * b).sum::<f64>();
+    let _ = rayleigh_prev;
+    GapEstimate {
+        lambda2: lambda2.max(0.0),
+        fiedler: x,
+        iterations,
+    }
+}
+
+/// [`spectral_gap_with`] with defaults (`max_iters = 50_000`,
+/// `tol = 1e-12`), returning only λ₂.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two live nodes.
+#[must_use]
+pub fn spectral_gap(g: &Graph) -> f64 {
+    spectral_gap_with(g, 50_000, 1e-12).lambda2
+}
+
+/// The Fiedler vector (eigenvector of λ₂) over [`DenseIndex`] order, via
+/// the same iteration as [`spectral_gap_with`].
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two live nodes.
+#[must_use]
+pub fn fiedler_vector(g: &Graph) -> Vec<f64> {
+    spectral_gap_with(g, 50_000, 1e-12).fiedler
+}
+
+/// Full Laplacian spectrum (ascending) by the cyclic Jacobi method on the
+/// dense Laplacian. Intended as a test oracle; cost is O(n³) per sweep.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or has more than 512 live nodes.
+#[must_use]
+pub fn exact_spectrum(g: &Graph) -> Vec<f64> {
+    let idx = DenseIndex::new(g);
+    let n = idx.len();
+    assert!(n > 0, "spectrum of an empty graph is undefined");
+    assert!(n <= 512, "exact spectrum is a small-graph oracle (n <= 512)");
+
+    // Dense Laplacian.
+    let mut a = vec![0.0f64; n * n];
+    for d in 0..n {
+        let v = idx.node(d);
+        a[d * n + d] = g.degree(v) as f64;
+        for &u in g.neighbors(v) {
+            a[d * n + idx.dense(u)] = -1.0;
+        }
+    }
+
+    // Cyclic Jacobi rotations until off-diagonal mass is negligible.
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off < 1e-22 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Rotation angle zeroing a_pq: tan(2θ) = 2 a_pq / (a_pp − a_qq).
+                let theta = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = theta.sin_cos();
+                // A ← Rᵀ A R with R the Givens rotation in the (p, q) plane.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp + s * akq;
+                    a[k * n + q] = -s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk + s * aqk;
+                    a[q * n + k] = -s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut eig: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+    eig.sort_by(|x, y| x.partial_cmp(y).expect("eigenvalues are finite"));
+    eig
+}
+
+/// The isoperimetric (expansion) constant
+/// `ι(G) = min_{S, |S| ≤ N/2} e(S, S̄) / |S|`
+/// estimated by a sweep cut over the Fiedler ordering.
+///
+/// This is an *upper bound* on ι(G) (every sweep prefix is a candidate
+/// `S`); on the families used here the sweep is near-exact.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than two live nodes.
+#[must_use]
+pub fn isoperimetric_sweep(g: &Graph) -> f64 {
+    let idx = DenseIndex::new(g);
+    let n = idx.len();
+    assert!(n >= 2, "expansion needs at least two nodes");
+    let fiedler = fiedler_vector(g);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| fiedler[a].partial_cmp(&fiedler[b]).expect("finite entries"));
+
+    let mut in_s = vec![false; n];
+    let mut cut = 0usize;
+    let mut best = f64::INFINITY;
+    for (taken, &d) in order.iter().enumerate().take(n - 1) {
+        let v = idx.node(d);
+        let inside = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| in_s[idx.dense(u)])
+            .count();
+        cut = cut + g.degree(v) - 2 * inside;
+        in_s[d] = true;
+        let size = taken + 1;
+        if size <= n / 2 {
+            best = best.min(cut as f64 / size as f64);
+        }
+    }
+    best
+}
+
+/// Exact isoperimetric constant by exhaustive subset enumeration.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 or more than 22 live nodes.
+#[must_use]
+pub fn isoperimetric_exact(g: &Graph) -> f64 {
+    let idx = DenseIndex::new(g);
+    let n = idx.len();
+    assert!((2..=22).contains(&n), "exhaustive expansion needs 2..=22 nodes");
+    // Adjacency bitmasks over dense indices.
+    let masks: Vec<u32> = (0..n)
+        .map(|d| {
+            let v = idx.node(d);
+            g.neighbors(v)
+                .iter()
+                .map(|&u| 1u32 << idx.dense(u))
+                .fold(0, |a, b| a | b)
+        })
+        .collect();
+    let mut best = f64::INFINITY;
+    for s in 1u32..(1 << n) - 1 {
+        let size = s.count_ones() as usize;
+        if size > n / 2 {
+            continue;
+        }
+        let mut cut = 0u32;
+        let mut bits = s;
+        while bits != 0 {
+            let d = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            cut += (masks[d] & !s).count_ones();
+        }
+        best = best.min(f64::from(cut) / size as f64);
+    }
+    best
+}
+
+/// Two-sided Cheeger estimate of λ₂ from the expansion constant ι(G):
+/// `ι² / (2·max_degree) ≤ λ₂ ≤ 2·ι` (Mohar's form used in §3.4).
+///
+/// # Panics
+///
+/// Panics if the graph has no edges.
+#[must_use]
+pub fn cheeger_bounds(g: &Graph, iota: f64) -> (f64, f64) {
+    let dmax = g.max_degree();
+    assert!(dmax > 0, "Cheeger bounds need at least one edge");
+    (iota * iota / (2.0 * dmax as f64), 2.0 * iota)
+}
+
+/// The CTRW timer value `T` guaranteeing total-variation distance at most
+/// `eps` from uniform, per Lemma 1: `T = ln(√N / (2 eps)) / λ₂`.
+///
+/// # Panics
+///
+/// Panics if `eps` or `lambda2` is not positive, or `n == 0`.
+#[must_use]
+pub fn mixing_timer(n: usize, lambda2: f64, eps: f64) -> f64 {
+    assert!(n > 0, "mixing timer needs a non-empty overlay");
+    assert!(eps > 0.0, "target accuracy must be positive");
+    assert!(lambda2 > 0.0, "mixing requires a positive spectral gap");
+    ((n as f64).sqrt() / (2.0 * eps)).ln().max(0.0) / lambda2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() < tol, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn complete_graph_gap_is_n() {
+        let g = generators::complete(8);
+        assert_close(spectral_gap(&g), 8.0, 1e-6, "K_8 gap");
+    }
+
+    #[test]
+    fn star_gap_is_one() {
+        let g = generators::star(9);
+        assert_close(spectral_gap(&g), 1.0, 1e-6, "star gap");
+    }
+
+    #[test]
+    fn ring_gap_matches_closed_form() {
+        let n = 24;
+        let g = generators::ring(n);
+        let expected = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert_close(spectral_gap(&g), expected, 1e-6, "ring gap");
+    }
+
+    #[test]
+    fn path_gap_matches_closed_form() {
+        let n = 16;
+        let g = generators::path(n);
+        let expected = 2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos();
+        assert_close(spectral_gap(&g), expected, 1e-6, "path gap");
+    }
+
+    #[test]
+    fn hypercube_gap_is_two() {
+        let g = generators::hypercube(4);
+        assert_close(spectral_gap(&g), 2.0, 1e-6, "hypercube gap");
+    }
+
+    #[test]
+    fn complete_bipartite_gap_is_min_side() {
+        let g = generators::complete_bipartite(3, 5);
+        assert_close(spectral_gap(&g), 3.0, 1e-6, "K_{3,5} gap");
+    }
+
+    #[test]
+    fn disconnected_graph_gap_is_zero() {
+        let mut g = generators::complete(4);
+        let extra = g.add_node();
+        let _ = extra;
+        assert!(spectral_gap(&g) < 1e-6);
+    }
+
+    #[test]
+    fn edgeless_graph_gap_is_zero() {
+        let mut g = Graph::new();
+        g.add_nodes(3);
+        assert_eq!(spectral_gap(&g), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_gap_panics() {
+        let mut g = Graph::new();
+        g.add_node();
+        let _ = spectral_gap(&g);
+    }
+
+    #[test]
+    fn exact_spectrum_of_complete_graph() {
+        let g = generators::complete(5);
+        let eig = exact_spectrum(&g);
+        assert_close(eig[0], 0.0, 1e-9, "kernel");
+        for &e in &eig[1..] {
+            assert_close(e, 5.0, 1e-8, "K_5 eigenvalue");
+        }
+    }
+
+    #[test]
+    fn exact_spectrum_of_star() {
+        // Star S_n Laplacian spectrum: {0, 1 (n-2 times), n}.
+        let g = generators::star(6);
+        let eig = exact_spectrum(&g);
+        assert_close(eig[0], 0.0, 1e-9, "kernel");
+        for &e in &eig[1..5] {
+            assert_close(e, 1.0, 1e-8, "leaf eigenvalue");
+        }
+        assert_close(eig[5], 6.0, 1e-8, "top eigenvalue");
+    }
+
+    #[test]
+    fn power_iteration_agrees_with_jacobi_on_random_graph() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = generators::erdos_renyi(40, 0.2, &mut rng);
+        let eig = exact_spectrum(&g);
+        let gap = spectral_gap(&g);
+        assert_close(gap, eig[1], 1e-5, "lambda_2");
+    }
+
+    #[test]
+    fn fiedler_vector_splits_barbell() {
+        // Two K_5's joined by one edge: the Fiedler vector separates them.
+        let mut g = Graph::new();
+        let ids = g.add_nodes(10);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                g.add_edge(ids[i], ids[j]).expect("fresh edge");
+                g.add_edge(ids[i + 5], ids[j + 5]).expect("fresh edge");
+            }
+        }
+        g.add_edge(ids[0], ids[5]).expect("bridge");
+        let f = fiedler_vector(&g);
+        let left: f64 = f[..5].iter().sum::<f64>() / 5.0;
+        let right: f64 = f[5..].iter().sum::<f64>() / 5.0;
+        assert!(left * right < 0.0, "sides have opposite Fiedler sign");
+    }
+
+    #[test]
+    fn sweep_finds_barbell_bottleneck() {
+        let mut g = Graph::new();
+        let ids = g.add_nodes(12);
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                g.add_edge(ids[i], ids[j]).expect("fresh edge");
+                g.add_edge(ids[i + 6], ids[j + 6]).expect("fresh edge");
+            }
+        }
+        g.add_edge(ids[0], ids[6]).expect("bridge");
+        // Best cut: one clique vs the other -> 1 edge / 6 nodes.
+        assert_close(isoperimetric_sweep(&g), 1.0 / 6.0, 1e-9, "barbell expansion");
+        assert_close(isoperimetric_exact(&g), 1.0 / 6.0, 1e-9, "exact expansion");
+    }
+
+    #[test]
+    fn exact_expansion_of_complete_graph() {
+        // K_n: subset of size s cuts s(n-s) edges; min over s<=n/2 at s=n/2.
+        let g = generators::complete(6);
+        assert_close(isoperimetric_exact(&g), 3.0, 1e-9, "K_6 expansion");
+    }
+
+    #[test]
+    fn exact_expansion_of_ring() {
+        // Ring: best S is a contiguous arc, cut 2, size n/2.
+        let g = generators::ring(10);
+        assert_close(isoperimetric_exact(&g), 2.0 / 5.0, 1e-9, "C_10 expansion");
+        let sweep = isoperimetric_sweep(&g);
+        assert!(sweep >= 2.0 / 5.0 - 1e-9, "sweep upper-bounds exact");
+        assert!(sweep <= 2.0 / 5.0 + 1e-6, "sweep is near-exact on the ring");
+    }
+
+    #[test]
+    fn cheeger_sandwich_holds() {
+        for g in [
+            generators::ring(12),
+            generators::complete(8),
+            generators::hypercube(3),
+            generators::star(9),
+        ] {
+            let iota = isoperimetric_exact(&g);
+            let (lo, hi) = cheeger_bounds(&g, iota);
+            let gap = spectral_gap(&g);
+            assert!(
+                lo - 1e-9 <= gap && gap <= hi + 1e-9,
+                "Cheeger violated: {lo} <= {gap} <= {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixing_timer_scales_inversely_with_gap() {
+        let t1 = mixing_timer(10_000, 1.0, 0.01);
+        let t2 = mixing_timer(10_000, 2.0, 0.01);
+        assert_close(t1 / t2, 2.0, 1e-9, "timer ratio");
+        // Paper §5.2.1: T=10 consistent with lambda_2 >= 2.3 at N=100k, eps~1/N... the
+        // order of magnitude should match ln(sqrt(N)/2eps)/lambda_2.
+        let t = mixing_timer(100_000, 2.3, 0.01);
+        assert!((3.0..7.0).contains(&t), "paper-scale timer {t}");
+    }
+
+    #[test]
+    fn balanced_graph_is_an_expander() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let g = generators::balanced(400, 10, &mut rng);
+        let gap = spectral_gap_with(&g, 20_000, 1e-12).lambda2;
+        assert!(gap > 0.3, "balanced overlays should have a healthy gap, got {gap}");
+    }
+
+    #[test]
+    fn ring_is_not_an_expander() {
+        let g = generators::ring(400);
+        let gap = spectral_gap_with(&g, 200_000, 1e-14).lambda2;
+        assert!(gap < 0.01, "long rings mix slowly, got {gap}");
+    }
+}

@@ -1,0 +1,139 @@
+//! The neighbour-oracle abstraction walked by the random walk engines.
+
+use rand::RngCore;
+
+use crate::{Graph, NodeId};
+
+/// Local view of an overlay, as seen by a message performing a random walk.
+///
+/// The paper's protocols are strictly local: a message at node `j` can only
+/// learn `j`'s degree and be forwarded to one of `j`'s neighbours chosen
+/// uniformly at random. `Topology` captures exactly that interface, so the
+/// walk, sampling, and estimation crates work unchanged over a static
+/// [`Graph`] or over the churn simulator's dynamic overlay.
+///
+/// The trait is object-safe (randomness is passed as `&mut dyn RngCore`) so
+/// estimators can hold `&dyn Topology` when convenient.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{Graph, Topology};
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b)?;
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// assert_eq!(Topology::degree_of(&g, a), 1);
+/// assert_eq!(g.neighbor_of(a, &mut rng), Some(b));
+/// # Ok::<(), census_graph::GraphError>(())
+/// ```
+pub trait Topology {
+    /// Number of live peers currently in the overlay. Estimators use this
+    /// only for ground truth in experiments, never inside a protocol.
+    fn peer_count(&self) -> usize;
+
+    /// Whether the peer is currently a live overlay member.
+    fn contains(&self, node: NodeId) -> bool;
+
+    /// Degree of a live peer.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the peer is not alive.
+    fn degree_of(&self, node: NodeId) -> usize;
+
+    /// A uniformly random neighbour of a live peer, or `None` if it is
+    /// isolated.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the peer is not alive.
+    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId>;
+
+    /// A uniformly random live peer, used to pick experiment initiators.
+    /// Returns `None` when the overlay is empty.
+    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId>;
+}
+
+impl Topology for Graph {
+    fn peer_count(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.is_alive(node)
+    }
+
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.degree(node)
+    }
+
+    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.random_neighbor(node, rng)
+    }
+
+    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.random_node(rng)
+    }
+}
+
+impl<T: Topology + ?Sized> Topology for &T {
+    fn peer_count(&self) -> usize {
+        (**self).peer_count()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        (**self).contains(node)
+    }
+
+    fn degree_of(&self, node: NodeId) -> usize {
+        (**self).degree_of(node)
+    }
+
+    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        (**self).neighbor_of(node, rng)
+    }
+
+    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        (**self).any_peer(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_implements_topology() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).expect("fresh edge");
+        let t: &dyn Topology = &g;
+        assert_eq!(t.peer_count(), 2);
+        assert!(t.contains(a));
+        assert!(!t.contains(NodeId::new(9)));
+        assert_eq!(t.degree_of(b), 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(t.neighbor_of(a, &mut rng), Some(b));
+        assert!(t.any_peer(&mut rng).is_some());
+    }
+
+    #[test]
+    fn reference_forwards() {
+        let mut g = Graph::new();
+        g.add_node();
+        fn count<T: Topology>(t: T) -> usize {
+            t.peer_count()
+        }
+        assert_eq!(count(&g), 1);
+        let by_ref: &Graph = &g;
+        assert_eq!(count(by_ref), 1);
+    }
+}

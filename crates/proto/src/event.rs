@@ -1,0 +1,162 @@
+//! The discrete-event queue.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use census_graph::NodeId;
+
+use crate::message::Envelope;
+use crate::sim::OperationId;
+use crate::time::SimTime;
+
+/// Something scheduled to happen at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A message arrives at its destination.
+    Deliver(Envelope),
+    /// A peer departs the overlay (taking any probe it holds with it —
+    /// in-flight messages towards it are dropped at delivery time).
+    Departure(NodeId),
+    /// An initiator's patience for an operation runs out (§5.3.1).
+    Timeout(OperationId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Time first; insertion order breaks ties so runs are
+        // deterministic for a given seed.
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::NodeId;
+/// use census_proto::{Event, EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::new(2.0), Event::Departure(NodeId::new(1)));
+/// q.schedule(SimTime::new(1.0), Event::Departure(NodeId::new(2)));
+/// let (t, _) = q.pop().expect("non-empty");
+/// assert_eq!(t, SimTime::new(1.0));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn departure(i: usize) -> Event {
+        Event::Departure(NodeId::new(i))
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(3.0), departure(3));
+        q.schedule(SimTime::new(1.0), departure(1));
+        q.schedule(SimTime::new(2.0), departure(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_secs())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::new(1.0), departure(i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Departure(n) => n.index(),
+                _ => unreachable!("only departures scheduled"),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty_track_operations() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, departure(0));
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn always_pops_non_decreasing_times(
+            times in proptest::collection::vec(0.0f64..1e6, 1..100),
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::new(t), departure(i % 5));
+            }
+            let mut prev = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= prev);
+                prev = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Message-level protocol simulation of the paper's estimators.
+//!
+//! The algorithm crates (`census-core`, `census-sampling`) execute the
+//! paper's protocols as *function calls* over a neighbour oracle — the
+//! right level for statistical experiments at 100k nodes. This crate
+//! executes them as what they actually are in §3.1 and §4.1: **messages**
+//! hopping between peers, with network latency, concurrent in-flight
+//! operations from many initiators, peers departing while holding a probe
+//! (the §5.3.1 failure mode), and initiator-side timeouts.
+//!
+//! The simulation is a classic discrete-event loop:
+//!
+//! - [`SimTime`]: virtual time; [`Latency`]: per-hop delay model;
+//! - [`Message`]: the paper's two probe formats (a Random Tour probe
+//!   carrying `(initiator, Φ)` and a sampling message carrying
+//!   `(initiator, timer)`) plus the sample reply;
+//! - [`ProtocolSim`]: owns the overlay, the event queue and the pending
+//!   operations; callers launch operations and then
+//!   [`run_until_idle`](ProtocolSim::run_until_idle).
+//!
+//! Determinism: given one seed, event ordering is total (ties broken by
+//! sequence number), so every run is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use census_graph::generators;
+//! use census_proto::{Latency, Outcome, ProtocolSim};
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(5);
+//! let g = generators::balanced(500, 10, &mut rng);
+//! let me = g.nodes().next().expect("non-empty");
+//! let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 7);
+//! let op = sim.launch_random_tour(me, None);
+//! let done = sim.run_until_idle();
+//! assert_eq!(done.len(), 1);
+//! assert_eq!(done[0].op, op);
+//! assert!(matches!(done[0].outcome, Outcome::Estimate(v) if v > 0.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod message;
+mod sim;
+mod time;
+
+pub use event::{Event, EventQueue};
+pub use message::{Envelope, Message};
+pub use sim::{Completion, OperationId, Outcome, ProtocolSim};
+pub use time::{Latency, SimTime};

@@ -1,0 +1,97 @@
+//! The paper's wire messages.
+
+use census_graph::NodeId;
+
+use crate::sim::OperationId;
+
+/// Payloads exchanged by the protocols, as described in §3.1 and §4.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// A Random Tour probe: tagged with the initiator's identity and the
+    /// running counter `Φ` (§3.1 step 1–2). The receiving peer either
+    /// adds `f/d` and forwards it, or — if it *is* the initiator —
+    /// completes the estimate `d_i · Φ`.
+    TourProbe {
+        /// Operation this probe belongs to.
+        op: OperationId,
+        /// The peer that launched the tour.
+        initiator: NodeId,
+        /// Accumulated counter `Φ = Σ f(j)/d_j` so far.
+        counter: f64,
+        /// Remaining hop budget. Overlay probes carry a TTL so that a
+        /// probe orphaned by churn (initiator departed, or the walk's
+        /// component split away from the initiator) is eventually
+        /// garbage-collected instead of circulating forever.
+        ttl: u64,
+    },
+    /// A sampling message: carries the remaining timer (§4.1 step 1–2).
+    /// Each receiver decrements the timer by `Exp(1)/d`; on expiry it
+    /// answers the initiator with [`Message::SampleReply`].
+    SampleProbe {
+        /// Operation this probe belongs to.
+        op: OperationId,
+        /// The peer that requested the sample.
+        initiator: NodeId,
+        /// Remaining timer value `T`.
+        timer: f64,
+    },
+    /// The sampled peer reporting itself to the initiator (one direct
+    /// message, routed over the underlay rather than the overlay).
+    SampleReply {
+        /// Operation this reply belongs to.
+        op: OperationId,
+        /// The peer where the sampling timer expired.
+        sample: NodeId,
+    },
+}
+
+impl Message {
+    /// The operation the message belongs to.
+    #[must_use]
+    pub fn operation(&self) -> OperationId {
+        match *self {
+            Message::TourProbe { op, .. }
+            | Message::SampleProbe { op, .. }
+            | Message::SampleReply { op, .. } => op,
+        }
+    }
+}
+
+/// A message in flight towards a peer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    /// Destination peer.
+    pub to: NodeId,
+    /// Payload.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_is_extracted_from_every_variant() {
+        let op = OperationId::for_tests(7);
+        let msgs = [
+            Message::TourProbe {
+                op,
+                initiator: NodeId::new(1),
+                counter: 0.5,
+                ttl: 100,
+            },
+            Message::SampleProbe {
+                op,
+                initiator: NodeId::new(1),
+                timer: 3.0,
+            },
+            Message::SampleReply {
+                op,
+                sample: NodeId::new(2),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.operation(), op);
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The protocol simulator.
+
+use std::collections::{HashMap, HashSet};
+
+use census_core::ml_estimate;
+use census_graph::{Graph, NodeId};
+use census_walk::continuous::standard_exponential;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::event::{Event, EventQueue};
+use crate::message::{Envelope, Message};
+use crate::time::{Latency, SimTime};
+
+/// Identifier of a launched protocol operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperationId(u64);
+
+impl OperationId {
+    /// Constructs an id out of thin air — unit-test helper.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn for_tests(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// How an operation ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// A size estimate was produced (Random Tour or Sample & Collide).
+    Estimate(f64),
+    /// A single peer sample was returned.
+    Sample(NodeId),
+    /// The initiator's timeout fired before the operation completed
+    /// (§5.3.1 — the probe is presumed lost, or just slow).
+    TimedOut,
+    /// The operation can never complete: its probe died with a departed
+    /// peer (or the initiator itself departed) and no timeout was set.
+    Lost,
+}
+
+/// A finished operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Which operation finished.
+    pub op: OperationId,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Overlay messages attributable to the operation (probe hops and
+    /// sample replies).
+    pub messages: u64,
+    /// Virtual time of completion.
+    pub finished_at: SimTime,
+}
+
+#[derive(Debug)]
+enum OpState {
+    Tour,
+    Sample,
+    SampleCollide {
+        l: u32,
+        timer: f64,
+        seen: HashSet<NodeId>,
+        collisions: u32,
+        samples: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Pending {
+    state: OpState,
+    initiator: NodeId,
+    messages: u64,
+}
+
+/// Discrete-event execution of the paper's protocols over an overlay.
+///
+/// See the [crate docs](crate) for the model. All launched operations run
+/// concurrently: probes from different operations interleave freely in
+/// virtual time, exactly as they would on a real overlay.
+#[derive(Debug)]
+pub struct ProtocolSim {
+    graph: Graph,
+    latency: Latency,
+    rng: SmallRng,
+    queue: EventQueue,
+    clock: SimTime,
+    pending: HashMap<OperationId, Pending>,
+    completed: Vec<Completion>,
+    next_op: u64,
+    probe_ttl: Option<u64>,
+}
+
+impl ProtocolSim {
+    /// Creates a simulator over `graph` with the given per-hop latency
+    /// model and RNG seed.
+    #[must_use]
+    pub fn new(graph: Graph, latency: Latency, seed: u64) -> Self {
+        Self {
+            graph,
+            latency,
+            rng: SmallRng::seed_from_u64(seed),
+            queue: EventQueue::new(),
+            clock: SimTime::ZERO,
+            pending: HashMap::new(),
+            completed: Vec::new(),
+            next_op: 0,
+            probe_ttl: None,
+        }
+    }
+
+    /// Overrides the hop budget (TTL) carried by tour probes. The
+    /// default is `max(1_000, 200 × slots)`, far above any plausible
+    /// return time, so only orphaned probes are ever collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl` is zero.
+    #[must_use]
+    pub fn with_probe_ttl(mut self, ttl: u64) -> Self {
+        assert!(ttl > 0, "a zero TTL would kill probes at birth");
+        self.probe_ttl = Some(ttl);
+        self
+    }
+
+    fn default_ttl(&self) -> u64 {
+        self.probe_ttl
+            .unwrap_or_else(|| (200 * self.graph.slot_count() as u64).max(1_000))
+    }
+
+    /// The overlay as the simulator currently sees it.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of operations still in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_op(&mut self) -> OperationId {
+        let id = OperationId(self.next_op);
+        self.next_op += 1;
+        id
+    }
+
+    fn send(&mut self, op: OperationId, to: NodeId, message: Message) {
+        let delay = self.latency.sample(&mut self.rng);
+        if let Some(p) = self.pending.get_mut(&op) {
+            p.messages += 1;
+        }
+        self.queue
+            .schedule(self.clock + delay, Event::Deliver(Envelope { to, message }));
+    }
+
+    fn arm_timeout(&mut self, op: OperationId, timeout: Option<f64>) {
+        if let Some(after) = timeout {
+            assert!(
+                after.is_finite() && after > 0.0,
+                "timeout must be positive and finite"
+            );
+            self.queue.schedule(self.clock + after, Event::Timeout(op));
+        }
+    }
+
+    /// Launches a Random Tour (§3.1, with `f ≡ 1`: size estimation) from
+    /// `initiator`, optionally guarded by an initiator-side timeout in
+    /// virtual seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive or is isolated.
+    pub fn launch_random_tour(&mut self, initiator: NodeId, timeout: Option<f64>) -> OperationId {
+        assert!(self.graph.is_alive(initiator), "initiator must be alive");
+        let d_i = self.graph.degree(initiator);
+        assert!(d_i > 0, "an isolated initiator cannot launch a tour");
+        let op = self.fresh_op();
+        self.pending.insert(
+            op,
+            Pending {
+                state: OpState::Tour,
+                initiator,
+                messages: 0,
+            },
+        );
+        let first = self
+            .graph
+            .random_neighbor(initiator, &mut self.rng)
+            .expect("degree was checked positive");
+        let counter = 1.0 / d_i as f64;
+        let ttl = self.default_ttl();
+        self.send(
+            op,
+            first,
+            Message::TourProbe {
+                op,
+                initiator,
+                counter,
+                ttl,
+            },
+        );
+        self.arm_timeout(op, timeout);
+        op
+    }
+
+    /// Launches one CTRW sampling operation (§4.1) with the given timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive or the timer is not positive.
+    pub fn launch_sample(
+        &mut self,
+        initiator: NodeId,
+        timer: f64,
+        timeout: Option<f64>,
+    ) -> OperationId {
+        assert!(self.graph.is_alive(initiator), "initiator must be alive");
+        assert!(timer.is_finite() && timer > 0.0, "timer must be positive");
+        let op = self.fresh_op();
+        self.pending.insert(
+            op,
+            Pending {
+                state: OpState::Sample,
+                initiator,
+                messages: 0,
+            },
+        );
+        // The initiator is the first node the sampling message "visits";
+        // deliver to self with zero latency cost (local handling).
+        self.deliver_sample_probe(op, initiator, initiator, timer);
+        self.arm_timeout(op, timeout);
+        op
+    }
+
+    /// Launches a full Sample & Collide estimation (§4.2): samples are
+    /// requested sequentially until the `l`-th collision, then the ML
+    /// estimate is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive, `l` is zero, or the timer is
+    /// not positive.
+    pub fn launch_sample_collide(
+        &mut self,
+        initiator: NodeId,
+        l: u32,
+        timer: f64,
+        timeout: Option<f64>,
+    ) -> OperationId {
+        assert!(self.graph.is_alive(initiator), "initiator must be alive");
+        assert!(l > 0, "need at least one collision");
+        assert!(timer.is_finite() && timer > 0.0, "timer must be positive");
+        let op = self.fresh_op();
+        self.pending.insert(
+            op,
+            Pending {
+                state: OpState::SampleCollide {
+                    l,
+                    timer,
+                    seen: HashSet::new(),
+                    collisions: 0,
+                    samples: 0,
+                },
+                initiator,
+                messages: 0,
+            },
+        );
+        self.deliver_sample_probe(op, initiator, initiator, timer);
+        self.arm_timeout(op, timeout);
+        op
+    }
+
+    /// Schedules `node` to depart the overlay at virtual time `at`. Any
+    /// probe it holds then is lost; messages in flight towards it are
+    /// dropped on delivery.
+    pub fn schedule_departure(&mut self, node: NodeId, at: SimTime) {
+        self.queue.schedule(at, Event::Departure(node));
+    }
+
+    /// Runs the event loop until no events remain. Operations that can no
+    /// longer complete (their probe died with a departed peer, and no
+    /// timeout was armed) are reported as [`Outcome::Lost`]. Returns all
+    /// completions since the previous call, in completion order.
+    pub fn run_until_idle(&mut self) -> Vec<Completion> {
+        while let Some((at, event)) = self.queue.pop() {
+            debug_assert!(at >= self.clock, "event queue is time-ordered");
+            self.clock = at;
+            match event {
+                Event::Deliver(envelope) => self.handle_delivery(envelope),
+                Event::Departure(node) => {
+                    if self.graph.is_alive(node) {
+                        self.graph
+                            .remove_node(node)
+                            .expect("liveness was just checked");
+                    }
+                }
+                Event::Timeout(op) => {
+                    if let Some(p) = self.pending.remove(&op) {
+                        self.completed.push(Completion {
+                            op,
+                            outcome: Outcome::TimedOut,
+                            messages: p.messages,
+                            finished_at: self.clock,
+                        });
+                    }
+                }
+            }
+        }
+        // Anything still pending is unreachable: no event can revive it.
+        let mut stranded: Vec<_> = self.pending.drain().collect();
+        stranded.sort_by_key(|(op, _)| *op);
+        for (op, p) in stranded {
+            self.completed.push(Completion {
+                op,
+                outcome: Outcome::Lost,
+                messages: p.messages,
+                finished_at: self.clock,
+            });
+        }
+        std::mem::take(&mut self.completed)
+    }
+
+    fn complete(&mut self, op: OperationId, outcome: Outcome) {
+        let p = self
+            .pending
+            .remove(&op)
+            .expect("completion is only called for pending operations");
+        self.completed.push(Completion {
+            op,
+            outcome,
+            messages: p.messages,
+            finished_at: self.clock,
+        });
+    }
+
+    fn handle_delivery(&mut self, envelope: Envelope) {
+        let Envelope { to, message } = envelope;
+        if !self.graph.is_alive(to) {
+            // The destination departed while the message was in flight:
+            // the probe is lost (§5.3.1).
+            return;
+        }
+        if !self.pending.contains_key(&message.operation()) {
+            // Stale message of an operation that already timed out.
+            return;
+        }
+        match message {
+            Message::TourProbe {
+                op,
+                initiator,
+                counter,
+                ttl,
+            } => {
+                if to == initiator {
+                    let estimate = self.graph.degree(initiator) as f64 * counter;
+                    self.complete(op, Outcome::Estimate(estimate));
+                    return;
+                }
+                // Garbage-collect orphaned probes: the initiator has
+                // departed, or the hop budget ran out (the walk can no
+                // longer plausibly return, e.g. after a component split).
+                if !self.graph.is_alive(initiator) || ttl <= 1 {
+                    if let Some(p) = self.pending.remove(&op) {
+                        self.completed.push(Completion {
+                            op,
+                            outcome: Outcome::Lost,
+                            messages: p.messages,
+                            finished_at: self.clock,
+                        });
+                    }
+                    return;
+                }
+                let d = self.graph.degree(to);
+                if d == 0 {
+                    // The walk is stranded on a node churn isolated; the
+                    // probe can never move again.
+                    if let Some(p) = self.pending.remove(&op) {
+                        self.completed.push(Completion {
+                            op,
+                            outcome: Outcome::Lost,
+                            messages: p.messages,
+                            finished_at: self.clock,
+                        });
+                    }
+                    return;
+                }
+                let counter = counter + 1.0 / d as f64;
+                let next = self
+                    .graph
+                    .random_neighbor(to, &mut self.rng)
+                    .expect("degree was checked positive");
+                self.send(
+                    op,
+                    next,
+                    Message::TourProbe {
+                        op,
+                        initiator,
+                        counter,
+                        ttl: ttl - 1,
+                    },
+                );
+            }
+            Message::SampleProbe {
+                op,
+                initiator,
+                timer,
+            } => {
+                self.deliver_sample_probe(op, initiator, to, timer);
+            }
+            Message::SampleReply { op, sample } => {
+                let p = self
+                    .pending
+                    .get_mut(&op)
+                    .expect("pending membership was checked above");
+                match &mut p.state {
+                    OpState::Sample => self.complete(op, Outcome::Sample(sample)),
+                    OpState::SampleCollide {
+                        l,
+                        timer,
+                        seen,
+                        collisions,
+                        samples,
+                    } => {
+                        *samples += 1;
+                        if !seen.insert(sample) {
+                            *collisions += 1;
+                        }
+                        if *collisions >= *l {
+                            let estimate = ml_estimate(*samples, *l);
+                            self.complete(op, Outcome::Estimate(estimate));
+                        } else {
+                            let (initiator, timer) = (p.initiator, *timer);
+                            self.deliver_sample_probe(op, initiator, initiator, timer);
+                        }
+                    }
+                    OpState::Tour => {
+                        unreachable!("tour operations never receive sample replies")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Local handling of a sampling message at `at_node` (§4.1 step 2):
+    /// drain the timer by `Exp(1)/d`; reply to the initiator on expiry,
+    /// forward otherwise.
+    fn deliver_sample_probe(&mut self, op: OperationId, initiator: NodeId, at_node: NodeId, timer: f64) {
+        let d = self.graph.degree(at_node);
+        let drain = if d == 0 {
+            f64::INFINITY // zero jump rate: the timer dies here
+        } else {
+            standard_exponential(&mut self.rng) / d as f64
+        };
+        let remaining = timer - drain;
+        if remaining <= 0.0 {
+            self.send(
+                op,
+                initiator,
+                Message::SampleReply {
+                    op,
+                    sample: at_node,
+                },
+            );
+        } else {
+            let next = self
+                .graph
+                .random_neighbor(at_node, &mut self.rng)
+                .expect("finite drain implies positive degree");
+            self.send(
+                op,
+                next,
+                Message::SampleProbe {
+                    op,
+                    initiator,
+                    timer: remaining,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use census_stats::OnlineMoments;
+
+    fn k2() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).expect("fresh edge");
+        (g, a, b)
+    }
+
+    #[test]
+    fn tour_on_k2_is_exact() {
+        let (g, a, _) = k2();
+        let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 1);
+        let op = sim.launch_random_tour(a, None);
+        let done = sim.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].op, op);
+        assert_eq!(done[0].outcome, Outcome::Estimate(2.0));
+        assert_eq!(done[0].messages, 2);
+        assert_eq!(done[0].finished_at, SimTime::new(2.0));
+    }
+
+    #[test]
+    fn tours_are_unbiased_through_the_message_layer() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let g = generators::balanced(300, 10, &mut rng);
+        let n = census_graph::algo::component_size(&g, g.nodes().next().expect("non-empty"));
+        let me = g.nodes().next().expect("non-empty");
+        let mut sim = ProtocolSim::new(g, Latency::ExponentialMean(0.05), 3);
+        let mut m = OnlineMoments::new();
+        for _ in 0..40 {
+            for _ in 0..50 {
+                sim.launch_random_tour(me, None);
+            }
+            for c in sim.run_until_idle() {
+                match c.outcome {
+                    Outcome::Estimate(v) => m.push(v),
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        }
+        let err = (m.mean() - n as f64).abs() / m.standard_error();
+        assert!(err < 4.0, "proto RT mean {} vs {n}", m.mean());
+    }
+
+    #[test]
+    fn concurrent_operations_interleave_and_all_complete() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let g = generators::balanced(200, 10, &mut rng);
+        let initiators: Vec<NodeId> = g.nodes().take(30).collect();
+        let mut sim = ProtocolSim::new(g, Latency::Uniform(0.01, 0.2), 5);
+        let ops: Vec<OperationId> = initiators
+            .iter()
+            .map(|&i| sim.launch_random_tour(i, None))
+            .collect();
+        assert_eq!(sim.in_flight(), 30);
+        let done = sim.run_until_idle();
+        assert_eq!(done.len(), 30);
+        let mut finished: Vec<OperationId> = done.iter().map(|c| c.op).collect();
+        finished.sort();
+        assert_eq!(finished, ops);
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn sampling_is_uniform_on_the_star() {
+        let g = generators::star(6);
+        let me = NodeId::new(3);
+        let mut sim = ProtocolSim::new(g, Latency::Constant(0.01), 6);
+        let mut hub = 0u32;
+        let runs = 20_000;
+        for _ in 0..runs {
+            sim.launch_sample(me, 25.0, None);
+        }
+        for c in sim.run_until_idle() {
+            match c.outcome {
+                Outcome::Sample(node) => {
+                    if node == NodeId::new(0) {
+                        hub += 1;
+                    }
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let frac = f64::from(hub) / f64::from(runs);
+        assert!(
+            (frac - 1.0 / 6.0).abs() < 0.02,
+            "hub mass {frac}, expected ~1/6"
+        );
+    }
+
+    #[test]
+    fn sample_collide_estimates_through_the_message_layer() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 1_000;
+        let g = generators::balanced(n, 10, &mut rng);
+        let me = g.nodes().next().expect("non-empty");
+        let mut sim = ProtocolSim::new(g, Latency::Constant(0.01), 8);
+        let mut m = OnlineMoments::new();
+        for _ in 0..8 {
+            sim.launch_sample_collide(me, 20, 10.0, None);
+        }
+        for c in sim.run_until_idle() {
+            match c.outcome {
+                Outcome::Estimate(v) => m.push(v),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            // Cost sanity: ~ C_l hops * T * d-bar, plus C_l replies.
+            assert!(c.messages > 1_000, "cost {} too small", c.messages);
+        }
+        assert!(
+            (m.mean() / n as f64 - 1.0).abs() < 0.35,
+            "proto S&C mean {}",
+            m.mean()
+        );
+    }
+
+    #[test]
+    fn departure_loses_the_probe() {
+        let (g, a, b) = k2();
+        let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 9);
+        let op = sim.launch_random_tour(a, None);
+        // b departs while the probe is in flight towards it.
+        sim.schedule_departure(b, SimTime::new(0.5));
+        let done = sim.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].op, op);
+        assert_eq!(done[0].outcome, Outcome::Lost);
+    }
+
+    #[test]
+    fn timeout_converts_lost_probe_into_timed_out() {
+        let (g, a, b) = k2();
+        let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 10);
+        let op = sim.launch_random_tour(a, Some(5.0));
+        sim.schedule_departure(b, SimTime::new(0.5));
+        let done = sim.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].op, op);
+        assert_eq!(done[0].outcome, Outcome::TimedOut);
+        assert_eq!(done[0].finished_at, SimTime::new(5.0));
+    }
+
+    #[test]
+    fn timeout_does_not_fire_after_success() {
+        let (g, a, _) = k2();
+        let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 11);
+        let op = sim.launch_random_tour(a, Some(100.0));
+        let done = sim.run_until_idle();
+        // Exactly one completion: the estimate; the later timeout event
+        // found the operation gone.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].op, op);
+        assert!(matches!(done[0].outcome, Outcome::Estimate(_)));
+    }
+
+    #[test]
+    fn departed_initiator_strands_the_operation() {
+        let mut g = Graph::new();
+        let ids = g.add_nodes(3);
+        g.add_edge(ids[0], ids[1]).expect("fresh edge");
+        g.add_edge(ids[1], ids[2]).expect("fresh edge");
+        g.add_edge(ids[2], ids[0]).expect("fresh edge");
+        let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 12);
+        let op = sim.launch_random_tour(ids[0], None);
+        sim.schedule_departure(ids[0], SimTime::new(0.1));
+        let done = sim.run_until_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].op, op);
+        assert_eq!(done[0].outcome, Outcome::Lost);
+    }
+
+    #[test]
+    fn ttl_garbage_collects_probes_that_cannot_return() {
+        // With a tiny TTL, a tour either returns within the budget or is
+        // garbage-collected as Lost — and the event loop always drains
+        // (the run completing at all is the anti-livelock property).
+        let mut saw_collected = false;
+        for seed in 0..40 {
+            let g = generators::ring(16);
+            let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), seed).with_probe_ttl(4);
+            let op = sim.launch_random_tour(NodeId::new(0), None);
+            let done = sim.run_until_idle();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].op, op);
+            match done[0].outcome {
+                Outcome::Estimate(v) => assert!(v > 0.0),
+                Outcome::Lost => {
+                    assert!(done[0].messages <= 4, "TTL bounds the hop count");
+                    saw_collected = true;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        // On a 16-ring, returning within 4 hops has probability well
+        // below 1, so some run must have exercised the TTL path.
+        assert!(saw_collected, "no run exercised the TTL garbage collection");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = || {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+            let g = generators::balanced(150, 10, &mut rng);
+            let me = g.nodes().next().expect("non-empty");
+            let mut sim = ProtocolSim::new(g, Latency::ExponentialMean(0.1), 14);
+            for _ in 0..10 {
+                sim.launch_random_tour(me, None);
+                sim.launch_sample(me, 5.0, None);
+            }
+            sim.run_until_idle()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated initiator")]
+    fn isolated_initiator_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut sim = ProtocolSim::new(g, Latency::Constant(1.0), 15);
+        let _ = sim.launch_random_tour(a, None);
+    }
+}

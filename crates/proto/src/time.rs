@@ -1,0 +1,180 @@
+//! Virtual time and latency models.
+
+use census_walk::continuous::standard_exponential;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Add;
+
+/// A point in virtual time (seconds of simulated wall clock).
+///
+/// Wraps `f64` with a total order so it can key the event queue; the
+/// simulator never produces NaN times (latencies are validated).
+///
+/// # Examples
+///
+/// ```
+/// use census_proto::SimTime;
+///
+/// let t = SimTime::ZERO + 1.5;
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t.as_secs(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn new(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "sim time must be finite and non-negative");
+        Self(secs)
+    }
+
+    /// Seconds since the epoch.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("sim times are never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, delta: f64) -> SimTime {
+        SimTime::new(self.0 + delta)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+/// Per-hop network delay model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Latency {
+    /// Every hop takes exactly this long.
+    Constant(f64),
+    /// Hop delays are exponential with this mean — the standard
+    /// memoryless WAN approximation.
+    ExponentialMean(f64),
+    /// Hop delays are uniform in `[min, max]`.
+    Uniform(f64, f64),
+}
+
+impl Latency {
+    /// Draws one hop delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model parameters are invalid (non-positive mean,
+    /// inverted or negative uniform range).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Latency::Constant(d) => {
+                assert!(d.is_finite() && d >= 0.0, "constant latency must be non-negative");
+                d
+            }
+            Latency::ExponentialMean(mean) => {
+                assert!(mean.is_finite() && mean > 0.0, "latency mean must be positive");
+                mean * standard_exponential(rng)
+            }
+            Latency::Uniform(lo, hi) => {
+                assert!(
+                    lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+                    "uniform latency range must satisfy 0 <= lo <= hi"
+                );
+                if lo == hi {
+                    lo
+                } else {
+                    rng.random_range(lo..hi)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn addition_advances() {
+        let t = SimTime::new(1.0) + 0.5;
+        assert_eq!(t.as_secs(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(Latency::Constant(2.5).sample(&mut rng), 2.5);
+    }
+
+    #[test]
+    fn exponential_latency_has_requested_mean() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let lat = Latency::ExponentialMean(3.0);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| lat.sample(&mut rng)).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lat = Latency::Uniform(1.0, 2.0);
+        for _ in 0..1_000 {
+            let d = lat.sample(&mut rng);
+            assert!((1.0..2.0).contains(&d));
+        }
+        assert_eq!(Latency::Uniform(1.5, 1.5).sample(&mut rng), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lo <= hi")]
+    fn inverted_uniform_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = Latency::Uniform(2.0, 1.0).sample(&mut rng);
+    }
+}

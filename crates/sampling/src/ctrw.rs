@@ -1,0 +1,173 @@
+//! The paper's CTRW-based uniform sampler (§4.1).
+
+use census_graph::{NodeId, Topology};
+use census_walk::continuous::{ctrw_walk, Sojourn};
+use census_walk::WalkError;
+use rand::Rng;
+
+use crate::{Sample, Sampler};
+
+/// The continuous-time random walk sampler of §4.1.
+///
+/// A sampling message carries a timer initialised to `T`. Each node it
+/// visits draws `u ~ Uniform(0, 1]`, decrements the timer by
+/// `−ln(u)/d_j`, and either answers the initiator (timer expired: it is
+/// the sample) or forwards the message to a uniformly random neighbour.
+/// The returned peer is distributed as the standard CTRW at time `T`, so
+/// by Lemma 1 its law is within total-variation distance
+/// `½ √N e^(−λ₂ T)` of uniform.
+///
+/// Choosing `T`: the paper suggests `T = O(log N / λ₂)` and, since both
+/// `N` and `λ₂` are unknown a priori, either a conservative constant from
+/// assumed bounds (its experiments use `T = 10`) or the adaptive
+/// double-`T`-until-stable loop implemented by
+/// `census_core::sample_collide::AdaptiveSampleCollide`.
+/// [`census_graph::spectral::mixing_timer`] computes the Lemma 1 value
+/// when the gap is known.
+///
+/// # Examples
+///
+/// ```
+/// use census_sampling::CtrwSampler;
+///
+/// let sampler = CtrwSampler::new(10.0); // the paper's experimental setting
+/// assert_eq!(sampler.timer(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrwSampler {
+    timer: f64,
+    sojourn: Sojourn,
+}
+
+impl CtrwSampler {
+    /// Creates a sampler with exponential sojourns (the sound variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timer` is not positive and finite.
+    #[must_use]
+    pub fn new(timer: f64) -> Self {
+        assert!(
+            timer.is_finite() && timer > 0.0,
+            "sampler timer must be positive and finite"
+        );
+        Self {
+            timer,
+            sojourn: Sojourn::Exponential,
+        }
+    }
+
+    /// Creates a sampler with *deterministic* sojourns — the Remark 1
+    /// variant that saves per-hop randomness but fails on (near-)bipartite
+    /// overlays. Provided for the ablation benches; do not use for real
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timer` is not positive and finite.
+    #[must_use]
+    pub fn with_deterministic_sojourns(timer: f64) -> Self {
+        let mut s = Self::new(timer);
+        s.sojourn = Sojourn::Deterministic;
+        s
+    }
+
+    /// The configured timer `T`.
+    #[must_use]
+    pub fn timer(&self) -> f64 {
+        self.timer
+    }
+
+    /// The configured sojourn-time law.
+    #[must_use]
+    pub fn sojourn(&self) -> Sojourn {
+        self.sojourn
+    }
+}
+
+impl Sampler for CtrwSampler {
+    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let out = ctrw_walk(topology, initiator, self.timer, self.sojourn, rng)?;
+        Ok(Sample {
+            node: out.node,
+            hops: out.hops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality;
+    use census_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_near_uniform_on_star() {
+        // The star graph maximally separates CTRW from DTRW behaviour.
+        let g = generators::star(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = CtrwSampler::new(25.0);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 40_000, &mut rng);
+        assert!(tv < 0.03, "CTRW TV distance {tv} too large on the star");
+    }
+
+    #[test]
+    fn samples_are_near_uniform_on_scale_free_graph() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(300, 3, &mut rng);
+        let sampler = CtrwSampler::new(8.0);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 60_000, &mut rng);
+        assert!(tv < 0.08, "CTRW TV distance {tv} too large on scale-free");
+    }
+
+    #[test]
+    fn longer_timers_improve_uniformity() {
+        // Fixed initiator (averaging over initiators would hide the
+        // mixing behaviour by symmetry); the exact oracle removes noise.
+        let g = generators::ring(16);
+        let start = g.nodes().next().expect("non-empty");
+        let tv_short = quality::exact_ctrw_tv_to_uniform(&g, start, 1.0);
+        let tv_long = quality::exact_ctrw_tv_to_uniform(&g, start, 40.0);
+        assert!(
+            tv_long < tv_short / 10.0,
+            "short {tv_short} vs long {tv_long}"
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_timer() {
+        let g = generators::complete(9); // 8-regular
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut mean_hops = |t: f64| {
+            let sampler = CtrwSampler::new(t);
+            let runs = 2_000u32;
+            let total: u64 = (0..runs)
+                .map(|_| {
+                    sampler
+                        .sample(&g, g.nodes().next().expect("non-empty"), &mut rng)
+                        .expect("cannot fail")
+                        .hops
+                })
+                .sum();
+            total as f64 / f64::from(runs)
+        };
+        let h1 = mean_hops(2.0);
+        let h2 = mean_hops(8.0);
+        assert!(
+            (h2 / h1 - 4.0).abs() < 0.5,
+            "hop cost should scale linearly with T: {h1} vs {h2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_finite_timer_panics() {
+        let _ = CtrwSampler::new(f64::INFINITY);
+    }
+}

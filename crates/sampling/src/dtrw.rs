@@ -1,0 +1,145 @@
+//! The degree-biased DTRW baseline sampler.
+
+use census_graph::{NodeId, Topology};
+use census_walk::discrete::walk_fixed_steps;
+use census_walk::WalkError;
+use rand::Rng;
+
+use crate::{Sample, Sampler};
+
+/// Prior-work sampler: a discrete-time random walk stopped after a fixed
+/// number of steps.
+///
+/// Its limiting distribution is `π_j = d_j / Σ_k d_k` (Eq. (1)), so on any
+/// overlay with unequal degrees the samples are biased towards high-degree
+/// peers *no matter how many steps are taken*. The paper's §4.1 replaces
+/// it with [`crate::CtrwSampler`]; this type exists as the comparison
+/// baseline for the sampler-bias ablation, and to quantify exactly how
+/// wrong size estimates become when Sample & Collide is fed biased
+/// samples.
+///
+/// # Examples
+///
+/// ```
+/// use census_sampling::DtrwSampler;
+///
+/// let sampler = DtrwSampler::new(50);
+/// assert_eq!(sampler.steps(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtrwSampler {
+    steps: u64,
+}
+
+impl DtrwSampler {
+    /// Creates a sampler walking exactly `steps` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero (the "sample" would always be the
+    /// initiator).
+    #[must_use]
+    pub fn new(steps: u64) -> Self {
+        assert!(steps > 0, "a zero-step walk cannot sample");
+        Self { steps }
+    }
+
+    /// The configured walk length.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Sampler for DtrwSampler {
+    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let node = walk_fixed_steps(topology, initiator, self.steps, rng)?;
+        Ok(Sample {
+            node,
+            hops: self.steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality;
+    use census_graph::{generators, Graph, NodeId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parity_locked_on_bipartite_star() {
+        // The star is bipartite, so the DTRW never converges at all: an
+        // odd-length walk from a uniform initiator puts mass 7/8 on the
+        // hub (every leaf start ends there), for TV exactly 3/4.
+        let g = generators::star(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = DtrwSampler::new(101);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 20_000, &mut rng);
+        assert!(
+            (tv - 0.75).abs() < 0.03,
+            "odd-step DTRW TV {tv} should sit near the parity bias 0.75"
+        );
+    }
+
+    #[test]
+    fn biased_towards_high_degree_nodes() {
+        // Non-bipartite irregular graph: star(8) plus one leaf-leaf edge.
+        // The walk converges to pi_j = d_j / 2|E| whatever the start, so
+        // TV to uniform is (1/2) * sum |d_j/16 - 2/16| = 5/16.
+        let mut g = generators::star(8);
+        g.add_edge(NodeId::new(1), NodeId::new(2)).expect("fresh edge");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = DtrwSampler::new(100);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 40_000, &mut rng);
+        let stationary_bias = 5.0 / 16.0;
+        assert!(
+            (tv - stationary_bias).abs() < 0.03,
+            "DTRW TV {tv} should sit near the degree bias {stationary_bias}"
+        );
+    }
+
+    #[test]
+    fn unbiased_on_regular_graphs() {
+        // On regular graphs the degree bias vanishes; a long odd+even mix of
+        // start parities on a non-bipartite regular graph is near uniform.
+        let g = generators::complete(10);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sampler = DtrwSampler::new(20);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 30_000, &mut rng);
+        assert!(tv < 0.03, "DTRW on K_10 should be near uniform, TV {tv}");
+    }
+
+    #[test]
+    fn isolated_initiator_is_stuck() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sampler = DtrwSampler::new(5);
+        assert_eq!(
+            sampler.sample(&g, a, &mut rng),
+            Err(WalkError::Stuck(a))
+        );
+    }
+
+    #[test]
+    fn cost_equals_steps() {
+        let g = generators::ring(12);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sampler = DtrwSampler::new(17);
+        let s = sampler.sample(&g, NodeId::new(0), &mut rng).expect("walk completes");
+        assert_eq!(s.hops, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-step")]
+    fn zero_steps_panics() {
+        let _ = DtrwSampler::new(0);
+    }
+}

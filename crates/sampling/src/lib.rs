@@ -1,0 +1,97 @@
+//! Uniform peer sampling over overlay networks.
+//!
+//! The Sample & Collide estimator — and many overlay protocols beyond it
+//! (neighbour selection for joining nodes, gossip target choice) — needs a
+//! primitive that returns a peer chosen *uniformly at random* using only
+//! local knowledge. This crate implements the paper's solution and the
+//! baselines it improves on:
+//!
+//! - [`CtrwSampler`]: the paper's §4.1 sampler. Emulates a continuous-time
+//!   random walk for a configured timer `T`; by Lemma 1 the returned peer
+//!   is within total-variation distance `½√N·e^(−λ₂T)` of uniform,
+//!   regardless of the degree distribution.
+//! - [`DtrwSampler`]: the prior-work baseline — a discrete-time walk
+//!   stopped after a fixed number of steps. Converges to the
+//!   *degree-biased* distribution `d_j / Σd`, so it is inherently unsound
+//!   on heterogeneous overlays (the paper's motivation for the CTRW).
+//! - [`MetropolisSampler`]: a classical alternative fix — a
+//!   Metropolis–Hastings walk whose acceptance ratio `min(1, d_u/d_v)`
+//!   makes the uniform distribution stationary. Included as an extension
+//!   baseline for the sampler-bias ablation.
+//!
+//! The [`quality`] module measures how close a sampler's output law is to
+//! uniform (empirically, and exactly for the CTRW via uniformization).
+//!
+//! # Examples
+//!
+//! ```
+//! use census_graph::generators;
+//! use census_sampling::{CtrwSampler, Sampler};
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let g = generators::complete(50);
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let initiator = g.nodes().next().expect("non-empty");
+//! let sampler = CtrwSampler::new(10.0);
+//! let sample = sampler.sample(&g, initiator, &mut rng)?;
+//! assert!(g.is_alive(sample.node));
+//! # Ok::<(), census_walk::WalkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod quality;
+
+mod ctrw;
+mod dtrw;
+mod metropolis;
+mod oracle;
+
+use census_graph::{NodeId, Topology};
+use census_walk::WalkError;
+use rand::Rng;
+
+pub use ctrw::CtrwSampler;
+pub use dtrw::DtrwSampler;
+pub use metropolis::MetropolisSampler;
+pub use oracle::OracleSampler;
+
+/// A peer returned by a sampler, with its message cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// The sampled peer.
+    pub node: NodeId,
+    /// Overlay messages spent obtaining it (walk hops; the reply to the
+    /// initiator is not counted, matching the paper's cost accounting).
+    pub hops: u64,
+}
+
+/// A peer-sampling strategy: returns one (approximately uniform) peer per
+/// invocation, starting from an initiating peer.
+pub trait Sampler {
+    /// Draws one sample starting at `initiator`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WalkError`] when the underlying walk cannot proceed
+    /// (e.g. the initiator is isolated, for walk-based samplers that must
+    /// leave the initiator).
+    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng;
+}
+
+/// A reference to a sampler samples like the sampler itself, so samplers
+/// can be shared between estimators without cloning.
+impl<S: Sampler + ?Sized> Sampler for &S {
+    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        (**self).sample(topology, initiator, rng)
+    }
+}

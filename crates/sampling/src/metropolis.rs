@@ -1,0 +1,143 @@
+//! Metropolis–Hastings sampler (extension baseline).
+
+use census_graph::{NodeId, Topology};
+use census_walk::WalkError;
+use rand::Rng;
+
+use crate::{Sample, Sampler};
+
+/// A Metropolis–Hastings random walk sampler.
+///
+/// At node `u` the walk proposes a uniform neighbour `v` and accepts the
+/// move with probability `min(1, d_u / d_v)`; otherwise it stays at `u`
+/// for that step. The resulting chain has the *uniform* distribution as
+/// its stationary law on any connected graph, making it the classical
+/// discrete-time fix for degree bias and a natural comparison point for
+/// the paper's CTRW sampler: both are unbiased in the limit, but their
+/// mixing behaviour and per-sample message costs differ (self-loop steps
+/// cost no message, yet also make no progress).
+///
+/// # Examples
+///
+/// ```
+/// use census_sampling::MetropolisSampler;
+///
+/// let sampler = MetropolisSampler::new(100);
+/// assert_eq!(sampler.steps(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetropolisSampler {
+    steps: u64,
+}
+
+impl MetropolisSampler {
+    /// Creates a sampler running `steps` Metropolis steps (accepted or
+    /// not) before reporting the current node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    #[must_use]
+    pub fn new(steps: u64) -> Self {
+        assert!(steps > 0, "a zero-step walk cannot sample");
+        Self { steps }
+    }
+
+    /// The configured number of Metropolis steps.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Sampler for MetropolisSampler {
+    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        if topology.degree_of(initiator) == 0 {
+            return Err(WalkError::Stuck(initiator));
+        }
+        let mut current = initiator;
+        let mut hops = 0u64;
+        for _ in 0..self.steps {
+            let d_u = topology.degree_of(current);
+            let v = topology
+                .neighbor_of(current, rng)
+                .expect("positive degree implies a neighbour");
+            let d_v = topology.degree_of(v);
+            // Accept with probability min(1, d_u / d_v).
+            if d_v <= d_u || rng.random::<f64>() * d_v as f64 <= d_u as f64 {
+                current = v;
+                hops += 1;
+            }
+        }
+        Ok(Sample { node: current, hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality;
+    use census_graph::{generators, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn near_uniform_on_star() {
+        let g = generators::star(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = MetropolisSampler::new(200);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 30_000, &mut rng);
+        assert!(tv < 0.04, "Metropolis TV {tv} too large on the star");
+    }
+
+    #[test]
+    fn near_uniform_on_scale_free_graph() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let sampler = MetropolisSampler::new(400);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 40_000, &mut rng);
+        assert!(tv < 0.08, "Metropolis TV {tv} too large on scale-free");
+    }
+
+    #[test]
+    fn hops_never_exceed_steps() {
+        let g = generators::star(5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sampler = MetropolisSampler::new(50);
+        for _ in 0..100 {
+            let s = sampler
+                .sample(&g, g.nodes().next().expect("non-empty"), &mut rng)
+                .expect("walk completes");
+            assert!(s.hops <= 50);
+        }
+    }
+
+    #[test]
+    fn rejections_occur_on_irregular_graphs() {
+        // Leaf -> hub proposals are always accepted, hub -> leaf proposals
+        // accepted with probability (n-1)^-1... on a star most steps from
+        // the hub are rejected, so hops < steps strictly, eventually.
+        let g = generators::star(10);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sampler = MetropolisSampler::new(100);
+        let s = sampler
+            .sample(&g, g.nodes().next().expect("non-empty"), &mut rng)
+            .expect("walk completes");
+        assert!(s.hops < 100, "some hub->leaf proposals must be rejected");
+    }
+
+    #[test]
+    fn isolated_initiator_is_stuck() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            MetropolisSampler::new(5).sample(&g, a, &mut rng),
+            Err(WalkError::Stuck(a))
+        );
+    }
+}

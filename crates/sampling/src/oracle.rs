@@ -1,0 +1,85 @@
+//! A perfectly uniform oracle sampler (calibration only).
+
+use census_graph::{NodeId, Topology};
+use census_walk::WalkError;
+use rand::Rng;
+
+use crate::{Sample, Sampler};
+
+/// A sampler that returns an exactly uniform peer using global knowledge.
+///
+/// No overlay protocol can implement this — it exists to *calibrate*: the
+/// paper's Sample & Collide analysis (Prop. 3, Cor. 1) assumes perfect
+/// uniform samples, so running the estimator over `OracleSampler`
+/// separates estimator error from sampler error in tests and ablation
+/// benches. Its message cost is reported as zero.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators;
+/// use census_sampling::{OracleSampler, Sampler};
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::ring(10);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let s = OracleSampler::new().sample(&g, g.nodes().next().unwrap(), &mut rng)?;
+/// assert!(g.is_alive(s.node));
+/// # Ok::<(), census_walk::WalkError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleSampler;
+
+impl OracleSampler {
+    /// Creates the oracle sampler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Sampler for OracleSampler {
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        _initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let node = topology
+            .any_peer(rng)
+            .expect("cannot sample an empty overlay");
+        Ok(Sample { node, hops: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality;
+    use census_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn oracle_is_uniform_even_on_star() {
+        let g = generators::star(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let tv = quality::empirical_tv_to_uniform(&OracleSampler::new(), &g, 40_000, &mut rng);
+        assert!(tv < 0.02, "oracle TV {tv}");
+    }
+
+    #[test]
+    fn zero_cost() {
+        let g = generators::ring(5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = OracleSampler::new()
+            .sample(&g, g.nodes().next().expect("non-empty"), &mut rng)
+            .expect("cannot fail");
+        assert_eq!(s.hops, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Sampling-quality diagnostics.
+//!
+//! Lemma 1 of the paper bounds the total-variation distance between the
+//! CTRW sample law and the uniform distribution. These helpers measure
+//! that distance — empirically for any [`Sampler`], and exactly for the
+//! CTRW via uniformization — plus a chi-square uniformity check, so both
+//! the test-suite and the ablation benches can quantify sampler bias.
+
+use census_graph::spectral::DenseIndex;
+use census_graph::{Graph, Topology};
+use census_stats::{chi_square_uniform, total_variation};
+use census_walk::continuous::exact_distribution;
+use rand::Rng;
+
+use crate::Sampler;
+
+/// Draws `runs` samples (each from a uniformly random initiator) and
+/// returns per-node observation counts in [`DenseIndex`] order, together
+/// with the index.
+///
+/// Initiators are randomised per draw so the measured law is the
+/// initiator-averaged one; for a fixed-initiator law, wrap the sampler
+/// yourself.
+///
+/// # Panics
+///
+/// Panics if the graph is empty, `runs` is zero, or the sampler fails
+/// (isolated initiator).
+pub fn sample_counts<S, R>(
+    sampler: &S,
+    g: &Graph,
+    runs: u32,
+    rng: &mut R,
+) -> (DenseIndex, Vec<u64>)
+where
+    S: Sampler,
+    R: Rng,
+{
+    assert!(runs > 0, "need at least one sampling run");
+    let idx = DenseIndex::new(g);
+    assert!(!idx.is_empty(), "cannot sample an empty overlay");
+    let mut counts = vec![0u64; idx.len()];
+    for _ in 0..runs {
+        let initiator = g.any_peer(rng).expect("graph is non-empty");
+        let s = sampler
+            .sample(g, initiator, rng)
+            .expect("sampling failed (isolated initiator?)");
+        counts[idx.dense(s.node)] += 1;
+    }
+    (idx, counts)
+}
+
+/// Empirical total-variation distance between a sampler's output law and
+/// the uniform distribution over live nodes.
+///
+/// Note the estimator is biased upwards by sampling noise of order
+/// `√(N / runs)`; use `runs ≫ N` for meaningful values.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sample_counts`].
+pub fn empirical_tv_to_uniform<S, R>(sampler: &S, g: &Graph, runs: u32, rng: &mut R) -> f64
+where
+    S: Sampler,
+    R: Rng,
+{
+    let (idx, counts) = sample_counts(sampler, g, runs, rng);
+    let n = idx.len();
+    let empirical: Vec<f64> = counts
+        .iter()
+        .map(|&c| c as f64 / f64::from(runs))
+        .collect();
+    let uniform = vec![1.0 / n as f64; n];
+    total_variation(&empirical, &uniform)
+}
+
+/// Chi-square uniformity statistic of a sampler's output, returned as
+/// `(statistic, degrees_of_freedom)`. Under perfect uniformity the
+/// statistic concentrates near `dof` with standard deviation `√(2·dof)`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`sample_counts`].
+pub fn chi_square_uniformity<S, R>(sampler: &S, g: &Graph, runs: u32, rng: &mut R) -> (f64, usize)
+where
+    S: Sampler,
+    R: Rng,
+{
+    let (_, counts) = sample_counts(sampler, g, runs, rng);
+    let pairs: Vec<(usize, u64)> = counts.iter().copied().enumerate().collect();
+    chi_square_uniform(&pairs, counts.len())
+}
+
+/// *Exact* total-variation distance of the CTRW sample law from uniform,
+/// for a given initiator and timer — no sampling noise, via the
+/// uniformization oracle. This is the left-hand side of Lemma 1.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the initiator is dead.
+#[must_use]
+pub fn exact_ctrw_tv_to_uniform(g: &Graph, initiator: census_graph::NodeId, timer: f64) -> f64 {
+    let dist = exact_distribution(g, initiator, timer);
+    let n = dist.len();
+    let uniform = vec![1.0 / n as f64; n];
+    total_variation(&dist, &uniform)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CtrwSampler, DtrwSampler};
+    use census_graph::{generators, spectral, NodeId};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_total_matches_runs() {
+        let g = generators::ring(6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (_, counts) = sample_counts(&CtrwSampler::new(2.0), &g, 500, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn chi_square_accepts_ctrw_and_rejects_dtrw_on_star() {
+        let g = generators::star(10);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let runs = 20_000;
+        let (ctrw_stat, dof) =
+            chi_square_uniformity(&CtrwSampler::new(25.0), &g, runs, &mut rng);
+        let threshold = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt();
+        assert!(ctrw_stat < threshold, "CTRW chi2 {ctrw_stat} vs {threshold}");
+        // Odd step count: the star is bipartite, so the walk's parity
+        // concentrates odd-length walks on the hub.
+        let (dtrw_stat, _) = chi_square_uniformity(&DtrwSampler::new(51), &g, runs, &mut rng);
+        assert!(
+            dtrw_stat > 10.0 * threshold,
+            "DTRW chi2 {dtrw_stat} should explode on the star"
+        );
+    }
+
+    #[test]
+    fn lemma_1_bound_holds_exactly_across_topologies() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let graphs = vec![
+            generators::ring(12),
+            generators::hypercube(3),
+            generators::star(9),
+            generators::erdos_renyi(20, 0.3, &mut rng),
+        ];
+        for g in &graphs {
+            if !census_graph::algo::is_connected(g) {
+                continue;
+            }
+            let gap = spectral::spectral_gap(g);
+            let n = g.num_nodes() as f64;
+            let start = g.nodes().next().expect("non-empty");
+            for t in [0.2, 1.0, 3.0] {
+                let tv = exact_ctrw_tv_to_uniform(g, start, t);
+                let bound = 0.5 * n.sqrt() * (-gap * t).exp();
+                assert!(
+                    tv <= bound + 1e-8,
+                    "Lemma 1 violated on n={n}: tv {tv} > bound {bound} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_tv_decays_exponentially_at_rate_lambda2() {
+        // For large t, d_TV(t) ~ C e^{-lambda_2 t}: the measured decay rate
+        // between two well-mixed times should approach lambda_2.
+        let g = generators::ring(10);
+        let gap = spectral::spectral_gap(&g);
+        let (t1, t2) = (8.0, 12.0);
+        let tv1 = exact_ctrw_tv_to_uniform(&g, NodeId::new(0), t1);
+        let tv2 = exact_ctrw_tv_to_uniform(&g, NodeId::new(0), t2);
+        let rate = (tv1 / tv2).ln() / (t2 - t1);
+        assert!(
+            (rate - gap).abs() < 0.05 * gap,
+            "decay rate {rate} vs spectral gap {gap}"
+        );
+    }
+
+    #[test]
+    fn empirical_tv_close_to_exact_for_fixed_initiator() {
+        struct Fixed<S>(S, NodeId);
+        impl<S: Sampler> Sampler for Fixed<S> {
+            fn sample<T, R>(
+                &self,
+                topology: &T,
+                _initiator: NodeId,
+                rng: &mut R,
+            ) -> Result<crate::Sample, census_walk::WalkError>
+            where
+                T: Topology + ?Sized,
+                R: Rng,
+            {
+                self.0.sample(topology, self.1, rng)
+            }
+        }
+        let g = generators::ring(8);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let t = 1.0;
+        let exact = exact_ctrw_tv_to_uniform(&g, NodeId::new(0), t);
+        let empirical = empirical_tv_to_uniform(
+            &Fixed(CtrwSampler::new(t), NodeId::new(0)),
+            &g,
+            200_000,
+            &mut rng,
+        );
+        assert!(
+            (empirical - exact).abs() < 0.02,
+            "empirical {empirical} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic overlay membership.
+
+use census_graph::{Graph, NodeId, Topology};
+use rand::{Rng, RngCore};
+
+/// How a joining node attaches to the overlay (§5.1: "newly incorporated
+/// nodes are connected via their own set of random targets, chosen
+/// according to the rule for the corresponding model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRule {
+    /// The balanced random graph rule: draw a target degree in
+    /// `1..=max_degree` and connect to that many random peers whose
+    /// degree is below `max_degree`.
+    Balanced {
+        /// Degree cap (the paper uses 10).
+        max_degree: usize,
+    },
+    /// The scale-free rule: attach `m` edges to peers chosen with
+    /// probability proportional to their degree (preferential
+    /// attachment, realised by degree-rejection sampling).
+    PreferentialAttachment {
+        /// Edges per joining node (the paper's BA graphs use small `m`).
+        m: usize,
+    },
+}
+
+/// An overlay network whose membership evolves between estimation runs.
+///
+/// Wraps a [`Graph`] with the paper's churn semantics:
+///
+/// - **joins** follow the configured [`JoinRule`];
+/// - **departures** remove a uniformly random node, and survivors do
+///   *not* seek replacement neighbours, so heavy churn degrades the
+///   overlay's expansion and may disconnect it — exactly the stress the
+///   paper's §5.3 scenarios apply;
+/// - estimates are validated against the *probing node's component size*
+///   (the paper: "the actual system size we report is always that of the
+///   connected component to which the probing node belongs").
+#[derive(Debug, Clone)]
+pub struct DynamicNetwork {
+    graph: Graph,
+    join_rule: JoinRule,
+}
+
+impl DynamicNetwork {
+    /// Wraps an initial overlay with a join rule.
+    #[must_use]
+    pub fn new(graph: Graph, join_rule: JoinRule) -> Self {
+        Self { graph, join_rule }
+    }
+
+    /// Read access to the underlying overlay graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The configured join rule.
+    #[must_use]
+    pub fn join_rule(&self) -> JoinRule {
+        self.join_rule
+    }
+
+    /// Current number of live peers.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// One peer joins, attaching per the join rule. Returns its id.
+    pub fn join<R: Rng>(&mut self, rng: &mut R) -> NodeId {
+        let newcomer = self.graph.add_node();
+        match self.join_rule {
+            JoinRule::Balanced { max_degree } => {
+                let want = rng.random_range(1..=max_degree);
+                let mut attempts = 0;
+                while self.graph.degree(newcomer) < want && attempts < 50 * max_degree {
+                    attempts += 1;
+                    let Some(t) = self.graph.random_node(rng) else { break };
+                    if t == newcomer
+                        || self.graph.degree(t) >= max_degree
+                        || self.graph.has_edge(newcomer, t)
+                    {
+                        continue;
+                    }
+                    self.graph
+                        .add_edge(newcomer, t)
+                        .expect("candidate was checked alive, distinct, and fresh");
+                }
+            }
+            JoinRule::PreferentialAttachment { m } => {
+                let max_deg = self.graph.max_degree().max(1);
+                let mut attempts = 0;
+                let budget = 200 * m * max_deg;
+                while self.graph.degree(newcomer) < m && attempts < budget {
+                    attempts += 1;
+                    let Some(t) = self.graph.random_node(rng) else { break };
+                    if t == newcomer || self.graph.has_edge(newcomer, t) {
+                        continue;
+                    }
+                    // Degree-proportional acceptance.
+                    if rng.random_range(0..max_deg) < self.graph.degree(t) {
+                        self.graph
+                            .add_edge(newcomer, t)
+                            .expect("candidate was checked alive, distinct, and fresh");
+                    }
+                }
+            }
+        }
+        newcomer
+    }
+
+    /// A uniformly random peer departs (no repair). Returns the departed
+    /// id, or `None` if the overlay is empty.
+    pub fn leave<R: Rng>(&mut self, rng: &mut R) -> Option<NodeId> {
+        let victim = self.graph.random_node(rng)?;
+        self.graph
+            .remove_node(victim)
+            .expect("random_node returns live nodes");
+        Some(victim)
+    }
+
+    /// Applies `joins` joins then `leaves` departures.
+    pub fn churn<R: Rng>(&mut self, joins: usize, leaves: usize, rng: &mut R) {
+        for _ in 0..joins {
+            self.join(rng);
+        }
+        for _ in 0..leaves {
+            self.leave(rng);
+        }
+    }
+
+    /// Size of the connected component containing `node` — the ground
+    /// truth the paper reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not alive.
+    #[must_use]
+    pub fn component_size_of(&self, node: NodeId) -> usize {
+        census_graph::algo::component_size(&self.graph, node)
+    }
+}
+
+impl Topology for DynamicNetwork {
+    fn peer_count(&self) -> usize {
+        self.graph.peer_count()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.graph.contains(node)
+    }
+
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.graph.degree_of(node)
+    }
+
+    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.graph.neighbor_of(node, rng)
+    }
+
+    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.graph.any_peer(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn balanced_net(n: usize, seed: u64) -> (DynamicNetwork, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::balanced(n, 10, &mut rng);
+        (
+            DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 }),
+            rng,
+        )
+    }
+
+    #[test]
+    fn joins_attach_within_cap() {
+        let (mut net, mut rng) = balanced_net(300, 1);
+        for _ in 0..100 {
+            let id = net.join(&mut rng);
+            let d = net.graph().degree(id);
+            assert!((1..=10).contains(&d), "join degree {d}");
+        }
+        assert_eq!(net.size(), 400);
+        assert!(net.graph().nodes().all(|v| net.graph().degree(v) <= 10));
+    }
+
+    #[test]
+    fn leaves_remove_uniformly_without_repair() {
+        let (mut net, mut rng) = balanced_net(300, 2);
+        let before_edges = net.graph().num_edges();
+        for _ in 0..150 {
+            assert!(net.leave(&mut rng).is_some());
+        }
+        assert_eq!(net.size(), 150);
+        assert!(net.graph().num_edges() < before_edges);
+    }
+
+    #[test]
+    fn leave_on_empty_returns_none() {
+        let mut net = DynamicNetwork::new(Graph::new(), JoinRule::Balanced { max_degree: 10 });
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(net.leave(&mut rng), None);
+    }
+
+    #[test]
+    fn preferential_joins_favor_hubs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::barabasi_albert(500, 3, &mut rng);
+        let hub = g
+            .nodes()
+            .max_by_key(|&v| g.degree(v))
+            .expect("non-empty");
+        let hub_degree_before = g.degree(hub);
+        let mut net = DynamicNetwork::new(g, JoinRule::PreferentialAttachment { m: 3 });
+        for _ in 0..300 {
+            net.join(&mut rng);
+        }
+        let gained_hub = net.graph().degree(hub) - hub_degree_before;
+        // A typical original node gains ~ 300*3/500 ~ 2 edges; the hub
+        // should gain far more under preferential attachment.
+        assert!(gained_hub > 8, "hub gained only {gained_hub} edges");
+    }
+
+    #[test]
+    fn churn_applies_both_directions() {
+        let (mut net, mut rng) = balanced_net(200, 5);
+        net.churn(50, 30, &mut rng);
+        assert_eq!(net.size(), 220);
+    }
+
+    #[test]
+    fn component_size_shrinks_under_fragmentation() {
+        let (mut net, mut rng) = balanced_net(400, 6);
+        for _ in 0..350 {
+            net.leave(&mut rng);
+        }
+        let probe = net.graph().random_node(&mut rng).expect("50 nodes remain");
+        let comp = net.component_size_of(probe);
+        assert!(comp <= net.size());
+    }
+
+    #[test]
+    fn topology_delegation() {
+        let (net, mut rng) = balanced_net(50, 7);
+        assert_eq!(net.peer_count(), 50);
+        let peer = net.any_peer(&mut rng).expect("non-empty");
+        assert!(net.contains(peer));
+        assert!(net.degree_of(peer) >= 1);
+        assert!(net.neighbor_of(peer, &mut rng).is_some());
+    }
+
+    use census_graph::Graph;
+}

@@ -1,0 +1,58 @@
+//! Churn simulation and experiment harness for overlay-census.
+//!
+//! §5 of the paper evaluates Random Tour and Sample & Collide on overlays
+//! of 100,000 nodes, both static and under churn (gradual shrink/growth
+//! and catastrophic ±25,000-node events). This crate provides the
+//! simulation substrate for those experiments:
+//!
+//! - [`DynamicNetwork`]: an overlay whose membership changes between
+//!   estimation runs — joins follow the generating model's attachment
+//!   rule, departures remove uniform nodes *without repair* (§5.1), so
+//!   the overlay can fragment and estimates refer to the probing node's
+//!   component.
+//! - [`Scenario`]: a declarative churn schedule (gradual phases and
+//!   sudden events keyed by run index) reproducing §5.3's three
+//!   scenarios exactly.
+//! - [`runner`]: drives an estimator through a scenario, recording per
+//!   run the true component size, the raw estimate, the sliding-window
+//!   smoothed estimate, and the message cost — the exact series plotted
+//!   in Figures 8–13.
+//! - [`loss`]: the §5.3.1 extension — probabilistic message loss with an
+//!   adaptive, trip-time-based initiator timeout.
+//!
+//! # Examples
+//!
+//! ```
+//! use census_core::RandomTour;
+//! use census_graph::generators;
+//! use census_sim::{DynamicNetwork, JoinRule, Scenario, runner::{run_dynamic, RunConfig}};
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let g = generators::balanced(500, 10, &mut rng);
+//! let mut net = DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 });
+//! // Shrink by 250 nodes between runs 20 and 60.
+//! let scenario = Scenario::new().remove_gradually(20, 60, 250);
+//! let records = run_dynamic(
+//!     &mut net,
+//!     &RandomTour::new(),
+//!     &RunConfig::new(80).with_window(10),
+//!     &scenario,
+//!     &mut rng,
+//! );
+//! assert_eq!(records.len(), 80);
+//! assert!(records.last().unwrap().true_size < 300.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loss;
+pub mod runner;
+
+mod dynamic;
+mod scenario;
+
+pub use dynamic::{DynamicNetwork, JoinRule};
+pub use scenario::Scenario;

@@ -1,0 +1,254 @@
+//! Message loss and adaptive timeouts (§5.3.1 extension).
+//!
+//! The paper's simulations "did not allow a departing node to leave the
+//! system with the probing message", but §5.3.1 sketches how a real
+//! deployment would cope: declare a probe lost when it has not returned
+//! within a timeout set adaptively from past trip times ("the average
+//! trip time, plus a few multiples of the trip time standard deviation").
+//! This module implements that sketch:
+//!
+//! - [`LossyTopology`] drops a walk at each hop with a configurable
+//!   probability, modelling a peer departing while holding the message;
+//! - [`AdaptiveTimeout`] tracks completed trip times and recommends the
+//!   paper's `mean + k·std` step budget.
+
+use census_graph::{NodeId, Topology};
+use census_stats::OnlineMoments;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cell::RefCell;
+
+/// A topology wrapper that loses the walker with probability
+/// `drop_probability` at each hop.
+///
+/// A drop is surfaced as the current node having "no neighbour", which
+/// the walk engines report as [`census_walk::WalkError::Stuck`] — the
+/// initiator sees a walk that never comes back, exactly the §5.3.1
+/// failure mode. Pair with [`AdaptiveTimeout`] (or
+/// [`census_core::RandomTour::with_timeout`]) and retry.
+#[derive(Debug)]
+pub struct LossyTopology<T> {
+    inner: T,
+    drop_probability: f64,
+    // Loss is an environment property, so the wrapper carries its own
+    // fault RNG rather than entangling walk randomness with fault
+    // randomness (estimates stay reproducible for a given walk seed).
+    faults: RefCell<SmallRng>,
+}
+
+impl<T: Topology> LossyTopology<T> {
+    /// Wraps `inner`, dropping walks with probability `drop_probability`
+    /// per hop; `fault_seed` seeds the fault process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_probability` is not in `[0, 1)`.
+    #[must_use]
+    pub fn new(inner: T, drop_probability: f64, fault_seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&drop_probability),
+            "drop probability must lie in [0, 1)"
+        );
+        Self {
+            inner,
+            drop_probability,
+            faults: RefCell::new(SmallRng::seed_from_u64(fault_seed)),
+        }
+    }
+
+    /// The wrapped topology.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The configured per-hop drop probability.
+    #[must_use]
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+}
+
+impl<T: Topology> Topology for LossyTopology<T> {
+    fn peer_count(&self) -> usize {
+        self.inner.peer_count()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.inner.contains(node)
+    }
+
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.inner.degree_of(node)
+    }
+
+    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        if self.faults.borrow_mut().random::<f64>() < self.drop_probability {
+            return None; // The probe message is lost at this hop.
+        }
+        self.inner.neighbor_of(node, rng)
+    }
+
+    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        self.inner.any_peer(rng)
+    }
+}
+
+/// Adaptive initiator-side timeout from past trip times (§5.3.1: "set
+/// this time-out to the average trip time, plus a few multiples of the
+/// trip time standard deviation ... estimated adaptively from past trip
+/// time measurements").
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeout {
+    trips: OnlineMoments,
+    multiplier: f64,
+    initial: u64,
+}
+
+impl AdaptiveTimeout {
+    /// Creates the tracker; until two trips complete, [`Self::budget`]
+    /// returns `initial`. `multiplier` is the "few multiples" `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not positive or `initial` is zero.
+    #[must_use]
+    pub fn new(initial: u64, multiplier: f64) -> Self {
+        assert!(initial > 0, "initial budget must be positive");
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        Self {
+            trips: OnlineMoments::new(),
+            multiplier,
+            initial,
+        }
+    }
+
+    /// Records a completed trip's hop count.
+    pub fn record(&mut self, hops: u64) {
+        self.trips.push(hops as f64);
+    }
+
+    /// The recommended step budget: `mean + k·std` over recorded trips,
+    /// or the initial budget before enough history exists.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        if self.trips.count() < 2 {
+            return self.initial;
+        }
+        let b = self.trips.mean() + self.multiplier * self.trips.sample_std();
+        b.ceil().max(1.0) as u64
+    }
+
+    /// Number of recorded trips.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.trips.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_core::{RandomTour, SizeEstimator};
+    use census_graph::generators;
+    use census_walk::WalkError;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn zero_loss_is_transparent() {
+        let g = generators::complete(20);
+        let lossy = LossyTopology::new(&g, 0.0, 7);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let est = RandomTour::new()
+                .estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng)
+                .expect("no loss, no failure");
+            assert!(est.value > 0.0);
+        }
+    }
+
+    #[test]
+    fn high_loss_breaks_most_walks() {
+        // Per-hop survival 0.5: even the shortest possible tour (2 hops)
+        // survives only 25% of the time, longer ones almost never.
+        let g = generators::ring(100);
+        let lossy = LossyTopology::new(&g, 0.5, 8);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let failures = (0..200)
+            .filter(|_| {
+                matches!(
+                    RandomTour::new().estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng),
+                    Err(census_core::EstimateError::Walk(WalkError::Stuck(_)))
+                )
+            })
+            .count();
+        assert!(failures > 150, "only {failures}/200 walks were lost");
+    }
+
+    #[test]
+    fn survivorship_bias_matches_truncated_tour_law() {
+        // Loss truncates *long* tours preferentially, so "retry until a
+        // tour completes" is biased low. On K_n the RT estimate equals
+        // the tour length τ = 2 + Geometric(p), p = 1/(n-1); with per-hop
+        // survival s the surviving-tour mean is E[τ s^τ]/E[s^τ], computed
+        // here by direct summation and compared against simulation.
+        let n = 30usize;
+        let s = 0.98f64;
+        let p = 1.0 / (n as f64 - 1.0);
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for k in 2..10_000u32 {
+            let pk = (1.0 - p).powi(k as i32 - 2) * p;
+            let w = pk * s.powi(k as i32);
+            num += f64::from(k) * w;
+            den += w;
+        }
+        let predicted = num / den;
+
+        let g = generators::complete(n);
+        let lossy = LossyTopology::new(&g, 1.0 - s, 9);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let rt = RandomTour::new();
+        let mut values = Vec::new();
+        while values.len() < 4_000 {
+            if let Ok(est) = rt.estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng) {
+                values.push(est.value);
+            }
+        }
+        let m: OnlineMoments = values.into_iter().collect();
+        assert!(
+            m.mean() < n as f64 * 0.85,
+            "survivors must be biased low, got {}",
+            m.mean()
+        );
+        let err = (m.mean() - predicted).abs() / m.standard_error();
+        assert!(
+            err < 4.0,
+            "mean {} vs truncated-law prediction {predicted}",
+            m.mean()
+        );
+    }
+
+    #[test]
+    fn adaptive_timeout_learns_trip_scale() {
+        let mut t = AdaptiveTimeout::new(1_000, 3.0);
+        assert_eq!(t.budget(), 1_000);
+        for hops in [10, 12, 9, 11, 10, 13, 8] {
+            t.record(hops);
+        }
+        let b = t.budget();
+        assert!(
+            (10..=20).contains(&b),
+            "budget {b} should be near mean+3std of ~10-hop trips"
+        );
+        assert_eq!(t.observations(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "lie in [0, 1)")]
+    fn certain_loss_is_rejected() {
+        let g = generators::ring(5);
+        let _ = LossyTopology::new(&g, 1.0, 1);
+    }
+
+    use census_stats::OnlineMoments;
+}

@@ -1,0 +1,314 @@
+//! Experiment runners: static repetition and dynamic scenario driving.
+
+use census_core::{EstimateError, SizeEstimator};
+use census_graph::NodeId;
+use census_stats::SlidingWindow;
+use rand::Rng;
+
+use crate::{DynamicNetwork, Scenario};
+
+/// One row of an experiment's output series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunRecord {
+    /// Run index (0-based).
+    pub run: u64,
+    /// Ground truth: size of the probing node's connected component.
+    pub true_size: f64,
+    /// The raw estimate of this run.
+    pub estimate: f64,
+    /// Sliding-window mean of estimates up to and including this run
+    /// (equal to `estimate` when no window is configured).
+    pub smoothed: f64,
+    /// Message cost of this run.
+    pub messages: u64,
+}
+
+/// Configuration of an experiment run series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    runs: u64,
+    window: Option<usize>,
+    retries: u32,
+}
+
+impl RunConfig {
+    /// `runs` estimation runs, no smoothing, up to 5 retries per run for
+    /// walks broken by churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn new(runs: u64) -> Self {
+        assert!(runs > 0, "an experiment needs at least one run");
+        Self {
+            runs,
+            window: None,
+            retries: 5,
+        }
+    }
+
+    /// Smooths estimates with a sliding window of the given size (the
+    /// paper uses 200 for Figures 2/6 and 700 for Figures 8–10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.window = Some(window);
+        self
+    }
+
+    /// Sets how many times a failed run is retried from a fresh random
+    /// initiator before the experiment panics.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Number of runs configured.
+    #[must_use]
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+}
+
+/// Runs `estimator` through a churn [`Scenario`] on a [`DynamicNetwork`],
+/// reproducing the dynamic experiments of §5.3.
+///
+/// Before each run the scenario's membership delta is applied (joins per
+/// the network's join rule, uniform departures). The probing node is kept
+/// fixed across runs, re-drawn uniformly whenever churn removes it — the
+/// natural reading of the paper's "the probing node".
+///
+/// Ground truth (`true_size`) is the probing node's component size,
+/// recomputed only when membership changed (BFS is the dominant cost at
+/// paper scale otherwise).
+///
+/// # Panics
+///
+/// Panics if the overlay becomes empty, or if a run keeps failing after
+/// the configured retries (e.g. the probing node's component has shrunk
+/// to an isolated point — at that point a size estimate is meaningless).
+pub fn run_dynamic<E, R>(
+    net: &mut DynamicNetwork,
+    estimator: &E,
+    config: &RunConfig,
+    scenario: &Scenario,
+    rng: &mut R,
+) -> Vec<RunRecord>
+where
+    E: SizeEstimator,
+    R: Rng,
+{
+    let mut records = Vec::with_capacity(config.runs as usize);
+    let mut window = config.window.map(SlidingWindow::new);
+    let mut probe: Option<NodeId> = None;
+    let mut cached_truth: Option<f64> = None;
+
+    for run in 0..config.runs {
+        let delta = scenario.delta_at(run);
+        if delta != 0 {
+            if delta > 0 {
+                net.churn(delta as usize, 0, rng);
+            } else {
+                net.churn(0, (-delta) as usize, rng);
+            }
+            cached_truth = None;
+        }
+        assert!(net.size() > 0, "scenario emptied the overlay at run {run}");
+
+        // Re-draw the probing node if churn removed it.
+        if probe.is_none_or(|p| !net.graph().is_alive(p)) {
+            probe = Some(net.graph().random_node(rng).expect("overlay is non-empty"));
+            cached_truth = None;
+        }
+        let probing = probe.expect("probe was just ensured");
+
+        let mut estimate = None;
+        for attempt in 0..=config.retries {
+            match estimator.estimate(net, probing, rng) {
+                Ok(e) => {
+                    estimate = Some(e);
+                    break;
+                }
+                Err(EstimateError::Walk(_)) if attempt < config.retries => {
+                    // Churn-broken walk: re-draw the probing node.
+                    probe = Some(net.graph().random_node(rng).expect("overlay is non-empty"));
+                    cached_truth = None;
+                }
+                Err(e) => panic!("run {run} failed after {attempt} retries: {e}"),
+            }
+        }
+        let estimate = estimate.expect("loop either sets an estimate or panics");
+        let probing = probe.expect("probe is set");
+
+        let truth = *cached_truth.get_or_insert_with(|| net.component_size_of(probing) as f64);
+        let smoothed = match &mut window {
+            Some(w) => {
+                w.push(estimate.value);
+                w.mean()
+            }
+            None => estimate.value,
+        };
+        records.push(RunRecord {
+            run,
+            true_size: truth,
+            estimate: estimate.value,
+            smoothed,
+            messages: estimate.messages,
+        });
+    }
+    records
+}
+
+/// Repeats an estimator on a *static* overlay, returning the raw series —
+/// the workload of the paper's Figures 1–7 and Table 1.
+///
+/// The initiator is fixed across runs (the paper launches repeated
+/// measurements from one probing node).
+///
+/// # Panics
+///
+/// Panics if any run fails (static overlays cannot break walks unless the
+/// initiator is isolated, which is a configuration error).
+pub fn run_static<E, R>(
+    net: &DynamicNetwork,
+    estimator: &E,
+    initiator: NodeId,
+    runs: u64,
+    rng: &mut R,
+) -> Vec<RunRecord>
+where
+    E: SizeEstimator,
+    R: Rng,
+{
+    let truth = net.component_size_of(initiator) as f64;
+    (0..runs)
+        .map(|run| {
+            let e = estimator
+                .estimate(net, initiator, rng)
+                .unwrap_or_else(|err| panic!("static run {run} failed: {err}"));
+            RunRecord {
+                run,
+                true_size: truth,
+                estimate: e.value,
+                smoothed: e.value,
+                messages: e.messages,
+            }
+        })
+        .collect()
+}
+
+/// Post-processes a record series into the paper's "quality %" cumulative
+/// average (Figure 1): entry `k` is the mean of the first `k+1` estimates
+/// as a percentage of the true size at run `k`.
+#[must_use]
+pub fn cumulative_quality_percent(records: &[RunRecord]) -> Vec<f64> {
+    let mut sum = 0.0;
+    records
+        .iter()
+        .enumerate()
+        .map(|(k, r)| {
+            sum += r.estimate;
+            100.0 * (sum / (k + 1) as f64) / r.true_size
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JoinRule;
+    use census_core::{PointEstimator, RandomTour, SampleCollide};
+    use census_graph::generators;
+    use census_sampling::OracleSampler;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn net(n: usize, seed: u64) -> (DynamicNetwork, SmallRng) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::balanced(n, 10, &mut rng);
+        (
+            DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 }),
+            rng,
+        )
+    }
+
+    #[test]
+    fn static_runs_have_constant_truth() {
+        let (net, mut rng) = net(200, 1);
+        let probe = net.graph().random_node(&mut rng).expect("non-empty");
+        let recs = run_static(&net, &RandomTour::new(), probe, 50, &mut rng);
+        assert_eq!(recs.len(), 50);
+        assert!(recs.iter().all(|r| r.true_size == recs[0].true_size));
+        assert!(recs.iter().all(|r| r.estimate > 0.0));
+    }
+
+    #[test]
+    fn dynamic_truth_tracks_shrinkage() {
+        let (mut net, mut rng) = net(400, 2);
+        let scenario = Scenario::new().remove_gradually(10, 40, 200);
+        let sc = SampleCollide::new(OracleSampler::new(), 5)
+            .with_point_estimator(PointEstimator::Asymptotic);
+        let recs = run_dynamic(&mut net, &sc, &RunConfig::new(50), &scenario, &mut rng);
+        assert_eq!(net.size(), 200);
+        let first = recs.first().expect("non-empty");
+        let last = recs.last().expect("non-empty");
+        assert!(first.true_size > last.true_size);
+        // Oracle-backed S&C keeps tracking within its statistical noise.
+        assert!((last.estimate / last.true_size - 1.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn sliding_window_smooths() {
+        let (net_, mut rng) = net(300, 3);
+        let mut net_ = net_;
+        let recs = run_dynamic(
+            &mut net_,
+            &RandomTour::new(),
+            &RunConfig::new(300).with_window(50),
+            &Scenario::new(),
+            &mut rng,
+        );
+        // Smoothed series varies less than the raw one.
+        let spread = |xs: Vec<f64>| {
+            let m: census_stats::OnlineMoments = xs.into_iter().collect();
+            m.sample_variance()
+        };
+        let raw = spread(recs.iter().map(|r| r.estimate).collect());
+        let smooth = spread(recs.iter().skip(50).map(|r| r.smoothed).collect());
+        assert!(smooth < raw / 4.0, "raw {raw} vs smoothed {smooth}");
+    }
+
+    #[test]
+    fn probe_is_replaced_when_removed() {
+        let (mut net, mut rng) = net(100, 4);
+        // Violent churn: remove 90% over 20 runs.
+        let scenario = Scenario::new().remove_gradually(0, 20, 90);
+        let sc = SampleCollide::new(OracleSampler::new(), 2)
+            .with_point_estimator(PointEstimator::Asymptotic);
+        let recs = run_dynamic(&mut net, &sc, &RunConfig::new(25), &scenario, &mut rng);
+        assert_eq!(recs.len(), 25);
+        assert_eq!(net.size(), 10);
+    }
+
+    #[test]
+    fn cumulative_quality_converges_to_100() {
+        let (net, mut rng) = net(300, 5);
+        let probe = net.graph().random_node(&mut rng).expect("non-empty");
+        let recs = run_static(&net, &RandomTour::new(), probe, 2_000, &mut rng);
+        let q = cumulative_quality_percent(&recs);
+        let last = *q.last().expect("non-empty");
+        assert!((last - 100.0).abs() < 15.0, "cumulative quality {last}%");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let _ = RunConfig::new(0);
+    }
+}

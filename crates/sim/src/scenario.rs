@@ -1,0 +1,227 @@
+//! Declarative churn schedules.
+
+/// A churn schedule mapping run indices to membership changes, built from
+/// gradual phases and sudden events.
+///
+/// Reproduces §5.3's three scenarios:
+///
+/// ```
+/// use census_sim::Scenario;
+///
+/// // Gradual decrease: 100k -> 50k between runs 3000 and 8000 (Fig. 8).
+/// let shrink = Scenario::new().remove_gradually(3_000, 8_000, 50_000);
+///
+/// // Gradual increase: 100k -> 150k between runs 3000 and 8000 (Fig. 9).
+/// let grow = Scenario::new().add_gradually(3_000, 8_000, 50_000);
+///
+/// // Catastrophic (Fig. 10): -25k at run 1000 and 5000, +25k at 7000.
+/// let chaos = Scenario::new()
+///     .remove_suddenly(1_000, 25_000)
+///     .remove_suddenly(5_000, 25_000)
+///     .add_suddenly(7_000, 25_000);
+///
+/// // Totals are exact.
+/// let total: i64 = (0..10_000).map(|r| shrink.delta_at(r)).sum();
+/// assert_eq!(total, -50_000);
+/// # let _ = (grow, chaos);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Scenario {
+    phases: Vec<Phase>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+enum Phase {
+    /// `total` nodes (signed) spread evenly over runs in
+    /// `[start, end)`, with integer rounding that makes the sum exact.
+    Gradual { start: u64, end: u64, total: i64 },
+    /// A one-shot change of `delta` nodes applied before run `run`.
+    Sudden { run: u64, delta: i64 },
+}
+
+impl Scenario {
+    /// The empty (static) scenario.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes `count` nodes spread evenly over runs `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    #[must_use]
+    pub fn remove_gradually(mut self, start: u64, end: u64, count: u64) -> Self {
+        assert!(start < end, "gradual phase needs a non-empty run range");
+        self.phases.push(Phase::Gradual {
+            start,
+            end,
+            total: -i64::try_from(count).expect("count fits in i64"),
+        });
+        self
+    }
+
+    /// Adds `count` nodes spread evenly over runs `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    #[must_use]
+    pub fn add_gradually(mut self, start: u64, end: u64, count: u64) -> Self {
+        assert!(start < end, "gradual phase needs a non-empty run range");
+        self.phases.push(Phase::Gradual {
+            start,
+            end,
+            total: i64::try_from(count).expect("count fits in i64"),
+        });
+        self
+    }
+
+    /// Removes `count` nodes at once, just before run `run`.
+    #[must_use]
+    pub fn remove_suddenly(mut self, run: u64, count: u64) -> Self {
+        self.phases.push(Phase::Sudden {
+            run,
+            delta: -i64::try_from(count).expect("count fits in i64"),
+        });
+        self
+    }
+
+    /// Adds `count` nodes at once, just before run `run`.
+    #[must_use]
+    pub fn add_suddenly(mut self, run: u64, count: u64) -> Self {
+        self.phases.push(Phase::Sudden {
+            run,
+            delta: i64::try_from(count).expect("count fits in i64"),
+        });
+        self
+    }
+
+    /// Net membership change to apply just before run `run` (positive:
+    /// joins; negative: departures).
+    ///
+    /// Gradual phases use cumulative integer rounding so that summing
+    /// `delta_at` over the phase yields the requested total exactly.
+    #[must_use]
+    pub fn delta_at(&self, run: u64) -> i64 {
+        let mut delta = 0i64;
+        for phase in &self.phases {
+            match *phase {
+                Phase::Sudden { run: r, delta: d } => {
+                    if r == run {
+                        delta += d;
+                    }
+                }
+                Phase::Gradual { start, end, total } => {
+                    if run >= start && run < end {
+                        let span = (end - start) as i128;
+                        let done = (run - start) as i128;
+                        let before = (i128::from(total) * done) / span;
+                        let after = (i128::from(total) * (done + 1)) / span;
+                        delta += (after - before) as i64;
+                    }
+                }
+            }
+        }
+        delta
+    }
+
+    /// Whether the scenario changes membership at any run in
+    /// `[0, horizon)`.
+    #[must_use]
+    pub fn is_static(&self, horizon: u64) -> bool {
+        (0..horizon).all(|r| self.delta_at(r) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_scenario_is_all_zero() {
+        let s = Scenario::new();
+        assert!(s.is_static(1_000));
+    }
+
+    #[test]
+    fn sudden_event_fires_once() {
+        let s = Scenario::new().remove_suddenly(10, 100);
+        assert_eq!(s.delta_at(9), 0);
+        assert_eq!(s.delta_at(10), -100);
+        assert_eq!(s.delta_at(11), 0);
+    }
+
+    #[test]
+    fn gradual_total_is_exact_even_with_rounding() {
+        // 7 nodes over 3 runs cannot divide evenly.
+        let s = Scenario::new().add_gradually(5, 8, 7);
+        let per_run: Vec<i64> = (0..10).map(|r| s.delta_at(r)).collect();
+        assert_eq!(per_run.iter().sum::<i64>(), 7);
+        assert_eq!(per_run[..5], [0, 0, 0, 0, 0]);
+        assert!(per_run[5..8].iter().all(|&d| d == 2 || d == 3));
+        assert_eq!(per_run[8], 0);
+    }
+
+    #[test]
+    fn paper_figure_8_schedule() {
+        let s = Scenario::new().remove_gradually(3_000, 8_000, 50_000);
+        let total: i64 = (0..10_000).map(|r| s.delta_at(r)).sum();
+        assert_eq!(total, -50_000);
+        assert_eq!(s.delta_at(2_999), 0);
+        assert_eq!(s.delta_at(3_000), -10);
+        assert_eq!(s.delta_at(8_000), 0);
+    }
+
+    #[test]
+    fn paper_figure_10_schedule() {
+        let s = Scenario::new()
+            .remove_suddenly(1_000, 25_000)
+            .remove_suddenly(5_000, 25_000)
+            .add_suddenly(7_000, 25_000);
+        let total: i64 = (0..10_000).map(|r| s.delta_at(r)).sum();
+        assert_eq!(total, -25_000);
+        assert_eq!(s.delta_at(1_000), -25_000);
+        assert_eq!(s.delta_at(7_000), 25_000);
+    }
+
+    #[test]
+    fn phases_compose_additively() {
+        let s = Scenario::new()
+            .add_gradually(0, 10, 10)
+            .remove_gradually(0, 10, 10);
+        assert!(s.is_static(20));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_schedule() {
+        let s = Scenario::new()
+            .remove_gradually(10, 20, 100)
+            .add_suddenly(30, 7);
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: Scenario = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(s, back);
+        assert_eq!(back.delta_at(30), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty run range")]
+    fn inverted_range_panics() {
+        let _ = Scenario::new().add_gradually(5, 5, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn gradual_sums_exactly(
+            start in 0u64..100,
+            len in 1u64..100,
+            count in 0u64..10_000,
+        ) {
+            let s = Scenario::new().remove_gradually(start, start + len, count);
+            let total: i64 = (0..start + len + 10).map(|r| s.delta_at(r)).sum();
+            prop_assert_eq!(total, -(count as i64));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal CSV writing for experiment outputs.
+//!
+//! The figure harness emits one CSV per paper figure. The format is plain
+//! enough that an external dependency is unwarranted: numeric columns,
+//! comma separation, no quoting needed for the identifiers we emit (writer
+//! rejects fields that would require quoting rather than silently
+//! corrupting the file).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::csv::CsvTable;
+///
+/// let mut t = CsvTable::new(&["run", "estimate"]);
+/// t.push_row(&[1.0, 99_832.0]);
+/// assert!(t.to_csv_string().starts_with("run,estimate\n1,99832\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no columns or a column name contains a comma,
+    /// quote, or newline.
+    #[must_use]
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "CSV table needs at least one column");
+        for c in columns {
+            assert!(
+                !c.contains([',', '"', '\n', '\r']),
+                "column name {c:?} requires quoting, which this writer does not support"
+            );
+        }
+        Self {
+            header: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a numeric row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(row.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as a CSV string. Integral values are printed
+    /// without a trailing `.0` so the files diff cleanly.
+    #[must_use]
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table to a file, creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or the file write.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(&[1.0, 2.5]);
+        t.push_row(&[-3.0, 0.125]);
+        assert_eq!(t.to_csv_string(), "a,b\n1,2.5\n-3,0.125\n");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = CsvTable::new(&["a"]);
+        t.push_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires quoting")]
+    fn comma_in_header_panics() {
+        let _ = CsvTable::new(&["a,b"]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("census-stats-csv-test");
+        let path = dir.join("nested/out.csv");
+        let mut t = CsvTable::new(&["x"]);
+        t.push_row(&[7.0]);
+        t.write_to(&path).expect("write succeeds");
+        let body = std::fs::read_to_string(&path).expect("file exists");
+        assert_eq!(body, "x\n7\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

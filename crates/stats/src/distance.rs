@@ -1,0 +1,199 @@
+//! Distances between probability distributions.
+//!
+//! The paper measures peer-sampling quality by the *variation distance*
+//! between the distribution of the returned sample and the uniform target
+//! (§4.1, Lemma 1). These helpers compute that distance, both between
+//! explicit probability vectors and from empirical sample counts, plus a
+//! chi-square uniformity statistic and a Kolmogorov–Smirnov statistic used
+//! by the test suite to check the limit law of Proposition 3.
+
+/// Total variation distance `½ Σ |p_i − q_i|` between two distributions.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::total_variation;
+///
+/// let d = total_variation(&[0.5, 0.5], &[1.0, 0.0]);
+/// assert!((d - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal support");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Converts raw counts over a support of size `support` into an empirical
+/// probability distribution.
+///
+/// `counts` maps support indices to observation counts; indices not present
+/// get probability zero.
+///
+/// # Panics
+///
+/// Panics if `support` is zero, if any index is out of range, or if there
+/// are no observations.
+#[must_use]
+pub fn empirical_distribution(counts: &[(usize, u64)], support: usize) -> Vec<f64> {
+    assert!(support > 0, "support must be non-empty");
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    assert!(total > 0, "empirical distribution needs observations");
+    let mut dist = vec![0.0; support];
+    for &(idx, c) in counts {
+        assert!(idx < support, "count index out of support range");
+        dist[idx] += c as f64 / total as f64;
+    }
+    dist
+}
+
+/// Chi-square statistic of observed counts against the uniform distribution
+/// over a support of the given size.
+///
+/// Returns `(statistic, degrees_of_freedom)`. Under uniformity the
+/// statistic is approximately chi-square distributed with
+/// `support - 1` degrees of freedom, i.e. mean `support - 1` and standard
+/// deviation `sqrt(2 (support - 1))`; the test suite uses a
+/// `mean + k·std` threshold rather than exact p-values.
+///
+/// # Panics
+///
+/// Panics if `support` is zero or if `counts` contains an index outside the
+/// support.
+#[must_use]
+pub fn chi_square_uniform(counts: &[(usize, u64)], support: usize) -> (f64, usize) {
+    assert!(support > 0, "support must be non-empty");
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    let expected = total as f64 / support as f64;
+    let mut stat = 0.0;
+    let mut seen = 0usize;
+    for &(idx, c) in counts {
+        assert!(idx < support, "count index out of support range");
+        let d = c as f64 - expected;
+        stat += d * d / expected;
+        seen += 1;
+    }
+    // Support points with zero observations contribute `expected` each.
+    stat += (support - seen) as f64 * expected;
+    (stat, support - 1)
+}
+
+/// One-sample Kolmogorov–Smirnov statistic: the maximal absolute deviation
+/// between the empirical CDF of `sample` and the reference CDF `cdf`.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or contains non-finite values.
+#[must_use]
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[f64], cdf: F) -> f64 {
+    assert!(!sample.is_empty(), "KS statistic needs a non-empty sample");
+    let mut sorted: Vec<f64> = sample.to_vec();
+    assert!(
+        sorted.iter().all(|v| v.is_finite()),
+        "KS statistic requires finite sample values"
+    );
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tv_identical_is_zero() {
+        assert_eq!(total_variation(&[0.3, 0.7], &[0.3, 0.7]), 0.0);
+    }
+
+    #[test]
+    fn tv_disjoint_is_one() {
+        let d = total_variation(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal support")]
+    fn tv_length_mismatch_panics() {
+        let _ = total_variation(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn empirical_normalises() {
+        let dist = empirical_distribution(&[(0, 3), (2, 1)], 4);
+        assert_eq!(dist, vec![0.75, 0.0, 0.25, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of support")]
+    fn empirical_out_of_range_panics() {
+        let _ = empirical_distribution(&[(5, 1)], 4);
+    }
+
+    #[test]
+    fn chi_square_uniform_counts_is_zero() {
+        let counts: Vec<(usize, u64)> = (0..10).map(|i| (i, 100)).collect();
+        let (stat, dof) = chi_square_uniform(&counts, 10);
+        assert!(stat.abs() < 1e-9);
+        assert_eq!(dof, 9);
+    }
+
+    #[test]
+    fn chi_square_detects_concentration() {
+        let (stat, dof) = chi_square_uniform(&[(0, 1000)], 10);
+        // All mass on one point of ten: statistic is huge vs dof.
+        assert_eq!(dof, 9);
+        assert!(stat > 100.0 * dof as f64);
+    }
+
+    #[test]
+    fn chi_square_counts_missing_support_points() {
+        // 100 observations over support 4, all on points 0 and 1.
+        let (stat, _) = chi_square_uniform(&[(0, 50), (1, 50)], 4);
+        let expected = 25.0;
+        let by_hand = 2.0 * (25.0f64.powi(2) / expected) + 2.0 * expected;
+        assert!((stat - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_of_exact_uniform_grid_is_small() {
+        let sample: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d < 0.001);
+    }
+
+    #[test]
+    fn ks_of_shifted_sample_is_large() {
+        let sample: Vec<f64> = (0..100).map(|i| 0.9 + 0.001 * i as f64).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d > 0.8);
+    }
+
+    proptest! {
+        #[test]
+        fn tv_is_symmetric_and_bounded(
+            p in proptest::collection::vec(0.0f64..1.0, 2..20),
+        ) {
+            let total: f64 = p.iter().sum();
+            prop_assume!(total > 0.0);
+            let p: Vec<f64> = p.iter().map(|x| x / total).collect();
+            let n = p.len();
+            let q = vec![1.0 / n as f64; n];
+            let d1 = total_variation(&p, &q);
+            let d2 = total_variation(&q, &p);
+            prop_assert!((d1 - d2).abs() < 1e-12);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&d1));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical cumulative distribution function built from a sample.
+///
+/// Used to regenerate the CDF plots of the paper (Figure 4: distribution of
+/// normalised estimate values; Figure 5: distribution of normalised message
+/// costs). Evaluation is `O(log n)` by binary search over the sorted sample.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::Ecdf;
+///
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+/// assert_eq!(cdf.eval(0.0), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample. Non-finite values are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample contains no finite value.
+    #[must_use]
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| v.is_finite());
+        assert!(!values.is_empty(), "ECDF requires at least one finite value");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        Self { sorted: values }
+    }
+
+    /// Fraction of the sample that is `<= x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 <= q <= 1`) using the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level must lie in [0, 1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median of the sample.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Number of sample points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is built on an empty sample (never true: the
+    /// constructor rejects empty input, so this always returns `false`; it
+    /// exists for API symmetry with `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest sample value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("ECDF is non-empty")
+    }
+
+    /// Returns `(x, F(x))` points suitable for plotting: the CDF evaluated
+    /// at `resolution + 1` evenly spaced abscissae spanning the sample
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    #[must_use]
+    pub fn plot_points(&self, resolution: usize) -> Vec<(f64, f64)> {
+        assert!(resolution > 0, "resolution must be positive");
+        let (lo, hi) = (self.min(), self.max());
+        let step = (hi - lo) / resolution as f64;
+        (0..=resolution)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The sorted sample underlying the ECDF.
+    #[must_use]
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "at least one finite value")]
+    fn empty_panics() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite value")]
+    fn all_nan_panics() {
+        let _ = Ecdf::new(vec![f64::NAN, f64::INFINITY]);
+    }
+
+    #[test]
+    fn step_values() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(1.5), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = Ecdf::new((1..=10).map(f64::from).collect());
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(0.1), 1.0);
+        assert_eq!(cdf.median(), 5.0);
+        assert_eq!(cdf.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn plot_points_monotone() {
+        let cdf = Ecdf::new(vec![0.0, 1.0, 5.0, 9.0, 10.0]);
+        let pts = cdf.plot_points(20);
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(pts.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let cdf = Ecdf::new(vec![7.0]);
+        assert_eq!(cdf.eval(6.9), 0.0);
+        assert_eq!(cdf.eval(7.0), 1.0);
+        assert_eq!(cdf.median(), 7.0);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_monotone_in_x(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            a in -1e3f64..1e3,
+            b in -1e3f64..1e3,
+        ) {
+            let cdf = Ecdf::new(xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.eval(lo) <= cdf.eval(hi));
+        }
+
+        #[test]
+        fn quantile_inverts_eval(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            q in 0.01f64..1.0,
+        ) {
+            let cdf = Ecdf::new(xs);
+            let x = cdf.quantile(q);
+            prop_assert!(cdf.eval(x) >= q - 1e-12);
+        }
+    }
+}

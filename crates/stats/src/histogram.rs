@@ -1,0 +1,178 @@
+//! Uniform-bin histograms.
+
+/// A histogram with uniformly sized bins over a fixed range.
+///
+/// Values below the range are clamped into the first bin and values above
+/// into the last, so every pushed finite value is counted; this mirrors how
+/// the paper reports bounded "quality %" plots.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.push(1.0);
+/// h.push(9.5);
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, if `lo >= hi`, or if either bound is not
+    /// finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lower bound must be below upper bound");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let idx = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
+        let idx = if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of counted observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin relative frequencies; all zeros when empty.
+    #[must_use]
+    pub fn frequencies(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.0, 0.1, 0.3, 0.5, 0.99] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-5.0);
+        h.push(5.0);
+        h.push(1.0); // hi itself clamps into last bin
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(f64::NAN);
+        h.push(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(0.0, 10.0, 7);
+        for i in 0..100 {
+            h.push(i as f64 / 10.0);
+        }
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_finite_pushes(xs in proptest::collection::vec(-10f64..20.0, 0..200)) {
+            let mut h = Histogram::new(0.0, 10.0, 11);
+            for &x in &xs {
+                h.push(x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Statistical utilities shared by the overlay-census crates.
+//!
+//! This crate provides the small, dependency-light statistical toolbox used
+//! throughout the reproduction of Massoulié et al., *Peer counting and
+//! sampling in overlay networks: random walk methods* (PODC 2006):
+//!
+//! - [`OnlineMoments`]: numerically stable streaming mean/variance
+//!   (Welford's algorithm), used to summarise estimator runs.
+//! - [`SlidingWindow`]: fixed-size moving average, used by the paper's
+//!   dynamic experiments (e.g. the 700-sample window of Figures 8–10).
+//! - [`Ecdf`]: empirical cumulative distribution function, used for the CDF
+//!   plots of Figures 4 and 5.
+//! - [`Histogram`]: uniform-bin histogram.
+//! - distance measures ([`total_variation`], [`chi_square_uniform`],
+//!   [`ks_statistic`]) used to quantify the quality of peer-sampling
+//!   distributions against the uniform target.
+//! - [`Summary`]: one-shot descriptive statistics of a sample.
+//!
+//! # Examples
+//!
+//! ```
+//! use census_stats::OnlineMoments;
+//!
+//! let mut m = OnlineMoments::new();
+//! for x in [1.0, 2.0, 3.0] {
+//!     m.push(x);
+//! }
+//! assert_eq!(m.mean(), 2.0);
+//! assert_eq!(m.sample_variance(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod ecdf;
+mod histogram;
+mod moments;
+mod series;
+mod summary;
+mod window;
+
+pub mod csv;
+
+pub use distance::{chi_square_uniform, empirical_distribution, ks_statistic, total_variation};
+pub use series::{autocorrelation, bootstrap_mean_ci, ConfidenceInterval};
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use moments::OnlineMoments;
+pub use summary::Summary;
+pub use window::SlidingWindow;

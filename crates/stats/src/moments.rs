@@ -1,0 +1,258 @@
+//! Streaming mean/variance via Welford's algorithm.
+
+/// Numerically stable streaming estimator of mean and variance.
+///
+/// Uses Welford's online algorithm so that very long runs (millions of
+/// estimator invocations) do not lose precision to catastrophic
+/// cancellation. Two accumulators can be [merged](OnlineMoments::merge),
+/// which the figure harness uses to combine per-thread partial results.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::OnlineMoments;
+///
+/// let m: OnlineMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(m.mean(), 5.0);
+/// assert_eq!(m.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations seen so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations; `NaN` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by `n`); `NaN` when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`); `NaN` when fewer than two
+    /// observations have been pushed.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / sqrt(n)`.
+    #[must_use]
+    pub fn standard_error(&self) -> f64 {
+        self.sample_std() / (self.count as f64).sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for OnlineMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = OnlineMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for OnlineMoments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_nan() {
+        let m = OnlineMoments::new();
+        assert_eq!(m.count(), 0);
+        assert!(m.mean().is_nan());
+        assert!(m.population_variance().is_nan());
+        assert!(m.sample_variance().is_nan());
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut m = OnlineMoments::new();
+        m.push(42.0);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert!(m.sample_variance().is_nan());
+        assert_eq!(m.min(), 42.0);
+        assert_eq!(m.max(), 42.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let m: OnlineMoments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(m.mean(), 5.0);
+        assert!((m.population_variance() - 4.0).abs() < 1e-12);
+        assert!((m.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut left: OnlineMoments = a.iter().copied().collect();
+        let right: OnlineMoments = b.iter().copied().collect();
+        left.merge(&right);
+        let all: OnlineMoments = xs.iter().copied().collect();
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m: OnlineMoments = [1.0, 2.0].into_iter().collect();
+        let before = m;
+        m.merge(&OnlineMoments::new());
+        assert_eq!(m, before);
+        let mut e = OnlineMoments::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut m = OnlineMoments::new();
+        m.extend([1.0, 3.0]);
+        m.extend([5.0]);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.mean(), 3.0);
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_n() {
+        let small: OnlineMoments = (0..10).map(|i| i as f64).collect();
+        let large: OnlineMoments = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(large.standard_error() < small.standard_error());
+    }
+
+    proptest! {
+        #[test]
+        fn mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let m: OnlineMoments = xs.iter().copied().collect();
+            prop_assert!(m.mean() >= m.min() - 1e-9);
+            prop_assert!(m.mean() <= m.max() + 1e-9);
+        }
+
+        #[test]
+        fn variance_non_negative(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let m: OnlineMoments = xs.iter().copied().collect();
+            prop_assert!(m.population_variance() >= -1e-9);
+            prop_assert!(m.sample_variance() >= -1e-9);
+        }
+
+        #[test]
+        fn merge_commutes(
+            xs in proptest::collection::vec(-1e3f64..1e3, 0..50),
+            ys in proptest::collection::vec(-1e3f64..1e3, 0..50),
+        ) {
+            let a: OnlineMoments = xs.iter().copied().collect();
+            let b: OnlineMoments = ys.iter().copied().collect();
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            prop_assert_eq!(ab.count(), ba.count());
+            if ab.count() > 0 {
+                prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+                prop_assert!((ab.population_variance() - ba.population_variance()).abs() < 1e-6);
+            }
+        }
+    }
+}

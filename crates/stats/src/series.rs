@@ -1,0 +1,243 @@
+//! Time-series diagnostics for estimator run sequences.
+//!
+//! Both of the paper's methods produce *sequences* of estimates whose
+//! averaging behaviour matters (sliding windows, cumulative means). These
+//! helpers check the i.i.d. assumptions behind that averaging:
+//! [`autocorrelation`] detects dependence between consecutive runs (e.g.
+//! tours from the same initiator are independent; windowed series are
+//! not), and [`bootstrap_mean_ci`] produces distribution-free confidence
+//! intervals for estimator means, used by the harness's paper-vs-measured
+//! comparisons.
+
+use rand::Rng;
+
+/// Sample autocorrelation of `xs` at the given lag:
+/// `Σ (x_t − x̄)(x_{t+lag} − x̄) / Σ (x_t − x̄)²`.
+///
+/// Returns `NaN` when the series is constant (zero variance).
+///
+/// # Panics
+///
+/// Panics if `lag >= xs.len()` or the series is empty.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::autocorrelation;
+///
+/// let alternating: Vec<f64> = (0..100).map(|i| f64::from(i % 2)).collect();
+/// assert!(autocorrelation(&alternating, 1) < -0.9);
+/// assert!(autocorrelation(&alternating, 2) > 0.9);
+/// ```
+#[must_use]
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    assert!(!xs.is_empty(), "autocorrelation needs observations");
+    assert!(lag < xs.len(), "lag must be below the series length");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let denom: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return f64::NAN;
+    }
+    let numer: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum();
+    numer / denom
+}
+
+/// A two-sided bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `value`.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lo..=self.hi).contains(&value)
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`:
+/// resamples with replacement `resamples` times and takes the empirical
+/// `(1±level)/2` quantiles of the resampled means.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, `resamples` is zero, or `level` is not in
+/// `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::bootstrap_mean_ci;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let xs: Vec<f64> = (0..200).map(|i| f64::from(i % 10)).collect();
+/// let ci = bootstrap_mean_ci(&xs, 500, 0.95, &mut SmallRng::seed_from_u64(1));
+/// assert!(ci.contains(4.5));
+/// ```
+#[must_use]
+pub fn bootstrap_mean_ci<R: Rng>(
+    xs: &[f64],
+    resamples: u32,
+    level: f64,
+    rng: &mut R,
+) -> ConfidenceInterval {
+    assert!(!xs.is_empty(), "bootstrap needs observations");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "level must lie in (0, 1)");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let total: f64 = (0..n).map(|_| xs[rng.random_range(0..n)]).sum();
+            total / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("means are finite"));
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |q: f64| {
+        let idx = ((means.len() as f64 - 1.0) * q).round() as usize;
+        means[idx]
+    };
+    ConfidenceInterval {
+        lo: pick(alpha),
+        mean,
+        hi: pick(1.0 - alpha),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iid_noise_has_small_autocorrelation() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>()).collect();
+        for lag in 1..5 {
+            let r = autocorrelation(&xs, lag);
+            assert!(r.abs() < 0.05, "lag {lag}: {r}");
+        }
+    }
+
+    #[test]
+    fn moving_average_series_is_positively_correlated() {
+        // A sliding-window mean over iid noise has autocorrelation
+        // ~ 1 - lag/window at small lags: the reason windowed quality
+        // plots look smooth (and why window width trades reactivity).
+        let mut rng = SmallRng::seed_from_u64(2);
+        let raw: Vec<f64> = (0..6_000).map(|_| rng.random::<f64>()).collect();
+        let window = 50;
+        let smoothed: Vec<f64> = raw
+            .windows(window)
+            .map(|w| w.iter().sum::<f64>() / window as f64)
+            .collect();
+        let r1 = autocorrelation(&smoothed, 1);
+        let r25 = autocorrelation(&smoothed, 25);
+        assert!(r1 > 0.9, "lag-1 of smoothed series: {r1}");
+        assert!(r25 > 0.3 && r25 < 0.7, "lag-25 of smoothed series: {r25}");
+    }
+
+    #[test]
+    fn constant_series_is_nan() {
+        assert!(autocorrelation(&[3.0; 10], 1).is_nan());
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the series length")]
+    fn oversized_lag_panics() {
+        let _ = autocorrelation(&[1.0, 2.0], 5);
+    }
+
+    #[test]
+    fn ci_covers_true_mean_of_known_distribution() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut covered = 0;
+        let trials = 60;
+        for _ in 0..trials {
+            let xs: Vec<f64> = (0..150).map(|_| rng.random::<f64>() * 2.0).collect();
+            let ci = bootstrap_mean_ci(&xs, 300, 0.95, &mut rng);
+            if ci.contains(1.0) {
+                covered += 1;
+            }
+        }
+        // 95% nominal coverage: allow generous slack on 60 trials.
+        assert!(covered >= 50, "covered only {covered}/{trials}");
+    }
+
+    #[test]
+    fn ci_width_shrinks_with_sample_size() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let small: Vec<f64> = (0..50).map(|_| rng.random::<f64>()).collect();
+        let large: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>()).collect();
+        let ci_small = bootstrap_mean_ci(&small, 400, 0.95, &mut rng);
+        let ci_large = bootstrap_mean_ci(&large, 400, 0.95, &mut rng);
+        assert!(ci_large.width() < ci_small.width() / 3.0);
+    }
+
+    #[test]
+    fn singleton_sample_is_degenerate_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ci = bootstrap_mean_ci(&[7.0], 100, 0.9, &mut rng);
+        assert_eq!((ci.lo, ci.mean, ci.hi), (7.0, 7.0, 7.0));
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn ci_is_ordered_and_brackets_the_mean(
+            xs in proptest::collection::vec(-100.0f64..100.0, 2..80),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ci = bootstrap_mean_ci(&xs, 200, 0.9, &mut rng);
+            prop_assert!(ci.lo <= ci.hi);
+            // The sample mean need not be inside a percentile CI in
+            // pathological cases, but lo/hi must be plausible resample
+            // means, i.e. within the data range.
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(ci.lo >= min - 1e-9 && ci.hi <= max + 1e-9);
+        }
+
+        #[test]
+        fn autocorrelation_is_bounded(
+            xs in proptest::collection::vec(-100.0f64..100.0, 3..100),
+            lag in 1usize..3,
+        ) {
+            prop_assume!(lag < xs.len());
+            let r = autocorrelation(&xs, lag);
+            if !r.is_nan() {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+    }
+}

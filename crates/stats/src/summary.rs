@@ -1,0 +1,121 @@
+//! One-shot descriptive statistics.
+
+use crate::OnlineMoments;
+
+/// Descriptive statistics of a finished sample.
+///
+/// This is the record printed by the figure harness for Table 1 of the
+/// paper (mean and variance of normalised estimate values and costs).
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.count, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample variance (`n - 1` denominator); `NaN` if `count < 2`.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        let m: OnlineMoments = values.iter().copied().collect();
+        Self::from(&m)
+    }
+
+    /// Relative standard deviation `std / |mean|`; `NaN` when the mean is
+    /// zero or moments are undefined.
+    #[must_use]
+    pub fn relative_std(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::NAN
+        } else {
+            self.std / self.mean.abs()
+        }
+    }
+}
+
+impl From<&OnlineMoments> for Summary {
+    fn from(m: &OnlineMoments) -> Self {
+        Self {
+            count: m.count(),
+            mean: m.mean(),
+            variance: m.sample_variance(),
+            std: m.sample_std(),
+            min: m.min(),
+            max: m.max(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} var={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.variance, self.std, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarises_known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_panics() {
+        let _ = Summary::from_slice(&[]);
+    }
+
+    #[test]
+    fn relative_std() {
+        let s = Summary::from_slice(&[9.0, 11.0]);
+        assert!((s.relative_std() - (2.0f64).sqrt() / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Summary::from_slice(&[1.0, 2.0]);
+        let json = serde_json::to_string(&s).expect("serialize");
+        assert_eq!(serde_json::from_str::<Summary>(&json).expect("deserialize"), s);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Summary::from_slice(&[1.0]);
+        assert!(!format!("{s}").is_empty());
+    }
+}

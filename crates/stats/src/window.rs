@@ -1,0 +1,188 @@
+//! Fixed-capacity sliding-window average.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity sliding window maintaining a running mean.
+///
+/// The paper smooths noisy per-run size estimates with sliding windows
+/// (200 samples in Figures 2 and 6, 700 samples in Figures 8–10). A larger
+/// window reduces estimator variance at the cost of reactivity to churn;
+/// this trade-off is exactly what `SlidingWindow` lets the experiments
+/// explore.
+///
+/// # Examples
+///
+/// ```
+/// use census_stats::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(2);
+/// w.push(1.0);
+/// w.push(3.0);
+/// assert_eq!(w.mean(), 2.0);
+/// w.push(5.0); // evicts 1.0
+/// assert_eq!(w.mean(), 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    values: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be positive");
+        Self {
+            capacity,
+            values: VecDeque::with_capacity(capacity),
+            sum: 0.0,
+        }
+    }
+
+    /// Appends a value, evicting the oldest when full. Returns the evicted
+    /// value, if any.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let evicted = if self.values.len() == self.capacity {
+            let old = self.values.pop_front().expect("window is non-empty");
+            self.sum -= old;
+            Some(old)
+        } else {
+            None
+        };
+        self.values.push_back(x);
+        self.sum += x;
+        // Guard against drift from long streams of cancelling additions.
+        if self.values.len().is_multiple_of(4096) {
+            self.sum = self.values.iter().sum();
+        }
+        evicted
+    }
+
+    /// Mean of the values currently in the window; `NaN` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            f64::NAN
+        } else {
+            self.sum / self.values.len() as f64
+        }
+    }
+
+    /// Number of values currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the window holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the window has reached its capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.capacity
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over the values from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Removes all values.
+    pub fn clear(&mut self) {
+        self.values.clear();
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn empty_mean_is_nan() {
+        assert!(SlidingWindow::new(3).mean().is_nan());
+    }
+
+    #[test]
+    fn fills_then_evicts_fifo() {
+        let mut w = SlidingWindow::new(3);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.push(4.0), Some(1.0));
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SlidingWindow::new(2);
+        w.push(5.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(w.mean().is_nan());
+        w.push(7.0);
+        assert_eq!(w.mean(), 7.0);
+    }
+
+    #[test]
+    fn iter_is_oldest_first() {
+        let mut w = SlidingWindow::new(2);
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        let v: Vec<f64> = w.iter().collect();
+        assert_eq!(v, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn long_stream_stays_accurate() {
+        let mut w = SlidingWindow::new(100);
+        for i in 0..100_000 {
+            w.push((i % 7) as f64 * 1e6 - 3e6);
+        }
+        let expected: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((w.mean() - expected).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_matches_naive(
+            xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+            cap in 1usize..50,
+        ) {
+            let mut w = SlidingWindow::new(cap);
+            for &x in &xs {
+                w.push(x);
+            }
+            let tail: Vec<f64> = xs.iter().rev().take(cap).rev().copied().collect();
+            let naive = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert!((w.mean() - naive).abs() < 1e-6);
+            prop_assert_eq!(w.len(), tail.len());
+        }
+    }
+}

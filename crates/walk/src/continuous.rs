@@ -1,0 +1,390 @@
+//! Continuous-time random walks (CTRW), emulated by message passing.
+//!
+//! The standard CTRW on a graph stays at node `j` for an exponential time
+//! of mean `1/d_j`, then jumps to a uniform neighbour; its generator is
+//! `−L` (the negated Laplacian) and its stationary distribution is
+//! *uniform* — the key fact behind the paper's unbiased sampler (§4.1).
+//! The overlay emulates the CTRW without any real clock: the probe
+//! message carries a timer `T` and each visited node decrements it by a
+//! locally drawn `Exp(1)/d_j`; when the timer dies at a node, that node is
+//! distributed as the CTRW at time `T`.
+//!
+//! The paper's Remark 1 also considers the *deterministic*-sojourn variant
+//! (each visit consumes exactly `1/d_j`), which needs no local randomness
+//! but fails to mix on bipartite graphs; both variants are provided so the
+//! counterexample is reproducible.
+
+use census_graph::{Graph, NodeId, Topology};
+use rand::Rng;
+
+use crate::WalkError;
+
+/// How a node's sojourn time is drawn during a CTRW emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sojourn {
+    /// `Exp(1)/d_j`: the standard CTRW. Sound for sampling (Lemma 1).
+    #[default]
+    Exponential,
+    /// Exactly `1/d_j`: the deterministic variant of §3.3 / Remark 1.
+    /// Cheaper (no local randomness) but unsound for sampling on
+    /// near-bipartite topologies.
+    Deterministic,
+}
+
+/// Outcome of a CTRW emulation: where the timer died and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtrwOutcome {
+    /// The node at which the timer expired — the returned sample.
+    pub node: NodeId,
+    /// Overlay messages spent: one per forwarding hop. The expected value
+    /// is `T·d̄` for the standard CTRW on a graph with mean degree `d̄`
+    /// (§4.3).
+    pub hops: u64,
+}
+
+/// Emulates a CTRW of duration `timer` from `start` and returns the node
+/// where the timer expires, together with the hop cost (§4.1, the
+/// sampling sub-routine).
+///
+/// An isolated `start` node traps the walk: the timer simply expires
+/// there (the CTRW definition — zero jump rate — not an error).
+///
+/// # Errors
+///
+/// This function currently cannot fail, but returns `Result` for parity
+/// with [`crate::discrete::random_tour`] and to leave room for the
+/// message-loss model.
+///
+/// # Panics
+///
+/// Panics if `start` is not alive or `timer` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators;
+/// use census_walk::continuous::{ctrw_walk, Sojourn};
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::complete(20);
+/// let start = g.nodes().next().expect("non-empty");
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let out = ctrw_walk(&g, start, 5.0, Sojourn::Exponential, &mut rng)?;
+/// assert!(g.is_alive(out.node));
+/// # Ok::<(), census_walk::WalkError>(())
+/// ```
+pub fn ctrw_walk<T, R>(
+    topology: &T,
+    start: NodeId,
+    timer: f64,
+    sojourn: Sojourn,
+    rng: &mut R,
+) -> Result<CtrwOutcome, WalkError>
+where
+    T: Topology + ?Sized,
+    R: Rng,
+{
+    assert!(topology.contains(start), "CTRW start must be alive");
+    assert!(
+        timer.is_finite() && timer > 0.0,
+        "CTRW timer must be positive and finite"
+    );
+    let mut remaining = timer;
+    let mut current = start;
+    let mut hops: u64 = 0;
+    loop {
+        let degree = topology.degree_of(current);
+        if degree == 0 {
+            // Zero jump rate: the walk stays here forever.
+            return Ok(CtrwOutcome { node: current, hops });
+        }
+        let drain = match sojourn {
+            Sojourn::Exponential => standard_exponential(rng) / degree as f64,
+            Sojourn::Deterministic => 1.0 / degree as f64,
+        };
+        remaining -= drain;
+        if remaining <= 0.0 {
+            return Ok(CtrwOutcome { node: current, hops });
+        }
+        current = topology
+            .neighbor_of(current, rng)
+            .expect("positive degree implies a neighbour");
+        hops += 1;
+    }
+}
+
+/// Draws a unit-mean exponential variate via inversion, `−ln(U)` with
+/// `U ∈ (0, 1]` (the method the paper cites from Ross).
+pub fn standard_exponential<R: Rng>(rng: &mut R) -> f64 {
+    // `random::<f64>()` is in [0, 1); flipping to (0, 1] avoids ln(0).
+    -(1.0 - rng.random::<f64>()).ln()
+}
+
+/// Exact distribution of the standard CTRW at time `t` started from
+/// `start`: the row `exp(−Lt) δ_start`, computed by uniformization
+/// (Poisson-weighted powers of `I − L/Λ` with `Λ = max degree`).
+///
+/// This is the noiseless oracle for Lemma 1 used by the sampling tests:
+/// the total-variation distance between this vector and uniform is the
+/// exact sampling error of [`ctrw_walk`]. Indices follow
+/// [`census_graph::spectral::DenseIndex`] order.
+///
+/// # Panics
+///
+/// Panics if the graph is empty, `start` is not alive, or `t` is
+/// negative/not finite.
+#[must_use]
+pub fn exact_distribution(g: &Graph, start: NodeId, t: f64) -> Vec<f64> {
+    assert!(g.is_alive(start), "CTRW start must be alive");
+    assert!(t.is_finite() && t >= 0.0, "time must be non-negative and finite");
+    let idx = census_graph::spectral::DenseIndex::new(g);
+    let n = idx.len();
+    let lambda = g.max_degree().max(1) as f64;
+
+    let mut current = vec![0.0f64; n];
+    current[idx.dense(start)] = 1.0;
+    let mut acc = vec![0.0f64; n];
+    let mut next = vec![0.0f64; n];
+
+    // Poisson(Λt) weights, accumulated until the tail is negligible.
+    // Weights are tracked in log space: for large Λt (high-degree graphs,
+    // long horizons) the head weight e^(−Λt) underflows to zero linearly,
+    // which would silently zero the whole sum. In log space the early
+    // terms exponentiate to (a correct) 0 and the bulk around k ≈ Λt
+    // contributes normally; final renormalisation absorbs the truncated
+    // head and tail.
+    let lt = lambda * t;
+    let mut log_weight = -lt;
+    let mut cum = log_weight.exp();
+    for i in 0..n {
+        acc[i] += cum * current[i];
+    }
+    let mut k = 0u64;
+    let horizon = (lt + 12.0 * lt.sqrt() + 50.0) as u64;
+    while cum < 1.0 - 1e-13 && k < horizon {
+        k += 1;
+        // next = (I - L/Λ) current  =  current - (L current)/Λ
+        for d in 0..n {
+            let v = idx.node(d);
+            let mut l_row = g.degree(v) as f64 * current[d];
+            for &u in g.neighbors(v) {
+                l_row -= current[idx.dense(u)];
+            }
+            next[d] = current[d] - l_row / lambda;
+        }
+        std::mem::swap(&mut current, &mut next);
+        log_weight += (lt / k as f64).ln();
+        let weight = log_weight.exp();
+        cum += weight;
+        if weight > 0.0 {
+            for i in 0..n {
+                acc[i] += weight * current[i];
+            }
+        }
+    }
+    // Renormalise away the truncated Poisson tail.
+    let total: f64 = acc.iter().sum();
+    for v in &mut acc {
+        *v /= total;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::{generators, Graph};
+    use census_stats::total_variation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_variates_have_unit_mean() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| standard_exponential(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn walk_stays_on_isolated_node() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = ctrw_walk(&g, a, 10.0, Sojourn::Exponential, &mut rng).expect("completes");
+        assert_eq!(out.node, a);
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn tiny_timer_rarely_leaves_start() {
+        let g = generators::ring(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut stayed = 0;
+        for _ in 0..1000 {
+            let out = ctrw_walk(&g, NodeId::new(0), 1e-6, Sojourn::Exponential, &mut rng)
+                .expect("completes");
+            if out.node == NodeId::new(0) {
+                stayed += 1;
+            }
+        }
+        assert!(stayed > 990, "stayed {stayed}/1000");
+    }
+
+    #[test]
+    fn deterministic_sojourn_hops_are_exact() {
+        // On a d-regular graph with deterministic sojourns, hops = ceil(T*d) - 1.
+        let g = generators::ring(50); // 2-regular
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = ctrw_walk(&g, NodeId::new(0), 3.25, Sojourn::Deterministic, &mut rng)
+            .expect("completes");
+        // Timer drains 0.5 per visit; dies during the 7th visit -> 6 hops.
+        assert_eq!(out.hops, 6);
+    }
+
+    #[test]
+    fn expected_hop_cost_is_t_times_mean_degree() {
+        // §4.3: mean messages per sample ≈ T * average degree.
+        let g = generators::complete(11); // 10-regular
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = 3.0;
+        let runs = 5_000;
+        let total: u64 = (0..runs)
+            .map(|_| {
+                ctrw_walk(&g, NodeId::new(0), t, Sojourn::Exponential, &mut rng)
+                    .expect("completes")
+                    .hops
+            })
+            .sum();
+        let mean = total as f64 / f64::from(runs);
+        let expected = t * 10.0;
+        assert!(
+            (mean - expected).abs() < 1.0,
+            "mean hops {mean} vs T*d = {expected}"
+        );
+    }
+
+    #[test]
+    fn long_timer_samples_nearly_uniformly_on_a_star() {
+        // Star: DTRW would give the hub mass 1/2; the CTRW must give ~1/n.
+        let g = generators::star(6);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let runs = 30_000u32;
+        let mut hub = 0u32;
+        for _ in 0..runs {
+            let out = ctrw_walk(&g, NodeId::new(1), 30.0, Sojourn::Exponential, &mut rng)
+                .expect("completes");
+            if out.node == NodeId::new(0) {
+                hub += 1;
+            }
+        }
+        let frac = f64::from(hub) / f64::from(runs);
+        assert!(
+            (frac - 1.0 / 6.0).abs() < 0.02,
+            "hub mass {frac} should be ~1/6, not the DTRW's 1/2"
+        );
+    }
+
+    #[test]
+    fn exact_distribution_at_time_zero_is_delta() {
+        let g = generators::ring(5);
+        let dist = exact_distribution(&g, NodeId::new(2), 0.0);
+        assert_eq!(dist[2], 1.0);
+        assert_eq!(dist.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn exact_distribution_converges_to_uniform() {
+        let g = generators::ring(8);
+        let dist = exact_distribution(&g, NodeId::new(0), 200.0);
+        let uniform = vec![1.0 / 8.0; 8];
+        assert!(total_variation(&dist, &uniform) < 1e-9);
+    }
+
+    #[test]
+    fn exact_distribution_survives_large_rate_times_time() {
+        // Regression: a high-degree hub makes Λt large enough that the
+        // head Poisson weight e^(-Λt) underflows; the log-space weights
+        // must keep the distribution finite and normalised.
+        let g = generators::star(100); // hub degree 99, Λt = 990 at t=10
+        let dist = exact_distribution(&g, NodeId::new(3), 10.0);
+        assert!(dist.iter().all(|p| p.is_finite() && *p >= 0.0));
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Long horizon: near-uniform, within Lemma 1's bound for the
+        // star's spectral gap of 1: TV <= 0.5*sqrt(100)*e^(-10) ~ 2.3e-4.
+        let uniform = vec![1.0 / 100.0; 100];
+        let tv = total_variation(&dist, &uniform);
+        assert!(tv <= 0.5 * 10.0 * (-10.0f64).exp() + 1e-12, "tv {tv}");
+    }
+
+    #[test]
+    fn exact_distribution_matches_lemma_1_bound() {
+        // d_TV(t) <= 0.5 * sqrt(N) * exp(-lambda_2 t) for every t.
+        let g = generators::hypercube(3); // lambda_2 = 2, N = 8
+        let uniform = vec![1.0 / 8.0; 8];
+        for t in [0.1, 0.5, 1.0, 2.0, 4.0] {
+            let dist = exact_distribution(&g, NodeId::new(0), t);
+            let tv = total_variation(&dist, &uniform);
+            let bound = 0.5 * 8.0f64.sqrt() * (-2.0 * t).exp();
+            assert!(tv <= bound + 1e-9, "t={t}: tv {tv} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn empirical_ctrw_matches_exact_distribution() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::erdos_renyi(12, 0.4, &mut rng);
+        let start = g.nodes().next().expect("non-empty");
+        let t = 1.5;
+        let exact = exact_distribution(&g, start, t);
+        let runs = 60_000u32;
+        let mut counts = vec![0u64; g.slot_count()];
+        for _ in 0..runs {
+            let out = ctrw_walk(&g, start, t, Sojourn::Exponential, &mut rng).expect("completes");
+            counts[out.node.index()] += 1;
+        }
+        let empirical: Vec<f64> = g
+            .nodes()
+            .map(|v| counts[v.index()] as f64 / f64::from(runs))
+            .collect();
+        let tv = total_variation(&empirical, &exact);
+        assert!(tv < 0.02, "empirical vs exact CTRW law differ by {tv}");
+    }
+
+    #[test]
+    fn remark_1_deterministic_sojourns_never_mix_on_bipartite_graphs() {
+        // Regular bipartite graph, timer chosen so the parity is fixed:
+        // with sojourn exactly 1/d per visit, after timer T = k (integer)
+        // the walk has taken a deterministic number of hops.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::regular_bipartite(4, 3, &mut rng).expect("simple union");
+        // Every visit drains exactly 1/3. An integer timer kills the
+        // walk after a fixed hop count, so the side is deterministic.
+        let mut sides = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let out = ctrw_walk(&g, NodeId::new(0), 2.0, Sojourn::Deterministic, &mut rng)
+                .expect("completes");
+            sides.insert(out.node.index() < 4);
+        }
+        assert_eq!(sides.len(), 1, "deterministic sojourns leak across parity");
+
+        // The exponential variant does cross the bipartition.
+        let mut sides_exp = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let out = ctrw_walk(&g, NodeId::new(0), 2.0, Sojourn::Exponential, &mut rng)
+                .expect("completes");
+            sides_exp.insert(out.node.index() < 4);
+        }
+        assert_eq!(sides_exp.len(), 2, "exponential sojourns must mix");
+    }
+
+    #[test]
+    #[should_panic(expected = "timer must be positive")]
+    fn zero_timer_panics() {
+        let g = generators::ring(4);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = ctrw_walk(&g, NodeId::new(0), 0.0, Sojourn::Exponential, &mut rng);
+    }
+}

@@ -1,0 +1,438 @@
+//! Discrete-time random walks (DTRW).
+//!
+//! The discrete-time walk moves at every step to a uniformly random
+//! neighbour of the current node. Its stationary distribution weights
+//! node `j` proportionally to its degree `d_j` (Eq. (1) of the paper) —
+//! which is exactly why the Random Tour estimator must weight visits by
+//! `1/d_j`, and why a DTRW stopped after a fixed number of steps is a
+//! *biased* peer sampler.
+
+use census_graph::{NodeId, Topology};
+use rand::Rng;
+
+use crate::WalkError;
+
+/// Outcome of a completed random tour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tour {
+    /// Number of steps until the walk first returned to the initiator.
+    /// Each step is one overlay message, so this is also the tour's
+    /// message cost. By the cycle formula its expectation from initiator
+    /// `i` is `(Σ_j d_j) / d_i`.
+    pub steps: u64,
+}
+
+/// Runs a discrete-time random walk from `start` until it first returns
+/// to `start` (a *random tour*, §3.1), invoking `on_visit` on every node
+/// the walk enters — including the initiator itself once, at launch time,
+/// and *not* on the final return (matching the paper's counter updates:
+/// the initiator contributes `f(i)/d_i` once, every intermediate visit
+/// contributes once per visit).
+///
+/// `max_steps` bounds the tour; `None` runs to completion. Bounding
+/// models the initiator-side timeout discussed in §5.3.1.
+///
+/// # Errors
+///
+/// - [`WalkError::Stuck`] if `start` has no neighbours.
+/// - [`WalkError::Timeout`] if the tour exceeds `max_steps`.
+///
+/// # Panics
+///
+/// Panics if `start` is not a live member of the topology.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators;
+/// use census_walk::discrete::random_tour;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let g = generators::ring(10);
+/// let start = g.nodes().next().expect("non-empty");
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let tour = random_tour(&g, start, None, &mut rng, |_| {})?;
+/// assert!(tour.steps >= 2);
+/// # Ok::<(), census_walk::WalkError>(())
+/// ```
+pub fn random_tour<T, R, F>(
+    topology: &T,
+    start: NodeId,
+    max_steps: Option<u64>,
+    rng: &mut R,
+    mut on_visit: F,
+) -> Result<Tour, WalkError>
+where
+    T: Topology + ?Sized,
+    R: Rng,
+    F: FnMut(NodeId),
+{
+    assert!(topology.contains(start), "tour initiator must be alive");
+    on_visit(start);
+    let mut current = topology
+        .neighbor_of(start, rng)
+        .ok_or(WalkError::Stuck(start))?;
+    let mut steps: u64 = 1;
+    let cap = max_steps.unwrap_or(u64::MAX);
+    while current != start {
+        if steps >= cap {
+            return Err(WalkError::Timeout(steps));
+        }
+        on_visit(current);
+        current = topology
+            .neighbor_of(current, rng)
+            .ok_or(WalkError::Stuck(current))?;
+        steps += 1;
+    }
+    Ok(Tour { steps })
+}
+
+/// Runs a discrete-time random walk for exactly `steps` steps and returns
+/// the final node — the biased sampling primitive of prior work that §4.1
+/// improves on (the result is degree-biased no matter how large `steps`
+/// is).
+///
+/// # Errors
+///
+/// Returns [`WalkError::Stuck`] if `start` has no neighbours and
+/// `steps > 0`.
+///
+/// # Panics
+///
+/// Panics if `start` is not a live member of the topology.
+pub fn walk_fixed_steps<T, R>(
+    topology: &T,
+    start: NodeId,
+    steps: u64,
+    rng: &mut R,
+) -> Result<NodeId, WalkError>
+where
+    T: Topology + ?Sized,
+    R: Rng,
+{
+    assert!(topology.contains(start), "walk start must be alive");
+    let mut current = start;
+    for _ in 0..steps {
+        current = topology
+            .neighbor_of(current, rng)
+            .ok_or(WalkError::Stuck(current))?;
+    }
+    Ok(current)
+}
+
+/// *Exact* expectation of the Random Tour estimate `d_i · Φ` for an
+/// arbitrary node function `f`, by solving the absorbing-chain linear
+/// system — the noiseless oracle for Proposition 1.
+///
+/// For `j ≠ i` let `h_j` be the expected weight `Σ f(X_k)/d(X_k)`
+/// collected from `j` (inclusive) until the walk first hits `i`
+/// (exclusive). Then
+///
+/// ```text
+/// h_j = f(j)/d_j + (1/d_j) Σ_{k ~ j, k ≠ i} h_k
+/// ```
+///
+/// and `E_i[X̂] = f(i) + Σ_{j ~ i} h_j / d_i · d_i = f(i) + (1/d_i)
+/// Σ_{j~i} h_j · d_i`. Proposition 1 says this equals `Σ_j f(j)` exactly
+/// on any connected graph; the test-suite checks that identity to
+/// machine precision on random graphs.
+///
+/// Complexity is `O(n³)` (dense Gaussian elimination): an oracle for
+/// small graphs, not a production path.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected, has more than 512 live nodes, or
+/// `start` is not alive.
+#[must_use]
+pub fn exact_expected_tour_estimate<F>(g: &census_graph::Graph, start: NodeId, mut f: F) -> f64
+where
+    F: FnMut(NodeId) -> f64,
+{
+    use census_graph::spectral::DenseIndex;
+    assert!(g.is_alive(start), "initiator must be alive");
+    let idx = DenseIndex::new(g);
+    let n = idx.len();
+    assert!(n <= 512, "exact tour oracle is a small-graph tool (n <= 512)");
+    assert!(
+        census_graph::algo::component_size(g, start) == n,
+        "exact tour oracle needs a connected graph"
+    );
+    if n == 1 {
+        return f(start);
+    }
+
+    // Unknowns: h_j for j != start, in dense order with start's row
+    // repurposed (coefficient identity, RHS 0) to keep indexing simple.
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n];
+    let s = idx.dense(start);
+    for d in 0..n {
+        if d == s {
+            a[d * n + d] = 1.0;
+            continue;
+        }
+        let v = idx.node(d);
+        let deg = g.degree(v) as f64;
+        a[d * n + d] = 1.0;
+        for &u in g.neighbors(v) {
+            let du = idx.dense(u);
+            if du != s {
+                a[d * n + du] -= 1.0 / deg;
+            }
+        }
+        b[d] = f(v) / deg;
+    }
+    let h = solve_dense(&mut a, &mut b, n);
+    let sum_neighbors: f64 = g.neighbors(start).iter().map(|&u| h[idx.dense(u)]).sum();
+    f(start) + sum_neighbors
+}
+
+/// Gaussian elimination with partial pivoting on an `n × n` system
+/// (row-major `a`, RHS `b`); both are consumed as scratch space.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .expect("finite matrix entries")
+            })
+            .expect("non-empty range");
+        assert!(
+            a[pivot_row * n + col].abs() > 1e-12,
+            "singular system: the chain is not absorbing"
+        );
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::{generators, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tour_on_two_nodes_takes_two_steps() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).expect("fresh edge");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut visited = Vec::new();
+        let tour = random_tour(&g, a, None, &mut rng, |n| visited.push(n)).expect("completes");
+        assert_eq!(tour.steps, 2);
+        assert_eq!(visited, vec![a, b]);
+    }
+
+    #[test]
+    fn tour_visits_do_not_include_final_return() {
+        let g = generators::ring(6);
+        let start = NodeId::new(0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let mut visits = 0u64;
+            let tour =
+                random_tour(&g, start, None, &mut rng, |_| visits += 1).expect("completes");
+            // One visit per step except the last (the return), plus the
+            // initiator's launch visit.
+            assert_eq!(visits, tour.steps);
+        }
+    }
+
+    #[test]
+    fn tour_from_isolated_node_is_stuck() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(
+            random_tour(&g, a, None, &mut rng, |_| {}),
+            Err(WalkError::Stuck(a))
+        );
+    }
+
+    #[test]
+    fn tour_times_out_on_cap() {
+        let g = generators::ring(100);
+        let mut rng = SmallRng::seed_from_u64(4);
+        // A 1-step cap cannot complete a tour on a cycle.
+        let res = random_tour(&g, NodeId::new(0), Some(1), &mut rng, |_| {});
+        assert_eq!(res, Err(WalkError::Timeout(1)));
+    }
+
+    #[test]
+    fn expected_return_time_matches_cycle_formula() {
+        // E_i[tour steps] = (sum_j d_j) / d_i. On a star from a leaf: 2(n-1)/1.
+        let g = generators::star(6);
+        let leaf = NodeId::new(3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let runs = 20_000;
+        let total: u64 = (0..runs)
+            .map(|_| {
+                random_tour(&g, leaf, None, &mut rng, |_| {})
+                    .expect("completes")
+                    .steps
+            })
+            .sum();
+        let mean = total as f64 / f64::from(runs);
+        let expected = g.degree_sum() as f64 / 1.0;
+        assert!(
+            (mean - expected).abs() < 0.25,
+            "mean return time {mean} vs cycle formula {expected}"
+        );
+    }
+
+    #[test]
+    fn fixed_steps_walk_lands_on_live_node() {
+        let g = generators::ring(9);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let end = walk_fixed_steps(&g, NodeId::new(0), 25, &mut rng).expect("completes");
+        assert!(g.is_alive(end));
+    }
+
+    #[test]
+    fn fixed_steps_zero_returns_start() {
+        let g = generators::ring(5);
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            walk_fixed_steps(&g, NodeId::new(2), 0, &mut rng).expect("trivial walk"),
+            NodeId::new(2)
+        );
+    }
+
+    #[test]
+    fn fixed_steps_respects_bipartite_parity() {
+        // On a bipartite graph an even-length DTRW stays on its side -- the
+        // structural fact behind the paper's Remark 1.
+        let g = generators::complete_bipartite(3, 3);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let end = walk_fixed_steps(&g, NodeId::new(0), 10, &mut rng).expect("completes");
+            assert!(end.index() < 3, "even walk crossed the bipartition");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be alive")]
+    fn tour_from_dead_node_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.add_node();
+        g.remove_node(a).expect("alive");
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = random_tour(&g, a, None, &mut rng, |_| {});
+    }
+
+    #[test]
+    fn proposition_1_holds_exactly_via_the_linear_oracle() {
+        // E_i[d_i Φ] = Σ_j f(j) to machine precision, for every initiator
+        // and an arbitrary f, on random connected graphs.
+        let mut rng = SmallRng::seed_from_u64(21);
+        for trial in 0..5 {
+            let g = generators::k_out(30 + trial * 7, 2, &mut rng);
+            if !census_graph::algo::is_connected(&g) {
+                continue;
+            }
+            let f = |n: NodeId| ((n.index() * 37 + 11) % 17) as f64 / 3.0;
+            let truth: f64 = g.nodes().map(f).sum();
+            for start in g.nodes().take(4) {
+                let exact = exact_expected_tour_estimate(&g, start, f);
+                assert!(
+                    (exact - truth).abs() < 1e-8,
+                    "Prop 1 violated at {start}: {exact} vs {truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_oracle_matches_monte_carlo() {
+        let g = generators::ring(9);
+        let start = NodeId::new(0);
+        let f = |n: NodeId| if n.index() % 2 == 0 { 2.0 } else { 0.5 };
+        let exact = exact_expected_tour_estimate(&g, start, f);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let runs = 40_000;
+        let mut total = 0.0;
+        for _ in 0..runs {
+            let mut counter = 0.0;
+            random_tour(&g, start, None, &mut rng, |n| {
+                counter += f(n) / g.degree(n) as f64;
+            })
+            .expect("connected");
+            total += g.degree(start) as f64 * counter;
+        }
+        let mc = total / f64::from(runs);
+        assert!(
+            (mc - exact).abs() / exact < 0.05,
+            "Monte Carlo {mc} vs oracle {exact}"
+        );
+    }
+
+    #[test]
+    fn oracle_on_single_node_is_f_of_that_node() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(exact_expected_tour_estimate(&g, a, |_| 3.5), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected graph")]
+    fn oracle_rejects_disconnected_graphs() {
+        let mut g = generators::ring(4);
+        g.add_node();
+        let _ = exact_expected_tour_estimate(&g, NodeId::new(0), |_| 1.0);
+    }
+
+    #[test]
+    fn dtrw_stationary_distribution_is_degree_biased() {
+        // Long-run visit frequency of the DTRW ~ d_j / sum d. On a star the
+        // hub is visited every other step.
+        let g = generators::star(5);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut hub_visits = 0u64;
+        let mut total = 0u64;
+        let mut current = NodeId::new(1);
+        for _ in 0..10_000 {
+            current = g.random_neighbor(current, &mut rng).expect("connected");
+            total += 1;
+            if current == NodeId::new(0) {
+                hub_visits += 1;
+            }
+        }
+        let frac = hub_visits as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "hub fraction {frac}");
+    }
+}

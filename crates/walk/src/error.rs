@@ -1,0 +1,46 @@
+//! Walk failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+use census_graph::NodeId;
+
+/// Reasons a random walk can fail to complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkError {
+    /// The walk reached a node with no neighbours and cannot continue.
+    /// On an undirected overlay this can only be the starting node.
+    Stuck(NodeId),
+    /// The walk exceeded its step budget. Models the initiator-side
+    /// timeout of §5.3.1 (a probe message is declared lost when it does
+    /// not come back in time); the field carries the number of hops
+    /// taken before giving up.
+    Timeout(u64),
+    /// The walk visited a node that is no longer an overlay member (the
+    /// peer departed while holding the probe message, §5.3.1).
+    Lost(NodeId),
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalkError::Stuck(n) => write!(f, "walk stuck at isolated node {n}"),
+            WalkError::Timeout(hops) => write!(f, "walk timed out after {hops} hops"),
+            WalkError::Lost(n) => write!(f, "walk lost at departed node {n}"),
+        }
+    }
+}
+
+impl Error for WalkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(format!("{}", WalkError::Stuck(NodeId::new(3))).contains("n3"));
+        assert!(format!("{}", WalkError::Timeout(17)).contains("17"));
+        assert!(format!("{}", WalkError::Lost(NodeId::new(5))).contains("n5"));
+    }
+}

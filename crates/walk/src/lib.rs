@@ -1,0 +1,33 @@
+//! Random walk engines for the overlay-census reproduction.
+//!
+//! Both of the paper's estimators are driven by random walks over the
+//! overlay graph, observed only through the local [`Topology`] interface:
+//!
+//! - The **Random Tour** method (§3) launches a *discrete-time* random
+//!   walk and runs it until it returns to the initiator; see
+//!   [`discrete::random_tour`].
+//! - The **Sample & Collide** method (§4) needs uniform peer samples,
+//!   obtained from an emulated *continuous-time* random walk whose
+//!   exponential sojourn times cancel the degree bias of the discrete
+//!   walk; see [`continuous::ctrw_walk`].
+//!
+//! The continuous module also provides the deterministic-sojourn variant
+//! (used to interpret the Random Tour estimate in §3.3, and shown by the
+//! paper's Remark 1 to be *unsound* for sampling on bipartite graphs) and
+//! an exact `exp(−Lt)` distribution evaluator (by uniformization) that the
+//! test-suite uses to check Lemma 1 without sampling noise.
+//!
+//! Every function reports its *message cost* in overlay hops — the cost
+//! unit of the paper's evaluation (Figure 5, Table 1).
+//!
+//! [`Topology`]: census_graph::Topology
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod discrete;
+
+mod error;
+
+pub use error::WalkError;

@@ -1,0 +1,120 @@
+//! Every size estimator in the repository on one overlay.
+//!
+//! Prints an accuracy/cost table comparing the paper's two methods (at
+//! several accuracy settings) against the related-work baselines it
+//! discusses: the inverted birthday paradox, gossip averaging, and
+//! probabilistic polling.
+//!
+//! Run with: `cargo run --release --example estimator_zoo`
+
+use overlay_census::core::birthday::InvertedBirthdayParadox;
+use overlay_census::core::gossip::GossipAveraging;
+use overlay_census::core::polling::ProbabilisticPolling;
+use overlay_census::graph::spectral::DenseIndex;
+use overlay_census::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn report(name: &str, truth: f64, values: &[f64], messages: &[f64]) {
+    let v = Summary::from_slice(values);
+    let c = Summary::from_slice(messages);
+    let rmse = (values.iter().map(|x| (x / truth - 1.0).powi(2)).sum::<f64>()
+        / values.len() as f64)
+        .sqrt();
+    println!(
+        "{name:<34} {:>9.0}  {rmse:>7.3}  {:>12.0}",
+        v.mean, c.mean
+    );
+}
+
+fn main() -> Result<(), EstimateError> {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let n = 10_000;
+    let overlay = generators::balanced(n, 10, &mut rng);
+    let truth = n as f64;
+    let me = overlay.any_peer(&mut rng).expect("overlay is non-empty");
+    let reps = 30;
+
+    println!("overlay: {n} peers (balanced random graph)\n");
+    println!("{:<34} {:>9}  {:>7}  {:>12}", "method", "mean N^", "relRMSE", "msgs/run");
+
+    // Random Tour: single tours and a 50-tour average.
+    let rt = RandomTour::new();
+    let (mut vals, mut costs) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let e = rt.estimate(&overlay, me, &mut rng)?;
+        vals.push(e.value);
+        costs.push(e.messages as f64);
+    }
+    report("random tour (1 tour)", truth, &vals, &costs);
+
+    let (mut vals, mut costs) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let mut m = OnlineMoments::new();
+        let mut msg = 0u64;
+        for _ in 0..50 {
+            let e = rt.estimate(&overlay, me, &mut rng)?;
+            m.push(e.value);
+            msg += e.messages;
+        }
+        vals.push(m.mean());
+        costs.push(msg as f64);
+    }
+    report("random tour (50-tour average)", truth, &vals, &costs);
+
+    // Sample & Collide at the paper's two settings.
+    for l in [10u32, 100] {
+        let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
+        let (mut vals, mut costs) = (Vec::new(), Vec::new());
+        for _ in 0..reps {
+            let e = sc.estimate(&overlay, me, &mut rng)?;
+            vals.push(e.value);
+            costs.push(e.messages as f64);
+        }
+        report(&format!("sample & collide (l = {l})"), truth, &vals, &costs);
+    }
+
+    // Adaptive timer variant (unknown spectral gap).
+    let adaptive = AdaptiveSampleCollide::new(20, 1.0).with_tolerance(0.15);
+    let (mut vals, mut costs) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let e = adaptive.estimate(&overlay, me, &mut rng)?;
+        vals.push(e.value);
+        costs.push(e.messages as f64);
+    }
+    report("adaptive sample & collide (l=20)", truth, &vals, &costs);
+
+    // Inverted birthday paradox (Bawa et al.), 10 averaged runs.
+    let ibp = InvertedBirthdayParadox::new(CtrwSampler::new(10.0), 10);
+    let (mut vals, mut costs) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let e = ibp.estimate(&overlay, me, &mut rng)?;
+        vals.push(e.value);
+        costs.push(e.messages as f64);
+    }
+    report("inverted birthday paradox (x10)", truth, &vals, &costs);
+
+    // Gossip averaging (whole-system protocol).
+    let gossip = GossipAveraging::new(45);
+    let idx = DenseIndex::new(&overlay);
+    let (mut vals, mut costs) = (Vec::new(), Vec::new());
+    for _ in 0..5 {
+        let out = gossip.run(&overlay, &mut rng);
+        vals.push(out.estimates[idx.dense(me)]);
+        costs.push(out.messages as f64);
+    }
+    report("gossip averaging (45 rounds)", truth, &vals, &costs);
+
+    // Probabilistic polling.
+    let polling = ProbabilisticPolling::new(0.1);
+    let (mut vals, mut costs) = (Vec::new(), Vec::new());
+    for _ in 0..reps {
+        let out = polling.run(&overlay, me, &mut rng);
+        vals.push(out.estimate);
+        costs.push(out.messages as f64);
+    }
+    report("probabilistic polling (p=0.1)", truth, &vals, &costs);
+
+    println!("\nnote: gossip amortises its cost over all {n} peers; walk methods bill one initiator.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! The spectral side of the paper: why topology decides accuracy.
+//!
+//! For a set of same-size topologies, computes the Laplacian spectral
+//! gap λ₂, the expansion (isoperimetric) estimate, the Cheeger sandwich,
+//! Lemma 1's mixing timer recommendation, and the exact CTRW sampling
+//! error at the paper's `T = 10` — the quantities Propositions 2 and
+//! Lemma 1 tie estimator quality to.
+//!
+//! Run with: `cargo run --release --example spectral_analysis`
+
+use overlay_census::graph::{metrics, spectral};
+use overlay_census::prelude::*;
+use overlay_census::sampling::quality;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(29);
+    let dim = 9usize;
+    let n = 1 << dim; // 512 nodes everywhere
+    let topologies: Vec<(&str, Graph)> = vec![
+        ("balanced (paper §5.1)", generators::balanced(n, 10, &mut rng)),
+        ("scale-free (BA m=3)", generators::barabasi_albert(n, 3, &mut rng)),
+        ("k-out, k=3", generators::k_out(n, 3, &mut rng)),
+        ("hypercube", generators::hypercube(dim)),
+        ("torus", generators::torus(1 << (dim / 2), 1 << (dim - dim / 2))),
+        ("ring", generators::ring(n)),
+    ];
+
+    println!("{n}-node topologies, paper timer T = 10\n");
+    println!(
+        "{:<22} {:>7} {:>7} {:>9} {:>10} {:>10} {:>8}",
+        "topology", "λ₂", "ι(G)", "Cheeger", "T for 1%", "TV @ T=10", "clust"
+    );
+    for (name, g) in &topologies {
+        let gap = spectral::spectral_gap_with(g, 200_000, 1e-13).lambda2;
+        let iota = spectral::isoperimetric_sweep(g);
+        let (lo, hi) = spectral::cheeger_bounds(g, iota);
+        let sandwich = if lo - 1e-9 <= gap && gap <= hi + 1e-9 { "ok" } else { "VIOLATED" };
+        let timer = if gap > 1e-9 {
+            format!("{:.1}", spectral::mixing_timer(g.num_nodes(), gap, 0.01))
+        } else {
+            "inf".to_owned()
+        };
+        let probe = g.nodes().next().expect("non-empty");
+        let tv = quality::exact_ctrw_tv_to_uniform(g, probe, 10.0);
+        println!(
+            "{name:<22} {gap:>7.4} {iota:>7.4} {sandwich:>9} {timer:>10} {tv:>10.4} {:>8.3}",
+            metrics::average_clustering(g)
+        );
+    }
+    println!(
+        "\nReading: expanders (top rows) mix in T≈10 and sample near-uniformly;\n\
+         the torus and ring need far longer timers — exactly Lemma 1's\n\
+         ½√N·exp(−λ₂T) bound, and the reason Proposition 2's Random Tour\n\
+         variance blows up on them (see ablation-expansion)."
+    );
+}

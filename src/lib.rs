@@ -1,0 +1,83 @@
+//! # overlay-census
+//!
+//! A production-quality Rust reproduction of **“Peer counting and sampling
+//! in overlay networks: random walk methods”** (L. Massoulié,
+//! E. Le Merrer, A.-M. Kermarrec, A. J. Ganesh — PODC 2006): generic,
+//! topology-agnostic estimation of the number of peers in a peer-to-peer
+//! overlay — and of arbitrary aggregates `Σ_j f(j)` — using only local
+//! neighbour knowledge.
+//!
+//! The workspace is layered bottom-up; this umbrella crate re-exports
+//! every layer:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`stats`] | streaming moments, sliding windows, ECDFs, distribution distances |
+//! | [`graph`] | dynamic overlay graphs, §5.1 topology generators, spectral gap & conductance |
+//! | [`walk`] | discrete- and continuous-time random walk engines, message accounting |
+//! | [`sampling`] | the CTRW uniform peer sampler and its baselines |
+//! | [`core`] | **Random Tour** and **Sample & Collide** estimators + baselines |
+//! | [`sim`] | churn scenarios, dynamic experiment runners, message-loss models |
+//! | [`proto`] | the same protocols at message level: discrete-event delivery, latencies, concurrent operations, departures, timeouts |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use overlay_census::prelude::*;
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(42);
+//!
+//! // A 5,000-peer overlay built exactly like the paper's §5.1 graphs.
+//! let overlay = generators::balanced(5_000, 10, &mut rng);
+//! let me = overlay.nodes().next().expect("non-empty");
+//!
+//! // Sample & Collide, l = 100: one estimate within ~10% (Corollary 1).
+//! let sc = SampleCollide::new(CtrwSampler::new(10.0), 100);
+//! let estimate = sc.estimate(&overlay, me, &mut rng)?;
+//! assert!((estimate.value / 5_000.0 - 1.0).abs() < 0.5);
+//! # Ok::<(), overlay_census::core::EstimateError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use census_core as core;
+pub use census_graph as graph;
+pub use census_proto as proto;
+pub use census_sampling as sampling;
+pub use census_sim as sim;
+pub use census_stats as stats;
+pub use census_walk as walk;
+
+/// Convenience re-exports covering the common workflow: build an overlay,
+/// pick a sampler, run an estimator, evaluate the result.
+pub mod prelude {
+    pub use census_core::{
+        AdaptiveSampleCollide, Estimate, EstimateError, PointEstimator, RandomTour,
+        SampleCollide, SizeEstimator,
+    };
+    pub use census_graph::{generators, Graph, NodeId, Topology};
+    pub use census_sampling::{CtrwSampler, DtrwSampler, MetropolisSampler, OracleSampler, Sampler};
+    pub use census_sim::{DynamicNetwork, JoinRule, Scenario};
+    pub use census_stats::{Ecdf, OnlineMoments, SlidingWindow, Summary};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_workflow() {
+        use crate::prelude::*;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::balanced(100, 10, &mut rng);
+        let initiator = g.nodes().next().expect("non-empty");
+        let est = RandomTour::new()
+            .estimate(&g, initiator, &mut rng)
+            .expect("connected overlay");
+        assert!(est.value > 0.0);
+    }
+}

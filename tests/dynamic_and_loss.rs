@@ -1,0 +1,145 @@
+//! Cross-crate integration: churn tracking, the adaptive timer, and the
+//! §5.3.1 message-loss/timeout machinery working together.
+
+use overlay_census::core::EstimateError;
+use overlay_census::prelude::*;
+use overlay_census::sim::loss::{AdaptiveTimeout, LossyTopology};
+use overlay_census::sim::runner::{run_dynamic, RunConfig};
+use overlay_census::walk::WalkError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn balanced_net(n: usize, seed: u64) -> (DynamicNetwork, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = generators::balanced(n, 10, &mut rng);
+    (
+        DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 }),
+        rng,
+    )
+}
+
+#[test]
+fn sample_collide_tracks_a_flash_crowd() {
+    let (mut net, mut rng) = balanced_net(2_000, 1);
+    let scenario = Scenario::new().add_suddenly(20, 2_000); // double the overlay
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), 50)
+        .with_point_estimator(PointEstimator::Asymptotic);
+    let records = run_dynamic(&mut net, &sc, &RunConfig::new(40), &scenario, &mut rng);
+    let before = &records[..20];
+    let after = &records[25..]; // a few runs of slack after the event
+    let mean = |rs: &[overlay_census::sim::runner::RunRecord]| {
+        rs.iter().map(|r| r.estimate).sum::<f64>() / rs.len() as f64
+    };
+    let (b, a) = (mean(before), mean(after));
+    assert!(
+        a / b > 1.6,
+        "estimates should roughly double across the flash crowd: {b} -> {a}"
+    );
+    assert!((a / 4_000.0 - 1.0).abs() < 0.3, "post-event estimates near 4000: {a}");
+}
+
+#[test]
+fn adaptive_sample_collide_works_without_knowing_the_gap() {
+    let (net, mut rng) = balanced_net(3_000, 2);
+    let adaptive = AdaptiveSampleCollide::new(30, 0.5)
+        .with_tolerance(0.2)
+        .with_max_rounds(8);
+    let me = net.graph().any_peer(&mut rng).expect("non-empty");
+    let steps = adaptive.run(&net, me, &mut rng).expect("connected");
+    let last = steps.last().expect("at least one round");
+    assert!(
+        (last.estimate / 3_000.0 - 1.0).abs() < 0.4,
+        "adaptive estimate {} vs 3000",
+        last.estimate
+    );
+    // The procedure increased the timer at least once from its tiny start.
+    assert!(steps.len() >= 2);
+    assert!(last.timer > 0.5);
+}
+
+#[test]
+fn lossy_walks_recover_with_adaptive_timeout_and_retries() {
+    let (net, mut rng) = balanced_net(800, 3);
+    let lossy = LossyTopology::new(net.graph(), 0.0002, 99);
+    let mut timeout = AdaptiveTimeout::new(1_000_000, 3.0);
+    let me = net.graph().any_peer(&mut rng).expect("non-empty");
+
+    let mut estimates = OnlineMoments::new();
+    let mut lost = 0u32;
+    let mut attempts = 0u32;
+    while estimates.count() < 300 {
+        attempts += 1;
+        assert!(attempts < 5_000, "retry budget exhausted");
+        let rt = RandomTour::with_timeout(timeout.budget());
+        match rt.estimate(&lossy, me, &mut rng) {
+            Ok(est) => {
+                timeout.record(est.messages);
+                estimates.push(est.value);
+            }
+            Err(EstimateError::Walk(WalkError::Stuck(_) | WalkError::Timeout(_))) => lost += 1,
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    assert!(lost > 0, "0.02% per-hop loss should break some ~6000-hop tours");
+    // Timeout learned a sane budget: above the mean trip, far below the
+    // initial guess.
+    let budget = timeout.budget();
+    assert!(budget < 1_000_000, "budget {budget} should have adapted");
+    // Two compounding low biases are *expected* here and documented:
+    // loss truncates long tours (survivorship), and the adaptive budget —
+    // learned from surviving trips only — feeds that truncation back on
+    // itself. The estimate must stay positive and the right order of
+    // magnitude, but systematically below the truth.
+    let rel = estimates.mean() / 800.0;
+    assert!(
+        (0.3..1.05).contains(&rel),
+        "lossy mean {} should be biased low but sane",
+        estimates.mean()
+    );
+}
+
+#[test]
+fn fragmentation_reports_the_probes_component() {
+    // Remove 80% of nodes: the overlay fragments, and RT estimates match
+    // the probing node's component, not the global count.
+    let (mut net, mut rng) = balanced_net(1_000, 4);
+    for _ in 0..800 {
+        net.leave(&mut rng);
+    }
+    let me = net.graph().any_peer(&mut rng).expect("200 nodes remain");
+    if net.graph().degree(me) == 0 {
+        return; // isolated probe: nothing to estimate
+    }
+    let truth = net.component_size_of(me) as f64;
+    let rt = RandomTour::new();
+    let m: OnlineMoments = (0..3_000)
+        .map(|_| rt.estimate(&net, me, &mut rng).expect("probe has neighbours").value)
+        .collect();
+    let err = (m.mean() - truth).abs() / m.standard_error();
+    assert!(
+        err < 4.0,
+        "RT mean {} vs component size {truth} (total alive: {})",
+        m.mean(),
+        net.size()
+    );
+}
+
+#[test]
+fn gossip_and_walk_methods_agree_on_the_same_overlay() {
+    use overlay_census::core::gossip::GossipAveraging;
+    use overlay_census::graph::spectral::DenseIndex;
+    let (net, mut rng) = balanced_net(1_000, 5);
+    let me = net.graph().any_peer(&mut rng).expect("non-empty");
+
+    let gossip = GossipAveraging::new(40).run(net.graph(), &mut rng);
+    let idx = DenseIndex::new(net.graph());
+    let gossip_estimate = gossip.estimates[idx.dense(me)];
+
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), 50);
+    let sc_estimate = sc.estimate(&net, me, &mut rng).expect("connected").value;
+
+    assert!(
+        (gossip_estimate / sc_estimate - 1.0).abs() < 0.5,
+        "gossip {gossip_estimate} vs S&C {sc_estimate}"
+    );
+}

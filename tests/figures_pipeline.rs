@@ -1,0 +1,114 @@
+//! End-to-end smoke tests of the figure-regeneration harness: every
+//! experiment id runs at tiny scale, produces a non-empty CSV with the
+//! documented columns, and writes its artefacts to disk.
+
+use census_bench::{run_experiment, Params, ALL_IDS};
+
+fn tiny() -> Params {
+    let mut p = Params::scaled(0.01);
+    p.n = 500;
+    p.rt_runs = 250;
+    p.sc_runs = 25;
+    p.rt_window = 40;
+    p.rt_dynamic_runs = 250;
+    p.rt_dynamic_window = 40;
+    p.sc_dynamic_runs = 30;
+    p
+}
+
+#[test]
+fn every_experiment_id_runs_and_writes() {
+    let dir = std::env::temp_dir().join("overlay-census-figures-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let p = tiny();
+    for id in ALL_IDS {
+        let result = run_experiment(id, &p);
+        assert_eq!(&result.id, id);
+        assert!(!result.table.is_empty(), "{id}: empty CSV");
+        assert!(
+            result.summary.contains(id),
+            "{id}: summary does not name the experiment"
+        );
+        result.write_to(&dir).expect("artefacts written");
+        let csv = dir.join(format!("{id}.csv"));
+        let body = std::fs::read_to_string(&csv).expect("csv exists");
+        assert!(body.lines().count() >= 2, "{id}: csv has no data rows");
+        // Header + every row have the same arity.
+        let cols = body.lines().next().expect("header").split(',').count();
+        for line in body.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols, "{id}: ragged csv");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dynamic_figures_track_the_scenarios() {
+    let p = tiny();
+    // fig9 grows by 50%: final truth above start truth.
+    let r = run_experiment("fig9", &p);
+    let rows: Vec<Vec<f64>> = r
+        .table
+        .to_csv_string()
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.parse().expect("numeric")).collect())
+        .collect();
+    let (first, last) = (&rows[0], rows.last().expect("rows"));
+    assert!(
+        last[1] > first[1] * 1.3,
+        "fig9 truth should grow 50%: {} -> {}",
+        first[1],
+        last[1]
+    );
+
+    // fig13 ends 25% below start after -25% -25% +25%.
+    let r = run_experiment("fig13", &p);
+    let rows: Vec<Vec<f64>> = r
+        .table
+        .to_csv_string()
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.parse().expect("numeric")).collect())
+        .collect();
+    let (first, last) = (&rows[0], rows.last().expect("rows"));
+    let expected = first[1] * 0.75;
+    assert!(
+        (last[1] / expected - 1.0).abs() < 0.15,
+        "fig13 final truth {} vs expected {expected}",
+        last[1]
+    );
+}
+
+#[test]
+fn fig4_orders_the_cdfs_by_dispersion() {
+    let p = tiny();
+    let r = run_experiment("fig4", &p);
+    let rows: Vec<Vec<f64>> = r
+        .table
+        .to_csv_string()
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.parse().expect("numeric")).collect())
+        .collect();
+    // At 60% of true size, the S&C l=100 CDF should have much less mass
+    // than the RT CDF (RT's single-tour spread is huge).
+    let near = |target: f64| {
+        rows.iter()
+            .min_by(|a, b| {
+                (a[0] - target)
+                    .abs()
+                    .partial_cmp(&(b[0] - target).abs())
+                    .expect("finite")
+            })
+            .expect("rows")
+            .clone()
+    };
+    let row = near(0.6);
+    let (rt, sc100) = (row[1], row[3]);
+    assert!(
+        rt > sc100 + 0.1,
+        "at 0.6N: RT CDF {rt} should exceed S&C l=100 CDF {sc100}"
+    );
+}

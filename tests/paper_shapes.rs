@@ -1,0 +1,194 @@
+//! End-to-end statistical shape checks spanning all crates.
+//!
+//! These assert the paper's headline *scaling claims* on overlays large
+//! enough for the asymptotics to bite, at sizes still comfortable for CI.
+
+use overlay_census::core::theory;
+use overlay_census::prelude::*;
+use overlay_census::sampling::quality;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn balanced(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+#[test]
+fn random_tour_is_unbiased_at_scale() {
+    let n = 2_000;
+    let g = balanced(n, 1);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let me = g.any_peer(&mut rng).expect("non-empty");
+    let rt = RandomTour::new();
+    let m: OnlineMoments = (0..6_000)
+        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").value)
+        .collect();
+    let err = (m.mean() - n as f64).abs() / m.standard_error();
+    assert!(err < 4.0, "RT mean {} is {err} SEs from {n}", m.mean());
+}
+
+#[test]
+fn sample_collide_cost_scales_as_sqrt_n() {
+    // E[C_l] ~ sqrt(2lN): quadrupling... a 16x size increase must grow
+    // the message cost ~4x.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut mean_cost = |n: usize| {
+        let g = balanced(n, n as u64);
+        let me = g.any_peer(&mut rng).expect("non-empty");
+        let sc = SampleCollide::new(CtrwSampler::new(10.0), 20);
+        let m: OnlineMoments = (0..15)
+            .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+            .collect();
+        m.mean()
+    };
+    let small = mean_cost(1_000);
+    let large = mean_cost(16_000);
+    let ratio = large / small;
+    assert!(
+        (2.5..6.0).contains(&ratio),
+        "S&C cost ratio for 16x nodes should be ~4 (sqrt law), got {ratio}"
+    );
+}
+
+#[test]
+fn random_tour_cost_scales_linearly() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut mean_cost = |n: usize| {
+        let g = balanced(n, n as u64 + 7);
+        let me = g.any_peer(&mut rng).expect("non-empty");
+        let d_i = g.degree(me) as f64;
+        let rt = RandomTour::new();
+        let m: OnlineMoments = (0..200)
+            .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+            .collect();
+        // Normalise by the initiator's degree so different probes compare.
+        m.mean() * d_i
+    };
+    let small = mean_cost(1_000);
+    let large = mean_cost(8_000);
+    let ratio = large / small;
+    assert!(
+        (5.0..13.0).contains(&ratio),
+        "RT cost ratio for 8x nodes should be ~8 (linear law), got {ratio}"
+    );
+}
+
+#[test]
+fn equal_variance_cost_gap_widens_with_n() {
+    // §4.3: cost(RT)/cost(S&C) at matched variance grows like sqrt(N).
+    // Measured here through the theory module's laws fed with measured
+    // graph constants, then spot-checked against simulated costs.
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut measured_gap = |n: usize| {
+        let g = balanced(n, n as u64 + 13);
+        let me = g.any_peer(&mut rng).expect("non-empty");
+        // Measured S&C cost at l = 25.
+        let sc = SampleCollide::new(CtrwSampler::new(10.0), 25);
+        let sc_cost: OnlineMoments = (0..10)
+            .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+            .collect();
+        // RT cost to reach the same 1/l variance: a single tour has
+        // relative variance ~1.3 (paper Table 1), so it needs ~1.3*l tours.
+        let rt = RandomTour::new();
+        let tours = (1.3f64 * 25.0).ceil() as u64;
+        let rt_cost: OnlineMoments = (0..10)
+            .map(|_| {
+                (0..tours)
+                    .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").messages)
+                    .sum::<u64>() as f64
+            })
+            .collect();
+        rt_cost.mean() / sc_cost.mean()
+    };
+    let gap_small = measured_gap(1_000);
+    let gap_large = measured_gap(9_000);
+    assert!(
+        gap_large > 2.0 * gap_small,
+        "equal-variance cost gap should grow ~3x for 9x nodes: {gap_small} -> {gap_large}"
+    );
+}
+
+#[test]
+fn corollary_1_holds_with_real_ctrw_sampling() {
+    // The 1/l relative variance law with the *actual* CTRW sampler (not
+    // the oracle), on the paper's topology.
+    let n = 5_000;
+    let g = balanced(n, 6);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let me = g.any_peer(&mut rng).expect("non-empty");
+    let l = 25u32;
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
+    let mse: f64 = (0..120)
+        .map(|_| {
+            let v = sc.estimate(&g, me, &mut rng).expect("connected").value;
+            (v / n as f64 - 1.0).powi(2)
+        })
+        .sum::<f64>()
+        / 120.0;
+    let predicted = theory::sc_relative_mse(l);
+    assert!(
+        (mse / predicted - 1.0).abs() < 0.6,
+        "relative MSE {mse} vs 1/l = {predicted}"
+    );
+}
+
+#[test]
+fn lemma_1_bound_holds_on_the_papers_topology() {
+    let g = balanced(300, 8);
+    if !overlay_census::graph::algo::is_connected(&g) {
+        return;
+    }
+    let gap = overlay_census::graph::spectral::spectral_gap(&g);
+    let me = g.nodes().next().expect("non-empty");
+    for t in [0.5, 1.0, 2.0, 4.0] {
+        let tv = quality::exact_ctrw_tv_to_uniform(&g, me, t);
+        let bound = theory::ctrw_tv_bound(g.num_nodes() as f64, gap, t);
+        assert!(tv <= bound + 1e-9, "t={t}: tv {tv} > bound {bound}");
+    }
+}
+
+#[test]
+fn proposition_3_second_moment() {
+    // E[C_l^2] -> 2lN under perfect sampling.
+    let n = 4_000;
+    let g = generators::complete(n);
+    let mut rng = SmallRng::seed_from_u64(9);
+    let sc = SampleCollide::new(OracleSampler::new(), 8);
+    let me = g.nodes().next().expect("non-empty");
+    let m: OnlineMoments = (0..600)
+        .map(|_| {
+            let r = sc.collect(&g, me, &mut rng).expect("oracle cannot fail");
+            (r.c_l as f64).powi(2)
+        })
+        .collect();
+    let predicted = 2.0 * 8.0 * n as f64;
+    let err = (m.mean() - predicted).abs() / m.standard_error();
+    assert!(err < 4.0, "E[C_l^2] {} vs {predicted}", m.mean());
+}
+
+#[test]
+fn estimators_work_on_scale_free_overlays_with_hubs() {
+    // §5.2.2: node heterogeneity does not bias either method.
+    let mut rng = SmallRng::seed_from_u64(10);
+    let n = 3_000;
+    let g = generators::barabasi_albert(n, 3, &mut rng);
+    let me = g.any_peer(&mut rng).expect("non-empty");
+
+    let rt = RandomTour::new();
+    let m: OnlineMoments = (0..4_000)
+        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").value)
+        .collect();
+    let err = (m.mean() - n as f64).abs() / m.standard_error();
+    assert!(err < 4.0, "RT on scale-free: mean {}", m.mean());
+
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), 50);
+    let m: OnlineMoments = (0..40)
+        .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").value)
+        .collect();
+    assert!(
+        (m.mean() / n as f64 - 1.0).abs() < 0.15,
+        "S&C on scale-free: mean {}",
+        m.mean()
+    );
+}

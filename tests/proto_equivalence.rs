@@ -1,0 +1,162 @@
+//! The message-level protocol simulator and the function-level
+//! estimators are two executions of the same algorithms; these tests
+//! check they agree statistically on the same overlays.
+
+use overlay_census::prelude::*;
+use overlay_census::proto::{Latency, Outcome, ProtocolSim};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn overlay(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+#[test]
+fn tour_estimates_have_the_same_mean_and_spread() {
+    let g = overlay(400, 1);
+    let me = g.nodes().next().expect("non-empty");
+    let runs = 3_000u32;
+
+    // Function level.
+    let mut rng = SmallRng::seed_from_u64(2);
+    let rt = RandomTour::new();
+    let func: OnlineMoments = (0..runs)
+        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").value)
+        .collect();
+
+    // Message level.
+    let mut sim = ProtocolSim::new(g.clone(), Latency::Constant(1.0), 3);
+    let mut proto = OnlineMoments::new();
+    for _ in 0..runs / 100 {
+        for _ in 0..100 {
+            sim.launch_random_tour(me, None);
+        }
+        for c in sim.run_until_idle() {
+            match c.outcome {
+                Outcome::Estimate(v) => proto.push(v),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    let se = (func.sample_variance() / f64::from(runs) as f64).sqrt() * 2.0;
+    assert!(
+        (func.mean() - proto.mean()).abs() < 4.0 * se.max(1.0),
+        "means differ: function {} vs proto {}",
+        func.mean(),
+        proto.mean()
+    );
+    let var_ratio = func.sample_variance() / proto.sample_variance();
+    assert!(
+        (0.5..2.0).contains(&var_ratio),
+        "variances differ: {} vs {}",
+        func.sample_variance(),
+        proto.sample_variance()
+    );
+}
+
+#[test]
+fn tour_costs_match_the_cycle_formula_in_both_executions() {
+    let g = overlay(300, 4);
+    let me = g.nodes().next().expect("non-empty");
+    let expected = g.degree_sum() as f64 / g.degree(me) as f64;
+    let runs = 2_000u32;
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    let rt = RandomTour::new();
+    let func: OnlineMoments = (0..runs)
+        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+        .collect();
+
+    let mut sim = ProtocolSim::new(g.clone(), Latency::Constant(0.5), 6);
+    for _ in 0..runs {
+        sim.launch_random_tour(me, None);
+    }
+    let proto: OnlineMoments = sim
+        .run_until_idle()
+        .into_iter()
+        .map(|c| c.messages as f64)
+        .collect();
+
+    for (name, m) in [("function", func), ("proto", proto)] {
+        let err = (m.mean() - expected).abs() / m.standard_error();
+        assert!(err < 4.0, "{name} cost {} vs cycle formula {expected}", m.mean());
+    }
+}
+
+#[test]
+fn sampling_distributions_agree() {
+    // Same fixed initiator, same timer: both executions should put the
+    // same (near-uniform) mass everywhere; compare total-variation of
+    // their empirical distributions directly.
+    let g = overlay(60, 7);
+    let me = g.nodes().next().expect("non-empty");
+    let timer = 10.0;
+    let runs = 40_000u32;
+
+    let mut rng = SmallRng::seed_from_u64(8);
+    let sampler = CtrwSampler::new(timer);
+    let mut counts_func = vec![0u64; g.slot_count()];
+    for _ in 0..runs {
+        let s = sampler.sample(&g, me, &mut rng).expect("cannot fail");
+        counts_func[s.node.index()] += 1;
+    }
+
+    let mut sim = ProtocolSim::new(g.clone(), Latency::Constant(0.1), 9);
+    let mut counts_proto = vec![0u64; g.slot_count()];
+    for _ in 0..runs {
+        sim.launch_sample(me, timer, None);
+    }
+    for c in sim.run_until_idle() {
+        match c.outcome {
+            Outcome::Sample(node) => counts_proto[node.index()] += 1,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    let to_dist = |counts: &[u64]| {
+        counts
+            .iter()
+            .map(|&c| c as f64 / f64::from(runs))
+            .collect::<Vec<_>>()
+    };
+    let tv = overlay_census::stats::total_variation(&to_dist(&counts_func), &to_dist(&counts_proto));
+    assert!(tv < 0.05, "sampling executions diverge: TV {tv}");
+}
+
+#[test]
+fn sample_collide_estimates_agree_on_the_mean() {
+    let n = 1_500;
+    let g = overlay(n, 10);
+    let me = g.nodes().next().expect("non-empty");
+    let l = 20u32;
+    let reps = 40;
+
+    let mut rng = SmallRng::seed_from_u64(11);
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
+    let func: OnlineMoments = (0..reps)
+        .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").value)
+        .collect();
+
+    let mut sim = ProtocolSim::new(g.clone(), Latency::ExponentialMean(0.02), 12);
+    for _ in 0..reps {
+        sim.launch_sample_collide(me, l, 10.0, None);
+    }
+    let proto: OnlineMoments = sim
+        .run_until_idle()
+        .into_iter()
+        .map(|c| match c.outcome {
+            Outcome::Estimate(v) => v,
+            other => panic!("unexpected outcome {other:?}"),
+        })
+        .collect();
+
+    for (name, m) in [("function", &func), ("proto", &proto)] {
+        assert!(
+            (m.mean() / n as f64 - 1.0).abs() < 0.25,
+            "{name} mean {} vs {n}",
+            m.mean()
+        );
+    }
+}
