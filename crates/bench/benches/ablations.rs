@@ -83,7 +83,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("bench_fig3_sample_collide", |b| {
         b.iter(|| figures::fig3(&p).table.len())
     });
-    group.bench_function("bench_table1", |b| b.iter(|| figures::table1(&p).table.len()));
+    group.bench_function("bench_table1", |b| {
+        b.iter(|| figures::table1(&p).table.len())
+    });
     group.finish();
 }
 

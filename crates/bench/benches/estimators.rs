@@ -80,9 +80,13 @@ fn bench_baselines(c: &mut Criterion) {
     let probe = g.nodes().next().expect("non-empty");
     let mut rng = SmallRng::seed_from_u64(8);
     let gossip = GossipAveraging::new(30);
-    group.bench_function("gossip_30_rounds", |b| b.iter(|| gossip.run(&g, &mut rng).messages));
+    group.bench_function("gossip_30_rounds", |b| {
+        b.iter(|| gossip.run(&g, &mut rng).messages)
+    });
     let poll = ProbabilisticPolling::new(0.1);
-    group.bench_function("polling_p0.1", |b| b.iter(|| poll.run(&g, probe, &mut rng).estimate));
+    group.bench_function("polling_p0.1", |b| {
+        b.iter(|| poll.run(&g, probe, &mut rng).estimate)
+    });
     group.finish();
 }
 

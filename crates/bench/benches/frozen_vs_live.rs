@@ -1,0 +1,79 @@
+//! Frozen-CSR vs live-graph walk throughput.
+//!
+//! The walk engines are generic over [`census_graph::Topology`], so the
+//! same code path runs over the pointer-rich [`census_graph::Graph`]
+//! (one `Vec` per adjacency list) and the flat CSR
+//! [`census_graph::FrozenView`] (`offsets` + one `neighbors` array).
+//! These benchmarks quantify what the snapshot buys at paper scale
+//! (N = 100,000): identical walk semantics, contiguous memory.
+//!
+//! Run with `cargo bench -p census-bench --bench frozen_vs_live`.
+
+use census_core::{RandomTour, SizeEstimator};
+use census_graph::{generators, Graph};
+use census_walk::discrete::walk_fixed_steps;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PAPER_N: usize = 100_000;
+
+fn balanced(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+/// Raw hop throughput: a fixed-length degree-biased walk, the common
+/// inner loop of every estimator. `Throughput::Elements` makes Criterion
+/// report hops/second directly.
+fn bench_hop_throughput(c: &mut Criterion) {
+    let hops = 100_000u64;
+    let g = balanced(PAPER_N, 1);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+
+    let mut group = c.benchmark_group("hop_throughput_n100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(hops));
+    group.bench_with_input(BenchmarkId::new("live_graph", hops), &hops, |b, &hops| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| walk_fixed_steps(&g, start, hops, &mut rng).expect("connected"));
+    });
+    group.bench_with_input(BenchmarkId::new("frozen_csr", hops), &hops, |b, &hops| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        b.iter(|| walk_fixed_steps(&frozen, start, hops, &mut rng).expect("connected"));
+    });
+    group.finish();
+}
+
+/// End-to-end: one Random Tour estimate (expected ≈ Σd/d_i hops) on each
+/// representation, plus the cost of taking the snapshot itself — the
+/// number that decides when re-freezing under churn pays off.
+fn bench_tour_and_freeze(c: &mut Criterion) {
+    let g = balanced(PAPER_N, 3);
+    let frozen = g.freeze();
+    let probe = g.nodes().next().expect("non-empty");
+    let rt = RandomTour::new();
+
+    let mut group = c.benchmark_group("random_tour_n100k");
+    group.sample_size(10);
+    group.bench_function("live_graph", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| rt.estimate(&g, probe, &mut rng).expect("connected").value);
+    });
+    group.bench_function("frozen_csr", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        b.iter(|| {
+            rt.estimate(&frozen, probe, &mut rng)
+                .expect("connected")
+                .value
+        });
+    });
+    group.bench_function("freeze_cost", |b| {
+        b.iter(|| g.freeze().num_edges());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hop_throughput, bench_tour_and_freeze);
+criterion_main!(benches);

@@ -40,7 +40,10 @@ pub fn sampler_bias(p: &Params) -> FigureResult {
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xAB1);
     let topologies: Vec<(&str, Graph)> = vec![
         ("balanced", generators::balanced(n, p.max_degree, &mut rng)),
-        ("scale_free", generators::barabasi_albert(n, p.ba_m, &mut rng)),
+        (
+            "scale_free",
+            generators::barabasi_albert(n, p.ba_m, &mut rng),
+        ),
         // 6-regular bipartite: fast-mixing (so T=10 suffices for the
         // exponential CTRW) yet parity-locked for deterministic sojourns
         // -- the Remark 1 counterexample.
@@ -120,9 +123,8 @@ pub fn expansion(p: &Params) -> FigureResult {
         ("ring", generators::ring(n)),
     ];
     let mut table = CsvTable::new(&["topo", "lambda2", "rt_rel_var", "ctrw_tv"]);
-    let mut summary = String::from(
-        "ablation-expansion: estimator quality degrades as the spectral gap closes\n",
-    );
+    let mut summary =
+        String::from("ablation-expansion: estimator quality degrades as the spectral gap closes\n");
     for (ti, (name, g)) in topologies.iter().enumerate() {
         let gap = spectral::spectral_gap_with(g, 300_000, 1e-13).lambda2;
         let probe = g.nodes().next().expect("non-empty");
@@ -156,7 +158,13 @@ pub fn sc_vs_ibp(p: &Params) -> FigureResult {
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xAB3);
     let g = generators::balanced(n, p.max_degree, &mut rng);
     let probe = g.nodes().next().expect("non-empty");
-    let mut table = CsvTable::new(&["l", "sc_messages", "ibp_messages", "measured_ratio", "theory_ratio"]);
+    let mut table = CsvTable::new(&[
+        "l",
+        "sc_messages",
+        "ibp_messages",
+        "measured_ratio",
+        "theory_ratio",
+    ]);
     let mut summary = String::from(
         "ablation-sc-vs-ibp: cost to reach relative variance 1/l (same CTRW sampler)\n",
     );
@@ -166,18 +174,27 @@ pub fn sc_vs_ibp(p: &Params) -> FigureResult {
         let ibp = InvertedBirthdayParadox::new(CtrwSampler::new(p.timer), l);
         let sc_cost: OnlineMoments = (0..reps)
             .map(|_| {
-                sc.estimate(&g, probe, &mut rng).expect("connected").messages as f64
+                sc.estimate(&g, probe, &mut rng)
+                    .expect("connected")
+                    .messages as f64
             })
             .collect();
         let ibp_cost: OnlineMoments = (0..reps)
             .map(|_| {
-                ibp.estimate(&g, probe, &mut rng).expect("connected").messages as f64
+                ibp.estimate(&g, probe, &mut rng)
+                    .expect("connected")
+                    .messages as f64
             })
             .collect();
         let ratio = ibp_cost.mean() / sc_cost.mean();
         let theory = (std::f64::consts::PI * f64::from(l)).sqrt() / 2.0;
         table.push_row(&[f64::from(l), sc_cost.mean(), ibp_cost.mean(), ratio, theory]);
-        summary_line(&mut summary, &format!("cost ratio IBP/S&C at l={l}"), theory, ratio);
+        summary_line(
+            &mut summary,
+            &format!("cost ratio IBP/S&C at l={l}"),
+            theory,
+            ratio,
+        );
     }
     summary.push_str("  expectation: ratio grows as sqrt(l) — the paper's §4.3 claim.\n");
     FigureResult {
@@ -208,7 +225,9 @@ pub fn baselines(p: &Params) -> FigureResult {
             .sqrt();
         let cost = Summary::from_slice(costs).mean;
         table.push_row(&[mi, rmse, cost]);
-        summary.push_str(&format!("  {name}: rel_rmse={rmse:.3} messages={cost:.0}\n"));
+        summary.push_str(&format!(
+            "  {name}: rel_rmse={rmse:.3} messages={cost:.0}\n"
+        ));
     };
 
     let collect = |est: &dyn Fn(&mut SmallRng) -> (f64, u64), rng: &mut SmallRng| {
@@ -301,7 +320,12 @@ pub fn churn_timer(p: &Params) -> FigureResult {
     for (i, timer) in [5.0f64, 10.0, 20.0, 30.0].into_iter().enumerate() {
         let mut rng = SmallRng::seed_from_u64(p.seed ^ (0xC7 + i as u64));
         let g = generators::balanced(n, p.max_degree, &mut rng);
-        let mut net = DynamicNetwork::new(g, JoinRule::Balanced { max_degree: p.max_degree });
+        let mut net = DynamicNetwork::new(
+            g,
+            JoinRule::Balanced {
+                max_degree: p.max_degree,
+            },
+        );
         let scenario = Scenario::new().remove_gradually(
             (horizon as f64 * 0.3) as u64,
             (horizon as f64 * 0.8) as u64,
@@ -311,11 +335,15 @@ pub fn churn_timer(p: &Params) -> FigureResult {
             .with_point_estimator(PointEstimator::Asymptotic);
         let records = run_dynamic(&mut net, &sc, &RunConfig::new(horizon), &scenario, &mut rng);
         let tail = &records[records.len() - records.len() / 4..];
-        let quality = 100.0
-            * tail.iter().map(|r| r.estimate / r.true_size).sum::<f64>()
-            / tail.len() as f64;
+        let quality =
+            100.0 * tail.iter().map(|r| r.estimate / r.true_size).sum::<f64>() / tail.len() as f64;
         table.push_row(&[timer, quality]);
-        summary_line(&mut summary, &format!("final quality % at T={timer}"), 100.0, quality);
+        summary_line(
+            &mut summary,
+            &format!("final quality % at T={timer}"),
+            100.0,
+            quality,
+        );
     }
     summary.push_str(
         "  expectation: quality climbs towards 100% as T grows past the degraded
@@ -385,7 +413,10 @@ mod tests {
             q_large > q_small,
             "larger timers must track better on the degraded overlay: {q_small} vs {q_large}"
         );
-        assert!(q_small < 95.0, "T=5 must show the under-mixing bias, got {q_small}");
+        assert!(
+            q_small < 95.0,
+            "T=5 must show the under-mixing bias, got {q_small}"
+        );
         assert!((q_large - 100.0).abs() < 35.0, "T=30 quality {q_large}");
     }
 
@@ -399,8 +430,10 @@ mod tests {
             .skip(1)
             .map(|l| l.split(',').map(|c| c.parse().expect("numeric")).collect())
             .collect();
-        assert!(rows.last().expect("rows")[3] > rows[0][3] * 1.5,
-            "IBP/S&C cost ratio should grow with l");
+        assert!(
+            rows.last().expect("rows")[3] > rows[0][3] * 1.5,
+            "IBP/S&C cost ratio should grow with l"
+        );
     }
 
     #[test]
@@ -420,6 +453,9 @@ mod tests {
         // (The RT-vs-S&C cost crossover is a large-N effect; see
         // integration tests for the two-scale comparison.)
         assert!(cost(1.0) < cost(2.0), "S&C l=10 cheaper than l=100");
-        assert!(rmse(2.0) < rmse(0.0), "S&C l=100 beats one RT tour on accuracy");
+        assert!(
+            rmse(2.0) < rmse(0.0),
+            "S&C l=100 beats one RT tour on accuracy"
+        );
     }
 }

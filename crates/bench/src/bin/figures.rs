@@ -1,13 +1,17 @@
 //! CLI regenerating the paper's figures and tables.
 //!
 //! ```text
-//! figures [--scale S] [--timer T] [--svg] [--out DIR] [all | fig1 fig3 table1 ...]
+//! figures [--scale S] [--timer T] [--replications R] [--svg] [--out DIR] \
+//!         [all | fig1 fig3 table1 ...]
 //! ```
 //!
 //! With no experiment list, prints the available ids. `--scale 1.0`
 //! (default) is the paper's N = 100,000 setup; smaller scales shrink the
-//! overlay and run counts proportionally. Output CSVs and summaries land
-//! in `--out` (default `target/figures`).
+//! overlay and run counts proportionally. When `--scale` is absent, the
+//! `CENSUS_SCALE` environment variable supplies the default (handy for CI
+//! wrappers that cannot edit the command line). `--replications R` runs
+//! each replicated figure R times instead of the paper's 3. Output CSVs
+//! and summaries land in `--out` (default `target/figures`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,9 +21,10 @@ use census_bench::{run_experiment, Params, ALL_IDS};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
-    let mut scale = 1.0f64;
+    let mut scale: Option<f64> = None;
     let mut svg = false;
     let mut timer: Option<f64> = None;
+    let mut replications: Option<u64> = None;
     let mut out_dir = PathBuf::from("target/figures");
     let mut ids: Vec<String> = Vec::new();
 
@@ -31,9 +36,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 match v.parse::<f64>() {
-                    Ok(s) if s > 0.0 && s <= 1.0 => scale = s,
+                    Ok(s) if s > 0.0 && s <= 1.0 => scale = Some(s),
                     _ => {
                         eprintln!("invalid scale {v:?}; expected a number in (0, 1]");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--replications" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--replications needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                match v.parse::<u64>() {
+                    Ok(r) if r > 0 => replications = Some(r),
+                    _ => {
+                        eprintln!("invalid replication count {v:?}; expected a positive integer");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -61,7 +79,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale S] [--timer T] [--svg] [--out DIR] [all | {}]",
+                    "usage: figures [--scale S] [--timer T] [--replications R] [--svg] \
+                     [--out DIR] [all | {}]",
                     ALL_IDS.join(" | ")
                 );
                 return ExitCode::SUCCESS;
@@ -78,11 +97,29 @@ fn main() -> ExitCode {
     }
     for id in &ids {
         if !ALL_IDS.contains(&id.as_str()) {
-            eprintln!("unknown experiment {id:?}; available: {}", ALL_IDS.join(", "));
+            eprintln!(
+                "unknown experiment {id:?}; available: {}",
+                ALL_IDS.join(", ")
+            );
             return ExitCode::FAILURE;
         }
     }
 
+    // Flag wins over the CENSUS_SCALE environment variable, which wins
+    // over the paper-scale default.
+    let scale = match scale {
+        Some(s) => s,
+        None => match std::env::var("CENSUS_SCALE") {
+            Ok(v) if !v.trim().is_empty() => match v.trim().parse::<f64>() {
+                Ok(s) if s > 0.0 && s <= 1.0 => s,
+                _ => {
+                    eprintln!("invalid CENSUS_SCALE {v:?}; expected a number in (0, 1]");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => 1.0,
+        },
+    };
     let mut params = if (scale - 1.0).abs() < f64::EPSILON {
         Params::paper()
     } else {
@@ -90,6 +127,9 @@ fn main() -> ExitCode {
     };
     if let Some(t) = timer {
         params.timer = t;
+    }
+    if let Some(r) = replications {
+        params.replications = r;
     }
     println!(
         "running {} experiment(s) at scale {scale} (N = {})\n",

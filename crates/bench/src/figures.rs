@@ -13,7 +13,10 @@
 use census_core::{PointEstimator, RandomTour, SampleCollide};
 use census_graph::{generators, Graph, NodeId};
 use census_sampling::CtrwSampler;
-use census_sim::runner::{cumulative_quality_percent, run_dynamic, run_static, RunConfig, RunRecord};
+use census_sim::parallel::replicate;
+use census_sim::runner::{
+    cumulative_quality_percent, run_dynamic, run_static, RunConfig, RunRecord,
+};
 use census_sim::{DynamicNetwork, JoinRule, Scenario};
 use census_stats::csv::CsvTable;
 use census_stats::{Ecdf, SlidingWindow, Summary};
@@ -49,22 +52,32 @@ fn pick_probe(g: &Graph, rng: &mut SmallRng) -> NodeId {
     g.random_node(rng).expect("overlay is non-empty")
 }
 
-/// Runs `make() -> Vec<RunRecord>` for three independent replications in
-/// parallel (the paper plots "Estimation #1..#3").
-fn three_replications<F>(f: F) -> [Vec<RunRecord>; 3]
+/// Runs `f(replication_index)` for `p.replications` independent
+/// replications in parallel (the paper plots "Estimation #1..#3") via the
+/// deterministic engine in [`census_sim::parallel`].
+///
+/// The closures here derive their sub-seeds from the replication *index*
+/// with the harness's historical XOR derivations, not from the engine's
+/// SplitMix64 stream — that keeps every figure CSV bit-identical to the
+/// serial harness this replaces, for any replication count.
+fn replications<F>(p: &Params, f: F) -> Vec<Vec<RunRecord>>
 where
     F: Fn(u64) -> Vec<RunRecord> + Sync + Send,
 {
-    let mut out: [Vec<RunRecord>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    crossbeam::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = (0..3u64).map(|i| s.spawn(move |_| f(i))).collect();
-        for (i, h) in handles.into_iter().enumerate() {
-            out[i] = h.join().expect("replication thread panicked");
-        }
-    })
-    .expect("crossbeam scope");
-    out
+    replicate(p.replications, p.seed, |r| f(r.index))
+}
+
+/// Header `fixed..., estimation1, ..., estimationR` as owned strings
+/// (column counts now follow the [`Params::replications`] dial).
+fn estimation_header(fixed: &[&str], replications: u64) -> Vec<String> {
+    let mut cols: Vec<String> = fixed.iter().map(|&s| s.to_string()).collect();
+    cols.extend((1..=replications).map(|i| format!("estimation{i}")));
+    cols
+}
+
+fn table_with_header(cols: &[String]) -> CsvTable {
+    let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    CsvTable::new(&refs)
 }
 
 fn rt_static_series(p: &Params, topo: Topo, replication: u64) -> Vec<RunRecord> {
@@ -87,20 +100,20 @@ fn sc_static_series(p: &Params, topo: Topo, l: u32, runs: u64, replication: u64)
 }
 
 /// Figure 1: cumulative averages of Random Tour estimates (as % of system
-/// size) over 1..rt_runs estimates, three independent graphs.
-/// Columns: `run, estimation1, estimation2, estimation3`.
+/// size) over 1..rt_runs estimates, independent graphs per replication.
+/// Columns: `run, estimation1, ..., estimationR`.
 #[must_use]
 pub fn fig1(p: &Params) -> FigureResult {
-    let series = three_replications(|i| rt_static_series(p, Topo::Balanced, i));
-    let quality: Vec<Vec<f64>> = series.iter().map(|s| cumulative_quality_percent(s)).collect();
-    let mut table = CsvTable::new(&["run", "estimation1", "estimation2", "estimation3"]);
-    for (run, ((q0, q1), q2)) in quality[0]
+    let series = replications(p, |i| rt_static_series(p, Topo::Balanced, i));
+    let quality: Vec<Vec<f64>> = series
         .iter()
-        .zip(&quality[1])
-        .zip(&quality[2])
-        .enumerate()
-    {
-        table.push_row(&[(run + 1) as f64, *q0, *q1, *q2]);
+        .map(|s| cumulative_quality_percent(s))
+        .collect();
+    let mut table = table_with_header(&estimation_header(&["run"], p.replications));
+    for run in 0..quality[0].len() {
+        let mut row = vec![(run + 1) as f64];
+        row.extend(quality.iter().map(|q| q[run]));
+        table.push_row(&row);
     }
     let mut summary = String::from("fig1: Random Tour cumulative averages converge to 100%\n");
     for (i, q) in quality.iter().enumerate() {
@@ -118,12 +131,8 @@ pub fn fig1(p: &Params) -> FigureResult {
     }
 }
 
-fn windowed_quality_figure(
-    p: &Params,
-    topo: Topo,
-    id: &'static str,
-) -> FigureResult {
-    let series = three_replications(|i| rt_static_series(p, topo, i));
+fn windowed_quality_figure(p: &Params, topo: Topo, id: &'static str) -> FigureResult {
+    let series = replications(p, |i| rt_static_series(p, topo, i));
     let window = p.rt_window;
     let smoothed: Vec<Vec<f64>> = series
         .iter()
@@ -137,20 +146,14 @@ fn windowed_quality_figure(
                 .collect()
         })
         .collect();
-    let mut table = CsvTable::new(&["run", "estimation1", "estimation2", "estimation3"]);
-    #[allow(clippy::needless_range_loop)] // parallel indexing into three series
+    let mut table = table_with_header(&estimation_header(&["run"], p.replications));
     for run in window..p.rt_runs as usize {
-        let row = [
-            (run + 1) as f64,
-            smoothed[0][run],
-            smoothed[1][run],
-            smoothed[2][run],
-        ];
+        let mut row = vec![(run + 1) as f64];
+        row.extend(smoothed.iter().map(|s| s[run]));
         table.push_row(&row);
     }
-    let mut summary = format!(
-        "{id}: Random Tour sliding-window({window}) quality stays within ±20% of 100%\n"
-    );
+    let mut summary =
+        format!("{id}: Random Tour sliding-window({window}) quality stays within ±20% of 100%\n");
     for (i, s) in smoothed.iter().enumerate() {
         let tail = Summary::from_slice(&s[window..]);
         summary_line(
@@ -222,36 +225,36 @@ fn comparison_data(p: &Params) -> ComparisonData {
             .map(|r| (r.estimate / r.true_size, r.messages as f64 / r.true_size))
             .collect::<Vec<_>>()
     };
-    let mut out = ComparisonData {
-        rt: Vec::new(),
-        sc10: Vec::new(),
-        sc100: Vec::new(),
-    };
-    crossbeam::thread::scope(|s| {
-        let rt = s.spawn(|_| {
-            let net = build(p, Topo::Balanced, p.seed);
-            let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF1);
-            let probe = pick_probe(net.graph(), &mut rng);
-            run_static(&net, &RandomTour::new(), probe, runs_rt, &mut rng)
-        });
-        let sc10 = s.spawn(|_| {
-            let net = build(p, Topo::Balanced, p.seed);
-            let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF2);
-            let probe = pick_probe(net.graph(), &mut rng);
-            run_static(&net, &sc_estimator(p, 10), probe, runs_sc10, &mut rng)
-        });
-        let sc100 = s.spawn(|_| {
-            let net = build(p, Topo::Balanced, p.seed);
-            let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF3);
-            let probe = pick_probe(net.graph(), &mut rng);
-            run_static(&net, &sc_estimator(p, 100), probe, runs_sc100, &mut rng)
-        });
-        out.rt = normalise(rt.join().expect("rt thread"));
-        out.sc10 = normalise(sc10.join().expect("sc10 thread"));
-        out.sc100 = normalise(sc100.join().expect("sc100 thread"));
+    // Three *methods* (not replications) run concurrently; `replicate`'s
+    // index-ordered merge keeps the destructuring below deterministic.
+    // Sub-seeds keep the historical XOR derivations for bit-compatible
+    // CSVs; the engine's own seed stream is unused here.
+    let mut results = replicate(3, p.seed, |r| {
+        let net = build(p, Topo::Balanced, p.seed);
+        match r.index {
+            0 => {
+                let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF1);
+                let probe = pick_probe(net.graph(), &mut rng);
+                run_static(&net, &RandomTour::new(), probe, runs_rt, &mut rng)
+            }
+            1 => {
+                let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF2);
+                let probe = pick_probe(net.graph(), &mut rng);
+                run_static(&net, &sc_estimator(p, 10), probe, runs_sc10, &mut rng)
+            }
+            _ => {
+                let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF3);
+                let probe = pick_probe(net.graph(), &mut rng);
+                run_static(&net, &sc_estimator(p, 100), probe, runs_sc100, &mut rng)
+            }
+        }
     })
-    .expect("crossbeam scope");
-    out
+    .into_iter();
+    ComparisonData {
+        rt: normalise(results.next().expect("three method tasks")),
+        sc10: normalise(results.next().expect("three method tasks")),
+        sc100: normalise(results.next().expect("three method tasks")),
+    }
 }
 
 fn cdf_figure(
@@ -271,7 +274,11 @@ fn cdf_figure(
         table.push_row(&[x, cdf_rt.eval(x), cdf_sc10.eval(x), cdf_sc100.eval(x)]);
     }
     let mut summary = format!("{id}: CDFs of normalised {what} (steeper = less dispersed)\n");
-    for (name, cdf) in [("RT", &cdf_rt), ("S&C l=10", &cdf_sc10), ("S&C l=100", &cdf_sc100)] {
+    for (name, cdf) in [
+        ("RT", &cdf_rt),
+        ("S&C l=10", &cdf_sc10),
+        ("S&C l=100", &cdf_sc100),
+    ] {
         summary.push_str(&format!(
             "  {name}: median {:.3}, 10%-90% spread {:.3}\n",
             cdf.median(),
@@ -323,9 +330,19 @@ pub fn table1(p: &Params) -> FigureResult {
             costs.variance,
         ]);
         summary_line(&mut summary, &format!("{name} avg value"), pv, values.mean);
-        summary_line(&mut summary, &format!("{name} var value"), pvv, values.variance);
+        summary_line(
+            &mut summary,
+            &format!("{name} var value"),
+            pvv,
+            values.variance,
+        );
         summary_line(&mut summary, &format!("{name} avg cost"), pc, costs.mean);
-        summary_line(&mut summary, &format!("{name} var cost"), pcv, costs.variance);
+        summary_line(
+            &mut summary,
+            &format!("{name} var cost"),
+            pcv,
+            costs.variance,
+        );
     }
     FigureResult {
         id: "table1",
@@ -339,7 +356,8 @@ pub fn table1(p: &Params) -> FigureResult {
 #[must_use]
 pub fn fig6(p: &Params) -> FigureResult {
     let mut r = windowed_quality_figure(p, Topo::ScaleFree, "fig6");
-    r.summary.push_str("  (scale-free topology: accuracy comparable to balanced, §5.2.2)\n");
+    r.summary
+        .push_str("  (scale-free topology: accuracy comparable to balanced, §5.2.2)\n");
     r
 }
 
@@ -348,7 +366,8 @@ pub fn fig6(p: &Params) -> FigureResult {
 #[must_use]
 pub fn fig7(p: &Params) -> FigureResult {
     let mut r = sc_quality_figure(p, Topo::ScaleFree, "fig7");
-    r.summary.push_str("  (scale-free topology: accuracy comparable to balanced, §5.2.2)\n");
+    r.summary
+        .push_str("  (scale-free topology: accuracy comparable to balanced, §5.2.2)\n");
     r
 }
 
@@ -373,7 +392,7 @@ fn dynamic_scenario(kind: &str, horizon: u64, n: usize) -> Scenario {
 fn rt_dynamic_figure(p: &Params, kind: &str, id: &'static str) -> FigureResult {
     let horizon = p.rt_dynamic_runs;
     let window = p.rt_dynamic_window;
-    let runs = three_replications(|i| {
+    let runs = replications(p, |i| {
         let mut net = build(p, Topo::Balanced, p.seed.wrapping_add(i));
         let mut rng = SmallRng::seed_from_u64(p.seed ^ (0xD0 + i));
         let scenario = dynamic_scenario(kind, horizon, p.n);
@@ -385,15 +404,11 @@ fn rt_dynamic_figure(p: &Params, kind: &str, id: &'static str) -> FigureResult {
             &mut rng,
         )
     });
-    let mut table = CsvTable::new(&["run", "real_size", "estimation1", "estimation2", "estimation3"]);
+    let mut table = table_with_header(&estimation_header(&["run", "real_size"], p.replications));
     for (k, r0) in runs[0].iter().enumerate() {
-        table.push_row(&[
-            k as f64,
-            r0.true_size,
-            r0.smoothed,
-            runs[1][k].smoothed,
-            runs[2][k].smoothed,
-        ]);
+        let mut row = vec![k as f64, r0.true_size];
+        row.extend(runs.iter().map(|r| r[k].smoothed));
+        table.push_row(&row);
     }
     let summary = dynamic_summary(id, &runs[0], window, kind, "Random Tour");
     FigureResult { id, table, summary }
@@ -508,10 +523,60 @@ mod tests {
         // Parse the last row's three qualities from the CSV text.
         let body = r.table.to_csv_string();
         let last = body.lines().last().expect("rows exist");
-        let cells: Vec<f64> = last.split(',').map(|c| c.parse().expect("numeric")).collect();
+        let cells: Vec<f64> = last
+            .split(',')
+            .map(|c| c.parse().expect("numeric"))
+            .collect();
         for &q in &cells[1..] {
             assert!((q - 100.0).abs() < 40.0, "cumulative quality {q}");
         }
+    }
+
+    #[test]
+    fn fig1_is_bit_identical_to_serial_replications() {
+        // The parallel engine must not change the published CSVs: each
+        // replication's seeds derive from its index exactly as the old
+        // serial harness derived them, and rows merge in index order.
+        let p = tiny();
+        let parallel = fig1(&p).table.to_csv_string();
+        let series: Vec<Vec<RunRecord>> = (0..p.replications)
+            .map(|i| rt_static_series(&p, Topo::Balanced, i))
+            .collect();
+        let quality: Vec<Vec<f64>> = series
+            .iter()
+            .map(|s| cumulative_quality_percent(s))
+            .collect();
+        let mut expected = table_with_header(&estimation_header(&["run"], p.replications));
+        for run in 0..quality[0].len() {
+            let mut row = vec![(run + 1) as f64];
+            row.extend(quality.iter().map(|q| q[run]));
+            expected.push_row(&row);
+        }
+        assert_eq!(parallel, expected.to_csv_string());
+    }
+
+    #[test]
+    fn fig1_is_deterministic_across_invocations() {
+        let p = tiny();
+        assert_eq!(
+            fig1(&p).table.to_csv_string(),
+            fig1(&p).table.to_csv_string()
+        );
+    }
+
+    #[test]
+    fn replication_count_is_a_dial() {
+        let mut p = tiny();
+        p.rt_runs = 50;
+        p.replications = 5;
+        let r = fig1(&p);
+        let header = r.table.to_csv_string();
+        let header = header.lines().next().expect("header row");
+        assert_eq!(
+            header,
+            "run,estimation1,estimation2,estimation3,estimation4,estimation5"
+        );
+        assert_eq!(r.table.len(), 50);
     }
 
     #[test]
@@ -525,7 +590,13 @@ mod tests {
         let qualities: Vec<f64> = body
             .lines()
             .skip(1)
-            .map(|l| l.split(',').nth(1).expect("2 columns").parse().expect("numeric"))
+            .map(|l| {
+                l.split(',')
+                    .nth(1)
+                    .expect("2 columns")
+                    .parse()
+                    .expect("numeric")
+            })
             .collect();
         let s = Summary::from_slice(&qualities);
         // Positive finite-N bias of C^2/(2l) is ~sqrt(2l/N) ~ 22% here.

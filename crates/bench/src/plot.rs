@@ -12,7 +12,9 @@ use std::fmt::Write as _;
 use census_stats::csv::CsvTable;
 
 /// Palette for up to six series (colour-blind-safe Okabe–Ito subset).
-const COLORS: &[&str] = &["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"];
+const COLORS: &[&str] = &[
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
 
 const WIDTH: f64 = 760.0;
 const HEIGHT: f64 = 420.0;
@@ -92,8 +94,15 @@ fn fmt_tick(v: f64) -> String {
 pub fn line_chart(table: &CsvTable, title: &str, x_label: &str, y_label: &str) -> Svg {
     let csv = table.to_csv_string();
     let mut lines = csv.lines();
-    let header: Vec<&str> = lines.next().expect("tables have headers").split(',').collect();
-    assert!(header.len() >= 2, "a chart needs an x column and one series");
+    let header: Vec<&str> = lines
+        .next()
+        .expect("tables have headers")
+        .split(',')
+        .collect();
+    assert!(
+        header.len() >= 2,
+        "a chart needs an x column and one series"
+    );
     let rows: Vec<Vec<f64>> = lines
         .map(|l| {
             l.split(',')
@@ -135,7 +144,10 @@ pub fn line_chart(table: &CsvTable, title: &str, x_label: &str, y_label: &str) -
         s,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
     );
-    let _ = write!(s, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+    let _ = write!(
+        s,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
     let _ = write!(
         s,
         r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
@@ -232,7 +244,9 @@ pub fn line_chart(table: &CsvTable, title: &str, x_label: &str, y_label: &str) -
 }
 
 fn xml_escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -286,7 +300,9 @@ mod tests {
         let step = ticks[1] - ticks[0];
         let mag = 10f64.powf(step.log10().floor());
         let norm = step / mag;
-        assert!([1.0, 2.0, 5.0, 10.0].iter().any(|&n| (norm - n).abs() < 1e-9));
+        assert!([1.0, 2.0, 5.0, 10.0]
+            .iter()
+            .any(|&n| (norm - n).abs() < 1e-9));
     }
 
     #[test]
@@ -303,7 +319,9 @@ mod tests {
         line_chart(&sample_table(), "demo", "x", "y")
             .write_to(&path)
             .expect("write succeeds");
-        assert!(std::fs::read_to_string(&path).expect("file exists").contains("<svg"));
+        assert!(std::fs::read_to_string(&path)
+            .expect("file exists")
+            .contains("<svg"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -80,7 +80,10 @@ mod tests {
             messages: 12,
         };
         let json = serde_json::to_string(&e).expect("serialize");
-        assert_eq!(serde_json::from_str::<Estimate>(&json).expect("deserialize"), e);
+        assert_eq!(
+            serde_json::from_str::<Estimate>(&json).expect("deserialize"),
+            e
+        );
     }
 
     #[test]

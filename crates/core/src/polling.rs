@@ -159,7 +159,9 @@ impl<P: Fn(usize) -> f64> HopLimitedPolling<P> {
         let mut reached = 0u64;
         let mut flood_messages = 0u64;
         for node in g.nodes() {
-            let Some(h) = distances[node.index()] else { continue };
+            let Some(h) = distances[node.index()] else {
+                continue;
+            };
             if h == 0 || h > self.max_hops {
                 continue;
             }
@@ -212,7 +214,9 @@ mod tests {
         let me = g.nodes().next().expect("non-empty");
         let mut rng = SmallRng::seed_from_u64(11);
         let poll = HopLimitedPolling::new(2, |h| if h == 1 { 0.9 } else { 0.4 });
-        let m: OnlineMoments = (0..4_000).map(|_| poll.run(&g, me, &mut rng).estimate).collect();
+        let m: OnlineMoments = (0..4_000)
+            .map(|_| poll.run(&g, me, &mut rng).estimate)
+            .collect();
         let err = (m.mean() - 13.0).abs() / m.standard_error();
         assert!(err < 4.0, "ball estimate {} vs 13", m.mean());
     }
@@ -291,10 +295,13 @@ mod tests {
     #[test]
     fn ack_implosion_grows_linearly() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let small = ProbabilisticPolling::new(0.5)
-            .run(&generators::complete(20), NodeId::new(0), &mut rng);
-        let large = ProbabilisticPolling::new(0.5)
-            .run(&generators::complete(200), NodeId::new(0), &mut rng);
+        let small =
+            ProbabilisticPolling::new(0.5).run(&generators::complete(20), NodeId::new(0), &mut rng);
+        let large = ProbabilisticPolling::new(0.5).run(
+            &generators::complete(200),
+            NodeId::new(0),
+            &mut rng,
+        );
         assert!(large.replies > 4 * small.replies);
     }
 

@@ -160,7 +160,9 @@ mod tests {
         let b = g.add_node();
         g.add_edge(a, b).expect("fresh edge");
         let mut rng = SmallRng::seed_from_u64(1);
-        let est = RandomTour::new().estimate(&g, a, &mut rng).expect("completes");
+        let est = RandomTour::new()
+            .estimate(&g, a, &mut rng)
+            .expect("completes");
         assert_eq!(est.value, 2.0);
         assert_eq!(est.messages, 2);
     }
@@ -211,7 +213,11 @@ mod tests {
         }
         let m = mean_estimate(&g, NodeId::new(0), 3_000, 8);
         let err = (m.mean() - 10.0).abs() / m.standard_error();
-        assert!(err < 4.0, "mean {} should match the component (10)", m.mean());
+        assert!(
+            err < 4.0,
+            "mean {} should match the component (10)",
+            m.mean()
+        );
     }
 
     #[test]
@@ -265,7 +271,10 @@ mod tests {
         for (g, seed) in [
             (generators::complete(40), 13u64),
             (generators::hypercube(5), 14),
-            (generators::k_out(60, 3, &mut SmallRng::seed_from_u64(15)), 16),
+            (
+                generators::k_out(60, 3, &mut SmallRng::seed_from_u64(15)),
+                16,
+            ),
         ] {
             if !algo::is_connected(&g) {
                 continue;
@@ -275,14 +284,15 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(seed);
             let rt = RandomTour::new();
             let m: OnlineMoments = (0..20_000)
-                .map(|_| rt.estimate(&g, initiator, &mut rng).expect("connected").value)
+                .map(|_| {
+                    rt.estimate(&g, initiator, &mut rng)
+                        .expect("connected")
+                        .value
+                })
                 .collect();
             let var = m.sample_variance();
-            let (lo, hi) = crate::theory::rt_variance_bounds(
-                n,
-                g.average_degree(),
-                spectral_gap(&g),
-            );
+            let (lo, hi) =
+                crate::theory::rt_variance_bounds(n, g.average_degree(), spectral_gap(&g));
             assert!(
                 var >= lo * 0.8 && var <= hi * 1.2,
                 "n={n}: variance {var} outside [{lo}, {hi}]"

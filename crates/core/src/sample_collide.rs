@@ -284,7 +284,10 @@ pub fn ml_estimate(c_l: u64, l: u32) -> f64 {
     if score(lo, c_l, l) < 0.0 {
         return lo;
     }
-    debug_assert!(score(hi, c_l, l) <= 0.0, "upper bracket must be past the root");
+    debug_assert!(
+        score(hi, c_l, l) <= 0.0,
+        "upper bracket must be past the root"
+    );
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         if score(mid, c_l, l) > 0.0 {
@@ -562,8 +565,10 @@ mod tests {
             (ml - asym).abs() / ml < 0.02,
             "ml {ml} vs asymptotic {asym}"
         );
-        assert!(n_max(c_l, l) - n_min(c_l, l) < 2.0 * (c_l as f64),
-            "brackets differ by O(C_l)");
+        assert!(
+            n_max(c_l, l) - n_min(c_l, l) < 2.0 * (c_l as f64),
+            "brackets differ by O(C_l)"
+        );
     }
 
     #[test]
@@ -687,7 +692,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         let g = generators::balanced(800, 10, &mut rng);
         let adaptive = AdaptiveSampleCollide::new(20, 0.25).with_tolerance(0.25);
-        let steps = adaptive.run(&g, NodeId::new(0), &mut rng).expect("connected");
+        let steps = adaptive
+            .run(&g, NodeId::new(0), &mut rng)
+            .expect("connected");
         assert!(steps.len() >= 2, "at least two rounds");
         for w in steps.windows(2) {
             assert_eq!(w[1].timer, w[0].timer * 2.0);

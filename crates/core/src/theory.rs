@@ -39,13 +39,11 @@ pub fn rt_variance_bounds(n: f64, avg_degree: f64, lambda2: f64) -> (f64, f64) {
 ///
 /// Panics if any argument is not positive or `delta >= 1`.
 #[must_use]
-pub fn rt_runs_for_accuracy(
-    avg_degree: f64,
-    lambda2: f64,
-    epsilon: f64,
-    delta: f64,
-) -> u64 {
-    assert!(avg_degree > 0.0 && lambda2 > 0.0, "graph constants must be positive");
+pub fn rt_runs_for_accuracy(avg_degree: f64, lambda2: f64, epsilon: f64, delta: f64) -> u64 {
+    assert!(
+        avg_degree > 0.0 && lambda2 > 0.0,
+        "graph constants must be positive"
+    );
     assert!(epsilon > 0.0, "target error must be positive");
     assert!(delta > 0.0 && delta < 1.0, "confidence must lie in (0, 1)");
     let rel_var = 1.0 + 2.0 * avg_degree / lambda2;
@@ -121,7 +119,10 @@ pub fn sc_expected_messages(n: f64, l: u32, timer: f64, avg_degree: f64) -> f64 
 pub fn rt_messages_to_match_sc(n: f64, l: u32, avg_degree: f64, lambda2: f64) -> f64 {
     assert!(n > 0.0, "system size must be positive");
     assert!(l > 0, "l must be positive");
-    assert!(avg_degree > 0.0 && lambda2 > 0.0, "graph constants must be positive");
+    assert!(
+        avg_degree > 0.0 && lambda2 > 0.0,
+        "graph constants must be positive"
+    );
     let rel_var = 1.0 + 2.0 * avg_degree / lambda2;
     let runs = rel_var * f64::from(l);
     runs * n
@@ -172,9 +173,7 @@ mod tests {
     fn gamma_ratio_matches_known_values() {
         // Gamma(1.5)/Gamma(1) = sqrt(pi)/2; Gamma(2.5)/Gamma(2) = 3 sqrt(pi)/4.
         assert!((gamma_half_ratio(1) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-12);
-        assert!(
-            (gamma_half_ratio(2) - 3.0 * std::f64::consts::PI.sqrt() / 4.0).abs() < 1e-12
-        );
+        assert!((gamma_half_ratio(2) - 3.0 * std::f64::consts::PI.sqrt() / 4.0).abs() < 1e-12);
         // Large-l asymptotics: Gamma(l+1/2)/Gamma(l) ~ sqrt(l).
         let r = gamma_half_ratio(10_000);
         assert!((r / 100.0 - 1.0).abs() < 0.01);

@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(component_sizes(&g), vec![3, 3]);
         let mut comp = connected_component(&g, a);
         comp.sort();
-        assert_eq!(comp.iter().map(|n| n.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            comp.iter().map(|n| n.index()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]

@@ -105,8 +105,9 @@ mod tests {
 
     #[test]
     fn iter_in_order() {
-        let a: NodeAttributes<i32> =
-            [(NodeId::new(5), 50), (NodeId::new(1), 10)].into_iter().collect();
+        let a: NodeAttributes<i32> = [(NodeId::new(5), 50), (NodeId::new(1), 10)]
+            .into_iter()
+            .collect();
         let pairs: Vec<_> = a.iter().map(|(n, &v)| (n.index(), v)).collect();
         assert_eq!(pairs, vec![(1, 10), (5, 50)]);
     }

@@ -1,0 +1,351 @@
+//! Frozen CSR snapshots of an overlay graph.
+//!
+//! The walk engines spend their whole budget asking "give me the
+//! neighbour list of node `j`" — once per overlay hop, millions of times
+//! per figure. On the live [`Graph`] that read chases a pointer into a
+//! separately allocated `Vec` per node. [`FrozenView`] is the same
+//! adjacency structure flattened into compressed sparse row (CSR) form:
+//! one contiguous `neighbors` array indexed by a per-slot `offsets`
+//! array, so a walk step is two array reads from (mostly) hot cache
+//! lines.
+//!
+//! A `FrozenView` is an immutable snapshot: freeze once, walk it for as
+//! long as membership does not change, re-freeze after churn. See the
+//! "Execution engine" section of `DESIGN.md` for when freezing pays off
+//! under churn.
+
+use crate::{Graph, NodeId};
+
+/// An immutable, flat CSR snapshot of a [`Graph`].
+///
+/// Layout:
+///
+/// - `offsets[i]..offsets[i + 1]` indexes the neighbour list of slot `i`
+///   within `neighbors` (empty for dead slots and isolated nodes);
+/// - `neighbors` stores every live node's adjacency list back-to-back,
+///   *in the same per-node order* as the source graph — so a random walk
+///   driven by the same RNG visits the identical node sequence on either
+///   representation;
+/// - `live` lists the live [`NodeId`]s in increasing order (the live-node
+///   index used for O(1) uniform peer choice and iteration);
+/// - `alive` is the per-slot liveness bitmap (needed because an isolated
+///   live node and a dead slot both have an empty CSR row).
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{Graph, Topology};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b)?;
+/// let f = g.freeze();
+/// assert_eq!(f.num_nodes(), 2);
+/// assert_eq!(f.neighbors(a), &[b]);
+/// assert_eq!(f.degree(a), g.degree(a));
+/// # Ok::<(), census_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenView {
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeId>,
+    live: Vec<NodeId>,
+    alive: Vec<bool>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a flat CSR snapshot of the current live topology.
+    ///
+    /// Cost is `O(slots + edges)`. The snapshot preserves per-node
+    /// neighbour-list order, so walks driven by the same RNG stream are
+    /// bit-identical on the graph and on its frozen view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` directed adjacency
+    /// entries (an overlay far beyond the simulator's design envelope).
+    #[must_use]
+    pub fn freeze(&self) -> FrozenView {
+        let slots = self.slot_count();
+        let mut offsets = Vec::with_capacity(slots + 1);
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges());
+        let mut live = Vec::with_capacity(self.num_nodes());
+        let mut alive = vec![false; slots];
+        offsets.push(0u32);
+        for (i, slot_alive) in alive.iter_mut().enumerate() {
+            let id = NodeId::new(i);
+            if self.is_alive(id) {
+                *slot_alive = true;
+                live.push(id);
+                neighbors.extend_from_slice(self.neighbors(id));
+            }
+            offsets.push(u32::try_from(neighbors.len()).expect("adjacency entries fit in u32"));
+        }
+        FrozenView {
+            offsets,
+            neighbors,
+            live,
+            alive,
+            num_edges: self.num_edges(),
+        }
+    }
+}
+
+impl FrozenView {
+    /// Number of live nodes in the snapshot.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of edges between live nodes in the snapshot.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Total node slots of the source graph, including dead ones.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether `node` was alive when the snapshot was taken.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.index()).copied().unwrap_or(false)
+    }
+
+    /// Degree of a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive in the snapshot.
+    #[must_use]
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        assert!(self.is_alive(node), "degree of dead node {node}");
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Neighbour list of a live node, as a contiguous CSR slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive in the snapshot.
+    #[must_use]
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        assert!(self.is_alive(node), "neighbors of dead node {node}");
+        let i = node.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates over live node identifiers in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.live.iter().copied()
+    }
+
+    /// Picks a live node uniformly at random in O(1) via the live-node
+    /// index. Returns `None` on an empty snapshot.
+    ///
+    /// Unlike [`Graph::random_node`] (rejection over slots) this consumes
+    /// exactly one RNG draw, so the two are *not* stream-compatible; walk
+    /// equivalence concerns `neighbors`/`degree` only.
+    pub fn random_node<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.live.is_empty() {
+            None
+        } else {
+            Some(self.live[rng.random_range(0..self.live.len())])
+        }
+    }
+
+    /// Sum of degrees over live nodes (equals `2 * num_edges`).
+    #[must_use]
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_freezes_to_empty_view() {
+        let f = Graph::new().freeze();
+        assert_eq!(f.num_nodes(), 0);
+        assert_eq!(f.num_edges(), 0);
+        assert_eq!(f.nodes().count(), 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(f.random_node(&mut rng), None);
+    }
+
+    #[test]
+    fn freeze_preserves_structure_and_order() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::balanced(500, 10, &mut rng);
+        let f = g.freeze();
+        assert_eq!(f.num_nodes(), g.num_nodes());
+        assert_eq!(f.num_edges(), g.num_edges());
+        assert_eq!(f.degree_sum(), g.degree_sum());
+        for v in g.nodes() {
+            // Same list, same order: the walk-equivalence invariant.
+            assert_eq!(f.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn dead_slots_are_excluded_after_churn() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut g = generators::balanced(200, 10, &mut rng);
+        for _ in 0..80 {
+            let victim = g.random_node(&mut rng).expect("non-empty");
+            g.remove_node(victim).expect("alive");
+        }
+        let f = g.freeze();
+        assert_eq!(f.num_nodes(), 120);
+        assert_eq!(f.slot_count(), 200);
+        for i in 0..f.slot_count() {
+            let id = NodeId::new(i);
+            assert_eq!(f.is_alive(id), g.is_alive(id));
+            if g.is_alive(id) {
+                assert_eq!(f.neighbors(id), g.neighbors(id));
+                assert!(f.neighbors(id).iter().all(|&n| f.is_alive(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_node_is_uniform_over_live_nodes() {
+        let mut g = Graph::new();
+        let ids = g.add_nodes(4);
+        g.remove_node(ids[1]).expect("alive");
+        let f = g.freeze();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..30_000 {
+            let n = f.random_node(&mut rng).expect("non-empty");
+            assert!(f.is_alive(n));
+            *counts.entry(n).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        for &c in counts.values() {
+            let frac = f64::from(c) / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frequency {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dead node")]
+    fn neighbors_of_dead_slot_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        g.add_node();
+        g.remove_node(a).expect("alive");
+        let _ = g.freeze().neighbors(a);
+    }
+
+    /// A random graph mutated by a random join/leave/rewire script — the
+    /// churn regime the CSR must stay faithful under.
+    fn churned_graph(n: usize, script: &[u8]) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut g = generators::balanced(n, 6, &mut rng);
+        for &op in script {
+            match op % 3 {
+                0 => {
+                    let a = g.add_node();
+                    if let Some(b) = g.random_node(&mut rng) {
+                        if a != b {
+                            let _ = g.add_edge(a, b);
+                        }
+                    }
+                }
+                1 => {
+                    if let Some(v) = g.random_node(&mut rng) {
+                        let _ = g.remove_node(v);
+                    }
+                }
+                _ => {
+                    if let (Some(a), Some(b)) = (g.random_node(&mut rng), g.random_node(&mut rng)) {
+                        if a != b {
+                            let _ = g.add_edge(a, b);
+                        }
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    proptest! {
+        /// CSR invariants: offsets monotone and spanning, degree sums
+        /// match, dead slots empty, per-node lists identical to the
+        /// source — after arbitrary churn.
+        #[test]
+        fn csr_invariants_hold_after_churn(
+            n in 2usize..60,
+            script in proptest::collection::vec(any::<u8>(), 0..120),
+        ) {
+            let g = churned_graph(n, &script);
+            let f = g.freeze();
+
+            // offsets: one entry per slot plus the terminator, monotone,
+            // spanning the whole neighbour array.
+            prop_assert_eq!(f.offsets.len(), g.slot_count() + 1);
+            prop_assert!(f.offsets.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(*f.offsets.last().expect("non-empty") as usize, f.neighbors.len());
+
+            // Degree sums match on both representations.
+            prop_assert_eq!(f.degree_sum(), g.degree_sum());
+            prop_assert_eq!(f.num_edges(), g.num_edges());
+            prop_assert_eq!(f.num_nodes(), g.num_nodes());
+
+            // Dead slots contribute empty rows; live rows round-trip.
+            for i in 0..g.slot_count() {
+                let id = NodeId::new(i);
+                prop_assert_eq!(f.is_alive(id), g.is_alive(id));
+                if g.is_alive(id) {
+                    prop_assert_eq!(f.neighbors(id), g.neighbors(id));
+                } else {
+                    prop_assert_eq!(f.offsets[i], f.offsets[i + 1]);
+                }
+            }
+
+            // The live index is exactly the graph's node iteration.
+            prop_assert_eq!(f.nodes().collect::<Vec<_>>(), g.nodes().collect::<Vec<_>>());
+        }
+
+        /// Re-freezing after further churn tracks the live graph.
+        #[test]
+        fn refreeze_round_trips(
+            script_a in proptest::collection::vec(any::<u8>(), 0..60),
+            script_b in proptest::collection::vec(any::<u8>(), 0..60),
+        ) {
+            let mut g = churned_graph(20, &script_a);
+            let before = g.freeze();
+            let mut rng = SmallRng::seed_from_u64(7);
+            for &op in &script_b {
+                if op % 2 == 0 {
+                    g.add_node();
+                } else if let Some(v) = g.random_node(&mut rng) {
+                    let _ = g.remove_node(v);
+                }
+            }
+            let after = g.freeze();
+            prop_assert_eq!(after.num_nodes(), g.num_nodes());
+            prop_assert_eq!(after.num_edges(), g.num_edges());
+            // The stale snapshot is untouched by the mutations: only the
+            // join ops (even bytes) grew the slot space.
+            let joins = script_b.iter().filter(|&&op| op % 2 == 0).count();
+            prop_assert_eq!(before.offsets.len() + joins, after.offsets.len());
+        }
+    }
+}

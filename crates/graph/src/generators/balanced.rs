@@ -42,7 +42,10 @@ use crate::{Graph, NodeId};
 /// ```
 pub fn balanced<R: Rng + ?Sized>(n: usize, max_degree: usize, rng: &mut R) -> Graph {
     assert!(n > 0, "graph must have at least one node");
-    assert!(max_degree >= 2, "degree cap below 2 cannot form a connected overlay");
+    assert!(
+        max_degree >= 2,
+        "degree cap below 2 cannot form a connected overlay"
+    );
     let mut g = Graph::with_capacity(n);
     let ids = g.add_nodes(n);
     if n == 1 {
@@ -79,7 +82,8 @@ pub fn balanced<R: Rng + ?Sized>(n: usize, max_degree: usize, rng: &mut R) -> Gr
             if t == i || g.has_edge(i, t) {
                 continue;
             }
-            g.add_edge(i, t).expect("pool nodes are alive with spare degree");
+            g.add_edge(i, t)
+                .expect("pool nodes are alive with spare degree");
             if g.degree(t) >= max_degree {
                 evict(&mut pool, &mut pos, t);
             }

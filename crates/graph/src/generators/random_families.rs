@@ -28,7 +28,10 @@ use crate::{Graph, NodeId};
 /// ```
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!(n > 0, "graph must have at least one node");
-    assert!((0.0..=1.0).contains(&p), "edge probability must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must lie in [0, 1]"
+    );
     let mut g = Graph::with_capacity(n);
     let ids = g.add_nodes(n);
     if p == 0.0 || n == 1 {
@@ -83,7 +86,10 @@ pub fn erdos_renyi_mean_degree<R: Rng + ?Sized>(n: usize, c: f64, rng: &mut R) -
 /// Panics if `k == 0` or `k >= n`.
 pub fn k_out<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
     assert!(k > 0, "k must be positive");
-    assert!(k < n, "each node needs k distinct other nodes to choose from");
+    assert!(
+        k < n,
+        "each node needs k distinct other nodes to choose from"
+    );
     let mut g = Graph::with_capacity(n);
     let ids = g.add_nodes(n);
     let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
@@ -126,7 +132,10 @@ pub fn k_out<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, String> {
     assert!(d > 0, "degree must be positive");
     assert!(d < n, "degree must be below node count");
-    assert!((n * d).is_multiple_of(2), "n * d must be even to pair stubs");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n * d must be even to pair stubs"
+    );
 
     'attempt: for _ in 0..1_000 {
         let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
@@ -213,7 +222,10 @@ mod tests {
     fn k_out_is_connected_for_k2() {
         let mut rng = SmallRng::seed_from_u64(4);
         let g = k_out(1_000, 2, &mut rng);
-        assert!(crate::algo::is_connected(&g), "2-out graphs are whp connected");
+        assert!(
+            crate::algo::is_connected(&g),
+            "2-out graphs are whp connected"
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub fn path(n: usize) -> Graph {
 pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "a cycle needs at least three nodes");
     let mut g = path(n);
-    g.add_edge(NodeId::new(n - 1), NodeId::new(0)).expect("closing edge is fresh");
+    g.add_edge(NodeId::new(n - 1), NodeId::new(0))
+        .expect("closing edge is fresh");
     g
 }
 
@@ -108,14 +109,19 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 /// parallel edges).
 #[must_use]
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus dimensions must be at least 3");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus dimensions must be at least 3"
+    );
     let mut g = Graph::with_capacity(rows * cols);
     let ids = g.add_nodes(rows * cols);
     let at = |r: usize, c: usize| ids[r * cols + c];
     for r in 0..rows {
         for c in 0..cols {
-            g.add_edge(at(r, c), at(r, (c + 1) % cols)).expect("fresh torus edge");
-            g.add_edge(at(r, c), at((r + 1) % rows, c)).expect("fresh torus edge");
+            g.add_edge(at(r, c), at(r, (c + 1) % cols))
+                .expect("fresh torus edge");
+            g.add_edge(at(r, c), at((r + 1) % rows, c))
+                .expect("fresh torus edge");
         }
     }
     g
@@ -129,7 +135,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 #[must_use]
 pub fn hypercube(dim: usize) -> Graph {
     assert!(dim > 0, "hypercube dimension must be positive");
-    assert!(dim <= 20, "hypercube beyond 2^20 nodes is outside the design envelope");
+    assert!(
+        dim <= 20,
+        "hypercube beyond 2^20 nodes is outside the design envelope"
+    );
     let n = 1usize << dim;
     let mut g = Graph::with_capacity(n);
     let ids = g.add_nodes(n);
@@ -156,7 +165,8 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let ids = g.add_nodes(a + b);
     for i in 0..a {
         for j in 0..b {
-            g.add_edge(ids[i], ids[a + j]).expect("fresh bipartite edge");
+            g.add_edge(ids[i], ids[a + j])
+                .expect("fresh bipartite edge");
         }
     }
     g

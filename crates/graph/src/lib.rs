@@ -8,10 +8,15 @@
 //!   uniform node departures of the paper's §5.3 churn scenarios. Node
 //!   identities are never recycled, so sample-collision semantics stay
 //!   sound across membership changes.
+//! - [`FrozenView`]: a flat CSR snapshot of a [`Graph`] built by
+//!   [`Graph::freeze`] — the same topology with every neighbour list laid
+//!   out contiguously, which is what the walk engines iterate over in the
+//!   figure-scale hot loops.
 //! - [`Topology`]: the minimal neighbour-oracle interface the random walk
 //!   engines need — a walker only ever asks a node for its degree and for a
 //!   uniformly random neighbour, exactly the locality constraint of an
-//!   overlay protocol.
+//!   overlay protocol. Implemented by [`Graph`], [`FrozenView`] and the
+//!   churn simulator's dynamic overlay.
 //! - [`generators`]: the two evaluation topologies of §5.1 (balanced random
 //!   graphs with degrees in 1..=10 and Barabási–Albert scale-free graphs)
 //!   plus the analytical reference families (Erdős–Rényi, k-out, random
@@ -47,10 +52,12 @@ pub mod io;
 pub mod metrics;
 pub mod spectral;
 
+mod frozen;
 mod graph;
 mod node;
 mod topology;
 
+pub use frozen::FrozenView;
 pub use graph::{Graph, GraphError};
 pub use node::NodeId;
 pub use topology::Topology;

@@ -19,7 +19,9 @@ use std::fmt;
 /// assert_eq!(n.index(), 42);
 /// assert_eq!(format!("{n}"), "n42");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 

@@ -163,7 +163,9 @@ pub fn spectral_gap_with(g: &Graph, max_iters: usize, tol: f64) -> GapEstimate {
     }
 
     // Deterministic, well-spread start vector (orthogonalised below).
-    let mut x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7548776662 + 0.1).sin()).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i as f64) * 0.7548776662 + 0.1).sin())
+        .collect();
     project_out_constant(&mut x);
     normalise(&mut x);
     let mut lx = vec![0.0; n];
@@ -232,7 +234,10 @@ pub fn exact_spectrum(g: &Graph) -> Vec<f64> {
     let idx = DenseIndex::new(g);
     let n = idx.len();
     assert!(n > 0, "spectrum of an empty graph is undefined");
-    assert!(n <= 512, "exact spectrum is a small-graph oracle (n <= 512)");
+    assert!(
+        n <= 512,
+        "exact spectrum is a small-graph oracle (n <= 512)"
+    );
 
     // Dense Laplacian.
     let mut a = vec![0.0f64; n * n];
@@ -335,7 +340,10 @@ pub fn isoperimetric_sweep(g: &Graph) -> f64 {
 pub fn isoperimetric_exact(g: &Graph) -> f64 {
     let idx = DenseIndex::new(g);
     let n = idx.len();
-    assert!((2..=22).contains(&n), "exhaustive expansion needs 2..=22 nodes");
+    assert!(
+        (2..=22).contains(&n),
+        "exhaustive expansion needs 2..=22 nodes"
+    );
     // Adjacency bitmasks over dense indices.
     let masks: Vec<u32> = (0..n)
         .map(|d| {
@@ -526,7 +534,12 @@ mod tests {
         }
         g.add_edge(ids[0], ids[6]).expect("bridge");
         // Best cut: one clique vs the other -> 1 edge / 6 nodes.
-        assert_close(isoperimetric_sweep(&g), 1.0 / 6.0, 1e-9, "barbell expansion");
+        assert_close(
+            isoperimetric_sweep(&g),
+            1.0 / 6.0,
+            1e-9,
+            "barbell expansion",
+        );
         assert_close(isoperimetric_exact(&g), 1.0 / 6.0, 1e-9, "exact expansion");
     }
 
@@ -581,7 +594,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(77);
         let g = generators::balanced(400, 10, &mut rng);
         let gap = spectral_gap_with(&g, 20_000, 1e-12).lambda2;
-        assert!(gap > 0.3, "balanced overlays should have a healthy gap, got {gap}");
+        assert!(
+            gap > 0.3,
+            "balanced overlays should have a healthy gap, got {gap}"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The neighbour-oracle abstraction walked by the random walk engines.
 
-use rand::RngCore;
+use rand::Rng;
 
-use crate::{Graph, NodeId};
+use crate::{FrozenView, Graph, NodeId};
 
 /// Local view of an overlay, as seen by a message performing a random walk.
 ///
@@ -10,10 +10,18 @@ use crate::{Graph, NodeId};
 /// learn `j`'s degree and be forwarded to one of `j`'s neighbours chosen
 /// uniformly at random. `Topology` captures exactly that interface, so the
 /// walk, sampling, and estimation crates work unchanged over a static
-/// [`Graph`] or over the churn simulator's dynamic overlay.
+/// [`Graph`], its flat [`FrozenView`] snapshot, or the churn simulator's
+/// dynamic overlay.
 ///
-/// The trait is object-safe (randomness is passed as `&mut dyn RngCore`) so
-/// estimators can hold `&dyn Topology` when convenient.
+/// The primitive accessor is [`Topology::neighbors_of`], which returns the
+/// neighbour list as a slice; [`Topology::neighbor_of`] has a default
+/// implementation on top of it (one bounds-checked index), so every walk
+/// step is statically dispatched and inlinable. Implementations that model
+/// an *environment* rather than a graph — e.g. the loss simulator's
+/// [`LossyTopology`](https://docs.rs/census-sim) wrapper, which makes a hop
+/// fail with some probability — override `neighbor_of`; the walk engines
+/// therefore always step through `neighbor_of`, never by indexing the
+/// slice themselves.
 ///
 /// # Examples
 ///
@@ -28,6 +36,7 @@ use crate::{Graph, NodeId};
 /// g.add_edge(a, b)?;
 /// let mut rng = SmallRng::seed_from_u64(1);
 /// assert_eq!(Topology::degree_of(&g, a), 1);
+/// assert_eq!(Topology::neighbors_of(&g, a), &[b]);
 /// assert_eq!(g.neighbor_of(a, &mut rng), Some(b));
 /// # Ok::<(), census_graph::GraphError>(())
 /// ```
@@ -39,24 +48,49 @@ pub trait Topology {
     /// Whether the peer is currently a live overlay member.
     fn contains(&self, node: NodeId) -> bool;
 
+    /// The neighbour list of a live peer, as a slice.
+    ///
+    /// This is the hot-path primitive: one call per walk step, no
+    /// allocation, no dynamic dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the peer is not alive.
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId];
+
     /// Degree of a live peer.
     ///
     /// # Panics
     ///
     /// Implementations panic if the peer is not alive.
-    fn degree_of(&self, node: NodeId) -> usize;
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.neighbors_of(node).len()
+    }
 
     /// A uniformly random neighbour of a live peer, or `None` if it is
     /// isolated.
     ///
+    /// The default implementation indexes [`Topology::neighbors_of`]
+    /// uniformly. Environment wrappers (message loss) override this to
+    /// inject per-hop failures, which is why walk engines must forward
+    /// through this method rather than sampling the slice directly.
+    ///
     /// # Panics
     ///
     /// Implementations panic if the peer is not alive.
-    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId>;
+    #[inline]
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        let list = self.neighbors_of(node);
+        if list.is_empty() {
+            None
+        } else {
+            Some(list[rng.random_range(0..list.len())])
+        }
+    }
 
     /// A uniformly random live peer, used to pick experiment initiators.
     /// Returns `None` when the overlay is empty.
-    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId>;
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId>;
 }
 
 impl Topology for Graph {
@@ -68,15 +102,46 @@ impl Topology for Graph {
         self.is_alive(node)
     }
 
+    #[inline]
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors(node)
+    }
+
+    #[inline]
     fn degree_of(&self, node: NodeId) -> usize {
         self.degree(node)
     }
 
-    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+    #[inline]
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
         self.random_neighbor(node, rng)
     }
 
-    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        self.random_node(rng)
+    }
+}
+
+impl Topology for FrozenView {
+    fn peer_count(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.is_alive(node)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors(node)
+    }
+
+    #[inline]
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.degree(node)
+    }
+
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         self.random_node(rng)
     }
 }
@@ -90,15 +155,22 @@ impl<T: Topology + ?Sized> Topology for &T {
         (**self).contains(node)
     }
 
+    #[inline]
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        (**self).neighbors_of(node)
+    }
+
+    #[inline]
     fn degree_of(&self, node: NodeId) -> usize {
         (**self).degree_of(node)
     }
 
-    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+    #[inline]
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
         (**self).neighbor_of(node, rng)
     }
 
-    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         (**self).any_peer(rng)
     }
 }
@@ -115,14 +187,18 @@ mod tests {
         let a = g.add_node();
         let b = g.add_node();
         g.add_edge(a, b).expect("fresh edge");
-        let t: &dyn Topology = &g;
-        assert_eq!(t.peer_count(), 2);
-        assert!(t.contains(a));
-        assert!(!t.contains(NodeId::new(9)));
-        assert_eq!(t.degree_of(b), 1);
-        let mut rng = SmallRng::seed_from_u64(0);
-        assert_eq!(t.neighbor_of(a, &mut rng), Some(b));
-        assert!(t.any_peer(&mut rng).is_some());
+        fn probe<T: Topology>(t: &T, a: NodeId, b: NodeId) {
+            assert_eq!(t.peer_count(), 2);
+            assert!(t.contains(a));
+            assert!(!t.contains(NodeId::new(9)));
+            assert_eq!(t.degree_of(b), 1);
+            assert_eq!(t.neighbors_of(a), &[b]);
+            let mut rng = SmallRng::seed_from_u64(0);
+            assert_eq!(t.neighbor_of(a, &mut rng), Some(b));
+            assert!(t.any_peer(&mut rng).is_some());
+        }
+        probe(&g, a, b);
+        probe(&g.freeze(), a, b);
     }
 
     #[test]
@@ -135,5 +211,27 @@ mod tests {
         assert_eq!(count(&g), 1);
         let by_ref: &Graph = &g;
         assert_eq!(count(by_ref), 1);
+    }
+
+    #[test]
+    fn default_neighbor_of_matches_graph_override() {
+        // The default slice-indexing `neighbor_of` and Graph's
+        // `random_neighbor` override must consume the RNG identically:
+        // walk sequences over a Graph and its FrozenView must coincide.
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let leaves = g.add_nodes(5);
+        for &l in &leaves {
+            g.add_edge(hub, l).expect("fresh edge");
+        }
+        let f = g.freeze();
+        let mut rng_a = SmallRng::seed_from_u64(42);
+        let mut rng_b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                g.neighbor_of(hub, &mut rng_a),
+                f.neighbor_of(hub, &mut rng_b)
+            );
+        }
     }
 }

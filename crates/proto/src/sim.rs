@@ -453,7 +453,13 @@ impl ProtocolSim {
     /// Local handling of a sampling message at `at_node` (§4.1 step 2):
     /// drain the timer by `Exp(1)/d`; reply to the initiator on expiry,
     /// forward otherwise.
-    fn deliver_sample_probe(&mut self, op: OperationId, initiator: NodeId, at_node: NodeId, timer: f64) {
+    fn deliver_sample_probe(
+        &mut self,
+        op: OperationId,
+        initiator: NodeId,
+        at_node: NodeId,
+        timer: f64,
+    ) {
         let d = self.graph.degree(at_node);
         let drain = if d == 0 {
             f64::INFINITY // zero jump rate: the timer dies here

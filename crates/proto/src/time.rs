@@ -34,7 +34,10 @@ impl SimTime {
     /// Panics if `secs` is negative or not finite.
     #[must_use]
     pub fn new(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "sim time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "sim time must be finite and non-negative"
+        );
         Self(secs)
     }
 
@@ -49,7 +52,9 @@ impl Eq for SimTime {}
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("sim times are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("sim times are never NaN")
     }
 }
 
@@ -95,11 +100,17 @@ impl Latency {
     pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
         match *self {
             Latency::Constant(d) => {
-                assert!(d.is_finite() && d >= 0.0, "constant latency must be non-negative");
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "constant latency must be non-negative"
+                );
                 d
             }
             Latency::ExponentialMean(mean) => {
-                assert!(mean.is_finite() && mean > 0.0, "latency mean must be positive");
+                assert!(
+                    mean.is_finite() && mean > 0.0,
+                    "latency mean must be positive"
+                );
                 mean * standard_exponential(rng)
             }
             Latency::Uniform(lo, hi) => {

@@ -86,7 +86,12 @@ impl CtrwSampler {
 }
 
 impl Sampler for CtrwSampler {
-    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
     where
         T: Topology + ?Sized,
         R: Rng,

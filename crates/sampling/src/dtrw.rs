@@ -52,7 +52,12 @@ impl DtrwSampler {
 }
 
 impl Sampler for DtrwSampler {
-    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
     where
         T: Topology + ?Sized,
         R: Rng,
@@ -94,7 +99,8 @@ mod tests {
         // The walk converges to pi_j = d_j / 2|E| whatever the start, so
         // TV to uniform is (1/2) * sum |d_j/16 - 2/16| = 5/16.
         let mut g = generators::star(8);
-        g.add_edge(NodeId::new(1), NodeId::new(2)).expect("fresh edge");
+        g.add_edge(NodeId::new(1), NodeId::new(2))
+            .expect("fresh edge");
         let mut rng = SmallRng::seed_from_u64(1);
         let sampler = DtrwSampler::new(100);
         let tv = quality::empirical_tv_to_uniform(&sampler, &g, 40_000, &mut rng);
@@ -122,10 +128,7 @@ mod tests {
         let a = g.add_node();
         let mut rng = SmallRng::seed_from_u64(3);
         let sampler = DtrwSampler::new(5);
-        assert_eq!(
-            sampler.sample(&g, a, &mut rng),
-            Err(WalkError::Stuck(a))
-        );
+        assert_eq!(sampler.sample(&g, a, &mut rng), Err(WalkError::Stuck(a)));
     }
 
     #[test]
@@ -133,7 +136,9 @@ mod tests {
         let g = generators::ring(12);
         let mut rng = SmallRng::seed_from_u64(4);
         let sampler = DtrwSampler::new(17);
-        let s = sampler.sample(&g, NodeId::new(0), &mut rng).expect("walk completes");
+        let s = sampler
+            .sample(&g, NodeId::new(0), &mut rng)
+            .expect("walk completes");
         assert_eq!(s.hops, 17);
     }
 

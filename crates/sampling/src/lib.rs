@@ -78,7 +78,12 @@ pub trait Sampler {
     /// Returns a [`WalkError`] when the underlying walk cannot proceed
     /// (e.g. the initiator is isolated, for walk-based samplers that must
     /// leave the initiator).
-    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
     where
         T: Topology + ?Sized,
         R: Rng;
@@ -87,7 +92,12 @@ pub trait Sampler {
 /// A reference to a sampler samples like the sampler itself, so samplers
 /// can be shared between estimators without cloning.
 impl<S: Sampler + ?Sized> Sampler for &S {
-    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
     where
         T: Topology + ?Sized,
         R: Rng,

@@ -51,7 +51,12 @@ impl MetropolisSampler {
 }
 
 impl Sampler for MetropolisSampler {
-    fn sample<T, R>(&self, topology: &T, initiator: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
     where
         T: Topology + ?Sized,
         R: Rng,
@@ -73,7 +78,10 @@ impl Sampler for MetropolisSampler {
                 hops += 1;
             }
         }
-        Ok(Sample { node: current, hops })
+        Ok(Sample {
+            node: current,
+            hops,
+        })
     }
 }
 

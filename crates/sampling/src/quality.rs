@@ -26,12 +26,7 @@ use crate::Sampler;
 ///
 /// Panics if the graph is empty, `runs` is zero, or the sampler fails
 /// (isolated initiator).
-pub fn sample_counts<S, R>(
-    sampler: &S,
-    g: &Graph,
-    runs: u32,
-    rng: &mut R,
-) -> (DenseIndex, Vec<u64>)
+pub fn sample_counts<S, R>(sampler: &S, g: &Graph, runs: u32, rng: &mut R) -> (DenseIndex, Vec<u64>)
 where
     S: Sampler,
     R: Rng,
@@ -66,10 +61,7 @@ where
 {
     let (idx, counts) = sample_counts(sampler, g, runs, rng);
     let n = idx.len();
-    let empirical: Vec<f64> = counts
-        .iter()
-        .map(|&c| c as f64 / f64::from(runs))
-        .collect();
+    let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / f64::from(runs)).collect();
     let uniform = vec![1.0 / n as f64; n];
     total_variation(&empirical, &uniform)
 }
@@ -127,10 +119,12 @@ mod tests {
         let g = generators::star(10);
         let mut rng = SmallRng::seed_from_u64(2);
         let runs = 20_000;
-        let (ctrw_stat, dof) =
-            chi_square_uniformity(&CtrwSampler::new(25.0), &g, runs, &mut rng);
+        let (ctrw_stat, dof) = chi_square_uniformity(&CtrwSampler::new(25.0), &g, runs, &mut rng);
         let threshold = dof as f64 + 5.0 * (2.0 * dof as f64).sqrt();
-        assert!(ctrw_stat < threshold, "CTRW chi2 {ctrw_stat} vs {threshold}");
+        assert!(
+            ctrw_stat < threshold,
+            "CTRW chi2 {ctrw_stat} vs {threshold}"
+        );
         // Odd step count: the star is bipartite, so the walk's parity
         // concentrates odd-length walks on the hub.
         let (dtrw_stat, _) = chi_square_uniformity(&DtrwSampler::new(51), &g, runs, &mut rng);

@@ -1,7 +1,7 @@
 //! Dynamic overlay membership.
 
-use census_graph::{Graph, NodeId, Topology};
-use rand::{Rng, RngCore};
+use census_graph::{FrozenView, Graph, NodeId, Topology};
+use rand::Rng;
 
 /// How a joining node attaches to the overlay (§5.1: "newly incorporated
 /// nodes are connected via their own set of random targets, chosen
@@ -76,7 +76,9 @@ impl DynamicNetwork {
                 let mut attempts = 0;
                 while self.graph.degree(newcomer) < want && attempts < 50 * max_degree {
                     attempts += 1;
-                    let Some(t) = self.graph.random_node(rng) else { break };
+                    let Some(t) = self.graph.random_node(rng) else {
+                        break;
+                    };
                     if t == newcomer
                         || self.graph.degree(t) >= max_degree
                         || self.graph.has_edge(newcomer, t)
@@ -94,7 +96,9 @@ impl DynamicNetwork {
                 let budget = 200 * m * max_deg;
                 while self.graph.degree(newcomer) < m && attempts < budget {
                     attempts += 1;
-                    let Some(t) = self.graph.random_node(rng) else { break };
+                    let Some(t) = self.graph.random_node(rng) else {
+                        break;
+                    };
                     if t == newcomer || self.graph.has_edge(newcomer, t) {
                         continue;
                     }
@@ -140,6 +144,15 @@ impl DynamicNetwork {
     pub fn component_size_of(&self, node: NodeId) -> usize {
         census_graph::algo::component_size(&self.graph, node)
     }
+
+    /// Freezes the current membership into a flat CSR snapshot (see
+    /// [`Graph::freeze`]). The snapshot is only valid until the next
+    /// [`Self::join`]/[`Self::leave`]/[`Self::churn`]; the runners
+    /// re-freeze after every membership delta.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenView {
+        self.graph.freeze()
+    }
 }
 
 impl Topology for DynamicNetwork {
@@ -155,11 +168,17 @@ impl Topology for DynamicNetwork {
         self.graph.degree_of(node)
     }
 
-    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+    #[inline]
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.graph.neighbors_of(node)
+    }
+
+    #[inline]
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
         self.graph.neighbor_of(node, rng)
     }
 
-    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         self.graph.any_peer(rng)
     }
 }
@@ -214,10 +233,7 @@ mod tests {
     fn preferential_joins_favor_hubs() {
         let mut rng = SmallRng::seed_from_u64(4);
         let g = generators::barabasi_albert(500, 3, &mut rng);
-        let hub = g
-            .nodes()
-            .max_by_key(|&v| g.degree(v))
-            .expect("non-empty");
+        let hub = g.nodes().max_by_key(|&v| g.degree(v)).expect("non-empty");
         let hub_degree_before = g.degree(hub);
         let mut net = DynamicNetwork::new(g, JoinRule::PreferentialAttachment { m: 3 });
         for _ in 0..300 {

@@ -19,6 +19,10 @@
 //!   in Figures 8–13.
 //! - [`loss`]: the §5.3.1 extension — probabilistic message loss with an
 //!   adaptive, trip-time-based initiator timeout.
+//! - [`parallel`]: a deterministic replication engine — run `n`
+//!   independent replications of an experiment on scoped threads, each
+//!   with a SplitMix64-derived RNG stream, merged in replica order so
+//!   results never depend on thread scheduling.
 //!
 //! # Examples
 //!
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod loss;
+pub mod parallel;
 pub mod runner;
 
 mod dynamic;

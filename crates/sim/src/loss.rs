@@ -15,7 +15,7 @@
 use census_graph::{NodeId, Topology};
 use census_stats::OnlineMoments;
 use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 
 /// A topology wrapper that loses the walker with probability
@@ -82,14 +82,21 @@ impl<T: Topology> Topology for LossyTopology<T> {
         self.inner.degree_of(node)
     }
 
-    fn neighbor_of(&self, node: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.inner.neighbors_of(node)
+    }
+
+    // Overrides the trait's slice-indexing default: the walk engines
+    // forward through `neighbor_of` precisely so that this fault
+    // injection point stays on the path of every hop.
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
         if self.faults.borrow_mut().random::<f64>() < self.drop_probability {
             return None; // The probe message is lost at this hop.
         }
         self.inner.neighbor_of(node, rng)
     }
 
-    fn any_peer(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         self.inner.any_peer(rng)
     }
 }
@@ -177,7 +184,11 @@ mod tests {
         let failures = (0..200)
             .filter(|_| {
                 matches!(
-                    RandomTour::new().estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng),
+                    RandomTour::new().estimate(
+                        &lossy,
+                        g.nodes().next().expect("non-empty"),
+                        &mut rng
+                    ),
                     Err(census_core::EstimateError::Walk(WalkError::Stuck(_)))
                 )
             })

@@ -1,0 +1,247 @@
+//! Deterministic parallel replication of experiments.
+//!
+//! The paper plots every static figure as three independent replications
+//! ("Estimation #1..#3") and the benches want more. Replications share no
+//! state, so they parallelise perfectly — the only subtlety is keeping
+//! the output *deterministic*: the result must depend on the replica
+//! index and the base seed alone, never on thread scheduling.
+//!
+//! [`replicate`] guarantees that by construction:
+//!
+//! - each replica gets its own RNG seed derived from the base seed with
+//!   SplitMix64 (the standard generator for spawning independent seed
+//!   streams — consecutive base states produce well-decorrelated
+//!   outputs), carried in a [`Replica`] handle;
+//! - results are merged by joining the scoped threads in replica order,
+//!   so the returned `Vec` is indexed by replica regardless of which
+//!   thread finished first.
+//!
+//! Built on [`std::thread::scope`], so closures may borrow the
+//! experiment's topology and estimator from the caller's stack — no
+//! external dependency needed.
+//!
+//! # Examples
+//!
+//! ```
+//! use census_sim::parallel::replicate;
+//!
+//! let squares = replicate(4, 7, |r| (r.index * r.index, r.seed));
+//! assert_eq!(squares.len(), 4);
+//! assert_eq!(squares[2].0, 4);
+//! // Seeds are a pure function of (base_seed, index): re-running is
+//! // bit-identical.
+//! assert_eq!(replicate(4, 7, |r| r.seed), squares.iter().map(|s| s.1).collect::<Vec<_>>());
+//! ```
+
+use census_core::SizeEstimator;
+use census_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::runner::{run_dynamic, run_static, RunConfig, RunRecord};
+use crate::{DynamicNetwork, Scenario};
+
+/// One replica's identity within a [`replicate`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Replica {
+    /// Replica index, `0..n_replicas`.
+    pub index: u64,
+    /// The SplitMix64-derived seed of this replica's RNG stream.
+    pub seed: u64,
+}
+
+impl Replica {
+    /// This replica's dedicated `SmallRng`, seeded from [`Replica::seed`].
+    #[must_use]
+    pub fn rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed)
+    }
+}
+
+/// SplitMix64 output function (Steele, Lea & Flood; the finaliser Vigna
+/// recommends for seeding other generators). Maps consecutive inputs to
+/// well-decorrelated outputs.
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-replica seed stream: replica `i` of a run with `base_seed`
+/// gets `splitmix64(base_seed + i)`.
+#[must_use]
+pub fn replica_seed(base_seed: u64, index: u64) -> u64 {
+    splitmix64(base_seed.wrapping_add(index))
+}
+
+/// Runs `f` once per replica on scoped threads and returns the results in
+/// replica order.
+///
+/// Determinism contract: `f` must derive all randomness from its
+/// [`Replica`] argument (or other deterministic inputs); under that
+/// contract the output is byte-identical across runs and independent of
+/// thread scheduling, because results are merged by replica index.
+///
+/// # Panics
+///
+/// Panics if `n_replicas` is zero or a replica thread panics.
+pub fn replicate<T, F>(n_replicas: u64, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Replica) -> T + Sync,
+{
+    assert!(n_replicas > 0, "need at least one replication");
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n_replicas)
+            .map(|index| {
+                let replica = Replica {
+                    index,
+                    seed: replica_seed(base_seed, index),
+                };
+                scope.spawn(move || f(replica))
+            })
+            .collect();
+        // Deterministic merge: join in spawn (= replica) order.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication thread panicked"))
+            .collect()
+    })
+}
+
+/// [`replicate`] over [`run_static`]: `n_replicas` independent record
+/// series of the same estimator on the same static overlay, each driven
+/// by its own seed stream.
+///
+/// # Panics
+///
+/// Propagates the panics of [`run_static`] and [`replicate`].
+pub fn replicate_static<E>(
+    net: &DynamicNetwork,
+    estimator: &E,
+    initiator: NodeId,
+    runs: u64,
+    n_replicas: u64,
+    base_seed: u64,
+) -> Vec<Vec<RunRecord>>
+where
+    E: SizeEstimator + Sync,
+{
+    replicate(n_replicas, base_seed, |r| {
+        let mut rng = r.rng();
+        run_static(net, estimator, initiator, runs, &mut rng)
+    })
+}
+
+/// [`replicate`] over [`run_dynamic`]: each replica clones the starting
+/// overlay and evolves it independently through the scenario with its own
+/// seed stream (churn is part of the replicated randomness, as in the
+/// paper's three dynamic replications).
+///
+/// # Panics
+///
+/// Propagates the panics of [`run_dynamic`] and [`replicate`].
+pub fn replicate_dynamic<E>(
+    net: &DynamicNetwork,
+    estimator: &E,
+    config: &RunConfig,
+    scenario: &Scenario,
+    n_replicas: u64,
+    base_seed: u64,
+) -> Vec<Vec<RunRecord>>
+where
+    E: SizeEstimator + Sync,
+{
+    replicate(n_replicas, base_seed, |r| {
+        let mut rng = r.rng();
+        let mut net = net.clone();
+        run_dynamic(&mut net, estimator, config, scenario, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JoinRule;
+    use census_core::RandomTour;
+    use census_graph::generators;
+
+    fn small_net(n: usize, seed: u64) -> DynamicNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::balanced(n, 10, &mut rng);
+        DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 })
+    }
+
+    #[test]
+    fn results_arrive_in_replica_order() {
+        // Make later replicas finish first: earlier indices sleep longer.
+        let out = replicate(4, 0, |r| {
+            std::thread::sleep(std::time::Duration::from_millis(30 - 10 * r.index.min(3)));
+            r.index
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn seed_stream_is_pure_and_decorrelated() {
+        let a: Vec<u64> = replicate(8, 123, |r| r.seed);
+        let b: Vec<u64> = replicate(8, 123, |r| r.seed);
+        assert_eq!(a, b, "seed stream must be a pure function of the base seed");
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), 8, "replica seeds must differ");
+        assert_eq!(a[0], splitmix64(123));
+    }
+
+    #[test]
+    fn static_replications_are_deterministic_and_independent() {
+        let net = small_net(150, 1);
+        let mut pick = SmallRng::seed_from_u64(2);
+        let probe = net.graph().random_node(&mut pick).expect("non-empty");
+        let rt = RandomTour::new();
+        let first = replicate_static(&net, &rt, probe, 20, 3, 42);
+        let second = replicate_static(&net, &rt, probe, 20, 3, 42);
+        assert_eq!(first, second, "same base seed must be byte-identical");
+        assert_ne!(
+            first[0], first[1],
+            "distinct replicas must see distinct randomness"
+        );
+    }
+
+    #[test]
+    fn dynamic_replications_are_deterministic() {
+        let net = small_net(200, 3);
+        let scenario = Scenario::new().remove_gradually(2, 10, 50);
+        let rt = RandomTour::new();
+        let config = RunConfig::new(15).with_window(5);
+        let a = replicate_dynamic(&net, &rt, &config, &scenario, 3, 7);
+        let b = replicate_dynamic(&net, &rt, &config, &scenario, 3, 7);
+        assert_eq!(a, b);
+        // The caller's network is untouched: replicas evolve clones.
+        assert_eq!(net.size(), 200);
+    }
+
+    #[test]
+    fn parallel_matches_serial_execution() {
+        let net = small_net(120, 4);
+        let mut pick = SmallRng::seed_from_u64(5);
+        let probe = net.graph().random_node(&mut pick).expect("non-empty");
+        let rt = RandomTour::new();
+        let parallel = replicate_static(&net, &rt, probe, 25, 3, 9);
+        let serial: Vec<_> = (0..3)
+            .map(|i| {
+                let mut rng = SmallRng::seed_from_u64(replica_seed(9, i));
+                run_static(&net, &rt, probe, 25, &mut rng)
+            })
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_replicas_panics() {
+        let _ = replicate(0, 0, |r| r.index);
+    }
+}

@@ -88,6 +88,14 @@ impl RunConfig {
 /// recomputed only when membership changed (BFS is the dominant cost at
 /// paper scale otherwise).
 ///
+/// Walks run over a frozen CSR snapshot of the overlay, re-frozen after
+/// every non-zero membership delta: a re-freeze costs `O(slots + edges)`
+/// writes while a single Random Tour costs `≈ d̄·N` hops, so the snapshot
+/// pays for itself even when churn hits every run (and is free on the
+/// churn-less stretches). Because freezing preserves neighbour-list
+/// order, the estimate series is bit-identical to walking the live graph
+/// with the same RNG stream.
+///
 /// # Panics
 ///
 /// Panics if the overlay becomes empty, or if a run keeps failing after
@@ -108,6 +116,7 @@ where
     let mut window = config.window.map(SlidingWindow::new);
     let mut probe: Option<NodeId> = None;
     let mut cached_truth: Option<f64> = None;
+    let mut frozen = net.freeze();
 
     for run in 0..config.runs {
         let delta = scenario.delta_at(run);
@@ -118,6 +127,7 @@ where
                 net.churn(0, (-delta) as usize, rng);
             }
             cached_truth = None;
+            frozen = net.freeze();
         }
         assert!(net.size() > 0, "scenario emptied the overlay at run {run}");
 
@@ -126,11 +136,10 @@ where
             probe = Some(net.graph().random_node(rng).expect("overlay is non-empty"));
             cached_truth = None;
         }
-        let probing = probe.expect("probe was just ensured");
-
         let mut estimate = None;
         for attempt in 0..=config.retries {
-            match estimator.estimate(net, probing, rng) {
+            let probing = probe.expect("probe was just ensured");
+            match estimator.estimate(&frozen, probing, rng) {
                 Ok(e) => {
                     estimate = Some(e);
                     break;
@@ -171,6 +180,11 @@ where
 /// The initiator is fixed across runs (the paper launches repeated
 /// measurements from one probing node).
 ///
+/// Membership never changes here, so the overlay is frozen into a CSR
+/// snapshot once and every walk runs over the flat representation; the
+/// series is bit-identical to walking the live graph with the same RNG
+/// stream (freezing preserves neighbour-list order).
+///
 /// # Panics
 ///
 /// Panics if any run fails (static overlays cannot break walks unless the
@@ -187,10 +201,11 @@ where
     R: Rng,
 {
     let truth = net.component_size_of(initiator) as f64;
+    let frozen = net.freeze();
     (0..runs)
         .map(|run| {
             let e = estimator
-                .estimate(net, initiator, rng)
+                .estimate(&frozen, initiator, rng)
                 .unwrap_or_else(|err| panic!("static run {run} failed: {err}"));
             RunRecord {
                 run,

@@ -30,7 +30,10 @@ impl Ecdf {
     #[must_use]
     pub fn new(mut values: Vec<f64>) -> Self {
         values.retain(|v| v.is_finite());
-        assert!(!values.is_empty(), "ECDF requires at least one finite value");
+        assert!(
+            !values.is_empty(),
+            "ECDF requires at least one finite value"
+        );
         values.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
         Self { sorted: values }
     }
@@ -48,7 +51,10 @@ impl Ecdf {
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile level must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile level must lie in [0, 1]"
+        );
         if q == 0.0 {
             return self.sorted[0];
         }

@@ -43,9 +43,9 @@ mod window;
 pub mod csv;
 
 pub use distance::{chi_square_uniform, empirical_distribution, ks_statistic, total_variation};
-pub use series::{autocorrelation, bootstrap_mean_ci, ConfidenceInterval};
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use moments::OnlineMoments;
+pub use series::{autocorrelation, bootstrap_mean_ci, ConfidenceInterval};
 pub use summary::Summary;
 pub use window::SlidingWindow;

@@ -110,7 +110,10 @@ mod tests {
     fn serde_roundtrip() {
         let s = Summary::from_slice(&[1.0, 2.0]);
         let json = serde_json::to_string(&s).expect("serialize");
-        assert_eq!(serde_json::from_str::<Summary>(&json).expect("deserialize"), s);
+        assert_eq!(
+            serde_json::from_str::<Summary>(&json).expect("deserialize"),
+            s
+        );
     }
 
     #[test]

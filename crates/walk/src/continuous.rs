@@ -97,7 +97,10 @@ where
         let degree = topology.degree_of(current);
         if degree == 0 {
             // Zero jump rate: the walk stays here forever.
-            return Ok(CtrwOutcome { node: current, hops });
+            return Ok(CtrwOutcome {
+                node: current,
+                hops,
+            });
         }
         let drain = match sojourn {
             Sojourn::Exponential => standard_exponential(rng) / degree as f64,
@@ -105,7 +108,10 @@ where
         };
         remaining -= drain;
         if remaining <= 0.0 {
-            return Ok(CtrwOutcome { node: current, hops });
+            return Ok(CtrwOutcome {
+                node: current,
+                hops,
+            });
         }
         current = topology
             .neighbor_of(current, rng)
@@ -137,7 +143,10 @@ pub fn standard_exponential<R: Rng>(rng: &mut R) -> f64 {
 #[must_use]
 pub fn exact_distribution(g: &Graph, start: NodeId, t: f64) -> Vec<f64> {
     assert!(g.is_alive(start), "CTRW start must be alive");
-    assert!(t.is_finite() && t >= 0.0, "time must be non-negative and finite");
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "time must be non-negative and finite"
+    );
     let idx = census_graph::spectral::DenseIndex::new(g);
     let n = idx.len();
     let lambda = g.max_degree().max(1) as f64;

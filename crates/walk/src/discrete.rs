@@ -154,7 +154,10 @@ where
     assert!(g.is_alive(start), "initiator must be alive");
     let idx = DenseIndex::new(g);
     let n = idx.len();
-    assert!(n <= 512, "exact tour oracle is a small-graph tool (n <= 512)");
+    assert!(
+        n <= 512,
+        "exact tour oracle is a small-graph tool (n <= 512)"
+    );
     assert!(
         census_graph::algo::component_size(g, start) == n,
         "exact tour oracle needs a connected graph"
@@ -264,8 +267,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..50 {
             let mut visits = 0u64;
-            let tour =
-                random_tour(&g, start, None, &mut rng, |_| visits += 1).expect("completes");
+            let tour = random_tour(&g, start, None, &mut rng, |_| visits += 1).expect("completes");
             // One visit per step except the last (the return), plus the
             // initiator's launch visit.
             assert_eq!(visits, tour.steps);
@@ -381,7 +383,13 @@ mod tests {
     fn linear_oracle_matches_monte_carlo() {
         let g = generators::ring(9);
         let start = NodeId::new(0);
-        let f = |n: NodeId| if n.index() % 2 == 0 { 2.0 } else { 0.5 };
+        let f = |n: NodeId| {
+            if n.index().is_multiple_of(2) {
+                2.0
+            } else {
+                0.5
+            }
+        };
         let exact = exact_expected_tour_estimate(&g, start, f);
         let mut rng = SmallRng::seed_from_u64(22);
         let runs = 40_000;

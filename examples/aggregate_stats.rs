@@ -28,7 +28,11 @@ fn main() -> Result<(), EstimateError> {
     let capacities: NodeAttributes<f64> = overlay
         .nodes()
         .map(|v| {
-            let cap = if rng.random::<f64>() < 0.8 { 0.05 } else { 10.0 };
+            let cap = if rng.random::<f64>() < 0.8 {
+                0.05
+            } else {
+                10.0
+            };
             (v, cap)
         })
         .collect();
@@ -45,7 +49,13 @@ fn main() -> Result<(), EstimateError> {
         let est = rt.estimate_sum(
             &overlay,
             me,
-            |j| if overlay.degree(j) > threshold { 1.0 } else { 0.0 },
+            |j| {
+                if overlay.degree(j) > threshold {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
             &mut rng,
         )?;
         high_degree.push(est.value);
@@ -58,7 +68,10 @@ fn main() -> Result<(), EstimateError> {
         capacity.push(est.value);
     }
 
-    println!("scale-free overlay: {n} peers, {} edges\n", overlay.num_edges());
+    println!(
+        "scale-free overlay: {n} peers, {} edges\n",
+        overlay.num_edges()
+    );
     println!("aggregate                     truth      estimate ({tours} tours)");
     println!(
         "peers with degree > {threshold}:     {true_high_degree:>8.0}    {:>10.0}  ({:+.1}%)",

@@ -54,5 +54,7 @@ fn main() {
         .iter()
         .map(|r| (100.0 * r.estimate / r.true_size - 100.0).abs())
         .fold(0.0f64, f64::max);
-    println!("\nworst-case deviation across the run: {worst:.1}% (theory: ~10% std away from events)");
+    println!(
+        "\nworst-case deviation across the run: {worst:.1}% (theory: ~10% std away from events)"
+    );
 }

@@ -18,13 +18,13 @@ use rand::SeedableRng;
 fn report(name: &str, truth: f64, values: &[f64], messages: &[f64]) {
     let v = Summary::from_slice(values);
     let c = Summary::from_slice(messages);
-    let rmse = (values.iter().map(|x| (x / truth - 1.0).powi(2)).sum::<f64>()
+    let rmse = (values
+        .iter()
+        .map(|x| (x / truth - 1.0).powi(2))
+        .sum::<f64>()
         / values.len() as f64)
         .sqrt();
-    println!(
-        "{name:<34} {:>9.0}  {rmse:>7.3}  {:>12.0}",
-        v.mean, c.mean
-    );
+    println!("{name:<34} {:>9.0}  {rmse:>7.3}  {:>12.0}", v.mean, c.mean);
 }
 
 fn main() -> Result<(), EstimateError> {
@@ -36,7 +36,10 @@ fn main() -> Result<(), EstimateError> {
     let reps = 30;
 
     println!("overlay: {n} peers (balanced random graph)\n");
-    println!("{:<34} {:>9}  {:>7}  {:>12}", "method", "mean N^", "relRMSE", "msgs/run");
+    println!(
+        "{:<34} {:>9}  {:>7}  {:>12}",
+        "method", "mean N^", "relRMSE", "msgs/run"
+    );
 
     // Random Tour: single tours and a 50-tour average.
     let rt = RandomTour::new();
@@ -115,6 +118,8 @@ fn main() -> Result<(), EstimateError> {
     }
     report("probabilistic polling (p=0.1)", truth, &vals, &costs);
 
-    println!("\nnote: gossip amortises its cost over all {n} peers; walk methods bill one initiator.");
+    println!(
+        "\nnote: gossip amortises its cost over all {n} peers; walk methods bill one initiator."
+    );
     Ok(())
 }

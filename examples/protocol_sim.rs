@@ -64,5 +64,8 @@ fn main() {
             c.op, c.messages, c.finished_at
         );
     }
-    println!("\n{ok} estimates delivered, {lost} probes lost/timed out, virtual time {}", sim.now());
+    println!(
+        "\n{ok} estimates delivered, {lost} probes lost/timed out, virtual time {}",
+        sim.now()
+    );
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), EstimateError> {
     let n = 20_000;
     let overlay = generators::balanced(n, 10, &mut rng);
     let me = overlay.any_peer(&mut rng).expect("overlay is non-empty");
-    println!("overlay: {n} peers, average degree {:.2}", overlay.average_degree());
+    println!(
+        "overlay: {n} peers, average degree {:.2}",
+        overlay.average_degree()
+    );
     println!("probing from {me} (degree {})\n", overlay.degree(me));
 
     // (a) Random Tour, averaged over 200 tours.

@@ -64,6 +64,9 @@ fn main() {
     // The exact (noiseless) Lemma 1 quantity for reference.
     let exact = quality::exact_ctrw_tv_to_uniform(&g, initiator, 10.0);
     println!("\nexact CTRW law at T = 10 (uniformization): TV = {exact:.6}");
-    assert!(tv_det >= 0.45, "deterministic sojourns must be parity-locked");
+    assert!(
+        tv_det >= 0.45,
+        "deterministic sojourns must be parity-locked"
+    );
     assert!(tv_exp < 0.1, "exponential sojourns must mix");
 }

@@ -19,11 +19,20 @@ fn main() {
     let dim = 9usize;
     let n = 1 << dim; // 512 nodes everywhere
     let topologies: Vec<(&str, Graph)> = vec![
-        ("balanced (paper §5.1)", generators::balanced(n, 10, &mut rng)),
-        ("scale-free (BA m=3)", generators::barabasi_albert(n, 3, &mut rng)),
+        (
+            "balanced (paper §5.1)",
+            generators::balanced(n, 10, &mut rng),
+        ),
+        (
+            "scale-free (BA m=3)",
+            generators::barabasi_albert(n, 3, &mut rng),
+        ),
         ("k-out, k=3", generators::k_out(n, 3, &mut rng)),
         ("hypercube", generators::hypercube(dim)),
-        ("torus", generators::torus(1 << (dim / 2), 1 << (dim - dim / 2))),
+        (
+            "torus",
+            generators::torus(1 << (dim / 2), 1 << (dim - dim / 2)),
+        ),
         ("ring", generators::ring(n)),
     ];
 
@@ -36,7 +45,11 @@ fn main() {
         let gap = spectral::spectral_gap_with(g, 200_000, 1e-13).lambda2;
         let iota = spectral::isoperimetric_sweep(g);
         let (lo, hi) = spectral::cheeger_bounds(g, iota);
-        let sandwich = if lo - 1e-9 <= gap && gap <= hi + 1e-9 { "ok" } else { "VIOLATED" };
+        let sandwich = if lo - 1e-9 <= gap && gap <= hi + 1e-9 {
+            "ok"
+        } else {
+            "VIOLATED"
+        };
         let timer = if gap > 1e-9 {
             format!("{:.1}", spectral::mixing_timer(g.num_nodes(), gap, 0.01))
         } else {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, tests. Run before every push.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -55,11 +55,13 @@ pub use census_walk as walk;
 /// pick a sampler, run an estimator, evaluate the result.
 pub mod prelude {
     pub use census_core::{
-        AdaptiveSampleCollide, Estimate, EstimateError, PointEstimator, RandomTour,
-        SampleCollide, SizeEstimator,
+        AdaptiveSampleCollide, Estimate, EstimateError, PointEstimator, RandomTour, SampleCollide,
+        SizeEstimator,
     };
     pub use census_graph::{generators, Graph, NodeId, Topology};
-    pub use census_sampling::{CtrwSampler, DtrwSampler, MetropolisSampler, OracleSampler, Sampler};
+    pub use census_sampling::{
+        CtrwSampler, DtrwSampler, MetropolisSampler, OracleSampler, Sampler,
+    };
     pub use census_sim::{DynamicNetwork, JoinRule, Scenario};
     pub use census_stats::{Ecdf, OnlineMoments, SlidingWindow, Summary};
 }

@@ -35,7 +35,10 @@ fn sample_collide_tracks_a_flash_crowd() {
         a / b > 1.6,
         "estimates should roughly double across the flash crowd: {b} -> {a}"
     );
-    assert!((a / 4_000.0 - 1.0).abs() < 0.3, "post-event estimates near 4000: {a}");
+    assert!(
+        (a / 4_000.0 - 1.0).abs() < 0.3,
+        "post-event estimates near 4000: {a}"
+    );
 }
 
 #[test]
@@ -80,7 +83,10 @@ fn lossy_walks_recover_with_adaptive_timeout_and_retries() {
             Err(e) => panic!("unexpected failure: {e}"),
         }
     }
-    assert!(lost > 0, "0.02% per-hop loss should break some ~6000-hop tours");
+    assert!(
+        lost > 0,
+        "0.02% per-hop loss should break some ~6000-hop tours"
+    );
     // Timeout learned a sane budget: above the mean trip, far below the
     // initial guess.
     let budget = timeout.budget();
@@ -113,7 +119,11 @@ fn fragmentation_reports_the_probes_component() {
     let truth = net.component_size_of(me) as f64;
     let rt = RandomTour::new();
     let m: OnlineMoments = (0..3_000)
-        .map(|_| rt.estimate(&net, me, &mut rng).expect("probe has neighbours").value)
+        .map(|_| {
+            rt.estimate(&net, me, &mut rng)
+                .expect("probe has neighbours")
+                .value
+        })
         .collect();
     let err = (m.mean() - truth).abs() / m.standard_error();
     assert!(

@@ -1,0 +1,132 @@
+//! Cross-crate integration: the frozen CSR snapshot layer and the
+//! deterministic replication engine.
+//!
+//! Two contracts are checked end to end:
+//!
+//! - **snapshot equivalence** — freezing preserves per-node adjacency
+//!   order, so a walk driven by the same RNG stream visits the exact
+//!   same node sequence on the live [`Graph`] and its [`FrozenView`];
+//! - **replication determinism** — `parallel::replicate` output is a
+//!   pure function of `(base_seed, replica_index)`, byte-identical
+//!   across invocations and equal to a serial loop, no matter how the
+//!   OS schedules the worker threads.
+
+use overlay_census::graph::FrozenView;
+use overlay_census::prelude::*;
+use overlay_census::sim::parallel::{replica_seed, replicate, replicate_static, Replica};
+use overlay_census::sim::runner::{run_static, RunRecord};
+use overlay_census::walk::discrete::random_tour;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn balanced_net(n: usize, seed: u64) -> (DynamicNetwork, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = generators::balanced(n, 10, &mut rng);
+    (
+        DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 }),
+        rng,
+    )
+}
+
+#[test]
+fn tour_visit_sequences_are_identical_on_graph_and_frozen_view() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let g = generators::balanced(2_000, 10, &mut rng);
+    let frozen: FrozenView = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    for seed in 0..20u64 {
+        let mut live_visits = Vec::new();
+        let mut frozen_visits = Vec::new();
+        let mut live_rng = SmallRng::seed_from_u64(seed);
+        let mut frozen_rng = SmallRng::seed_from_u64(seed);
+        let live = random_tour(&g, start, None, &mut live_rng, |v| live_visits.push(v))
+            .expect("connected");
+        let snap = random_tour(&frozen, start, None, &mut frozen_rng, |v| {
+            frozen_visits.push(v);
+        })
+        .expect("connected");
+        assert_eq!(live, snap, "tour length diverged for walk seed {seed}");
+        assert_eq!(
+            live_visits, frozen_visits,
+            "visit sequence diverged for walk seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn estimates_are_identical_on_graph_and_frozen_view() {
+    let mut rng = SmallRng::seed_from_u64(21);
+    let g = generators::balanced(1_000, 10, &mut rng);
+    let frozen = g.freeze();
+    let probe = g.nodes().next().expect("non-empty");
+    let rt = RandomTour::new();
+    let mut live_rng = SmallRng::seed_from_u64(22);
+    let mut frozen_rng = SmallRng::seed_from_u64(22);
+    for _ in 0..30 {
+        let live = rt.estimate(&g, probe, &mut live_rng).expect("connected");
+        let snap = rt
+            .estimate(&frozen, probe, &mut frozen_rng)
+            .expect("connected");
+        assert_eq!(live.value, snap.value);
+        assert_eq!(live.messages, snap.messages);
+    }
+}
+
+#[test]
+fn run_static_series_matches_serial_estimates_on_the_live_graph() {
+    // `run_static` now freezes internally; the records must still be the
+    // ones the old live-graph loop produced with the same RNG stream.
+    let (net, mut rng) = balanced_net(800, 31);
+    let probe = net.graph().random_node(&mut rng).expect("non-empty");
+    let rt = RandomTour::new();
+    let mut runner_rng = SmallRng::seed_from_u64(32);
+    let records = run_static(&net, &rt, probe, 25, &mut runner_rng);
+    let mut serial_rng = SmallRng::seed_from_u64(32);
+    for r in &records {
+        let e = rt
+            .estimate(net.graph(), probe, &mut serial_rng)
+            .expect("connected");
+        assert_eq!(r.estimate, e.value);
+        assert_eq!(r.messages, e.messages);
+    }
+}
+
+#[test]
+fn replication_engine_is_byte_identical_across_invocations() {
+    let (net, mut rng) = balanced_net(500, 41);
+    let probe = net.graph().random_node(&mut rng).expect("non-empty");
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), 5)
+        .with_point_estimator(PointEstimator::Asymptotic);
+    let first: Vec<Vec<RunRecord>> = replicate_static(&net, &sc, probe, 10, 4, 99);
+    let second: Vec<Vec<RunRecord>> = replicate_static(&net, &sc, probe, 10, 4, 99);
+    assert_eq!(first, second);
+    assert_eq!(first.len(), 4);
+    assert!(
+        (0..3).all(|i| first[i] != first[i + 1]),
+        "replicas must be statistically independent, not copies"
+    );
+}
+
+#[test]
+fn parallel_replication_equals_the_serial_loop() {
+    // Scheduling independence: the threaded engine must reproduce a plain
+    // serial loop over `Replica` handles exactly.
+    let (net, mut rng) = balanced_net(400, 51);
+    let probe = net.graph().random_node(&mut rng).expect("non-empty");
+    let rt = RandomTour::new();
+    let threaded = replicate(5, 7, |r| {
+        let mut rng = r.rng();
+        run_static(&net, &rt, probe, 15, &mut rng)
+    });
+    let serial: Vec<Vec<RunRecord>> = (0..5)
+        .map(|index| {
+            let replica = Replica {
+                index,
+                seed: replica_seed(7, index),
+            };
+            let mut rng = replica.rng();
+            run_static(&net, &rt, probe, 15, &mut rng)
+        })
+        .collect();
+    assert_eq!(threaded, serial);
+}

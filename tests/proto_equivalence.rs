@@ -40,7 +40,7 @@ fn tour_estimates_have_the_same_mean_and_spread() {
         }
     }
 
-    let se = (func.sample_variance() / f64::from(runs) as f64).sqrt() * 2.0;
+    let se = (func.sample_variance() / f64::from(runs)).sqrt() * 2.0;
     assert!(
         (func.mean() - proto.mean()).abs() < 4.0 * se.max(1.0),
         "means differ: function {} vs proto {}",
@@ -81,7 +81,11 @@ fn tour_costs_match_the_cycle_formula_in_both_executions() {
 
     for (name, m) in [("function", func), ("proto", proto)] {
         let err = (m.mean() - expected).abs() / m.standard_error();
-        assert!(err < 4.0, "{name} cost {} vs cycle formula {expected}", m.mean());
+        assert!(
+            err < 4.0,
+            "{name} cost {} vs cycle formula {expected}",
+            m.mean()
+        );
     }
 }
 
@@ -121,7 +125,8 @@ fn sampling_distributions_agree() {
             .map(|&c| c as f64 / f64::from(runs))
             .collect::<Vec<_>>()
     };
-    let tv = overlay_census::stats::total_variation(&to_dist(&counts_func), &to_dist(&counts_proto));
+    let tv =
+        overlay_census::stats::total_variation(&to_dist(&counts_func), &to_dist(&counts_proto));
     assert!(tv < 0.05, "sampling executions diverge: TV {tv}");
 }
 
