@@ -10,6 +10,7 @@ use census_bench::{figures, Params};
 use census_core::birthday::InvertedBirthdayParadox;
 use census_core::{RandomTour, SampleCollide, SizeEstimator};
 use census_graph::generators;
+use census_metrics::{Registry, RunCtx};
 use census_sampling::CtrwSampler;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -35,13 +36,15 @@ fn bench_sc_vs_ibp(c: &mut Criterion) {
     for l in [4u32, 16] {
         let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
         let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::new(&g, &mut rng);
         group.bench_with_input(BenchmarkId::new("sample_collide", l), &l, |b, _| {
-            b.iter(|| sc.estimate(&g, probe, &mut rng).expect("connected").value)
+            b.iter(|| sc.estimate_with(&mut ctx, probe).expect("connected").value)
         });
         let ibp = InvertedBirthdayParadox::new(CtrwSampler::new(10.0), l);
         let mut rng = SmallRng::seed_from_u64(3);
+        let mut ctx = RunCtx::new(&g, &mut rng);
         group.bench_with_input(BenchmarkId::new("birthday_paradox", l), &l, |b, _| {
-            b.iter(|| ibp.estimate(&g, probe, &mut rng).expect("connected").value)
+            b.iter(|| ibp.estimate_with(&mut ctx, probe).expect("connected").value)
         });
     }
     group.finish();
@@ -64,8 +67,9 @@ fn bench_expansion(c: &mut Criterion) {
         let probe = g.nodes().next().expect("non-empty");
         let rt = RandomTour::new();
         let mut rng = SmallRng::seed_from_u64(5);
+        let mut ctx = RunCtx::new(g, &mut rng);
         group.bench_function(BenchmarkId::new("tour", *name), |b| {
-            b.iter(|| rt.estimate(g, probe, &mut rng).expect("connected").value)
+            b.iter(|| rt.estimate_with(&mut ctx, probe).expect("connected").value)
         });
     }
     group.finish();
@@ -78,13 +82,13 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     group.bench_function("bench_fig1_random_tour", |b| {
-        b.iter(|| figures::fig1(&p).table.len())
+        b.iter(|| figures::fig1(&p, &Registry::new()).table.len())
     });
     group.bench_function("bench_fig3_sample_collide", |b| {
-        b.iter(|| figures::fig3(&p).table.len())
+        b.iter(|| figures::fig3(&p, &Registry::new()).table.len())
     });
     group.bench_function("bench_table1", |b| {
-        b.iter(|| figures::table1(&p).table.len())
+        b.iter(|| figures::table1(&p, &Registry::new()).table.len())
     });
     group.finish();
 }

@@ -9,6 +9,7 @@ use census_core::{
     SampleCollide, SizeEstimator,
 };
 use census_graph::{generators, spectral, Graph};
+use census_metrics::RunCtx;
 use census_sampling::{CtrwSampler, DtrwSampler, MetropolisSampler, Sampler};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -27,8 +28,9 @@ fn bench_random_tour(c: &mut Criterion) {
         let probe = g.nodes().next().expect("non-empty");
         let mut rng = SmallRng::seed_from_u64(2);
         let rt = RandomTour::new();
+        let mut ctx = RunCtx::new(&g, &mut rng);
         group.bench_with_input(BenchmarkId::new("one_tour", n), &n, |b, _| {
-            b.iter(|| rt.estimate(&g, probe, &mut rng).expect("connected").value)
+            b.iter(|| rt.estimate_with(&mut ctx, probe).expect("connected").value)
         });
     }
     group.finish();
@@ -44,8 +46,9 @@ fn bench_sample_collide(c: &mut Criterion) {
         let sc = SampleCollide::new(CtrwSampler::new(10.0), l)
             .with_point_estimator(PointEstimator::Asymptotic);
         let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::new(&g, &mut rng);
         group.bench_with_input(BenchmarkId::new("estimate", l), &l, |b, _| {
-            b.iter(|| sc.estimate(&g, probe, &mut rng).expect("connected").value)
+            b.iter(|| sc.estimate_with(&mut ctx, probe).expect("connected").value)
         });
     }
     group.finish();
@@ -79,13 +82,14 @@ fn bench_baselines(c: &mut Criterion) {
     let g = balanced(4_000, 7);
     let probe = g.nodes().next().expect("non-empty");
     let mut rng = SmallRng::seed_from_u64(8);
+    let mut ctx = RunCtx::new(&g, &mut rng);
     let gossip = GossipAveraging::new(30);
     group.bench_function("gossip_30_rounds", |b| {
-        b.iter(|| gossip.run(&g, &mut rng).messages)
+        b.iter(|| gossip.run_with(&mut ctx).messages)
     });
     let poll = ProbabilisticPolling::new(0.1);
     group.bench_function("polling_p0.1", |b| {
-        b.iter(|| poll.run(&g, probe, &mut rng).estimate)
+        b.iter(|| poll.run_with(&mut ctx, probe).estimate)
     });
     group.finish();
 }

@@ -11,6 +11,7 @@
 
 use census_core::{RandomTour, SizeEstimator};
 use census_graph::{generators, Graph};
+use census_metrics::RunCtx;
 use census_walk::discrete::walk_fixed_steps;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;
@@ -59,15 +60,13 @@ fn bench_tour_and_freeze(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("live_graph", |b| {
         let mut rng = SmallRng::seed_from_u64(4);
-        b.iter(|| rt.estimate(&g, probe, &mut rng).expect("connected").value);
+        let mut ctx = RunCtx::new(&g, &mut rng);
+        b.iter(|| rt.estimate_with(&mut ctx, probe).expect("connected").value);
     });
     group.bench_function("frozen_csr", |b| {
         let mut rng = SmallRng::seed_from_u64(4);
-        b.iter(|| {
-            rt.estimate(&frozen, probe, &mut rng)
-                .expect("connected")
-                .value
-        });
+        let mut ctx = RunCtx::new(&frozen, &mut rng);
+        b.iter(|| rt.estimate_with(&mut ctx, probe).expect("connected").value);
     });
     group.bench_function("freeze_cost", |b| {
         b.iter(|| g.freeze().num_edges());

@@ -1,0 +1,76 @@
+//! Overhead of cost recording on the walk hot path.
+//!
+//! The observability layer promises a zero-cost default: `RunCtx`'s
+//! no-op recorder is an empty inlined type, so `estimate_with` under
+//! `NoopRecorder` must compile to the same inner loop as the historical
+//! recorder-free API. With a live [`census_metrics::Registry`] attached,
+//! every hop adds one relaxed atomic `fetch_add`; the acceptance budget
+//! is ≤ 5% on paper-scale tours.
+//!
+//! Run with `cargo bench -p census-bench --bench recorder_overhead`.
+
+use census_core::{RandomTour, SizeEstimator};
+use census_graph::{generators, Graph};
+use census_metrics::{Registry, RunCtx};
+use census_sampling::{CtrwSampler, Sampler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PAPER_N: usize = 100_000;
+
+fn balanced(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+/// One Random Tour estimate (≈ Σd/d_i ≈ N hops at paper scale) with the
+/// compile-away no-op recorder vs a live atomic registry.
+fn bench_tour_recording(c: &mut Criterion) {
+    let g = balanced(PAPER_N, 1);
+    let frozen = g.freeze();
+    let probe = g.nodes().next().expect("non-empty");
+    let rt = RandomTour::new();
+
+    let mut group = c.benchmark_group("recorder_overhead_tour_n100k");
+    group.sample_size(10);
+    group.bench_function("noop_recorder", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::new(&frozen, &mut rng);
+        b.iter(|| rt.estimate_with(&mut ctx, probe).expect("connected").value);
+    });
+    group.bench_function("registry_recorder", |b| {
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::with_recorder(&frozen, &mut rng, &reg);
+        b.iter(|| rt.estimate_with(&mut ctx, probe).expect("connected").value);
+    });
+    group.finish();
+}
+
+/// One CTRW sample (cost ≈ T·d̄ hops plus the sojourn draws) under both
+/// recorders — the sampler path adds histogram observations on top of
+/// the counters.
+fn bench_sample_recording(c: &mut Criterion) {
+    let g = balanced(PAPER_N, 3);
+    let frozen = g.freeze();
+    let probe = g.nodes().next().expect("non-empty");
+    let ctrw = CtrwSampler::new(10.0);
+
+    let mut group = c.benchmark_group("recorder_overhead_ctrw_n100k");
+    group.bench_function("noop_recorder", |b| {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::new(&frozen, &mut rng);
+        b.iter(|| ctrw.sample_ctx(&mut ctx, probe).expect("connected").node);
+    });
+    group.bench_function("registry_recorder", |b| {
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::with_recorder(&frozen, &mut rng, &reg);
+        b.iter(|| ctrw.sample_ctx(&mut ctx, probe).expect("connected").node);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tour_recording, bench_sample_recording);
+criterion_main!(benches);

@@ -11,6 +11,7 @@ use census_core::gossip::GossipAveraging;
 use census_core::polling::ProbabilisticPolling;
 use census_core::{theory, PointEstimator, RandomTour, SampleCollide, SizeEstimator};
 use census_graph::{generators, spectral, Graph};
+use census_metrics::{Metric, Registry, RunCtx};
 use census_sampling::{quality, CtrwSampler, DtrwSampler, MetropolisSampler, Sampler};
 use census_stats::csv::CsvTable;
 use census_stats::{OnlineMoments, Summary};
@@ -34,7 +35,7 @@ fn ablation_n(p: &Params, cap: usize) -> usize {
 /// Sampling starts from a fixed initiator (averaging over initiators
 /// hides bias by symmetry).
 #[must_use]
-pub fn sampler_bias(p: &Params) -> FigureResult {
+pub fn sampler_bias(p: &Params, rec: &Registry) -> FigureResult {
     let n = ablation_n(p, 1_500);
     let runs = (n * 30) as u32;
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xAB1);
@@ -61,10 +62,15 @@ pub fn sampler_bias(p: &Params) -> FigureResult {
         let d_avg = g.average_degree();
         let dtrw_steps = (p.timer * d_avg).ceil() as u64 + 1; // comparable budget, odd-ended
         let samplers: Vec<(&str, SamplerProbe<'_>)> = vec![
-            sampler_probe(g, CtrwSampler::new(p.timer), runs),
-            sampler_probe(g, CtrwSampler::with_deterministic_sojourns(p.timer), runs),
-            sampler_probe(g, DtrwSampler::new(dtrw_steps), runs),
-            sampler_probe(g, MetropolisSampler::new(dtrw_steps), runs),
+            sampler_probe(g, CtrwSampler::new(p.timer), runs, rec),
+            sampler_probe(
+                g,
+                CtrwSampler::with_deterministic_sojourns(p.timer),
+                runs,
+                rec,
+            ),
+            sampler_probe(g, DtrwSampler::new(dtrw_steps), runs, rec),
+            sampler_probe(g, MetropolisSampler::new(dtrw_steps), runs, rec),
         ]
         .into_iter()
         .zip(["ctrw", "ctrw_det", "dtrw", "metropolis"])
@@ -87,14 +93,20 @@ pub fn sampler_bias(p: &Params) -> FigureResult {
     }
 }
 
-fn sampler_probe<'g, S: Sampler + 'g>(g: &'g Graph, sampler: S, runs: u32) -> SamplerProbe<'g> {
+fn sampler_probe<'g, S: Sampler + 'g>(
+    g: &'g Graph,
+    sampler: S,
+    runs: u32,
+    rec: &'g Registry,
+) -> SamplerProbe<'g> {
     Box::new(move |rng: &mut SmallRng| {
         let initiator = g.nodes().next().expect("non-empty");
         let idx = census_graph::spectral::DenseIndex::new(g);
         let mut counts = vec![0u64; idx.len()];
         let mut cost = OnlineMoments::new();
+        let mut ctx = RunCtx::with_recorder(g, rng, rec);
         for _ in 0..runs {
-            let s = sampler.sample(g, initiator, rng).expect("connected");
+            let s = sampler.sample_ctx(&mut ctx, initiator).expect("connected");
             counts[idx.dense(s.node)] += 1;
             cost.push(s.hops as f64);
         }
@@ -111,7 +123,7 @@ fn sampler_probe<'g, S: Sampler + 'g>(g: &'g Graph, sampler: S, runs: u32) -> Sa
 /// Columns: `topo (0=balanced, 1=hypercube, 2=torus, 3=ring), lambda2,
 /// rt_rel_var, ctrw_tv`.
 #[must_use]
-pub fn expansion(p: &Params) -> FigureResult {
+pub fn expansion(p: &Params, rec: &Registry) -> FigureResult {
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xAB2);
     let dim = 10usize; // 1024 nodes everywhere
     let n = 1usize << dim;
@@ -129,8 +141,13 @@ pub fn expansion(p: &Params) -> FigureResult {
         let gap = spectral::spectral_gap_with(g, 300_000, 1e-13).lambda2;
         let probe = g.nodes().next().expect("non-empty");
         let rt = RandomTour::new();
+        let mut ctx = RunCtx::with_recorder(g, &mut rng, rec);
         let m: OnlineMoments = (0..4_000)
-            .map(|_| rt.estimate(g, probe, &mut rng).expect("connected").value)
+            .map(|_| {
+                let e = rt.estimate_with(&mut ctx, probe).expect("connected");
+                ctx.on_event(Metric::ReportedMessages, e.messages);
+                e.value
+            })
             .collect();
         let rel_var = m.sample_variance() / (g.num_nodes() as f64).powi(2);
         let tv = quality::exact_ctrw_tv_to_uniform(g, probe, p.timer);
@@ -153,7 +170,7 @@ pub fn expansion(p: &Params) -> FigureResult {
 /// both. Columns: `l, sc_messages, ibp_messages, measured_ratio,
 /// theory_ratio` (theory: `√(πl)/2`).
 #[must_use]
-pub fn sc_vs_ibp(p: &Params) -> FigureResult {
+pub fn sc_vs_ibp(p: &Params, rec: &Registry) -> FigureResult {
     let n = ablation_n(p, 20_000);
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xAB3);
     let g = generators::balanced(n, p.max_degree, &mut rng);
@@ -174,16 +191,18 @@ pub fn sc_vs_ibp(p: &Params) -> FigureResult {
         let ibp = InvertedBirthdayParadox::new(CtrwSampler::new(p.timer), l);
         let sc_cost: OnlineMoments = (0..reps)
             .map(|_| {
-                sc.estimate(&g, probe, &mut rng)
-                    .expect("connected")
-                    .messages as f64
+                let mut ctx = RunCtx::with_recorder(&g, &mut rng, rec);
+                let e = sc.estimate_with(&mut ctx, probe).expect("connected");
+                ctx.on_event(Metric::ReportedMessages, e.messages);
+                e.messages as f64
             })
             .collect();
         let ibp_cost: OnlineMoments = (0..reps)
             .map(|_| {
-                ibp.estimate(&g, probe, &mut rng)
-                    .expect("connected")
-                    .messages as f64
+                let mut ctx = RunCtx::with_recorder(&g, &mut rng, rec);
+                let e = ibp.estimate_with(&mut ctx, probe).expect("connected");
+                ctx.on_event(Metric::ReportedMessages, e.messages);
+                e.messages as f64
             })
             .collect();
         let ratio = ibp_cost.mean() / sc_cost.mean();
@@ -208,7 +227,7 @@ pub fn sc_vs_ibp(p: &Params) -> FigureResult {
 /// each method on the same overlay. Columns: `method (0=rt, 1=sc_l10,
 /// 2=sc_l100, 3=gossip, 4=polling), rel_rmse, avg_messages`.
 #[must_use]
-pub fn baselines(p: &Params) -> FigureResult {
+pub fn baselines(p: &Params, rec: &Registry) -> FigureResult {
     let n = ablation_n(p, 5_000);
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xAB4);
     let g = generators::balanced(n, p.max_degree, &mut rng);
@@ -244,7 +263,9 @@ pub fn baselines(p: &Params) -> FigureResult {
     let rt = RandomTour::new();
     let (v, c) = collect(
         &|rng| {
-            let e = rt.estimate(&g, probe, rng).expect("connected");
+            let mut ctx = RunCtx::with_recorder(&g, rng, rec);
+            let e = rt.estimate_with(&mut ctx, probe).expect("connected");
+            ctx.on_event(Metric::ReportedMessages, e.messages);
             (e.value, e.messages)
         },
         &mut rng,
@@ -256,7 +277,9 @@ pub fn baselines(p: &Params) -> FigureResult {
             .with_point_estimator(PointEstimator::Asymptotic);
         let (v, c) = collect(
             &|rng| {
-                let e = sc.estimate(&g, probe, rng).expect("connected");
+                let mut ctx = RunCtx::with_recorder(&g, rng, rec);
+                let e = sc.estimate_with(&mut ctx, probe).expect("connected");
+                ctx.on_event(Metric::ReportedMessages, e.messages);
                 (e.value, e.messages)
             },
             &mut rng,
@@ -268,7 +291,9 @@ pub fn baselines(p: &Params) -> FigureResult {
     let gossip = GossipAveraging::new(rounds);
     let (v, c) = collect(
         &|rng| {
-            let out = gossip.run(&g, rng);
+            let mut ctx = RunCtx::with_recorder(&g, rng, rec);
+            let out = gossip.run_with(&mut ctx);
+            ctx.on_event(Metric::ReportedMessages, out.messages);
             let idx = census_graph::spectral::DenseIndex::new(&g);
             (out.estimates[idx.dense(probe)], out.messages)
         },
@@ -279,7 +304,9 @@ pub fn baselines(p: &Params) -> FigureResult {
     let polling = ProbabilisticPolling::new(0.1);
     let (v, c) = collect(
         &|rng| {
-            let out = polling.run(&g, probe, rng);
+            let mut ctx = RunCtx::with_recorder(&g, rng, rec);
+            let out = polling.run_with(&mut ctx, probe);
+            ctx.on_event(Metric::ReportedMessages, out.messages);
             (out.estimate, out.messages)
         },
         &mut rng,
@@ -306,8 +333,8 @@ pub fn baselines(p: &Params) -> FigureResult {
 /// "estimates should increase with T until T is sufficiently large",
 /// observed under churn. Columns: `timer, final_quality_percent`.
 #[must_use]
-pub fn churn_timer(p: &Params) -> FigureResult {
-    use census_sim::runner::{run_dynamic, RunConfig};
+pub fn churn_timer(p: &Params, rec: &Registry) -> FigureResult {
+    use census_sim::runner::{run_dynamic_rec, RunConfig};
     use census_sim::{DynamicNetwork, JoinRule, Scenario};
 
     let n = ablation_n(p, 20_000);
@@ -333,7 +360,14 @@ pub fn churn_timer(p: &Params) -> FigureResult {
         );
         let sc = SampleCollide::new(CtrwSampler::new(timer), 100)
             .with_point_estimator(PointEstimator::Asymptotic);
-        let records = run_dynamic(&mut net, &sc, &RunConfig::new(horizon), &scenario, &mut rng);
+        let records = run_dynamic_rec(
+            &mut net,
+            &sc,
+            &RunConfig::new(horizon),
+            &scenario,
+            &mut rng,
+            rec,
+        );
         let tail = &records[records.len() - records.len() / 4..];
         let quality =
             100.0 * tail.iter().map(|r| r.estimate / r.true_size).sum::<f64>() / tail.len() as f64;
@@ -369,7 +403,7 @@ mod tests {
 
     #[test]
     fn sampler_bias_orders_ctrw_before_dtrw() {
-        let r = sampler_bias(&tiny());
+        let r = sampler_bias(&tiny(), &Registry::new());
         let rows: Vec<Vec<f64>> = r
             .table
             .to_csv_string()
@@ -399,7 +433,7 @@ mod tests {
         let mut p = tiny();
         p.n = 8_000;
         p.sc_dynamic_runs = 60;
-        let r = churn_timer(&p);
+        let r = churn_timer(&p, &Registry::new());
         let rows: Vec<Vec<f64>> = r
             .table
             .to_csv_string()
@@ -422,7 +456,7 @@ mod tests {
 
     #[test]
     fn sc_vs_ibp_ratio_grows() {
-        let r = sc_vs_ibp(&tiny());
+        let r = sc_vs_ibp(&tiny(), &Registry::new());
         let rows: Vec<Vec<f64>> = r
             .table
             .to_csv_string()
@@ -438,7 +472,22 @@ mod tests {
 
     #[test]
     fn baselines_rank_costs_sanely() {
-        let r = baselines(&tiny());
+        let r = baselines(&tiny(), &Registry::new());
+        let reg = Registry::new();
+        let again = baselines(&tiny(), &reg);
+        assert_eq!(
+            r.table.to_csv_string(),
+            again.table.to_csv_string(),
+            "recording must be passive"
+        );
+        // Every baseline charges its own message class and reports what
+        // it consumed, so the partition reconciles.
+        assert_eq!(reg.message_total(), reg.counter(Metric::ReportedMessages));
+        assert!(reg.counter(Metric::GossipMessages) > 0);
+        assert!(reg.counter(Metric::PollFloodMessages) > 0);
+        assert!(reg.counter(Metric::PollReplyMessages) > 0);
+        assert!(reg.counter(Metric::TourHops) > 0);
+        assert!(reg.counter(Metric::CtrwHops) > 0);
         let rows: Vec<Vec<f64>> = r
             .table
             .to_csv_string()

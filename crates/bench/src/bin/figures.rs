@@ -1,8 +1,8 @@
 //! CLI regenerating the paper's figures and tables.
 //!
 //! ```text
-//! figures [--scale S] [--timer T] [--replications R] [--svg] [--out DIR] \
-//!         [all | fig1 fig3 table1 ...]
+//! figures [--scale S] [--timer T] [--replications R] [--svg] \
+//!         [--metrics-json] [--out DIR] [all | fig1 fig3 table1 ...]
 //! ```
 //!
 //! With no experiment list, prints the available ids. `--scale 1.0`
@@ -12,17 +12,24 @@
 //! wrappers that cannot edit the command line). `--replications R` runs
 //! each replicated figure R times instead of the paper's 3. Output CSVs
 //! and summaries land in `--out` (default `target/figures`).
+//!
+//! `--metrics-json` additionally writes `metrics.json` next to the CSVs:
+//! one cost-registry snapshot per experiment plus the absorbed total.
+//! Recording is passive, so the CSVs are byte-identical either way.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use census_bench::{run_experiment, Params, ALL_IDS};
+use census_bench::{run_experiment_recorded, Params, ALL_IDS};
+use census_metrics::{Registry, Snapshot};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale: Option<f64> = None;
     let mut svg = false;
+    let mut metrics_json = false;
     let mut timer: Option<f64> = None;
     let mut replications: Option<u64> = None;
     let mut out_dir = PathBuf::from("target/figures");
@@ -57,6 +64,7 @@ fn main() -> ExitCode {
                 }
             }
             "--svg" => svg = true,
+            "--metrics-json" => metrics_json = true,
             "--timer" => {
                 let Some(v) = args.next() else {
                     eprintln!("--timer needs a positive value");
@@ -80,7 +88,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--scale S] [--timer T] [--replications R] [--svg] \
-                     [--out DIR] [all | {}]",
+                     [--metrics-json] [--out DIR] [all | {}]",
                     ALL_IDS.join(" | ")
                 );
                 return ExitCode::SUCCESS;
@@ -143,9 +151,12 @@ fn main() -> ExitCode {
     }
 
     let mut manifest_entries = Vec::new();
+    let totals = Registry::new();
+    let mut per_experiment: BTreeMap<String, Snapshot> = BTreeMap::new();
     for id in &ids {
         let start = Instant::now();
-        let result = run_experiment(id, &params);
+        let reg = Registry::new();
+        let result = run_experiment_recorded(id, &params, &reg);
         if let Err(e) = result.write_to(&out_dir) {
             eprintln!("cannot write {id} outputs: {e}");
             return ExitCode::FAILURE;
@@ -156,9 +167,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        totals.absorb(&reg);
+        per_experiment.insert((*id).clone(), reg.snapshot());
         let elapsed = start.elapsed().as_secs_f64();
         println!(
-            "[{id}] done in {elapsed:.1}s -> {}/{id}.csv\n{}",
+            "[{id}] done in {elapsed:.1}s ({} messages) -> {}/{id}.csv\n{}",
+            reg.message_total(),
             out_dir.display(),
             result.summary
         );
@@ -167,6 +181,25 @@ fn main() -> ExitCode {
             rows: result.table.len(),
             seconds: elapsed,
         });
+    }
+    if metrics_json {
+        let dump = MetricsDump {
+            total: totals.snapshot(),
+            experiments: per_experiment,
+        };
+        match serde_json::to_string_pretty(&dump) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(out_dir.join("metrics.json"), json) {
+                    eprintln!("cannot write metrics: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot serialise metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("metrics -> {}/metrics.json", out_dir.display());
     }
     let manifest = Manifest {
         scale,
@@ -202,4 +235,12 @@ struct ManifestEntry {
     id: String,
     rows: usize,
     seconds: f64,
+}
+
+/// `metrics.json` payload: the merged cost registry of the whole
+/// invocation plus one snapshot per experiment, keyed by id.
+#[derive(serde::Serialize)]
+struct MetricsDump {
+    total: Snapshot,
+    experiments: BTreeMap<String, Snapshot>,
 }

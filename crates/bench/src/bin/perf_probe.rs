@@ -1,0 +1,150 @@
+//! Headline performance probe: `BENCH_2.json`.
+//!
+//! A dependency-free (no criterion harness) wall-clock probe of the two
+//! numbers this PR and its predecessor promise to hold:
+//!
+//! 1. `frozen_vs_live` — CSR snapshot walk throughput vs the live
+//!    adjacency-list graph (PR 1's claim).
+//! 2. `recorder_overhead` — the no-op recorder vs a live atomic
+//!    [`Registry`] on the same tour workload (this PR's ≤ 5% budget).
+//!
+//! ```text
+//! cargo run --release -p census-bench --bin perf-probe [-- --out BENCH_2.json]
+//! ```
+//!
+//! Each arm re-seeds its RNG identically, so every variant walks the
+//! exact same hop sequence and the ratio isolates the representation /
+//! recording cost. Medians over `REPEATS` timed passes keep one noisy
+//! scheduler quantum from skewing the headline ratios.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use census_core::{RandomTour, SizeEstimator};
+use census_graph::generators;
+use census_metrics::{Registry, RunCtx};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PAPER_N: usize = 100_000;
+const TOURS_PER_PASS: u32 = 5;
+const REPEATS: usize = 9;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut out = PathBuf::from("BENCH_2.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                println!("usage: perf-probe [--out BENCH_2.json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = generators::balanced(PAPER_N, 10, &mut rng);
+    let frozen = g.freeze();
+    let probe = g.nodes().next().expect("non-empty");
+    let rt = RandomTour::new();
+    let registry = Registry::new();
+
+    println!(
+        "perf probe on balanced N = {PAPER_N} ({TOURS_PER_PASS} tours/pass, median of {REPEATS})"
+    );
+
+    let live_s = median_secs(|| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::new(&g, &mut rng);
+        for _ in 0..TOURS_PER_PASS {
+            rt.estimate_with(&mut ctx, probe).expect("connected");
+        }
+    });
+    let frozen_noop_s = median_secs(|| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::new(&frozen, &mut rng);
+        for _ in 0..TOURS_PER_PASS {
+            rt.estimate_with(&mut ctx, probe).expect("connected");
+        }
+    });
+    let frozen_registry_s = median_secs(|| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::with_recorder(&frozen, &mut rng, &registry);
+        for _ in 0..TOURS_PER_PASS {
+            rt.estimate_with(&mut ctx, probe).expect("connected");
+        }
+    });
+
+    let frozen_speedup = live_s / frozen_noop_s;
+    let recorder_overhead_pct = (frozen_registry_s / frozen_noop_s - 1.0) * 100.0;
+    println!("  live graph        : {live_s:.4} s/pass");
+    println!("  frozen csr (noop) : {frozen_noop_s:.4} s/pass  ({frozen_speedup:.2}x vs live)");
+    println!(
+        "  frozen csr (reg)  : {frozen_registry_s:.4} s/pass  ({recorder_overhead_pct:+.2}% vs noop)"
+    );
+
+    let report = Report {
+        n: PAPER_N,
+        tours_per_pass: TOURS_PER_PASS,
+        repeats: REPEATS,
+        live_tour_pass_s: live_s,
+        frozen_noop_pass_s: frozen_noop_s,
+        frozen_registry_pass_s: frozen_registry_s,
+        frozen_speedup_vs_live: frozen_speedup,
+        recorder_overhead_pct,
+        recorder_budget_pct: 5.0,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, json) {
+                eprintln!("cannot write {}: {e}", out.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot serialise report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("report -> {}", out.display());
+    ExitCode::SUCCESS
+}
+
+/// Median wall-clock seconds of `REPEATS` timed invocations of `f`.
+fn median_secs<F: FnMut()>(mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..REPEATS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+/// `BENCH_2.json` payload.
+#[derive(serde::Serialize)]
+struct Report {
+    n: usize,
+    tours_per_pass: u32,
+    repeats: usize,
+    live_tour_pass_s: f64,
+    frozen_noop_pass_s: f64,
+    frozen_registry_pass_s: f64,
+    frozen_speedup_vs_live: f64,
+    recorder_overhead_pct: f64,
+    recorder_budget_pct: f64,
+}

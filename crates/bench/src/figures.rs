@@ -12,10 +12,11 @@
 
 use census_core::{PointEstimator, RandomTour, SampleCollide};
 use census_graph::{generators, Graph, NodeId};
+use census_metrics::Registry;
 use census_sampling::CtrwSampler;
-use census_sim::parallel::replicate;
+use census_sim::parallel::replicate_recorded;
 use census_sim::runner::{
-    cumulative_quality_percent, run_dynamic, run_static, RunConfig, RunRecord,
+    cumulative_quality_percent, run_dynamic_rec, run_static_rec, RunConfig, RunRecord,
 };
 use census_sim::{DynamicNetwork, JoinRule, Scenario};
 use census_stats::csv::CsvTable;
@@ -52,19 +53,23 @@ fn pick_probe(g: &Graph, rng: &mut SmallRng) -> NodeId {
     g.random_node(rng).expect("overlay is non-empty")
 }
 
-/// Runs `f(replication_index)` for `p.replications` independent
-/// replications in parallel (the paper plots "Estimation #1..#3") via the
-/// deterministic engine in [`census_sim::parallel`].
+/// Runs `f(replication_index, replica_registry)` for `p.replications`
+/// independent replications in parallel (the paper plots "Estimation
+/// #1..#3") via the deterministic engine in [`census_sim::parallel`],
+/// folding the per-replica registries into `rec` in replica order.
 ///
 /// The closures here derive their sub-seeds from the replication *index*
 /// with the harness's historical XOR derivations, not from the engine's
 /// SplitMix64 stream — that keeps every figure CSV bit-identical to the
-/// serial harness this replaces, for any replication count.
-fn replications<F>(p: &Params, f: F) -> Vec<Vec<RunRecord>>
+/// serial harness this replaces, for any replication count. Recording is
+/// passive, so the CSVs are also independent of the registry handed in.
+fn replications<F>(p: &Params, rec: &Registry, f: F) -> Vec<Vec<RunRecord>>
 where
-    F: Fn(u64) -> Vec<RunRecord> + Sync + Send,
+    F: Fn(u64, &Registry) -> Vec<RunRecord> + Sync + Send,
 {
-    replicate(p.replications, p.seed, |r| f(r.index))
+    let (series, merged) = replicate_recorded(p.replications, p.seed, |r, local| f(r.index, local));
+    rec.absorb(&merged);
+    series
 }
 
 /// Header `fixed..., estimation1, ..., estimationR` as owned strings
@@ -80,11 +85,11 @@ fn table_with_header(cols: &[String]) -> CsvTable {
     CsvTable::new(&refs)
 }
 
-fn rt_static_series(p: &Params, topo: Topo, replication: u64) -> Vec<RunRecord> {
+fn rt_static_series(p: &Params, topo: Topo, replication: u64, rec: &Registry) -> Vec<RunRecord> {
     let net = build(p, topo, p.seed.wrapping_add(replication));
     let mut rng = SmallRng::seed_from_u64(p.seed ^ (0xA5A5 + replication));
     let probe = pick_probe(net.graph(), &mut rng);
-    run_static(&net, &RandomTour::new(), probe, p.rt_runs, &mut rng)
+    run_static_rec(&net, &RandomTour::new(), probe, p.rt_runs, &mut rng, rec)
 }
 
 fn sc_estimator(p: &Params, l: u32) -> SampleCollide<CtrwSampler> {
@@ -92,19 +97,28 @@ fn sc_estimator(p: &Params, l: u32) -> SampleCollide<CtrwSampler> {
         .with_point_estimator(PointEstimator::Asymptotic)
 }
 
-fn sc_static_series(p: &Params, topo: Topo, l: u32, runs: u64, replication: u64) -> Vec<RunRecord> {
+fn sc_static_series(
+    p: &Params,
+    topo: Topo,
+    l: u32,
+    runs: u64,
+    replication: u64,
+    rec: &Registry,
+) -> Vec<RunRecord> {
     let net = build(p, topo, p.seed.wrapping_add(replication));
     let mut rng = SmallRng::seed_from_u64(p.seed ^ (0x5A5A + replication));
     let probe = pick_probe(net.graph(), &mut rng);
-    run_static(&net, &sc_estimator(p, l), probe, runs, &mut rng)
+    run_static_rec(&net, &sc_estimator(p, l), probe, runs, &mut rng, rec)
 }
 
 /// Figure 1: cumulative averages of Random Tour estimates (as % of system
 /// size) over 1..rt_runs estimates, independent graphs per replication.
 /// Columns: `run, estimation1, ..., estimationR`.
 #[must_use]
-pub fn fig1(p: &Params) -> FigureResult {
-    let series = replications(p, |i| rt_static_series(p, Topo::Balanced, i));
+pub fn fig1(p: &Params, rec: &Registry) -> FigureResult {
+    let series = replications(p, rec, |i, local| {
+        rt_static_series(p, Topo::Balanced, i, local)
+    });
     let quality: Vec<Vec<f64>> = series
         .iter()
         .map(|s| cumulative_quality_percent(s))
@@ -131,8 +145,13 @@ pub fn fig1(p: &Params) -> FigureResult {
     }
 }
 
-fn windowed_quality_figure(p: &Params, topo: Topo, id: &'static str) -> FigureResult {
-    let series = replications(p, |i| rt_static_series(p, topo, i));
+fn windowed_quality_figure(
+    p: &Params,
+    topo: Topo,
+    id: &'static str,
+    rec: &Registry,
+) -> FigureResult {
+    let series = replications(p, rec, |i, local| rt_static_series(p, topo, i, local));
     let window = p.rt_window;
     let smoothed: Vec<Vec<f64>> = series
         .iter()
@@ -178,12 +197,12 @@ fn windowed_quality_figure(p: &Params, topo: Topo, id: &'static str) -> FigureRe
 /// `rt_window` (paper: 200), balanced graph.
 /// Columns: `run, estimation1, estimation2, estimation3` (quality %).
 #[must_use]
-pub fn fig2(p: &Params) -> FigureResult {
-    windowed_quality_figure(p, Topo::Balanced, "fig2")
+pub fn fig2(p: &Params, rec: &Registry) -> FigureResult {
+    windowed_quality_figure(p, Topo::Balanced, "fig2", rec)
 }
 
-fn sc_quality_figure(p: &Params, topo: Topo, id: &'static str) -> FigureResult {
-    let series = sc_static_series(p, topo, 100, p.sc_runs, 0);
+fn sc_quality_figure(p: &Params, topo: Topo, id: &'static str, rec: &Registry) -> FigureResult {
+    let series = sc_static_series(p, topo, 100, p.sc_runs, 0, rec);
     let mut table = CsvTable::new(&["run", "quality"]);
     let quality: Vec<f64> = series
         .iter()
@@ -203,8 +222,8 @@ fn sc_quality_figure(p: &Params, topo: Topo, id: &'static str) -> FigureResult {
 /// Figure 3: Sample & Collide `l = 100` raw estimates on the balanced
 /// graph, no smoothing. Columns: `run, quality`.
 #[must_use]
-pub fn fig3(p: &Params) -> FigureResult {
-    sc_quality_figure(p, Topo::Balanced, "fig3")
+pub fn fig3(p: &Params, rec: &Registry) -> FigureResult {
+    sc_quality_figure(p, Topo::Balanced, "fig3", rec)
 }
 
 /// The shared dataset behind Figures 4, 5 and Table 1: normalised values
@@ -215,7 +234,7 @@ struct ComparisonData {
     sc100: Vec<(f64, f64)>,
 }
 
-fn comparison_data(p: &Params) -> ComparisonData {
+fn comparison_data(p: &Params, rec: &Registry) -> ComparisonData {
     let runs_rt = p.rt_runs.min(1_000);
     let runs_sc10 = (p.sc_runs * 3).min(300);
     let runs_sc100 = p.sc_runs;
@@ -225,31 +244,47 @@ fn comparison_data(p: &Params) -> ComparisonData {
             .map(|r| (r.estimate / r.true_size, r.messages as f64 / r.true_size))
             .collect::<Vec<_>>()
     };
-    // Three *methods* (not replications) run concurrently; `replicate`'s
-    // index-ordered merge keeps the destructuring below deterministic.
-    // Sub-seeds keep the historical XOR derivations for bit-compatible
-    // CSVs; the engine's own seed stream is unused here.
-    let mut results = replicate(3, p.seed, |r| {
+    // Three *methods* (not replications) run concurrently; the engine's
+    // index-ordered merge keeps the destructuring below — and the
+    // registry absorption order — deterministic. Sub-seeds keep the
+    // historical XOR derivations for bit-compatible CSVs; the engine's
+    // own seed stream is unused here.
+    let (results, merged) = replicate_recorded(3, p.seed, |r, local| {
         let net = build(p, Topo::Balanced, p.seed);
         match r.index {
             0 => {
                 let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF1);
                 let probe = pick_probe(net.graph(), &mut rng);
-                run_static(&net, &RandomTour::new(), probe, runs_rt, &mut rng)
+                run_static_rec(&net, &RandomTour::new(), probe, runs_rt, &mut rng, local)
             }
             1 => {
                 let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF2);
                 let probe = pick_probe(net.graph(), &mut rng);
-                run_static(&net, &sc_estimator(p, 10), probe, runs_sc10, &mut rng)
+                run_static_rec(
+                    &net,
+                    &sc_estimator(p, 10),
+                    probe,
+                    runs_sc10,
+                    &mut rng,
+                    local,
+                )
             }
             _ => {
                 let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xF3);
                 let probe = pick_probe(net.graph(), &mut rng);
-                run_static(&net, &sc_estimator(p, 100), probe, runs_sc100, &mut rng)
+                run_static_rec(
+                    &net,
+                    &sc_estimator(p, 100),
+                    probe,
+                    runs_sc100,
+                    &mut rng,
+                    local,
+                )
             }
         }
-    })
-    .into_iter();
+    });
+    rec.absorb(&merged);
+    let mut results = results.into_iter();
     ComparisonData {
         rt: normalise(results.next().expect("three method tasks")),
         sc10: normalise(results.next().expect("three method tasks")),
@@ -292,16 +327,16 @@ fn cdf_figure(
 /// S&C `l = 10` and S&C `l = 100`.
 /// Columns: `value, rt, sc_l10, sc_l100`.
 #[must_use]
-pub fn fig4(p: &Params) -> FigureResult {
-    let data = comparison_data(p);
+pub fn fig4(p: &Params, rec: &Registry) -> FigureResult {
+    let data = comparison_data(p, rec);
     cdf_figure("fig4", &data, |&(v, _)| v, 6.0, "estimate values")
 }
 
 /// Figure 5: CDF of estimation costs (messages) normalised by system
 /// size. Columns: `value, rt, sc_l10, sc_l100`.
 #[must_use]
-pub fn fig5(p: &Params) -> FigureResult {
-    let data = comparison_data(p);
+pub fn fig5(p: &Params, rec: &Registry) -> FigureResult {
+    let data = comparison_data(p, rec);
     cdf_figure("fig5", &data, |&(_, c)| c, 20.0, "costs")
 }
 
@@ -309,8 +344,8 @@ pub fn fig5(p: &Params) -> FigureResult {
 /// the three methods. Columns: `method (0=RT, 1=S&C l10, 2=S&C l100),
 /// avg_value, var_value, avg_cost, var_cost`.
 #[must_use]
-pub fn table1(p: &Params) -> FigureResult {
-    let data = comparison_data(p);
+pub fn table1(p: &Params, rec: &Registry) -> FigureResult {
+    let data = comparison_data(p, rec);
     let mut table = CsvTable::new(&["method", "avg_value", "var_value", "avg_cost", "var_cost"]);
     let mut summary = String::from("table1: summary statistics of the three methods\n");
     // Paper's Table 1 reference values.
@@ -354,8 +389,8 @@ pub fn table1(p: &Params) -> FigureResult {
 /// Figure 6: Random Tour with sliding window on the scale-free graph.
 /// Columns as Figure 2.
 #[must_use]
-pub fn fig6(p: &Params) -> FigureResult {
-    let mut r = windowed_quality_figure(p, Topo::ScaleFree, "fig6");
+pub fn fig6(p: &Params, rec: &Registry) -> FigureResult {
+    let mut r = windowed_quality_figure(p, Topo::ScaleFree, "fig6", rec);
     r.summary
         .push_str("  (scale-free topology: accuracy comparable to balanced, §5.2.2)\n");
     r
@@ -364,8 +399,8 @@ pub fn fig6(p: &Params) -> FigureResult {
 /// Figure 7: Sample & Collide `l = 100` on the scale-free graph.
 /// Columns as Figure 3.
 #[must_use]
-pub fn fig7(p: &Params) -> FigureResult {
-    let mut r = sc_quality_figure(p, Topo::ScaleFree, "fig7");
+pub fn fig7(p: &Params, rec: &Registry) -> FigureResult {
+    let mut r = sc_quality_figure(p, Topo::ScaleFree, "fig7", rec);
     r.summary
         .push_str("  (scale-free topology: accuracy comparable to balanced, §5.2.2)\n");
     r
@@ -389,19 +424,20 @@ fn dynamic_scenario(kind: &str, horizon: u64, n: usize) -> Scenario {
     }
 }
 
-fn rt_dynamic_figure(p: &Params, kind: &str, id: &'static str) -> FigureResult {
+fn rt_dynamic_figure(p: &Params, kind: &str, id: &'static str, rec: &Registry) -> FigureResult {
     let horizon = p.rt_dynamic_runs;
     let window = p.rt_dynamic_window;
-    let runs = replications(p, |i| {
+    let runs = replications(p, rec, |i, local| {
         let mut net = build(p, Topo::Balanced, p.seed.wrapping_add(i));
         let mut rng = SmallRng::seed_from_u64(p.seed ^ (0xD0 + i));
         let scenario = dynamic_scenario(kind, horizon, p.n);
-        run_dynamic(
+        run_dynamic_rec(
             &mut net,
             &RandomTour::new(),
             &RunConfig::new(horizon).with_window(window),
             &scenario,
             &mut rng,
+            local,
         )
     });
     let mut table = table_with_header(&estimation_header(&["run", "real_size"], p.replications));
@@ -414,17 +450,18 @@ fn rt_dynamic_figure(p: &Params, kind: &str, id: &'static str) -> FigureResult {
     FigureResult { id, table, summary }
 }
 
-fn sc_dynamic_figure(p: &Params, kind: &str, id: &'static str) -> FigureResult {
+fn sc_dynamic_figure(p: &Params, kind: &str, id: &'static str, rec: &Registry) -> FigureResult {
     let horizon = p.sc_dynamic_runs;
     let mut net = build(p, Topo::Balanced, p.seed);
     let mut rng = SmallRng::seed_from_u64(p.seed ^ 0xE0);
     let scenario = dynamic_scenario(kind, horizon, p.n);
-    let records = run_dynamic(
+    let records = run_dynamic_rec(
         &mut net,
         &sc_estimator(p, 100),
         &RunConfig::new(horizon),
         &scenario,
         &mut rng,
+        rec,
     );
     let mut table = CsvTable::new(&["run", "real_size", "estimate"]);
     for r in &records {
@@ -464,40 +501,40 @@ fn dynamic_summary(
 /// of the horizon), window 700.
 /// Columns: `run, real_size, estimation1..3`.
 #[must_use]
-pub fn fig8(p: &Params) -> FigureResult {
-    rt_dynamic_figure(p, "shrink", "fig8")
+pub fn fig8(p: &Params, rec: &Registry) -> FigureResult {
+    rt_dynamic_figure(p, "shrink", "fig8", rec)
 }
 
 /// Figure 9: Random Tour on a growing network (+50%), window 700.
 #[must_use]
-pub fn fig9(p: &Params) -> FigureResult {
-    rt_dynamic_figure(p, "grow", "fig9")
+pub fn fig9(p: &Params, rec: &Registry) -> FigureResult {
+    rt_dynamic_figure(p, "grow", "fig9", rec)
 }
 
 /// Figure 10: Random Tour under catastrophic churn (−25% at 10%, −25% at
 /// 50%, +25% at 70% of the horizon), window 700.
 #[must_use]
-pub fn fig10(p: &Params) -> FigureResult {
-    rt_dynamic_figure(p, "catastrophe", "fig10")
+pub fn fig10(p: &Params, rec: &Registry) -> FigureResult {
+    rt_dynamic_figure(p, "catastrophe", "fig10", rec)
 }
 
 /// Figure 11: Sample & Collide `l = 100` on a shrinking network, no
 /// window. Columns: `run, real_size, estimate`.
 #[must_use]
-pub fn fig11(p: &Params) -> FigureResult {
-    sc_dynamic_figure(p, "shrink", "fig11")
+pub fn fig11(p: &Params, rec: &Registry) -> FigureResult {
+    sc_dynamic_figure(p, "shrink", "fig11", rec)
 }
 
 /// Figure 12: Sample & Collide `l = 100` on a growing network.
 #[must_use]
-pub fn fig12(p: &Params) -> FigureResult {
-    sc_dynamic_figure(p, "grow", "fig12")
+pub fn fig12(p: &Params, rec: &Registry) -> FigureResult {
+    sc_dynamic_figure(p, "grow", "fig12", rec)
 }
 
 /// Figure 13: Sample & Collide `l = 100` under catastrophic churn.
 #[must_use]
-pub fn fig13(p: &Params) -> FigureResult {
-    sc_dynamic_figure(p, "catastrophe", "fig13")
+pub fn fig13(p: &Params, rec: &Registry) -> FigureResult {
+    sc_dynamic_figure(p, "catastrophe", "fig13", rec)
 }
 
 #[cfg(test)]
@@ -518,7 +555,7 @@ mod tests {
 
     #[test]
     fn fig1_converges_to_full_quality() {
-        let r = fig1(&tiny());
+        let r = fig1(&tiny(), &Registry::new());
         assert_eq!(r.table.len(), 400);
         // Parse the last row's three qualities from the CSV text.
         let body = r.table.to_csv_string();
@@ -538,9 +575,9 @@ mod tests {
         // replication's seeds derive from its index exactly as the old
         // serial harness derived them, and rows merge in index order.
         let p = tiny();
-        let parallel = fig1(&p).table.to_csv_string();
+        let parallel = fig1(&p, &Registry::new()).table.to_csv_string();
         let series: Vec<Vec<RunRecord>> = (0..p.replications)
-            .map(|i| rt_static_series(&p, Topo::Balanced, i))
+            .map(|i| rt_static_series(&p, Topo::Balanced, i, &Registry::new()))
             .collect();
         let quality: Vec<Vec<f64>> = series
             .iter()
@@ -559,9 +596,55 @@ mod tests {
     fn fig1_is_deterministic_across_invocations() {
         let p = tiny();
         assert_eq!(
-            fig1(&p).table.to_csv_string(),
-            fig1(&p).table.to_csv_string()
+            fig1(&p, &Registry::new()).table.to_csv_string(),
+            fig1(&p, &Registry::new()).table.to_csv_string()
         );
+    }
+
+    #[test]
+    fn recording_is_passive_and_reconciles_for_fig1() {
+        // The issue's acceptance bar: the CSV must be bit-identical with
+        // and without a live registry, and the registry's message-class
+        // total must reconcile exactly with the Estimate.messages values
+        // the runner consumed.
+        use census_metrics::Metric;
+        let p = tiny();
+        let reg = Registry::new();
+        let recorded = fig1(&p, &reg).table.to_csv_string();
+        let plain = crate::run_experiment("fig1", &p).table.to_csv_string();
+        assert_eq!(recorded, plain, "recording must not perturb the CSV");
+        assert_eq!(
+            reg.message_total(),
+            reg.counter(Metric::ReportedMessages),
+            "every recorded message must flow through a consumed Estimate"
+        );
+        assert_eq!(
+            reg.counter(Metric::EstimatesCompleted),
+            p.replications * p.rt_runs
+        );
+        assert_eq!(reg.message_total(), reg.counter(Metric::TourHops));
+        assert_eq!(
+            reg.counter(Metric::ToursCompleted),
+            p.replications * p.rt_runs
+        );
+    }
+
+    #[test]
+    fn fig5_cost_cdf_is_independent_of_the_recorder() {
+        let p = tiny();
+        let reg = Registry::new();
+        assert_eq!(
+            fig5(&p, &reg).table.to_csv_string(),
+            fig5(&p, &Registry::new()).table.to_csv_string()
+        );
+        // fig5 mixes tour hops and CTRW sample hops; both classes land
+        // in the registry and nothing else does.
+        use census_metrics::Metric;
+        assert_eq!(
+            reg.message_total(),
+            reg.counter(Metric::TourHops) + reg.counter(Metric::CtrwHops)
+        );
+        assert_eq!(reg.message_total(), reg.counter(Metric::ReportedMessages));
     }
 
     #[test]
@@ -569,7 +652,7 @@ mod tests {
         let mut p = tiny();
         p.rt_runs = 50;
         p.replications = 5;
-        let r = fig1(&p);
+        let r = fig1(&p, &Registry::new());
         let header = r.table.to_csv_string();
         let header = header.lines().next().expect("header row");
         assert_eq!(
@@ -585,7 +668,7 @@ mod tests {
         // ~sqrt(2l/N) to stay small; use a larger overlay here.
         let mut p = tiny();
         p.n = 4_000;
-        let r = fig3(&p);
+        let r = fig3(&p, &Registry::new());
         let body = r.table.to_csv_string();
         let qualities: Vec<f64> = body
             .lines()
@@ -606,7 +689,7 @@ mod tests {
 
     #[test]
     fn table1_shape_holds_at_small_scale() {
-        let r = table1(&tiny());
+        let r = table1(&tiny(), &Registry::new());
         let body = r.table.to_csv_string();
         let rows: Vec<Vec<f64>> = body
             .lines()
@@ -631,7 +714,7 @@ mod tests {
 
     #[test]
     fn fig11_tracks_shrinkage() {
-        let r = fig11(&tiny());
+        let r = fig11(&tiny(), &Registry::new());
         let body = r.table.to_csv_string();
         let rows: Vec<Vec<f64>> = body
             .lines()

@@ -9,6 +9,10 @@ use census_walk::WalkError;
 ///
 /// Cost is measured in overlay messages, the unit of the paper's Figure 5
 /// and Table 1 (one message per walk hop or per protocol exchange).
+/// When produced through a `RunCtx`, `messages` is derived from the
+/// context's accounting and reconciles exactly with the recorder's
+/// message-class counters.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Estimate {
     /// The estimated quantity (system size `N̂`, or `Σ̂ f` for aggregate

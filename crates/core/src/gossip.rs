@@ -2,6 +2,7 @@
 
 use census_graph::spectral::DenseIndex;
 use census_graph::Graph;
+use census_metrics::{Metric, Recorder, RunCtx};
 use rand::Rng;
 
 /// The epidemic averaging size estimator of Jelasity & Montresor, §2.2.
@@ -21,12 +22,14 @@ use rand::Rng;
 /// ```
 /// use census_core::gossip::GossipAveraging;
 /// use census_graph::generators;
+/// use census_metrics::RunCtx;
 /// use rand::SeedableRng;
 /// use rand::rngs::SmallRng;
 ///
 /// let g = generators::complete(64);
 /// let mut rng = SmallRng::seed_from_u64(5);
-/// let outcome = GossipAveraging::new(40).run(&g, &mut rng);
+/// let mut ctx = RunCtx::new(&g, &mut rng);
+/// let outcome = GossipAveraging::new(40).run_with(&mut ctx);
 /// let at_node_0 = outcome.estimates[0];
 /// assert!((at_node_0 / 64.0 - 1.0).abs() < 0.2);
 /// ```
@@ -82,7 +85,8 @@ impl GossipAveraging {
     }
 
     /// Executes the protocol on the whole overlay and returns every
-    /// node's estimate.
+    /// node's estimate, charging the pairwise exchanges to
+    /// [`Metric::GossipMessages`].
     ///
     /// Mass conservation (`Σ counters = 1`) is an invariant of the
     /// pairwise averaging and is `debug_assert`ed each round.
@@ -90,7 +94,12 @@ impl GossipAveraging {
     /// # Panics
     ///
     /// Panics if the graph is empty.
-    pub fn run<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
+    pub fn run_with<R, Rec>(&self, ctx: &mut RunCtx<'_, Graph, R, Rec>) -> GossipOutcome
+    where
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let g = ctx.topology;
         let idx = DenseIndex::new(g);
         let n = idx.len();
         assert!(n > 0, "gossip on an empty overlay");
@@ -100,7 +109,7 @@ impl GossipAveraging {
         for _ in 0..self.rounds {
             for d in 0..n {
                 let v = idx.node(d);
-                if let Some(peer) = g.random_neighbor(v, rng) {
+                if let Some(peer) = g.random_neighbor(v, &mut *ctx.rng) {
                     let p = idx.dense(peer);
                     let mean = 0.5 * (counters[d] + counters[p]);
                     counters[d] = mean;
@@ -113,6 +122,7 @@ impl GossipAveraging {
                 "pairwise averaging conserves mass"
             );
         }
+        ctx.on_message(Metric::GossipMessages, messages);
         let estimates = counters
             .iter()
             .map(|&c| if c > 0.0 { 1.0 / c } else { f64::INFINITY })
@@ -124,17 +134,36 @@ impl GossipAveraging {
         }
     }
 
+    /// Executes the protocol without cost recording.
+    ///
+    /// Thin shim over [`GossipAveraging::run_with`] with a no-op
+    /// recorder; the contact sequence and RNG stream are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    #[deprecated(note = "use `run_with` and a `RunCtx`")]
+    pub fn run<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
+        self.run_with(&mut RunCtx::new(g, rng))
+    }
+
     /// Executes the *asynchronous* variant: instead of synchronous
     /// rounds, `rounds × N` individual pairwise exchanges fire in random
     /// order (a random node contacts a random neighbour each tick) —
     /// the model of \[20\] ("nodes communicate asynchronously") and the
     /// analysis setting of Boyd et al. \[10\]. Same mass-conservation
-    /// invariant, same estimate semantics.
+    /// invariant, same estimate semantics, same
+    /// [`Metric::GossipMessages`] accounting.
     ///
     /// # Panics
     ///
     /// Panics if the graph is empty.
-    pub fn run_async<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
+    pub fn run_async_with<R, Rec>(&self, ctx: &mut RunCtx<'_, Graph, R, Rec>) -> GossipOutcome
+    where
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let g = ctx.topology;
         let idx = DenseIndex::new(g);
         let n = idx.len();
         assert!(n > 0, "gossip on an empty overlay");
@@ -143,8 +172,8 @@ impl GossipAveraging {
         let mut messages = 0u64;
         let ticks = u64::from(self.rounds) * n as u64;
         for _ in 0..ticks {
-            let v = g.random_node(rng).expect("overlay is non-empty");
-            if let Some(peer) = g.random_neighbor(v, rng) {
+            let v = g.random_node(&mut *ctx.rng).expect("overlay is non-empty");
+            if let Some(peer) = g.random_neighbor(v, &mut *ctx.rng) {
                 let (dv, dp) = (idx.dense(v), idx.dense(peer));
                 let mean = 0.5 * (counters[dv] + counters[dp]);
                 counters[dv] = mean;
@@ -152,6 +181,7 @@ impl GossipAveraging {
                 messages += 2;
             }
         }
+        ctx.on_message(Metric::GossipMessages, messages);
         let estimates = counters
             .iter()
             .map(|&c| if c > 0.0 { 1.0 / c } else { f64::INFINITY })
@@ -162,14 +192,44 @@ impl GossipAveraging {
             rounds: self.rounds,
         }
     }
+
+    /// Executes the asynchronous variant without cost recording.
+    ///
+    /// Thin shim over [`GossipAveraging::run_async_with`] with a no-op
+    /// recorder; the contact sequence and RNG stream are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is empty.
+    #[deprecated(note = "use `run_async_with` and a `RunCtx`")]
+    pub fn run_async<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
+        self.run_async_with(&mut RunCtx::new(g, rng))
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated context-free shims are exercised deliberately: these
+    // tests pin that they keep producing the historical contact sequence.
+    #![allow(deprecated)]
+
     use super::*;
     use census_graph::generators;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn ctx_records_the_exchange_cost() {
+        use census_metrics::Registry;
+        let g = generators::complete(50);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let outcome = GossipAveraging::new(10).run_with(&mut ctx);
+        assert_eq!(reg.counter(Metric::GossipMessages), outcome.messages);
+        assert_eq!(reg.message_total(), 2 * 50 * 10);
+        assert_eq!(ctx.messages_total(), outcome.messages);
+    }
 
     #[test]
     fn converges_on_expander() {

@@ -31,11 +31,19 @@
 //! The [`theory`] module carries the paper's closed-form accuracy and
 //! cost laws, which the test-suite verifies against simulation.
 //!
+//! Every estimator runs through a [`RunCtx`] — topology, RNG, and an
+//! optional [`census_metrics::Recorder`] bundled together — so message
+//! costs are accounted in exactly one place and can be observed live
+//! through a [`census_metrics::Registry`]. The context-free entry points
+//! (`estimate(&g, initiator, &mut rng)` and friends) remain as thin
+//! deprecated shims over a recorder-less context.
+//!
 //! # Examples
 //!
 //! ```
 //! use census_core::{RandomTour, SampleCollide, SizeEstimator};
 //! use census_graph::generators;
+//! use census_metrics::RunCtx;
 //! use census_sampling::CtrwSampler;
 //! use rand::SeedableRng;
 //! use rand::rngs::SmallRng;
@@ -43,14 +51,15 @@
 //! let mut rng = SmallRng::seed_from_u64(1);
 //! let g = generators::balanced(2_000, 10, &mut rng);
 //! let initiator = g.nodes().next().expect("non-empty");
+//! let mut ctx = RunCtx::new(&g, &mut rng);
 //!
 //! // One Random Tour estimate (noisy but unbiased).
-//! let rt = RandomTour::new().estimate(&g, initiator, &mut rng)?;
+//! let rt = RandomTour::new().estimate_with(&mut ctx, initiator)?;
 //! assert!(rt.value > 0.0);
 //!
 //! // One Sample & Collide estimate with l = 10 (relative std ≈ 32%).
 //! let sc = SampleCollide::new(CtrwSampler::new(10.0), 10);
-//! let est = sc.estimate(&g, initiator, &mut rng)?;
+//! let est = sc.estimate_with(&mut ctx, initiator)?;
 //! assert!((est.value / 2_000.0 - 1.0).abs() < 1.0);
 //! # Ok::<(), census_core::EstimateError>(())
 //! ```
@@ -77,6 +86,8 @@ pub use sample_collide::{
 use census_graph::{NodeId, Topology};
 use rand::Rng;
 
+pub use census_metrics::{NoopRecorder, Recorder, RunCtx};
+
 /// An initiator-launched system-size estimator.
 ///
 /// Implemented by [`RandomTour`], [`SampleCollide`] and
@@ -86,12 +97,36 @@ use rand::Rng;
 /// points.)
 pub trait SizeEstimator {
     /// Produces one estimate of the number of peers reachable from
-    /// `initiator`, with its message cost.
+    /// `initiator`, with its message cost, charging every overlay message
+    /// and protocol event to the context's recorder.
+    ///
+    /// The returned [`Estimate::messages`] is derived from the context's
+    /// message accounting, so it always reconciles exactly with the
+    /// recorder's message-class counters.
     ///
     /// # Errors
     ///
     /// Returns [`EstimateError`] if the underlying walks cannot complete
     /// (isolated initiator, timeout under the loss model).
+    fn estimate_with<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized;
+
+    /// Produces one estimate without cost recording.
+    ///
+    /// Thin shim over [`SizeEstimator::estimate_with`] with a no-op
+    /// recorder; the walk and RNG stream are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SizeEstimator::estimate_with`].
+    #[deprecated(note = "use `estimate_with` and a `RunCtx`")]
     fn estimate<T, R>(
         &self,
         topology: &T,
@@ -100,5 +135,8 @@ pub trait SizeEstimator {
     ) -> Result<Estimate, EstimateError>
     where
         T: Topology + ?Sized,
-        R: Rng;
+        R: Rng,
+    {
+        self.estimate_with(&mut RunCtx::new(topology, rng), initiator)
+    }
 }

@@ -1,6 +1,7 @@
 //! Probabilistic polling baseline (\[15, 33, 24\] in the paper).
 
 use census_graph::{algo, Graph, NodeId};
+use census_metrics::{Metric, Recorder, RunCtx};
 use rand::Rng;
 
 /// The probabilistic polling estimator of §2.2's related work.
@@ -21,13 +22,15 @@ use rand::Rng;
 /// ```
 /// use census_core::polling::ProbabilisticPolling;
 /// use census_graph::generators;
+/// use census_metrics::RunCtx;
 /// use rand::SeedableRng;
 /// use rand::rngs::SmallRng;
 ///
 /// let g = generators::complete(100);
 /// let mut rng = SmallRng::seed_from_u64(6);
+/// let mut ctx = RunCtx::new(&g, &mut rng);
 /// let poll = ProbabilisticPolling::new(0.25);
-/// let out = poll.run(&g, g.nodes().next().unwrap(), &mut rng);
+/// let out = poll.run_with(&mut ctx, g.nodes().next().unwrap());
 /// assert!((out.estimate / 100.0 - 1.0).abs() < 0.8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,12 +74,23 @@ impl ProbabilisticPolling {
         self.reply_probability
     }
 
-    /// Floods from `initiator` and returns the estimate.
+    /// Floods from `initiator` and returns the estimate, charging the
+    /// flood transmissions to [`Metric::PollFloodMessages`] and the
+    /// replies to [`Metric::PollReplyMessages`].
     ///
     /// # Panics
     ///
     /// Panics if `initiator` is not alive.
-    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
+    pub fn run_with<R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, Graph, R, Rec>,
+        initiator: NodeId,
+    ) -> PollingOutcome
+    where
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let g = ctx.topology;
         let component = algo::connected_component(g, initiator);
         // Flood cost: every edge within the component carries the query
         // in both directions in the worst case; we charge the standard
@@ -84,16 +98,31 @@ impl ProbabilisticPolling {
         let flood_messages: u64 = component.iter().map(|&v| g.degree(v) as u64).sum();
         let mut replies = 0u64;
         for _ in &component {
-            if rng.random::<f64>() < self.reply_probability {
+            if ctx.rng.random::<f64>() < self.reply_probability {
                 replies += 1;
             }
         }
+        ctx.on_message(Metric::PollFloodMessages, flood_messages);
+        ctx.on_message(Metric::PollReplyMessages, replies);
         PollingOutcome {
             estimate: replies as f64 / self.reply_probability,
             replies,
             reached: component.len() as u64,
             messages: flood_messages + replies,
         }
+    }
+
+    /// Floods from `initiator` without cost recording.
+    ///
+    /// Thin shim over [`ProbabilisticPolling::run_with`] with a no-op
+    /// recorder; the reply coin flips and RNG stream are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initiator` is not alive.
+    #[deprecated(note = "use `run_with` and a `RunCtx`")]
+    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
+        self.run_with(&mut RunCtx::new(g, rng), initiator)
     }
 }
 
@@ -114,6 +143,7 @@ impl ProbabilisticPolling {
 /// ```
 /// use census_core::polling::HopLimitedPolling;
 /// use census_graph::generators;
+/// use census_metrics::RunCtx;
 /// use rand::SeedableRng;
 /// use rand::rngs::SmallRng;
 ///
@@ -121,7 +151,8 @@ impl ProbabilisticPolling {
 /// let mut rng = SmallRng::seed_from_u64(9);
 /// let poll = HopLimitedPolling::new(3, |h| 1.0 / (h + 1) as f64);
 /// let me = g.nodes().next().unwrap();
-/// let out = poll.run(&g, me, &mut rng);
+/// let mut ctx = RunCtx::new(&g, &mut rng);
+/// let out = poll.run_with(&mut ctx, me);
 /// assert_eq!(out.reached, 6, "ring: 3 peers on each side");
 /// ```
 #[derive(Clone, Copy)]
@@ -146,13 +177,24 @@ impl<P: Fn(usize) -> f64> HopLimitedPolling<P> {
         }
     }
 
-    /// Floods up to `max_hops` from `initiator`.
+    /// Floods up to `max_hops` from `initiator`, charging the flood
+    /// transmissions to [`Metric::PollFloodMessages`] and the replies to
+    /// [`Metric::PollReplyMessages`].
     ///
     /// # Panics
     ///
     /// Panics if `initiator` is not alive, or if the probability
     /// function returns a value outside `(0, 1]` for a reached stratum.
-    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
+    pub fn run_with<R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, Graph, R, Rec>,
+        initiator: NodeId,
+    ) -> PollingOutcome
+    where
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let g = ctx.topology;
         let distances = algo::bfs_distances(g, initiator);
         let mut estimate = 1.0f64; // the initiator counts itself
         let mut replies = 0u64;
@@ -176,18 +218,33 @@ impl<P: Fn(usize) -> f64> HopLimitedPolling<P> {
                 p > 0.0 && p <= 1.0,
                 "reply probability at hop {h} must lie in (0, 1], got {p}"
             );
-            if rng.random::<f64>() < p {
+            if ctx.rng.random::<f64>() < p {
                 replies += 1;
                 estimate += 1.0 / p;
             }
         }
         flood_messages += g.degree(initiator) as u64;
+        ctx.on_message(Metric::PollFloodMessages, flood_messages);
+        ctx.on_message(Metric::PollReplyMessages, replies);
         PollingOutcome {
             estimate,
             replies,
             reached,
             messages: flood_messages + replies,
         }
+    }
+
+    /// Floods up to `max_hops` without cost recording.
+    ///
+    /// Thin shim over [`HopLimitedPolling::run_with`] with a no-op
+    /// recorder; the reply coin flips and RNG stream are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`HopLimitedPolling::run_with`].
+    #[deprecated(note = "use `run_with` and a `RunCtx`")]
+    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
+        self.run_with(&mut RunCtx::new(g, rng), initiator)
     }
 }
 
@@ -201,11 +258,47 @@ impl<P> std::fmt::Debug for HopLimitedPolling<P> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated context-free shims are exercised deliberately: these
+    // tests pin that they keep producing the historical coin flips.
+    #![allow(deprecated)]
+
     use super::*;
     use census_graph::generators;
     use census_stats::OnlineMoments;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn ctx_splits_flood_and_reply_costs() {
+        use census_metrics::Registry;
+        let g = generators::ring(30);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(40);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let out = ProbabilisticPolling::new(1.0).run_with(&mut ctx, NodeId::new(0));
+        assert_eq!(
+            reg.counter(Metric::PollFloodMessages),
+            g.degree_sum() as u64
+        );
+        assert_eq!(reg.counter(Metric::PollReplyMessages), 30);
+        assert_eq!(reg.message_total(), out.messages);
+        assert_eq!(ctx.messages_total(), out.messages);
+    }
+
+    #[test]
+    fn hop_limited_ctx_reconciles_messages() {
+        use census_metrics::Registry;
+        let g = generators::ring(50);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let out = HopLimitedPolling::new(5, |_| 1.0).run_with(&mut ctx, NodeId::new(0));
+        assert_eq!(
+            reg.counter(Metric::PollFloodMessages) + reg.counter(Metric::PollReplyMessages),
+            out.messages
+        );
+        assert_eq!(reg.counter(Metric::PollReplyMessages), out.replies);
+    }
 
     #[test]
     fn hop_limited_counts_the_ball_unbiasedly() {

@@ -1,7 +1,8 @@
 //! The Random Tour estimator (§3).
 
 use census_graph::{NodeId, Topology};
-use census_walk::discrete::random_tour;
+use census_metrics::{Recorder, RunCtx};
+use census_walk::discrete::random_tour_ctx;
 use rand::Rng;
 
 use crate::{Estimate, EstimateError, SizeEstimator};
@@ -32,14 +33,17 @@ use crate::{Estimate, EstimateError, SizeEstimator};
 /// ```
 /// use census_core::{RandomTour, SizeEstimator};
 /// use census_graph::generators;
+/// use census_metrics::RunCtx;
 /// use rand::SeedableRng;
 /// use rand::rngs::SmallRng;
 ///
 /// let g = generators::complete(100);
 /// let mut rng = SmallRng::seed_from_u64(3);
 /// let initiator = g.nodes().next().expect("non-empty");
-/// let est = RandomTour::new().estimate(&g, initiator, &mut rng)?;
+/// let mut ctx = RunCtx::new(&g, &mut rng);
+/// let est = RandomTour::new().estimate_with(&mut ctx, initiator)?;
 /// assert!(est.value > 0.0);
+/// assert_eq!(est.messages, ctx.messages_total());
 /// # Ok::<(), census_core::EstimateError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,7 +82,8 @@ impl RandomTour {
 
     /// Estimates the aggregate `Σ_j f(j)` over the initiator's connected
     /// component (§3: "our techniques also apply to the estimation of
-    /// sums of functions of the nodes").
+    /// sums of functions of the nodes"), charging the tour's hops to the
+    /// context's recorder.
     ///
     /// `f` is evaluated once per *visit* (a node walked through twice
     /// contributes twice, with the `1/d_j` weight correcting for it).
@@ -91,11 +96,49 @@ impl RandomTour {
     /// # Panics
     ///
     /// Panics if the initiator is not alive.
+    pub fn estimate_sum_with<T, R, Rec, F>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+        mut f: F,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+        F: FnMut(NodeId) -> f64,
+    {
+        let topology = ctx.topology;
+        let mark = ctx.message_mark();
+        let mut counter = 0.0f64;
+        random_tour_ctx(ctx, initiator, self.max_steps, |node| {
+            counter += f(node) / topology.degree_of(node) as f64;
+        })?;
+        let value = topology.degree_of(initiator) as f64 * counter;
+        Ok(Estimate {
+            value,
+            messages: ctx.messages_since(mark),
+        })
+    }
+
+    /// Estimates the aggregate `Σ_j f(j)` without cost recording.
+    ///
+    /// Thin shim over [`RandomTour::estimate_sum_with`] with a no-op
+    /// recorder; the walk and RNG stream are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RandomTour::estimate_sum_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive.
+    #[deprecated(note = "use `estimate_sum_with` and a `RunCtx`")]
     pub fn estimate_sum<T, R, F>(
         &self,
         topology: &T,
         initiator: NodeId,
-        mut f: F,
+        f: F,
         rng: &mut R,
     ) -> Result<Estimate, EstimateError>
     where
@@ -103,35 +146,31 @@ impl RandomTour {
         R: Rng,
         F: FnMut(NodeId) -> f64,
     {
-        let mut counter = 0.0f64;
-        let tour = random_tour(topology, initiator, self.max_steps, rng, |node| {
-            counter += f(node) / topology.degree_of(node) as f64;
-        })?;
-        let value = topology.degree_of(initiator) as f64 * counter;
-        Ok(Estimate {
-            value,
-            messages: tour.steps,
-        })
+        self.estimate_sum_with(&mut RunCtx::new(topology, rng), initiator, f)
     }
 }
 
 impl SizeEstimator for RandomTour {
-    fn estimate<T, R>(
+    fn estimate_with<T, R, Rec>(
         &self,
-        topology: &T,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
         initiator: NodeId,
-        rng: &mut R,
     ) -> Result<Estimate, EstimateError>
     where
         T: Topology + ?Sized,
         R: Rng,
+        Rec: Recorder + ?Sized,
     {
-        self.estimate_sum(topology, initiator, |_| 1.0, rng)
+        self.estimate_sum_with(ctx, initiator, |_| 1.0)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated context-free shims are exercised deliberately: these
+    // tests pin that they keep producing the historical walks.
+    #![allow(deprecated)]
+
     use super::*;
     use census_graph::{algo, generators, Graph};
     use census_stats::OnlineMoments;
@@ -320,6 +359,27 @@ mod tests {
             RandomTour::new().estimate(&g, a, &mut rng),
             Err(EstimateError::Walk(WalkError::Stuck(_)))
         ));
+    }
+
+    #[test]
+    fn shim_and_ctx_form_produce_identical_estimates() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = generators::balanced(200, 6, &mut rng);
+        let rt = RandomTour::new();
+        let old = rt
+            .estimate(&g, NodeId::new(0), &mut SmallRng::seed_from_u64(22))
+            .expect("connected");
+        let reg = Registry::new();
+        let mut ctx_rng = SmallRng::seed_from_u64(22);
+        let mut ctx = RunCtx::with_recorder(&g, &mut ctx_rng, &reg);
+        let new = rt
+            .estimate_with(&mut ctx, NodeId::new(0))
+            .expect("connected");
+        assert_eq!(old, new, "recording must not perturb the walk");
+        assert_eq!(reg.counter(Metric::TourHops), new.messages);
+        assert_eq!(reg.counter(Metric::ToursCompleted), 1);
+        assert_eq!(reg.message_total(), new.messages);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The Sample & Collide estimator (§4).
 
 use std::collections::HashSet;
+use std::ops::ControlFlow;
 
 use census_graph::{NodeId, Topology};
+use census_metrics::{Metric, Recorder, RunCtx};
 use census_sampling::{CtrwSampler, Sampler};
 use rand::Rng;
 
@@ -85,6 +87,7 @@ impl CollisionReport {
 ///
 /// ```
 /// use census_core::{SampleCollide, SizeEstimator};
+/// use census_metrics::RunCtx;
 /// use census_sampling::OracleSampler;
 /// use census_graph::generators;
 /// use rand::SeedableRng;
@@ -92,8 +95,9 @@ impl CollisionReport {
 ///
 /// let g = generators::complete(1_000);
 /// let mut rng = SmallRng::seed_from_u64(4);
+/// let mut ctx = RunCtx::new(&g, &mut rng);
 /// let sc = SampleCollide::new(OracleSampler::new(), 10);
-/// let est = sc.estimate(&g, g.nodes().next().unwrap(), &mut rng)?;
+/// let est = sc.estimate_with(&mut ctx, g.nodes().next().unwrap())?;
 /// assert!((est.value / 1_000.0 - 1.0).abs() < 1.0);
 /// # Ok::<(), census_core::EstimateError>(())
 /// ```
@@ -142,7 +146,12 @@ impl<S: Sampler> SampleCollide<S> {
 
     /// Runs the full sampling process and reports every statistic of the
     /// run (the sufficient statistic, all four point estimates, and the
-    /// message cost).
+    /// message cost), charging every sampling walk to the context's
+    /// recorder and counting each redundant sample as a
+    /// [`Metric::Collisions`] event.
+    ///
+    /// The sampling loop rides [`Sampler::sample_many`], breaking at the
+    /// `l`-th collision.
     ///
     /// # Errors
     ///
@@ -151,6 +160,59 @@ impl<S: Sampler> SampleCollide<S> {
     /// # Panics
     ///
     /// Panics if the initiator is not alive.
+    pub fn collect_with<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<CollisionReport, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        assert!(ctx.topology.contains(initiator), "initiator must be alive");
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut collisions = 0u32;
+        let target = self.l;
+        let batch = self
+            .sampler
+            .sample_many(ctx, initiator, u64::MAX, |s, _cost| {
+                if !seen.insert(s.node) {
+                    collisions += 1;
+                    if collisions == target {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            })?;
+        ctx.on_event(Metric::Collisions, u64::from(collisions));
+        let c_l = batch.samples;
+        let l = self.l;
+        Ok(CollisionReport {
+            c_l,
+            l,
+            distinct: c_l - u64::from(l),
+            ml: ml_estimate(c_l, l),
+            asymptotic: asymptotic_estimate(c_l, l),
+            n_min: n_min(c_l, l),
+            n_max: n_max(c_l, l),
+            messages: batch.messages,
+        })
+    }
+
+    /// Runs the full sampling process without cost recording.
+    ///
+    /// Thin shim over [`SampleCollide::collect_with`] with a no-op
+    /// recorder; the draws and RNG stream are identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler failures as [`EstimateError::Walk`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initiator is not alive.
+    #[deprecated(note = "use `collect_with` and a `RunCtx`")]
     pub fn collect<T, R>(
         &self,
         topology: &T,
@@ -161,46 +223,22 @@ impl<S: Sampler> SampleCollide<S> {
         T: Topology + ?Sized,
         R: Rng,
     {
-        assert!(topology.contains(initiator), "initiator must be alive");
-        let mut seen: HashSet<NodeId> = HashSet::new();
-        let mut collisions = 0u32;
-        let mut samples = 0u64;
-        let mut messages = 0u64;
-        while collisions < self.l {
-            let s = self.sampler.sample(topology, initiator, rng)?;
-            samples += 1;
-            messages += s.hops;
-            if !seen.insert(s.node) {
-                collisions += 1;
-            }
-        }
-        let c_l = samples;
-        let l = self.l;
-        Ok(CollisionReport {
-            c_l,
-            l,
-            distinct: c_l - u64::from(l),
-            ml: ml_estimate(c_l, l),
-            asymptotic: asymptotic_estimate(c_l, l),
-            n_min: n_min(c_l, l),
-            n_max: n_max(c_l, l),
-            messages,
-        })
+        self.collect_with(&mut RunCtx::new(topology, rng), initiator)
     }
 }
 
 impl<S: Sampler> SizeEstimator for SampleCollide<S> {
-    fn estimate<T, R>(
+    fn estimate_with<T, R, Rec>(
         &self,
-        topology: &T,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
         initiator: NodeId,
-        rng: &mut R,
     ) -> Result<Estimate, EstimateError>
     where
         T: Topology + ?Sized,
         R: Rng,
+        Rec: Recorder + ?Sized,
     {
-        let report = self.collect(topology, initiator, rng)?;
+        let report = self.collect_with(ctx, initiator)?;
         Ok(Estimate {
             value: report.value(self.point),
             messages: report.messages,
@@ -405,27 +443,29 @@ impl AdaptiveSampleCollide {
     }
 
     /// Runs the doubling procedure and returns each round's step; the
-    /// last step holds the accepted estimate.
+    /// last step holds the accepted estimate. Each round is counted as a
+    /// [`Metric::ScRounds`] event on the context's recorder.
     ///
     /// # Errors
     ///
     /// Propagates sampler failures.
-    pub fn run<T, R>(
+    pub fn run_with<T, R, Rec>(
         &self,
-        topology: &T,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
         initiator: NodeId,
-        rng: &mut R,
     ) -> Result<Vec<AdaptiveStep>, EstimateError>
     where
         T: Topology + ?Sized,
         R: Rng,
+        Rec: Recorder + ?Sized,
     {
         let mut steps: Vec<AdaptiveStep> = Vec::new();
         let mut timer = self.initial_timer;
         for _ in 0..self.max_rounds {
             let sc = SampleCollide::new(CtrwSampler::new(timer), self.l)
                 .with_point_estimator(self.point);
-            let report = sc.collect(topology, initiator, rng)?;
+            ctx.on_event(Metric::ScRounds, 1);
+            let report = sc.collect_with(ctx, initiator)?;
             let estimate = report.value(self.point);
             let step = AdaptiveStep {
                 timer,
@@ -445,20 +485,42 @@ impl AdaptiveSampleCollide {
         }
         Ok(steps)
     }
-}
 
-impl SizeEstimator for AdaptiveSampleCollide {
-    fn estimate<T, R>(
+    /// Runs the doubling procedure without cost recording.
+    ///
+    /// Thin shim over [`AdaptiveSampleCollide::run_with`] with a no-op
+    /// recorder; the draws and RNG stream are identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler failures.
+    #[deprecated(note = "use `run_with` and a `RunCtx`")]
+    pub fn run<T, R>(
         &self,
         topology: &T,
         initiator: NodeId,
         rng: &mut R,
-    ) -> Result<Estimate, EstimateError>
+    ) -> Result<Vec<AdaptiveStep>, EstimateError>
     where
         T: Topology + ?Sized,
         R: Rng,
     {
-        let steps = self.run(topology, initiator, rng)?;
+        self.run_with(&mut RunCtx::new(topology, rng), initiator)
+    }
+}
+
+impl SizeEstimator for AdaptiveSampleCollide {
+    fn estimate_with<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let steps = self.run_with(ctx, initiator)?;
         let messages = steps.iter().map(|s| s.messages).sum();
         let last = steps.last().expect("at least one round always runs");
         Ok(Estimate {
@@ -470,6 +532,10 @@ impl SizeEstimator for AdaptiveSampleCollide {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated context-free shims are exercised deliberately: these
+    // tests pin that they keep producing the historical draws.
+    #![allow(deprecated)]
+
     use super::*;
     use census_graph::{generators, Graph, NodeId};
     use census_sampling::{OracleSampler, Sample};
@@ -737,6 +803,57 @@ mod tests {
     #[should_panic(expected = "at least one collision")]
     fn zero_l_panics() {
         let _ = SampleCollide::new(OracleSampler::new(), 0);
+    }
+
+    #[test]
+    fn ctx_records_collisions_samples_and_messages() {
+        use census_metrics::{Registry, RunCtx};
+        let g = line(5);
+        // Sequence a b a c b: C_2 = 5 with unit-cost samples.
+        let sc = SampleCollide::new(Scripted::new(vec![0, 1, 0, 2, 1]), 2);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(30);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let report = sc.collect_with(&mut ctx, NodeId::new(0)).expect("scripted");
+        assert_eq!(report.c_l, 5);
+        assert_eq!(report.messages, 5);
+        assert_eq!(reg.counter(Metric::Collisions), 2);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 5);
+        assert_eq!(reg.counter(Metric::SampleHops), 5);
+        assert_eq!(reg.message_total(), report.messages);
+        assert_eq!(ctx.messages_total(), report.messages);
+    }
+
+    #[test]
+    fn shim_and_ctx_form_produce_identical_reports() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let g = generators::balanced(400, 8, &mut rng);
+        let sc = SampleCollide::new(CtrwSampler::new(4.0), 5);
+        let old = sc
+            .collect(&g, NodeId::new(0), &mut SmallRng::seed_from_u64(32))
+            .expect("connected");
+        let mut ctx_rng = SmallRng::seed_from_u64(32);
+        let mut ctx = census_metrics::RunCtx::new(&g, &mut ctx_rng);
+        let new = sc
+            .collect_with(&mut ctx, NodeId::new(0))
+            .expect("connected");
+        assert_eq!(old, new, "recording must not perturb the draws");
+    }
+
+    #[test]
+    fn adaptive_ctx_counts_rounds() {
+        use census_metrics::{Registry, RunCtx};
+        let mut rng = SmallRng::seed_from_u64(33);
+        let g = generators::balanced(300, 8, &mut rng);
+        let adaptive = AdaptiveSampleCollide::new(10, 0.5).with_tolerance(0.3);
+        let reg = Registry::new();
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let steps = adaptive
+            .run_with(&mut ctx, NodeId::new(0))
+            .expect("connected");
+        assert_eq!(reg.counter(Metric::ScRounds), steps.len() as u64);
+        let reported: u64 = steps.iter().map(|s| s.messages).sum();
+        assert_eq!(reg.message_total(), reported);
     }
 
     proptest! {

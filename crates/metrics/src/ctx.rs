@@ -1,0 +1,141 @@
+//! The run context threaded through every estimator entry point.
+
+use crate::{HistogramMetric, Metric, NoopRecorder, Recorder, NOOP};
+
+/// Everything one protocol run needs: the topology it walks, the RNG
+/// driving its choices, and the recorder observing its cost.
+///
+/// `RunCtx` replaces the four divergent `(&topology, initiator,
+/// &mut rng)` entry-point signatures with a single bundle, and owns the
+/// *message tally*: every overlay message is charged exactly once through
+/// [`RunCtx::on_message`], which bumps both a plain local counter (the
+/// source of `Estimate.messages`, via [`RunCtx::messages_since`]) and the
+/// attached recorder. Deriving both numbers from the same call site is
+/// what makes `--metrics-json` totals reconcile exactly with the reported
+/// per-estimate costs.
+///
+/// The struct itself places no bounds on its parameters (this crate knows
+/// nothing about graphs or RNGs); walk and estimator functions bound `T`
+/// and `R` as they need. `Rec` defaults to [`NoopRecorder`], whose empty
+/// inlined methods compile away.
+#[derive(Debug)]
+pub struct RunCtx<'a, T: ?Sized, R, Rec: ?Sized = NoopRecorder> {
+    /// The overlay being walked.
+    pub topology: &'a T,
+    /// The RNG driving every random choice of the run.
+    pub rng: &'a mut R,
+    /// The metrics sink. Shared (`&Rec`): recorders take `&self`.
+    pub recorder: &'a Rec,
+    messages: u64,
+}
+
+impl<'a, T: ?Sized, R> RunCtx<'a, T, R, NoopRecorder> {
+    /// A context with no recorder attached — the zero-overhead default.
+    pub fn new(topology: &'a T, rng: &'a mut R) -> Self {
+        RunCtx {
+            topology,
+            rng,
+            recorder: &NOOP,
+            messages: 0,
+        }
+    }
+}
+
+impl<'a, T: ?Sized, R, Rec: Recorder + ?Sized> RunCtx<'a, T, R, Rec> {
+    /// A context that reports into `recorder`.
+    pub fn with_recorder(topology: &'a T, rng: &'a mut R, recorder: &'a Rec) -> Self {
+        RunCtx {
+            topology,
+            rng,
+            recorder,
+            messages: 0,
+        }
+    }
+
+    /// Charge `n` overlay messages to `metric`.
+    ///
+    /// This is the single accounting site: it advances the local message
+    /// tally *and* the recorder together, so the recorder's message-class
+    /// totals always equal the sum of reported `Estimate.messages`.
+    #[inline]
+    pub fn on_message(&mut self, metric: Metric, n: u64) {
+        debug_assert!(
+            metric.is_message_cost(),
+            "{} is not message-class",
+            metric.name()
+        );
+        self.messages += n;
+        self.recorder.incr(metric, n);
+    }
+
+    /// Record `n` occurrences of a non-message event.
+    #[inline]
+    pub fn on_event(&self, metric: Metric, n: u64) {
+        debug_assert!(
+            !metric.is_message_cost(),
+            "{} is message-class; use on_message",
+            metric.name()
+        );
+        self.recorder.incr(metric, n);
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, metric: HistogramMetric, value: f64) {
+        self.recorder.observe(metric, value);
+    }
+
+    /// Opaque marker of the current message tally; pair with
+    /// [`RunCtx::messages_since`] to cost a sub-computation.
+    #[inline]
+    #[must_use]
+    pub fn message_mark(&self) -> u64 {
+        self.messages
+    }
+
+    /// Messages charged since `mark` was taken.
+    #[inline]
+    #[must_use]
+    pub fn messages_since(&self, mark: u64) -> u64 {
+        self.messages - mark
+    }
+
+    /// Total messages charged through this context so far.
+    #[inline]
+    #[must_use]
+    pub fn messages_total(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn tally_and_recorder_advance_together() {
+        let topo = ();
+        let mut rng = ();
+        let reg = Registry::new();
+        let mut ctx = RunCtx::with_recorder(&topo, &mut rng, &reg);
+        let mark = ctx.message_mark();
+        ctx.on_message(Metric::TourHops, 3);
+        ctx.on_message(Metric::CtrwHops, 4);
+        ctx.on_event(Metric::SamplesDrawn, 1);
+        assert_eq!(ctx.messages_since(mark), 7);
+        assert_eq!(ctx.messages_total(), 7);
+        assert_eq!(reg.message_total(), 7);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 1);
+    }
+
+    #[test]
+    fn noop_context_still_tallies_messages() {
+        let topo = ();
+        let mut rng = ();
+        let mut ctx = RunCtx::new(&topo, &mut rng);
+        ctx.on_message(Metric::SampleHops, 9);
+        assert_eq!(ctx.messages_total(), 9);
+        assert!(!ctx.recorder.enabled());
+    }
+}

@@ -1,0 +1,32 @@
+//! Cost observability for the overlay-census workspace.
+//!
+//! The paper's entire evaluation is denominated in *overlay message cost*
+//! (Figure 5, Table 1: one message per walk hop or protocol exchange).
+//! This crate provides the measurement substrate: a tiny object-safe
+//! [`Recorder`] trait, a lock-free [`Registry`] implementation built on
+//! atomic counters and fixed power-of-two-bucket histograms, and a
+//! [`RunCtx`] bundle (topology + RNG + recorder) threaded through every
+//! walk, sampler, and estimator entry point.
+//!
+//! Recording is strictly *passive*: no recorder implementation may draw
+//! from the RNG or otherwise perturb the execution it observes, so a run
+//! produces bit-identical results with or without a live registry
+//! attached. The default [`NoopRecorder`] rides the same monomorphisation
+//! pattern as the `R: Rng` generics — its empty inlined methods compile
+//! away entirely, keeping the no-recorder hot path unchanged.
+//!
+//! This crate deliberately depends on nothing but `serde` (for
+//! [`Snapshot`]): the graph/walk layers depend on it, not vice versa.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ctx;
+mod metric;
+mod recorder;
+mod registry;
+
+pub use ctx::RunCtx;
+pub use metric::{HistogramMetric, Metric};
+pub use recorder::{NoopRecorder, Recorder, NOOP};
+pub use registry::{HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS};

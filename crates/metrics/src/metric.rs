@@ -1,0 +1,201 @@
+//! The closed vocabulary of recorded quantities.
+//!
+//! A fixed enum (rather than string keys) keeps the hot path allocation-
+//! free — recording is an array index plus one atomic add — and makes the
+//! merge in `parallel::replicate` trivially deterministic.
+
+/// A monotone counter recorded via [`Recorder::incr`](crate::Recorder::incr).
+///
+/// Counters split into two classes. *Message-class* metrics each count
+/// overlay messages under the paper's cost model (one message per walk
+/// hop or protocol exchange); their sum is
+/// [`Registry::message_total`](crate::Registry::message_total) and must
+/// reconcile with the `Estimate.messages` values reported by estimators.
+/// *Event-class* metrics count everything else (tours, samples, retries,
+/// …) and never enter the message total. Every overlay message increments
+/// exactly one message-class metric, so the classes partition the cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Hops taken by Random Tour walks (message-class).
+    TourHops,
+    /// Hops taken by continuous-time random walks (message-class).
+    CtrwHops,
+    /// Hops taken by samplers without a dedicated hop metric — DTRW,
+    /// oracle, custom samplers (message-class).
+    SampleHops,
+    /// Accepted Metropolis-Hastings moves; rejected proposals send no
+    /// message (message-class).
+    MetropolisHops,
+    /// Flood messages sent by the polling estimators (message-class).
+    PollFloodMessages,
+    /// Reply messages returned to a polling initiator (message-class).
+    PollReplyMessages,
+    /// Messages exchanged by gossip averaging, two per contact
+    /// (message-class).
+    GossipMessages,
+    /// Random Tours that returned to their initiator.
+    ToursCompleted,
+    /// Random Tours lost to a timeout or a dead/isolated peer.
+    ToursLost,
+    /// Walks aborted by an explicit step budget.
+    WalkTimeouts,
+    /// Exponential sojourn times drawn by CTRW walks.
+    SojournDraws,
+    /// Samples produced by any [`Sampler`](https://docs.rs/census-sampling).
+    SamplesDrawn,
+    /// Metropolis-Hastings proposals rejected by the acceptance filter.
+    MetropolisRejections,
+    /// Sample & Collide collisions observed.
+    Collisions,
+    /// Adaptive Sample & Collide rounds executed.
+    ScRounds,
+    /// Estimates successfully completed by an experiment runner.
+    EstimatesCompleted,
+    /// CSR snapshots re-taken by `run_dynamic` after churn.
+    Refreezes,
+    /// Estimate attempts retried after a walk-level failure under churn.
+    WalkRetries,
+    /// Sum of `Estimate.messages` values consumed by runners/harnesses;
+    /// equals [`message_total`](crate::Registry::message_total) in
+    /// loss-free runs (the reconciliation invariant).
+    ReportedMessages,
+}
+
+impl Metric {
+    /// Every counter, in declaration (and serialisation) order.
+    pub const ALL: [Metric; 19] = [
+        Metric::TourHops,
+        Metric::CtrwHops,
+        Metric::SampleHops,
+        Metric::MetropolisHops,
+        Metric::PollFloodMessages,
+        Metric::PollReplyMessages,
+        Metric::GossipMessages,
+        Metric::ToursCompleted,
+        Metric::ToursLost,
+        Metric::WalkTimeouts,
+        Metric::SojournDraws,
+        Metric::SamplesDrawn,
+        Metric::MetropolisRejections,
+        Metric::Collisions,
+        Metric::ScRounds,
+        Metric::EstimatesCompleted,
+        Metric::Refreezes,
+        Metric::WalkRetries,
+        Metric::ReportedMessages,
+    ];
+
+    /// Number of counters a registry allocates.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in snapshots and `metrics.json`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::TourHops => "tour_hops",
+            Metric::CtrwHops => "ctrw_hops",
+            Metric::SampleHops => "sample_hops",
+            Metric::MetropolisHops => "metropolis_hops",
+            Metric::PollFloodMessages => "poll_flood_messages",
+            Metric::PollReplyMessages => "poll_reply_messages",
+            Metric::GossipMessages => "gossip_messages",
+            Metric::ToursCompleted => "tours_completed",
+            Metric::ToursLost => "tours_lost",
+            Metric::WalkTimeouts => "walk_timeouts",
+            Metric::SojournDraws => "sojourn_draws",
+            Metric::SamplesDrawn => "samples_drawn",
+            Metric::MetropolisRejections => "metropolis_rejections",
+            Metric::Collisions => "collisions",
+            Metric::ScRounds => "sc_rounds",
+            Metric::EstimatesCompleted => "estimates_completed",
+            Metric::Refreezes => "refreezes",
+            Metric::WalkRetries => "walk_retries",
+            Metric::ReportedMessages => "reported_messages",
+        }
+    }
+
+    /// Whether this counter denominates overlay message cost (one unit =
+    /// one message under the paper's Figure 5 / Table 1 accounting).
+    #[must_use]
+    pub const fn is_message_cost(self) -> bool {
+        matches!(
+            self,
+            Metric::TourHops
+                | Metric::CtrwHops
+                | Metric::SampleHops
+                | Metric::MetropolisHops
+                | Metric::PollFloodMessages
+                | Metric::PollReplyMessages
+                | Metric::GossipMessages
+        )
+    }
+}
+
+/// A distribution recorded via [`Recorder::observe`](crate::Recorder::observe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum HistogramMetric {
+    /// Hop count of one completed Random Tour.
+    TourLength,
+    /// Message cost of one sample (hops charged to the sampler).
+    SampleCost,
+    /// Virtual-time budget of one CTRW walk (the timer `T`); under
+    /// adaptive Sample & Collide this traces the timer-doubling schedule.
+    CtrwVirtualTime,
+}
+
+impl HistogramMetric {
+    /// Every histogram, in declaration (and serialisation) order.
+    pub const ALL: [HistogramMetric; 3] = [
+        HistogramMetric::TourLength,
+        HistogramMetric::SampleCost,
+        HistogramMetric::CtrwVirtualTime,
+    ];
+
+    /// Number of histograms a registry allocates.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in snapshots and `metrics.json`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistogramMetric::TourLength => "tour_length",
+            HistogramMetric::SampleCost => "sample_cost",
+            HistogramMetric::CtrwVirtualTime => "ctrw_virtual_time",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declaration_order_matches_discriminants() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i, "{} out of order", m.name());
+        }
+        for (i, h) in HistogramMetric::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i, "{} out of order", h.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::COUNT);
+    }
+
+    #[test]
+    fn message_classes_partition_sanely() {
+        assert!(Metric::TourHops.is_message_cost());
+        assert!(Metric::GossipMessages.is_message_cost());
+        assert!(!Metric::ReportedMessages.is_message_cost());
+        assert!(!Metric::SamplesDrawn.is_message_cost());
+        let n_msg = Metric::ALL.iter().filter(|m| m.is_message_cost()).count();
+        assert_eq!(n_msg, 7);
+    }
+}

@@ -1,0 +1,95 @@
+//! The recorder abstraction and its zero-cost default.
+
+use crate::{HistogramMetric, Metric};
+
+/// A passive sink for cost metrics.
+///
+/// Methods take `&self` so a single recorder can be shared by reference
+/// across an entire run (and, for [`Registry`](crate::Registry), across
+/// threads). The trait is object-safe; generic call sites take
+/// `Rec: Recorder + ?Sized` so they accept both concrete recorders and
+/// `dyn Recorder` behind a reference.
+///
+/// Implementations must be *passive*: never draw from an RNG, panic, or
+/// otherwise influence the computation being observed. Attaching or
+/// detaching a recorder must leave every simulated trajectory — and
+/// therefore every figure CSV — bit-identical.
+pub trait Recorder {
+    /// Add `by` to a counter.
+    fn incr(&self, metric: Metric, by: u64);
+
+    /// Record one observation of `value` into a histogram.
+    fn observe(&self, metric: HistogramMetric, value: f64);
+
+    /// Whether this recorder retains anything. Call sites may skip
+    /// preparing expensive observations when this returns `false`; the
+    /// no-op recorder's `false` constant lets the branch fold away.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+impl<R: Recorder + ?Sized> Recorder for &R {
+    #[inline]
+    fn incr(&self, metric: Metric, by: u64) {
+        (**self).incr(metric, by);
+    }
+
+    #[inline]
+    fn observe(&self, metric: HistogramMetric, value: f64) {
+        (**self).observe(metric, value);
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// The zero-cost default recorder: discards everything.
+///
+/// Because every recording call site is generic over `Rec: Recorder`,
+/// monomorphisation inlines these empty bodies and the optimizer deletes
+/// the calls — a run over `NoopRecorder` compiles to the same hot loop as
+/// the pre-observability code.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+/// A shared no-op recorder for contexts built without one.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn incr(&self, _metric: Metric, _by: u64) {}
+
+    #[inline(always)]
+    fn observe(&self, _metric: HistogramMetric, _value: f64) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        assert!(!NOOP.enabled());
+        NOOP.incr(Metric::TourHops, 10);
+        NOOP.observe(HistogramMetric::TourLength, 10.0);
+    }
+
+    #[test]
+    fn references_forward() {
+        fn takes_dyn(r: &dyn Recorder) -> bool {
+            r.incr(Metric::TourHops, 1);
+            r.enabled()
+        }
+        assert!(!takes_dyn(&NOOP));
+        assert!(!(&&NOOP).enabled());
+    }
+}

@@ -1,0 +1,348 @@
+//! The lock-free recording backend.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{HistogramMetric, Metric, Recorder};
+
+/// Number of buckets in every histogram.
+///
+/// Bucket `0` holds values in `[0, 1)`; bucket `b ≥ 1` holds values in
+/// `[2^(b−1), 2^b)`; the last bucket additionally absorbs everything
+/// larger. Powers of two cover the full dynamic range of hop counts at
+/// paper scale (tour lengths ~N = 100,000 fit in bucket 17) with a fixed
+/// footprint and no configuration.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Map a non-negative value to its power-of-two bucket.
+fn bucket_of(value: f64) -> usize {
+    if value.is_nan() || value < 1.0 {
+        // Negative and NaN observations also land in bucket 0 rather
+        // than poisoning the registry; recording must never panic.
+        return 0;
+    }
+    let truncated = if value >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        value as u64
+    };
+    // floor(log2(v)) + 1 == bit length of the truncated value.
+    let bits = (u64::BITS - truncated.leading_zeros()) as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// One fixed-bucket histogram: per-bucket counts plus an exact count and
+/// floating-point sum for mean reconstruction.
+#[derive(Debug)]
+struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    /// `f64` bit pattern, updated by compare-and-swap.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        add_f64(&self.sum_bits, value);
+    }
+}
+
+/// Lock-free add of `value` to an `AtomicU64` holding `f64` bits.
+///
+/// Concurrent adds commute only up to floating-point rounding; the
+/// deterministic-merge guarantee therefore comes from giving each replica
+/// its *own* registry and [`absorb`](Registry::absorb)-ing them serially
+/// in spawn order, not from this primitive.
+fn add_f64(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + value).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// The concrete lock-free [`Recorder`]: one atomic counter per [`Metric`]
+/// and one fixed-bucket histogram per [`HistogramMetric`].
+///
+/// All operations are wait-free atomic adds (the histogram sum uses a CAS
+/// loop), so a single registry can be shared by reference across threads;
+/// the parallel replication engine instead gives each replica a private
+/// registry and merges them in spawn order so the merged totals — f64
+/// sums included — are bit-deterministic for a fixed seed.
+#[derive(Debug)]
+pub struct Registry {
+    counters: [AtomicU64; Metric::COUNT],
+    histograms: [Histogram; HistogramMetric::COUNT],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with every counter and histogram at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: std::array::from_fn(|_| Histogram::new()),
+        }
+    }
+
+    /// Current value of one counter.
+    #[must_use]
+    pub fn counter(&self, metric: Metric) -> u64 {
+        self.counters[metric as usize].load(Ordering::Relaxed)
+    }
+
+    /// Observation count of one histogram.
+    #[must_use]
+    pub fn histogram_count(&self, metric: HistogramMetric) -> u64 {
+        self.histograms[metric as usize]
+            .count
+            .load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations of one histogram.
+    #[must_use]
+    pub fn histogram_sum(&self, metric: HistogramMetric) -> f64 {
+        f64::from_bits(
+            self.histograms[metric as usize]
+                .sum_bits
+                .load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total overlay messages recorded: the sum of every message-class
+    /// counter (see [`Metric::is_message_cost`]). In a loss-free run this
+    /// equals both the [`Metric::ReportedMessages`] counter and the sum
+    /// of `Estimate.messages` over the run — the reconciliation invariant
+    /// the test-suite pins.
+    #[must_use]
+    pub fn message_total(&self) -> u64 {
+        Metric::ALL
+            .iter()
+            .filter(|m| m.is_message_cost())
+            .map(|&m| self.counter(m))
+            .sum()
+    }
+
+    /// Fold another registry into this one, counter by counter and bucket
+    /// by bucket.
+    ///
+    /// Absorbing a sequence of registries in a fixed order is
+    /// deterministic including the floating-point histogram sums, which
+    /// is how `parallel::replicate` merges per-replica registries.
+    pub fn absorb(&self, other: &Registry) {
+        for m in Metric::ALL {
+            let v = other.counter(m);
+            if v != 0 {
+                self.counters[m as usize].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        for h in HistogramMetric::ALL {
+            let theirs = &other.histograms[h as usize];
+            let ours = &self.histograms[h as usize];
+            for (o, t) in ours.buckets.iter().zip(theirs.buckets.iter()) {
+                let v = t.load(Ordering::Relaxed);
+                if v != 0 {
+                    o.fetch_add(v, Ordering::Relaxed);
+                }
+            }
+            ours.count
+                .fetch_add(theirs.count.load(Ordering::Relaxed), Ordering::Relaxed);
+            add_f64(
+                &ours.sum_bits,
+                f64::from_bits(theirs.sum_bits.load(Ordering::Relaxed)),
+            );
+        }
+    }
+
+    /// An owned, serialisable copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = Metric::ALL
+            .iter()
+            .map(|&m| (m.name().to_owned(), self.counter(m)))
+            .collect();
+        let histograms = HistogramMetric::ALL
+            .iter()
+            .map(|&h| {
+                let hist = &self.histograms[h as usize];
+                let snap = HistogramSnapshot {
+                    count: hist.count.load(Ordering::Relaxed),
+                    sum: f64::from_bits(hist.sum_bits.load(Ordering::Relaxed)),
+                    buckets: hist
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                };
+                (h.name().to_owned(), snap)
+            })
+            .collect();
+        Snapshot {
+            message_total: self.message_total(),
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl Recorder for Registry {
+    #[inline]
+    fn incr(&self, metric: Metric, by: u64) {
+        self.counters[metric as usize].fetch_add(by, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, metric: HistogramMetric, value: f64) {
+        self.histograms[metric as usize].observe(value);
+    }
+}
+
+/// Owned, serialisable state of a [`Registry`] — what `figures
+/// --metrics-json` writes next to the figure CSVs.
+///
+/// Keys are the stable snake_case metric names; `BTreeMap` keeps the JSON
+/// output deterministically ordered.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Sum of all message-class counters (the paper's cost axis).
+    pub message_total: u64,
+    /// Every counter by name, including zeros.
+    pub counters: BTreeMap<String, u64>,
+    /// Every histogram by name, including empty ones.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Serialisable state of one histogram.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (`sum / count` reconstructs the mean).
+    pub sum: f64,
+    /// Per-bucket counts; bucket `b` covers `[2^(b−1), 2^b)` with bucket
+    /// 0 covering `[0, 1)` and the last bucket open-ended.
+    pub buckets: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.99), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.5), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(3.99), 2);
+        assert_eq!(bucket_of(4.0), 3);
+        assert_eq!(bucket_of(100_000.0), 17);
+        assert_eq!(bucket_of(f64::INFINITY), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_of(-3.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        reg.incr(Metric::TourHops, 5);
+        reg.incr(Metric::TourHops, 7);
+        reg.incr(Metric::SamplesDrawn, 1);
+        assert_eq!(reg.counter(Metric::TourHops), 12);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 1);
+        // Only the message-class counter enters the total.
+        assert_eq!(reg.message_total(), 12);
+    }
+
+    #[test]
+    fn histograms_track_count_sum_and_buckets() {
+        let reg = Registry::new();
+        for v in [0.5, 1.0, 3.0, 3.0, 1000.0] {
+            reg.observe(HistogramMetric::TourLength, v);
+        }
+        assert_eq!(reg.histogram_count(HistogramMetric::TourLength), 5);
+        assert!((reg.histogram_sum(HistogramMetric::TourLength) - 1007.5).abs() < 1e-12);
+        let snap = reg.snapshot();
+        let h = &snap.histograms["tour_length"];
+        assert_eq!(h.buckets[0], 1); // 0.5
+        assert_eq!(h.buckets[1], 1); // 1.0
+        assert_eq!(h.buckets[2], 2); // 3.0 twice
+        assert_eq!(h.buckets[10], 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn absorb_is_exact_and_order_deterministic() {
+        let make = |seed: u64| {
+            let reg = Registry::new();
+            reg.incr(Metric::CtrwHops, seed);
+            reg.observe(HistogramMetric::SampleCost, seed as f64 + 0.125);
+            reg
+        };
+        let parts: Vec<Registry> = (1..=4).map(make).collect();
+        let a = Registry::new();
+        let b = Registry::new();
+        for p in &parts {
+            a.absorb(p);
+            b.absorb(p);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.counter(Metric::CtrwHops), 10);
+        assert_eq!(a.histogram_count(HistogramMetric::SampleCost), 4);
+        assert_eq!(
+            a.histogram_sum(HistogramMetric::SampleCost).to_bits(),
+            b.histogram_sum(HistogramMetric::SampleCost).to_bits(),
+            "merged f64 sums must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = Registry::new();
+        reg.incr(Metric::GossipMessages, 42);
+        reg.observe(HistogramMetric::CtrwVirtualTime, 10.0);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).expect("serialise");
+        let back: Snapshot = serde_json::from_str(&json).expect("deserialise");
+        assert_eq!(snap, back);
+        assert_eq!(back.counters["gossip_messages"], 42);
+        assert_eq!(back.message_total, 42);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.incr(Metric::TourHops, 1);
+                        reg.observe(HistogramMetric::TourLength, 2.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter(Metric::TourHops), 4000);
+        assert_eq!(reg.histogram_count(HistogramMetric::TourLength), 4000);
+        assert!((reg.histogram_sum(HistogramMetric::TourLength) - 8000.0).abs() < 1e-9);
+    }
+}

@@ -1,7 +1,8 @@
 //! The paper's CTRW-based uniform sampler (§4.1).
 
 use census_graph::{NodeId, Topology};
-use census_walk::continuous::{ctrw_walk, Sojourn};
+use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
+use census_walk::continuous::{ctrw_walk, ctrw_walk_ctx, Sojourn};
 use census_walk::WalkError;
 use rand::Rng;
 
@@ -97,6 +98,28 @@ impl Sampler for CtrwSampler {
         R: Rng,
     {
         let out = ctrw_walk(topology, initiator, self.timer, self.sojourn, rng)?;
+        Ok(Sample {
+            node: out.node,
+            hops: out.hops,
+        })
+    }
+
+    /// Records through [`ctrw_walk_ctx`], so the hops land on
+    /// [`Metric::CtrwHops`] (not the generic [`Metric::SampleHops`]) and
+    /// the walk's sojourn draws and virtual time are captured too.
+    fn sample_ctx<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let out = ctrw_walk_ctx(ctx, initiator, self.timer, self.sojourn)?;
+        ctx.on_event(Metric::SamplesDrawn, 1);
+        ctx.observe(HistogramMetric::SampleCost, out.hops as f64);
         Ok(Sample {
             node: out.node,
             hops: out.hops,

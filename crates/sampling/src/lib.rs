@@ -49,7 +49,10 @@ mod dtrw;
 mod metropolis;
 mod oracle;
 
+use std::ops::ControlFlow;
+
 use census_graph::{NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
 use census_walk::WalkError;
 use rand::Rng;
 
@@ -68,8 +71,24 @@ pub struct Sample {
     pub hops: u64,
 }
 
+/// Aggregate outcome of a [`Sampler::sample_many`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleBatch {
+    /// Samples actually drawn (≤ the requested maximum if the visitor
+    /// broke early).
+    pub samples: u64,
+    /// Total overlay messages spent across those samples.
+    pub messages: u64,
+}
+
 /// A peer-sampling strategy: returns one (approximately uniform) peer per
 /// invocation, starting from an initiating peer.
+///
+/// Implementors provide [`Sampler::sample`]; the `_ctx` forms are
+/// provided on top of it and add cost accounting through a
+/// [`RunCtx`]. Samplers with a dedicated hop metric (CTRW, Metropolis)
+/// override [`Sampler::sample_ctx`] to record through their walk engine
+/// instead of the generic [`Metric::SampleHops`] counter.
 pub trait Sampler {
     /// Draws one sample starting at `initiator`.
     ///
@@ -87,10 +106,84 @@ pub trait Sampler {
     where
         T: Topology + ?Sized,
         R: Rng;
+
+    /// Draws one sample through a [`RunCtx`], charging its cost to the
+    /// context (and its recorder).
+    ///
+    /// The default implementation runs [`Sampler::sample`] on the
+    /// context's topology and RNG — the identical draw sequence — and
+    /// charges the hops to [`Metric::SampleHops`], records one
+    /// [`Metric::SamplesDrawn`] event, and observes the per-sample cost
+    /// in the [`HistogramMetric::SampleCost`] histogram.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sampler::sample`]. Nothing is recorded for a failed
+    /// draw.
+    fn sample_ctx<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let topology = ctx.topology;
+        let sample = self.sample(topology, initiator, &mut *ctx.rng)?;
+        ctx.on_message(Metric::SampleHops, sample.hops);
+        ctx.on_event(Metric::SamplesDrawn, 1);
+        ctx.observe(HistogramMetric::SampleCost, sample.hops as f64);
+        Ok(sample)
+    }
+
+    /// Draws up to `max_samples` samples, reporting each to `on_sample`
+    /// together with its individual message cost, and returns the batch
+    /// totals.
+    ///
+    /// `on_sample` returns [`ControlFlow::Break`] to stop early — Sample
+    /// & Collide passes `u64::MAX` and breaks at the `l`-th collision.
+    /// This provided loop replaces the hand-rolled sampling loops that
+    /// used to live in Sample & Collide and the [`quality`] module.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`WalkError`] from [`Sampler::sample_ctx`];
+    /// samples drawn before the failure have already been reported and
+    /// recorded.
+    fn sample_many<T, R, Rec, F>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+        max_samples: u64,
+        mut on_sample: F,
+    ) -> Result<SampleBatch, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+        F: FnMut(Sample, u64) -> ControlFlow<()>,
+    {
+        let mut batch = SampleBatch::default();
+        for _ in 0..max_samples {
+            let mark = ctx.message_mark();
+            let sample = self.sample_ctx(ctx, initiator)?;
+            let cost = ctx.messages_since(mark);
+            batch.samples += 1;
+            batch.messages += cost;
+            if on_sample(sample, cost).is_break() {
+                break;
+            }
+        }
+        Ok(batch)
+    }
 }
 
 /// A reference to a sampler samples like the sampler itself, so samplers
-/// can be shared between estimators without cloning.
+/// can be shared between estimators without cloning. All three methods
+/// forward, so a sampler's `sample_ctx` override keeps recording through
+/// a reference.
 impl<S: Sampler + ?Sized> Sampler for &S {
     fn sample<T, R>(
         &self,
@@ -103,5 +196,120 @@ impl<S: Sampler + ?Sized> Sampler for &S {
         R: Rng,
     {
         (**self).sample(topology, initiator, rng)
+    }
+
+    fn sample_ctx<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        (**self).sample_ctx(ctx, initiator)
+    }
+
+    fn sample_many<T, R, Rec, F>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+        max_samples: u64,
+        on_sample: F,
+    ) -> Result<SampleBatch, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+        F: FnMut(Sample, u64) -> ControlFlow<()>,
+    {
+        (**self).sample_many(ctx, initiator, max_samples, on_sample)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use census_metrics::{Metric, Registry, RunCtx};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_many_reports_per_sample_costs_and_totals() {
+        let g = generators::ring(16);
+        let sampler = DtrwSampler::new(7);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let start = g.nodes().next().expect("non-empty");
+        let mut seen = 0u64;
+        let batch = sampler
+            .sample_many(&mut ctx, start, 5, |s, cost| {
+                assert_eq!(s.hops, 7);
+                assert_eq!(cost, 7, "per-sample cost must match the walk");
+                seen += 1;
+                ControlFlow::Continue(())
+            })
+            .expect("connected");
+        assert_eq!(seen, 5);
+        assert_eq!(
+            batch,
+            SampleBatch {
+                samples: 5,
+                messages: 35
+            }
+        );
+        assert_eq!(reg.counter(Metric::SampleHops), 35);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 5);
+        assert_eq!(ctx.messages_total(), 35);
+    }
+
+    #[test]
+    fn sample_many_breaks_early() {
+        let g = generators::ring(8);
+        let sampler = OracleSampler::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx = RunCtx::new(&g, &mut rng);
+        let start = g.nodes().next().expect("non-empty");
+        let batch = sampler
+            .sample_many(&mut ctx, start, u64::MAX, {
+                let mut left = 3u32;
+                move |_s, _cost| {
+                    left -= 1;
+                    if left == 0 {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                }
+            })
+            .expect("oracle cannot fail");
+        assert_eq!(
+            batch,
+            SampleBatch {
+                samples: 3,
+                messages: 0
+            }
+        );
+    }
+
+    #[test]
+    fn reference_forwarding_preserves_deep_recording() {
+        // Through `&CtrwSampler` the override must still record on
+        // CtrwHops, not the generic SampleHops.
+        let g = generators::complete(6);
+        let sampler = CtrwSampler::new(2.0);
+        let by_ref: &CtrwSampler = &sampler;
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let s = by_ref
+            .sample_ctx(&mut ctx, g.nodes().next().expect("non-empty"))
+            .expect("cannot fail");
+        assert_eq!(reg.counter(Metric::CtrwHops), s.hops);
+        assert_eq!(reg.counter(Metric::SampleHops), 0);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 1);
     }
 }

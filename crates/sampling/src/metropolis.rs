@@ -1,6 +1,7 @@
 //! Metropolis–Hastings sampler (extension baseline).
 
 use census_graph::{NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
 use census_walk::WalkError;
 use rand::Rng;
 
@@ -48,6 +49,42 @@ impl MetropolisSampler {
     pub fn steps(&self) -> u64 {
         self.steps
     }
+
+    /// The walk itself, shared by both trait entry points: returns the
+    /// final node, the accepted moves (= messages), and the rejected
+    /// proposals.
+    fn walk<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<(NodeId, u64, u64), WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        if topology.degree_of(initiator) == 0 {
+            return Err(WalkError::Stuck(initiator));
+        }
+        let mut current = initiator;
+        let mut hops = 0u64;
+        let mut rejections = 0u64;
+        for _ in 0..self.steps {
+            let d_u = topology.degree_of(current);
+            let v = topology
+                .neighbor_of(current, rng)
+                .expect("positive degree implies a neighbour");
+            let d_v = topology.degree_of(v);
+            // Accept with probability min(1, d_u / d_v).
+            if d_v <= d_u || rng.random::<f64>() * d_v as f64 <= d_u as f64 {
+                current = v;
+                hops += 1;
+            } else {
+                rejections += 1;
+            }
+        }
+        Ok((current, hops, rejections))
+    }
 }
 
 impl Sampler for MetropolisSampler {
@@ -61,27 +98,30 @@ impl Sampler for MetropolisSampler {
         T: Topology + ?Sized,
         R: Rng,
     {
-        if topology.degree_of(initiator) == 0 {
-            return Err(WalkError::Stuck(initiator));
-        }
-        let mut current = initiator;
-        let mut hops = 0u64;
-        for _ in 0..self.steps {
-            let d_u = topology.degree_of(current);
-            let v = topology
-                .neighbor_of(current, rng)
-                .expect("positive degree implies a neighbour");
-            let d_v = topology.degree_of(v);
-            // Accept with probability min(1, d_u / d_v).
-            if d_v <= d_u || rng.random::<f64>() * d_v as f64 <= d_u as f64 {
-                current = v;
-                hops += 1;
-            }
-        }
-        Ok(Sample {
-            node: current,
-            hops,
-        })
+        let (node, hops, _rejections) = self.walk(topology, initiator, rng)?;
+        Ok(Sample { node, hops })
+    }
+
+    /// Records the accepted moves on [`Metric::MetropolisHops`] (rejected
+    /// proposals cost no message) and the rejections on
+    /// [`Metric::MetropolisRejections`].
+    fn sample_ctx<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let topology = ctx.topology;
+        let (node, hops, rejections) = self.walk(topology, initiator, &mut *ctx.rng)?;
+        ctx.on_message(Metric::MetropolisHops, hops);
+        ctx.on_event(Metric::MetropolisRejections, rejections);
+        ctx.on_event(Metric::SamplesDrawn, 1);
+        ctx.observe(HistogramMetric::SampleCost, hops as f64);
+        Ok(Sample { node, hops })
     }
 }
 
@@ -136,6 +176,31 @@ mod tests {
             .sample(&g, g.nodes().next().expect("non-empty"), &mut rng)
             .expect("walk completes");
         assert!(s.hops < 100, "some hub->leaf proposals must be rejected");
+    }
+
+    #[test]
+    fn ctx_records_accepted_hops_and_rejections() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        let g = generators::star(10);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let sampler = MetropolisSampler::new(100);
+        let s = sampler
+            .sample_ctx(&mut ctx, g.nodes().next().expect("non-empty"))
+            .expect("walk completes");
+        assert_eq!(reg.counter(Metric::MetropolisHops), s.hops);
+        assert_eq!(
+            reg.counter(Metric::MetropolisHops) + reg.counter(Metric::MetropolisRejections),
+            100,
+            "every step either hops or rejects"
+        );
+        assert_eq!(
+            reg.counter(Metric::SampleHops),
+            0,
+            "no generic double count"
+        );
+        assert_eq!(ctx.messages_total(), s.hops);
     }
 
     #[test]

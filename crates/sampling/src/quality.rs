@@ -6,13 +6,35 @@
 //! CTRW via uniformization — plus a chi-square uniformity check, so both
 //! the test-suite and the ablation benches can quantify sampler bias.
 
+use std::ops::ControlFlow;
+
 use census_graph::spectral::DenseIndex;
-use census_graph::{Graph, Topology};
+use census_graph::{Graph, NodeId, Topology};
+use census_metrics::RunCtx;
 use census_stats::{chi_square_uniform, total_variation};
 use census_walk::continuous::exact_distribution;
+use census_walk::WalkError;
 use rand::Rng;
 
-use crate::Sampler;
+use crate::{Sample, Sampler};
+
+/// Wraps a sampler so every draw starts from a freshly drawn uniform
+/// initiator. Reproduces the historical RNG order of the quality loops —
+/// one `any_peer` draw, then the inner sample — while letting the loop
+/// itself ride [`Sampler::sample_many`]. The anchor node passed to the
+/// batch call is ignored.
+struct UniformInitiator<'s, S>(&'s S);
+
+impl<S: Sampler> Sampler for UniformInitiator<'_, S> {
+    fn sample<T, R>(&self, topology: &T, _anchor: NodeId, rng: &mut R) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let initiator = topology.any_peer(rng).expect("graph is non-empty");
+        self.0.sample(topology, initiator, rng)
+    }
+}
 
 /// Draws `runs` samples (each from a uniformly random initiator) and
 /// returns per-node observation counts in [`DenseIndex`] order, together
@@ -35,13 +57,15 @@ where
     let idx = DenseIndex::new(g);
     assert!(!idx.is_empty(), "cannot sample an empty overlay");
     let mut counts = vec![0u64; idx.len()];
-    for _ in 0..runs {
-        let initiator = g.any_peer(rng).expect("graph is non-empty");
-        let s = sampler
-            .sample(g, initiator, rng)
-            .expect("sampling failed (isolated initiator?)");
-        counts[idx.dense(s.node)] += 1;
-    }
+    let anchor = g.nodes().next().expect("non-empty overlay");
+    let wrapped = UniformInitiator(sampler);
+    let mut ctx = RunCtx::new(g, rng);
+    wrapped
+        .sample_many(&mut ctx, anchor, u64::from(runs), |s, _cost| {
+            counts[idx.dense(s.node)] += 1;
+            ControlFlow::Continue(())
+        })
+        .expect("sampling failed (isolated initiator?)");
     (idx, counts)
 }
 

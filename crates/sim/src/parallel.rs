@@ -35,6 +35,7 @@
 
 use census_core::SizeEstimator;
 use census_graph::NodeId;
+use census_metrics::Registry;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -110,6 +111,56 @@ where
             .map(|h| h.join().expect("replication thread panicked"))
             .collect()
     })
+}
+
+/// [`replicate`] with per-replica metric recording: each replica's
+/// closure receives its own fresh [`Registry`] alongside the [`Replica`]
+/// handle, and the registries are merged into one by absorbing them in
+/// replica (= spawn) order after all threads joined.
+///
+/// The serial, ordered merge makes the returned registry fully
+/// deterministic — counter totals are order-independent anyway, and the
+/// histogram f64 sums are accumulated in replica order, so even their
+/// floating-point rounding is bit-identical across runs regardless of
+/// thread scheduling.
+///
+/// # Panics
+///
+/// Panics if `n_replicas` is zero or a replica thread panics.
+pub fn replicate_recorded<T, F>(n_replicas: u64, base_seed: u64, f: F) -> (Vec<T>, Registry)
+where
+    T: Send,
+    F: Fn(Replica, &Registry) -> T + Sync,
+{
+    assert!(n_replicas > 0, "need at least one replication");
+    let merged = Registry::new();
+    let results = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..n_replicas)
+            .map(|index| {
+                let replica = Replica {
+                    index,
+                    seed: replica_seed(base_seed, index),
+                };
+                scope.spawn(move || {
+                    let local = Registry::new();
+                    let out = f(replica, &local);
+                    (out, local)
+                })
+            })
+            .collect();
+        // Deterministic merge: join and absorb in spawn (= replica)
+        // order, never in completion order.
+        handles
+            .into_iter()
+            .map(|h| {
+                let (out, local) = h.join().expect("replication thread panicked");
+                merged.absorb(&local);
+                out
+            })
+            .collect()
+    });
+    (results, merged)
 }
 
 /// [`replicate`] over [`run_static`]: `n_replicas` independent record
@@ -243,5 +294,49 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replicas_panics() {
         let _ = replicate(0, 0, |r| r.index);
+    }
+
+    #[test]
+    fn recorded_replication_merges_deterministically() {
+        use crate::runner::run_static_rec;
+        use census_metrics::{HistogramMetric, Metric};
+        let net = small_net(150, 6);
+        let mut pick = SmallRng::seed_from_u64(7);
+        let probe = net.graph().random_node(&mut pick).expect("non-empty");
+        let rt = RandomTour::new();
+        let run_once = || {
+            replicate_recorded(4, 11, |r, reg| {
+                let mut rng = r.rng();
+                run_static_rec(&net, &rt, probe, 15, &mut rng, reg)
+            })
+        };
+        let (records_a, reg_a) = run_once();
+        let (records_b, reg_b) = run_once();
+        assert_eq!(records_a, records_b, "record series must be reproducible");
+        assert_eq!(
+            reg_a.snapshot(),
+            reg_b.snapshot(),
+            "merged registry must be bit-identical across runs, f64 sums included"
+        );
+        // The merge loses nothing: totals equal the per-record sums.
+        let reported: u64 = records_a.iter().flatten().map(|r| r.messages).sum();
+        assert_eq!(reg_a.counter(Metric::ReportedMessages), reported);
+        assert_eq!(reg_a.message_total(), reported);
+        assert_eq!(reg_a.counter(Metric::EstimatesCompleted), 4 * 15);
+        assert_eq!(reg_a.histogram_count(HistogramMetric::TourLength), 4 * 15);
+    }
+
+    #[test]
+    fn recorded_and_plain_replication_agree_on_results() {
+        let net = small_net(120, 8);
+        let mut pick = SmallRng::seed_from_u64(9);
+        let probe = net.graph().random_node(&mut pick).expect("non-empty");
+        let rt = RandomTour::new();
+        let plain = replicate_static(&net, &rt, probe, 10, 3, 13);
+        let (recorded, _reg) = replicate_recorded(3, 13, |r, reg| {
+            let mut rng = r.rng();
+            crate::runner::run_static_rec(&net, &rt, probe, 10, &mut rng, reg)
+        });
+        assert_eq!(plain, recorded, "recording must not perturb the replicas");
     }
 }

@@ -1,7 +1,16 @@
 //! Experiment runners: static repetition and dynamic scenario driving.
+//!
+//! Each runner exists in two forms: a `_rec` variant threading a
+//! [`Recorder`] through every estimate (walk hops land on the walk-level
+//! metrics; the runner itself adds [`Metric::EstimatesCompleted`],
+//! [`Metric::ReportedMessages`], and — for the dynamic runner —
+//! [`Metric::Refreezes`] and [`Metric::WalkRetries`]), and the historical
+//! recorder-less form delegating to it with the no-op recorder. Both
+//! consume the identical RNG stream, so record series are bit-identical.
 
 use census_core::{EstimateError, SizeEstimator};
 use census_graph::NodeId;
+use census_metrics::{Metric, Recorder, RunCtx, NOOP};
 use census_stats::SlidingWindow;
 use rand::Rng;
 
@@ -112,6 +121,35 @@ where
     E: SizeEstimator,
     R: Rng,
 {
+    run_dynamic_rec(net, estimator, config, scenario, rng, &NOOP)
+}
+
+/// [`run_dynamic`] with cost observability: every walk hop is charged to
+/// `recorder` through the estimator's context, each post-churn snapshot
+/// rebuild counts as a [`Metric::Refreezes`] event, each churn-broken
+/// attempt as [`Metric::WalkRetries`], and each successful run as
+/// [`Metric::EstimatesCompleted`] plus its [`Metric::ReportedMessages`].
+///
+/// The recorder is strictly passive (it draws no randomness), so the
+/// returned series is bit-identical to [`run_dynamic`] with the same RNG
+/// stream.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_dynamic`].
+pub fn run_dynamic_rec<E, R, Rec>(
+    net: &mut DynamicNetwork,
+    estimator: &E,
+    config: &RunConfig,
+    scenario: &Scenario,
+    rng: &mut R,
+    recorder: &Rec,
+) -> Vec<RunRecord>
+where
+    E: SizeEstimator,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
     let mut records = Vec::with_capacity(config.runs as usize);
     let mut window = config.window.map(SlidingWindow::new);
     let mut probe: Option<NodeId> = None;
@@ -128,6 +166,7 @@ where
             }
             cached_truth = None;
             frozen = net.freeze();
+            recorder.incr(Metric::Refreezes, 1);
         }
         assert!(net.size() > 0, "scenario emptied the overlay at run {run}");
 
@@ -139,13 +178,15 @@ where
         let mut estimate = None;
         for attempt in 0..=config.retries {
             let probing = probe.expect("probe was just ensured");
-            match estimator.estimate(&frozen, probing, rng) {
+            let mut ctx = RunCtx::with_recorder(&frozen, &mut *rng, recorder);
+            match estimator.estimate_with(&mut ctx, probing) {
                 Ok(e) => {
                     estimate = Some(e);
                     break;
                 }
                 Err(EstimateError::Walk(_)) if attempt < config.retries => {
                     // Churn-broken walk: re-draw the probing node.
+                    recorder.incr(Metric::WalkRetries, 1);
                     probe = Some(net.graph().random_node(rng).expect("overlay is non-empty"));
                     cached_truth = None;
                 }
@@ -154,6 +195,8 @@ where
         }
         let estimate = estimate.expect("loop either sets an estimate or panics");
         let probing = probe.expect("probe is set");
+        recorder.incr(Metric::EstimatesCompleted, 1);
+        recorder.incr(Metric::ReportedMessages, estimate.messages);
 
         let truth = *cached_truth.get_or_insert_with(|| net.component_size_of(probing) as f64);
         let smoothed = match &mut window {
@@ -200,13 +243,44 @@ where
     E: SizeEstimator,
     R: Rng,
 {
+    run_static_rec(net, estimator, initiator, runs, rng, &NOOP)
+}
+
+/// [`run_static`] with cost observability: every walk hop is charged to
+/// `recorder` through the estimator's context, and each run adds one
+/// [`Metric::EstimatesCompleted`] event plus its
+/// [`Metric::ReportedMessages`].
+///
+/// The recorder is strictly passive (it draws no randomness), so the
+/// returned series is bit-identical to [`run_static`] with the same RNG
+/// stream.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_static`].
+pub fn run_static_rec<E, R, Rec>(
+    net: &DynamicNetwork,
+    estimator: &E,
+    initiator: NodeId,
+    runs: u64,
+    rng: &mut R,
+    recorder: &Rec,
+) -> Vec<RunRecord>
+where
+    E: SizeEstimator,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
     let truth = net.component_size_of(initiator) as f64;
     let frozen = net.freeze();
     (0..runs)
         .map(|run| {
+            let mut ctx = RunCtx::with_recorder(&frozen, &mut *rng, recorder);
             let e = estimator
-                .estimate(&frozen, initiator, rng)
+                .estimate_with(&mut ctx, initiator)
                 .unwrap_or_else(|err| panic!("static run {run} failed: {err}"));
+            recorder.incr(Metric::EstimatesCompleted, 1);
+            recorder.incr(Metric::ReportedMessages, e.messages);
             RunRecord {
                 run,
                 true_size: truth,
@@ -325,5 +399,50 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_panics() {
         let _ = RunConfig::new(0);
+    }
+
+    #[test]
+    fn recorded_static_runs_match_unrecorded_and_reconcile() {
+        use census_metrics::{Metric, Registry};
+        let (net, mut rng) = net(200, 6);
+        let probe = net.graph().random_node(&mut rng).expect("non-empty");
+        let mut plain_rng = rng.clone();
+        let reg = Registry::new();
+        let recorded = run_static_rec(&net, &RandomTour::new(), probe, 40, &mut rng, &reg);
+        let plain = run_static(&net, &RandomTour::new(), probe, 40, &mut plain_rng);
+        assert_eq!(recorded, plain, "recording must not perturb the series");
+        let reported: u64 = recorded.iter().map(|r| r.messages).sum();
+        assert_eq!(reg.counter(Metric::ReportedMessages), reported);
+        assert_eq!(
+            reg.message_total(),
+            reported,
+            "loss-free runs reconcile exactly"
+        );
+        assert_eq!(reg.counter(Metric::EstimatesCompleted), 40);
+    }
+
+    #[test]
+    fn recorded_dynamic_runs_count_refreezes() {
+        use census_metrics::{Metric, Registry};
+        let (mut net, mut rng) = net(400, 7);
+        let scenario = Scenario::new().remove_gradually(10, 40, 200);
+        let sc = SampleCollide::new(OracleSampler::new(), 5)
+            .with_point_estimator(PointEstimator::Asymptotic);
+        let reg = Registry::new();
+        let recs = run_dynamic_rec(
+            &mut net,
+            &sc,
+            &RunConfig::new(50),
+            &scenario,
+            &mut rng,
+            &reg,
+        );
+        assert_eq!(recs.len(), 50);
+        // remove_gradually(10, 40, 200) spreads removals over runs 10..40,
+        // each of which re-freezes the snapshot.
+        assert_eq!(reg.counter(Metric::Refreezes), 30);
+        assert_eq!(reg.counter(Metric::EstimatesCompleted), 50);
+        let reported: u64 = recs.iter().map(|r| r.messages).sum();
+        assert_eq!(reg.counter(Metric::ReportedMessages), reported);
     }
 }

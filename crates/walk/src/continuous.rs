@@ -15,6 +15,7 @@
 //! counterexample is reproducible.
 
 use census_graph::{Graph, NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
 use rand::Rng;
 
 use crate::WalkError;
@@ -85,6 +86,37 @@ where
     T: Topology + ?Sized,
     R: Rng,
 {
+    ctrw_walk_ctx(&mut RunCtx::new(topology, rng), start, timer, sojourn)
+}
+
+/// [`ctrw_walk`] against a [`RunCtx`]: same walk, same RNG stream, plus
+/// cost accounting through the context's recorder.
+///
+/// Records [`Metric::CtrwHops`] for the forwarding hops,
+/// [`Metric::SojournDraws`] for the exponential variates consumed
+/// (deterministic sojourns draw nothing), and one
+/// [`HistogramMetric::CtrwVirtualTime`] observation of the timer — under
+/// adaptive Sample & Collide this traces the timer-doubling schedule.
+///
+/// # Errors
+///
+/// Same as [`ctrw_walk`] (currently infallible).
+///
+/// # Panics
+///
+/// Panics if `start` is not alive or `timer` is not positive and finite.
+pub fn ctrw_walk_ctx<T, R, Rec>(
+    ctx: &mut RunCtx<'_, T, R, Rec>,
+    start: NodeId,
+    timer: f64,
+    sojourn: Sojourn,
+) -> Result<CtrwOutcome, WalkError>
+where
+    T: Topology + ?Sized,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    let topology = ctx.topology;
     assert!(topology.contains(start), "CTRW start must be alive");
     assert!(
         timer.is_finite() && timer > 0.0,
@@ -93,31 +125,39 @@ where
     let mut remaining = timer;
     let mut current = start;
     let mut hops: u64 = 0;
-    loop {
+    let mut draws: u64 = 0;
+    let outcome = loop {
         let degree = topology.degree_of(current);
         if degree == 0 {
             // Zero jump rate: the walk stays here forever.
-            return Ok(CtrwOutcome {
+            break CtrwOutcome {
                 node: current,
                 hops,
-            });
+            };
         }
         let drain = match sojourn {
-            Sojourn::Exponential => standard_exponential(rng) / degree as f64,
+            Sojourn::Exponential => {
+                draws += 1;
+                standard_exponential(&mut *ctx.rng) / degree as f64
+            }
             Sojourn::Deterministic => 1.0 / degree as f64,
         };
         remaining -= drain;
         if remaining <= 0.0 {
-            return Ok(CtrwOutcome {
+            break CtrwOutcome {
                 node: current,
                 hops,
-            });
+            };
         }
         current = topology
-            .neighbor_of(current, rng)
+            .neighbor_of(current, &mut *ctx.rng)
             .expect("positive degree implies a neighbour");
         hops += 1;
-    }
+    };
+    ctx.on_message(Metric::CtrwHops, outcome.hops);
+    ctx.on_event(Metric::SojournDraws, draws);
+    ctx.observe(HistogramMetric::CtrwVirtualTime, timer);
+    Ok(outcome)
 }
 
 /// Draws a unit-mean exponential variate via inversion, `−ln(U)` with
@@ -294,6 +334,47 @@ mod tests {
             (frac - 1.0 / 6.0).abs() < 0.02,
             "hub mass {frac} should be ~1/6, not the DTRW's 1/2"
         );
+    }
+
+    #[test]
+    fn ctx_recording_matches_outcome_and_preserves_the_walk() {
+        use census_metrics::{HistogramMetric, Metric, Registry, RunCtx};
+        let g = generators::complete(11);
+        let mut plain_rng = SmallRng::seed_from_u64(55);
+        let plain = ctrw_walk(
+            &g,
+            NodeId::new(0),
+            4.0,
+            Sojourn::Exponential,
+            &mut plain_rng,
+        )
+        .expect("completes");
+        let reg = Registry::new();
+        let mut rec_rng = SmallRng::seed_from_u64(55);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rec_rng, &reg);
+        let recorded =
+            ctrw_walk_ctx(&mut ctx, NodeId::new(0), 4.0, Sojourn::Exponential).expect("completes");
+        assert_eq!(plain, recorded, "recording must not perturb the walk");
+        assert_eq!(reg.counter(Metric::CtrwHops), recorded.hops);
+        // One draw per visited node: hops + the final (expiring) visit.
+        assert_eq!(reg.counter(Metric::SojournDraws), recorded.hops + 1);
+        assert_eq!(reg.histogram_count(HistogramMetric::CtrwVirtualTime), 1);
+        assert!((reg.histogram_sum(HistogramMetric::CtrwVirtualTime) - 4.0).abs() < 1e-12);
+        assert_eq!(ctx.messages_total(), recorded.hops);
+    }
+
+    #[test]
+    fn deterministic_sojourns_record_no_draws() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        let g = generators::ring(50);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let out = ctrw_walk_ctx(&mut ctx, NodeId::new(0), 3.25, Sojourn::Deterministic)
+            .expect("completes");
+        assert_eq!(out.hops, 6);
+        assert_eq!(reg.counter(Metric::SojournDraws), 0);
+        assert_eq!(reg.counter(Metric::CtrwHops), 6);
     }
 
     #[test]

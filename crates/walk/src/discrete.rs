@@ -8,6 +8,7 @@
 //! *biased* peer sampler.
 
 use census_graph::{NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
 use rand::Rng;
 
 use crate::WalkError;
@@ -61,30 +62,74 @@ pub fn random_tour<T, R, F>(
     start: NodeId,
     max_steps: Option<u64>,
     rng: &mut R,
-    mut on_visit: F,
+    on_visit: F,
 ) -> Result<Tour, WalkError>
 where
     T: Topology + ?Sized,
     R: Rng,
     F: FnMut(NodeId),
 {
+    random_tour_ctx(&mut RunCtx::new(topology, rng), start, max_steps, on_visit)
+}
+
+/// [`random_tour`] against a [`RunCtx`]: same walk, same RNG stream, plus
+/// cost accounting through the context's recorder.
+///
+/// Records [`Metric::TourHops`] for every hop actually sent — including
+/// the hops a lost tour spent before failing — so the registry's message
+/// total reflects true overlay traffic. Completed tours additionally
+/// record [`Metric::ToursCompleted`] and a
+/// [`HistogramMetric::TourLength`] observation; failures record
+/// [`Metric::ToursLost`] (plus [`Metric::WalkTimeouts`] when the step
+/// budget expired).
+///
+/// # Errors
+///
+/// Same as [`random_tour`].
+///
+/// # Panics
+///
+/// Panics if `start` is not a live member of the topology.
+pub fn random_tour_ctx<T, R, Rec, F>(
+    ctx: &mut RunCtx<'_, T, R, Rec>,
+    start: NodeId,
+    max_steps: Option<u64>,
+    mut on_visit: F,
+) -> Result<Tour, WalkError>
+where
+    T: Topology + ?Sized,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+    F: FnMut(NodeId),
+{
+    let topology = ctx.topology;
     assert!(topology.contains(start), "tour initiator must be alive");
     on_visit(start);
-    let mut current = topology
-        .neighbor_of(start, rng)
-        .ok_or(WalkError::Stuck(start))?;
+    let Some(mut current) = topology.neighbor_of(start, &mut *ctx.rng) else {
+        ctx.on_event(Metric::ToursLost, 1);
+        return Err(WalkError::Stuck(start));
+    };
     let mut steps: u64 = 1;
     let cap = max_steps.unwrap_or(u64::MAX);
     while current != start {
         if steps >= cap {
+            ctx.on_message(Metric::TourHops, steps);
+            ctx.on_event(Metric::WalkTimeouts, 1);
+            ctx.on_event(Metric::ToursLost, 1);
             return Err(WalkError::Timeout(steps));
         }
         on_visit(current);
-        current = topology
-            .neighbor_of(current, rng)
-            .ok_or(WalkError::Stuck(current))?;
+        let Some(next) = topology.neighbor_of(current, &mut *ctx.rng) else {
+            ctx.on_message(Metric::TourHops, steps);
+            ctx.on_event(Metric::ToursLost, 1);
+            return Err(WalkError::Stuck(current));
+        };
+        current = next;
         steps += 1;
     }
+    ctx.on_message(Metric::TourHops, steps);
+    ctx.on_event(Metric::ToursCompleted, 1);
+    ctx.observe(HistogramMetric::TourLength, steps as f64);
     Ok(Tour { steps })
 }
 
@@ -422,6 +467,40 @@ mod tests {
         let mut g = generators::ring(4);
         g.add_node();
         let _ = exact_expected_tour_estimate(&g, NodeId::new(0), |_| 1.0);
+    }
+
+    #[test]
+    fn ctx_recording_is_passive_and_exact() {
+        use census_metrics::{HistogramMetric, Metric, Registry, RunCtx};
+        let g = generators::ring(12);
+        let start = NodeId::new(0);
+        // Same seed with and without a live registry: identical tours.
+        let mut plain_rng = SmallRng::seed_from_u64(77);
+        let plain = random_tour(&g, start, None, &mut plain_rng, |_| {}).expect("completes");
+        let reg = Registry::new();
+        let mut rec_rng = SmallRng::seed_from_u64(77);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rec_rng, &reg);
+        let recorded = random_tour_ctx(&mut ctx, start, None, |_| {}).expect("completes");
+        assert_eq!(plain, recorded, "recording must not perturb the walk");
+        assert_eq!(reg.counter(Metric::TourHops), recorded.steps);
+        assert_eq!(reg.counter(Metric::ToursCompleted), 1);
+        assert_eq!(reg.histogram_count(HistogramMetric::TourLength), 1);
+        assert_eq!(ctx.messages_total(), recorded.steps);
+    }
+
+    #[test]
+    fn ctx_records_spent_hops_of_lost_tours() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        let g = generators::ring(100);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let res = random_tour_ctx(&mut ctx, NodeId::new(0), Some(1), |_| {});
+        assert_eq!(res, Err(WalkError::Timeout(1)));
+        assert_eq!(reg.counter(Metric::TourHops), 1, "spent hop still counted");
+        assert_eq!(reg.counter(Metric::ToursLost), 1);
+        assert_eq!(reg.counter(Metric::WalkTimeouts), 1);
+        assert_eq!(reg.counter(Metric::ToursCompleted), 0);
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //! test-suite uses to check Lemma 1 without sampling noise.
 //!
 //! Every function reports its *message cost* in overlay hops — the cost
-//! unit of the paper's evaluation (Figure 5, Table 1).
+//! unit of the paper's evaluation (Figure 5, Table 1). The `_ctx`
+//! variants ([`discrete::random_tour_ctx`], [`continuous::ctrw_walk_ctx`])
+//! additionally charge every hop to a [`census_metrics::Recorder`]
+//! through a [`census_metrics::RunCtx`]; the plain forms delegate to them
+//! with the zero-cost no-op recorder, so both spellings run the identical
+//! walk on the identical RNG stream.
 //!
 //! [`Topology`]: census_graph::Topology
 

@@ -42,29 +42,22 @@ fn main() -> Result<(), EstimateError> {
 
     let rt = RandomTour::new();
     let tours = 200;
+    let mut ctx = RunCtx::new(&overlay, &mut rng);
 
     let mut high_degree = OnlineMoments::new();
     let mut capacity = OnlineMoments::new();
     for _ in 0..tours {
-        let est = rt.estimate_sum(
-            &overlay,
-            me,
-            |j| {
-                if overlay.degree(j) > threshold {
-                    1.0
-                } else {
-                    0.0
-                }
-            },
-            &mut rng,
-        )?;
+        let est = rt.estimate_sum_with(&mut ctx, me, |j| {
+            if overlay.degree(j) > threshold {
+                1.0
+            } else {
+                0.0
+            }
+        })?;
         high_degree.push(est.value);
-        let est = rt.estimate_sum(
-            &overlay,
-            me,
-            |j| *capacities.get(j).expect("every peer has a capacity"),
-            &mut rng,
-        )?;
+        let est = rt.estimate_sum_with(&mut ctx, me, |j| {
+            *capacities.get(j).expect("every peer has a capacity")
+        })?;
         capacity.push(est.value);
     }
 

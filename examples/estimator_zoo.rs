@@ -34,6 +34,7 @@ fn main() -> Result<(), EstimateError> {
     let truth = n as f64;
     let me = overlay.any_peer(&mut rng).expect("overlay is non-empty");
     let reps = 30;
+    let mut ctx = RunCtx::new(&overlay, &mut rng);
 
     println!("overlay: {n} peers (balanced random graph)\n");
     println!(
@@ -45,7 +46,7 @@ fn main() -> Result<(), EstimateError> {
     let rt = RandomTour::new();
     let (mut vals, mut costs) = (Vec::new(), Vec::new());
     for _ in 0..reps {
-        let e = rt.estimate(&overlay, me, &mut rng)?;
+        let e = rt.estimate_with(&mut ctx, me)?;
         vals.push(e.value);
         costs.push(e.messages as f64);
     }
@@ -56,7 +57,7 @@ fn main() -> Result<(), EstimateError> {
         let mut m = OnlineMoments::new();
         let mut msg = 0u64;
         for _ in 0..50 {
-            let e = rt.estimate(&overlay, me, &mut rng)?;
+            let e = rt.estimate_with(&mut ctx, me)?;
             m.push(e.value);
             msg += e.messages;
         }
@@ -70,7 +71,7 @@ fn main() -> Result<(), EstimateError> {
         let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
         let (mut vals, mut costs) = (Vec::new(), Vec::new());
         for _ in 0..reps {
-            let e = sc.estimate(&overlay, me, &mut rng)?;
+            let e = sc.estimate_with(&mut ctx, me)?;
             vals.push(e.value);
             costs.push(e.messages as f64);
         }
@@ -81,7 +82,7 @@ fn main() -> Result<(), EstimateError> {
     let adaptive = AdaptiveSampleCollide::new(20, 1.0).with_tolerance(0.15);
     let (mut vals, mut costs) = (Vec::new(), Vec::new());
     for _ in 0..reps {
-        let e = adaptive.estimate(&overlay, me, &mut rng)?;
+        let e = adaptive.estimate_with(&mut ctx, me)?;
         vals.push(e.value);
         costs.push(e.messages as f64);
     }
@@ -91,7 +92,7 @@ fn main() -> Result<(), EstimateError> {
     let ibp = InvertedBirthdayParadox::new(CtrwSampler::new(10.0), 10);
     let (mut vals, mut costs) = (Vec::new(), Vec::new());
     for _ in 0..reps {
-        let e = ibp.estimate(&overlay, me, &mut rng)?;
+        let e = ibp.estimate_with(&mut ctx, me)?;
         vals.push(e.value);
         costs.push(e.messages as f64);
     }
@@ -102,7 +103,7 @@ fn main() -> Result<(), EstimateError> {
     let idx = DenseIndex::new(&overlay);
     let (mut vals, mut costs) = (Vec::new(), Vec::new());
     for _ in 0..5 {
-        let out = gossip.run(&overlay, &mut rng);
+        let out = gossip.run_with(&mut ctx);
         vals.push(out.estimates[idx.dense(me)]);
         costs.push(out.messages as f64);
     }
@@ -112,7 +113,7 @@ fn main() -> Result<(), EstimateError> {
     let polling = ProbabilisticPolling::new(0.1);
     let (mut vals, mut costs) = (Vec::new(), Vec::new());
     for _ in 0..reps {
-        let out = polling.run(&overlay, me, &mut rng);
+        let out = polling.run_with(&mut ctx, me);
         vals.push(out.estimate);
         costs.push(out.messages as f64);
     }

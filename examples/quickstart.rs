@@ -3,9 +3,14 @@
 //! Builds a 20,000-peer overlay with the paper's balanced-random-graph
 //! procedure, then estimates its size from a single peer using
 //! (a) averaged Random Tours and (b) one Sample & Collide run, printing
-//! accuracy and message cost for both.
+//! accuracy and message cost for both. A [`Registry`] attached to the
+//! shared [`RunCtx`] breaks the cost down per metric at the end —
+//! recording is passive, so the estimates are unchanged by it.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The same breakdown is available for every figure of the paper via
+//! `cargo run --release -p census-bench --bin figures -- --metrics-json all`.
 
 use overlay_census::prelude::*;
 use rand::rngs::SmallRng;
@@ -22,12 +27,17 @@ fn main() -> Result<(), EstimateError> {
     );
     println!("probing from {me} (degree {})\n", overlay.degree(me));
 
+    // One context carries the topology, the RNG, and a cost registry
+    // through every run below.
+    let costs = Registry::new();
+    let mut ctx = RunCtx::with_recorder(&overlay, &mut rng, &costs);
+
     // (a) Random Tour, averaged over 200 tours.
     let rt = RandomTour::new();
     let mut mean = OnlineMoments::new();
     let mut messages = 0u64;
     for _ in 0..200 {
-        let est = rt.estimate(&overlay, me, &mut rng)?;
+        let est = rt.estimate_with(&mut ctx, me)?;
         mean.push(est.value);
         messages += est.messages;
     }
@@ -40,12 +50,27 @@ fn main() -> Result<(), EstimateError> {
 
     // (b) Sample & Collide with l = 100 (relative std ~ 10%).
     let sc = SampleCollide::new(CtrwSampler::new(10.0), 100);
-    let est = sc.estimate(&overlay, me, &mut rng)?;
+    let est = sc.estimate_with(&mut ctx, me)?;
     println!(
         "Sample & Collide (l = 100):  N^ = {:>9.0}  ({:>5.1}% of truth, {} messages)",
         est.value,
         100.0 * est.value / n as f64,
         est.messages
     );
+
+    // What the registry saw: every message the two methods sent.
+    println!(
+        "\ncost breakdown ({} messages total):",
+        costs.message_total()
+    );
+    println!(
+        "  random tour hops:  {:>9}",
+        costs.counter(Metric::TourHops)
+    );
+    println!(
+        "  ctrw sample hops:  {:>9}",
+        costs.counter(Metric::CtrwHops)
+    );
+    assert_eq!(costs.message_total(), messages + est.messages);
     Ok(())
 }

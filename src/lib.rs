@@ -13,6 +13,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`stats`] | streaming moments, sliding windows, ECDFs, distribution distances |
+//! | [`metrics`] | cost observability: [`metrics::RunCtx`], per-metric counters and histograms, zero-cost no-op default |
 //! | [`graph`] | dynamic overlay graphs, §5.1 topology generators, spectral gap & conductance |
 //! | [`walk`] | discrete- and continuous-time random walk engines, message accounting |
 //! | [`sampling`] | the CTRW uniform peer sampler and its baselines |
@@ -34,17 +35,26 @@
 //! let me = overlay.nodes().next().expect("non-empty");
 //!
 //! // Sample & Collide, l = 100: one estimate within ~10% (Corollary 1).
+//! // The registry passively counts every walk hop while the estimate runs.
+//! let costs = Registry::new();
+//! let mut ctx = RunCtx::with_recorder(&overlay, &mut rng, &costs);
 //! let sc = SampleCollide::new(CtrwSampler::new(10.0), 100);
-//! let estimate = sc.estimate(&overlay, me, &mut rng)?;
+//! let estimate = sc.estimate_with(&mut ctx, me)?;
 //! assert!((estimate.value / 5_000.0 - 1.0).abs() < 0.5);
+//! assert_eq!(costs.message_total(), estimate.messages);
 //! # Ok::<(), overlay_census::core::EstimateError>(())
 //! ```
+//!
+//! The figure harness exposes the same registry per experiment:
+//! `cargo run --release -p census-bench --bin figures -- --metrics-json all`
+//! writes a `metrics.json` cost breakdown next to the CSVs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use census_core as core;
 pub use census_graph as graph;
+pub use census_metrics as metrics;
 pub use census_proto as proto;
 pub use census_sampling as sampling;
 pub use census_sim as sim;
@@ -59,6 +69,7 @@ pub mod prelude {
         SizeEstimator,
     };
     pub use census_graph::{generators, Graph, NodeId, Topology};
+    pub use census_metrics::{Metric, NoopRecorder, Recorder, Registry, RunCtx};
     pub use census_sampling::{
         CtrwSampler, DtrwSampler, MetropolisSampler, OracleSampler, Sampler,
     };
@@ -77,9 +88,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let g = generators::balanced(100, 10, &mut rng);
         let initiator = g.nodes().next().expect("non-empty");
+        let costs = Registry::new();
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &costs);
         let est = RandomTour::new()
-            .estimate(&g, initiator, &mut rng)
+            .estimate_with(&mut ctx, initiator)
             .expect("connected overlay");
         assert!(est.value > 0.0);
+        assert_eq!(costs.counter(Metric::TourHops), est.messages);
     }
 }

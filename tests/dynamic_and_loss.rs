@@ -1,6 +1,10 @@
 //! Cross-crate integration: churn tracking, the adaptive timer, and the
 //! §5.3.1 message-loss/timeout machinery working together.
 
+// The deprecated context-free shims are exercised deliberately: these
+// tests pin that they keep producing the historical walks.
+#![allow(deprecated)]
+
 use overlay_census::core::EstimateError;
 use overlay_census::prelude::*;
 use overlay_census::sim::loss::{AdaptiveTimeout, LossyTopology};

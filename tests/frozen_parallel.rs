@@ -11,6 +11,10 @@
 //!   across invocations and equal to a serial loop, no matter how the
 //!   OS schedules the worker threads.
 
+// The deprecated context-free shims are exercised deliberately: these
+// tests pin that they keep producing the historical walks.
+#![allow(deprecated)]
+
 use overlay_census::graph::FrozenView;
 use overlay_census::prelude::*;
 use overlay_census::sim::parallel::{replica_seed, replicate, replicate_static, Replica};

@@ -1,0 +1,205 @@
+//! End-to-end checks of the cost observability layer.
+//!
+//! Three contracts span the whole stack:
+//!
+//! - **closed forms** — the hop counters a live [`Registry`] accumulates
+//!   match the paper's expected-cost formulas: `(Σ_j d_j)/d_i` per
+//!   Random Tour (§3.2) and `E[C_l]·T·d̄` per Sample & Collide run
+//!   (§4.3, [`theory::sc_expected_messages`]);
+//! - **reconciliation** — the registry's message total equals the sum of
+//!   per-run [`Estimate::messages`], exactly, because both are fed by
+//!   the same `RunCtx::on_message` call sites;
+//! - **passivity & determinism** — recording never perturbs an estimate
+//!   (the RNG stream is untouched), and per-replica registries merged by
+//!   `replicate_recorded` are bit-identical across invocations.
+
+use overlay_census::core::theory;
+use overlay_census::metrics::HistogramMetric;
+use overlay_census::prelude::*;
+use overlay_census::sim::parallel::replicate_recorded;
+use overlay_census::sim::runner::run_static_rec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn balanced(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+#[test]
+fn recorded_tour_hops_match_the_closed_form_on_the_complete_graph() {
+    // On K_n every degree is n-1, so the §3.2 expected tour cost
+    // (Σ_j d_j)/d_i collapses to exactly n hops, from any initiator.
+    let n = 60usize;
+    let g = generators::complete(n);
+    let me = g.nodes().next().expect("non-empty");
+    let tours = 400u64;
+
+    let costs = Registry::new();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut ctx = RunCtx::with_recorder(&g, &mut rng, &costs);
+    let rt = RandomTour::new();
+    let mut reported = 0u64;
+    for _ in 0..tours {
+        reported += rt.estimate_with(&mut ctx, me).expect("connected").messages;
+    }
+
+    // Exact reconciliation: the registry and the estimates count the
+    // same hops through the same accounting site.
+    assert_eq!(costs.counter(Metric::TourHops), reported);
+    assert_eq!(costs.message_total(), reported);
+    assert_eq!(costs.counter(Metric::ToursCompleted), tours);
+    assert_eq!(costs.histogram_count(HistogramMetric::TourLength), tours);
+    assert!(
+        (costs.histogram_sum(HistogramMetric::TourLength) - reported as f64).abs() < 1e-9,
+        "tour-length histogram mass must equal the hop counter"
+    );
+
+    // Statistical agreement with the closed form (relative std of the
+    // mean is ~1/sqrt(tours) ≈ 5% here; allow 4σ).
+    let mean_hops = costs.counter(Metric::TourHops) as f64 / tours as f64;
+    let expected = n as f64;
+    assert!(
+        (mean_hops / expected - 1.0).abs() < 0.20,
+        "mean tour cost {mean_hops:.1} should be within 20% of Σd/d_i = {expected}"
+    );
+}
+
+#[test]
+fn recorded_tour_hops_match_the_closed_form_on_a_balanced_overlay() {
+    let g = balanced(800, 21);
+    let me = g.nodes().next().expect("non-empty");
+    let expected = g.degree_sum() as f64 / g.degree(me) as f64;
+    let tours = 1_000u64;
+
+    let costs = Registry::new();
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut ctx = RunCtx::with_recorder(&g, &mut rng, &costs);
+    let rt = RandomTour::new();
+    for _ in 0..tours {
+        rt.estimate_with(&mut ctx, me).expect("connected");
+    }
+
+    let mean_hops = costs.counter(Metric::TourHops) as f64 / tours as f64;
+    assert!(
+        (mean_hops / expected - 1.0).abs() < 0.30,
+        "mean tour cost {mean_hops:.1} should be within 30% of Σd/d_i = {expected:.1}"
+    );
+}
+
+#[test]
+fn recorded_sc_messages_match_the_paper_cost_formula() {
+    let n = 1_000usize;
+    let g = balanced(n, 29);
+    let me = g.nodes().next().expect("non-empty");
+    let (l, timer) = (20u32, 10.0);
+    let runs = 40u64;
+
+    let costs = Registry::new();
+    let mut rng = SmallRng::seed_from_u64(31);
+    let mut ctx = RunCtx::with_recorder(&g, &mut rng, &costs);
+    let sc = SampleCollide::new(CtrwSampler::new(timer), l);
+    let mut reported = 0u64;
+    for _ in 0..runs {
+        let e = sc.estimate_with(&mut ctx, me).expect("connected");
+        ctx.on_event(Metric::ReportedMessages, e.messages);
+        reported += e.messages;
+    }
+
+    // S&C's only message cost is CTRW sample hops, and the registry's
+    // total reconciles exactly with what the estimates reported.
+    assert_eq!(costs.counter(Metric::CtrwHops), reported);
+    assert_eq!(costs.message_total(), reported);
+    assert_eq!(
+        costs.message_total(),
+        costs.counter(Metric::ReportedMessages)
+    );
+    assert!(costs.counter(Metric::SamplesDrawn) > 0);
+
+    // §4.3: E[cost] = E[C_l]·T·d̄. The sqrt-law constant is loose at
+    // this scale, so accept a factor-2 band around the prediction.
+    let predicted = theory::sc_expected_messages(n as f64, l, timer, g.average_degree());
+    let mean = costs.message_total() as f64 / runs as f64;
+    assert!(
+        mean / predicted > 0.5 && mean / predicted < 2.0,
+        "mean S&C cost {mean:.0} should be within 2x of the predicted {predicted:.0}"
+    );
+}
+
+#[test]
+fn recording_is_passive_for_identical_rng_streams() {
+    let g = balanced(500, 37);
+    let me = g.nodes().next().expect("non-empty");
+    let rt = RandomTour::new();
+
+    let mut plain_rng = SmallRng::seed_from_u64(41);
+    let mut plain_ctx = RunCtx::new(&g, &mut plain_rng);
+    let plain: Vec<_> = (0..50)
+        .map(|_| rt.estimate_with(&mut plain_ctx, me).expect("connected"))
+        .collect();
+
+    let costs = Registry::new();
+    let mut rec_rng = SmallRng::seed_from_u64(41);
+    let mut rec_ctx = RunCtx::with_recorder(&g, &mut rec_rng, &costs);
+    let recorded: Vec<_> = (0..50)
+        .map(|_| rt.estimate_with(&mut rec_ctx, me).expect("connected"))
+        .collect();
+
+    assert_eq!(
+        plain, recorded,
+        "a live registry must not perturb the walks"
+    );
+}
+
+#[test]
+fn merged_replica_registries_are_deterministic_end_to_end() {
+    let mut rng = SmallRng::seed_from_u64(43);
+    let g = generators::balanced(300, 10, &mut rng);
+    let me = g.nodes().next().expect("non-empty");
+    let net = DynamicNetwork::new(g, JoinRule::Balanced { max_degree: 10 });
+    let rt = RandomTour::new();
+
+    let run_once = || {
+        replicate_recorded(4, 47, |replica, registry| {
+            let mut rng = replica.rng();
+            run_static_rec(&net, &rt, me, 25, &mut rng, registry)
+        })
+    };
+    let (series_a, merged_a) = run_once();
+    let (series_b, merged_b) = run_once();
+    assert_eq!(series_a, series_b, "replica records must be reproducible");
+    assert_eq!(
+        merged_a.snapshot(),
+        merged_b.snapshot(),
+        "merged registries must be bit-identical across runs"
+    );
+
+    // The merged registry reconciles with the per-run records exactly.
+    let reported: u64 = series_a.iter().flatten().map(|r| r.messages).sum();
+    assert_eq!(merged_a.counter(Metric::ReportedMessages), reported);
+    assert_eq!(merged_a.message_total(), reported);
+    assert_eq!(merged_a.counter(Metric::EstimatesCompleted), 4 * 25);
+}
+
+#[test]
+fn figure_csvs_are_bit_identical_with_and_without_recording() {
+    use census_bench::{figures, run_experiment, Params};
+
+    let mut p = Params::scaled(0.01);
+    p.n = 400;
+    p.rt_runs = 200;
+    p.rt_window = 40;
+
+    let registry = Registry::new();
+    let recorded = figures::fig1(&p, &registry).table.to_csv_string();
+    let plain = run_experiment("fig1", &p).table.to_csv_string();
+    assert_eq!(
+        recorded, plain,
+        "recording must leave the figure CSV untouched"
+    );
+    assert_eq!(
+        registry.message_total(),
+        registry.counter(Metric::ReportedMessages),
+        "the harness credits every estimate it consumes"
+    );
+}

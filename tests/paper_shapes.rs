@@ -3,6 +3,10 @@
 //! These assert the paper's headline *scaling claims* on overlays large
 //! enough for the asymptotics to bite, at sizes still comfortable for CI.
 
+// The deprecated context-free shims are exercised deliberately: these
+// tests pin that they keep producing the historical walks.
+#![allow(deprecated)]
+
 use overlay_census::core::theory;
 use overlay_census::prelude::*;
 use overlay_census::sampling::quality;
