@@ -69,21 +69,21 @@ fn main() -> ExitCode {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ctx = RunCtx::new(&g, &mut rng);
         for _ in 0..TOURS_PER_PASS {
-            rt.estimate_with(&mut ctx, probe).expect("connected");
+            let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
         }
     });
     let frozen_noop_s = median_secs(|| {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ctx = RunCtx::new(&frozen, &mut rng);
         for _ in 0..TOURS_PER_PASS {
-            rt.estimate_with(&mut ctx, probe).expect("connected");
+            let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
         }
     });
     let frozen_registry_s = median_secs(|| {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ctx = RunCtx::with_recorder(&frozen, &mut rng, &registry);
         for _ in 0..TOURS_PER_PASS {
-            rt.estimate_with(&mut ctx, probe).expect("connected");
+            let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
         }
     });
 

@@ -6,7 +6,7 @@ use census_sampling::Sampler;
 use rand::Rng;
 
 use crate::sample_collide::SampleCollide;
-use crate::{Estimate, EstimateError, SizeEstimator};
+use crate::{Estimate, EstimateError, SizeEstimator, StepBudgeted};
 
 /// The "Inverted Birthday Paradox" estimator of Bawa et al. — the method
 /// §4 of the paper builds on and improves.
@@ -111,6 +111,15 @@ impl<S: Sampler> InvertedBirthdayParadox<S> {
         R: Rng,
     {
         self.single_run_with(&mut RunCtx::new(topology, rng), initiator)
+    }
+}
+
+impl<S: Sampler + Clone> StepBudgeted for InvertedBirthdayParadox<S> {
+    /// Identity: like Sample & Collide, every sample is a timer-bounded
+    /// walk, so the per-walk step budget is already enforced by the
+    /// underlying sampler.
+    fn with_step_budget(&self, _max_steps: u64) -> Self {
+        self.clone()
     }
 }
 

@@ -29,7 +29,10 @@
 //! [`polling::ProbabilisticPolling`].
 //!
 //! The [`theory`] module carries the paper's closed-form accuracy and
-//! cost laws, which the test-suite verifies against simulation.
+//! cost laws, which the test-suite verifies against simulation. The
+//! [`supervisor`] module implements the §5.3.1 initiator loop —
+//! [`Supervised`] wraps any [`StepBudgeted`] estimator with adaptive
+//! timeouts, bounded retries and loss classification.
 //!
 //! Every estimator runs through a [`RunCtx`] — topology, RNG, and an
 //! optional [`census_metrics::Recorder`] bundled together — so message
@@ -70,6 +73,7 @@
 pub mod birthday;
 pub mod gossip;
 pub mod polling;
+pub mod supervisor;
 pub mod theory;
 
 mod estimate;
@@ -82,6 +86,7 @@ pub use sample_collide::{
     asymptotic_estimate, ml_estimate, n_max, n_min, AdaptiveSampleCollide, AdaptiveStep,
     CollisionReport, PointEstimator, SampleCollide,
 };
+pub use supervisor::{AdaptiveTimeout, LossClass, StepBudgeted, Supervised, SupervisorStats};
 
 use census_graph::{NodeId, Topology};
 use rand::Rng;

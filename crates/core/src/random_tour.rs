@@ -5,7 +5,7 @@ use census_metrics::{Recorder, RunCtx};
 use census_walk::discrete::random_tour_ctx;
 use rand::Rng;
 
-use crate::{Estimate, EstimateError, SizeEstimator};
+use crate::{Estimate, EstimateError, SizeEstimator, StepBudgeted};
 
 /// The Random Tour estimator of §3.
 ///
@@ -147,6 +147,19 @@ impl RandomTour {
         F: FnMut(NodeId) -> f64,
     {
         self.estimate_sum_with(&mut RunCtx::new(topology, rng), initiator, f)
+    }
+}
+
+impl StepBudgeted for RandomTour {
+    /// A copy of this estimator whose tour is declared lost after
+    /// `max_steps` hops — the §5.3.1 timeout, as set by a supervision
+    /// loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_steps` is zero.
+    fn with_step_budget(&self, max_steps: u64) -> Self {
+        Self::with_timeout(max_steps)
     }
 }
 

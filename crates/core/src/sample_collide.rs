@@ -8,7 +8,7 @@ use census_metrics::{Metric, Recorder, RunCtx};
 use census_sampling::{CtrwSampler, Sampler};
 use rand::Rng;
 
-use crate::{Estimate, EstimateError, SizeEstimator};
+use crate::{Estimate, EstimateError, SizeEstimator, StepBudgeted};
 
 /// Which point estimate a [`SampleCollide`] instance reports.
 ///
@@ -224,6 +224,15 @@ impl<S: Sampler> SampleCollide<S> {
         R: Rng,
     {
         self.collect_with(&mut RunCtx::new(topology, rng), initiator)
+    }
+}
+
+impl<S: Sampler + Clone> StepBudgeted for SampleCollide<S> {
+    /// Identity: Sample & Collide is intrinsically step-bounded — each
+    /// sample is one timer-driven CTRW walk whose cost the timer `T`
+    /// caps, so the §5.3.1 per-walk budget has nothing further to cut.
+    fn with_step_budget(&self, _max_steps: u64) -> Self {
+        self.clone()
     }
 }
 
@@ -506,6 +515,14 @@ impl AdaptiveSampleCollide {
         R: Rng,
     {
         self.run_with(&mut RunCtx::new(topology, rng), initiator)
+    }
+}
+
+impl StepBudgeted for AdaptiveSampleCollide {
+    /// Identity: the adaptive procedure's walks are bounded by its own
+    /// timer-doubling schedule (§4.4), which already caps every walk.
+    fn with_step_budget(&self, _max_steps: u64) -> Self {
+        *self
     }
 }
 

@@ -1,0 +1,550 @@
+//! The §5.3.1 initiator loop: adaptive timeouts, bounded retries, and
+//! loss classification for any [`SizeEstimator`].
+//!
+//! The paper's simulations exclude message loss, but §5.3.1 sketches how
+//! a deployed initiator copes with it: declare a probe lost when it has
+//! not returned within a timeout "set … to the average trip time, plus a
+//! few multiples of the trip time standard deviation … estimated
+//! adaptively from past trip time measurements", then retry. This module
+//! implements that loop as a composable wrapper:
+//!
+//! - [`AdaptiveTimeout`] tracks completed trip times and recommends the
+//!   `mean + k·std` step budget;
+//! - [`StepBudgeted`] marks estimators that can honour such a budget;
+//! - [`LossClass`] names the §5.3.1 failure modes an attempt can hit;
+//! - [`Supervised`] wraps an estimator with the full initiator protocol —
+//!   budgeted attempts, bounded retries with multiplicative backoff, and
+//!   per-attempt metric crediting through the shared [`RunCtx`].
+
+use std::sync::Mutex;
+
+use census_graph::{NodeId, Topology};
+use census_metrics::{Metric, Recorder, RunCtx};
+use census_stats::OnlineMoments;
+use census_walk::WalkError;
+use rand::Rng;
+
+use crate::{Estimate, EstimateError, SizeEstimator};
+
+/// Adaptive initiator-side timeout from past trip times (§5.3.1: "set
+/// this time-out to the average trip time, plus a few multiples of the
+/// trip time standard deviation ... estimated adaptively from past trip
+/// time measurements").
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeout {
+    trips: OnlineMoments,
+    multiplier: f64,
+    initial: u64,
+    warmup: u64,
+}
+
+impl AdaptiveTimeout {
+    /// Creates the tracker; until [`Self::warmup`] trips complete (two,
+    /// unless raised with [`Self::with_warmup`]), [`Self::budget`]
+    /// returns `initial`. `multiplier` is the "few multiples" `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier` is not positive or `initial` is zero.
+    #[must_use]
+    pub fn new(initial: u64, multiplier: f64) -> Self {
+        assert!(initial > 0, "initial budget must be positive");
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        Self {
+            trips: OnlineMoments::new(),
+            multiplier,
+            initial,
+            warmup: 2,
+        }
+    }
+
+    /// Requires `min_observations` completed trips before the learned
+    /// budget replaces the initial one. Two observations are the bare
+    /// minimum for a standard deviation, but a budget learned from so few
+    /// trips can collapse (two similar quick trips give `std ≈ 0`, and
+    /// every longer walk then times out); supervision loops should warm
+    /// up over a few tens of trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_observations < 2` (a standard deviation needs two
+    /// points).
+    #[must_use]
+    pub fn with_warmup(mut self, min_observations: u64) -> Self {
+        assert!(min_observations >= 2, "warmup needs at least two trips");
+        self.warmup = min_observations;
+        self
+    }
+
+    /// Records a completed trip's hop count.
+    pub fn record(&mut self, hops: u64) {
+        self.trips.push(hops as f64);
+    }
+
+    /// The recommended step budget: `mean + k·std` over recorded trips,
+    /// or the initial budget before enough history exists.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        if self.trips.count() < self.warmup {
+            return self.initial;
+        }
+        let b = self.trips.mean() + self.multiplier * self.trips.sample_std();
+        b.ceil().max(1.0) as u64
+    }
+
+    /// Number of recorded trips.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.trips.count()
+    }
+
+    /// Observations required before the learned budget takes over.
+    #[must_use]
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+}
+
+/// An estimator whose walks can be bounded by an explicit step budget —
+/// the knob the §5.3.1 initiator timeout turns.
+///
+/// Implementations return a reconfigured copy; estimators whose cost is
+/// already intrinsically bounded (the timer-driven CTRW samplers behind
+/// Sample & Collide) implement this as the identity and document why.
+pub trait StepBudgeted: SizeEstimator {
+    /// A copy of this estimator that declares any single walk lost after
+    /// `max_steps` hops.
+    #[must_use]
+    fn with_step_budget(&self, max_steps: u64) -> Self;
+}
+
+/// The §5.3.1 failure taxonomy of one estimation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossClass {
+    /// The step budget expired before the probe returned — the initiator
+    /// cannot distinguish a lost message from a slow tour, so this class
+    /// covers both (the paper's "conservative estimate of the time-out").
+    Timeout,
+    /// The walk was stranded mid-flight: the current holder found no
+    /// deliverable neighbour (a dropped message or an isolated peer).
+    Stuck,
+    /// The walk stepped onto a peer that has departed the overlay — the
+    /// churn failure the paper's simulations excluded.
+    ChurnBroken,
+    /// The estimator's parameters cannot produce an estimate here at all;
+    /// retrying the same attempt cannot help.
+    Degenerate,
+}
+
+impl LossClass {
+    /// Classifies an estimation error into the §5.3.1 taxonomy.
+    #[must_use]
+    pub fn of(error: &EstimateError) -> Self {
+        match error {
+            EstimateError::Walk(WalkError::Timeout(_)) => LossClass::Timeout,
+            EstimateError::Walk(WalkError::Stuck(_)) => LossClass::Stuck,
+            EstimateError::Walk(WalkError::Lost(_)) => LossClass::ChurnBroken,
+            EstimateError::Degenerate(_) => LossClass::Degenerate,
+        }
+    }
+}
+
+/// Attempt accounting of one [`Supervised`] estimator, by outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorStats {
+    /// Estimation attempts started.
+    pub attempts: u64,
+    /// Attempts that returned an estimate.
+    pub completed: u64,
+    /// Attempts lost to an expired step budget.
+    pub timeouts: u64,
+    /// Attempts stranded on an undeliverable hop.
+    pub stuck: u64,
+    /// Attempts broken by a departed peer.
+    pub churn_broken: u64,
+    /// Attempts that failed degenerately (never retried).
+    pub degenerate: u64,
+}
+
+/// Interior state of a supervisor: the trip-time tracker plus the
+/// attempt tally, updated together under one lock.
+#[derive(Debug)]
+struct SupervisorState {
+    tracker: AdaptiveTimeout,
+    stats: SupervisorStats,
+}
+
+/// The §5.3.1 initiator loop around any [`StepBudgeted`] estimator.
+///
+/// Each call to [`SizeEstimator::estimate_with`] makes up to
+/// `1 + retries` attempts. Every attempt runs the inner estimator under
+/// the [`AdaptiveTimeout`]-derived step budget, scaled by
+/// `backoff^attempt` so persistent failures get progressively more
+/// headroom; completed trips feed the tracker, so the budget converges on
+/// the paper's `mean + k·std` rule. Failures are classified per
+/// [`LossClass`]: timeouts, stuck walks and churn-broken walks are
+/// retried (crediting one [`Metric::WalkRetries`] event per retry through
+/// the run context — the walk engine itself credits
+/// [`Metric::WalkTimeouts`]/[`Metric::ToursLost`]/
+/// [`Metric::ToursCompleted`] per attempt), while degenerate failures
+/// surface immediately because retrying cannot fix a parameter problem.
+///
+/// The wrapper is `Sync` (tracker and stats live behind a [`Mutex`]), so
+/// it can be shared across replication threads — but note that a *shared*
+/// tracker makes budgets depend on cross-thread interleaving; give each
+/// replica its own `Supervised` when determinism matters.
+#[derive(Debug)]
+pub struct Supervised<E> {
+    inner: E,
+    retries: u32,
+    backoff: f64,
+    state: Mutex<SupervisorState>,
+}
+
+impl<E> Supervised<E> {
+    /// Wraps `inner` with the default supervision policy: 5 retries,
+    /// backoff ×2 per attempt, and a `mean + 3·std` timeout learned after
+    /// a 10-trip warmup (unbounded until then).
+    #[must_use]
+    pub fn new(inner: E) -> Self {
+        Self {
+            inner,
+            retries: 5,
+            backoff: 2.0,
+            state: Mutex::new(SupervisorState {
+                tracker: AdaptiveTimeout::new(u64::MAX, 3.0).with_warmup(10),
+                stats: SupervisorStats::default(),
+            }),
+        }
+    }
+
+    /// Sets how many times a failed attempt is retried before the last
+    /// error is surfaced.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-retry budget escalation factor (attempt `a` runs
+    /// under `budget · backoff^a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backoff < 1.0` (shrinking budgets make every retry
+    /// strictly more likely to time out).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: f64) -> Self {
+        assert!(backoff >= 1.0, "backoff must not shrink the budget");
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the timeout tracker (e.g. to choose the multiplier `k`
+    /// or pre-seed it with known trip times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor lock is poisoned.
+    #[must_use]
+    pub fn with_timeout(self, tracker: AdaptiveTimeout) -> Self {
+        self.state.lock().expect("supervisor lock").tracker = tracker;
+        self
+    }
+
+    /// The wrapped estimator.
+    #[must_use]
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// A snapshot of the attempt tally so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor lock is poisoned.
+    #[must_use]
+    pub fn stats(&self) -> SupervisorStats {
+        self.state.lock().expect("supervisor lock").stats
+    }
+
+    /// The step budget the next first attempt would run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supervisor lock is poisoned.
+    #[must_use]
+    pub fn current_budget(&self) -> u64 {
+        self.state.lock().expect("supervisor lock").tracker.budget()
+    }
+}
+
+/// `base · backoff^attempt`, saturating at `u64::MAX` (which estimators
+/// treat as "unbounded").
+fn escalated(base: u64, backoff: f64, attempt: u32) -> u64 {
+    if base == u64::MAX {
+        return u64::MAX;
+    }
+    let scaled = (base as f64 * backoff.powi(attempt as i32)).ceil();
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (scaled as u64).max(2) // the shortest possible tour is 2 hops
+    }
+}
+
+impl<E: StepBudgeted> SizeEstimator for Supervised<E> {
+    fn estimate_with<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let mut last_error = None;
+        for attempt in 0..=self.retries {
+            let budget = {
+                let state = self.state.lock().expect("supervisor lock");
+                escalated(state.tracker.budget(), self.backoff, attempt)
+            };
+            let bounded = self.inner.with_step_budget(budget);
+            let outcome = bounded.estimate_with(ctx, initiator);
+            let mut state = self.state.lock().expect("supervisor lock");
+            state.stats.attempts += 1;
+            match outcome {
+                Ok(est) => {
+                    state.tracker.record(est.messages);
+                    state.stats.completed += 1;
+                    return Ok(est);
+                }
+                Err(e) => {
+                    match LossClass::of(&e) {
+                        LossClass::Timeout => state.stats.timeouts += 1,
+                        LossClass::Stuck => state.stats.stuck += 1,
+                        LossClass::ChurnBroken => state.stats.churn_broken += 1,
+                        LossClass::Degenerate => {
+                            state.stats.degenerate += 1;
+                            return Err(e);
+                        }
+                    }
+                    if attempt < self.retries {
+                        ctx.on_event(Metric::WalkRetries, 1);
+                    }
+                    last_error = Some(e);
+                }
+            }
+        }
+        Err(last_error.expect("the attempt loop runs at least once"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomTour;
+    use census_graph::{generators, Graph};
+    use census_metrics::Registry;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn adaptive_timeout_learns_trip_scale() {
+        let mut t = AdaptiveTimeout::new(1_000, 3.0);
+        assert_eq!(t.budget(), 1_000);
+        for hops in [10, 12, 9, 11, 10, 13, 8] {
+            t.record(hops);
+        }
+        let b = t.budget();
+        assert!(
+            (10..=20).contains(&b),
+            "budget {b} should be near mean+3std of ~10-hop trips"
+        );
+        assert_eq!(t.observations(), 7);
+    }
+
+    #[test]
+    fn adaptive_timeout_warmup_delays_the_learned_budget() {
+        let mut t = AdaptiveTimeout::new(1_000, 3.0).with_warmup(5);
+        // Two near-identical quick trips would collapse the budget to ~2;
+        // the warmup keeps the initial budget until enough history exists.
+        t.record(2);
+        t.record(2);
+        assert_eq!(t.budget(), 1_000, "still warming up");
+        for hops in [40, 45, 38] {
+            t.record(hops);
+        }
+        assert!(t.budget() < 1_000, "learned budget took over");
+        assert_eq!(t.warmup(), 5);
+    }
+
+    #[test]
+    fn loss_classes_cover_every_error() {
+        use census_graph::NodeId;
+        let n = NodeId::new(0);
+        assert_eq!(
+            LossClass::of(&EstimateError::Walk(WalkError::Timeout(9))),
+            LossClass::Timeout
+        );
+        assert_eq!(
+            LossClass::of(&EstimateError::Walk(WalkError::Stuck(n))),
+            LossClass::Stuck
+        );
+        assert_eq!(
+            LossClass::of(&EstimateError::Walk(WalkError::Lost(n))),
+            LossClass::ChurnBroken
+        );
+        assert_eq!(
+            LossClass::of(&EstimateError::Degenerate("x".into())),
+            LossClass::Degenerate
+        );
+    }
+
+    #[test]
+    fn supervised_estimates_match_the_plain_estimator_when_nothing_fails() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::balanced(500, 10, &mut rng);
+        let initiator = g.nodes().next().expect("non-empty");
+        let supervised = Supervised::new(RandomTour::new());
+        let mut a = SmallRng::seed_from_u64(2);
+        let mut b = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let plain = RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&g, &mut a), initiator)
+                .expect("connected");
+            let sup = supervised
+                .estimate_with(&mut RunCtx::new(&g, &mut b), initiator)
+                .expect("connected");
+            assert_eq!(plain, sup, "supervision must not perturb clean walks");
+        }
+        let stats = supervised.stats();
+        assert_eq!(stats.attempts, 50);
+        assert_eq!(stats.completed, 50);
+        assert_eq!(stats.timeouts + stats.stuck + stats.churn_broken, 0);
+    }
+
+    #[test]
+    fn supervised_learns_a_budget_and_keeps_estimating() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::balanced(400, 10, &mut rng);
+        let initiator = g.nodes().next().expect("non-empty");
+        let supervised = Supervised::new(RandomTour::new());
+        assert_eq!(supervised.current_budget(), u64::MAX);
+        for _ in 0..40 {
+            let _ = supervised
+                .estimate_with(&mut RunCtx::new(&g, &mut rng), initiator)
+                .expect("connected");
+        }
+        let budget = supervised.current_budget();
+        assert!(
+            budget < u64::MAX && budget > 2,
+            "budget {budget} should be learned and sane"
+        );
+    }
+
+    #[test]
+    fn supervised_gives_up_after_bounded_retries_and_credits_the_context() {
+        // An isolated initiator fails every attempt with Stuck.
+        let mut g = Graph::new();
+        let lone = g.add_node();
+        let supervised = Supervised::new(RandomTour::new()).with_retries(3);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let err = supervised
+            .estimate_with(&mut ctx, lone)
+            .expect_err("isolated initiator cannot be estimated");
+        assert_eq!(LossClass::of(&err), LossClass::Stuck);
+        let stats = supervised.stats();
+        assert_eq!(stats.attempts, 4, "1 attempt + 3 retries");
+        assert_eq!(stats.stuck, 4);
+        assert_eq!(reg.counter(Metric::WalkRetries), 3);
+        assert_eq!(
+            reg.counter(Metric::ToursLost),
+            4,
+            "walk engine credits each attempt"
+        );
+    }
+
+    #[test]
+    fn supervised_timeouts_escalate_until_a_tour_fits() {
+        // Pre-seed the tracker with absurdly short trips so the first
+        // budget (mean + k·std ≈ 2) times out on a ring, then backoff
+        // doubles it until a tour completes.
+        let g = generators::ring(16);
+        let initiator = g.nodes().next().expect("non-empty");
+        let mut tracker = AdaptiveTimeout::new(1, 1.0);
+        for _ in 0..10 {
+            tracker.record(2);
+        }
+        let supervised = Supervised::new(RandomTour::new())
+            .with_timeout(tracker)
+            .with_retries(12)
+            .with_backoff(2.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        // A 2-step budget still fits the occasional immediate-return tour,
+        // so drive several walks: across 10, some must exceed it.
+        for _ in 0..10 {
+            let est = supervised
+                .estimate_with(&mut RunCtx::new(&g, &mut rng), initiator)
+                .expect("escalation eventually fits a tour");
+            assert!(est.value > 0.0);
+        }
+        let stats = supervised.stats();
+        assert!(stats.timeouts > 0, "the tiny budget must time out first");
+        assert_eq!(stats.completed, 10);
+        assert_eq!(
+            stats.attempts,
+            stats.completed + stats.timeouts,
+            "every attempt is exactly one outcome"
+        );
+    }
+
+    #[test]
+    fn degenerate_failures_are_not_retried() {
+        // A degenerate failure is a parameter problem — retrying the same
+        // attempt cannot help, so the supervisor must surface it at once.
+        #[derive(Clone, Copy)]
+        struct AlwaysDegenerate;
+        impl SizeEstimator for AlwaysDegenerate {
+            fn estimate_with<T, R, Rec>(
+                &self,
+                _ctx: &mut RunCtx<'_, T, R, Rec>,
+                _initiator: census_graph::NodeId,
+            ) -> Result<Estimate, EstimateError>
+            where
+                T: Topology + ?Sized,
+                R: Rng,
+                Rec: Recorder + ?Sized,
+            {
+                Err(EstimateError::Degenerate("unusable parameters".into()))
+            }
+        }
+        impl StepBudgeted for AlwaysDegenerate {
+            fn with_step_budget(&self, _max_steps: u64) -> Self {
+                *self
+            }
+        }
+        let g = generators::complete(3);
+        let initiator = g.nodes().next().expect("non-empty");
+        let supervised = Supervised::new(AlwaysDegenerate).with_retries(5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let err = supervised
+            .estimate_with(&mut RunCtx::new(&g, &mut rng), initiator)
+            .expect_err("always degenerate");
+        assert_eq!(LossClass::of(&err), LossClass::Degenerate);
+        let stats = supervised.stats();
+        assert_eq!(stats.attempts, 1, "no retry on Degenerate");
+        assert_eq!(stats.degenerate, 1);
+    }
+
+    #[test]
+    fn escalation_saturates_without_overflow() {
+        assert_eq!(escalated(u64::MAX, 2.0, 5), u64::MAX);
+        assert_eq!(escalated(u64::MAX - 1, 8.0, 40), u64::MAX);
+        assert_eq!(escalated(100, 2.0, 3), 800);
+        assert_eq!(escalated(1, 1.0, 0), 2, "floor at the shortest tour");
+    }
+}

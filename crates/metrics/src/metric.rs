@@ -34,11 +34,17 @@ pub enum Metric {
     /// Messages exchanged by gossip averaging, two per contact
     /// (message-class).
     GossipMessages,
-    /// Random Tours that returned to their initiator.
+    /// Random Tours that returned to their initiator. Together with
+    /// [`Metric::ToursLost`] and [`Metric::WalkTimeouts`] this forms a
+    /// disjoint partition of tour attempts: every attempt increments
+    /// exactly one of the three.
     ToursCompleted,
-    /// Random Tours lost to a timeout or a dead/isolated peer.
+    /// Random Tours stranded on a dead or isolated peer mid-walk
+    /// (the departing-node-takes-the-message failure). Disjoint from
+    /// [`Metric::WalkTimeouts`].
     ToursLost,
-    /// Walks aborted by an explicit step budget.
+    /// Walks aborted by an explicit step budget (the §5.3.1
+    /// initiator-side timeout). Disjoint from [`Metric::ToursLost`].
     WalkTimeouts,
     /// Exponential sojourn times drawn by CTRW walks.
     SojournDraws,

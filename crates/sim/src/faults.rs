@@ -1,0 +1,547 @@
+//! Composable fault injection for overlay walks (the §5.3.1 fault model).
+//!
+//! The paper's simulations "did not allow a departing node to leave the
+//! system with the probing message"; §5.3.1 sketches what a deployment
+//! faces instead. This module injects exactly those failures into any
+//! [`Topology`], one layer per mechanism:
+//!
+//! - **message loss** — each hop's message is dropped in flight with a
+//!   configured probability (the loss §5.3.1's timeout detects);
+//! - **crashes** — the node currently holding the probe departs *with*
+//!   the message (the failure mode the paper excluded); unrecoverable by
+//!   retransmission, only by an initiator retry;
+//! - **stale links** — a transient stale neighbour pointer makes the
+//!   chosen next hop momentarily unreachable (delivery fails, but a
+//!   retransmission after the routing table refreshes can succeed).
+//!
+//! Each layer draws from its own seeded [`FaultRng`] stream, *after* the
+//! walk RNG has chosen the next hop — so faults can truncate a walk but
+//! can never perturb its trajectory. Estimates under a [`FaultPlan`] are
+//! therefore exactly the fault-free estimates of the walks that survive
+//! (the RNG-stream isolation property pinned by the workspace tests).
+//!
+//! An optional per-hop retransmission budget models the acknowledge/
+//! retransmit transport of a real deployment: recoverable faults (loss,
+//! stale links) are retried up to `retransmits` times per hop, so a walk
+//! dies on a recoverable fault only if `retransmits + 1` consecutive
+//! deliveries of the same hop fail. This is what makes supervised
+//! estimation *unbiased* under loss — surviving trajectories are
+//! identical to the fault-free ones, whereas giving up on the first drop
+//! preferentially kills long tours (the survivorship bias law pinned in
+//! [`crate::loss`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use census_graph::{NodeId, Topology};
+use rand::Rng;
+
+use crate::parallel::splitmix64;
+
+/// A `Sync` counter-based fault RNG: a seeded, lock-free stream of
+/// uniform `[0, 1)` draws.
+///
+/// Each call mixes the pre-whitened seed with an atomic draw counter
+/// through SplitMix64, so concurrent walkers can share one fault process
+/// without interior mutability tricks (`RefCell` would make the wrapper
+/// `!Sync` and silently exclude it from
+/// [`crate::parallel::replicate`]). The stream is deterministic for a
+/// given seed and draw order; under concurrency the *set* of draws is
+/// deterministic while their assignment to threads follows scheduling,
+/// which is the right contract for an environment process.
+#[derive(Debug)]
+pub struct FaultRng {
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl FaultRng {
+    /// A fault stream seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            // Pre-whiten so consecutive user seeds give unrelated streams.
+            seed: splitmix64(seed),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The next uniform draw in `[0, 1)`.
+    pub fn next_f64(&self) -> f64 {
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        let z = splitmix64(self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // 53 high bits -> the standard uniform double in [0, 1).
+        (z >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Number of draws taken so far.
+    #[must_use]
+    pub fn draws(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+/// One fault mechanism: a firing probability and its own RNG stream.
+#[derive(Debug)]
+struct FaultLayer {
+    probability: f64,
+    rng: FaultRng,
+}
+
+impl FaultLayer {
+    fn fires(&self) -> bool {
+        self.rng.next_f64() < self.probability
+    }
+}
+
+/// Declarative description of the faults to inject: which mechanisms, at
+/// what rates, from which seeds, with how much transport-level recovery.
+///
+/// The plan is plain configuration (`Copy`); [`FaultPlan::apply`] turns
+/// it into a live [`FaultyTopology`] wrapper around an overlay.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{generators, Topology};
+/// use census_sim::faults::FaultPlan;
+///
+/// let g = generators::ring(100);
+/// let faulty = FaultPlan::new()
+///     .with_message_loss(0.01, 7)
+///     .with_crashes(0.0001, 8)
+///     .with_retransmits(2)
+///     .apply(&g);
+/// assert_eq!(faulty.peer_count(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    loss: Option<(f64, u64)>,
+    crashes: Option<(f64, u64)>,
+    stale: Option<(f64, u64)>,
+    retransmits: u32,
+}
+
+fn assert_probability(p: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{what} probability must lie in [0, 1], got {p}"
+    );
+}
+
+impl FaultPlan {
+    /// An empty plan: no faults, no retransmissions.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops each delivery attempt with probability `p`, drawing from a
+    /// fault stream seeded by `seed`. Recoverable by retransmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` (certain loss is a legitimate
+    /// endpoint for testing give-up paths).
+    #[must_use]
+    pub fn with_message_loss(mut self, p: f64, seed: u64) -> Self {
+        assert_probability(p, "message loss");
+        self.loss = Some((p, seed));
+        self
+    }
+
+    /// At each hop, the node holding the probe departs with it with
+    /// probability `p` — the paper's excluded failure mode. Fatal to the
+    /// walk: no retransmission can recover a message that left with its
+    /// holder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_crashes(mut self, p: f64, seed: u64) -> Self {
+        assert_probability(p, "crash");
+        self.crashes = Some((p, seed));
+        self
+    }
+
+    /// Each delivery attempt fails with probability `p` because the
+    /// sender's neighbour entry is transiently stale. Recoverable by
+    /// retransmission (the routing table refreshes between attempts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_stale_links(mut self, p: f64, seed: u64) -> Self {
+        assert_probability(p, "stale link");
+        self.stale = Some((p, seed));
+        self
+    }
+
+    /// Grants every hop up to `n` retransmissions after a *recoverable*
+    /// delivery failure (loss or a stale link). A hop then kills the walk
+    /// only when all `n + 1` delivery attempts fail. Zero (the default)
+    /// reproduces the bare §5.3.1 setting where the first drop loses the
+    /// probe.
+    #[must_use]
+    pub fn with_retransmits(mut self, n: u32) -> Self {
+        self.retransmits = n;
+        self
+    }
+
+    /// The configured per-hop retransmission budget.
+    #[must_use]
+    pub fn retransmits(&self) -> u32 {
+        self.retransmits
+    }
+
+    /// Wraps `inner` with this plan's fault layers.
+    #[must_use]
+    pub fn apply<T: Topology>(self, inner: T) -> FaultyTopology<T> {
+        let layer = |cfg: Option<(f64, u64)>| {
+            cfg.map(|(probability, seed)| FaultLayer {
+                probability,
+                rng: FaultRng::new(seed),
+            })
+        };
+        FaultyTopology {
+            inner,
+            loss: layer(self.loss),
+            crashes: layer(self.crashes),
+            stale: layer(self.stale),
+            retransmits: self.retransmits,
+            counters: FaultCounters::default(),
+        }
+    }
+}
+
+/// Lock-free tally of injected faults, kept by a [`FaultyTopology`].
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    drops: AtomicU64,
+    crashes: AtomicU64,
+    stale_links: AtomicU64,
+    retransmits: AtomicU64,
+    walks_killed: AtomicU64,
+}
+
+impl FaultCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the tally.
+    #[must_use]
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            drops: self.drops.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            stale_links: self.stale_links.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            walks_killed: self.walks_killed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of a [`FaultCounters`] tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultSnapshot {
+    /// Delivery attempts dropped by the message-loss layer.
+    pub drops: u64,
+    /// Walks whose holder departed with the probe (always fatal).
+    pub crashes: u64,
+    /// Delivery attempts that hit a transiently stale neighbour link.
+    pub stale_links: u64,
+    /// Extra delivery attempts made by the retransmission transport —
+    /// the message overhead of surviving recoverable faults.
+    pub retransmits: u64,
+    /// Walks killed by this wrapper (crashes plus hops whose entire
+    /// retransmission budget failed).
+    pub walks_killed: u64,
+}
+
+/// A [`Topology`] wrapper injecting the faults of a [`FaultPlan`] into
+/// every hop.
+///
+/// The wrapper intercepts [`Topology::neighbor_of`] — the single point
+/// every walk engine forwards through — and stages each hop as:
+///
+/// 1. **crash check** (fatal): the holder departs with the message;
+/// 2. **next-hop choice**: the walk RNG is consumed *exactly once*,
+///    before any delivery fault is drawn, so fault streams never perturb
+///    walk randomness;
+/// 3. **delivery loop**: up to `1 + retransmits` attempts, each of which
+///    can fail on message loss or a stale link; the walk dies only when
+///    every attempt fails.
+///
+/// A killed walk surfaces as "no neighbour", which the walk engines
+/// report as [`census_walk::WalkError::Stuck`] — the §5.3.1 initiator
+/// sees a probe that never returns. All bookkeeping is lock-free
+/// ([`FaultRng`] and [`FaultCounters`] are atomic), so the wrapper stays
+/// `Sync` and eligible for [`crate::parallel::replicate`].
+#[derive(Debug)]
+pub struct FaultyTopology<T> {
+    inner: T,
+    loss: Option<FaultLayer>,
+    crashes: Option<FaultLayer>,
+    stale: Option<FaultLayer>,
+    retransmits: u32,
+    counters: FaultCounters,
+}
+
+impl<T: Topology> FaultyTopology<T> {
+    /// The wrapped topology.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The live fault tally.
+    #[must_use]
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Snapshot of the fault tally (shorthand for
+    /// `self.counters().snapshot()`).
+    #[must_use]
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl<T: Topology> Topology for FaultyTopology<T> {
+    fn peer_count(&self) -> usize {
+        self.inner.peer_count()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.inner.contains(node)
+    }
+
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.inner.degree_of(node)
+    }
+
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.inner.neighbors_of(node)
+    }
+
+    // Overrides the trait's slice-indexing default: the walk engines
+    // forward through `neighbor_of` precisely so that this fault
+    // injection point stays on the path of every hop.
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        // Stage 1 — crash: the holder departs with the probe. Fatal, and
+        // drawn before the walk RNG so a killed walk's prefix is still
+        // identical to the fault-free walk's.
+        if let Some(c) = &self.crashes {
+            if c.fires() {
+                FaultCounters::bump(&self.counters.crashes);
+                FaultCounters::bump(&self.counters.walks_killed);
+                return None;
+            }
+        }
+        // Stage 2 — the walk RNG chooses the next hop, exactly once per
+        // hop, faults or not: trajectories of surviving walks are
+        // bit-identical to the fault-free ones.
+        let next = self.inner.neighbor_of(node, rng)?;
+        // Stage 3 — delivery, with bounded retransmission of
+        // recoverable failures.
+        for attempt in 0..=self.retransmits {
+            if attempt > 0 {
+                FaultCounters::bump(&self.counters.retransmits);
+            }
+            let dropped = self.loss.as_ref().is_some_and(FaultLayer::fires);
+            let stale = self.stale.as_ref().is_some_and(FaultLayer::fires);
+            if dropped {
+                FaultCounters::bump(&self.counters.drops);
+            }
+            if stale {
+                FaultCounters::bump(&self.counters.stale_links);
+            }
+            if !dropped && !stale {
+                return Some(next);
+            }
+        }
+        FaultCounters::bump(&self.counters.walks_killed);
+        None
+    }
+
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        self.inner.any_peer(rng)
+    }
+}
+
+// Compile-time check: the fault wrappers must stay `Sync`, or they would
+// silently fall out of `parallel::replicate` (the regression this module
+// fixes — `LossyTopology` used to carry a `RefCell<SmallRng>`).
+fn _assert_sync<T: Sync>() {}
+fn _fault_wrappers_are_sync() {
+    _assert_sync::<FaultRng>();
+    _assert_sync::<FaultyTopology<census_graph::Graph>>();
+    _assert_sync::<crate::loss::LossyTopology<census_graph::Graph>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_core::{EstimateError, RandomTour, SizeEstimator};
+    use census_graph::generators;
+    use census_metrics::RunCtx;
+    use census_walk::WalkError;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fault_rng_is_deterministic_uniform_and_sync() {
+        let a = FaultRng::new(42);
+        let b = FaultRng::new(42);
+        let xs: Vec<f64> = (0..1_000).map(|_| a.next_f64()).collect();
+        let ys: Vec<f64> = (0..1_000).map(|_| b.next_f64()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "uniform mean, got {mean}");
+        assert_eq!(a.draws(), 1_000);
+        // Different seeds give different streams.
+        let c = FaultRng::new(43);
+        assert_ne!(xs[0], c.next_f64());
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let g = generators::ring(50);
+        let faulty = FaultPlan::new().apply(&g);
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let plain = RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&g, &mut a), NodeId::new(0))
+                .expect("connected");
+            let wrapped = RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&faulty, &mut b), NodeId::new(0))
+                .expect("no faults configured");
+            assert_eq!(plain, wrapped);
+        }
+        assert_eq!(faulty.fault_snapshot(), FaultSnapshot::default());
+    }
+
+    #[test]
+    fn crashes_kill_walks_and_are_counted() {
+        let g = generators::complete(20);
+        let faulty = FaultPlan::new().with_crashes(0.2, 5).apply(&g);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut failures = 0u64;
+        for _ in 0..100 {
+            if matches!(
+                RandomTour::new()
+                    .estimate_with(&mut RunCtx::new(&faulty, &mut rng), NodeId::new(0)),
+                Err(EstimateError::Walk(WalkError::Stuck(_)))
+            ) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 30, "20% crash rate broke only {failures}/100");
+        let snap = faulty.fault_snapshot();
+        assert_eq!(snap.crashes, snap.walks_killed);
+        assert_eq!(snap.crashes, failures);
+        assert_eq!(snap.drops + snap.stale_links + snap.retransmits, 0);
+    }
+
+    #[test]
+    fn retransmits_recover_recoverable_faults() {
+        // Heavy loss + stale links, but a generous retransmission budget:
+        // per-attempt failure ~0.4, per-hop kill ~0.4^5 ≈ 1% — most walks
+        // on short tours survive, and every survivor equals its
+        // fault-free twin.
+        let g = generators::complete(15);
+        let start = NodeId::new(0);
+        let plan = FaultPlan::new()
+            .with_message_loss(0.25, 7)
+            .with_stale_links(0.2, 8)
+            .with_retransmits(4);
+        let faulty = plan.apply(&g);
+        let bare = FaultPlan::new()
+            .with_message_loss(0.25, 7)
+            .with_stale_links(0.2, 8)
+            .apply(&g);
+        let mut survived = 0;
+        let mut bare_survived = 0;
+        for i in 0..200u64 {
+            let seed = splitmix64(900 + i);
+            let free = RandomTour::new()
+                .estimate_with(
+                    &mut RunCtx::new(&g, &mut SmallRng::seed_from_u64(seed)),
+                    start,
+                )
+                .expect("connected");
+            if let Ok(est) = RandomTour::new().estimate_with(
+                &mut RunCtx::new(&faulty, &mut SmallRng::seed_from_u64(seed)),
+                start,
+            ) {
+                survived += 1;
+                assert_eq!(est, free, "survivors must equal their fault-free twin");
+            }
+            if RandomTour::new()
+                .estimate_with(
+                    &mut RunCtx::new(&bare, &mut SmallRng::seed_from_u64(seed)),
+                    start,
+                )
+                .is_ok()
+            {
+                bare_survived += 1;
+            }
+        }
+        assert!(
+            survived > 150,
+            "retransmission should rescue most walks, got {survived}/200"
+        );
+        assert!(
+            bare_survived < survived,
+            "no-retransmit survival {bare_survived} must trail {survived}"
+        );
+        let snap = faulty.fault_snapshot();
+        assert!(snap.retransmits > 0, "recoveries must be accounted");
+        assert!(snap.drops > 0 && snap.stale_links > 0);
+    }
+
+    #[test]
+    fn certain_loss_with_finite_retransmits_kills_every_walk() {
+        let g = generators::ring(10);
+        let faulty = FaultPlan::new()
+            .with_message_loss(1.0, 3)
+            .with_retransmits(3)
+            .apply(&g);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10 {
+            assert!(RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&faulty, &mut rng), NodeId::new(0))
+                .is_err());
+        }
+        let snap = faulty.fault_snapshot();
+        assert_eq!(snap.walks_killed, 10);
+        // Every hop burnt its full budget: 4 drops per killed walk.
+        assert_eq!(snap.drops, 40);
+        assert_eq!(snap.retransmits, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn out_of_range_probability_is_rejected() {
+        let _ = FaultPlan::new().with_message_loss(1.5, 0);
+    }
+
+    #[test]
+    fn plan_accessors_round_trip() {
+        let plan = FaultPlan::new().with_retransmits(3);
+        assert_eq!(plan.retransmits(), 3);
+        let g = generators::ring(5);
+        let faulty = plan.apply(&g);
+        assert_eq!(faulty.inner().peer_count(), 5);
+        assert!(faulty.contains(NodeId::new(0)));
+        assert_eq!(faulty.degree_of(NodeId::new(0)), 2);
+        assert_eq!(faulty.neighbors_of(NodeId::new(0)).len(), 2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(faulty.any_peer(&mut rng).is_some());
+    }
+}

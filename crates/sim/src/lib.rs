@@ -17,8 +17,13 @@
 //!   run the true component size, the raw estimate, the sliding-window
 //!   smoothed estimate, and the message cost — the exact series plotted
 //!   in Figures 8–13.
-//! - [`loss`]: the §5.3.1 extension — probabilistic message loss with an
-//!   adaptive, trip-time-based initiator timeout.
+//! - [`faults`]: the §5.3.1 fault-injection harness — a [`faults::FaultPlan`]
+//!   layering per-hop message loss, mid-walk crashes (the departing node
+//!   takes the probe) and transient stale links over any topology, each
+//!   from its own seeded fault stream so walk randomness stays
+//!   reproducible, with an optional per-hop retransmission budget.
+//! - [`loss`]: single-layer message-loss sugar over [`faults`], plus the
+//!   re-exported adaptive trip-time initiator timeout.
 //! - [`parallel`]: a deterministic replication engine — run `n`
 //!   independent replications of an experiment on scoped threads, each
 //!   with a SplitMix64-derived RNG stream, merged in replica order so
@@ -52,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod loss;
 pub mod parallel;
 pub mod runner;

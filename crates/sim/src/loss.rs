@@ -1,22 +1,25 @@
-//! Message loss and adaptive timeouts (§5.3.1 extension).
+//! Message loss under walks (§5.3.1 extension).
 //!
 //! The paper's simulations "did not allow a departing node to leave the
 //! system with the probing message", but §5.3.1 sketches how a real
 //! deployment would cope: declare a probe lost when it has not returned
 //! within a timeout set adaptively from past trip times ("the average
 //! trip time, plus a few multiples of the trip time standard deviation").
-//! This module implements that sketch:
 //!
-//! - [`LossyTopology`] drops a walk at each hop with a configurable
-//!   probability, modelling a peer departing while holding the message;
-//! - [`AdaptiveTimeout`] tracks completed trip times and recommends the
-//!   paper's `mean + k·std` step budget.
+//! [`LossyTopology`] is the loss half of that sketch — a single-layer
+//! shorthand over the general [`crate::faults::FaultPlan`] harness that
+//! drops the walker at each hop with a configurable probability. The
+//! timeout half lives in [`census_core::AdaptiveTimeout`] (re-exported
+//! here for compatibility), and the full initiator loop — adaptive
+//! budgets, bounded retries, loss classification — in
+//! [`census_core::Supervised`].
 
 use census_graph::{NodeId, Topology};
-use census_stats::OnlineMoments;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+use rand::Rng;
+
+use crate::faults::{FaultPlan, FaultSnapshot, FaultyTopology};
+
+pub use census_core::AdaptiveTimeout;
 
 /// A topology wrapper that loses the walker with probability
 /// `drop_probability` at each hop.
@@ -25,41 +28,48 @@ use std::cell::RefCell;
 /// the walk engines report as [`census_walk::WalkError::Stuck`] — the
 /// initiator sees a walk that never comes back, exactly the §5.3.1
 /// failure mode. Pair with [`AdaptiveTimeout`] (or
-/// [`census_core::RandomTour::with_timeout`]) and retry.
+/// [`census_core::RandomTour::with_timeout`]) and retry, or wrap the
+/// estimator in [`census_core::Supervised`] which does both.
+///
+/// This is sugar for a [`FaultPlan`] with a single message-loss layer;
+/// use the plan directly to combine loss with crashes, stale links, or a
+/// per-hop retransmission budget.
 #[derive(Debug)]
 pub struct LossyTopology<T> {
-    inner: T,
+    faulty: FaultyTopology<T>,
     drop_probability: f64,
-    // Loss is an environment property, so the wrapper carries its own
-    // fault RNG rather than entangling walk randomness with fault
-    // randomness (estimates stay reproducible for a given walk seed).
-    faults: RefCell<SmallRng>,
 }
 
 impl<T: Topology> LossyTopology<T> {
     /// Wraps `inner`, dropping walks with probability `drop_probability`
-    /// per hop; `fault_seed` seeds the fault process.
+    /// per hop; `fault_seed` seeds the fault process. Loss is an
+    /// environment property, so the wrapper carries its own fault RNG
+    /// rather than entangling walk randomness with fault randomness
+    /// (estimates stay reproducible for a given walk seed).
     ///
     /// # Panics
     ///
-    /// Panics if `drop_probability` is not in `[0, 1)`.
+    /// Panics if `drop_probability` is not in `[0, 1]`. Certain loss
+    /// (`1.0`) is accepted — it makes every walk fail, which is a
+    /// legitimate endpoint for exercising give-up paths.
     #[must_use]
     pub fn new(inner: T, drop_probability: f64, fault_seed: u64) -> Self {
         assert!(
-            (0.0..1.0).contains(&drop_probability),
-            "drop probability must lie in [0, 1)"
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must lie in [0, 1]"
         );
         Self {
-            inner,
+            faulty: FaultPlan::new()
+                .with_message_loss(drop_probability, fault_seed)
+                .apply(inner),
             drop_probability,
-            faults: RefCell::new(SmallRng::seed_from_u64(fault_seed)),
         }
     }
 
     /// The wrapped topology.
     #[must_use]
     pub fn inner(&self) -> &T {
-        &self.inner
+        self.faulty.inner()
     }
 
     /// The configured per-hop drop probability.
@@ -67,89 +77,37 @@ impl<T: Topology> LossyTopology<T> {
     pub fn drop_probability(&self) -> f64 {
         self.drop_probability
     }
+
+    /// Snapshot of the fault tally (drops and walks killed so far).
+    #[must_use]
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        self.faulty.fault_snapshot()
+    }
 }
 
 impl<T: Topology> Topology for LossyTopology<T> {
     fn peer_count(&self) -> usize {
-        self.inner.peer_count()
+        self.faulty.peer_count()
     }
 
     fn contains(&self, node: NodeId) -> bool {
-        self.inner.contains(node)
+        self.faulty.contains(node)
     }
 
     fn degree_of(&self, node: NodeId) -> usize {
-        self.inner.degree_of(node)
+        self.faulty.degree_of(node)
     }
 
     fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
-        self.inner.neighbors_of(node)
+        self.faulty.neighbors_of(node)
     }
 
-    // Overrides the trait's slice-indexing default: the walk engines
-    // forward through `neighbor_of` precisely so that this fault
-    // injection point stays on the path of every hop.
     fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
-        if self.faults.borrow_mut().random::<f64>() < self.drop_probability {
-            return None; // The probe message is lost at this hop.
-        }
-        self.inner.neighbor_of(node, rng)
+        self.faulty.neighbor_of(node, rng)
     }
 
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
-        self.inner.any_peer(rng)
-    }
-}
-
-/// Adaptive initiator-side timeout from past trip times (§5.3.1: "set
-/// this time-out to the average trip time, plus a few multiples of the
-/// trip time standard deviation ... estimated adaptively from past trip
-/// time measurements").
-#[derive(Debug, Clone)]
-pub struct AdaptiveTimeout {
-    trips: OnlineMoments,
-    multiplier: f64,
-    initial: u64,
-}
-
-impl AdaptiveTimeout {
-    /// Creates the tracker; until two trips complete, [`Self::budget`]
-    /// returns `initial`. `multiplier` is the "few multiples" `k`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `multiplier` is not positive or `initial` is zero.
-    #[must_use]
-    pub fn new(initial: u64, multiplier: f64) -> Self {
-        assert!(initial > 0, "initial budget must be positive");
-        assert!(multiplier > 0.0, "multiplier must be positive");
-        Self {
-            trips: OnlineMoments::new(),
-            multiplier,
-            initial,
-        }
-    }
-
-    /// Records a completed trip's hop count.
-    pub fn record(&mut self, hops: u64) {
-        self.trips.push(hops as f64);
-    }
-
-    /// The recommended step budget: `mean + k·std` over recorded trips,
-    /// or the initial budget before enough history exists.
-    #[must_use]
-    pub fn budget(&self) -> u64 {
-        if self.trips.count() < 2 {
-            return self.initial;
-        }
-        let b = self.trips.mean() + self.multiplier * self.trips.sample_std();
-        b.ceil().max(1.0) as u64
-    }
-
-    /// Number of recorded trips.
-    #[must_use]
-    pub fn observations(&self) -> u64 {
-        self.trips.count()
+        self.faulty.any_peer(rng)
     }
 }
 
@@ -162,8 +120,10 @@ mod tests {
     use super::*;
     use census_core::{RandomTour, SizeEstimator};
     use census_graph::generators;
+    use census_stats::OnlineMoments;
     use census_walk::WalkError;
     use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     #[test]
     fn zero_loss_is_transparent() {
@@ -176,6 +136,7 @@ mod tests {
                 .expect("no loss, no failure");
             assert!(est.value > 0.0);
         }
+        assert_eq!(lossy.fault_snapshot().walks_killed, 0);
     }
 
     #[test]
@@ -198,6 +159,7 @@ mod tests {
             })
             .count();
         assert!(failures > 150, "only {failures}/200 walks were lost");
+        assert_eq!(lossy.fault_snapshot().walks_killed, failures as u64);
     }
 
     #[test]
@@ -244,26 +206,22 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_timeout_learns_trip_scale() {
-        let mut t = AdaptiveTimeout::new(1_000, 3.0);
-        assert_eq!(t.budget(), 1_000);
-        for hops in [10, 12, 9, 11, 10, 13, 8] {
-            t.record(hops);
+    fn certain_loss_is_accepted_and_kills_every_walk() {
+        let g = generators::ring(5);
+        let lossy = LossyTopology::new(&g, 1.0, 1);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..5 {
+            assert!(RandomTour::new()
+                .estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng)
+                .is_err());
         }
-        let b = t.budget();
-        assert!(
-            (10..=20).contains(&b),
-            "budget {b} should be near mean+3std of ~10-hop trips"
-        );
-        assert_eq!(t.observations(), 7);
+        assert_eq!(lossy.fault_snapshot().walks_killed, 5);
     }
 
     #[test]
-    #[should_panic(expected = "lie in [0, 1)")]
-    fn certain_loss_is_rejected() {
+    #[should_panic(expected = "lie in [0, 1]")]
+    fn out_of_range_loss_is_rejected() {
         let g = generators::ring(5);
-        let _ = LossyTopology::new(&g, 1.0, 1);
+        let _ = LossyTopology::new(&g, 1.5, 1);
     }
-
-    use census_stats::OnlineMoments;
 }

@@ -33,7 +33,7 @@
 //! assert_eq!(replicate(4, 7, |r| r.seed), squares.iter().map(|s| s.1).collect::<Vec<_>>());
 //! ```
 
-use census_core::SizeEstimator;
+use census_core::{SizeEstimator, StepBudgeted};
 use census_graph::NodeId;
 use census_metrics::Registry;
 use rand::rngs::SmallRng;
@@ -204,7 +204,7 @@ pub fn replicate_dynamic<E>(
     base_seed: u64,
 ) -> Vec<Vec<RunRecord>>
 where
-    E: SizeEstimator + Sync,
+    E: StepBudgeted + Sync,
 {
     replicate(n_replicas, base_seed, |r| {
         let mut rng = r.rng();

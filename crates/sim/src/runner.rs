@@ -7,12 +7,20 @@
 //! [`Metric::Refreezes`] and [`Metric::WalkRetries`]), and the historical
 //! recorder-less form delegating to it with the no-op recorder. Both
 //! consume the identical RNG stream, so record series are bit-identical.
+//!
+//! Under injected faults ([`crate::faults`]) a run can legitimately fail;
+//! the `try_` runners ([`try_run_static`], [`try_run_dynamic`] and their
+//! variants) degrade gracefully, returning a [`RunFailure`] carrying the
+//! failing run index, the attempts made, the classified fault tally and
+//! every record completed before the failure. The panicking forms are
+//! thin wrappers kept for the fault-free experiment paths.
 
-use census_core::{EstimateError, SizeEstimator};
-use census_graph::NodeId;
+use census_core::{AdaptiveTimeout, EstimateError, LossClass, SizeEstimator, StepBudgeted};
+use census_graph::{NodeId, Topology};
 use census_metrics::{Metric, Recorder, RunCtx, NOOP};
 use census_stats::SlidingWindow;
 use rand::Rng;
+use std::fmt;
 
 use crate::{DynamicNetwork, Scenario};
 
@@ -33,16 +41,17 @@ pub struct RunRecord {
 }
 
 /// Configuration of an experiment run series.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunConfig {
     runs: u64,
     window: Option<usize>,
     retries: u32,
+    adaptive_timeout: Option<f64>,
 }
 
 impl RunConfig {
     /// `runs` estimation runs, no smoothing, up to 5 retries per run for
-    /// walks broken by churn.
+    /// walks broken by churn, no adaptive step budget.
     ///
     /// # Panics
     ///
@@ -54,6 +63,7 @@ impl RunConfig {
             runs,
             window: None,
             retries: 5,
+            adaptive_timeout: None,
         }
     }
 
@@ -71,10 +81,27 @@ impl RunConfig {
     }
 
     /// Sets how many times a failed run is retried from a fresh random
-    /// initiator before the experiment panics.
+    /// initiator before the experiment gives up (panicking runners panic;
+    /// `try_` runners return a [`RunFailure`]).
     #[must_use]
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
+        self
+    }
+
+    /// Enables the §5.3.1 adaptive step budget in the dynamic runner:
+    /// each attempt runs the estimator under a budget of `mean + k·std`
+    /// learned from completed trips (doubling per retry within a run), so
+    /// a probe stranded by churn is declared lost instead of walking
+    /// forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive.
+    #[must_use]
+    pub fn with_adaptive_timeout(mut self, k: f64) -> Self {
+        assert!(k > 0.0, "timeout multiplier must be positive");
+        self.adaptive_timeout = Some(k);
         self
     }
 
@@ -82,6 +109,84 @@ impl RunConfig {
     #[must_use]
     pub fn runs(&self) -> u64 {
         self.runs
+    }
+
+    /// The adaptive-timeout multiplier `k`, if enabled.
+    #[must_use]
+    pub fn adaptive_timeout(&self) -> Option<f64> {
+        self.adaptive_timeout
+    }
+}
+
+/// Classified tally of the failed estimation attempts inside one runner
+/// invocation, by [`LossClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTally {
+    /// Attempts that exceeded their step budget ([`LossClass::Timeout`]).
+    pub timeouts: u64,
+    /// Attempts stranded with no live neighbour — injected loss or an
+    /// isolated probe ([`LossClass::Stuck`]).
+    pub stuck: u64,
+    /// Attempts broken by membership churn ([`LossClass::ChurnBroken`]).
+    pub churn_broken: u64,
+    /// Attempts rejected as degenerate configurations (never retried).
+    pub degenerate: u64,
+    /// Retries spent across all runs (equals the runner's
+    /// [`Metric::WalkRetries`] crediting).
+    pub retries: u64,
+}
+
+impl FaultTally {
+    fn classify(&mut self, e: &EstimateError) {
+        match LossClass::of(e) {
+            LossClass::Timeout => self.timeouts += 1,
+            LossClass::Stuck => self.stuck += 1,
+            LossClass::ChurnBroken => self.churn_broken += 1,
+            LossClass::Degenerate => self.degenerate += 1,
+        }
+    }
+
+    /// Total failed attempts recorded in this tally.
+    #[must_use]
+    pub fn failed_attempts(&self) -> u64 {
+        self.timeouts + self.stuck + self.churn_broken + self.degenerate
+    }
+}
+
+/// A runner gave up on a run: which one, after how many attempts, why —
+/// plus everything that *did* complete, so a partial series is never
+/// thrown away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunFailure {
+    /// Index of the run that could not be completed.
+    pub run: u64,
+    /// Attempts made on the failing run (`1 + retries` unless the error
+    /// was non-retryable).
+    pub attempts: u32,
+    /// The error of the final attempt.
+    pub last_error: EstimateError,
+    /// Classified tally of every failed attempt across the invocation.
+    pub tally: FaultTally,
+    /// Records of the runs completed before the failure.
+    pub completed: Vec<RunRecord>,
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "run {} failed after {} attempt(s): {} ({} run(s) completed before it)",
+            self.run,
+            self.attempts,
+            self.last_error,
+            self.completed.len()
+        )
+    }
+}
+
+impl std::error::Error for RunFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.last_error)
     }
 }
 
@@ -110,6 +215,7 @@ impl RunConfig {
 /// Panics if the overlay becomes empty, or if a run keeps failing after
 /// the configured retries (e.g. the probing node's component has shrunk
 /// to an isolated point — at that point a size estimate is meaningless).
+/// Use [`try_run_dynamic`] to degrade gracefully instead.
 pub fn run_dynamic<E, R>(
     net: &mut DynamicNetwork,
     estimator: &E,
@@ -118,7 +224,7 @@ pub fn run_dynamic<E, R>(
     rng: &mut R,
 ) -> Vec<RunRecord>
 where
-    E: SizeEstimator,
+    E: StepBudgeted,
     R: Rng,
 {
     run_dynamic_rec(net, estimator, config, scenario, rng, &NOOP)
@@ -146,7 +252,74 @@ pub fn run_dynamic_rec<E, R, Rec>(
     recorder: &Rec,
 ) -> Vec<RunRecord>
 where
-    E: SizeEstimator,
+    E: StepBudgeted,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    try_run_dynamic_rec(net, estimator, config, scenario, rng, recorder).unwrap_or_else(|f| {
+        panic!(
+            "run {} failed after {} retries: {}",
+            f.run,
+            f.attempts.saturating_sub(1),
+            f.last_error
+        )
+    })
+}
+
+/// Graceful form of [`run_dynamic`]: instead of panicking when a run
+/// exhausts its retries, returns a [`RunFailure`] with the classified
+/// fault tally and the partial series.
+///
+/// # Errors
+///
+/// Returns [`RunFailure`] when a run fails `1 + retries` times, or
+/// immediately on a non-retryable ([`EstimateError::Degenerate`]) error.
+///
+/// # Panics
+///
+/// Still panics if the scenario empties the overlay — that is a
+/// configuration error, not an injected fault.
+pub fn try_run_dynamic<E, R>(
+    net: &mut DynamicNetwork,
+    estimator: &E,
+    config: &RunConfig,
+    scenario: &Scenario,
+    rng: &mut R,
+) -> Result<Vec<RunRecord>, RunFailure>
+where
+    E: StepBudgeted,
+    R: Rng,
+{
+    try_run_dynamic_rec(net, estimator, config, scenario, rng, &NOOP)
+}
+
+/// [`try_run_dynamic`] with cost observability (see [`run_dynamic_rec`]
+/// for the crediting scheme).
+///
+/// When the config enables [`RunConfig::with_adaptive_timeout`], the
+/// runner keeps an [`AdaptiveTimeout`] over completed trip costs and runs
+/// each attempt under [`StepBudgeted::with_step_budget`] of the learned
+/// `mean + k·std` budget, doubled on each retry within a run — the
+/// §5.3.1 initiator discipline. Without it the estimator runs unbounded
+/// and the series is bit-identical to the historical runner.
+///
+/// # Errors
+///
+/// Same as [`try_run_dynamic`].
+///
+/// # Panics
+///
+/// Same as [`try_run_dynamic`].
+pub fn try_run_dynamic_rec<E, R, Rec>(
+    net: &mut DynamicNetwork,
+    estimator: &E,
+    config: &RunConfig,
+    scenario: &Scenario,
+    rng: &mut R,
+    recorder: &Rec,
+) -> Result<Vec<RunRecord>, RunFailure>
+where
+    E: StepBudgeted,
     R: Rng,
     Rec: Recorder + ?Sized,
 {
@@ -155,6 +328,10 @@ where
     let mut probe: Option<NodeId> = None;
     let mut cached_truth: Option<f64> = None;
     let mut frozen = net.freeze();
+    let mut tally = FaultTally::default();
+    let mut tracker = config
+        .adaptive_timeout
+        .map(|k| AdaptiveTimeout::new(u64::MAX, k).with_warmup(10));
 
     for run in 0..config.runs {
         let delta = scenario.delta_at(run);
@@ -178,22 +355,54 @@ where
         let mut estimate = None;
         for attempt in 0..=config.retries {
             let probing = probe.expect("probe was just ensured");
+            // Under the adaptive discipline each attempt gets a learned
+            // step budget, doubled per retry so a mis-learned budget
+            // cannot wedge the run.
+            let budgeted;
+            let attempt_estimator: &E = match tracker.as_ref() {
+                Some(t) => {
+                    let base = t.budget();
+                    let budget = if base == u64::MAX {
+                        u64::MAX
+                    } else {
+                        base.saturating_mul(1u64 << attempt.min(63))
+                    };
+                    budgeted = estimator.with_step_budget(budget);
+                    &budgeted
+                }
+                None => estimator,
+            };
             let mut ctx = RunCtx::with_recorder(&frozen, &mut *rng, recorder);
-            match estimator.estimate_with(&mut ctx, probing) {
+            match attempt_estimator.estimate_with(&mut ctx, probing) {
                 Ok(e) => {
+                    if let Some(t) = tracker.as_mut() {
+                        t.record(e.messages);
+                    }
                     estimate = Some(e);
                     break;
                 }
-                Err(EstimateError::Walk(_)) if attempt < config.retries => {
-                    // Churn-broken walk: re-draw the probing node.
+                Err(e @ EstimateError::Walk(_)) if attempt < config.retries => {
+                    // Churn-broken (or faulted) walk: re-draw the
+                    // probing node and try again.
+                    tally.classify(&e);
+                    tally.retries += 1;
                     recorder.incr(Metric::WalkRetries, 1);
                     probe = Some(net.graph().random_node(rng).expect("overlay is non-empty"));
                     cached_truth = None;
                 }
-                Err(e) => panic!("run {run} failed after {attempt} retries: {e}"),
+                Err(e) => {
+                    tally.classify(&e);
+                    return Err(RunFailure {
+                        run,
+                        attempts: attempt + 1,
+                        last_error: e,
+                        tally,
+                        completed: records,
+                    });
+                }
             }
         }
-        let estimate = estimate.expect("loop either sets an estimate or panics");
+        let estimate = estimate.expect("loop either sets an estimate or returns");
         let probing = probe.expect("probe is set");
         recorder.incr(Metric::EstimatesCompleted, 1);
         recorder.incr(Metric::ReportedMessages, estimate.messages);
@@ -214,7 +423,7 @@ where
             messages: estimate.messages,
         });
     }
-    records
+    Ok(records)
 }
 
 /// Repeats an estimator on a *static* overlay, returning the raw series —
@@ -231,7 +440,8 @@ where
 /// # Panics
 ///
 /// Panics if any run fails (static overlays cannot break walks unless the
-/// initiator is isolated, which is a configuration error).
+/// initiator is isolated, which is a configuration error). Use
+/// [`try_run_static`] to degrade gracefully under injected faults.
 pub fn run_static<E, R>(
     net: &DynamicNetwork,
     estimator: &E,
@@ -271,25 +481,145 @@ where
     R: Rng,
     Rec: Recorder + ?Sized,
 {
+    if runs == 0 {
+        return Vec::new();
+    }
+    try_run_static_rec(
+        net,
+        estimator,
+        initiator,
+        &RunConfig::new(runs).with_retries(0),
+        rng,
+        recorder,
+    )
+    .unwrap_or_else(|f| panic!("static run {} failed: {}", f.run, f.last_error))
+}
+
+/// Graceful form of [`run_static`]: retries failed runs (same initiator —
+/// the probing node does not change on a static overlay) up to the
+/// config's retry budget, and returns a [`RunFailure`] with the fault
+/// tally and partial series instead of panicking when a run cannot
+/// complete.
+///
+/// # Errors
+///
+/// Returns [`RunFailure`] when a run fails `1 + retries` times, or
+/// immediately on a non-retryable ([`EstimateError::Degenerate`]) error.
+pub fn try_run_static<E, R>(
+    net: &DynamicNetwork,
+    estimator: &E,
+    initiator: NodeId,
+    config: &RunConfig,
+    rng: &mut R,
+) -> Result<Vec<RunRecord>, RunFailure>
+where
+    E: SizeEstimator,
+    R: Rng,
+{
+    try_run_static_rec(net, estimator, initiator, config, rng, &NOOP)
+}
+
+/// [`try_run_static`] with cost observability (crediting as in
+/// [`run_static_rec`], plus [`Metric::WalkRetries`] per retried attempt).
+///
+/// # Errors
+///
+/// Same as [`try_run_static`].
+pub fn try_run_static_rec<E, R, Rec>(
+    net: &DynamicNetwork,
+    estimator: &E,
+    initiator: NodeId,
+    config: &RunConfig,
+    rng: &mut R,
+    recorder: &Rec,
+) -> Result<Vec<RunRecord>, RunFailure>
+where
+    E: SizeEstimator,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
     let truth = net.component_size_of(initiator) as f64;
     let frozen = net.freeze();
-    (0..runs)
-        .map(|run| {
-            let mut ctx = RunCtx::with_recorder(&frozen, &mut *rng, recorder);
-            let e = estimator
-                .estimate_with(&mut ctx, initiator)
-                .unwrap_or_else(|err| panic!("static run {run} failed: {err}"));
-            recorder.incr(Metric::EstimatesCompleted, 1);
-            recorder.incr(Metric::ReportedMessages, e.messages);
-            RunRecord {
-                run,
-                true_size: truth,
-                estimate: e.value,
-                smoothed: e.value,
-                messages: e.messages,
+    try_run_static_on(&frozen, truth, estimator, initiator, config, rng, recorder)
+}
+
+/// The static runner over an arbitrary [`Topology`] — the entry point for
+/// fault-injection experiments, where the walked topology is a
+/// [`crate::faults::FaultyTopology`] wrapper rather than a frozen
+/// [`DynamicNetwork`] snapshot and ground truth is supplied by the
+/// caller.
+///
+/// Failed runs are retried with the same initiator up to the config's
+/// retry budget, crediting [`Metric::WalkRetries`] per retry; runs that
+/// complete are recorded exactly as in [`run_static_rec`].
+///
+/// # Errors
+///
+/// Returns [`RunFailure`] when a run fails `1 + retries` times, or
+/// immediately on a non-retryable ([`EstimateError::Degenerate`]) error.
+pub fn try_run_static_on<T, E, R, Rec>(
+    topology: &T,
+    true_size: f64,
+    estimator: &E,
+    initiator: NodeId,
+    config: &RunConfig,
+    rng: &mut R,
+    recorder: &Rec,
+) -> Result<Vec<RunRecord>, RunFailure>
+where
+    T: Topology + ?Sized,
+    E: SizeEstimator,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    let mut records = Vec::with_capacity(config.runs as usize);
+    let mut window = config.window.map(SlidingWindow::new);
+    let mut tally = FaultTally::default();
+    for run in 0..config.runs {
+        let mut estimate = None;
+        for attempt in 0..=config.retries {
+            let mut ctx = RunCtx::with_recorder(topology, &mut *rng, recorder);
+            match estimator.estimate_with(&mut ctx, initiator) {
+                Ok(e) => {
+                    estimate = Some(e);
+                    break;
+                }
+                Err(e @ EstimateError::Walk(_)) if attempt < config.retries => {
+                    tally.classify(&e);
+                    tally.retries += 1;
+                    recorder.incr(Metric::WalkRetries, 1);
+                }
+                Err(e) => {
+                    tally.classify(&e);
+                    return Err(RunFailure {
+                        run,
+                        attempts: attempt + 1,
+                        last_error: e,
+                        tally,
+                        completed: records,
+                    });
+                }
             }
-        })
-        .collect()
+        }
+        let e = estimate.expect("loop either sets an estimate or returns");
+        recorder.incr(Metric::EstimatesCompleted, 1);
+        recorder.incr(Metric::ReportedMessages, e.messages);
+        let smoothed = match &mut window {
+            Some(w) => {
+                w.push(e.value);
+                w.mean()
+            }
+            None => e.value,
+        };
+        records.push(RunRecord {
+            run,
+            true_size,
+            estimate: e.value,
+            smoothed,
+            messages: e.messages,
+        });
+    }
+    Ok(records)
 }
 
 /// Post-processes a record series into the paper's "quality %" cumulative
@@ -311,6 +641,7 @@ pub fn cumulative_quality_percent(records: &[RunRecord]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::JoinRule;
     use census_core::{PointEstimator, RandomTour, SampleCollide};
     use census_graph::generators;
@@ -444,5 +775,79 @@ mod tests {
         assert_eq!(reg.counter(Metric::EstimatesCompleted), 50);
         let reported: u64 = recs.iter().map(|r| r.messages).sum();
         assert_eq!(reg.counter(Metric::ReportedMessages), reported);
+    }
+
+    #[test]
+    fn try_run_static_matches_the_panicking_runner_when_nothing_fails() {
+        let (net, mut rng) = net(200, 8);
+        let probe = net.graph().random_node(&mut rng).expect("non-empty");
+        let mut plain_rng = rng.clone();
+        let tried = try_run_static(
+            &net,
+            &RandomTour::new(),
+            probe,
+            &RunConfig::new(30).with_retries(0),
+            &mut rng,
+        )
+        .expect("fault-free static runs cannot fail");
+        let plain = run_static(&net, &RandomTour::new(), probe, 30, &mut plain_rng);
+        assert_eq!(tried, plain, "graceful runner must not perturb the series");
+    }
+
+    #[test]
+    fn try_run_static_on_reports_the_fault_tally_on_give_up() {
+        use census_metrics::{Metric, Registry};
+        let g = generators::ring(20);
+        // Certain loss: every attempt dies stuck at the first hop.
+        let faulty = FaultPlan::new().with_message_loss(1.0, 11).apply(&g);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let failure = try_run_static_on(
+            &faulty,
+            20.0,
+            &RandomTour::new(),
+            NodeId::new(0),
+            &RunConfig::new(10).with_retries(3),
+            &mut rng,
+            &reg,
+        )
+        .expect_err("certain loss must exhaust the retries");
+        assert_eq!(failure.run, 0);
+        assert_eq!(failure.attempts, 4);
+        assert!(failure.completed.is_empty());
+        assert_eq!(failure.tally.stuck, 4);
+        assert_eq!(failure.tally.retries, 3);
+        assert_eq!(failure.tally.failed_attempts(), 4);
+        assert_eq!(reg.counter(Metric::WalkRetries), 3);
+        assert_eq!(reg.counter(Metric::EstimatesCompleted), 0);
+        let shown = failure.to_string();
+        assert!(shown.contains("run 0 failed after 4 attempt(s)"), "{shown}");
+        assert!(
+            std::error::Error::source(&failure).is_some(),
+            "failure must chain to the walk error"
+        );
+    }
+
+    #[test]
+    fn dynamic_adaptive_timeout_completes_on_a_stable_overlay() {
+        let (mut net, mut rng) = net(300, 10);
+        let recs = try_run_dynamic(
+            &mut net,
+            &RandomTour::new(),
+            &RunConfig::new(60).with_adaptive_timeout(6.0),
+            &Scenario::new(),
+            &mut rng,
+        )
+        .expect("a stable overlay with k=6 budgets must complete");
+        assert_eq!(recs.len(), 60);
+        assert!(recs.iter().all(|r| r.estimate > 0.0));
+    }
+
+    #[test]
+    fn run_static_with_zero_runs_returns_an_empty_series() {
+        let (net, mut rng) = net(50, 12);
+        let probe = net.graph().random_node(&mut rng).expect("non-empty");
+        let recs = run_static(&net, &RandomTour::new(), probe, 0, &mut rng);
+        assert!(recs.is_empty());
     }
 }

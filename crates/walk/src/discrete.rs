@@ -77,11 +77,13 @@ where
 ///
 /// Records [`Metric::TourHops`] for every hop actually sent — including
 /// the hops a lost tour spent before failing — so the registry's message
-/// total reflects true overlay traffic. Completed tours additionally
-/// record [`Metric::ToursCompleted`] and a
-/// [`HistogramMetric::TourLength`] observation; failures record
-/// [`Metric::ToursLost`] (plus [`Metric::WalkTimeouts`] when the step
-/// budget expired).
+/// total reflects true overlay traffic. Every attempt ends in exactly one
+/// of three events: completed tours record [`Metric::ToursCompleted`]
+/// (plus a [`HistogramMetric::TourLength`] observation), walks stranded
+/// on a dead or isolated peer record [`Metric::ToursLost`], and walks
+/// aborted by the step budget record [`Metric::WalkTimeouts`]. The three
+/// counters are disjoint, so `ToursCompleted + ToursLost + WalkTimeouts`
+/// reconciles exactly with the number of tour attempts made.
 ///
 /// # Errors
 ///
@@ -115,7 +117,6 @@ where
         if steps >= cap {
             ctx.on_message(Metric::TourHops, steps);
             ctx.on_event(Metric::WalkTimeouts, 1);
-            ctx.on_event(Metric::ToursLost, 1);
             return Err(WalkError::Timeout(steps));
         }
         on_visit(current);
@@ -498,9 +499,35 @@ mod tests {
         let res = random_tour_ctx(&mut ctx, NodeId::new(0), Some(1), |_| {});
         assert_eq!(res, Err(WalkError::Timeout(1)));
         assert_eq!(reg.counter(Metric::TourHops), 1, "spent hop still counted");
-        assert_eq!(reg.counter(Metric::ToursLost), 1);
+        // A timeout is *not* a lost tour: the outcome counters are
+        // disjoint so their sum reconciles with attempts made.
+        assert_eq!(reg.counter(Metric::ToursLost), 0);
         assert_eq!(reg.counter(Metric::WalkTimeouts), 1);
         assert_eq!(reg.counter(Metric::ToursCompleted), 0);
+    }
+
+    #[test]
+    fn tour_outcome_counters_partition_attempts() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        // Three attempts with three distinct outcomes: one completion,
+        // one timeout, one stuck walk. Each increments exactly one
+        // outcome counter.
+        let reg = Registry::new();
+        let ring = generators::ring(50);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut ctx = RunCtx::with_recorder(&ring, &mut rng, &reg);
+        random_tour_ctx(&mut ctx, NodeId::new(0), None, |_| {}).expect("completes");
+        let mut ctx = RunCtx::with_recorder(&ring, &mut rng, &reg);
+        assert!(random_tour_ctx(&mut ctx, NodeId::new(0), Some(1), |_| {}).is_err());
+        let mut isolated = Graph::new();
+        let lone = isolated.add_node();
+        let mut ctx = RunCtx::with_recorder(&isolated, &mut rng, &reg);
+        assert!(random_tour_ctx(&mut ctx, lone, None, |_| {}).is_err());
+        let completed = reg.counter(Metric::ToursCompleted);
+        let lost = reg.counter(Metric::ToursLost);
+        let timeouts = reg.counter(Metric::WalkTimeouts);
+        assert_eq!((completed, lost, timeouts), (1, 1, 1));
+        assert_eq!(completed + lost + timeouts, 3, "one outcome per attempt");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! | [`walk`] | discrete- and continuous-time random walk engines, message accounting |
 //! | [`sampling`] | the CTRW uniform peer sampler and its baselines |
 //! | [`core`] | **Random Tour** and **Sample & Collide** estimators + baselines |
-//! | [`sim`] | churn scenarios, dynamic experiment runners, message-loss models |
+//! | [`sim`] | churn scenarios, dynamic experiment runners, fault injection ([`sim::faults`]) |
 //! | [`proto`] | the same protocols at message level: discrete-event delivery, latencies, concurrent operations, departures, timeouts |
 //!
 //! ## Quickstart
@@ -65,14 +65,15 @@ pub use census_walk as walk;
 /// pick a sampler, run an estimator, evaluate the result.
 pub mod prelude {
     pub use census_core::{
-        AdaptiveSampleCollide, Estimate, EstimateError, PointEstimator, RandomTour, SampleCollide,
-        SizeEstimator,
+        AdaptiveSampleCollide, AdaptiveTimeout, Estimate, EstimateError, PointEstimator,
+        RandomTour, SampleCollide, SizeEstimator, StepBudgeted, Supervised,
     };
     pub use census_graph::{generators, Graph, NodeId, Topology};
     pub use census_metrics::{Metric, NoopRecorder, Recorder, Registry, RunCtx};
     pub use census_sampling::{
         CtrwSampler, DtrwSampler, MetropolisSampler, OracleSampler, Sampler,
     };
+    pub use census_sim::faults::FaultPlan;
     pub use census_sim::{DynamicNetwork, JoinRule, Scenario};
     pub use census_stats::{Ecdf, OnlineMoments, SlidingWindow, Summary};
 }

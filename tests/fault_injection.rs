@@ -1,0 +1,171 @@
+//! Acceptance tests for the fault-injection harness and the resilient
+//! estimation supervisor: under §5.3.1-style message loss, the
+//! supervised Random Tour stays complete *and* unbiased, the naive
+//! retry-until-success strategy stays biased low, counters reconcile
+//! exactly, and fault randomness never perturbs walk randomness.
+
+use overlay_census::core::supervisor::{AdaptiveTimeout, Supervised};
+use overlay_census::prelude::*;
+use overlay_census::sim::faults::FaultPlan;
+use overlay_census::sim::parallel::splitmix64;
+use overlay_census::sim::runner::{try_run_static_on, RunConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PAPER_SEED: u64 = 20060723;
+
+/// The ISSUE's acceptance bar: balanced 10k-node overlay, per-hop loss
+/// p = 0.001 over a transport with 2 retransmits, supervised Random Tour
+/// with a `mean + 6·std` adaptive budget — ≥ 99% of runs complete and
+/// the mean lands within 10% of truth, with the attempt ledger
+/// reconciling exactly.
+#[test]
+fn supervised_random_tour_survives_message_loss_unbiased() {
+    let mut rng = SmallRng::seed_from_u64(PAPER_SEED);
+    let g = generators::balanced(10_000, 10, &mut rng);
+    let probe = g.random_node(&mut rng).expect("non-empty");
+    let truth = 10_000.0;
+
+    let faulty = FaultPlan::new()
+        .with_message_loss(0.001, PAPER_SEED ^ 0xFA)
+        .with_retransmits(2)
+        .apply(&g);
+    let supervised = Supervised::new(RandomTour::new())
+        .with_timeout(AdaptiveTimeout::new(u64::MAX, 6.0).with_warmup(10))
+        .with_retries(5);
+    let reg = Registry::new();
+
+    let runs = 1_500u64;
+    let records = try_run_static_on(
+        &faulty,
+        truth,
+        &supervised,
+        probe,
+        // The supervisor owns the retries; the runner adds none.
+        &RunConfig::new(runs).with_retries(0),
+        &mut rng,
+        &reg,
+    )
+    .expect("supervised estimation must complete every run");
+
+    // Completion: the supervisor absorbed every injected fault.
+    assert_eq!(records.len() as u64, runs, ">= 99% of runs must complete");
+
+    let mean = records.iter().map(|r| r.estimate).sum::<f64>() / runs as f64;
+    let rel = (mean - truth).abs() / truth;
+    assert!(
+        rel < 0.10,
+        "supervised mean {mean} must lie within 10% of {truth} (off by {:.1}%)",
+        100.0 * rel
+    );
+
+    // The attempt ledger reconciles exactly: every supervisor attempt is
+    // exactly one tour outcome, and attempts = runs + retries.
+    let stats = supervised.stats();
+    let outcomes = reg.counter(Metric::ToursCompleted)
+        + reg.counter(Metric::ToursLost)
+        + reg.counter(Metric::WalkTimeouts);
+    assert_eq!(
+        outcomes, stats.attempts,
+        "tour outcomes must equal attempts"
+    );
+    assert_eq!(
+        stats.attempts,
+        runs + reg.counter(Metric::WalkRetries),
+        "attempts must equal runs plus credited retries"
+    );
+    assert_eq!(stats.completed, runs);
+    assert!(
+        faulty.fault_snapshot().drops > 0,
+        "the fault plan must actually have fired"
+    );
+}
+
+/// The bias the supervisor exists to avoid: at the same loss rate, naive
+/// retry-until-success over a non-retransmitting transport completes
+/// runs happily — but its survivors are overwhelmingly the shortest
+/// tours, so the mean collapses far below the truth (the truncated-tour
+/// law pinned in `census_sim::loss`).
+#[test]
+fn naive_retry_until_success_is_biased_low_under_loss() {
+    let mut rng = SmallRng::seed_from_u64(PAPER_SEED + 1);
+    let g = generators::balanced(10_000, 10, &mut rng);
+    let probe = g.random_node(&mut rng).expect("non-empty");
+
+    let faulty = FaultPlan::new()
+        .with_message_loss(0.001, PAPER_SEED ^ 0xFB)
+        .apply(&g);
+    let rt = RandomTour::new();
+
+    let mut survivors = Vec::new();
+    for _ in 0..50 {
+        for _ in 0..40 {
+            if let Ok(est) = rt.estimate_with(&mut RunCtx::new(&faulty, &mut rng), probe) {
+                survivors.push(est.value);
+                break;
+            }
+        }
+    }
+    assert!(
+        survivors.len() >= 25,
+        "retry-until-success does complete runs ({}/50)",
+        survivors.len()
+    );
+    let mean = survivors.iter().sum::<f64>() / survivors.len() as f64;
+    assert!(
+        mean < 0.5 * 10_000.0,
+        "naive survivor mean {mean} must be biased far below 10000"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// RNG-stream isolation: for ANY fault configuration, a walk that
+    /// survives the fault plan produces bit-for-bit the estimate of the
+    /// fault-free walk with the same walk seed — fault layers may
+    /// truncate a walk, never steer it. This is what makes the surviving
+    /// estimate stream a subsequence of the fault-free estimate stream.
+    #[test]
+    fn surviving_walks_match_their_fault_free_twins(
+        fault_seed in any::<u64>(),
+        loss in 0.0f64..0.3,
+        stale in 0.0f64..0.2,
+        crash in 0.0f64..0.01,
+        retransmits in 0u32..3,
+    ) {
+        let mut build_rng = SmallRng::seed_from_u64(77);
+        let g = generators::balanced(300, 10, &mut build_rng);
+        let probe = g.nodes().next().expect("non-empty");
+        let faulty = FaultPlan::new()
+            .with_message_loss(loss, fault_seed)
+            .with_stale_links(stale, splitmix64(fault_seed))
+            .with_crashes(crash, splitmix64(fault_seed ^ 1))
+            .with_retransmits(retransmits)
+            .apply(&g);
+        let rt = RandomTour::new();
+        let mut survived = 0u32;
+        for i in 0..40u64 {
+            let walk_seed = splitmix64(0x4242 ^ i);
+            let free = rt
+                .estimate_with(
+                    &mut RunCtx::new(&g, &mut SmallRng::seed_from_u64(walk_seed)),
+                    probe,
+                )
+                .expect("fault-free balanced overlay cannot fail");
+            if let Ok(est) = rt.estimate_with(
+                &mut RunCtx::new(&faulty, &mut SmallRng::seed_from_u64(walk_seed)),
+                probe,
+            ) {
+                survived += 1;
+                prop_assert_eq!(est.value, free.value);
+                prop_assert_eq!(est.messages, free.messages);
+            }
+        }
+        // Sanity: the harness is not vacuous — something survives at the
+        // benign end of the grid (tiny loss, some retransmits).
+        if loss < 0.01 && stale < 0.01 && crash < 0.001 {
+            prop_assert!(survived > 0, "benign faults must let walks through");
+        }
+    }
+}

@@ -77,7 +77,7 @@ fn recorded_tour_hops_match_the_closed_form_on_a_balanced_overlay() {
     let mut ctx = RunCtx::with_recorder(&g, &mut rng, &costs);
     let rt = RandomTour::new();
     for _ in 0..tours {
-        rt.estimate_with(&mut ctx, me).expect("connected");
+        let _ = rt.estimate_with(&mut ctx, me).expect("connected");
     }
 
     let mean_hops = costs.counter(Metric::TourHops) as f64 / tours as f64;
