@@ -1,21 +1,27 @@
-//! Headline performance probe: `BENCH_2.json`.
+//! Headline performance probes: `BENCH_2.json` and `BENCH_4.json`.
 //!
-//! A dependency-free (no criterion harness) wall-clock probe of the two
-//! numbers this PR and its predecessor promise to hold:
+//! A dependency-free (no criterion harness) wall-clock probe of the
+//! numbers the stacked PRs promise to hold:
 //!
 //! 1. `frozen_vs_live` — CSR snapshot walk throughput vs the live
 //!    adjacency-list graph (PR 1's claim).
 //! 2. `recorder_overhead` — the no-op recorder vs a live atomic
-//!    [`Registry`] on the same tour workload (this PR's ≤ 5% budget).
+//!    [`Registry`] on the same tour workload (PR 2's ≤ 5% budget).
+//! 3. `--service` — end-to-end [`CensusService`] throughput
+//!    (queries/sec) at the paper's N = 100,000 for several worker
+//!    counts, with and without a concurrent churn stream (PR 4's
+//!    scaling claim). Writes `BENCH_4.json`.
 //!
 //! ```text
 //! cargo run --release -p census-bench --bin perf-probe [-- --out BENCH_2.json]
+//! cargo run --release -p census-bench --bin perf-probe -- --service [--smoke]
 //! ```
 //!
 //! Each arm re-seeds its RNG identically, so every variant walks the
 //! exact same hop sequence and the ratio isolates the representation /
-//! recording cost. Medians over `REPEATS` timed passes keep one noisy
-//! scheduler quantum from skewing the headline ratios.
+//! recording / scheduling cost. Medians over repeated timed passes keep
+//! one noisy scheduler quantum from skewing the headline ratios.
+//! `--smoke` shrinks the service probe to a seconds-scale CI check.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +30,8 @@ use std::time::Instant;
 use census_core::{RandomTour, SizeEstimator};
 use census_graph::generators;
 use census_metrics::{Registry, RunCtx};
+use census_service::{CensusService, Counter, Query, ServiceConfig};
+use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -33,7 +41,9 @@ const REPEATS: usize = 9;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let mut out = PathBuf::from("BENCH_2.json");
+    let mut out: Option<PathBuf> = None;
+    let mut service = false;
+    let mut smoke = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => {
@@ -41,10 +51,13 @@ fn main() -> ExitCode {
                     eprintln!("--out needs a path");
                     return ExitCode::FAILURE;
                 };
-                out = PathBuf::from(v);
+                out = Some(PathBuf::from(v));
             }
+            "--service" => service = true,
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!("usage: perf-probe [--out BENCH_2.json]");
+                println!("       perf-probe --service [--smoke] [--out BENCH_4.json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -53,7 +66,14 @@ fn main() -> ExitCode {
             }
         }
     }
+    if service {
+        service_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_4.json")), smoke)
+    } else {
+        headline_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_2.json")))
+    }
+}
 
+fn headline_probe(out: PathBuf) -> ExitCode {
     let mut rng = SmallRng::seed_from_u64(1);
     let g = generators::balanced(PAPER_N, 10, &mut rng);
     let frozen = g.freeze();
@@ -65,21 +85,21 @@ fn main() -> ExitCode {
         "perf probe on balanced N = {PAPER_N} ({TOURS_PER_PASS} tours/pass, median of {REPEATS})"
     );
 
-    let live_s = median_secs(|| {
+    let live_s = median_secs(REPEATS, || {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ctx = RunCtx::new(&g, &mut rng);
         for _ in 0..TOURS_PER_PASS {
             let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
         }
     });
-    let frozen_noop_s = median_secs(|| {
+    let frozen_noop_s = median_secs(REPEATS, || {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ctx = RunCtx::new(&frozen, &mut rng);
         for _ in 0..TOURS_PER_PASS {
             let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
         }
     });
-    let frozen_registry_s = median_secs(|| {
+    let frozen_registry_s = median_secs(REPEATS, || {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut ctx = RunCtx::with_recorder(&frozen, &mut rng, &registry);
         for _ in 0..TOURS_PER_PASS {
@@ -106,9 +126,93 @@ fn main() -> ExitCode {
         recorder_overhead_pct,
         recorder_budget_pct: 5.0,
     };
-    match serde_json::to_string_pretty(&report) {
+    write_report(&report, &out)
+}
+
+/// `BENCH_4.json`: queries/sec through the full service stack — queue,
+/// epoch pinning, worker pool — for several worker counts, with and
+/// without churn racing the queries.
+fn service_probe(out: PathBuf, smoke: bool) -> ExitCode {
+    let (n, queries, worker_counts, repeats): (usize, u64, &[usize], usize) = if smoke {
+        (5_000, 12, &[1, 2], 1)
+    } else {
+        (PAPER_N, 48, &[1, 2, 4, 8], 3)
+    };
+    // ~2% of the overlay departs across 8 events while queries run.
+    let events = Scenario::new()
+        .remove_gradually(0, 8, (n / 50) as u64)
+        .events(8);
+
+    println!(
+        "service probe on balanced N = {n} ({queries} tour queries/pass, median of {repeats})"
+    );
+    let mut arms = Vec::new();
+    for &workers in worker_counts {
+        let quiet_s = median_secs(repeats, || run_service_pass(n, workers, queries, &[]));
+        let churn_s = median_secs(repeats, || run_service_pass(n, workers, queries, &events));
+        let arm = ServiceArm {
+            workers,
+            no_churn_qps: queries as f64 / quiet_s,
+            churn_qps: queries as f64 / churn_s,
+        };
+        println!(
+            "  {workers} worker(s): {:.1} q/s quiet, {:.1} q/s under churn",
+            arm.no_churn_qps, arm.churn_qps
+        );
+        arms.push(arm);
+    }
+
+    let qps_at = |w: usize| arms.iter().find(|a| a.workers == w).map(|a| a.no_churn_qps);
+    let scaling_1_to_4 = match (qps_at(1), qps_at(4)) {
+        (Some(one), Some(four)) => Some(four / one),
+        _ => None,
+    };
+    if let Some(s) = scaling_1_to_4 {
+        println!("  1 -> 4 workers: {s:.2}x throughput");
+    }
+
+    let report = ServiceReport {
+        n,
+        queries_per_pass: queries,
+        repeats,
+        arms,
+        scaling_1_to_4,
+    };
+    write_report(&report, &out)
+}
+
+/// Serves `queries` Random Tour count queries and returns the wall-clock
+/// seconds from first submission to full drain.
+fn run_service_pass(n: usize, workers: usize, queries: u64, events: &[MembershipDelta]) -> f64 {
+    // Identical seeds per pass: every arm serves the same overlay and
+    // the same query streams; only the schedule differs.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let net = DynamicNetwork::new(
+        generators::balanced(n, 10, &mut rng),
+        JoinRule::Balanced { max_degree: 10 },
+    );
+    let config = ServiceConfig::new(33)
+        .with_workers(workers)
+        .with_queue_capacity(queries.max(1) as usize);
+    let mut service = CensusService::new(net, config);
+
+    let start = Instant::now();
+    let ((), outcomes) = service.serve(events, |census| {
+        for _ in 0..queries {
+            census
+                .submit(Query::Count(Counter::RandomTour(RandomTour::new())))
+                .expect("queue sized to the full load");
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(outcomes.len() as u64, queries, "ledger must reconcile");
+    secs
+}
+
+fn write_report<T: serde::Serialize>(report: &T, out: &PathBuf) -> ExitCode {
+    match serde_json::to_string_pretty(report) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(&out, json) {
+            if let Err(e) = std::fs::write(out, json) {
                 eprintln!("cannot write {}: {e}", out.display());
                 return ExitCode::FAILURE;
             }
@@ -122,17 +226,37 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Median wall-clock seconds of `REPEATS` timed invocations of `f`.
-fn median_secs<F: FnMut()>(mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..REPEATS)
+/// Median wall-clock seconds of `repeats` timed invocations of `f` —
+/// unless `f` itself returns the duration to score (the service pass
+/// times only the serve window, excluding overlay construction).
+fn median_secs<F: FnMut() -> R, R: IntoSecs>(repeats: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats)
         .map(|_| {
             let start = Instant::now();
-            f();
-            start.elapsed().as_secs_f64()
+            let r = f();
+            r.into_secs(start.elapsed().as_secs_f64())
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     samples[samples.len() / 2]
+}
+
+/// What a timed pass scores: `()` passes score their own wall time, `f64`
+/// passes score the duration they measured internally.
+trait IntoSecs {
+    fn into_secs(self, elapsed: f64) -> f64;
+}
+
+impl IntoSecs for () {
+    fn into_secs(self, elapsed: f64) -> f64 {
+        elapsed
+    }
+}
+
+impl IntoSecs for f64 {
+    fn into_secs(self, _elapsed: f64) -> f64 {
+        self
+    }
 }
 
 /// `BENCH_2.json` payload.
@@ -147,4 +271,23 @@ struct Report {
     frozen_speedup_vs_live: f64,
     recorder_overhead_pct: f64,
     recorder_budget_pct: f64,
+}
+
+/// `BENCH_4.json` payload.
+#[derive(serde::Serialize)]
+struct ServiceReport {
+    n: usize,
+    queries_per_pass: u64,
+    repeats: usize,
+    arms: Vec<ServiceArm>,
+    /// Quiet-overlay throughput ratio of the 4-worker arm over the
+    /// 1-worker arm; absent when either arm was not measured (`--smoke`).
+    scaling_1_to_4: Option<f64>,
+}
+
+#[derive(serde::Serialize)]
+struct ServiceArm {
+    workers: usize,
+    no_churn_qps: f64,
+    churn_qps: f64,
 }

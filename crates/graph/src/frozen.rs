@@ -46,14 +46,33 @@ use crate::{Graph, NodeId};
 /// assert_eq!(f.degree(a), g.degree(a));
 /// # Ok::<(), census_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FrozenView {
     offsets: Vec<u32>,
     neighbors: Vec<NodeId>,
     live: Vec<NodeId>,
     alive: Vec<bool>,
     num_edges: usize,
+    epoch: u64,
 }
+
+/// Structural equality: two snapshots are equal when they freeze the same
+/// topology, regardless of *when* they were taken — the [`epoch`] stamp
+/// does not participate, so re-freezing an unchanged graph yields a view
+/// equal to its predecessor.
+///
+/// [`epoch`]: FrozenView::epoch
+impl PartialEq for FrozenView {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.neighbors == other.neighbors
+            && self.live == other.live
+            && self.alive == other.alive
+            && self.num_edges == other.num_edges
+    }
+}
+
+impl Eq for FrozenView {}
 
 impl Graph {
     /// Builds a flat CSR snapshot of the current live topology.
@@ -89,6 +108,7 @@ impl Graph {
             live,
             alive,
             num_edges: self.num_edges(),
+            epoch: self.next_freeze_epoch(),
         }
     }
 }
@@ -168,6 +188,18 @@ impl FrozenView {
     pub fn degree_sum(&self) -> usize {
         self.neighbors.len()
     }
+
+    /// Which freeze of the source graph produced this snapshot.
+    ///
+    /// The first [`Graph::freeze`] stamps epoch 0 and every subsequent
+    /// freeze of the *same* graph instance stamps the next integer, so a
+    /// consumer holding several snapshots can order them and measure
+    /// staleness (`latest.epoch() - pinned.epoch()`). Equality ignores
+    /// the stamp; see the [`PartialEq`] impl.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +273,25 @@ mod tests {
             let frac = f64::from(c) / 30_000.0;
             assert!((frac - 1.0 / 3.0).abs() < 0.02, "frequency {frac}");
         }
+    }
+
+    #[test]
+    fn epoch_advances_per_freeze_and_is_ignored_by_equality() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::balanced(64, 4, &mut rng);
+        assert_eq!(g.freeze_count(), 0);
+        let first = g.freeze();
+        let second = g.freeze();
+        assert_eq!(first.epoch(), 0);
+        assert_eq!(second.epoch(), 1);
+        assert_eq!(g.freeze_count(), 2);
+        // Same topology, different stamp: still equal snapshots.
+        assert_eq!(first, second);
+        // A clone starts from the source's counter, not from zero.
+        let cloned = g.clone();
+        assert_eq!(cloned.freeze().epoch(), 2);
+        // ... and the original is unaffected by the clone's freezes.
+        assert_eq!(g.freeze().epoch(), 2);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::Rng;
 
@@ -61,12 +62,29 @@ impl Error for GraphError {}
 /// assert_eq!(g.num_edges(), 1);
 /// # Ok::<(), census_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Graph {
     adjacency: Vec<Vec<NodeId>>,
     alive: Vec<bool>,
     num_alive: usize,
     num_edges: usize,
+    /// Monotone freeze counter: each [`Graph::freeze`] stamps the snapshot
+    /// with the current value and advances it. Interior mutability keeps
+    /// `freeze(&self)` a read-only borrow; relaxed ordering suffices
+    /// because the counter carries no cross-thread data dependency.
+    freeze_epoch: AtomicU64,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Self {
+            adjacency: self.adjacency.clone(),
+            alive: self.alive.clone(),
+            num_alive: self.num_alive,
+            num_edges: self.num_edges,
+            freeze_epoch: AtomicU64::new(self.freeze_epoch.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Structural equality: same slot count, same live slots, same edge
@@ -104,7 +122,20 @@ impl Graph {
             alive: Vec::with_capacity(n),
             num_alive: 0,
             num_edges: 0,
+            freeze_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Number of snapshots taken so far; the next [`Graph::freeze`] stamps
+    /// its [`crate::FrozenView::epoch`] with exactly this value.
+    #[must_use]
+    pub fn freeze_count(&self) -> u64 {
+        self.freeze_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next freeze epoch (post-incrementing the counter).
+    pub(crate) fn next_freeze_epoch(&self) -> u64 {
+        self.freeze_epoch.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Adds an isolated node and returns its identifier.

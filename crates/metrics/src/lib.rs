@@ -27,6 +27,6 @@ mod recorder;
 mod registry;
 
 pub use ctx::RunCtx;
-pub use metric::{HistogramMetric, Metric};
+pub use metric::{GaugeMetric, HistogramMetric, Metric};
 pub use recorder::{NoopRecorder, Recorder, NOOP};
 pub use registry::{HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS};

@@ -66,11 +66,25 @@ pub enum Metric {
     /// equals [`message_total`](crate::Registry::message_total) in
     /// loss-free runs (the reconciliation invariant).
     ReportedMessages,
+    /// Queries offered to a census service, accepted or not. Ledger root:
+    /// `QueriesSubmitted = accepted + QueriesRejected` and
+    /// `accepted = QueriesCompleted + QueriesExpired` — every submission
+    /// is accounted for exactly once.
+    QueriesSubmitted,
+    /// Accepted service queries that produced an answer.
+    QueriesCompleted,
+    /// Queries refused at submission because the queue was full
+    /// (explicit backpressure; never a silent drop).
+    QueriesRejected,
+    /// Accepted service queries that exhausted their deadline or failed
+    /// terminally (timeout, stuck, churn-broken, degenerate) without an
+    /// answer.
+    QueriesExpired,
 }
 
 impl Metric {
     /// Every counter, in declaration (and serialisation) order.
-    pub const ALL: [Metric; 19] = [
+    pub const ALL: [Metric; 23] = [
         Metric::TourHops,
         Metric::CtrwHops,
         Metric::SampleHops,
@@ -90,6 +104,10 @@ impl Metric {
         Metric::Refreezes,
         Metric::WalkRetries,
         Metric::ReportedMessages,
+        Metric::QueriesSubmitted,
+        Metric::QueriesCompleted,
+        Metric::QueriesRejected,
+        Metric::QueriesExpired,
     ];
 
     /// Number of counters a registry allocates.
@@ -118,6 +136,10 @@ impl Metric {
             Metric::Refreezes => "refreezes",
             Metric::WalkRetries => "walk_retries",
             Metric::ReportedMessages => "reported_messages",
+            Metric::QueriesSubmitted => "queries_submitted",
+            Metric::QueriesCompleted => "queries_completed",
+            Metric::QueriesRejected => "queries_rejected",
+            Metric::QueriesExpired => "queries_expired",
         }
     }
 
@@ -149,14 +171,18 @@ pub enum HistogramMetric {
     /// Virtual-time budget of one CTRW walk (the timer `T`); under
     /// adaptive Sample & Collide this traces the timer-doubling schedule.
     CtrwVirtualTime,
+    /// Wall-clock latency, in microseconds, from a census-service query
+    /// leaving the queue to its outcome being recorded.
+    QueryLatency,
 }
 
 impl HistogramMetric {
     /// Every histogram, in declaration (and serialisation) order.
-    pub const ALL: [HistogramMetric; 3] = [
+    pub const ALL: [HistogramMetric; 4] = [
         HistogramMetric::TourLength,
         HistogramMetric::SampleCost,
         HistogramMetric::CtrwVirtualTime,
+        HistogramMetric::QueryLatency,
     ];
 
     /// Number of histograms a registry allocates.
@@ -169,6 +195,49 @@ impl HistogramMetric {
             HistogramMetric::TourLength => "tour_length",
             HistogramMetric::SampleCost => "sample_cost",
             HistogramMetric::CtrwVirtualTime => "ctrw_virtual_time",
+            HistogramMetric::QueryLatency => "query_latency_us",
+        }
+    }
+}
+
+/// A last-write-wins level recorded via
+/// [`Recorder::set_gauge`](crate::Recorder::set_gauge).
+///
+/// Unlike counters, gauges describe an instantaneous state (a queue depth,
+/// a staleness lag); merging registries keeps the *maximum* observed
+/// level, making [`Registry::absorb`](crate::Registry::absorb) order-
+/// deterministic — a merged gauge reads "worst level any replica saw".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum GaugeMetric {
+    /// Queries sitting in a census-service queue right now.
+    QueueDepth,
+    /// How many freezes behind the newest snapshot the epoch pinned by
+    /// the most recent query was (0 = perfectly fresh).
+    EpochLag,
+    /// Epoch stamp of the newest snapshot published by a service or
+    /// dynamic runner.
+    SnapshotEpoch,
+}
+
+impl GaugeMetric {
+    /// Every gauge, in declaration (and serialisation) order.
+    pub const ALL: [GaugeMetric; 3] = [
+        GaugeMetric::QueueDepth,
+        GaugeMetric::EpochLag,
+        GaugeMetric::SnapshotEpoch,
+    ];
+
+    /// Number of gauges a registry allocates.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in snapshots and `metrics.json`.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            GaugeMetric::QueueDepth => "queue_depth",
+            GaugeMetric::EpochLag => "epoch_lag",
+            GaugeMetric::SnapshotEpoch => "snapshot_epoch",
         }
     }
 }
@@ -184,6 +253,9 @@ mod tests {
         }
         for (i, h) in HistogramMetric::ALL.iter().enumerate() {
             assert_eq!(*h as usize, i, "{} out of order", h.name());
+        }
+        for (i, g) in GaugeMetric::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i, "{} out of order", g.name());
         }
     }
 
@@ -201,6 +273,9 @@ mod tests {
         assert!(Metric::GossipMessages.is_message_cost());
         assert!(!Metric::ReportedMessages.is_message_cost());
         assert!(!Metric::SamplesDrawn.is_message_cost());
+        // The service-ledger counters are bookkeeping, not overlay traffic.
+        assert!(!Metric::QueriesSubmitted.is_message_cost());
+        assert!(!Metric::QueriesExpired.is_message_cost());
         let n_msg = Metric::ALL.iter().filter(|m| m.is_message_cost()).count();
         assert_eq!(n_msg, 7);
     }

@@ -1,6 +1,6 @@
 //! The recorder abstraction and its zero-cost default.
 
-use crate::{HistogramMetric, Metric};
+use crate::{GaugeMetric, HistogramMetric, Metric};
 
 /// A passive sink for cost metrics.
 ///
@@ -21,6 +21,15 @@ pub trait Recorder {
     /// Record one observation of `value` into a histogram.
     fn observe(&self, metric: HistogramMetric, value: f64);
 
+    /// Set a gauge to its current level (last write wins).
+    ///
+    /// Default is a no-op so pre-existing recorders (and the no-op one)
+    /// stay source-compatible; [`Registry`](crate::Registry) overrides it.
+    #[inline]
+    fn set_gauge(&self, gauge: GaugeMetric, value: u64) {
+        let _ = (gauge, value);
+    }
+
     /// Whether this recorder retains anything. Call sites may skip
     /// preparing expensive observations when this returns `false`; the
     /// no-op recorder's `false` constant lets the branch fold away.
@@ -39,6 +48,11 @@ impl<R: Recorder + ?Sized> Recorder for &R {
     #[inline]
     fn observe(&self, metric: HistogramMetric, value: f64) {
         (**self).observe(metric, value);
+    }
+
+    #[inline]
+    fn set_gauge(&self, gauge: GaugeMetric, value: u64) {
+        (**self).set_gauge(gauge, value);
     }
 
     #[inline]
@@ -81,6 +95,7 @@ mod tests {
         assert!(!NOOP.enabled());
         NOOP.incr(Metric::TourHops, 10);
         NOOP.observe(HistogramMetric::TourLength, 10.0);
+        NOOP.set_gauge(GaugeMetric::QueueDepth, 10);
     }
 
     #[test]

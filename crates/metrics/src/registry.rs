@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::{HistogramMetric, Metric, Recorder};
+use crate::{GaugeMetric, HistogramMetric, Metric, Recorder};
 
 /// Number of buckets in every histogram.
 ///
@@ -86,6 +86,7 @@ fn add_f64(cell: &AtomicU64, value: f64) {
 pub struct Registry {
     counters: [AtomicU64; Metric::COUNT],
     histograms: [Histogram; HistogramMetric::COUNT],
+    gauges: [AtomicU64; GaugeMetric::COUNT],
 }
 
 impl Default for Registry {
@@ -101,6 +102,7 @@ impl Registry {
         Registry {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: std::array::from_fn(|_| Histogram::new()),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -126,6 +128,12 @@ impl Registry {
                 .sum_bits
                 .load(Ordering::Relaxed),
         )
+    }
+
+    /// Current level of one gauge.
+    #[must_use]
+    pub fn gauge(&self, gauge: GaugeMetric) -> u64 {
+        self.gauges[gauge as usize].load(Ordering::Relaxed)
     }
 
     /// Total overlay messages recorded: the sum of every message-class
@@ -171,6 +179,13 @@ impl Registry {
                 f64::from_bits(theirs.sum_bits.load(Ordering::Relaxed)),
             );
         }
+        // Gauges are levels, not totals: keep the worst level either side
+        // saw. `max` is commutative and associative, so the merge stays
+        // order-deterministic.
+        for g in GaugeMetric::ALL {
+            let theirs = other.gauge(g);
+            self.gauges[g as usize].fetch_max(theirs, Ordering::Relaxed);
+        }
     }
 
     /// An owned, serialisable copy of the current state.
@@ -196,10 +211,15 @@ impl Registry {
                 (h.name().to_owned(), snap)
             })
             .collect();
+        let gauges = GaugeMetric::ALL
+            .iter()
+            .map(|&g| (g.name().to_owned(), self.gauge(g)))
+            .collect();
         Snapshot {
             message_total: self.message_total(),
             counters,
             histograms,
+            gauges,
         }
     }
 }
@@ -213,6 +233,11 @@ impl Recorder for Registry {
     #[inline]
     fn observe(&self, metric: HistogramMetric, value: f64) {
         self.histograms[metric as usize].observe(value);
+    }
+
+    #[inline]
+    fn set_gauge(&self, gauge: GaugeMetric, value: u64) {
+        self.gauges[gauge as usize].store(value, Ordering::Relaxed);
     }
 }
 
@@ -229,6 +254,10 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Every histogram by name, including empty ones.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Every gauge by name, including zeros. Defaults to empty when
+    /// deserialising snapshots written before gauges existed.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, u64>,
 }
 
 /// Serialisable state of one histogram.
@@ -313,6 +342,35 @@ mod tests {
             b.histogram_sum(HistogramMetric::SampleCost).to_bits(),
             "merged f64 sums must be bit-identical"
         );
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_and_merge_by_max() {
+        let reg = Registry::new();
+        assert_eq!(reg.gauge(GaugeMetric::QueueDepth), 0);
+        reg.set_gauge(GaugeMetric::QueueDepth, 7);
+        reg.set_gauge(GaugeMetric::QueueDepth, 3);
+        assert_eq!(reg.gauge(GaugeMetric::QueueDepth), 3);
+
+        let other = Registry::new();
+        other.set_gauge(GaugeMetric::QueueDepth, 5);
+        other.set_gauge(GaugeMetric::EpochLag, 2);
+        reg.absorb(&other);
+        // 5 > 3 replaces; the untouched gauge takes the other's level.
+        assert_eq!(reg.gauge(GaugeMetric::QueueDepth), 5);
+        assert_eq!(reg.gauge(GaugeMetric::EpochLag), 2);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["queue_depth"], 5);
+        assert_eq!(snap.gauges["epoch_lag"], 2);
+    }
+
+    #[test]
+    fn snapshot_deserialises_without_gauges_field() {
+        // Snapshots written before gauges existed must still load.
+        let legacy = r#"{"message_total":0,"counters":{},"histograms":{}}"#;
+        let snap: Snapshot = serde_json::from_str(legacy).expect("deserialise");
+        assert!(snap.gauges.is_empty());
     }
 
     #[test]

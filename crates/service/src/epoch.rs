@@ -1,0 +1,183 @@
+//! The epoch-managed snapshot chain and its refreeze policy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use census_graph::FrozenView;
+
+/// When the churn applier re-freezes the live overlay into a new epoch.
+///
+/// Two bounds, refreeze when either trips after applying a membership
+/// event:
+///
+/// - **delta threshold**: the accumulated membership change (joins plus
+///   departures, unsigned) since the last freeze reaches
+///   `delta_threshold`;
+/// - **max staleness**: `max_staleness` events have been applied since
+///   the last freeze, regardless of how small each was.
+///
+/// [`RefreezePolicy::eager`] (both bounds at 1) re-freezes after every
+/// event — exactly the refreeze-on-nonzero-delta rule of
+/// `census_sim::runner::run_dynamic` — while larger bounds amortise the
+/// `O(slots + edges)` freeze over more churn at the price of staler
+/// answers. Staleness is measured in *events*, not wall time, so a given
+/// event stream always produces the same epoch sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreezePolicy {
+    delta_threshold: u64,
+    max_staleness: u64,
+}
+
+impl RefreezePolicy {
+    /// A policy with explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is zero (a zero bound would demand a
+    /// refreeze before any event applied).
+    #[must_use]
+    pub fn new(delta_threshold: u64, max_staleness: u64) -> Self {
+        assert!(delta_threshold > 0, "delta threshold must be positive");
+        assert!(max_staleness > 0, "staleness bound must be positive");
+        Self {
+            delta_threshold,
+            max_staleness,
+        }
+    }
+
+    /// Refreeze after every membership event (`run_dynamic`'s rule).
+    #[must_use]
+    pub fn eager() -> Self {
+        Self::new(1, 1)
+    }
+
+    /// Accumulated membership change that forces a refreeze.
+    #[must_use]
+    pub fn delta_threshold(&self) -> u64 {
+        self.delta_threshold
+    }
+
+    /// Applied-event count that forces a refreeze.
+    #[must_use]
+    pub fn max_staleness(&self) -> u64 {
+        self.max_staleness
+    }
+
+    /// Whether a freeze is due after `pending_delta` accumulated change
+    /// over `staleness` applied events.
+    #[must_use]
+    pub(crate) fn is_due(&self, pending_delta: u64, staleness: u64) -> bool {
+        pending_delta >= self.delta_threshold || staleness >= self.max_staleness
+    }
+}
+
+impl Default for RefreezePolicy {
+    fn default() -> Self {
+        Self::eager()
+    }
+}
+
+/// The atomically swapped chain of frozen snapshots.
+///
+/// Readers *pin* the newest epoch with one `Arc` clone under a read lock
+/// and then walk it lock-free for as long as they like; the churn applier
+/// *publishes* a new epoch by swapping the `Arc` under the write lock.
+/// Pinned epochs stay alive until their last reader drops them, so a
+/// long-running query is never invalidated mid-walk — it just answers
+/// against the (slightly stale) epoch it pinned, which is exactly the
+/// consistency a snapshot-based census can promise.
+#[derive(Debug)]
+pub struct EpochChain {
+    latest: RwLock<Arc<FrozenView>>,
+    /// Cached copy of `latest.epoch()` so lag reads never take the lock.
+    latest_epoch: AtomicU64,
+}
+
+impl EpochChain {
+    /// Starts the chain at `view`.
+    #[must_use]
+    pub fn new(view: FrozenView) -> Self {
+        let epoch = view.epoch();
+        Self {
+            latest: RwLock::new(Arc::new(view)),
+            latest_epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// Pins the newest epoch: a cheap `Arc` clone the caller may hold
+    /// across arbitrarily long walks.
+    #[must_use]
+    pub fn pin(&self) -> Arc<FrozenView> {
+        Arc::clone(&self.latest.read().expect("snapshot chain poisoned"))
+    }
+
+    /// Publishes `view` as the newest epoch.
+    pub fn publish(&self, view: FrozenView) {
+        let epoch = view.epoch();
+        let mut slot = self.latest.write().expect("snapshot chain poisoned");
+        *slot = Arc::new(view);
+        self.latest_epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Epoch stamp of the newest published snapshot.
+    #[must_use]
+    pub fn latest_epoch(&self) -> u64 {
+        self.latest_epoch.load(Ordering::Acquire)
+    }
+
+    /// How many epochs behind the newest snapshot `pinned` is.
+    #[must_use]
+    pub fn lag_of(&self, pinned: &FrozenView) -> u64 {
+        self.latest_epoch().saturating_sub(pinned.epoch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eager_policy_fires_on_every_event() {
+        let p = RefreezePolicy::eager();
+        assert!(p.is_due(1, 1));
+        assert!(p.is_due(5, 1));
+        assert!(!p.is_due(0, 0));
+    }
+
+    #[test]
+    fn bounds_trip_independently() {
+        let p = RefreezePolicy::new(10, 3);
+        assert!(!p.is_due(9, 2));
+        assert!(p.is_due(10, 1), "delta threshold alone must trip");
+        assert!(p.is_due(0, 3), "staleness bound alone must trip");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta threshold must be positive")]
+    fn zero_delta_threshold_panics() {
+        let _ = RefreezePolicy::new(0, 1);
+    }
+
+    #[test]
+    fn pinned_epochs_survive_publication() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut g = generators::balanced(50, 4, &mut rng);
+        let chain = EpochChain::new(g.freeze());
+        let pinned = chain.pin();
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(chain.lag_of(&pinned), 0);
+
+        let victim = g.random_node(&mut rng).expect("non-empty");
+        g.remove_node(victim).expect("alive");
+        chain.publish(g.freeze());
+
+        // The old pin still answers, one epoch behind.
+        assert_eq!(chain.latest_epoch(), 1);
+        assert_eq!(chain.lag_of(&pinned), 1);
+        assert_eq!(pinned.num_nodes(), 50);
+        assert_eq!(chain.pin().num_nodes(), 49);
+    }
+}

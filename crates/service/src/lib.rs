@@ -1,0 +1,77 @@
+//! A concurrent continuous-census query engine with epoch-managed
+//! overlay snapshots.
+//!
+//! The paper frames Random Tour (§3.1) and Sample & Collide (§4.2) as
+//! *on-demand services* any peer can invoke at any time, but everything
+//! below this crate is batch-shaped: `census_sim::runner` executes a
+//! fixed series of estimates and exits. `census-service` adds the
+//! missing deployment shape — a long-running [`CensusService`] serving
+//! concurrent query traffic over a churning overlay:
+//!
+//! - **Epoch-managed snapshots** ([`EpochChain`]): the live
+//!   [`DynamicNetwork`](census_sim::DynamicNetwork) is frozen into
+//!   `Arc<FrozenView>` epochs swapped atomically. Readers pin an epoch
+//!   with one `Arc` clone and walk it lock-free; a churn-applier thread
+//!   consumes a [`MembershipDelta`](census_sim::MembershipDelta) stream
+//!   and re-freezes under a [`RefreezePolicy`] (membership-delta
+//!   threshold plus max-staleness bound, generalising `run_dynamic`'s
+//!   refreeze-on-delta rule).
+//! - **A bounded query queue with explicit backpressure**: submissions
+//!   beyond capacity bounce with [`SubmitError::Overloaded`] — never a
+//!   silent drop — and shutdown drains every accepted query, closing the
+//!   `submitted = accepted + rejected`, `accepted = completed + expired`
+//!   ledger exactly.
+//! - **A deterministic worker pool** (std-only `std::thread::scope`,
+//!   like `census_sim::parallel`): each [`Query`]'s RNG stream is
+//!   `splitmix64(seed + id)`, and the walk runs entirely on the pinned
+//!   epoch, so every result is a pure function of `(seed, id, epoch)`
+//!   regardless of worker count or thread interleaving.
+//! - **Cost observability throughout**: query counters, queue-depth /
+//!   epoch-lag / snapshot-epoch gauges, and a per-query latency
+//!   histogram, all through the ordinary
+//!   [`Recorder`](census_metrics::Recorder) plumbing.
+//!
+//! # Examples
+//!
+//! ```
+//! use census_graph::generators;
+//! use census_service::{CensusService, Counter, Query, QueryAnswer, ServiceConfig};
+//! use census_core::RandomTour;
+//! use census_sim::{DynamicNetwork, JoinRule, Scenario};
+//! use rand::{SeedableRng, rngs::SmallRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let net = DynamicNetwork::new(
+//!     generators::balanced(1_000, 10, &mut rng),
+//!     JoinRule::Balanced { max_degree: 10 },
+//! );
+//! let mut service = CensusService::new(net, ServiceConfig::new(99).with_workers(4));
+//!
+//! // Serve a small batch while 100 peers depart.
+//! let events = Scenario::new().remove_gradually(0, 5, 100).events(5);
+//! let ((), outcomes) = service.serve(&events, |census| {
+//!     for _ in 0..8 {
+//!         census
+//!             .submit(Query::Count(Counter::RandomTour(RandomTour::new())))
+//!             .expect("queue has room");
+//!     }
+//! });
+//! assert_eq!(outcomes.len(), 8);
+//! for outcome in &outcomes {
+//!     if let Ok(QueryAnswer::Count(estimate)) = &outcome.result {
+//!         println!("query {}: N ≈ {:.0} (epoch {})", outcome.id, estimate.value, outcome.epoch);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epoch;
+mod query;
+mod queue;
+mod service;
+
+pub use epoch::{EpochChain, RefreezePolicy};
+pub use query::{Counter, Query, QueryAnswer, QueryOutcome, SubmitError};
+pub use service::{CensusService, ServiceConfig, ServiceHandle};

@@ -1,0 +1,137 @@
+//! The query vocabulary and outcome types.
+
+use std::fmt;
+
+use census_core::{Estimate, EstimateError, RandomTour, SampleCollide};
+use census_graph::NodeId;
+use census_sampling::{CtrwSampler, Sample};
+
+/// A size-counting method a [`Query::Count`] can invoke.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Counter {
+    /// Random Tour (§3): one walk from the initiator back to itself.
+    RandomTour(RandomTour),
+    /// Sample & Collide (§4) over the paper's CTRW uniform sampler.
+    SampleCollide(SampleCollide<CtrwSampler>),
+}
+
+/// One unit of work a client submits to a [`CensusService`].
+///
+/// Queries are plain `Copy` values: the service executes them against the
+/// epoch each worker pins at dequeue time, with an RNG stream derived
+/// from the query id alone, so a `Query` carries no state of its own.
+/// The aggregate variant takes a plain function pointer (`fn`, not a
+/// closure) so queries stay `Send + Sync + Copy` and comparable.
+///
+/// [`CensusService`]: crate::CensusService
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Query {
+    /// Estimate the overlay size `N̂` with the given counting method.
+    Count(Counter),
+    /// Draw one approximately uniform peer with a CTRW walk (§4.1).
+    Sample(CtrwSampler),
+    /// Estimate the aggregate `Σ_j f(j)` over all peers with a Random
+    /// Tour (§3.1's general form).
+    Aggregate(fn(NodeId) -> f64),
+}
+
+/// What a successfully completed [`Query`] produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryAnswer {
+    /// A size estimate, from either counting method.
+    Count(Estimate),
+    /// A sampled peer with its message cost.
+    Sample(Sample),
+    /// An aggregate estimate `Σ̂ f`.
+    Aggregate(Estimate),
+}
+
+impl QueryAnswer {
+    /// Overlay messages this answer cost.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        match self {
+            QueryAnswer::Count(e) | QueryAnswer::Aggregate(e) => e.messages,
+            QueryAnswer::Sample(s) => s.hops,
+        }
+    }
+}
+
+/// The terminal record of one accepted query.
+///
+/// Every accepted query produces exactly one outcome: `result` is `Ok`
+/// for a completed query and `Err` for an expired one (deadline
+/// exhausted, walk lost to churn or faults, or a degenerate
+/// configuration). Together with the rejected-at-submission count this
+/// closes the service ledger — no accepted query is ever silently
+/// dropped.
+///
+/// For a fixed service seed the `result` is a pure function of
+/// `(seed, id, epoch)`: the worker derives the query's private RNG
+/// stream as `splitmix64(seed + id)` and walks only the pinned epoch, so
+/// thread interleaving cannot perturb it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The id [`submit`](crate::ServiceHandle::submit) returned.
+    pub id: u64,
+    /// The query, echoed back.
+    pub query: Query,
+    /// Epoch stamp of the snapshot the answer was computed on.
+    pub epoch: u64,
+    /// The answer, or why the query expired.
+    pub result: Result<QueryAnswer, EstimateError>,
+}
+
+/// Why a submission was refused. Returned by
+/// [`ServiceHandle::submit`](crate::ServiceHandle::submit) — the
+/// service's explicit backpressure, never a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry later or widen the queue.
+    Overloaded,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "query queue is at capacity"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_plain_copyable_values() {
+        fn degree_weight(_n: NodeId) -> f64 {
+            1.0
+        }
+        let q = Query::Aggregate(degree_weight);
+        let copy = q;
+        assert_eq!(q, copy);
+        let c = Query::Count(Counter::RandomTour(RandomTour::new()));
+        assert_eq!(c, c);
+        // Queries cross thread boundaries by value.
+        fn assert_send_sync<T: Send + Sync + Copy>() {}
+        assert_send_sync::<Query>();
+    }
+
+    #[test]
+    fn answers_expose_their_message_cost() {
+        let e = Estimate {
+            value: 100.0,
+            messages: 42,
+        };
+        assert_eq!(QueryAnswer::Count(e).messages(), 42);
+        assert_eq!(QueryAnswer::Aggregate(e).messages(), 42);
+        let s = Sample {
+            node: NodeId::new(3),
+            hops: 7,
+        };
+        assert_eq!(QueryAnswer::Sample(s).messages(), 7);
+    }
+}

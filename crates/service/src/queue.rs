@@ -1,0 +1,150 @@
+//! The bounded query queue: fail-fast admission, blocking drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::query::{Query, SubmitError};
+
+/// One queued unit of work: the query plus its admission-order id.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) query: Query,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Next id to hand out; ids are allocated under the lock and only to
+    /// *accepted* queries, so accepted ids are exactly `0..accepted` with
+    /// no holes regardless of how many submissions were rejected.
+    next_id: u64,
+    /// Cleared by [`JobQueue::close`]; a closed queue refuses pushes and
+    /// lets poppers drain the remainder, then return `None`.
+    open: bool,
+}
+
+/// A bounded MPMC queue of [`Job`]s.
+///
+/// Admission is *fail-fast*: [`JobQueue::push`] on a full queue returns
+/// [`SubmitError::Overloaded`] immediately instead of blocking, making
+/// backpressure visible to the submitter (who still holds the rejected
+/// query — nothing is dropped silently). Removal is *blocking*: workers
+/// park on a condvar until a job or shutdown arrives, and shutdown lets
+/// them drain every accepted job before they exit — the other half of
+/// the no-silent-drops contract.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                next_id: 0,
+                open: true,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `query`, returning its freshly allocated id and the queue
+    /// depth after insertion — or refuses it when the queue is full (or
+    /// closed), allocating no id.
+    pub(crate) fn push(&self, query: Query) -> Result<(u64, usize), SubmitError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if !state.open || state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.push_back(Job { id, query });
+        let depth = state.jobs.len();
+        drop(state);
+        self.available.notify_one();
+        Ok((id, depth))
+    }
+
+    /// Blocks until a job is available, returning it with the depth left
+    /// behind, or `None` once the queue is closed *and* drained.
+    pub(crate) fn pop(&self) -> Option<(Job, usize)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some((job, state.jobs.len()));
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Stops admission and wakes every parked worker so the queue can
+    /// drain to empty.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue poisoned").open = false;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub(crate) fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Counter;
+    use census_core::RandomTour;
+
+    fn tour() -> Query {
+        Query::Count(Counter::RandomTour(RandomTour::new()))
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(tour()).expect("fits"), (0, 1));
+        assert_eq!(q.push(tour()).expect("fits"), (1, 2));
+        assert_eq!(q.push(tour()), Err(SubmitError::Overloaded));
+        assert_eq!(q.depth(), 2);
+        // Popping frees a slot; the rejection burned no id.
+        let (popped, left) = q.pop().expect("open queue with jobs");
+        assert_eq!(popped.id, 0);
+        assert_eq!(left, 1);
+        assert_eq!(q.push(tour()).expect("fits").0, 2);
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let q = JobQueue::new(4);
+        q.push(tour()).expect("fits");
+        q.push(tour()).expect("fits");
+        q.close();
+        assert_eq!(q.push(tour()), Err(SubmitError::Overloaded));
+        // Accepted jobs survive the close, in order.
+        assert_eq!(q.pop().expect("draining").0.id, 0);
+        assert_eq!(q.pop().expect("draining").0.id, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn close_releases_blocked_workers() {
+        let q = JobQueue::new(1);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| q.pop());
+            // The waiter parks on the empty queue until close wakes it.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert!(waiter.join().expect("no panic").is_none());
+        });
+    }
+}

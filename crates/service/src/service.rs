@@ -1,0 +1,733 @@
+//! The continuous-census service: worker pool, churn applier, ledger.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use census_core::{
+    AdaptiveTimeout, EstimateError, RandomTour, SizeEstimator, Supervised,
+};
+use census_graph::{FrozenView, NodeId, Topology};
+use census_metrics::{GaugeMetric, HistogramMetric, Metric, NoopRecorder, Recorder, RunCtx, NOOP};
+use census_sampling::Sampler;
+use census_sim::faults::FaultPlan;
+use census_sim::parallel::{replica_seed, splitmix64};
+use census_sim::{DynamicNetwork, MembershipDelta};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::epoch::{EpochChain, RefreezePolicy};
+use crate::query::{Counter, Query, QueryAnswer, QueryOutcome, SubmitError};
+use crate::queue::JobQueue;
+
+/// Tuning knobs of a [`CensusService`].
+///
+/// Only the seed is mandatory; the defaults give a single worker, a
+/// 1024-slot queue, an unbounded per-attempt deadline with no retries,
+/// the eager refreeze policy, a fault-free overlay, and an unpaced churn
+/// applier.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    seed: u64,
+    workers: usize,
+    queue_capacity: usize,
+    deadline: u64,
+    retries: u32,
+    policy: RefreezePolicy,
+    faults: Option<FaultPlan>,
+    churn_pause: Duration,
+}
+
+impl ServiceConfig {
+    /// A default configuration around the service seed — the root of
+    /// every query's private RNG stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            workers: 1,
+            queue_capacity: 1024,
+            deadline: u64::MAX,
+            retries: 0,
+            policy: RefreezePolicy::eager(),
+            faults: None,
+            churn_pause: Duration::ZERO,
+        }
+    }
+
+    /// Worker threads draining the query queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a service needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Queue slots before submissions bounce with
+    /// [`SubmitError::Overloaded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Per-attempt step budget (walk hops) for every query, routed
+    /// through the §5.3.1 supervisor; an attempt exceeding it fails with
+    /// a walk timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is zero.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        assert!(deadline > 0, "deadline must be positive");
+        self.deadline = deadline;
+        self
+    }
+
+    /// Retries after a failed attempt before the query expires.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// When the churn applier re-freezes (see [`RefreezePolicy`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: RefreezePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Injects faults: every query executes through `plan` layered over
+    /// its pinned snapshot.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sleep between applied membership events, pacing churn so it stays
+    /// live while queries run (benchmarks) instead of racing ahead of
+    /// them (the zero default).
+    #[must_use]
+    pub fn with_churn_pause(mut self, pause: Duration) -> Self {
+        self.churn_pause = pause;
+        self
+    }
+
+    /// The service seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configured worker-thread count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured queue capacity.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Configured per-attempt step budget.
+    #[must_use]
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+
+    /// Configured retry budget.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Configured refreeze policy.
+    #[must_use]
+    pub fn policy(&self) -> RefreezePolicy {
+        self.policy
+    }
+
+    /// Configured fault plan, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<FaultPlan> {
+        self.faults
+    }
+}
+
+/// The submission surface handed to the closure of
+/// [`CensusService::serve`]; shareable across the closure's own threads
+/// (`&self` methods only).
+#[derive(Debug)]
+pub struct ServiceHandle<'s, Rec: ?Sized = NoopRecorder> {
+    queue: &'s JobQueue,
+    chain: &'s EpochChain,
+    recorder: &'s Rec,
+}
+
+impl<Rec: Recorder + ?Sized> ServiceHandle<'_, Rec> {
+    /// Submits a query, returning its id — the key into the outcome list
+    /// [`CensusService::serve`] returns, and the index of the query's
+    /// private RNG stream.
+    ///
+    /// Ids are allocated in admission order and only to accepted
+    /// queries, so accepted ids are contiguous from zero. A full queue
+    /// refuses the query with [`SubmitError::Overloaded`] without
+    /// consuming an id: backpressure is the caller's to handle — resubmit
+    /// later, shed load, or widen the queue — and never a silent drop.
+    pub fn submit(&self, query: Query) -> Result<u64, SubmitError> {
+        self.recorder.incr(Metric::QueriesSubmitted, 1);
+        match self.queue.push(query) {
+            Ok((id, depth)) => {
+                self.recorder.set_gauge(GaugeMetric::QueueDepth, depth as u64);
+                Ok(id)
+            }
+            Err(e) => {
+                self.recorder.incr(Metric::QueriesRejected, 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Queries currently queued (racy by nature; a scheduling hint).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Epoch stamp of the newest published snapshot.
+    #[must_use]
+    pub fn latest_epoch(&self) -> u64 {
+        self.chain.latest_epoch()
+    }
+}
+
+/// Closes the queue and stops the churn applier when dropped, so worker
+/// threads always unblock — even if the submission closure panics.
+struct ShutdownGuard<'s> {
+    queue: &'s JobQueue,
+    stop: &'s AtomicBool,
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+}
+
+/// A long-running census engine over one dynamic overlay.
+///
+/// The service owns the live [`DynamicNetwork`] plus an [`EpochChain`] of
+/// frozen CSR snapshots. While [`CensusService::serve`] runs, a worker
+/// pool drains the bounded query queue — each worker pins the newest
+/// epoch per query and walks it lock-free — and a churn applier consumes
+/// a [`MembershipDelta`] stream, re-freezing under the configured
+/// [`RefreezePolicy`]. See the "Service layer" section of `DESIGN.md`
+/// for the epoch/backpressure/determinism contract.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators;
+/// use census_service::{CensusService, Counter, Query, ServiceConfig};
+/// use census_core::RandomTour;
+/// use census_sim::{DynamicNetwork, JoinRule};
+/// use rand::{SeedableRng, rngs::SmallRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let net = DynamicNetwork::new(
+///     generators::balanced(500, 8, &mut rng),
+///     JoinRule::Balanced { max_degree: 8 },
+/// );
+/// let mut service = CensusService::new(net, ServiceConfig::new(42).with_workers(2));
+/// let (ids, outcomes) = service.serve(&[], |census| {
+///     (0..4)
+///         .map(|_| census.submit(Query::Count(Counter::RandomTour(RandomTour::new()))))
+///         .collect::<Result<Vec<_>, _>>()
+///         .expect("queue has room")
+/// });
+/// assert_eq!(ids, vec![0, 1, 2, 3]);
+/// assert_eq!(outcomes.len(), 4);
+/// assert!(outcomes.iter().all(|o| o.result.is_ok()));
+/// ```
+#[derive(Debug)]
+pub struct CensusService {
+    net: DynamicNetwork,
+    chain: EpochChain,
+    config: ServiceConfig,
+}
+
+impl CensusService {
+    /// Wraps `net`, freezing it as epoch 0 of the snapshot chain.
+    #[must_use]
+    pub fn new(net: DynamicNetwork, config: ServiceConfig) -> Self {
+        let chain = EpochChain::new(net.freeze());
+        Self { net, chain, config }
+    }
+
+    /// The live overlay.
+    #[must_use]
+    pub fn network(&self) -> &DynamicNetwork {
+        &self.net
+    }
+
+    /// The configuration this service runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Pins the newest snapshot (see [`EpochChain::pin`]).
+    #[must_use]
+    pub fn pin(&self) -> Arc<FrozenView> {
+        self.chain.pin()
+    }
+
+    /// Epoch stamp of the newest published snapshot.
+    #[must_use]
+    pub fn latest_epoch(&self) -> u64 {
+        self.chain.latest_epoch()
+    }
+
+    /// Recovers the live overlay, dropping the snapshot chain.
+    #[must_use]
+    pub fn into_network(self) -> DynamicNetwork {
+        self.net
+    }
+
+    /// [`CensusService::serve_rec`] with the no-op recorder.
+    pub fn serve<F, O>(&mut self, events: &[MembershipDelta], f: F) -> (O, Vec<QueryOutcome>)
+    where
+        F: FnOnce(&ServiceHandle<'_, NoopRecorder>) -> O,
+    {
+        self.serve_rec(events, &NOOP, f)
+    }
+
+    /// Runs the service: spawns the worker pool and the churn applier on
+    /// scoped threads, hands `f` a [`ServiceHandle`] to submit queries
+    /// through, and on return drains the queue gracefully — every
+    /// accepted query executes — before joining the pool.
+    ///
+    /// Returns `f`'s output plus one [`QueryOutcome`] per accepted
+    /// query, sorted by id. Each query's RNG stream is derived as
+    /// `splitmix64(seed + id)` (the replication engine's seed schedule),
+    /// and the walk runs entirely on the epoch pinned at dequeue, so an
+    /// outcome's `result` is a pure function of `(seed, id, epoch)` — the
+    /// worker count and thread interleaving affect throughput and
+    /// epoch-pinning only, not any answer computed on a given epoch.
+    ///
+    /// The churn applier mutates the live overlay from `events` (in
+    /// order, paced by the configured pause) and publishes new epochs
+    /// under the refreeze policy. An unpaced stream is always applied in
+    /// full, so the epoch sequence is a deterministic function of the
+    /// event list; a paced stream additionally stops at shutdown. Either
+    /// way the applier publishes any unpublished churn before exiting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event stream empties the overlay.
+    pub fn serve_rec<Rec, F, O>(
+        &mut self,
+        events: &[MembershipDelta],
+        recorder: &Rec,
+        f: F,
+    ) -> (O, Vec<QueryOutcome>)
+    where
+        Rec: Recorder + Sync + ?Sized,
+        F: FnOnce(&ServiceHandle<'_, Rec>) -> O,
+    {
+        let config = self.config;
+        let net = &mut self.net;
+        let chain = &self.chain;
+        let queue = JobQueue::new(config.queue_capacity);
+        let outcomes: Mutex<Vec<QueryOutcome>> = Mutex::new(Vec::new());
+        let stop = AtomicBool::new(false);
+
+        let output = thread::scope(|scope| {
+            for _ in 0..config.workers {
+                let queue = &queue;
+                let outcomes = &outcomes;
+                let config = &config;
+                scope.spawn(move || worker_loop(queue, chain, recorder, outcomes, config));
+            }
+            if !events.is_empty() {
+                let stop = &stop;
+                let config = &config;
+                scope.spawn(move || churn_loop(net, chain, recorder, events, config, stop));
+            }
+            let guard = ShutdownGuard {
+                queue: &queue,
+                stop: &stop,
+            };
+            let handle = ServiceHandle {
+                queue: &queue,
+                chain,
+                recorder,
+            };
+            let output = f(&handle);
+            // Normal shutdown: stop admitting, let the pool drain, then
+            // the scope joins every thread. A panic in `f` takes the same
+            // path through the guard's Drop.
+            drop(guard);
+            output
+        });
+
+        let mut results = outcomes.into_inner().expect("outcomes poisoned");
+        results.sort_unstable_by_key(|o| o.id);
+        (output, results)
+    }
+}
+
+/// Applies the membership stream to the live overlay, re-freezing under
+/// the policy. Runs on its own scoped thread.
+fn churn_loop<Rec: Recorder + ?Sized>(
+    net: &mut DynamicNetwork,
+    chain: &EpochChain,
+    recorder: &Rec,
+    events: &[MembershipDelta],
+    config: &ServiceConfig,
+    stop: &AtomicBool,
+) {
+    // The churn stream must never collide with a query stream
+    // (`splitmix64(seed + id)`), so it is keyed off the complemented seed.
+    let mut rng = SmallRng::seed_from_u64(splitmix64(!config.seed));
+    let mut pending_delta = 0u64;
+    let mut staleness = 0u64;
+    for event in events {
+        if event.delta >= 0 {
+            net.churn(event.delta.unsigned_abs() as usize, 0, &mut rng);
+        } else {
+            net.churn(0, event.delta.unsigned_abs() as usize, &mut rng);
+        }
+        assert!(net.size() > 0, "membership stream emptied the overlay");
+        pending_delta += event.delta.unsigned_abs();
+        staleness += 1;
+        if config.policy.is_due(pending_delta, staleness) {
+            publish(net, chain, recorder);
+            pending_delta = 0;
+            staleness = 0;
+        }
+        // An unpaced stream always applies fully (so a given event list
+        // deterministically yields the same epoch sequence); a paced one
+        // checks for shutdown between events instead of sleeping past it.
+        if !config.churn_pause.is_zero() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            thread::sleep(config.churn_pause);
+        }
+    }
+    // End fresh: any churn applied but not yet published still reaches
+    // the chain before the applier exits.
+    if pending_delta > 0 {
+        publish(net, chain, recorder);
+    }
+}
+
+fn publish<Rec: Recorder + ?Sized>(net: &DynamicNetwork, chain: &EpochChain, recorder: &Rec) {
+    let view = net.freeze();
+    recorder.incr(Metric::Refreezes, 1);
+    recorder.set_gauge(GaugeMetric::SnapshotEpoch, view.epoch());
+    chain.publish(view);
+}
+
+/// Drains the queue until it closes and empties. Runs on each worker
+/// thread of the pool.
+fn worker_loop<Rec: Recorder + ?Sized>(
+    queue: &JobQueue,
+    chain: &EpochChain,
+    recorder: &Rec,
+    outcomes: &Mutex<Vec<QueryOutcome>>,
+    config: &ServiceConfig,
+) {
+    while let Some((job, depth)) = queue.pop() {
+        recorder.set_gauge(GaugeMetric::QueueDepth, depth as u64);
+        let started = Instant::now();
+        let pinned = chain.pin();
+        recorder.set_gauge(GaugeMetric::EpochLag, chain.lag_of(&pinned));
+
+        // The query's whole randomness — initiator draw included — comes
+        // from its private stream, so the result depends only on
+        // (seed, id, pinned epoch).
+        let mut rng = SmallRng::seed_from_u64(replica_seed(config.seed, job.id));
+        let result = match pinned.random_node(&mut rng) {
+            None => Err(EstimateError::Degenerate(
+                "snapshot holds no live peers".to_owned(),
+            )),
+            Some(initiator) => match config.faults {
+                Some(plan) => {
+                    let faulty = plan.apply(&*pinned);
+                    let mut ctx = RunCtx::with_recorder(&faulty, &mut rng, recorder);
+                    run_query(&job.query, &mut ctx, initiator, config)
+                }
+                None => {
+                    let mut ctx = RunCtx::with_recorder(&*pinned, &mut rng, recorder);
+                    run_query(&job.query, &mut ctx, initiator, config)
+                }
+            },
+        };
+
+        match &result {
+            Ok(_) => recorder.incr(Metric::QueriesCompleted, 1),
+            Err(_) => recorder.incr(Metric::QueriesExpired, 1),
+        }
+        recorder.observe(
+            HistogramMetric::QueryLatency,
+            started.elapsed().as_secs_f64() * 1e6,
+        );
+        outcomes.lock().expect("outcomes poisoned").push(QueryOutcome {
+            id: job.id,
+            query: job.query,
+            epoch: pinned.epoch(),
+            result,
+        });
+    }
+}
+
+/// Executes one query on the pinned (possibly fault-wrapped) topology.
+fn run_query<T, R, Rec>(
+    query: &Query,
+    ctx: &mut RunCtx<'_, T, R, Rec>,
+    initiator: NodeId,
+    config: &ServiceConfig,
+) -> Result<QueryAnswer, EstimateError>
+where
+    T: Topology + ?Sized,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    // A frozen timeout tracker: the warm-up is never satisfied, so every
+    // attempt's step budget is exactly the configured deadline (backoff
+    // 1.0 disables escalation) — per-query deadlines riding the §5.3.1
+    // supervisor unchanged.
+    let deadline = AdaptiveTimeout::new(config.deadline, 1.0).with_warmup(u64::MAX);
+    match *query {
+        Query::Count(Counter::RandomTour(tour)) => Supervised::new(tour)
+            .with_retries(config.retries)
+            .with_backoff(1.0)
+            .with_timeout(deadline)
+            .estimate_with(ctx, initiator)
+            .map(QueryAnswer::Count),
+        Query::Count(Counter::SampleCollide(sc)) => Supervised::new(sc)
+            .with_retries(config.retries)
+            .with_backoff(1.0)
+            .with_timeout(deadline)
+            .estimate_with(ctx, initiator)
+            .map(QueryAnswer::Count),
+        // CTRW walks are bounded by their virtual-time timer, not a step
+        // budget; one draw per attempt, retried like the supervisor.
+        Query::Sample(sampler) => {
+            let mut last = None;
+            for attempt in 0..=config.retries {
+                match sampler.sample_ctx(ctx, initiator) {
+                    Ok(sample) => return Ok(QueryAnswer::Sample(sample)),
+                    Err(e) => {
+                        if attempt < config.retries {
+                            ctx.on_event(Metric::WalkRetries, 1);
+                        }
+                        last = Some(e);
+                    }
+                }
+            }
+            Err(EstimateError::Walk(last.expect("at least one attempt ran")))
+        }
+        Query::Aggregate(f) => {
+            let tour = RandomTour::with_timeout(config.deadline);
+            let mut last = None;
+            for attempt in 0..=config.retries {
+                match tour.estimate_sum_with(ctx, initiator, f) {
+                    Ok(estimate) => return Ok(QueryAnswer::Aggregate(estimate)),
+                    Err(e @ EstimateError::Degenerate(_)) => return Err(e),
+                    Err(e) => {
+                        if attempt < config.retries {
+                            ctx.on_event(Metric::WalkRetries, 1);
+                        }
+                        last = Some(e);
+                    }
+                }
+            }
+            Err(last.expect("at least one attempt ran"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_core::SampleCollide;
+    use census_graph::generators;
+    use census_metrics::Registry;
+    use census_sampling::CtrwSampler;
+    use census_sim::{JoinRule, Scenario};
+
+    fn service(n: usize, seed: u64, config: ServiceConfig) -> CensusService {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let net = DynamicNetwork::new(
+            generators::balanced(n, 8, &mut rng),
+            JoinRule::Balanced { max_degree: 8 },
+        );
+        CensusService::new(net, config)
+    }
+
+    fn mixed_queries() -> Vec<Query> {
+        vec![
+            Query::Count(Counter::RandomTour(RandomTour::new())),
+            Query::Count(Counter::SampleCollide(SampleCollide::new(
+                CtrwSampler::new(5.0),
+                3,
+            ))),
+            Query::Sample(CtrwSampler::new(5.0)),
+            Query::Aggregate(|_| 1.0),
+        ]
+    }
+
+    #[test]
+    fn mixed_load_completes_with_reconciled_ledger() {
+        let mut svc = service(300, 1, ServiceConfig::new(17).with_workers(2));
+        let reg = Registry::new();
+        let (accepted, outcomes) = svc.serve_rec(&[], &reg, |census| {
+            let mut accepted = 0u64;
+            for q in mixed_queries().into_iter().cycle().take(12) {
+                if census.submit(q).is_ok() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        });
+        assert_eq!(accepted, 12);
+        assert_eq!(outcomes.len(), 12);
+        assert!(outcomes.iter().all(|o| o.epoch == 0));
+        assert_eq!(reg.counter(Metric::QueriesSubmitted), 12);
+        assert_eq!(reg.counter(Metric::QueriesRejected), 0);
+        assert_eq!(
+            reg.counter(Metric::QueriesCompleted) + reg.counter(Metric::QueriesExpired),
+            12
+        );
+        assert_eq!(reg.histogram_count(HistogramMetric::QueryLatency), 12);
+        // Fault-free, deadline-free queries on a connected overlay all
+        // complete.
+        assert_eq!(reg.counter(Metric::QueriesCompleted), 12);
+        // A size estimate answers near the truth on this small overlay.
+        let count = outcomes
+            .iter()
+            .find_map(|o| match &o.result {
+                Ok(QueryAnswer::Count(e)) => Some(e.value),
+                _ => None,
+            })
+            .expect("a count query completed");
+        assert!(count > 0.0);
+    }
+
+    #[test]
+    fn overload_rejects_without_losing_accepted_queries() {
+        // One worker, a tiny queue, and a burst bigger than both.
+        let config = ServiceConfig::new(3).with_workers(1).with_queue_capacity(2);
+        let mut svc = service(200, 2, config);
+        let reg = Registry::new();
+        let ((), outcomes) = svc.serve_rec(&[], &reg, |census| {
+            let mut accepted = Vec::new();
+            let mut rejected = 0u64;
+            // Submit a large burst as fast as possible; the 2-slot queue
+            // must bounce some (the worker cannot keep up with all 64
+            // instantaneous submissions) and lose none.
+            for q in mixed_queries().into_iter().cycle().take(64) {
+                match census.submit(q) {
+                    Ok(id) => accepted.push(id),
+                    Err(SubmitError::Overloaded) => rejected += 1,
+                }
+            }
+            assert_eq!(accepted.len() as u64 + rejected, 64);
+            // Accepted ids are contiguous from zero: rejections burn no id.
+            assert_eq!(
+                accepted,
+                (0..accepted.len() as u64).collect::<Vec<_>>()
+            );
+        });
+        let submitted = reg.counter(Metric::QueriesSubmitted);
+        let rejected = reg.counter(Metric::QueriesRejected);
+        let completed = reg.counter(Metric::QueriesCompleted);
+        let expired = reg.counter(Metric::QueriesExpired);
+        assert_eq!(submitted, 64);
+        assert_eq!(outcomes.len() as u64, submitted - rejected);
+        assert_eq!(completed + expired, submitted - rejected);
+    }
+
+    #[test]
+    fn churn_publishes_epochs_and_queries_still_answer() {
+        let config = ServiceConfig::new(11)
+            .with_workers(2)
+            .with_policy(RefreezePolicy::eager());
+        let mut svc = service(400, 4, config);
+        assert_eq!(svc.latest_epoch(), 0);
+        let events = Scenario::new().remove_gradually(0, 10, 100).events(10);
+        assert_eq!(events.len(), 10);
+        let reg = Registry::new();
+        let ((), outcomes) = svc.serve_rec(&events, &reg, |census| {
+            for q in mixed_queries() {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        // Eager policy: one epoch per event, all published by exit.
+        assert_eq!(svc.latest_epoch(), 10);
+        assert_eq!(reg.counter(Metric::Refreezes), 10);
+        assert_eq!(svc.network().size(), 300);
+        assert_eq!(svc.pin().num_nodes(), 300);
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert!(o.epoch <= 10, "epoch {} out of range", o.epoch);
+        }
+    }
+
+    #[test]
+    fn lazy_policy_amortises_refreezes() {
+        let config = ServiceConfig::new(5).with_policy(RefreezePolicy::new(40, u64::MAX));
+        let mut svc = service(400, 6, config);
+        // 10 events of 10 departures each: the 40-delta threshold fires
+        // every 4th event, plus the final flush for the trailing 20.
+        let events = Scenario::new().remove_gradually(0, 10, 100).events(10);
+        let reg = Registry::new();
+        let ((), _) = svc.serve_rec(&events, &reg, |_| {});
+        assert_eq!(reg.counter(Metric::Refreezes), 3);
+        assert_eq!(svc.latest_epoch(), 3);
+        // The final flush still leaves the chain fresh.
+        assert_eq!(svc.pin().num_nodes(), svc.network().size());
+    }
+
+    #[test]
+    fn faulty_queries_expire_but_reconcile() {
+        // Total message loss with no retransmission kills every walk.
+        let plan = FaultPlan::new().with_message_loss(1.0, 9);
+        let config = ServiceConfig::new(23)
+            .with_workers(2)
+            .with_faults(plan)
+            .with_retries(2);
+        let mut svc = service(200, 8, config);
+        let reg = Registry::new();
+        let ((), outcomes) = svc.serve_rec(&[], &reg, |census| {
+            for _ in 0..6 {
+                census
+                    .submit(Query::Count(Counter::RandomTour(RandomTour::new())))
+                    .expect("queue has room");
+            }
+        });
+        assert_eq!(outcomes.len(), 6);
+        assert_eq!(reg.counter(Metric::QueriesCompleted), 0);
+        assert_eq!(reg.counter(Metric::QueriesExpired), 6);
+        assert!(outcomes.iter().all(|o| o.result.is_err()));
+    }
+}

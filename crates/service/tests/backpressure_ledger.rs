@@ -1,0 +1,106 @@
+//! Proptest acceptance: the service's backpressure ledger reconciles
+//! exactly under fault injection — `submitted = accepted + rejected` and
+//! `accepted = completed + expired` — across arbitrary worker counts,
+//! queue capacities, offered loads, and [`FaultPlan`]s. No accepted
+//! query is ever silently dropped, no rejected query leaks an id.
+
+use census_core::{RandomTour, SampleCollide};
+use census_graph::generators;
+use census_metrics::{HistogramMetric, Metric, Registry};
+use census_sampling::CtrwSampler;
+use census_service::{CensusService, Counter, Query, ServiceConfig, SubmitError};
+use census_sim::faults::FaultPlan;
+use census_sim::{DynamicNetwork, JoinRule};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn network(seed: u64) -> DynamicNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    DynamicNetwork::new(
+        generators::balanced(60, 6, &mut rng),
+        JoinRule::Balanced { max_degree: 6 },
+    )
+}
+
+fn query_mix(i: u64) -> Query {
+    match i % 3 {
+        0 => Query::Count(Counter::RandomTour(RandomTour::new())),
+        1 => Query::Count(Counter::SampleCollide(SampleCollide::new(
+            CtrwSampler::new(4.0),
+            2,
+        ))),
+        _ => Query::Sample(CtrwSampler::new(4.0)),
+    }
+}
+
+proptest! {
+    // Each case spins up a real worker pool; 32 cases keeps the suite
+    // quick while still sweeping the configuration space.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ledger_reconciles_under_faults(
+        seed in any::<u64>(),
+        workers in 1usize..5,
+        capacity in 1usize..6,
+        queries in 0u64..80,
+        loss_percent in 0u32..=100,
+        retransmits in 0u32..3,
+        retries in 0u32..3,
+    ) {
+        let plan = FaultPlan::new()
+            .with_message_loss(f64::from(loss_percent) / 100.0, seed ^ 0xA5A5)
+            .with_retransmits(retransmits);
+        let config = ServiceConfig::new(seed)
+            .with_workers(workers)
+            .with_queue_capacity(capacity)
+            .with_deadline(10_000)
+            .with_retries(retries)
+            .with_faults(plan);
+
+        let reg = Registry::new();
+        let mut service = CensusService::new(network(seed), config);
+        let ((accepted, rejected), outcomes) = service.serve_rec(&[], &reg, |census| {
+            let mut accepted = 0u64;
+            let mut rejected = 0u64;
+            for i in 0..queries {
+                match census.submit(query_mix(i)) {
+                    Ok(_) => accepted += 1,
+                    Err(SubmitError::Overloaded) => rejected += 1,
+                }
+            }
+            (accepted, rejected)
+        });
+
+        // First half of the ledger: every submission was either accepted
+        // or visibly rejected — nothing vanished at the front door.
+        prop_assert_eq!(accepted + rejected, queries);
+        prop_assert_eq!(reg.counter(Metric::QueriesSubmitted), queries);
+        prop_assert_eq!(reg.counter(Metric::QueriesRejected), rejected);
+
+        // Second half: every accepted query terminated exactly once,
+        // either completing or expiring, and produced one outcome.
+        prop_assert_eq!(outcomes.len() as u64, accepted);
+        let completed = reg.counter(Metric::QueriesCompleted);
+        let expired = reg.counter(Metric::QueriesExpired);
+        prop_assert_eq!(completed + expired, accepted);
+        prop_assert_eq!(
+            completed,
+            outcomes.iter().filter(|o| o.result.is_ok()).count() as u64
+        );
+        prop_assert_eq!(
+            expired,
+            outcomes.iter().filter(|o| o.result.is_err()).count() as u64
+        );
+
+        // Exactly one latency observation per accepted query — retries
+        // within a query must not double-count it.
+        prop_assert_eq!(reg.histogram_count(HistogramMetric::QueryLatency), accepted);
+
+        // Ids are allocated only to accepted queries, so the outcome ids
+        // are exactly 0..accepted with no holes from rejections.
+        let ids: Vec<u64> = outcomes.iter().map(|o| o.id).collect();
+        prop_assert_eq!(ids, (0..accepted).collect::<Vec<u64>>());
+    }
+}

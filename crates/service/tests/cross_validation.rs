@@ -1,0 +1,121 @@
+//! Statistical acceptance: a batch of `Count` queries answered by the
+//! concurrent service must agree with the serial `run_static` harness on
+//! the same overlay — the worker pool changes the execution shape, not
+//! the estimator's distribution.
+
+use census_core::{RandomTour, SampleCollide};
+use census_graph::generators;
+use census_sampling::CtrwSampler;
+use census_service::{CensusService, Counter, Query, QueryAnswer, ServiceConfig};
+use census_sim::runner::run_static;
+use census_sim::{DynamicNetwork, JoinRule};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const N: usize = 400;
+
+fn network(seed: u64) -> DynamicNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    DynamicNetwork::new(
+        generators::balanced(N, 8, &mut rng),
+        JoinRule::Balanced { max_degree: 8 },
+    )
+}
+
+/// Sample mean and the standard error of that mean.
+fn moments(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    assert!(n > 1.0, "need at least two samples");
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+/// Runs `queries` copies of `query` through a 4-worker service and
+/// collects the count estimates.
+fn service_estimates(query: Query, queries: u64, seed: u64) -> Vec<f64> {
+    let mut service = CensusService::new(network(1), ServiceConfig::new(seed).with_workers(4));
+    let ((), outcomes) = service.serve(&[], |census| {
+        for _ in 0..queries {
+            census.submit(query).expect("queue has room");
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| match o.result.expect("static overlay, no deadline") {
+            QueryAnswer::Count(e) => e.value,
+            other => panic!("expected a count, got {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn batched_tour_counts_match_the_serial_harness() {
+    let runs = 200u64;
+
+    // Serial reference: the PR-1 harness, one fixed initiator.
+    let net = network(1);
+    let probe = net.graph().nodes().next().expect("non-empty");
+    let mut rng = SmallRng::seed_from_u64(2);
+    let serial: Vec<f64> = run_static(&net, &RandomTour::new(), probe, runs, &mut rng)
+        .into_iter()
+        .map(|r| r.estimate)
+        .collect();
+
+    // Concurrent service: same overlay, per-query initiators and RNG
+    // streams, 4 workers racing over the queue.
+    let batched = service_estimates(
+        Query::Count(Counter::RandomTour(RandomTour::new())),
+        runs,
+        3,
+    );
+    assert_eq!(batched.len(), runs as usize);
+
+    // Both are unbiased estimators of N (§3.1), so both means must sit
+    // within 4 standard errors of the truth, and of each other.
+    let (serial_mean, serial_se) = moments(&serial);
+    let (batched_mean, batched_se) = moments(&batched);
+    let n = N as f64;
+    assert!(
+        (serial_mean - n).abs() < 4.0 * serial_se.max(1.0),
+        "serial mean {serial_mean} vs true {n} (se {serial_se})"
+    );
+    assert!(
+        (batched_mean - n).abs() < 4.0 * batched_se.max(1.0),
+        "batched mean {batched_mean} vs true {n} (se {batched_se})"
+    );
+    let pooled_se = (serial_se * serial_se + batched_se * batched_se).sqrt();
+    assert!(
+        (serial_mean - batched_mean).abs() < 4.0 * pooled_se.max(1.0),
+        "serial {serial_mean} and batched {batched_mean} diverge (pooled se {pooled_se})"
+    );
+}
+
+#[test]
+fn batched_sample_collide_counts_match_the_serial_harness() {
+    let reps = 32u64;
+    let sc = SampleCollide::new(CtrwSampler::new(10.0), 15);
+
+    let net = network(1);
+    let probe = net.graph().nodes().next().expect("non-empty");
+    let mut rng = SmallRng::seed_from_u64(4);
+    let serial: Vec<f64> = run_static(&net, &sc, probe, reps, &mut rng)
+        .into_iter()
+        .map(|r| r.estimate)
+        .collect();
+
+    let batched = service_estimates(Query::Count(Counter::SampleCollide(sc)), reps, 5);
+    assert_eq!(batched.len(), reps as usize);
+
+    // §4.2's estimator concentrates around N for l = 15; the same 25%
+    // envelope proto_equivalence uses is comfortably 4-sigma here.
+    let (serial_mean, _) = moments(&serial);
+    let (batched_mean, _) = moments(&batched);
+    let n = N as f64;
+    for (name, mean) in [("serial", serial_mean), ("batched", batched_mean)] {
+        assert!(
+            (mean / n - 1.0).abs() < 0.25,
+            "{name} mean {mean} strays from true size {n}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Acceptance: service results are a pure function of (seed, query id,
+//! pinned epoch) — the same query set answered at 1 and 8 workers must
+//! match byte for byte.
+
+use census_core::{RandomTour, SampleCollide};
+use census_graph::{generators, NodeId};
+use census_sampling::CtrwSampler;
+use census_service::{CensusService, Counter, Query, QueryOutcome, ServiceConfig};
+use census_sim::faults::FaultPlan;
+use census_sim::{DynamicNetwork, JoinRule};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn network(seed: u64) -> DynamicNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    DynamicNetwork::new(
+        generators::balanced(500, 8, &mut rng),
+        JoinRule::Balanced { max_degree: 8 },
+    )
+}
+
+fn degree_weight(_node: NodeId) -> f64 {
+    1.0
+}
+
+/// A fixed mixed workload cycling through every query kind.
+fn query_mix(i: u64) -> Query {
+    match i % 4 {
+        0 => Query::Count(Counter::RandomTour(RandomTour::new())),
+        1 => Query::Count(Counter::SampleCollide(SampleCollide::new(
+            CtrwSampler::new(6.0),
+            3,
+        ))),
+        2 => Query::Sample(CtrwSampler::new(6.0)),
+        _ => Query::Aggregate(degree_weight),
+    }
+}
+
+fn outcomes_with(config: ServiceConfig) -> Vec<QueryOutcome> {
+    let mut service = CensusService::new(network(3), config);
+    let ((), outcomes) = service.serve(&[], |census| {
+        for i in 0..40 {
+            census.submit(query_mix(i)).expect("queue has room");
+        }
+    });
+    outcomes
+}
+
+#[test]
+fn results_are_identical_at_1_and_8_workers() {
+    let serial = outcomes_with(ServiceConfig::new(1234).with_workers(1));
+    let pooled = outcomes_with(ServiceConfig::new(1234).with_workers(8));
+    assert_eq!(serial.len(), 40);
+    // Full structural equality: ids, echoed queries, pinned epochs, and
+    // every answer (estimates compare as exact f64 bit patterns through
+    // PartialEq) — thread interleaving must not perturb anything.
+    assert_eq!(serial, pooled);
+}
+
+#[test]
+fn determinism_survives_fault_injection() {
+    let plan = FaultPlan::new()
+        .with_message_loss(0.05, 21)
+        .with_retransmits(1);
+    let config = |workers| {
+        ServiceConfig::new(77)
+            .with_workers(workers)
+            .with_faults(plan)
+            .with_deadline(20_000)
+            .with_retries(2)
+    };
+    let serial = outcomes_with(config(1));
+    let pooled = outcomes_with(config(8));
+    assert_eq!(serial, pooled);
+}
+
+#[test]
+fn a_different_seed_changes_the_answers() {
+    let a = outcomes_with(ServiceConfig::new(1234).with_workers(2));
+    let b = outcomes_with(ServiceConfig::new(4321).with_workers(2));
+    assert_ne!(a, b, "the seed must actually drive the query streams");
+}

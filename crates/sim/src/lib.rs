@@ -66,4 +66,4 @@ mod dynamic;
 mod scenario;
 
 pub use dynamic::{DynamicNetwork, JoinRule};
-pub use scenario::Scenario;
+pub use scenario::{MembershipDelta, Scenario};

@@ -17,7 +17,7 @@
 
 use census_core::{AdaptiveTimeout, EstimateError, LossClass, SizeEstimator, StepBudgeted};
 use census_graph::{NodeId, Topology};
-use census_metrics::{Metric, Recorder, RunCtx, NOOP};
+use census_metrics::{GaugeMetric, Metric, Recorder, RunCtx, NOOP};
 use census_stats::SlidingWindow;
 use rand::Rng;
 use std::fmt;
@@ -344,6 +344,7 @@ where
             cached_truth = None;
             frozen = net.freeze();
             recorder.incr(Metric::Refreezes, 1);
+            recorder.set_gauge(GaugeMetric::SnapshotEpoch, frozen.epoch());
         }
         assert!(net.size() > 0, "scenario emptied the overlay at run {run}");
 
@@ -773,6 +774,9 @@ mod tests {
         // each of which re-freezes the snapshot.
         assert_eq!(reg.counter(Metric::Refreezes), 30);
         assert_eq!(reg.counter(Metric::EstimatesCompleted), 50);
+        // Initial freeze stamps epoch 0; the gauge holds the last of the
+        // 30 re-freezes.
+        assert_eq!(reg.gauge(GaugeMetric::SnapshotEpoch), 30);
         let reported: u64 = recs.iter().map(|r| r.messages).sum();
         assert_eq!(reg.counter(Metric::ReportedMessages), reported);
     }

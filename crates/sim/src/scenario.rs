@@ -133,6 +133,45 @@ impl Scenario {
     pub fn is_static(&self, horizon: u64) -> bool {
         (0..horizon).all(|r| self.delta_at(r) == 0)
     }
+
+    /// The schedule flattened into an explicit event stream: every run in
+    /// `[0, horizon)` with a non-zero net delta, in run order.
+    ///
+    /// This is the churn feed a long-running consumer (the census
+    /// service's churn applier) drains, and it is exactly equivalent to
+    /// polling [`Scenario::delta_at`] run by run:
+    ///
+    /// ```
+    /// use census_sim::Scenario;
+    ///
+    /// let s = Scenario::new().remove_suddenly(3, 10).add_gradually(5, 7, 4);
+    /// let events = s.events(10);
+    /// assert_eq!(events.len(), 3);
+    /// assert_eq!(events[0].run, 3);
+    /// assert_eq!(events[0].delta, -10);
+    /// assert_eq!(events.iter().map(|e| e.delta).sum::<i64>(), -6);
+    /// ```
+    #[must_use]
+    pub fn events(&self, horizon: u64) -> Vec<MembershipDelta> {
+        (0..horizon)
+            .filter_map(|run| {
+                let delta = self.delta_at(run);
+                (delta != 0).then_some(MembershipDelta { run, delta })
+            })
+            .collect()
+    }
+}
+
+/// One entry of a [`Scenario`]'s flattened event stream: the net
+/// membership change (positive: joins; negative: departures) to apply
+/// just before `run`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MembershipDelta {
+    /// The run index the change precedes.
+    pub run: u64,
+    /// Signed node-count change; never zero in a [`Scenario::events`]
+    /// stream.
+    pub delta: i64,
 }
 
 #[cfg(test)]
@@ -210,6 +249,27 @@ mod tests {
     #[should_panic(expected = "non-empty run range")]
     fn inverted_range_panics() {
         let _ = Scenario::new().add_gradually(5, 5, 1);
+    }
+
+    #[test]
+    fn events_match_delta_at_poll() {
+        let s = Scenario::new()
+            .remove_gradually(2, 6, 7)
+            .add_suddenly(4, 3)
+            .remove_suddenly(9, 1);
+        let events = s.events(10);
+        // Run order, no zero entries, and per-run agreement with delta_at.
+        assert!(events.windows(2).all(|w| w[0].run < w[1].run));
+        assert!(events.iter().all(|e| e.delta != 0));
+        for run in 0..10 {
+            let from_events: i64 = events
+                .iter()
+                .filter(|e| e.run == run)
+                .map(|e| e.delta)
+                .sum();
+            assert_eq!(from_events, s.delta_at(run), "run {run}");
+        }
+        assert!(Scenario::new().events(100).is_empty());
     }
 
     proptest! {

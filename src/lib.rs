@@ -19,6 +19,7 @@
 //! | [`sampling`] | the CTRW uniform peer sampler and its baselines |
 //! | [`core`] | **Random Tour** and **Sample & Collide** estimators + baselines |
 //! | [`sim`] | churn scenarios, dynamic experiment runners, fault injection ([`sim::faults`]) |
+//! | [`service`] | a continuous-census query engine: epoch-pinned snapshots, bounded queue with explicit backpressure, deterministic worker pool |
 //! | [`proto`] | the same protocols at message level: discrete-event delivery, latencies, concurrent operations, departures, timeouts |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@ pub use census_graph as graph;
 pub use census_metrics as metrics;
 pub use census_proto as proto;
 pub use census_sampling as sampling;
+pub use census_service as service;
 pub use census_sim as sim;
 pub use census_stats as stats;
 pub use census_walk as walk;
@@ -69,9 +71,13 @@ pub mod prelude {
         RandomTour, SampleCollide, SizeEstimator, StepBudgeted, Supervised,
     };
     pub use census_graph::{generators, Graph, NodeId, Topology};
-    pub use census_metrics::{Metric, NoopRecorder, Recorder, Registry, RunCtx};
+    pub use census_metrics::{GaugeMetric, Metric, NoopRecorder, Recorder, Registry, RunCtx};
     pub use census_sampling::{
         CtrwSampler, DtrwSampler, MetropolisSampler, OracleSampler, Sampler,
+    };
+    pub use census_service::{
+        CensusService, Counter, Query, QueryAnswer, QueryOutcome, RefreezePolicy, ServiceConfig,
+        SubmitError,
     };
     pub use census_sim::faults::FaultPlan;
     pub use census_sim::{DynamicNetwork, JoinRule, Scenario};

@@ -1,10 +1,6 @@
 //! Cross-crate integration: churn tracking, the adaptive timer, and the
 //! §5.3.1 message-loss/timeout machinery working together.
 
-// The deprecated context-free shims are exercised deliberately: these
-// tests pin that they keep producing the historical walks.
-#![allow(deprecated)]
-
 use overlay_census::core::EstimateError;
 use overlay_census::prelude::*;
 use overlay_census::sim::loss::{AdaptiveTimeout, LossyTopology};
@@ -52,7 +48,9 @@ fn adaptive_sample_collide_works_without_knowing_the_gap() {
         .with_tolerance(0.2)
         .with_max_rounds(8);
     let me = net.graph().any_peer(&mut rng).expect("non-empty");
-    let steps = adaptive.run(&net, me, &mut rng).expect("connected");
+    let steps = adaptive
+        .run_with(&mut RunCtx::new(&net, &mut rng), me)
+        .expect("connected");
     let last = steps.last().expect("at least one round");
     assert!(
         (last.estimate / 3_000.0 - 1.0).abs() < 0.4,
@@ -78,7 +76,7 @@ fn lossy_walks_recover_with_adaptive_timeout_and_retries() {
         attempts += 1;
         assert!(attempts < 5_000, "retry budget exhausted");
         let rt = RandomTour::with_timeout(timeout.budget());
-        match rt.estimate(&lossy, me, &mut rng) {
+        match rt.estimate_with(&mut RunCtx::new(&lossy, &mut rng), me) {
             Ok(est) => {
                 timeout.record(est.messages);
                 estimates.push(est.value);
@@ -124,7 +122,7 @@ fn fragmentation_reports_the_probes_component() {
     let rt = RandomTour::new();
     let m: OnlineMoments = (0..3_000)
         .map(|_| {
-            rt.estimate(&net, me, &mut rng)
+            rt.estimate_with(&mut RunCtx::new(&net, &mut rng), me)
                 .expect("probe has neighbours")
                 .value
         })
@@ -145,12 +143,15 @@ fn gossip_and_walk_methods_agree_on_the_same_overlay() {
     let (net, mut rng) = balanced_net(1_000, 5);
     let me = net.graph().any_peer(&mut rng).expect("non-empty");
 
-    let gossip = GossipAveraging::new(40).run(net.graph(), &mut rng);
+    let gossip = GossipAveraging::new(40).run_with(&mut RunCtx::new(net.graph(), &mut rng));
     let idx = DenseIndex::new(net.graph());
     let gossip_estimate = gossip.estimates[idx.dense(me)];
 
     let sc = SampleCollide::new(CtrwSampler::new(10.0), 50);
-    let sc_estimate = sc.estimate(&net, me, &mut rng).expect("connected").value;
+    let sc_estimate = sc
+        .estimate_with(&mut RunCtx::new(&net, &mut rng), me)
+        .expect("connected")
+        .value;
 
     assert!(
         (gossip_estimate / sc_estimate - 1.0).abs() < 0.5,

@@ -11,10 +11,6 @@
 //!   across invocations and equal to a serial loop, no matter how the
 //!   OS schedules the worker threads.
 
-// The deprecated context-free shims are exercised deliberately: these
-// tests pin that they keep producing the historical walks.
-#![allow(deprecated)]
-
 use overlay_census::graph::FrozenView;
 use overlay_census::prelude::*;
 use overlay_census::sim::parallel::{replica_seed, replicate, replicate_static, Replica};
@@ -67,9 +63,11 @@ fn estimates_are_identical_on_graph_and_frozen_view() {
     let mut live_rng = SmallRng::seed_from_u64(22);
     let mut frozen_rng = SmallRng::seed_from_u64(22);
     for _ in 0..30 {
-        let live = rt.estimate(&g, probe, &mut live_rng).expect("connected");
+        let live = rt
+            .estimate_with(&mut RunCtx::new(&g, &mut live_rng), probe)
+            .expect("connected");
         let snap = rt
-            .estimate(&frozen, probe, &mut frozen_rng)
+            .estimate_with(&mut RunCtx::new(&frozen, &mut frozen_rng), probe)
             .expect("connected");
         assert_eq!(live.value, snap.value);
         assert_eq!(live.messages, snap.messages);
@@ -88,7 +86,7 @@ fn run_static_series_matches_serial_estimates_on_the_live_graph() {
     let mut serial_rng = SmallRng::seed_from_u64(32);
     for r in &records {
         let e = rt
-            .estimate(net.graph(), probe, &mut serial_rng)
+            .estimate_with(&mut RunCtx::new(net.graph(), &mut serial_rng), probe)
             .expect("connected");
         assert_eq!(r.estimate, e.value);
         assert_eq!(r.messages, e.messages);

@@ -3,10 +3,6 @@
 //! These assert the paper's headline *scaling claims* on overlays large
 //! enough for the asymptotics to bite, at sizes still comfortable for CI.
 
-// The deprecated context-free shims are exercised deliberately: these
-// tests pin that they keep producing the historical walks.
-#![allow(deprecated)]
-
 use overlay_census::core::theory;
 use overlay_census::prelude::*;
 use overlay_census::sampling::quality;
@@ -26,7 +22,11 @@ fn random_tour_is_unbiased_at_scale() {
     let me = g.any_peer(&mut rng).expect("non-empty");
     let rt = RandomTour::new();
     let m: OnlineMoments = (0..6_000)
-        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").value)
+        .map(|_| {
+            rt.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .value
+        })
         .collect();
     let err = (m.mean() - n as f64).abs() / m.standard_error();
     assert!(err < 4.0, "RT mean {} is {err} SEs from {n}", m.mean());
@@ -42,7 +42,11 @@ fn sample_collide_cost_scales_as_sqrt_n() {
         let me = g.any_peer(&mut rng).expect("non-empty");
         let sc = SampleCollide::new(CtrwSampler::new(10.0), 20);
         let m: OnlineMoments = (0..15)
-            .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+            .map(|_| {
+                sc.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                    .expect("connected")
+                    .messages as f64
+            })
             .collect();
         m.mean()
     };
@@ -64,7 +68,11 @@ fn random_tour_cost_scales_linearly() {
         let d_i = g.degree(me) as f64;
         let rt = RandomTour::new();
         let m: OnlineMoments = (0..200)
-            .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+            .map(|_| {
+                rt.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                    .expect("connected")
+                    .messages as f64
+            })
             .collect();
         // Normalise by the initiator's degree so different probes compare.
         m.mean() * d_i
@@ -90,7 +98,11 @@ fn equal_variance_cost_gap_widens_with_n() {
         // Measured S&C cost at l = 25.
         let sc = SampleCollide::new(CtrwSampler::new(10.0), 25);
         let sc_cost: OnlineMoments = (0..10)
-            .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+            .map(|_| {
+                sc.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                    .expect("connected")
+                    .messages as f64
+            })
             .collect();
         // RT cost to reach the same 1/l variance: a single tour has
         // relative variance ~1.3 (paper Table 1), so it needs ~1.3*l tours.
@@ -99,7 +111,11 @@ fn equal_variance_cost_gap_widens_with_n() {
         let rt_cost: OnlineMoments = (0..10)
             .map(|_| {
                 (0..tours)
-                    .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").messages)
+                    .map(|_| {
+                        rt.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                            .expect("connected")
+                            .messages
+                    })
                     .sum::<u64>() as f64
             })
             .collect();
@@ -125,7 +141,10 @@ fn corollary_1_holds_with_real_ctrw_sampling() {
     let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
     let mse: f64 = (0..120)
         .map(|_| {
-            let v = sc.estimate(&g, me, &mut rng).expect("connected").value;
+            let v = sc
+                .estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .value;
             (v / n as f64 - 1.0).powi(2)
         })
         .sum::<f64>()
@@ -162,7 +181,9 @@ fn proposition_3_second_moment() {
     let me = g.nodes().next().expect("non-empty");
     let m: OnlineMoments = (0..600)
         .map(|_| {
-            let r = sc.collect(&g, me, &mut rng).expect("oracle cannot fail");
+            let r = sc
+                .collect_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("oracle cannot fail");
             (r.c_l as f64).powi(2)
         })
         .collect();
@@ -181,14 +202,22 @@ fn estimators_work_on_scale_free_overlays_with_hubs() {
 
     let rt = RandomTour::new();
     let m: OnlineMoments = (0..4_000)
-        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").value)
+        .map(|_| {
+            rt.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .value
+        })
         .collect();
     let err = (m.mean() - n as f64).abs() / m.standard_error();
     assert!(err < 4.0, "RT on scale-free: mean {}", m.mean());
 
     let sc = SampleCollide::new(CtrwSampler::new(10.0), 50);
     let m: OnlineMoments = (0..40)
-        .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").value)
+        .map(|_| {
+            sc.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .value
+        })
         .collect();
     assert!(
         (m.mean() / n as f64 - 1.0).abs() < 0.15,

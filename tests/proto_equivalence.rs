@@ -2,10 +2,6 @@
 //! estimators are two executions of the same algorithms; these tests
 //! check they agree statistically on the same overlays.
 
-// The deprecated context-free shims are exercised deliberately: these
-// tests pin that they keep producing the historical walks.
-#![allow(deprecated)]
-
 use overlay_census::prelude::*;
 use overlay_census::proto::{Latency, Outcome, ProtocolSim};
 use rand::rngs::SmallRng;
@@ -26,7 +22,11 @@ fn tour_estimates_have_the_same_mean_and_spread() {
     let mut rng = SmallRng::seed_from_u64(2);
     let rt = RandomTour::new();
     let func: OnlineMoments = (0..runs)
-        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").value)
+        .map(|_| {
+            rt.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .value
+        })
         .collect();
 
     // Message level.
@@ -70,7 +70,11 @@ fn tour_costs_match_the_cycle_formula_in_both_executions() {
     let mut rng = SmallRng::seed_from_u64(5);
     let rt = RandomTour::new();
     let func: OnlineMoments = (0..runs)
-        .map(|_| rt.estimate(&g, me, &mut rng).expect("connected").messages as f64)
+        .map(|_| {
+            rt.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .messages as f64
+        })
         .collect();
 
     let mut sim = ProtocolSim::new(g.clone(), Latency::Constant(0.5), 6);
@@ -145,7 +149,11 @@ fn sample_collide_estimates_agree_on_the_mean() {
     let mut rng = SmallRng::seed_from_u64(11);
     let sc = SampleCollide::new(CtrwSampler::new(10.0), l);
     let func: OnlineMoments = (0..reps)
-        .map(|_| sc.estimate(&g, me, &mut rng).expect("connected").value)
+        .map(|_| {
+            sc.estimate_with(&mut RunCtx::new(&g, &mut rng), me)
+                .expect("connected")
+                .value
+        })
         .collect();
 
     let mut sim = ProtocolSim::new(g.clone(), Latency::ExponentialMean(0.02), 12);
