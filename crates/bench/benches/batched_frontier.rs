@@ -1,0 +1,136 @@
+//! Batched frontier vs serial walk-stepping on the frozen CSR hot path.
+//!
+//! The frontier kernel ([`census_walk::frontier`]) advances W concurrent
+//! walks in lock-step rounds, overlapping W independent CSR cache-miss
+//! chains where the serial engine waits on one. These benchmarks measure
+//! that memory-level parallelism directly: the same total sample count,
+//! the same per-walk tagged RNG streams, only the stepping schedule
+//! differs — so the ratio is pure execution-shape, not workload.
+//!
+//! Run with `cargo bench -p census-bench --bench batched_frontier`.
+
+use census_graph::{generators, Graph, Topology};
+use census_metrics::NoopRecorder;
+use census_walk::continuous::{ctrw_walk, Sojourn};
+use census_walk::frontier::{ctrw_frontier, tour_frontier, CtrwSpec, TourSpec};
+use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const PAPER_N: usize = 100_000;
+const TIMER: f64 = 10.0;
+
+fn balanced(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::balanced(n, 10, &mut rng)
+}
+
+fn walk_rng(i: u64) -> SplitMix64 {
+    SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, 7, i))
+}
+
+/// CTRW samples/second at several frontier widths against the serial
+/// baseline. Width 1 exposes the kernel's bookkeeping floor; the wide
+/// arms show what overlapping cache misses buys at paper scale.
+fn bench_ctrw_frontier_widths(c: &mut Criterion) {
+    let samples = 256u64;
+    let g = balanced(PAPER_N, 1);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+
+    let mut group = c.benchmark_group("ctrw_samples_n100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            (0..samples)
+                .map(|i| {
+                    ctrw_walk(&frozen, start, TIMER, Sojourn::Exponential, &mut walk_rng(i))
+                        .expect("fault-free")
+                        .hops
+                })
+                .sum::<u64>()
+        });
+    });
+    for width in [1u64, 8, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("frontier", width),
+            &width,
+            |b, &width| {
+                b.iter(|| {
+                    let mut hops = 0u64;
+                    let mut next = 0u64;
+                    while next < samples {
+                        let lanes = (samples - next).min(width);
+                        let mut specs: Vec<_> = (0..lanes)
+                            .map(|i| CtrwSpec {
+                                topology: &frozen,
+                                rng: walk_rng(next + i),
+                                start,
+                                timer: TIMER,
+                                sojourn: Sojourn::Exponential,
+                            })
+                            .collect();
+                        for fate in ctrw_frontier(&mut specs, &NoopRecorder) {
+                            hops += fate.result.expect("fault-free").hops;
+                        }
+                        next += lanes;
+                    }
+                    hops
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Random Tour replicas through the tour frontier vs a serial loop: the
+/// `census_sim::parallel::replicate_tour_frontiers` inner shape.
+fn bench_tour_frontier(c: &mut Criterion) {
+    let tours = 32u64;
+    let cap = 2_000_000u64;
+    let g = balanced(PAPER_N, 3);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    let f = |_n| 1.0;
+
+    let mut group = c.benchmark_group("random_tours_n100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tours));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            (0..tours)
+                .map(|i| {
+                    let mut weight = 0.0f64;
+                    let mut rng = walk_rng(1_000 + i);
+                    census_walk::discrete::random_tour(&frozen, start, Some(cap), &mut rng, |v| {
+                        weight += f(v) / frozen.degree_of(v) as f64;
+                    })
+                    .map(|_| weight)
+                    .expect("capped tour returns")
+                })
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("frontier", |b| {
+        b.iter(|| {
+            let mut specs: Vec<_> = (0..tours)
+                .map(|i| TourSpec {
+                    topology: &frozen,
+                    rng: walk_rng(1_000 + i),
+                    start,
+                    max_steps: Some(cap),
+                })
+                .collect();
+            tour_frontier(&mut specs, f, &NoopRecorder)
+                .into_iter()
+                .map(|fate| fate.weight)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctrw_frontier_widths, bench_tour_frontier);
+criterion_main!(benches);

@@ -11,10 +11,15 @@
 //!    (queries/sec) at the paper's N = 100,000 for several worker
 //!    counts, with and without a concurrent churn stream (PR 4's
 //!    scaling claim). Writes `BENCH_4.json`.
+//! 4. `--batched` — CTRW samples/sec through the batched frontier
+//!    kernel vs the serial walk engine on the same per-walk streams at
+//!    the paper's N = 100,000 (PR 5's ≥ 2× claim), after asserting the
+//!    two paths produce bit-identical samples. Writes `BENCH_5.json`.
 //!
 //! ```text
 //! cargo run --release -p census-bench --bin perf-probe [-- --out BENCH_2.json]
 //! cargo run --release -p census-bench --bin perf-probe -- --service [--smoke]
+//! cargo run --release -p census-bench --bin perf-probe -- --batched [--smoke]
 //! ```
 //!
 //! Each arm re-seeds its RNG identically, so every variant walks the
@@ -29,9 +34,12 @@ use std::time::Instant;
 
 use census_core::{RandomTour, SizeEstimator};
 use census_graph::generators;
-use census_metrics::{Registry, RunCtx};
+use census_metrics::{NoopRecorder, Registry, RunCtx};
 use census_service::{CensusService, Counter, Query, ServiceConfig};
 use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
+use census_walk::continuous::{ctrw_walk, CtrwOutcome, Sojourn};
+use census_walk::frontier::{ctrw_frontier, CtrwSpec};
+use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -43,6 +51,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut out: Option<PathBuf> = None;
     let mut service = false;
+    let mut batched = false;
     let mut smoke = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -54,10 +63,12 @@ fn main() -> ExitCode {
                 out = Some(PathBuf::from(v));
             }
             "--service" => service = true,
+            "--batched" => batched = true,
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!("usage: perf-probe [--out BENCH_2.json]");
                 println!("       perf-probe --service [--smoke] [--out BENCH_4.json]");
+                println!("       perf-probe --batched [--smoke] [--out BENCH_5.json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -66,8 +77,14 @@ fn main() -> ExitCode {
             }
         }
     }
+    if service && batched {
+        eprintln!("--service and --batched are separate probes; pick one");
+        return ExitCode::FAILURE;
+    }
     if service {
         service_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_4.json")), smoke)
+    } else if batched {
+        batched_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_5.json")), smoke)
     } else {
         headline_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_2.json")))
     }
@@ -209,6 +226,103 @@ fn run_service_pass(n: usize, workers: usize, queries: u64, events: &[Membership
     secs
 }
 
+/// `BENCH_5.json`: CTRW sampling throughput through the batched frontier
+/// kernel vs the serial engine, on the *same* per-walk tagged streams.
+///
+/// Before timing anything, the probe runs both paths once and asserts
+/// every `(node, hops)` pair matches bit for bit — the speedup below is
+/// only meaningful because the two paths are the same random variable.
+fn batched_probe(out: PathBuf, smoke: bool) -> ExitCode {
+    let (n, samples, repeats): (usize, u64, usize) = if smoke {
+        (5_000, 512, 1)
+    } else {
+        (PAPER_N, 4_096, 5)
+    };
+    // The production frontier width (`census-sampling`'s sample_many
+    // chunks) — wide enough to overlap many CSR misses.
+    const WIDTH: u64 = 64;
+    // The paper's experimental timer setting.
+    const TIMER: f64 = 10.0;
+    const BASE_SEED: u64 = 7;
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let g = generators::balanced(n, 10, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    let walk_rng = |i: u64| SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, BASE_SEED, i));
+
+    let serial_pass = || -> Vec<CtrwOutcome> {
+        (0..samples)
+            .map(|i| {
+                ctrw_walk(&frozen, start, TIMER, Sojourn::Exponential, &mut walk_rng(i))
+                    .expect("fault-free CTRW completes")
+            })
+            .collect()
+    };
+    let batched_pass = || -> Vec<CtrwOutcome> {
+        let mut outs = Vec::with_capacity(samples as usize);
+        let mut next = 0u64;
+        while next < samples {
+            let width = (samples - next).min(WIDTH);
+            let mut specs: Vec<CtrwSpec<&census_graph::FrozenView, SplitMix64>> = (0..width)
+                .map(|i| CtrwSpec {
+                    topology: &frozen,
+                    rng: walk_rng(next + i),
+                    start,
+                    timer: TIMER,
+                    sojourn: Sojourn::Exponential,
+                })
+                .collect();
+            for fate in ctrw_frontier(&mut specs, &NoopRecorder) {
+                outs.push(fate.result.expect("fault-free CTRW completes"));
+            }
+            next += width;
+        }
+        outs
+    };
+
+    println!(
+        "batched frontier probe on balanced N = {n} ({samples} CTRW samples, T = {TIMER}, \
+         W = {WIDTH}, median of {repeats})"
+    );
+    let serial_out = serial_pass();
+    let batched_out = batched_pass();
+    assert_eq!(
+        serial_out, batched_out,
+        "batched samples must be bit-identical to the serial walks"
+    );
+    println!("  equivalence       : {samples} samples bit-identical across paths");
+
+    let serial_s = median_secs(repeats, || {
+        let _ = serial_pass();
+    });
+    let batched_s = median_secs(repeats, || {
+        let _ = batched_pass();
+    });
+    let serial_sps = samples as f64 / serial_s;
+    let batched_sps = samples as f64 / batched_s;
+    let speedup = serial_s / batched_s;
+    println!("  serial walks      : {serial_s:.4} s/pass  ({serial_sps:.0} samples/s)");
+    println!("  batched frontier  : {batched_s:.4} s/pass  ({batched_sps:.0} samples/s)");
+    println!("  speedup           : {speedup:.2}x (target >= 2x at N = {PAPER_N})");
+
+    let report = BatchedReport {
+        n,
+        samples,
+        frontier_width: WIDTH,
+        timer: TIMER,
+        repeats,
+        equivalent: true,
+        serial_pass_s: serial_s,
+        batched_pass_s: batched_s,
+        serial_samples_per_s: serial_sps,
+        batched_samples_per_s: batched_sps,
+        batched_speedup: speedup,
+        target_speedup: 2.0,
+    };
+    write_report(&report, &out)
+}
+
 fn write_report<T: serde::Serialize>(report: &T, out: &PathBuf) -> ExitCode {
     match serde_json::to_string_pretty(report) {
         Ok(json) => {
@@ -290,4 +404,23 @@ struct ServiceArm {
     workers: usize,
     no_churn_qps: f64,
     churn_qps: f64,
+}
+
+/// `BENCH_5.json` payload.
+#[derive(serde::Serialize)]
+struct BatchedReport {
+    n: usize,
+    samples: u64,
+    frontier_width: u64,
+    timer: f64,
+    repeats: usize,
+    /// Always `true` when the report exists at all: the probe aborts if
+    /// the batched samples are not bit-identical to the serial walks.
+    equivalent: bool,
+    serial_pass_s: f64,
+    batched_pass_s: f64,
+    serial_samples_per_s: f64,
+    batched_samples_per_s: f64,
+    batched_speedup: f64,
+    target_speedup: f64,
 }

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use census_sampling::quality::SamplerFlaw;
 use census_walk::WalkError;
 
 /// One system-size (or aggregate) estimate with its message cost.
@@ -37,6 +38,13 @@ pub enum EstimateError {
     /// overlay (e.g. Sample & Collide asked for more distinct samples
     /// than there are peers in a degenerate configuration).
     Degenerate(String),
+    /// The configured sampler fails a statistical soundness audit
+    /// ([`census_sampling::quality::audit_ctrw`]) and would silently
+    /// produce a biased estimate — e.g. deterministic sojourn times,
+    /// whose sampling law the paper's Remark 1 shows is skewed on
+    /// (near-)bipartite overlays. Refusing up front replaces a wrong
+    /// number with a typed error.
+    UnsoundSampler(SamplerFlaw),
 }
 
 impl fmt::Display for EstimateError {
@@ -44,6 +52,9 @@ impl fmt::Display for EstimateError {
         match self {
             EstimateError::Walk(e) => write!(f, "walk failed: {e}"),
             EstimateError::Degenerate(msg) => write!(f, "degenerate estimation: {msg}"),
+            EstimateError::UnsoundSampler(flaw) => {
+                write!(f, "refusing statistically unsound sampler: {flaw}")
+            }
         }
     }
 }
@@ -53,7 +64,14 @@ impl Error for EstimateError {
         match self {
             EstimateError::Walk(e) => Some(e),
             EstimateError::Degenerate(_) => None,
+            EstimateError::UnsoundSampler(flaw) => Some(flaw),
         }
+    }
+}
+
+impl From<SamplerFlaw> for EstimateError {
+    fn from(flaw: SamplerFlaw) -> Self {
+        EstimateError::UnsoundSampler(flaw)
     }
 }
 
@@ -98,5 +116,17 @@ mod tests {
         let deg = EstimateError::Degenerate("x".into());
         assert!(Error::source(&deg).is_none());
         assert!(format!("{deg}").contains("degenerate"));
+    }
+
+    #[test]
+    fn unsound_sampler_error_carries_the_flaw() {
+        let err: EstimateError = SamplerFlaw::DeterministicSojourns.into();
+        assert_eq!(
+            err,
+            EstimateError::UnsoundSampler(SamplerFlaw::DeterministicSojourns)
+        );
+        assert!(Error::source(&err).is_some());
+        let msg = format!("{err}");
+        assert!(msg.contains("unsound"), "got: {msg}");
     }
 }

@@ -5,7 +5,8 @@ use std::ops::ControlFlow;
 
 use census_graph::{NodeId, Topology};
 use census_metrics::{Metric, Recorder, RunCtx};
-use census_sampling::{CtrwSampler, Sampler};
+use census_sampling::{quality, CtrwSampler, Sampler};
+use census_walk::continuous::Sojourn;
 use rand::Rng;
 
 use crate::{Estimate, EstimateError, SizeEstimator, StepBudgeted};
@@ -328,13 +329,23 @@ pub fn ml_estimate(c_l: u64, l: u32) -> f64 {
     // is bracketed by [K, N_max]; Eq. (10) tightens the lower end.
     let mut lo = n_min(c_l, l).max(k as f64);
     let mut hi = n_max(c_l, l) + 1.0;
-    if score(lo, c_l, l) < 0.0 {
+    // Degenerate brackets: when the Eq. (10) bounds clamp to the distinct
+    // count (small K, large l) the root sits at — or below — `lo`, where
+    // the score is already non-positive. Bisection would only shrink the
+    // interval back onto `lo`, so return it directly. `<=` (not `<`)
+    // matters: at N_min == N_max the score can vanish exactly at `lo`.
+    if score(lo, c_l, l) <= 0.0 {
         return lo;
     }
-    debug_assert!(
-        score(hi, c_l, l) <= 0.0,
-        "upper bracket must be past the root"
-    );
+    // The +1 margin above N_max covers rounding, but on clamped brackets
+    // the root can still sit above `hi`. Expand geometrically until the
+    // score turns non-positive — it behaves as −l/N for large N, so a few
+    // doublings always suffice; the cap only bounds the loop formally.
+    let mut widen = 0;
+    while score(hi, c_l, l) > 0.0 && widen < 128 {
+        hi = (hi * 2.0).max(hi + 1.0);
+        widen += 1;
+    }
     for _ in 0..200 {
         let mid = 0.5 * (lo + hi);
         if score(mid, c_l, l) > 0.0 {
@@ -385,6 +396,7 @@ pub struct AdaptiveSampleCollide {
     tolerance: f64,
     max_rounds: u32,
     point: PointEstimator,
+    sojourn: Sojourn,
 }
 
 impl AdaptiveSampleCollide {
@@ -407,7 +419,27 @@ impl AdaptiveSampleCollide {
             tolerance: 0.1,
             max_rounds: 10,
             point: PointEstimator::MaximumLikelihood,
+            sojourn: Sojourn::Exponential,
         }
+    }
+
+    /// Selects the sojourn law of the underlying CTRW sampler.
+    ///
+    /// Only [`Sojourn::Exponential`] passes the soundness audit;
+    /// configuring [`Sojourn::Deterministic`] makes [`Self::run_with`]
+    /// refuse with [`EstimateError::UnsoundSampler`] instead of quietly
+    /// producing the biased Remark-1 law. The knob exists so harnesses
+    /// can demonstrate the refusal path.
+    #[must_use]
+    pub fn with_sojourn(mut self, sojourn: Sojourn) -> Self {
+        self.sojourn = sojourn;
+        self
+    }
+
+    /// The configured sojourn law.
+    #[must_use]
+    pub fn sojourn(&self) -> Sojourn {
+        self.sojourn
     }
 
     /// Sets the relative change below which two successive estimates are
@@ -451,13 +483,23 @@ impl AdaptiveSampleCollide {
         self.initial_timer
     }
 
+    fn sampler_for(&self, timer: f64) -> CtrwSampler {
+        match self.sojourn {
+            Sojourn::Exponential => CtrwSampler::new(timer),
+            Sojourn::Deterministic => CtrwSampler::with_deterministic_sojourns(timer),
+        }
+    }
+
     /// Runs the doubling procedure and returns each round's step; the
     /// last step holds the accepted estimate. Each round is counted as a
     /// [`Metric::ScRounds`] event on the context's recorder.
     ///
     /// # Errors
     ///
-    /// Propagates sampler failures.
+    /// Returns [`EstimateError::UnsoundSampler`] — before any walk is
+    /// launched or any round charged — when the configured sojourn law
+    /// fails [`quality::audit_ctrw`]; otherwise propagates sampler
+    /// failures.
     pub fn run_with<T, R, Rec>(
         &self,
         ctx: &mut RunCtx<'_, T, R, Rec>,
@@ -468,10 +510,11 @@ impl AdaptiveSampleCollide {
         R: Rng,
         Rec: Recorder + ?Sized,
     {
+        quality::audit_ctrw(&self.sampler_for(self.initial_timer))?;
         let mut steps: Vec<AdaptiveStep> = Vec::new();
         let mut timer = self.initial_timer;
         for _ in 0..self.max_rounds {
-            let sc = SampleCollide::new(CtrwSampler::new(timer), self.l)
+            let sc = SampleCollide::new(self.sampler_for(timer), self.l)
                 .with_point_estimator(self.point);
             ctx.on_event(Metric::ScRounds, 1);
             let report = sc.collect_with(ctx, initiator)?;
@@ -634,6 +677,45 @@ mod tests {
             if k > 1 {
                 let g = super::score(ml, c_l, l);
                 assert!(g.abs() < 1e-6, "score at root is {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn ml_estimate_converges_on_degenerate_brackets() {
+        // C_l = l: every sample collided, zero distinct peers observed.
+        // The boundary ML solution is one peer (the initiator itself).
+        for l in [1u32, 2, 7, 100] {
+            let ml = ml_estimate(u64::from(l), l);
+            assert_eq!(ml, 1.0, "C_l = l = {l} must report the boundary");
+        }
+        // l = 1 at the smallest informative observations: the first
+        // collision on the second and third sample.
+        assert_eq!(ml_estimate(2, 1), 1.0, "K = 1 boundary");
+        let ml = ml_estimate(3, 1);
+        assert!(
+            ml.is_finite() && ml >= 2.0 - 1e-9,
+            "K = 2, l = 1 gave {ml}"
+        );
+        // N_min == N_max: both Eq. (10) brackets clamp to the distinct
+        // count K when K(K−1)/(2l) ≤ 1 — e.g. K = 2, l = 2. The root sits
+        // at the collapsed bracket; bisection must return it rather than
+        // loop or trip the bracket assertion.
+        let (c_l, l) = (4u64, 2u32);
+        assert_eq!(n_min(c_l, l), n_max(c_l, l), "bracket must collapse");
+        let ml = ml_estimate(c_l, l);
+        assert!(
+            (ml - n_min(c_l, l)).abs() < 1e-6,
+            "collapsed bracket: ml {ml} vs bound {}",
+            n_min(c_l, l)
+        );
+        // Heavily clamped brackets across a small-K sweep: always finite,
+        // positive, and inside the (widened) bracket.
+        for l in 1u32..=12 {
+            for k in 0u64..=6 {
+                let c_l = u64::from(l) + k;
+                let ml = ml_estimate(c_l, l);
+                assert!(ml.is_finite() && ml >= 1.0, "C={c_l} l={l} gave {ml}");
             }
         }
     }
@@ -871,6 +953,37 @@ mod tests {
         assert_eq!(reg.counter(Metric::ScRounds), steps.len() as u64);
         let reported: u64 = steps.iter().map(|s| s.messages).sum();
         assert_eq!(reg.message_total(), reported);
+    }
+
+    #[test]
+    fn adaptive_refuses_deterministic_sojourns_with_typed_error() {
+        use census_metrics::Registry;
+        use census_sampling::quality::SamplerFlaw;
+        let mut rng = SmallRng::seed_from_u64(34);
+        let g = generators::balanced(200, 6, &mut rng);
+        let adaptive =
+            AdaptiveSampleCollide::new(5, 1.0).with_sojourn(Sojourn::Deterministic);
+        assert_eq!(adaptive.sojourn(), Sojourn::Deterministic);
+        let reg = Registry::new();
+        let mut ctx = census_metrics::RunCtx::with_recorder(&g, &mut rng, &reg);
+        let err = adaptive
+            .run_with(&mut ctx, NodeId::new(0))
+            .expect_err("deterministic sojourns must be refused");
+        assert_eq!(
+            err,
+            crate::EstimateError::UnsoundSampler(SamplerFlaw::DeterministicSojourns)
+        );
+        // Refused before anything ran: no rounds charged, no messages sent.
+        assert_eq!(reg.counter(Metric::ScRounds), 0);
+        assert_eq!(reg.message_total(), 0);
+        // The default exponential configuration still passes the audit.
+        let ok = AdaptiveSampleCollide::new(5, 1.0)
+            .with_tolerance(0.3)
+            .run_with(
+                &mut census_metrics::RunCtx::new(&g, &mut rng),
+                NodeId::new(0),
+            );
+        assert!(ok.is_ok(), "exponential sojourns are sound: {ok:?}");
     }
 
     proptest! {

@@ -144,7 +144,11 @@ impl LossClass {
             EstimateError::Walk(WalkError::Timeout(_)) => LossClass::Timeout,
             EstimateError::Walk(WalkError::Stuck(_)) => LossClass::Stuck,
             EstimateError::Walk(WalkError::Lost(_)) => LossClass::ChurnBroken,
-            EstimateError::Degenerate(_) => LossClass::Degenerate,
+            // An unsound sampler is a configuration defect, like a
+            // degenerate parameterisation: retrying cannot fix it.
+            EstimateError::Degenerate(_) | EstimateError::UnsoundSampler(_) => {
+                LossClass::Degenerate
+            }
         }
     }
 }
@@ -398,6 +402,12 @@ mod tests {
         );
         assert_eq!(
             LossClass::of(&EstimateError::Degenerate("x".into())),
+            LossClass::Degenerate
+        );
+        assert_eq!(
+            LossClass::of(&EstimateError::UnsoundSampler(
+                census_sampling::quality::SamplerFlaw::DeterministicSojourns
+            )),
             LossClass::Degenerate
         );
     }

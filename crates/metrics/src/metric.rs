@@ -80,11 +80,15 @@ pub enum Metric {
     /// terminally (timeout, stuck, churn-broken, degenerate) without an
     /// answer.
     QueriesExpired,
+    /// Lock-step rounds executed by batched walk frontiers. One round
+    /// advances every live walk in the frontier by one visit-step, so
+    /// rounds × mean occupancy ≈ total visit-steps executed batched.
+    WalkBatchRounds,
 }
 
 impl Metric {
     /// Every counter, in declaration (and serialisation) order.
-    pub const ALL: [Metric; 23] = [
+    pub const ALL: [Metric; 24] = [
         Metric::TourHops,
         Metric::CtrwHops,
         Metric::SampleHops,
@@ -108,6 +112,7 @@ impl Metric {
         Metric::QueriesCompleted,
         Metric::QueriesRejected,
         Metric::QueriesExpired,
+        Metric::WalkBatchRounds,
     ];
 
     /// Number of counters a registry allocates.
@@ -140,6 +145,7 @@ impl Metric {
             Metric::QueriesCompleted => "queries_completed",
             Metric::QueriesRejected => "queries_rejected",
             Metric::QueriesExpired => "queries_expired",
+            Metric::WalkBatchRounds => "walk_batch_rounds",
         }
     }
 
@@ -174,15 +180,20 @@ pub enum HistogramMetric {
     /// Wall-clock latency, in microseconds, from a census-service query
     /// leaving the queue to its outcome being recorded.
     QueryLatency,
+    /// Live walks in a batched frontier at the start of each lock-step
+    /// round — the frontier's drain profile (starts at W, decays as
+    /// walks terminate and are compacted out).
+    BatchOccupancy,
 }
 
 impl HistogramMetric {
     /// Every histogram, in declaration (and serialisation) order.
-    pub const ALL: [HistogramMetric; 4] = [
+    pub const ALL: [HistogramMetric; 5] = [
         HistogramMetric::TourLength,
         HistogramMetric::SampleCost,
         HistogramMetric::CtrwVirtualTime,
         HistogramMetric::QueryLatency,
+        HistogramMetric::BatchOccupancy,
     ];
 
     /// Number of histograms a registry allocates.
@@ -196,6 +207,7 @@ impl HistogramMetric {
             HistogramMetric::SampleCost => "sample_cost",
             HistogramMetric::CtrwVirtualTime => "ctrw_virtual_time",
             HistogramMetric::QueryLatency => "query_latency_us",
+            HistogramMetric::BatchOccupancy => "batch_occupancy",
         }
     }
 }

@@ -1,12 +1,21 @@
 //! The paper's CTRW-based uniform sampler (§4.1).
 
+use std::ops::ControlFlow;
+
 use census_graph::{NodeId, Topology};
 use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
 use census_walk::continuous::{ctrw_walk, ctrw_walk_ctx, Sojourn};
+use census_walk::frontier::{ctrw_frontier, CtrwSpec};
+use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
 use census_walk::WalkError;
 use rand::Rng;
 
-use crate::{Sample, Sampler};
+use crate::{Sample, SampleBatch, Sampler};
+
+/// Frontier width of the batched [`Sampler::sample_many`] override: wide
+/// enough to keep many CSR loads in flight, small enough that a Sample &
+/// Collide break mid-chunk wastes little work.
+const BATCH_WIDTH: u64 = 64;
 
 /// The continuous-time random walk sampler of §4.1.
 ///
@@ -125,6 +134,81 @@ impl Sampler for CtrwSampler {
             hops: out.hops,
         })
     }
+
+    /// Batched override: draws samples in frontiers of [`BATCH_WIDTH`]
+    /// concurrent walks over the context's topology (Sample & Collide's
+    /// inner loop, and the reason `perf-probe --batched` exists).
+    ///
+    /// One `u64` from the context's RNG seeds each chunk; walk `i` of the
+    /// chunk then runs on its own tagged SplitMix64 stream
+    /// (`stream_seed(FrontierWalk, chunk_seed, i)`), so every sample is
+    /// still an honest CTRW draw — the sample *law* is exactly the serial
+    /// sampler's, only the stream layout differs. Samples are reported in
+    /// walk order with the serial per-sample accounting (`CtrwHops`,
+    /// `SojournDraws`, `CtrwVirtualTime`, `SamplesDrawn`, `SampleCost`);
+    /// when `on_sample` breaks mid-chunk, the chunk's surplus walks are
+    /// discarded *uncharged*, preserving the ledger invariant that the
+    /// registry's message total equals the reported batch cost.
+    ///
+    /// # Errors
+    ///
+    /// As the default loop: the first failed walk (possible only under
+    /// fault-injecting topologies) surfaces after its spent hops and
+    /// draws are charged; earlier samples were already reported.
+    fn sample_many<T, R, Rec, F>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+        max_samples: u64,
+        mut on_sample: F,
+    ) -> Result<SampleBatch, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+        F: FnMut(Sample, u64) -> ControlFlow<()>,
+    {
+        let mut batch = SampleBatch::default();
+        let mut remaining = max_samples;
+        while remaining > 0 {
+            let width = remaining.min(BATCH_WIDTH);
+            let chunk_seed: u64 = ctx.rng.random();
+            let mut specs: Vec<CtrwSpec<&T, SplitMix64>> = (0..width)
+                .map(|i| CtrwSpec {
+                    topology: ctx.topology,
+                    rng: SplitMix64::new(stream_seed(
+                        StreamDomain::FrontierWalk,
+                        chunk_seed,
+                        i,
+                    )),
+                    start: initiator,
+                    timer: self.timer,
+                    sojourn: self.sojourn,
+                })
+                .collect();
+            for fate in ctrw_frontier(&mut specs, ctx.recorder) {
+                // The walk's true traffic is charged whether it sampled
+                // or was lost to a fault — exactly as the serial path.
+                ctx.on_message(Metric::CtrwHops, fate.hops);
+                ctx.on_event(Metric::SojournDraws, fate.draws);
+                let out = fate.result?;
+                ctx.observe(HistogramMetric::CtrwVirtualTime, self.timer);
+                ctx.on_event(Metric::SamplesDrawn, 1);
+                ctx.observe(HistogramMetric::SampleCost, out.hops as f64);
+                batch.samples += 1;
+                batch.messages += out.hops;
+                remaining -= 1;
+                let sample = Sample {
+                    node: out.node,
+                    hops: out.hops,
+                };
+                if on_sample(sample, out.hops).is_break() {
+                    return Ok(batch);
+                }
+            }
+        }
+        Ok(batch)
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +281,103 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn non_finite_timer_panics() {
         let _ = CtrwSampler::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn batched_sample_many_matches_its_per_walk_serial_twins() {
+        // The override's contract: sample k of a chunk is exactly the
+        // serial ctrw_walk on the chunk's k-th tagged stream.
+        use census_metrics::RunCtx;
+        use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
+        use std::ops::ControlFlow;
+
+        let g = generators::complete(13);
+        let start = g.nodes().next().expect("non-empty");
+        let sampler = CtrwSampler::new(3.0);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut ctx = RunCtx::new(&g, &mut rng);
+        let mut batched = Vec::new();
+        sampler
+            .sample_many(&mut ctx, start, 10, |s, _| {
+                batched.push(s);
+                ControlFlow::Continue(())
+            })
+            .expect("fault-free");
+
+        let mut twin_rng = SmallRng::seed_from_u64(21);
+        let chunk_seed: u64 = twin_rng.random();
+        let serial: Vec<Sample> = (0..10u64)
+            .map(|i| {
+                let mut walk_rng =
+                    SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, chunk_seed, i));
+                let out = ctrw_walk(&g, start, 3.0, Sojourn::Exponential, &mut walk_rng)
+                    .expect("fault-free");
+                Sample {
+                    node: out.node,
+                    hops: out.hops,
+                }
+            })
+            .collect();
+        assert_eq!(batched, serial, "batched samples must be serial walks");
+    }
+
+    #[test]
+    fn batched_sample_many_keeps_the_ledger_on_early_break() {
+        use census_metrics::{Registry, RunCtx};
+        use std::ops::ControlFlow;
+
+        let g = generators::complete(9);
+        let start = g.nodes().next().expect("non-empty");
+        let sampler = CtrwSampler::new(4.0);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        // Break deep inside a chunk: the surplus walks the frontier
+        // already computed must not be charged.
+        let mut left = 7u32;
+        let batch = sampler
+            .sample_many(&mut ctx, start, u64::MAX, move |_s, _c| {
+                left -= 1;
+                if left == 0 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .expect("fault-free");
+        assert_eq!(batch.samples, 7);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 7);
+        assert_eq!(reg.counter(Metric::CtrwHops), batch.messages);
+        assert_eq!(reg.message_total(), batch.messages, "ledger must close");
+        assert_eq!(ctx.messages_total(), batch.messages);
+    }
+
+    #[test]
+    fn batched_sample_many_stays_near_uniform() {
+        // The law is unchanged by batching: near-uniform on the star,
+        // where a degree-biased sampler would put mass 1/2 on the hub.
+        use census_metrics::RunCtx;
+        use std::ops::ControlFlow;
+
+        let g = generators::star(8);
+        let leaf = census_graph::NodeId::new(1);
+        let sampler = CtrwSampler::new(25.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut ctx = RunCtx::new(&g, &mut rng);
+        let runs = 40_000u64;
+        let mut hub = 0u64;
+        sampler
+            .sample_many(&mut ctx, leaf, runs, |s, _| {
+                if s.node == census_graph::NodeId::new(0) {
+                    hub += 1;
+                }
+                ControlFlow::Continue(())
+            })
+            .expect("fault-free");
+        let frac = hub as f64 / runs as f64;
+        assert!(
+            (frac - 1.0 / 8.0).abs() < 0.02,
+            "hub mass {frac} should be ~1/8"
+        );
     }
 }

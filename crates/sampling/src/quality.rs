@@ -6,17 +6,66 @@
 //! CTRW via uniformization — plus a chi-square uniformity check, so both
 //! the test-suite and the ablation benches can quantify sampler bias.
 
+use std::fmt;
 use std::ops::ControlFlow;
 
 use census_graph::spectral::DenseIndex;
 use census_graph::{Graph, NodeId, Topology};
 use census_metrics::RunCtx;
 use census_stats::{chi_square_uniform, total_variation};
-use census_walk::continuous::exact_distribution;
+use census_walk::continuous::{exact_distribution, Sojourn};
 use census_walk::WalkError;
 use rand::Rng;
 
-use crate::{Sample, Sampler};
+use crate::{CtrwSampler, Sample, Sampler};
+
+/// A statically detectable reason a sampler's output law is *not*
+/// (asymptotically) uniform, found by [`audit_ctrw`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerFlaw {
+    /// Deterministic sojourns (`Sojourn::Deterministic`): each visit
+    /// drains exactly `1/d_j`, so on regular bipartite overlays the hop
+    /// count at timer death is a deterministic function of the timer and
+    /// the walk can never cross the bipartition parity — the paper's
+    /// Remark 1. The resulting law is biased no matter how large the
+    /// timer is, which silently skews any estimator built on it.
+    DeterministicSojourns,
+}
+
+impl fmt::Display for SamplerFlaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplerFlaw::DeterministicSojourns => write!(
+                f,
+                "deterministic sojourns are a biased sampler (Remark 1: \
+                 the walk cannot mix across a bipartition, so its law \
+                 never converges to uniform)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SamplerFlaw {}
+
+/// Audits a [`CtrwSampler`] configuration for statically detectable
+/// soundness flaws, before any sample is drawn.
+///
+/// Today this flags exactly one thing: the deterministic-sojourn variant,
+/// which Remark 1 shows to be unsound for uniform sampling (it exists for
+/// the ablation benches, not for estimation). Estimators that *require*
+/// uniform samples — Sample & Collide's collision statistics assume them —
+/// should refuse a flawed sampler instead of producing a silently skewed
+/// estimate; `census_core::sample_collide::AdaptiveSampleCollide` does.
+///
+/// # Errors
+///
+/// Returns the [`SamplerFlaw`] making the sampler unsound, if any.
+pub fn audit_ctrw(sampler: &CtrwSampler) -> Result<(), SamplerFlaw> {
+    match sampler.sojourn() {
+        Sojourn::Exponential => Ok(()),
+        Sojourn::Deterministic => Err(SamplerFlaw::DeterministicSojourns),
+    }
+}
 
 /// Wraps a sampler so every draw starts from a freshly drawn uniform
 /// initiator. Reproduces the historical RNG order of the quality loops —
@@ -199,6 +248,53 @@ mod tests {
             (rate - gap).abs() < 0.05 * gap,
             "decay rate {rate} vs spectral gap {gap}"
         );
+    }
+
+    #[test]
+    fn audit_flags_deterministic_sojourns_and_passes_exponential() {
+        assert_eq!(audit_ctrw(&CtrwSampler::new(10.0)), Ok(()));
+        assert_eq!(
+            audit_ctrw(&CtrwSampler::with_deterministic_sojourns(10.0)),
+            Err(SamplerFlaw::DeterministicSojourns)
+        );
+        // The flaw explains itself in Remark-1 terms.
+        let msg = SamplerFlaw::DeterministicSojourns.to_string();
+        assert!(msg.contains("Remark 1"), "unhelpful flaw message: {msg}");
+    }
+
+    #[test]
+    fn the_flagged_variant_really_is_biased_where_the_sound_one_is_not() {
+        // The audit is not paranoia: on a regular bipartite overlay the
+        // deterministic variant's integer-timer law is stuck on one side.
+        // K_{3,3}: 3-regular, bipartite, spectral gap 3 — the exponential
+        // variant mixes almost perfectly at T = 4 while the deterministic
+        // one takes exactly 11 hops (odd) and never leaves the far side.
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = generators::complete_bipartite(3, 3);
+        let flagged = CtrwSampler::with_deterministic_sojourns(4.0);
+        let sound = CtrwSampler::new(4.0);
+        struct Fixed<S>(S, NodeId);
+        impl<S: Sampler> Sampler for Fixed<S> {
+            fn sample<T, R>(
+                &self,
+                topology: &T,
+                _initiator: NodeId,
+                rng: &mut R,
+            ) -> Result<crate::Sample, census_walk::WalkError>
+            where
+                T: Topology + ?Sized,
+                R: Rng,
+            {
+                self.0.sample(topology, self.1, rng)
+            }
+        }
+        let tv_flagged =
+            empirical_tv_to_uniform(&Fixed(flagged, NodeId::new(0)), &g, 20_000, &mut rng);
+        let tv_sound =
+            empirical_tv_to_uniform(&Fixed(sound, NodeId::new(0)), &g, 20_000, &mut rng);
+        // One side holds half the mass, so the stuck law's TV is ~1/2.
+        assert!(tv_flagged > 0.4, "deterministic TV {tv_flagged}");
+        assert!(tv_sound < 0.1, "exponential TV {tv_sound}");
     }
 
     #[test]

@@ -23,9 +23,14 @@
 //!   ledger exactly.
 //! - **A deterministic worker pool** (std-only `std::thread::scope`,
 //!   like `census_sim::parallel`): each [`Query`]'s RNG stream is
-//!   `splitmix64(seed + id)`, and the walk runs entirely on the pinned
-//!   epoch, so every result is a pure function of `(seed, id, epoch)`
-//!   regardless of worker count or thread interleaving.
+//!   `stream_seed(StreamDomain::ServiceQuery, seed, id)` (the
+//!   domain-tagged SplitMix64 schedule of `census_walk::stream`), and
+//!   the walk runs entirely on the pinned epoch, so every result is a
+//!   pure function of `(seed, id, epoch)` regardless of worker count,
+//!   batch-drain width, or thread interleaving. Workers can optionally
+//!   drain the queue in batches and advance a batch's same-epoch sample
+//!   walks as one lock-step CTRW frontier
+//!   ([`ServiceConfig::with_batch_drain`]).
 //! - **Cost observability throughout**: query counters, queue-depth /
 //!   epoch-lag / snapshot-epoch gauges, and a per-query latency
 //!   histogram, all through the ordinary

@@ -68,8 +68,9 @@ impl QueryAnswer {
 ///
 /// For a fixed service seed the `result` is a pure function of
 /// `(seed, id, epoch)`: the worker derives the query's private RNG
-/// stream as `splitmix64(seed + id)` and walks only the pinned epoch, so
-/// thread interleaving cannot perturb it.
+/// stream as `stream_seed(StreamDomain::ServiceQuery, seed, id)` and
+/// walks only the pinned epoch, so neither thread interleaving nor the
+/// batch-drain width can perturb it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
     /// The id [`submit`](crate::ServiceHandle::submit) returned.

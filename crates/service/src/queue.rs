@@ -86,6 +86,32 @@ impl JobQueue {
         }
     }
 
+    /// Blocks until at least one job is available, then drains up to
+    /// `max` of them in admission order, returning the batch and the
+    /// depth left behind — or `None` once the queue is closed *and*
+    /// drained. Only the first job is waited for: the rest of the batch
+    /// is whatever is already queued, so an idle service still answers
+    /// single queries immediately instead of waiting to fill a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub(crate) fn pop_batch(&self, max: usize) -> Option<(Vec<Job>, usize)> {
+        assert!(max > 0, "batch size must be positive");
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if !state.jobs.is_empty() {
+                let take = state.jobs.len().min(max);
+                let batch: Vec<Job> = state.jobs.drain(..take).collect();
+                return Some((batch, state.jobs.len()));
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
     /// Stops admission and wakes every parked worker so the queue can
     /// drain to empty.
     pub(crate) fn close(&self) {
@@ -134,6 +160,24 @@ mod tests {
         assert_eq!(q.pop().expect("draining").0.id, 0);
         assert_eq!(q.pop().expect("draining").0.id, 1);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_batch_drains_what_is_queued_without_waiting_for_more() {
+        let q = JobQueue::new(8);
+        for _ in 0..5 {
+            q.push(tour()).expect("fits");
+        }
+        // The batch takes what is there, capped at max, in order.
+        let (batch, left) = q.pop_batch(3).expect("open queue with jobs");
+        assert_eq!(batch.iter().map(|j| j.id).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(left, 2);
+        // A larger max than the remainder returns the remainder.
+        let (rest, left) = q.pop_batch(64).expect("two left");
+        assert_eq!(rest.iter().map(|j| j.id).collect::<Vec<_>>(), [3, 4]);
+        assert_eq!(left, 0);
+        q.close();
+        assert!(q.pop_batch(4).is_none());
     }
 
     #[test]

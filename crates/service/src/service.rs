@@ -10,10 +10,12 @@ use census_core::{
 };
 use census_graph::{FrozenView, NodeId, Topology};
 use census_metrics::{GaugeMetric, HistogramMetric, Metric, NoopRecorder, Recorder, RunCtx, NOOP};
-use census_sampling::Sampler;
+use census_sampling::{CtrwSampler, Sample, Sampler};
 use census_sim::faults::FaultPlan;
-use census_sim::parallel::{replica_seed, splitmix64};
 use census_sim::{DynamicNetwork, MembershipDelta};
+use census_walk::frontier::{ctrw_frontier, CtrwSpec};
+use census_walk::stream::{stream_seed, StreamDomain};
+use census_walk::WalkError;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -37,6 +39,7 @@ pub struct ServiceConfig {
     policy: RefreezePolicy,
     faults: Option<FaultPlan>,
     churn_pause: Duration,
+    batch_drain: usize,
 }
 
 impl ServiceConfig {
@@ -53,6 +56,7 @@ impl ServiceConfig {
             policy: RefreezePolicy::eager(),
             faults: None,
             churn_pause: Duration::ZERO,
+            batch_drain: 1,
         }
     }
 
@@ -126,6 +130,27 @@ impl ServiceConfig {
         self
     }
 
+    /// How many queued jobs a worker drains per dequeue. At the default
+    /// of 1 each job is popped, pinned, and executed on its own. Larger
+    /// values enable *batch-drain* mode: a worker takes up to
+    /// `batch_drain` already-queued jobs at once, pins one epoch for the
+    /// whole batch, and coalesces the batch's same-epoch `Query::Sample`
+    /// walks into one lock-step CTRW frontier
+    /// ([`census_walk::frontier::ctrw_frontier`]). Answers are unchanged
+    /// — every query still runs entirely on its private RNG stream — so
+    /// the knob trades per-query epoch freshness for memory-level
+    /// parallelism on the walk hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_drain` is zero.
+    #[must_use]
+    pub fn with_batch_drain(mut self, batch_drain: usize) -> Self {
+        assert!(batch_drain > 0, "batch drain must be positive");
+        self.batch_drain = batch_drain;
+        self
+    }
+
     /// The service seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -166,6 +191,12 @@ impl ServiceConfig {
     #[must_use]
     pub fn faults(&self) -> Option<FaultPlan> {
         self.faults
+    }
+
+    /// Configured batch-drain width.
+    #[must_use]
+    pub fn batch_drain(&self) -> usize {
+        self.batch_drain
     }
 }
 
@@ -325,11 +356,13 @@ impl CensusService {
     ///
     /// Returns `f`'s output plus one [`QueryOutcome`] per accepted
     /// query, sorted by id. Each query's RNG stream is derived as
-    /// `splitmix64(seed + id)` (the replication engine's seed schedule),
-    /// and the walk runs entirely on the epoch pinned at dequeue, so an
+    /// `stream_seed(StreamDomain::ServiceQuery, seed, id)` (the
+    /// domain-tagged SplitMix64 schedule of `census_walk::stream`), and
+    /// the walk runs entirely on the epoch pinned at dequeue, so an
     /// outcome's `result` is a pure function of `(seed, id, epoch)` — the
-    /// worker count and thread interleaving affect throughput and
-    /// epoch-pinning only, not any answer computed on a given epoch.
+    /// worker count, batch-drain width, and thread interleaving affect
+    /// throughput and epoch-pinning only, not any answer computed on a
+    /// given epoch.
     ///
     /// The churn applier mutates the live overlay from `events` (in
     /// order, paced by the configured pause) and publishes new epochs
@@ -403,9 +436,10 @@ fn churn_loop<Rec: Recorder + ?Sized>(
     config: &ServiceConfig,
     stop: &AtomicBool,
 ) {
-    // The churn stream must never collide with a query stream
-    // (`splitmix64(seed + id)`), so it is keyed off the complemented seed.
-    let mut rng = SmallRng::seed_from_u64(splitmix64(!config.seed));
+    // The churn stream lives in its own tagged domain, so it can never
+    // collide with a query stream (or a replica / frontier stream)
+    // sharing the same base seed.
+    let mut rng = SmallRng::seed_from_u64(stream_seed(StreamDomain::Churn, config.seed, 0));
     let mut pending_delta = 0u64;
     let mut staleness = 0u64;
     for event in events {
@@ -446,8 +480,23 @@ fn publish<Rec: Recorder + ?Sized>(net: &DynamicNetwork, chain: &EpochChain, rec
     chain.publish(view);
 }
 
+/// Per-job state while a drained batch executes: the job, its private
+/// RNG stream, and its eventual result (filled by the coalesced frontier
+/// pass or the serial fallback).
+struct BatchSlot {
+    job: Job,
+    rng: SmallRng,
+    result: Option<Result<QueryAnswer, EstimateError>>,
+}
+
 /// Drains the queue until it closes and empties. Runs on each worker
 /// thread of the pool.
+///
+/// At `batch_drain = 1` every job is popped, pinned, and executed on its
+/// own (the historical path). Wider drains pin one epoch per batch and
+/// coalesce the batch's `Query::Sample` walks into one CTRW frontier;
+/// each job still draws exclusively from its private tagged stream, so
+/// its result stays the same pure function of `(seed, id, epoch)`.
 fn worker_loop<Rec: Recorder + ?Sized>(
     queue: &JobQueue,
     chain: &EpochChain,
@@ -455,7 +504,13 @@ fn worker_loop<Rec: Recorder + ?Sized>(
     outcomes: &Mutex<Vec<QueryOutcome>>,
     config: &ServiceConfig,
 ) {
-    while let Some((job, depth)) = queue.pop() {
+    loop {
+        let popped = if config.batch_drain == 1 {
+            queue.pop().map(|(job, depth)| (vec![job], depth))
+        } else {
+            queue.pop_batch(config.batch_drain)
+        };
+        let Some((jobs, depth)) = popped else { break };
         recorder.set_gauge(GaugeMetric::QueueDepth, depth as u64);
         let started = Instant::now();
         let pinned = chain.pin();
@@ -464,38 +519,207 @@ fn worker_loop<Rec: Recorder + ?Sized>(
         // The query's whole randomness — initiator draw included — comes
         // from its private stream, so the result depends only on
         // (seed, id, pinned epoch).
-        let mut rng = SmallRng::seed_from_u64(replica_seed(config.seed, job.id));
-        let result = match pinned.random_node(&mut rng) {
-            None => Err(EstimateError::Degenerate(
-                "snapshot holds no live peers".to_owned(),
-            )),
-            Some(initiator) => match config.faults {
+        let mut slots: Vec<BatchSlot> = jobs
+            .into_iter()
+            .map(|job| BatchSlot {
+                rng: SmallRng::seed_from_u64(stream_seed(
+                    StreamDomain::ServiceQuery,
+                    config.seed,
+                    job.id,
+                )),
+                job,
+                result: None,
+            })
+            .collect();
+
+        // Batch mode: run the Sample queries' first attempts as one
+        // lock-step frontier over the shared pinned epoch.
+        if slots.len() > 1 {
+            match config.faults {
                 Some(plan) => {
-                    let faulty = plan.apply(&*pinned);
-                    let mut ctx = RunCtx::with_recorder(&faulty, &mut rng, recorder);
-                    run_query(&job.query, &mut ctx, initiator, config)
+                    coalesce_samples(&mut slots, &pinned, || plan.apply(&*pinned), recorder, config);
                 }
                 None => {
-                    let mut ctx = RunCtx::with_recorder(&*pinned, &mut rng, recorder);
-                    run_query(&job.query, &mut ctx, initiator, config)
+                    coalesce_samples(&mut slots, &pinned, || &*pinned, recorder, config);
                 }
-            },
-        };
-
-        match &result {
-            Ok(_) => recorder.incr(Metric::QueriesCompleted, 1),
-            Err(_) => recorder.incr(Metric::QueriesExpired, 1),
+            }
         }
-        recorder.observe(
-            HistogramMetric::QueryLatency,
-            started.elapsed().as_secs_f64() * 1e6,
-        );
-        outcomes.lock().expect("outcomes poisoned").push(QueryOutcome {
-            id: job.id,
-            query: job.query,
-            epoch: pinned.epoch(),
-            result,
+
+        for slot in &mut slots {
+            let result = match slot.result.take() {
+                Some(result) => result,
+                None => match pinned.random_node(&mut slot.rng) {
+                    None => Err(EstimateError::Degenerate(
+                        "snapshot holds no live peers".to_owned(),
+                    )),
+                    Some(initiator) => match config.faults {
+                        Some(plan) => {
+                            let faulty = plan.apply(&*pinned);
+                            let mut ctx = RunCtx::with_recorder(&faulty, &mut slot.rng, recorder);
+                            run_query(&slot.job.query, &mut ctx, initiator, config)
+                        }
+                        None => {
+                            let mut ctx = RunCtx::with_recorder(&*pinned, &mut slot.rng, recorder);
+                            run_query(&slot.job.query, &mut ctx, initiator, config)
+                        }
+                    },
+                },
+            };
+
+            match &result {
+                Ok(_) => recorder.incr(Metric::QueriesCompleted, 1),
+                Err(_) => recorder.incr(Metric::QueriesExpired, 1),
+            }
+            recorder.observe(
+                HistogramMetric::QueryLatency,
+                started.elapsed().as_secs_f64() * 1e6,
+            );
+            outcomes.lock().expect("outcomes poisoned").push(QueryOutcome {
+                id: slot.job.id,
+                query: slot.job.query,
+                epoch: pinned.epoch(),
+                result,
+            });
+        }
+    }
+}
+
+/// Runs the first attempt of every `Query::Sample` job in `slots` as one
+/// CTRW frontier, then finishes each job — success bookkeeping or serial
+/// retries — exactly as the serial `run_query` path would have.
+///
+/// Each lane owns its topology handle (`make_topology` is called once per
+/// job, mirroring the serial path's one fault wrapper per job) and
+/// borrows its slot's private RNG, so per-job results are bit-identical
+/// to serial execution; only memory access patterns change. Slots the
+/// pass fills have `result = Some(..)`; other queries are left untouched
+/// for the serial fallback.
+fn coalesce_samples<T, F, Rec>(
+    slots: &mut [BatchSlot],
+    pinned: &FrozenView,
+    make_topology: F,
+    recorder: &Rec,
+    config: &ServiceConfig,
+) where
+    T: Topology,
+    F: Fn() -> T,
+    Rec: Recorder + ?Sized,
+{
+    // Draw each Sample job's initiator from its private stream — the
+    // exact point the serial path draws it — and mark degenerate
+    // snapshots without launching anything.
+    let mut lanes: Vec<(usize, CtrwSampler, NodeId)> = Vec::new();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let Query::Sample(sampler) = slot.job.query else {
+            continue;
+        };
+        match pinned.random_node(&mut slot.rng) {
+            Some(initiator) => lanes.push((i, sampler, initiator)),
+            None => {
+                slot.result = Some(Err(EstimateError::Degenerate(
+                    "snapshot holds no live peers".to_owned(),
+                )));
+            }
+        }
+    }
+    if lanes.is_empty() {
+        return;
+    }
+
+    // Build one spec per lane, borrowing each slot's RNG disjointly.
+    let mut specs: Vec<CtrwSpec<T, &mut SmallRng>> = Vec::with_capacity(lanes.len());
+    let mut lane_iter = lanes.iter();
+    let mut next = lane_iter.next();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let Some(&(lane_slot, sampler, initiator)) = next else {
+            break;
+        };
+        if lane_slot != i {
+            continue;
+        }
+        specs.push(CtrwSpec {
+            topology: make_topology(),
+            rng: &mut slot.rng,
+            start: initiator,
+            timer: sampler.timer(),
+            sojourn: sampler.sojourn(),
         });
+        next = lane_iter.next();
+    }
+
+    let fates = ctrw_frontier(&mut specs, recorder);
+
+    // Finish each lane: charge the walk's true traffic like the serial
+    // engine, then either book the sample or continue with serial
+    // retries on the job's own wrapper and RNG. Answers are staged in a
+    // side vector because the remaining specs still borrow the slots'
+    // RNGs until the iterator is exhausted.
+    let mut answers: Vec<(usize, Result<QueryAnswer, EstimateError>)> =
+        Vec::with_capacity(lanes.len());
+    for ((mut spec, fate), &(lane_slot, sampler, initiator)) in
+        specs.into_iter().zip(fates).zip(&lanes)
+    {
+        recorder.incr(Metric::CtrwHops, fate.hops);
+        recorder.incr(Metric::SojournDraws, fate.draws);
+        let first = match fate.result {
+            Ok(out) => {
+                recorder.observe(HistogramMetric::CtrwVirtualTime, sampler.timer());
+                recorder.incr(Metric::SamplesDrawn, 1);
+                recorder.observe(HistogramMetric::SampleCost, out.hops as f64);
+                Ok(Sample {
+                    node: out.node,
+                    hops: out.hops,
+                })
+            }
+            Err(e) => Err(e),
+        };
+        let answer = finish_sample(
+            first,
+            sampler,
+            &spec.topology,
+            &mut spec.rng,
+            initiator,
+            recorder,
+            config,
+        );
+        answers.push((lane_slot, answer));
+    }
+    for (lane_slot, answer) in answers {
+        slots[lane_slot].result = Some(answer);
+    }
+}
+
+/// Completes one coalesced Sample job from its frontier first attempt:
+/// the retry schedule, error wrapping, and metric charging of the serial
+/// `run_query` Sample arm, continued on the job's own RNG position.
+fn finish_sample<T, Rec>(
+    first: Result<Sample, WalkError>,
+    sampler: CtrwSampler,
+    topology: &T,
+    rng: &mut SmallRng,
+    initiator: NodeId,
+    recorder: &Rec,
+    config: &ServiceConfig,
+) -> Result<QueryAnswer, EstimateError>
+where
+    T: Topology,
+    Rec: Recorder + ?Sized,
+{
+    let mut attempt = 0u32;
+    let mut outcome = first;
+    loop {
+        match outcome {
+            Ok(sample) => return Ok(QueryAnswer::Sample(sample)),
+            Err(e) => {
+                if attempt >= config.retries {
+                    return Err(EstimateError::Walk(e));
+                }
+                recorder.incr(Metric::WalkRetries, 1);
+                attempt += 1;
+                let mut ctx = RunCtx::with_recorder(topology, &mut *rng, recorder);
+                outcome = sampler.sample_ctx(&mut ctx, initiator);
+            }
+        }
     }
 }
 

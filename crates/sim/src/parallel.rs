@@ -9,12 +9,19 @@
 //! [`replicate`] guarantees that by construction:
 //!
 //! - each replica gets its own RNG seed derived from the base seed with
-//!   SplitMix64 (the standard generator for spawning independent seed
-//!   streams — consecutive base states produce well-decorrelated
-//!   outputs), carried in a [`Replica`] handle;
+//!   the domain-tagged SplitMix64 derivation of [`census_walk::stream`]
+//!   (tag [`StreamDomain::Replica`], so replica streams can never collide
+//!   with service-query or frontier-walk streams sharing the same base
+//!   seed), carried in a [`Replica`] handle;
 //! - results are merged by joining the scoped threads in replica order,
 //!   so the returned `Vec` is indexed by replica regardless of which
 //!   thread finished first.
+//!
+//! [`replicate_tour_frontiers`] additionally batches each replica's
+//! Random Tours into one lock-step frontier
+//! ([`census_walk::frontier::tour_frontier`]) — same estimates, bit for
+//! bit, as running the tours serially, but with the replica's memory
+//! stalls overlapped across walks.
 //!
 //! Built on [`std::thread::scope`], so closures may borrow the
 //! experiment's topology and estimator from the caller's stack — no
@@ -33,9 +40,12 @@
 //! assert_eq!(replicate(4, 7, |r| r.seed), squares.iter().map(|s| s.1).collect::<Vec<_>>());
 //! ```
 
-use census_core::{SizeEstimator, StepBudgeted};
-use census_graph::NodeId;
-use census_metrics::Registry;
+use census_core::{Estimate, EstimateError, SizeEstimator, StepBudgeted};
+use census_graph::{NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder, Registry};
+use census_walk::frontier::{tour_frontier, TourFate, TourSpec};
+use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
+use census_walk::WalkError;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -62,19 +72,23 @@ impl Replica {
 /// SplitMix64 output function (Steele, Lea & Flood; the finaliser Vigna
 /// recommends for seeding other generators). Maps consecutive inputs to
 /// well-decorrelated outputs.
+///
+/// Thin re-export shim over the canonical
+/// [`census_walk::stream::splitmix64`], kept here because the fault
+/// models and older call sites import it from this module.
 #[must_use]
 pub fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    census_walk::stream::splitmix64(state)
 }
 
 /// The per-replica seed stream: replica `i` of a run with `base_seed`
-/// gets `splitmix64(base_seed + i)`.
+/// gets `stream_seed(StreamDomain::Replica, base_seed, i)` — the
+/// domain-tagged derivation of [`census_walk::stream`], so a replica and
+/// a service query (or frontier walk) with equal `(base_seed, index)`
+/// can no longer land on the same seed.
 #[must_use]
 pub fn replica_seed(base_seed: u64, index: u64) -> u64 {
-    splitmix64(base_seed.wrapping_add(index))
+    stream_seed(StreamDomain::Replica, base_seed, index)
 }
 
 /// Runs `f` once per replica on scoped threads and returns the results in
@@ -213,6 +227,95 @@ where
     })
 }
 
+/// [`replicate_recorded`] over *batched* Random Tours: each replica
+/// launches `tours` tours from `initiator` as one lock-step frontier
+/// ([`census_walk::frontier::tour_frontier`]) instead of a serial loop,
+/// and converts each tour's fate into the §3.1 estimate
+/// `d(initiator) · Σ f(X_k)/d(X_k)`.
+///
+/// Walk `w` of replica `r` draws from the private stream
+/// `stream_seed(StreamDomain::FrontierWalk, r.seed, w)`, so every
+/// estimate is bit-identical to running the same stream through
+/// [`census_core::RandomTour::estimate_sum_with`] serially — batching
+/// changes memory behaviour, never results. Per-tour costs are charged to
+/// the merged registry exactly as the serial engine charges them
+/// (`TourHops` per hop, one of `ToursCompleted`/`ToursLost`/
+/// `WalkTimeouts` per tour, `TourLength` per completed tour), plus the
+/// frontier's own `WalkBatchRounds`/`BatchOccupancy` shape metrics.
+///
+/// Failed tours surface as `Err(EstimateError::Walk(_))` entries in their
+/// replica's slot, like the serial estimator would return them.
+///
+/// # Panics
+///
+/// Panics if `tours` or `n_replicas` is zero, or if `initiator` is not a
+/// live member of `topology`.
+pub fn replicate_tour_frontiers<T, F>(
+    topology: &T,
+    initiator: NodeId,
+    f: F,
+    tours: u64,
+    max_steps: Option<u64>,
+    n_replicas: u64,
+    base_seed: u64,
+) -> (Vec<Vec<Result<Estimate, EstimateError>>>, Registry)
+where
+    T: Topology + Sync + ?Sized,
+    F: Fn(NodeId) -> f64 + Sync,
+{
+    assert!(tours > 0, "need at least one tour per replica");
+    assert!(
+        topology.contains(initiator),
+        "tour initiator must be alive"
+    );
+    let degree = topology.degree_of(initiator) as f64;
+    replicate_recorded(n_replicas, base_seed, |r, reg| {
+        let mut specs: Vec<TourSpec<&T, SplitMix64>> = (0..tours)
+            .map(|w| TourSpec {
+                topology,
+                rng: SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, r.seed, w)),
+                start: initiator,
+                max_steps,
+            })
+            .collect();
+        tour_frontier(&mut specs, &f, reg)
+            .into_iter()
+            .map(|fate| charge_tour_fate(fate, degree, reg))
+            .collect()
+    })
+}
+
+/// Converts one frontier tour fate into an estimate, charging the same
+/// metrics the serial `random_tour_ctx` path charges for that outcome.
+fn charge_tour_fate<Rec: Recorder + ?Sized>(
+    fate: TourFate,
+    initiator_degree: f64,
+    reg: &Rec,
+) -> Result<Estimate, EstimateError> {
+    // A tour stuck at launch sent nothing (fate.hops == 0); the serial
+    // path charges no TourHops there, so neither do we.
+    if fate.hops > 0 {
+        reg.incr(Metric::TourHops, fate.hops);
+    }
+    match fate.result {
+        Ok(tour) => {
+            reg.incr(Metric::ToursCompleted, 1);
+            reg.observe(HistogramMetric::TourLength, tour.steps as f64);
+            Ok(Estimate {
+                value: initiator_degree * fate.weight,
+                messages: tour.steps,
+            })
+        }
+        Err(e) => {
+            match e {
+                WalkError::Timeout(_) => reg.incr(Metric::WalkTimeouts, 1),
+                WalkError::Stuck(_) | WalkError::Lost(_) => reg.incr(Metric::ToursLost, 1),
+            }
+            Err(EstimateError::Walk(e))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,7 +346,15 @@ mod tests {
         assert_eq!(a, b, "seed stream must be a pure function of the base seed");
         let distinct: std::collections::HashSet<_> = a.iter().collect();
         assert_eq!(distinct.len(), 8, "replica seeds must differ");
-        assert_eq!(a[0], splitmix64(123));
+        // Pin the derivation: the domain-tagged Replica stream, not the
+        // old untagged `splitmix64(base + i)` (which collided with the
+        // service-query stream for equal indices).
+        assert_eq!(a[0], stream_seed(StreamDomain::Replica, 123, 0));
+        assert_ne!(
+            a[0],
+            splitmix64(123),
+            "tagged stream must diverge from the untagged legacy shape"
+        );
     }
 
     #[test]
@@ -294,6 +405,67 @@ mod tests {
     #[should_panic(expected = "at least one replication")]
     fn zero_replicas_panics() {
         let _ = replicate(0, 0, |r| r.index);
+    }
+
+    #[test]
+    fn batched_tour_replicas_match_serial_estimates_bit_for_bit() {
+        use census_metrics::{HistogramMetric, Metric, RunCtx};
+        let mut seed_rng = SmallRng::seed_from_u64(20);
+        let g = generators::balanced(250, 6, &mut seed_rng);
+        let probe = g.nodes().next().expect("non-empty");
+        let f = |n: NodeId| ((n.index() % 11) as f64).mul_add(0.5, 1.0);
+        let (tours, replicas, base, cap) = (12u64, 3u64, 77u64, 2_000u64);
+
+        let (batched, reg) =
+            replicate_tour_frontiers(&g, probe, f, tours, Some(cap), replicas, base);
+
+        // Serial reference: the same per-walk streams driven one at a
+        // time through the serial estimator.
+        let serial_reg = Registry::new();
+        let rt = RandomTour::with_timeout(cap);
+        let serial: Vec<Vec<_>> = (0..replicas)
+            .map(|r| {
+                let rseed = replica_seed(base, r);
+                (0..tours)
+                    .map(|w| {
+                        let mut rng = census_walk::stream::SplitMix64::new(stream_seed(
+                            StreamDomain::FrontierWalk,
+                            rseed,
+                            w,
+                        ));
+                        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &serial_reg);
+                        rt.estimate_sum_with(&mut ctx, probe, f)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        assert_eq!(batched, serial, "batched estimates must be bit-identical");
+        // The ledger agrees too: same hops, same outcome counts. (The
+        // frontier's own shape metrics ride on top, outside the ledger.)
+        assert_eq!(reg.message_total(), serial_reg.message_total());
+        assert_eq!(
+            reg.counter(Metric::ToursCompleted),
+            serial_reg.counter(Metric::ToursCompleted)
+        );
+        assert_eq!(
+            reg.counter(Metric::WalkTimeouts),
+            serial_reg.counter(Metric::WalkTimeouts)
+        );
+        assert_eq!(
+            reg.histogram_sum(HistogramMetric::TourLength),
+            serial_reg.histogram_sum(HistogramMetric::TourLength)
+        );
+        assert!(reg.counter(Metric::WalkBatchRounds) > 0, "frontier ran");
+        let completed: u64 = batched
+            .iter()
+            .flatten()
+            .filter_map(|r| r.as_ref().ok().map(|e| e.messages))
+            .sum();
+        assert!(
+            reg.counter(Metric::TourHops) >= completed,
+            "failed tours' hops are charged on top of completed ones"
+        );
     }
 
     #[test]

@@ -52,9 +52,9 @@ pub struct CtrwOutcome {
 ///
 /// # Errors
 ///
-/// This function currently cannot fail, but returns `Result` for parity
-/// with [`crate::discrete::random_tour`] and to leave room for the
-/// message-loss model.
+/// Returns [`WalkError::Lost`] when a neighbour probe fails despite a
+/// positive degree — which cannot happen on an honest topology, but does
+/// under the fault-injection wrappers (message loss, crashed peers).
 ///
 /// # Panics
 ///
@@ -100,7 +100,10 @@ where
 ///
 /// # Errors
 ///
-/// Same as [`ctrw_walk`] (currently infallible).
+/// Same as [`ctrw_walk`]: [`WalkError::Lost`] when a fault-injecting
+/// topology denies a neighbour probe mid-walk. The hops and draws spent
+/// before the loss are still charged, so the registry reflects true
+/// overlay traffic.
 ///
 /// # Panics
 ///
@@ -149,9 +152,14 @@ where
                 hops,
             };
         }
-        current = topology
-            .neighbor_of(current, &mut *ctx.rng)
-            .expect("positive degree implies a neighbour");
+        let Some(next) = topology.neighbor_of(current, &mut *ctx.rng) else {
+            // A fault wrapper ate the probe: the walk is lost, but the
+            // traffic it generated was real — charge it before failing.
+            ctx.on_message(Metric::CtrwHops, hops);
+            ctx.on_event(Metric::SojournDraws, draws);
+            return Err(WalkError::Lost(current));
+        };
+        current = next;
         hops += 1;
     };
     ctx.on_message(Metric::CtrwHops, outcome.hops);
@@ -468,6 +476,64 @@ mod tests {
             sides_exp.insert(out.node.index() < 4);
         }
         assert_eq!(sides_exp.len(), 2, "exponential sojourns must mix");
+    }
+
+    #[test]
+    fn denied_probe_loses_the_walk_but_charges_spent_traffic() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        use std::cell::Cell;
+
+        /// A faulty environment: forwards `budget` neighbour probes, then
+        /// denies every later one — the shape of a message-loss wrapper.
+        struct DenyAfter<'g> {
+            inner: &'g Graph,
+            budget: Cell<u64>,
+        }
+        impl Topology for DenyAfter<'_> {
+            fn peer_count(&self) -> usize {
+                self.inner.peer_count()
+            }
+            fn contains(&self, node: NodeId) -> bool {
+                self.inner.contains(node)
+            }
+            fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+                self.inner.neighbors_of(node)
+            }
+            fn neighbor_of<R: rand::Rng + ?Sized>(
+                &self,
+                node: NodeId,
+                rng: &mut R,
+            ) -> Option<NodeId> {
+                let next = self.inner.neighbor_of(node, rng)?;
+                if self.budget.get() == 0 {
+                    return None;
+                }
+                self.budget.set(self.budget.get() - 1);
+                Some(next)
+            }
+            fn any_peer<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+                self.inner.any_peer(rng)
+            }
+        }
+
+        let g = generators::complete(11);
+        let faulty = DenyAfter {
+            inner: &g,
+            budget: Cell::new(3),
+        };
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut ctx = RunCtx::with_recorder(&faulty, &mut rng, &reg);
+        // A timer this long cannot expire within 3 hops on a 10-regular
+        // graph, so the fourth probe's denial must surface as Lost.
+        let res = ctrw_walk_ctx(&mut ctx, NodeId::new(0), 1_000.0, Sojourn::Exponential);
+        assert!(
+            matches!(res, Err(WalkError::Lost(_))),
+            "denied probe must lose the walk, got {res:?}"
+        );
+        assert_eq!(reg.counter(Metric::CtrwHops), 3, "spent hops still charged");
+        assert_eq!(reg.counter(Metric::SojournDraws), 4, "one draw per visit");
+        assert_eq!(ctx.messages_total(), 3);
     }
 
     #[test]

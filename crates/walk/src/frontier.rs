@@ -1,0 +1,494 @@
+//! Batched multi-walk execution: a *frontier* of W concurrent walks
+//! advanced in lock-step rounds over one pinned topology.
+//!
+//! The serial engines ([`crate::continuous::ctrw_walk_ctx`],
+//! [`crate::discrete::random_tour_ctx`]) advance one walk at a time, so
+//! every hop is a dependent chain: position → CSR offset load → neighbour
+//! load → position. On a CSR snapshot bigger than cache (the paper's
+//! N = 100,000 at mean degree 10 is ~8 MB) that chain is latency-bound —
+//! the core idles on a cache miss per hop. The frontier interleaves W
+//! *independent* chains: each round issues one visit-step for every live
+//! walk, so the out-of-order window overlaps W cache misses instead of
+//! waiting on one (memory-level parallelism). Das Sarma et al.'s
+//! distributed walk line gets its speedups the same way — many short walk
+//! segments batched over the same topology.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical to the serial path** by construction, not
+//! by tolerance: every walk carries its *own* RNG and its own topology
+//! handle in its spec, so its entire draw sequence is a pure function of
+//! walk-private state. The kernel replicates the serial engines'
+//! per-visit sequence exactly — degree probe, sojourn draw, timer check,
+//! neighbour draw, in that order — and merely reorders *between* walks,
+//! which no walk can observe. Compaction via `swap_remove` changes only
+//! the round-iteration order of the survivors, never any walk's stream.
+//!
+//! One caveat inherited from the fault model: `FaultyTopology` draws its
+//! faults from a shared counter-addressed stream, so two walks sharing
+//! one faulty wrapper *can* observe schedule-dependent faults. Callers
+//! that need bit-identity under faults give each walk its own wrapper
+//! (one `FaultPlan::apply` per walk) in both the serial reference and the
+//! batched run — exactly what `census-service` does per job.
+//!
+//! # State layout
+//!
+//! Per-walk mutable state lives in struct-of-arrays form — positions,
+//! timers, hop counts in separate contiguous vectors — so a round's sweep
+//! touches dense arrays instead of striding over fat per-walk structs,
+//! and the whole frontier's hot state stays cache-resident next to the
+//! CSR lines it probes.
+//!
+//! # Cost accounting
+//!
+//! The kernel records only its own execution-shape metrics —
+//! [`Metric::WalkBatchRounds`] once per frontier and one
+//! [`HistogramMetric::BatchOccupancy`] observation per round (the live
+//! walk count, tracing how the frontier drains). Per-walk cost metrics
+//! (`CtrwHops`, `TourHops`, outcome counters) are deliberately left to
+//! the caller, who charges them per reported fate: a caller that stops
+//! consuming early (Sample & Collide breaking at the l-th collision)
+//! must be able to discard surplus walks *uncharged*, or the ledger
+//! (`message_total == reported messages`) breaks.
+//!
+//! # When batching loses
+//!
+//! On graphs that fit in L1/L2 the serial path is already compute-bound
+//! and the frontier's bookkeeping is pure overhead; likewise for W = 1 or
+//! very short walks, where the frontier degenerates to the serial loop
+//! plus a vector allocation. Batch when walks are many and the topology
+//! is big; the serial engines remain the right tool for one-off walks.
+
+use census_graph::{NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder};
+use rand::Rng;
+
+use crate::continuous::{standard_exponential, CtrwOutcome, Sojourn};
+use crate::discrete::Tour;
+use crate::WalkError;
+
+/// One CTRW walk's launch state: everything private to the walk.
+///
+/// The spec owns its topology handle (`T` is typically `&FrozenView`, or
+/// an owned per-walk `FaultyTopology` under fault injection) and its RNG,
+/// so the walk's draw sequence cannot depend on its neighbours in the
+/// frontier. Specs are taken `&mut`: the kernel advances the RNGs in
+/// place, so after the frontier returns, each spec's RNG has consumed
+/// exactly what the serial walk would have — callers can continue on it
+/// (e.g. serial retries of a failed walk).
+#[derive(Debug)]
+pub struct CtrwSpec<T, R> {
+    /// The walk's view of the overlay.
+    pub topology: T,
+    /// The walk's private RNG stream.
+    pub rng: R,
+    /// Where the walk launches.
+    pub start: NodeId,
+    /// The emulated CTRW duration.
+    pub timer: f64,
+    /// How sojourn times are drawn.
+    pub sojourn: Sojourn,
+}
+
+/// How one CTRW walk in a frontier ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrwFate {
+    /// The walk's outcome — identical to what the serial
+    /// [`crate::continuous::ctrw_walk`] returns for the same spec.
+    pub result: Result<CtrwOutcome, WalkError>,
+    /// Forwarding hops actually sent (also inside `result` when `Ok`;
+    /// surfaced here so failed walks can be charged too).
+    pub hops: u64,
+    /// Exponential variates consumed (zero for deterministic sojourns).
+    pub draws: u64,
+}
+
+/// One Random Tour walk's launch state; see [`CtrwSpec`] for the
+/// ownership and determinism rationale.
+#[derive(Debug)]
+pub struct TourSpec<T, R> {
+    /// The walk's view of the overlay.
+    pub topology: T,
+    /// The walk's private RNG stream.
+    pub rng: R,
+    /// The tour's initiator (launch and return point).
+    pub start: NodeId,
+    /// Step budget; `None` runs to completion.
+    pub max_steps: Option<u64>,
+}
+
+/// How one Random Tour in a frontier ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TourFate {
+    /// The tour's outcome — identical to what the serial
+    /// [`crate::discrete::random_tour`] returns for the same spec.
+    pub result: Result<Tour, WalkError>,
+    /// Hops to charge as `TourHops`: the steps actually sent. Zero for a
+    /// tour stuck at launch (the serial path charges none there).
+    pub hops: u64,
+    /// The visit accumulator `Σ f(X_k)/d(X_k)` over the tour's visits, in
+    /// serial visit order (bit-identical f64 to the serial closure sum).
+    pub weight: f64,
+}
+
+/// Advances a frontier of CTRW walks to completion and returns each
+/// walk's fate, indexed like `specs`.
+///
+/// Each round issues one visit-step — degree probe, sojourn draw, timer
+/// check, neighbour draw — for every live walk, then compacts finished
+/// walks out of the active set. Per-walk results are bit-identical to
+/// running [`crate::continuous::ctrw_walk`] on each spec serially.
+///
+/// Records [`Metric::WalkBatchRounds`] and per-round
+/// [`HistogramMetric::BatchOccupancy`] on `recorder`; per-walk cost
+/// metrics are the caller's to charge from the fates (see the module
+/// docs on why).
+///
+/// # Panics
+///
+/// Panics if any spec's `start` is not alive or its `timer` is not
+/// positive and finite — the serial preconditions, checked up front.
+pub fn ctrw_frontier<T, R, Rec>(specs: &mut [CtrwSpec<T, R>], recorder: &Rec) -> Vec<CtrwFate>
+where
+    T: Topology,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    let width = specs.len();
+    // SoA hot state: one cache-dense lane per per-walk variable.
+    let mut position: Vec<NodeId> = Vec::with_capacity(width);
+    let mut remaining: Vec<f64> = Vec::with_capacity(width);
+    let mut hops: Vec<u64> = vec![0; width];
+    let mut draws: Vec<u64> = vec![0; width];
+    let mut fates: Vec<Option<Result<CtrwOutcome, WalkError>>> = vec![None; width];
+    for spec in specs.iter() {
+        assert!(spec.topology.contains(spec.start), "CTRW start must be alive");
+        assert!(
+            spec.timer.is_finite() && spec.timer > 0.0,
+            "CTRW timer must be positive and finite"
+        );
+        position.push(spec.start);
+        remaining.push(spec.timer);
+    }
+
+    let mut active: Vec<u32> = (0..width as u32).collect();
+    let mut rounds: u64 = 0;
+    while !active.is_empty() {
+        recorder.observe(HistogramMetric::BatchOccupancy, active.len() as f64);
+        rounds += 1;
+        let mut j = 0;
+        while j < active.len() {
+            let i = active[j] as usize;
+            let spec = &mut specs[i];
+            let current = position[i];
+            let degree = spec.topology.degree_of(current);
+            // One serial visit-step: the walk ends here (zero degree or
+            // timer death), hops on, or is lost to a faulty neighbour
+            // probe — the exact serial sequence and RNG consumption.
+            let finished = if degree == 0 {
+                Some(Ok(CtrwOutcome {
+                    node: current,
+                    hops: hops[i],
+                }))
+            } else {
+                let drain = match spec.sojourn {
+                    Sojourn::Exponential => {
+                        draws[i] += 1;
+                        standard_exponential(&mut spec.rng) / degree as f64
+                    }
+                    Sojourn::Deterministic => 1.0 / degree as f64,
+                };
+                remaining[i] -= drain;
+                if remaining[i] <= 0.0 {
+                    Some(Ok(CtrwOutcome {
+                        node: current,
+                        hops: hops[i],
+                    }))
+                } else {
+                    match spec.topology.neighbor_of(current, &mut spec.rng) {
+                        Some(next) => {
+                            position[i] = next;
+                            hops[i] += 1;
+                            None
+                        }
+                        None => Some(Err(WalkError::Lost(current))),
+                    }
+                }
+            };
+            match finished {
+                Some(result) => {
+                    fates[i] = Some(result);
+                    active.swap_remove(j);
+                }
+                None => j += 1,
+            }
+        }
+    }
+    if rounds > 0 {
+        recorder.incr(Metric::WalkBatchRounds, rounds);
+    }
+
+    fates
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| CtrwFate {
+            result: result.expect("every walk reaches a fate"),
+            hops: hops[i],
+            draws: draws[i],
+        })
+        .collect()
+}
+
+/// Advances a frontier of Random Tours to completion under the shared
+/// visit weight `f`, returning each tour's fate indexed like `specs`.
+///
+/// Replicates [`crate::discrete::random_tour`]'s sequence per walk: a
+/// launch visit and launch hop, then rounds of (return check, budget
+/// check, visit, neighbour draw). `f` is the Random Tour estimator's node
+/// function; each fate's `weight` accumulates `f(X_k)/d(X_k)` in serial
+/// visit order, so `d(start) · weight` is the §3.1 estimate, bit-identical
+/// to the serial closure's sum.
+///
+/// Metrics: as [`ctrw_frontier`] — frontier-shape only.
+///
+/// # Panics
+///
+/// Panics if any spec's `start` is not a live member of its topology.
+pub fn tour_frontier<T, R, Rec, F>(
+    specs: &mut [TourSpec<T, R>],
+    f: F,
+    recorder: &Rec,
+) -> Vec<TourFate>
+where
+    T: Topology,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+    F: Fn(NodeId) -> f64,
+{
+    let width = specs.len();
+    let mut position: Vec<NodeId> = vec![NodeId::new(0); width];
+    let mut steps: Vec<u64> = vec![0; width];
+    let mut weight: Vec<f64> = vec![0.0; width];
+    let mut fates: Vec<Option<TourFate>> = Vec::with_capacity(width);
+    let mut active: Vec<u32> = Vec::with_capacity(width);
+
+    // Launch phase: the initiator's visit and first hop, exactly as the
+    // serial tour performs them before entering its loop.
+    for (i, spec) in specs.iter_mut().enumerate() {
+        assert!(
+            spec.topology.contains(spec.start),
+            "tour initiator must be alive"
+        );
+        weight[i] += f(spec.start) / spec.topology.degree_of(spec.start) as f64;
+        match spec.topology.neighbor_of(spec.start, &mut spec.rng) {
+            Some(next) => {
+                position[i] = next;
+                steps[i] = 1;
+                active.push(i as u32);
+                fates.push(None);
+            }
+            None => fates.push(Some(TourFate {
+                result: Err(WalkError::Stuck(spec.start)),
+                // The serial path charges no TourHops for a launch
+                // failure; neither do we.
+                hops: 0,
+                weight: weight[i],
+            })),
+        }
+    }
+
+    let mut rounds: u64 = 0;
+    while !active.is_empty() {
+        recorder.observe(HistogramMetric::BatchOccupancy, active.len() as f64);
+        rounds += 1;
+        let mut j = 0;
+        while j < active.len() {
+            let i = active[j] as usize;
+            let spec = &mut specs[i];
+            let current = position[i];
+            // One iteration of the serial tour loop, with the loop's
+            // `current != start` test first.
+            let finished = if current == spec.start {
+                Some(Ok(Tour { steps: steps[i] }))
+            } else if steps[i] >= spec.max_steps.unwrap_or(u64::MAX) {
+                Some(Err(WalkError::Timeout(steps[i])))
+            } else {
+                weight[i] += f(current) / spec.topology.degree_of(current) as f64;
+                match spec.topology.neighbor_of(current, &mut spec.rng) {
+                    Some(next) => {
+                        position[i] = next;
+                        steps[i] += 1;
+                        None
+                    }
+                    None => Some(Err(WalkError::Stuck(current))),
+                }
+            };
+            match finished {
+                Some(result) => {
+                    fates[i] = Some(TourFate {
+                        result,
+                        hops: steps[i],
+                        weight: weight[i],
+                    });
+                    active.swap_remove(j);
+                }
+                None => j += 1,
+            }
+        }
+    }
+    if rounds > 0 {
+        recorder.incr(Metric::WalkBatchRounds, rounds);
+    }
+
+    fates
+        .into_iter()
+        .map(|fate| fate.expect("every tour reaches a fate"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::ctrw_walk;
+    use crate::discrete::random_tour;
+    use crate::stream::{stream_seed, SplitMix64, StreamDomain};
+    use census_graph::generators;
+    use census_metrics::{NoopRecorder, Registry};
+
+    fn walk_rng(i: u64) -> SplitMix64 {
+        SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, 99, i))
+    }
+
+    #[test]
+    fn ctrw_frontier_matches_serial_bit_for_bit() {
+        let g = generators::complete(17);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        for width in [1usize, 7, 64] {
+            let mut specs: Vec<_> = (0..width)
+                .map(|i| CtrwSpec {
+                    topology: &frozen,
+                    rng: walk_rng(i as u64),
+                    start,
+                    timer: 4.0,
+                    sojourn: Sojourn::Exponential,
+                })
+                .collect();
+            let fates = ctrw_frontier(&mut specs, &NoopRecorder);
+            for (i, fate) in fates.iter().enumerate() {
+                let mut rng = walk_rng(i as u64);
+                let serial = ctrw_walk(&frozen, start, 4.0, Sojourn::Exponential, &mut rng)
+                    .expect("fault-free walk completes");
+                assert_eq!(fate.result, Ok(serial), "walk {i} diverged at W={width}");
+                assert_eq!(fate.hops, serial.hops);
+                assert_eq!(fate.draws, serial.hops + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ctrw_frontier_leaves_rngs_where_serial_would() {
+        // After the frontier, each spec's RNG must have consumed exactly
+        // the serial walk's draws — callers continue on it for retries.
+        let g = generators::complete(9);
+        let start = g.nodes().next().expect("non-empty");
+        let mut specs: Vec<_> = (0..5u64)
+            .map(|i| CtrwSpec {
+                topology: &g,
+                rng: walk_rng(i),
+                start,
+                timer: 2.0,
+                sojourn: Sojourn::Exponential,
+            })
+            .collect();
+        ctrw_frontier(&mut specs, &NoopRecorder);
+        for (i, spec) in specs.iter().enumerate() {
+            let mut serial_rng = walk_rng(i as u64);
+            ctrw_walk(&g, start, 2.0, Sojourn::Exponential, &mut serial_rng)
+                .expect("completes");
+            assert_eq!(spec.rng, serial_rng, "walk {i} RNG position diverged");
+        }
+    }
+
+    #[test]
+    fn tour_frontier_matches_serial_bit_for_bit() {
+        let mut seed_rng = SplitMix64::new(8);
+        let g = generators::balanced(200, 6, &mut seed_rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        let f = |n: NodeId| ((n.index() % 13) as f64).mul_add(0.25, 1.0);
+        for width in [1usize, 7, 64] {
+            let mut specs: Vec<_> = (0..width)
+                .map(|i| TourSpec {
+                    topology: &frozen,
+                    rng: walk_rng(1000 + i as u64),
+                    start,
+                    max_steps: Some(50_000),
+                })
+                .collect();
+            let fates = tour_frontier(&mut specs, f, &NoopRecorder);
+            for (i, fate) in fates.iter().enumerate() {
+                let mut rng = walk_rng(1000 + i as u64);
+                let mut weight = 0.0f64;
+                let serial = random_tour(&frozen, start, Some(50_000), &mut rng, |n| {
+                    weight += f(n) / frozen.degree_of(n) as f64;
+                });
+                assert_eq!(fate.result, serial, "tour {i} diverged at W={width}");
+                assert_eq!(
+                    fate.weight.to_bits(),
+                    weight.to_bits(),
+                    "tour {i} weight not bit-identical at W={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tour_stuck_at_launch_charges_no_hops() {
+        let mut g = census_graph::Graph::new();
+        let lone = g.add_node();
+        let mut specs = vec![TourSpec {
+            topology: &g,
+            rng: walk_rng(0),
+            start: lone,
+            max_steps: None,
+        }];
+        let fates = tour_frontier(&mut specs, |_| 1.0, &NoopRecorder);
+        assert_eq!(fates[0].result, Err(WalkError::Stuck(lone)));
+        assert_eq!(fates[0].hops, 0);
+    }
+
+    #[test]
+    fn frontier_records_rounds_and_occupancy_only() {
+        let g = generators::complete(11);
+        let start = g.nodes().next().expect("non-empty");
+        let reg = Registry::new();
+        let mut specs: Vec<_> = (0..8u64)
+            .map(|i| CtrwSpec {
+                topology: &g,
+                rng: walk_rng(i),
+                start,
+                timer: 3.0,
+                sojourn: Sojourn::Exponential,
+            })
+            .collect();
+        let fates = ctrw_frontier(&mut specs, &reg);
+        let rounds = reg.counter(Metric::WalkBatchRounds);
+        // The frontier runs as many rounds as its longest walk has visits.
+        let longest = fates.iter().map(|f| f.hops + 1).max().expect("non-empty");
+        assert_eq!(rounds, longest);
+        assert_eq!(reg.histogram_count(HistogramMetric::BatchOccupancy), rounds);
+        // First round sees the full frontier.
+        assert!(reg.histogram_sum(HistogramMetric::BatchOccupancy) >= 8.0);
+        // The ledger stays the caller's: no message-class metric charged.
+        assert_eq!(reg.message_total(), 0);
+    }
+
+    #[test]
+    fn empty_frontier_is_a_no_op() {
+        let reg = Registry::new();
+        let fates = ctrw_frontier::<&census_graph::Graph, SplitMix64, _>(&mut [], &reg);
+        assert!(fates.is_empty());
+        assert_eq!(reg.counter(Metric::WalkBatchRounds), 0);
+    }
+}

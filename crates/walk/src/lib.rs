@@ -25,6 +25,16 @@
 //! with the zero-cost no-op recorder, so both spellings run the identical
 //! walk on the identical RNG stream.
 //!
+//! Two further modules serve the layers above:
+//!
+//! - [`frontier`] batches W independent walks into one lock-step
+//!   *frontier* over a shared topology — same per-walk results, bit for
+//!   bit, but with W memory accesses in flight instead of one.
+//! - [`stream`] is the canonical home of the SplitMix64 seed-stream
+//!   derivations (domain-tagged so replicas, service queries, and
+//!   frontier walks can never collide) and a two-word SplitMix64
+//!   generator for the frontier's per-walk streams.
+//!
 //! [`Topology`]: census_graph::Topology
 
 #![forbid(unsafe_code)]
@@ -32,6 +42,8 @@
 
 pub mod continuous;
 pub mod discrete;
+pub mod frontier;
+pub mod stream;
 
 mod error;
 

@@ -13,6 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> frontier equivalence (release)"
+# The batched walk kernel must stay bit-identical to the serial engines
+# under the optimiser the benchmarks actually run with.
+cargo test --release --test frontier_equivalence -q
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -1,0 +1,160 @@
+//! Property acceptance for the batched walk-stepping kernel: over random
+//! graphs, seeds, and frontier widths, every fate the frontier reports —
+//! outcome, hop count, sojourn draws, accumulated tour weight, and the
+//! final RNG position — is byte-identical to running the serial engine
+//! on the same per-walk stream, with and without injected message loss.
+//!
+//! `scripts/check.sh` runs this file again in release mode: the frontier
+//! is a hot-path kernel, and optimisation must not change a single bit
+//! of any fate (no fast-math, no re-association, no reordering).
+
+use overlay_census::graph::{generators, NodeId, Topology};
+use overlay_census::metrics::NoopRecorder;
+use overlay_census::sim::faults::FaultPlan;
+use overlay_census::walk::continuous::{ctrw_walk, Sojourn};
+use overlay_census::walk::discrete::random_tour;
+use overlay_census::walk::frontier::{ctrw_frontier, tour_frontier, CtrwSpec, TourSpec};
+use overlay_census::walk::stream::{stream_seed, SplitMix64, StreamDomain};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The frontier widths the acceptance criterion names: degenerate,
+/// odd/partial, and a full chunk.
+const WIDTHS: [u64; 3] = [1, 7, 64];
+
+fn walk_rng(base: u64, i: u64) -> SplitMix64 {
+    SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, base, i))
+}
+
+fn visit_weight(n: NodeId) -> f64 {
+    ((n.index() % 13) as f64).mul_add(0.25, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ctrw_frontier_is_bit_identical_to_serial(
+        n in 40usize..300,
+        degree in 3usize..8,
+        graph_seed in any::<u64>(),
+        base in any::<u64>(),
+        timer in 0.5f64..6.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let g = generators::balanced(n, degree, &mut rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        for width in WIDTHS {
+            let mut specs: Vec<_> = (0..width)
+                .map(|i| CtrwSpec {
+                    topology: &frozen,
+                    rng: walk_rng(base, i),
+                    start,
+                    timer,
+                    sojourn: Sojourn::Exponential,
+                })
+                .collect();
+            let fates = ctrw_frontier(&mut specs, &NoopRecorder);
+            for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
+                let mut serial_rng = walk_rng(base, i as u64);
+                let serial =
+                    ctrw_walk(&frozen, start, timer, Sojourn::Exponential, &mut serial_rng);
+                prop_assert_eq!(&fate.result, &serial, "walk {} diverged at W={}", i, width);
+                let out = serial.expect("fault-free CTRW completes");
+                prop_assert_eq!(fate.hops, out.hops);
+                // Fault-free: one exponential per visit, hops + 1 visits.
+                prop_assert_eq!(fate.draws, out.hops + 1);
+                prop_assert_eq!(
+                    &spec.rng, &serial_rng,
+                    "walk {} RNG position diverged at W={}", i, width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tour_frontier_is_bit_identical_to_serial(
+        n in 40usize..300,
+        degree in 3usize..8,
+        graph_seed in any::<u64>(),
+        base in any::<u64>(),
+        cap in 500u64..20_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let g = generators::balanced(n, degree, &mut rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        for width in WIDTHS {
+            let mut specs: Vec<_> = (0..width)
+                .map(|i| TourSpec {
+                    topology: &frozen,
+                    rng: walk_rng(base, i),
+                    start,
+                    max_steps: Some(cap),
+                })
+                .collect();
+            let fates = tour_frontier(&mut specs, visit_weight, &NoopRecorder);
+            for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
+                let mut serial_rng = walk_rng(base, i as u64);
+                let mut weight = 0.0f64;
+                let serial = random_tour(&frozen, start, Some(cap), &mut serial_rng, |v| {
+                    weight += visit_weight(v) / frozen.degree_of(v) as f64;
+                });
+                prop_assert_eq!(&fate.result, &serial, "tour {} diverged at W={}", i, width);
+                prop_assert_eq!(
+                    fate.weight.to_bits(),
+                    weight.to_bits(),
+                    "tour {} weight not bit-identical at W={}", i, width
+                );
+                prop_assert_eq!(
+                    &spec.rng, &serial_rng,
+                    "tour {} RNG position diverged at W={}", i, width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ctrw_frontier_matches_serial_under_message_loss(
+        n in 40usize..200,
+        graph_seed in any::<u64>(),
+        base in any::<u64>(),
+        loss in 0.05f64..0.5,
+        fault_seed in any::<u64>(),
+    ) {
+        // Bit-identity under faults needs one wrapper per walk in *both*
+        // paths: `FaultyTopology` draws faults from a counter-addressed
+        // stream private to the wrapper, so a per-walk wrapper makes the
+        // fault sequence a function of the walk alone. This mirrors how
+        // census-service scopes one wrapper to each query.
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let g = generators::balanced(n, 6, &mut rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        let plan = FaultPlan::new().with_message_loss(loss, fault_seed);
+        for width in WIDTHS {
+            let mut specs: Vec<_> = (0..width)
+                .map(|i| CtrwSpec {
+                    topology: plan.apply(&frozen),
+                    rng: walk_rng(base, i),
+                    start,
+                    timer: 4.0,
+                    sojourn: Sojourn::Exponential,
+                })
+                .collect();
+            let fates = ctrw_frontier(&mut specs, &NoopRecorder);
+            for (i, fate) in fates.iter().enumerate() {
+                let mut serial_rng = walk_rng(base, i as u64);
+                let faulty = plan.apply(&frozen);
+                let serial =
+                    ctrw_walk(&faulty, start, 4.0, Sojourn::Exponential, &mut serial_rng);
+                prop_assert_eq!(
+                    &fate.result, &serial,
+                    "lossy walk {} diverged at W={}", i, width
+                );
+            }
+        }
+    }
+}
