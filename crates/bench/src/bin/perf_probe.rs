@@ -15,11 +15,17 @@
 //!    kernel vs the serial walk engine on the same per-walk streams at
 //!    the paper's N = 100,000 (PR 5's ≥ 2× claim), after asserting the
 //!    two paths produce bit-identical samples. Writes `BENCH_5.json`.
+//! 5. `--sharded` — end-to-end [`ShardedCensusService`] throughput
+//!    (queries/sec and CTRW samples/sec) vs shard count at the paper's
+//!    N = 100,000 on a mixed count + sample workload (PR 6's ≥ 1.5×
+//!    claim), after asserting every sharded arm returns outcomes
+//!    byte-identical to the unsharded service. Writes `BENCH_6.json`.
 //!
 //! ```text
 //! cargo run --release -p census-bench --bin perf-probe [-- --out BENCH_2.json]
 //! cargo run --release -p census-bench --bin perf-probe -- --service [--smoke]
 //! cargo run --release -p census-bench --bin perf-probe -- --batched [--smoke]
+//! cargo run --release -p census-bench --bin perf-probe -- --sharded [--smoke]
 //! ```
 //!
 //! Each arm re-seeds its RNG identically, so every variant walks the
@@ -35,7 +41,10 @@ use std::time::Instant;
 use census_core::{RandomTour, SizeEstimator};
 use census_graph::generators;
 use census_metrics::{NoopRecorder, Registry, RunCtx};
-use census_service::{CensusService, Counter, Query, ServiceConfig};
+use census_sampling::CtrwSampler;
+use census_service::{
+    CensusService, Counter, Query, QueryOutcome, ServiceConfig, ShardedCensusService,
+};
 use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
 use census_walk::continuous::{ctrw_walk, CtrwOutcome, Sojourn};
 use census_walk::frontier::{ctrw_frontier, CtrwSpec};
@@ -52,6 +61,7 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut service = false;
     let mut batched = false;
+    let mut sharded = false;
     let mut smoke = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,11 +74,13 @@ fn main() -> ExitCode {
             }
             "--service" => service = true,
             "--batched" => batched = true,
+            "--sharded" => sharded = true,
             "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!("usage: perf-probe [--out BENCH_2.json]");
                 println!("       perf-probe --service [--smoke] [--out BENCH_4.json]");
                 println!("       perf-probe --batched [--smoke] [--out BENCH_5.json]");
+                println!("       perf-probe --sharded [--smoke] [--out BENCH_6.json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -77,14 +89,16 @@ fn main() -> ExitCode {
             }
         }
     }
-    if service && batched {
-        eprintln!("--service and --batched are separate probes; pick one");
+    if usize::from(service) + usize::from(batched) + usize::from(sharded) > 1 {
+        eprintln!("--service, --batched, and --sharded are separate probes; pick one");
         return ExitCode::FAILURE;
     }
     if service {
         service_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_4.json")), smoke)
     } else if batched {
         batched_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_5.json")), smoke)
+    } else if sharded {
+        sharded_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_6.json")), smoke)
     } else {
         headline_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_2.json")))
     }
@@ -254,8 +268,14 @@ fn batched_probe(out: PathBuf, smoke: bool) -> ExitCode {
     let serial_pass = || -> Vec<CtrwOutcome> {
         (0..samples)
             .map(|i| {
-                ctrw_walk(&frozen, start, TIMER, Sojourn::Exponential, &mut walk_rng(i))
-                    .expect("fault-free CTRW completes")
+                ctrw_walk(
+                    &frozen,
+                    start,
+                    TIMER,
+                    Sojourn::Exponential,
+                    &mut walk_rng(i),
+                )
+                .expect("fault-free CTRW completes")
             })
             .collect()
     };
@@ -321,6 +341,151 @@ fn batched_probe(out: PathBuf, smoke: bool) -> ExitCode {
         target_speedup: 2.0,
     };
     write_report(&report, &out)
+}
+
+/// `BENCH_6.json`: queries/sec and CTRW samples/sec through the sharded
+/// service — partitioned snapshot, per-shard worker pools, cross-shard
+/// walk stitching — vs shard count, on a mixed count + sample workload.
+///
+/// Every arm runs one worker per shard, so added throughput comes from
+/// the partition, not from extra threads on one snapshot. Before any arm
+/// is timed, its outcomes are asserted byte-identical to the unsharded
+/// [`CensusService`] on the same seed and workload: the scaling below is
+/// only meaningful because every arm computes the same random variable.
+fn sharded_probe(out: PathBuf, smoke: bool) -> ExitCode {
+    let (n, samples, counts, shard_counts, repeats): (usize, u64, u64, &[usize], usize) = if smoke {
+        (5_000, 12, 4, &[1, 2], 1)
+    } else {
+        (PAPER_N, 40, 8, &[1, 2, 4, 8], 3)
+    };
+    // The paper's experimental timer setting: long walks cross shard
+    // boundaries many times, exercising the handoff path the probe is
+    // pricing.
+    const TIMER: f64 = 10.0;
+    let queries = samples + counts;
+
+    println!(
+        "sharded probe on balanced N = {n} ({samples} CTRW samples + {counts} tour counts/pass, \
+         T = {TIMER}, 1 worker/shard, median of {repeats})"
+    );
+
+    let (_, expected) = run_sharded_pass(n, None, samples, counts, TIMER, queries);
+    println!("  unsharded baseline: {} outcomes", expected.len());
+
+    let mut arms = Vec::new();
+    for &shards in shard_counts {
+        let (_, outcomes) = run_sharded_pass(n, Some(shards), samples, counts, TIMER, queries);
+        assert_eq!(
+            outcomes, expected,
+            "sharded outcomes must be byte-identical to the unsharded service"
+        );
+        let secs = median_secs(repeats, || {
+            run_sharded_pass(n, Some(shards), samples, counts, TIMER, queries).0
+        });
+        let arm = ShardArm {
+            shards,
+            queries_per_s: queries as f64 / secs,
+            samples_per_s: samples as f64 / secs,
+        };
+        println!(
+            "  {shards} shard(s): {:.1} q/s, {:.1} samples/s (outcomes bit-identical)",
+            arm.queries_per_s, arm.samples_per_s
+        );
+        arms.push(arm);
+    }
+
+    let qps_at = |s: usize| arms.iter().find(|a| a.shards == s).map(|a| a.queries_per_s);
+    let best_multi = arms
+        .iter()
+        .filter(|a| a.shards > 1)
+        .map(|a| a.queries_per_s)
+        .fold(f64::NAN, f64::max);
+    let multi_shard_speedup = qps_at(1).map(|one| best_multi / one);
+    if let Some(s) = multi_shard_speedup {
+        println!("  best multi-shard vs 1 shard: {s:.2}x (target >= 1.5x at N = {PAPER_N})");
+    }
+
+    let report = ShardedReport {
+        n,
+        samples_per_pass: samples,
+        counts_per_pass: counts,
+        timer: TIMER,
+        repeats,
+        equivalent: true,
+        arms,
+        multi_shard_speedup,
+        target_speedup: 1.5,
+    };
+    write_report(&report, &out)
+}
+
+/// Serves the mixed workload on a fresh overlay — through the unsharded
+/// service when `shards` is `None`, else through the sharded service with
+/// one worker per shard — returning the serve-window seconds and the
+/// outcomes (for the equivalence assertion).
+fn run_sharded_pass(
+    n: usize,
+    shards: Option<usize>,
+    samples: u64,
+    counts: u64,
+    timer: f64,
+    queries: u64,
+) -> (f64, Vec<QueryOutcome>) {
+    assert_eq!(
+        samples + counts,
+        queries,
+        "workload quotas must reconcile with the total query count"
+    );
+    // Identical seeds per pass: every arm serves the same overlay and
+    // the same query streams; only the partition differs.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let net = DynamicNetwork::new(
+        generators::balanced(n, 10, &mut rng),
+        JoinRule::Balanced { max_degree: 10 },
+    );
+    let config = ServiceConfig::new(33)
+        .with_workers(1)
+        .with_queue_capacity(queries.max(1) as usize);
+    let workload: Vec<Query> = {
+        let mut qs = Vec::with_capacity(queries as usize);
+        let mut sampled = 0u64;
+        for i in 0..queries {
+            // Alternate, front-loading samples until their quota is met.
+            if sampled < samples && (i % 2 == 0 || queries - i <= samples - sampled) {
+                qs.push(Query::Sample(CtrwSampler::new(timer)));
+                sampled += 1;
+            } else {
+                qs.push(Query::Count(Counter::RandomTour(RandomTour::new())));
+            }
+        }
+        qs
+    };
+    match shards {
+        None => {
+            let mut service = CensusService::new(net, config);
+            let start = Instant::now();
+            let ((), outcomes) = service.serve(&[], |census| {
+                for q in &workload {
+                    census.submit(*q).expect("queue sized to the full load");
+                }
+            });
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(outcomes.len() as u64, queries, "ledger must reconcile");
+            (secs, outcomes)
+        }
+        Some(shards) => {
+            let mut service = ShardedCensusService::new(net, config.with_shards(shards));
+            let start = Instant::now();
+            let ((), outcomes) = service.serve(&[], |census| {
+                for q in &workload {
+                    census.submit(*q).expect("queue sized to the full load");
+                }
+            });
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(outcomes.len() as u64, queries, "ledger must reconcile");
+            (secs, outcomes)
+        }
+    }
 }
 
 fn write_report<T: serde::Serialize>(report: &T, out: &PathBuf) -> ExitCode {
@@ -404,6 +569,31 @@ struct ServiceArm {
     workers: usize,
     no_churn_qps: f64,
     churn_qps: f64,
+}
+
+/// `BENCH_6.json` payload.
+#[derive(serde::Serialize)]
+struct ShardedReport {
+    n: usize,
+    samples_per_pass: u64,
+    counts_per_pass: u64,
+    timer: f64,
+    repeats: usize,
+    /// Always `true` when the report exists at all: the probe aborts if
+    /// any sharded arm's outcomes differ from the unsharded service's.
+    equivalent: bool,
+    arms: Vec<ShardArm>,
+    /// Best multi-shard queries/sec over the single-shard arm; absent
+    /// when the single-shard arm was not measured.
+    multi_shard_speedup: Option<f64>,
+    target_speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ShardArm {
+    shards: usize,
+    queries_per_s: f64,
+    samples_per_s: f64,
 }
 
 /// `BENCH_5.json` payload.

@@ -90,28 +90,6 @@ impl<S: Sampler> InvertedBirthdayParadox<S> {
         let report = sc.collect_with(ctx, initiator)?;
         Ok((report.c_l, report.messages))
     }
-
-    /// One first-collision experiment without cost recording.
-    ///
-    /// Thin shim over [`InvertedBirthdayParadox::single_run_with`] with a
-    /// no-op recorder; the draws and RNG stream are identical.
-    ///
-    /// # Errors
-    ///
-    /// Propagates sampler failures.
-    #[deprecated(note = "use `single_run_with` and a `RunCtx`")]
-    pub fn single_run<T, R>(
-        &self,
-        topology: &T,
-        initiator: NodeId,
-        rng: &mut R,
-    ) -> Result<(u64, u64), EstimateError>
-    where
-        T: Topology + ?Sized,
-        R: Rng,
-    {
-        self.single_run_with(&mut RunCtx::new(topology, rng), initiator)
-    }
 }
 
 impl<S: Sampler + Clone> StepBudgeted for InvertedBirthdayParadox<S> {
@@ -151,10 +129,6 @@ impl<S: Sampler> SizeEstimator for InvertedBirthdayParadox<S> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated context-free shims are exercised deliberately: these
-    // tests pin that they keep producing the historical draws.
-    #![allow(deprecated)]
-
     use super::*;
     use census_graph::generators;
     use census_sampling::OracleSampler;
@@ -175,7 +149,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let m: OnlineMoments = (0..60)
             .map(|_| {
-                ibp.estimate(&g, NodeId::new(0), &mut rng)
+                ibp.estimate_with(&mut RunCtx::new(&g, &mut rng), NodeId::new(0))
                     .expect("oracle cannot fail")
                     .value
             })
@@ -193,7 +167,7 @@ mod tests {
             let ibp = InvertedBirthdayParadox::new(OracleSampler::new(), runs);
             let m: OnlineMoments = (0..80)
                 .map(|_| {
-                    ibp.estimate(&g, NodeId::new(0), rng)
+                    ibp.estimate_with(&mut RunCtx::new(&g, &mut *rng), NodeId::new(0))
                         .expect("oracle cannot fail")
                         .value
                 })
@@ -214,7 +188,7 @@ mod tests {
         let ibp = InvertedBirthdayParadox::new(OracleSampler::new(), 1);
         let mut rng = SmallRng::seed_from_u64(3);
         let (c1, msgs) = ibp
-            .single_run(&g, NodeId::new(0), &mut rng)
+            .single_run_with(&mut RunCtx::new(&g, &mut rng), NodeId::new(0))
             .expect("oracle cannot fail");
         assert!(c1 >= 2, "a collision needs at least two samples");
         assert!(c1 <= 51, "pigeonhole: at most N+1 samples");

@@ -134,19 +134,6 @@ impl GossipAveraging {
         }
     }
 
-    /// Executes the protocol without cost recording.
-    ///
-    /// Thin shim over [`GossipAveraging::run_with`] with a no-op
-    /// recorder; the contact sequence and RNG stream are identical.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the graph is empty.
-    #[deprecated(note = "use `run_with` and a `RunCtx`")]
-    pub fn run<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
-        self.run_with(&mut RunCtx::new(g, rng))
-    }
-
     /// Executes the *asynchronous* variant: instead of synchronous
     /// rounds, `rounds × N` individual pairwise exchanges fire in random
     /// order (a random node contacts a random neighbour each tick) —
@@ -192,27 +179,10 @@ impl GossipAveraging {
             rounds: self.rounds,
         }
     }
-
-    /// Executes the asynchronous variant without cost recording.
-    ///
-    /// Thin shim over [`GossipAveraging::run_async_with`] with a no-op
-    /// recorder; the contact sequence and RNG stream are identical.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the graph is empty.
-    #[deprecated(note = "use `run_async_with` and a `RunCtx`")]
-    pub fn run_async<R: Rng>(&self, g: &Graph, rng: &mut R) -> GossipOutcome {
-        self.run_async_with(&mut RunCtx::new(g, rng))
-    }
 }
 
 #[cfg(test)]
 mod tests {
-    // The deprecated context-free shims are exercised deliberately: these
-    // tests pin that they keep producing the historical contact sequence.
-    #![allow(deprecated)]
-
     use super::*;
     use census_graph::generators;
     use rand::rngs::SmallRng;
@@ -235,7 +205,7 @@ mod tests {
     fn converges_on_expander() {
         let mut rng = SmallRng::seed_from_u64(1);
         let g = generators::balanced(256, 10, &mut rng);
-        let outcome = GossipAveraging::new(60).run(&g, &mut rng);
+        let outcome = GossipAveraging::new(60).run_with(&mut RunCtx::new(&g, &mut rng));
         let n = g.num_nodes() as f64;
         for &e in &outcome.estimates {
             assert!((e / n - 1.0).abs() < 0.05, "estimate {e} vs {n}");
@@ -247,7 +217,7 @@ mod tests {
     fn async_variant_also_converges() {
         let mut rng = SmallRng::seed_from_u64(6);
         let g = generators::balanced(256, 10, &mut rng);
-        let outcome = GossipAveraging::new(80).run_async(&g, &mut rng);
+        let outcome = GossipAveraging::new(80).run_async_with(&mut RunCtx::new(&g, &mut rng));
         let n = g.num_nodes() as f64;
         let me = DenseIndex::new(&g).dense(g.nodes().next().expect("non-empty"));
         assert!(
@@ -262,7 +232,7 @@ mod tests {
         // Sum of reciprocal estimates = sum of counters = 1 exactly.
         let mut rng = SmallRng::seed_from_u64(7);
         let g = generators::complete(40);
-        let outcome = GossipAveraging::new(20).run_async(&g, &mut rng);
+        let outcome = GossipAveraging::new(20).run_async_with(&mut RunCtx::new(&g, &mut rng));
         let mass: f64 = outcome.estimates.iter().map(|&e| 1.0 / e).sum();
         assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
     }
@@ -271,7 +241,7 @@ mod tests {
     fn message_cost_is_two_n_per_round() {
         let g = generators::complete(50);
         let mut rng = SmallRng::seed_from_u64(2);
-        let outcome = GossipAveraging::new(10).run(&g, &mut rng);
+        let outcome = GossipAveraging::new(10).run_with(&mut RunCtx::new(&g, &mut rng));
         assert_eq!(outcome.messages, 2 * 50 * 10);
     }
 
@@ -281,7 +251,7 @@ mod tests {
         // a few rounds, unlike the expander case above.
         let g = generators::ring(256);
         let mut rng = SmallRng::seed_from_u64(3);
-        let outcome = GossipAveraging::new(20).run(&g, &mut rng);
+        let outcome = GossipAveraging::new(20).run_with(&mut RunCtx::new(&g, &mut rng));
         assert!(
             outcome.disagreement() > 1.0,
             "ring should still disagree: {}",
@@ -294,7 +264,7 @@ mod tests {
         let mut g = generators::complete(5);
         let lonely = g.add_node();
         let mut rng = SmallRng::seed_from_u64(4);
-        let outcome = GossipAveraging::new(30).run(&g, &mut rng);
+        let outcome = GossipAveraging::new(30).run_with(&mut RunCtx::new(&g, &mut rng));
         let idx = DenseIndex::new(&g);
         assert!(outcome.estimates[idx.dense(lonely)].is_infinite());
     }
@@ -304,7 +274,7 @@ mod tests {
         let mut g = census_graph::Graph::new();
         g.add_node();
         let mut rng = SmallRng::seed_from_u64(5);
-        let outcome = GossipAveraging::new(3).run(&g, &mut rng);
+        let outcome = GossipAveraging::new(3).run_with(&mut RunCtx::new(&g, &mut rng));
         assert_eq!(outcome.estimates, vec![1.0]);
         assert_eq!(outcome.messages, 0);
     }

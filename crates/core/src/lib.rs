@@ -37,9 +37,9 @@
 //! Every estimator runs through a [`RunCtx`] — topology, RNG, and an
 //! optional [`census_metrics::Recorder`] bundled together — so message
 //! costs are accounted in exactly one place and can be observed live
-//! through a [`census_metrics::Registry`]. The context-free entry points
-//! (`estimate(&g, initiator, &mut rng)` and friends) remain as thin
-//! deprecated shims over a recorder-less context.
+//! through a [`census_metrics::Registry`]. A recorder-less run is spelled
+//! `estimate_with(&mut RunCtx::new(&g, &mut rng), initiator)`: the no-op
+//! recorder compiles away, so it costs nothing over a bare walk.
 //!
 //! # Examples
 //!
@@ -122,26 +122,4 @@ pub trait SizeEstimator {
         T: Topology + ?Sized,
         R: Rng,
         Rec: Recorder + ?Sized;
-
-    /// Produces one estimate without cost recording.
-    ///
-    /// Thin shim over [`SizeEstimator::estimate_with`] with a no-op
-    /// recorder; the walk and RNG stream are identical.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`SizeEstimator::estimate_with`].
-    #[deprecated(note = "use `estimate_with` and a `RunCtx`")]
-    fn estimate<T, R>(
-        &self,
-        topology: &T,
-        initiator: NodeId,
-        rng: &mut R,
-    ) -> Result<Estimate, EstimateError>
-    where
-        T: Topology + ?Sized,
-        R: Rng,
-    {
-        self.estimate_with(&mut RunCtx::new(topology, rng), initiator)
-    }
 }

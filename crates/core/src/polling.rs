@@ -111,19 +111,6 @@ impl ProbabilisticPolling {
             messages: flood_messages + replies,
         }
     }
-
-    /// Floods from `initiator` without cost recording.
-    ///
-    /// Thin shim over [`ProbabilisticPolling::run_with`] with a no-op
-    /// recorder; the reply coin flips and RNG stream are identical.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `initiator` is not alive.
-    #[deprecated(note = "use `run_with` and a `RunCtx`")]
-    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
-        self.run_with(&mut RunCtx::new(g, rng), initiator)
-    }
 }
 
 /// Hop-limited polling: the flood carries a TTL of `max_hops`, and a
@@ -233,19 +220,6 @@ impl<P: Fn(usize) -> f64> HopLimitedPolling<P> {
             messages: flood_messages + replies,
         }
     }
-
-    /// Floods up to `max_hops` without cost recording.
-    ///
-    /// Thin shim over [`HopLimitedPolling::run_with`] with a no-op
-    /// recorder; the reply coin flips and RNG stream are identical.
-    ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`HopLimitedPolling::run_with`].
-    #[deprecated(note = "use `run_with` and a `RunCtx`")]
-    pub fn run<R: Rng>(&self, g: &Graph, initiator: NodeId, rng: &mut R) -> PollingOutcome {
-        self.run_with(&mut RunCtx::new(g, rng), initiator)
-    }
 }
 
 impl<P> std::fmt::Debug for HopLimitedPolling<P> {
@@ -258,10 +232,6 @@ impl<P> std::fmt::Debug for HopLimitedPolling<P> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated context-free shims are exercised deliberately: these
-    // tests pin that they keep producing the historical coin flips.
-    #![allow(deprecated)]
-
     use super::*;
     use census_graph::generators;
     use census_stats::OnlineMoments;
@@ -308,7 +278,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let poll = HopLimitedPolling::new(2, |h| if h == 1 { 0.9 } else { 0.4 });
         let m: OnlineMoments = (0..4_000)
-            .map(|_| poll.run(&g, me, &mut rng).estimate)
+            .map(|_| poll.run_with(&mut RunCtx::new(&g, &mut rng), me).estimate)
             .collect();
         let err = (m.mean() - 13.0).abs() / m.standard_error();
         assert!(err < 4.0, "ball estimate {} vs 13", m.mean());
@@ -320,7 +290,7 @@ mod tests {
         let me = g.nodes().next().expect("non-empty");
         let mut rng = SmallRng::seed_from_u64(12);
         let poll = HopLimitedPolling::new(5, |_| 1.0);
-        let out = poll.run(&g, me, &mut rng);
+        let out = poll.run_with(&mut RunCtx::new(&g, &mut rng), me);
         assert_eq!(out.estimate, 11.0); // self + 5 on each side
         assert_eq!(out.replies, 10);
         assert_eq!(out.reached, 10);
@@ -331,7 +301,7 @@ mod tests {
         let g = generators::ring(10_000);
         let me = g.nodes().next().expect("non-empty");
         let mut rng = SmallRng::seed_from_u64(13);
-        let out = HopLimitedPolling::new(4, |_| 0.5).run(&g, me, &mut rng);
+        let out = HopLimitedPolling::new(4, |_| 0.5).run_with(&mut RunCtx::new(&g, &mut rng), me);
         assert!(out.messages < 40, "ball-local cost, got {}", out.messages);
     }
 
@@ -348,7 +318,10 @@ mod tests {
         let n = algo::component_size(&g, NodeId::new(0)) as f64;
         let poll = ProbabilisticPolling::new(0.1);
         let m: OnlineMoments = (0..2_000)
-            .map(|_| poll.run(&g, NodeId::new(0), &mut rng).estimate)
+            .map(|_| {
+                poll.run_with(&mut RunCtx::new(&g, &mut rng), NodeId::new(0))
+                    .estimate
+            })
             .collect();
         let err = (m.mean() - n).abs() / m.standard_error();
         assert!(err < 4.0, "mean {} vs true {n}", m.mean());
@@ -358,7 +331,8 @@ mod tests {
     fn probability_one_is_exact_count() {
         let g = generators::ring(30);
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = ProbabilisticPolling::new(1.0).run(&g, NodeId::new(0), &mut rng);
+        let out =
+            ProbabilisticPolling::new(1.0).run_with(&mut RunCtx::new(&g, &mut rng), NodeId::new(0));
         assert_eq!(out.estimate, 30.0);
         assert_eq!(out.replies, 30);
         assert_eq!(out.reached, 30);
@@ -368,7 +342,8 @@ mod tests {
     fn cost_scales_with_edges_not_probability() {
         let g = generators::complete(40);
         let mut rng = SmallRng::seed_from_u64(3);
-        let cheap = ProbabilisticPolling::new(0.01).run(&g, NodeId::new(0), &mut rng);
+        let cheap = ProbabilisticPolling::new(0.01)
+            .run_with(&mut RunCtx::new(&g, &mut rng), NodeId::new(0));
         // Even with almost no replies, the flood still pays ~2|E|.
         assert!(cheap.messages >= g.degree_sum() as u64);
     }
@@ -381,19 +356,21 @@ mod tests {
             g.add_edge(others[i], others[i + 1]).expect("fresh edge");
         }
         let mut rng = SmallRng::seed_from_u64(4);
-        let out = ProbabilisticPolling::new(1.0).run(&g, others[0], &mut rng);
+        let out =
+            ProbabilisticPolling::new(1.0).run_with(&mut RunCtx::new(&g, &mut rng), others[0]);
         assert_eq!(out.estimate, 8.0);
     }
 
     #[test]
     fn ack_implosion_grows_linearly() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let small =
-            ProbabilisticPolling::new(0.5).run(&generators::complete(20), NodeId::new(0), &mut rng);
-        let large = ProbabilisticPolling::new(0.5).run(
-            &generators::complete(200),
+        let small = ProbabilisticPolling::new(0.5).run_with(
+            &mut RunCtx::new(&generators::complete(20), &mut rng),
             NodeId::new(0),
-            &mut rng,
+        );
+        let large = ProbabilisticPolling::new(0.5).run_with(
+            &mut RunCtx::new(&generators::complete(200), &mut rng),
+            NodeId::new(0),
         );
         assert!(large.replies > 4 * small.replies);
     }

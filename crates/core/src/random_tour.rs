@@ -120,34 +120,6 @@ impl RandomTour {
             messages: ctx.messages_since(mark),
         })
     }
-
-    /// Estimates the aggregate `Σ_j f(j)` without cost recording.
-    ///
-    /// Thin shim over [`RandomTour::estimate_sum_with`] with a no-op
-    /// recorder; the walk and RNG stream are identical.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`RandomTour::estimate_sum_with`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the initiator is not alive.
-    #[deprecated(note = "use `estimate_sum_with` and a `RunCtx`")]
-    pub fn estimate_sum<T, R, F>(
-        &self,
-        topology: &T,
-        initiator: NodeId,
-        f: F,
-        rng: &mut R,
-    ) -> Result<Estimate, EstimateError>
-    where
-        T: Topology + ?Sized,
-        R: Rng,
-        F: FnMut(NodeId) -> f64,
-    {
-        self.estimate_sum_with(&mut RunCtx::new(topology, rng), initiator, f)
-    }
 }
 
 impl StepBudgeted for RandomTour {
@@ -180,10 +152,6 @@ impl SizeEstimator for RandomTour {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated context-free shims are exercised deliberately: these
-    // tests pin that they keep producing the historical walks.
-    #![allow(deprecated)]
-
     use super::*;
     use census_graph::{algo, generators, Graph};
     use census_stats::OnlineMoments;
@@ -191,13 +159,24 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
+    /// Recorder-less estimate, spelled short for the statistical tests
+    /// below.
+    fn estimate(
+        rt: &RandomTour,
+        g: &Graph,
+        initiator: NodeId,
+        rng: &mut SmallRng,
+    ) -> Result<Estimate, EstimateError> {
+        rt.estimate_with(&mut RunCtx::new(g, rng), initiator)
+    }
+
     /// Empirical mean of `runs` Random Tour estimates from a fixed node.
     fn mean_estimate(g: &Graph, initiator: NodeId, runs: u32, seed: u64) -> OnlineMoments {
         let mut rng = SmallRng::seed_from_u64(seed);
         let rt = RandomTour::new();
         (0..runs)
             .map(|_| {
-                rt.estimate(g, initiator, &mut rng)
+                estimate(&rt, g, initiator, &mut rng)
                     .expect("connected overlay")
                     .value
             })
@@ -212,9 +191,7 @@ mod tests {
         let b = g.add_node();
         g.add_edge(a, b).expect("fresh edge");
         let mut rng = SmallRng::seed_from_u64(1);
-        let est = RandomTour::new()
-            .estimate(&g, a, &mut rng)
-            .expect("completes");
+        let est = estimate(&RandomTour::new(), &g, a, &mut rng).expect("completes");
         assert_eq!(est.value, 2.0);
         assert_eq!(est.messages, 2);
     }
@@ -282,9 +259,11 @@ mod tests {
         let mut est_rng = SmallRng::seed_from_u64(10);
         let m: OnlineMoments = (0..4_000)
             .map(|_| {
-                rt.estimate_sum(&g, NodeId::new(0), |j| g.degree(j) as f64, &mut est_rng)
-                    .expect("connected")
-                    .value
+                rt.estimate_sum_with(&mut RunCtx::new(&g, &mut est_rng), NodeId::new(0), |j| {
+                    g.degree(j) as f64
+                })
+                .expect("connected")
+                .value
             })
             .collect();
         let err = (m.mean() - target).abs() / m.standard_error();
@@ -303,12 +282,13 @@ mod tests {
         let mut est_rng = SmallRng::seed_from_u64(12);
         let m: OnlineMoments = (0..6_000)
             .map(|_| {
-                rt.estimate_sum(
-                    &g,
-                    NodeId::new(0),
-                    |j| if g.degree(j) > threshold { 1.0 } else { 0.0 },
-                    &mut est_rng,
-                )
+                rt.estimate_sum_with(&mut RunCtx::new(&g, &mut est_rng), NodeId::new(0), |j| {
+                    if g.degree(j) > threshold {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .expect("connected")
                 .value
             })
@@ -337,7 +317,7 @@ mod tests {
             let rt = RandomTour::new();
             let m: OnlineMoments = (0..20_000)
                 .map(|_| {
-                    rt.estimate(&g, initiator, &mut rng)
+                    estimate(&rt, &g, initiator, &mut rng)
                         .expect("connected")
                         .value
                 })
@@ -359,7 +339,7 @@ mod tests {
         // The shortest possible tour is 2 steps, so a 1-step budget
         // always times out.
         let rt = RandomTour::with_timeout(1);
-        let res = rt.estimate(&g, NodeId::new(0), &mut rng);
+        let res = estimate(&rt, &g, NodeId::new(0), &mut rng);
         assert_eq!(res, Err(EstimateError::Walk(WalkError::Timeout(1))));
     }
 
@@ -369,20 +349,19 @@ mod tests {
         let a = g.add_node();
         let mut rng = SmallRng::seed_from_u64(18);
         assert!(matches!(
-            RandomTour::new().estimate(&g, a, &mut rng),
+            estimate(&RandomTour::new(), &g, a, &mut rng),
             Err(EstimateError::Walk(WalkError::Stuck(_)))
         ));
     }
 
     #[test]
-    fn shim_and_ctx_form_produce_identical_estimates() {
-        use census_metrics::{Metric, Registry, RunCtx};
+    fn recorder_less_and_recorded_runs_produce_identical_estimates() {
+        use census_metrics::{Metric, Registry};
         let mut rng = SmallRng::seed_from_u64(21);
         let g = generators::balanced(200, 6, &mut rng);
         let rt = RandomTour::new();
-        let old = rt
-            .estimate(&g, NodeId::new(0), &mut SmallRng::seed_from_u64(22))
-            .expect("connected");
+        let old =
+            estimate(&rt, &g, NodeId::new(0), &mut SmallRng::seed_from_u64(22)).expect("connected");
         let reg = Registry::new();
         let mut ctx_rng = SmallRng::seed_from_u64(22);
         let mut ctx = RunCtx::with_recorder(&g, &mut ctx_rng, &reg);
@@ -406,7 +385,7 @@ mod tests {
         let mut est_rng = SmallRng::seed_from_u64(20);
         let m: OnlineMoments = (0..5_000)
             .map(|_| {
-                rt.estimate(&g, initiator, &mut est_rng)
+                estimate(&rt, &g, initiator, &mut est_rng)
                     .expect("connected")
                     .messages as f64
             })

@@ -126,7 +126,8 @@ impl<S: Sampler> SampleCollide<S> {
         }
     }
 
-    /// Selects which point estimate [`SizeEstimator::estimate`] reports.
+    /// Selects which point estimate [`SizeEstimator::estimate_with`]
+    /// reports.
     #[must_use]
     pub fn with_point_estimator(mut self, point: PointEstimator) -> Self {
         self.point = point;
@@ -199,32 +200,6 @@ impl<S: Sampler> SampleCollide<S> {
             n_max: n_max(c_l, l),
             messages: batch.messages,
         })
-    }
-
-    /// Runs the full sampling process without cost recording.
-    ///
-    /// Thin shim over [`SampleCollide::collect_with`] with a no-op
-    /// recorder; the draws and RNG stream are identical.
-    ///
-    /// # Errors
-    ///
-    /// Propagates sampler failures as [`EstimateError::Walk`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the initiator is not alive.
-    #[deprecated(note = "use `collect_with` and a `RunCtx`")]
-    pub fn collect<T, R>(
-        &self,
-        topology: &T,
-        initiator: NodeId,
-        rng: &mut R,
-    ) -> Result<CollisionReport, EstimateError>
-    where
-        T: Topology + ?Sized,
-        R: Rng,
-    {
-        self.collect_with(&mut RunCtx::new(topology, rng), initiator)
     }
 }
 
@@ -537,28 +512,6 @@ impl AdaptiveSampleCollide {
         }
         Ok(steps)
     }
-
-    /// Runs the doubling procedure without cost recording.
-    ///
-    /// Thin shim over [`AdaptiveSampleCollide::run_with`] with a no-op
-    /// recorder; the draws and RNG stream are identical.
-    ///
-    /// # Errors
-    ///
-    /// Propagates sampler failures.
-    #[deprecated(note = "use `run_with` and a `RunCtx`")]
-    pub fn run<T, R>(
-        &self,
-        topology: &T,
-        initiator: NodeId,
-        rng: &mut R,
-    ) -> Result<Vec<AdaptiveStep>, EstimateError>
-    where
-        T: Topology + ?Sized,
-        R: Rng,
-    {
-        self.run_with(&mut RunCtx::new(topology, rng), initiator)
-    }
 }
 
 impl StepBudgeted for AdaptiveSampleCollide {
@@ -592,10 +545,6 @@ impl SizeEstimator for AdaptiveSampleCollide {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated context-free shims are exercised deliberately: these
-    // tests pin that they keep producing the historical draws.
-    #![allow(deprecated)]
-
     use super::*;
     use census_graph::{generators, Graph, NodeId};
     use census_sampling::{OracleSampler, Sample};
@@ -637,13 +586,35 @@ mod tests {
         generators::path(n)
     }
 
+    /// Recorder-less [`SampleCollide::collect_with`], spelled short for
+    /// the statistical tests below.
+    fn collect<S: Sampler>(
+        sc: &SampleCollide<S>,
+        g: &Graph,
+        initiator: NodeId,
+        rng: &mut SmallRng,
+    ) -> Result<CollisionReport, EstimateError> {
+        sc.collect_with(&mut RunCtx::new(g, rng), initiator)
+    }
+
+    /// Recorder-less [`SizeEstimator::estimate_with`], spelled short for
+    /// the statistical tests below.
+    fn estimate<S: Sampler>(
+        sc: &SampleCollide<S>,
+        g: &Graph,
+        initiator: NodeId,
+        rng: &mut SmallRng,
+    ) -> Result<Estimate, EstimateError> {
+        sc.estimate_with(&mut RunCtx::new(g, rng), initiator)
+    }
+
     #[test]
     fn collision_counting_follows_definition() {
         // Sequence a b a c b: first collision at sample 3, second at 5.
         let g = line(5);
         let sc = SampleCollide::new(Scripted::new(vec![0, 1, 0, 2, 1]), 2);
         let mut rng = SmallRng::seed_from_u64(1);
-        let report = sc.collect(&g, NodeId::new(0), &mut rng).expect("scripted");
+        let report = collect(&sc, &g, NodeId::new(0), &mut rng).expect("scripted");
         assert_eq!(report.c_l, 5);
         assert_eq!(report.distinct, 3);
         assert_eq!(report.messages, 5);
@@ -655,7 +626,7 @@ mod tests {
         let g = line(3);
         let sc = SampleCollide::new(Scripted::new(vec![0, 0, 0]), 2);
         let mut rng = SmallRng::seed_from_u64(2);
-        let report = sc.collect(&g, NodeId::new(0), &mut rng).expect("scripted");
+        let report = collect(&sc, &g, NodeId::new(0), &mut rng).expect("scripted");
         assert_eq!(report.c_l, 3);
         assert_eq!(report.distinct, 1);
         // Degenerate: one distinct peer -> boundary ML.
@@ -693,10 +664,7 @@ mod tests {
         // collision on the second and third sample.
         assert_eq!(ml_estimate(2, 1), 1.0, "K = 1 boundary");
         let ml = ml_estimate(3, 1);
-        assert!(
-            ml.is_finite() && ml >= 2.0 - 1e-9,
-            "K = 2, l = 1 gave {ml}"
-        );
+        assert!(ml.is_finite() && ml >= 2.0 - 1e-9, "K = 2, l = 1 gave {ml}");
         // N_min == N_max: both Eq. (10) brackets clamp to the distinct
         // count K when K(K−1)/(2l) ≤ 1 — e.g. K = 2, l = 2. The root sits
         // at the collapsed bracket; bisection must return it rather than
@@ -743,7 +711,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let m: OnlineMoments = (0..300)
             .map(|_| {
-                sc.estimate(&g, NodeId::new(0), &mut rng)
+                estimate(&sc, &g, NodeId::new(0), &mut rng)
                     .expect("oracle cannot fail")
                     .value
             })
@@ -761,8 +729,7 @@ mod tests {
             let runs = 400;
             let mse: f64 = (0..runs)
                 .map(|_| {
-                    let v = sc
-                        .estimate(&g, NodeId::new(0), &mut rng)
+                    let v = estimate(&sc, &g, NodeId::new(0), &mut rng)
                         .expect("oracle cannot fail")
                         .value;
                     let r = v / 2_000.0 - 1.0;
@@ -788,7 +755,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let m: OnlineMoments = (0..600)
             .map(|_| {
-                sc.collect(&g, NodeId::new(0), &mut rng)
+                collect(&sc, &g, NodeId::new(0), &mut rng)
                     .expect("oracle cannot fail")
                     .c_l as f64
             })
@@ -807,7 +774,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let sample: Vec<f64> = (0..2_000)
             .map(|_| {
-                sc.collect(&g, NodeId::new(0), &mut rng)
+                collect(&sc, &g, NodeId::new(0), &mut rng)
                     .expect("oracle cannot fail")
                     .c_l as f64
                     / (n as f64).sqrt()
@@ -830,7 +797,7 @@ mod tests {
         let a = g.add_node();
         let sc = SampleCollide::new(OracleSampler::new(), 3);
         let mut rng = SmallRng::seed_from_u64(7);
-        let report = sc.collect(&g, a, &mut rng).expect("oracle cannot fail");
+        let report = collect(&sc, &g, a, &mut rng).expect("oracle cannot fail");
         assert_eq!(report.c_l, 4);
         assert_eq!(report.ml, 1.0);
     }
@@ -843,7 +810,7 @@ mod tests {
             .with_point_estimator(PointEstimator::Asymptotic);
         let m: OnlineMoments = (0..40)
             .map(|_| {
-                sc.estimate(&g, NodeId::new(0), &mut rng)
+                estimate(&sc, &g, NodeId::new(0), &mut rng)
                     .expect("connected")
                     .value
             })
@@ -858,7 +825,7 @@ mod tests {
         let g = generators::balanced(800, 10, &mut rng);
         let adaptive = AdaptiveSampleCollide::new(20, 0.25).with_tolerance(0.25);
         let steps = adaptive
-            .run(&g, NodeId::new(0), &mut rng)
+            .run_with(&mut RunCtx::new(&g, &mut rng), NodeId::new(0))
             .expect("connected");
         assert!(steps.len() >= 2, "at least two rounds");
         for w in steps.windows(2) {
@@ -883,7 +850,7 @@ mod tests {
             let sc = SampleCollide::new(CtrwSampler::new(t), 10);
             let m: OnlineMoments = (0..30)
                 .map(|_| {
-                    sc.estimate(&g, NodeId::new(0), rng)
+                    estimate(&sc, &g, NodeId::new(0), rng)
                         .expect("connected")
                         .value
                 })
@@ -924,19 +891,22 @@ mod tests {
     }
 
     #[test]
-    fn shim_and_ctx_form_produce_identical_reports() {
+    fn recorded_and_recorderless_runs_produce_identical_reports() {
         let mut rng = SmallRng::seed_from_u64(31);
         let g = generators::balanced(400, 8, &mut rng);
         let sc = SampleCollide::new(CtrwSampler::new(4.0), 5);
-        let old = sc
-            .collect(&g, NodeId::new(0), &mut SmallRng::seed_from_u64(32))
+        let mut bare_rng = SmallRng::seed_from_u64(32);
+        let bare = sc
+            .collect_with(&mut RunCtx::new(&g, &mut bare_rng), NodeId::new(0))
             .expect("connected");
-        let mut ctx_rng = SmallRng::seed_from_u64(32);
-        let mut ctx = census_metrics::RunCtx::new(&g, &mut ctx_rng);
-        let new = sc
+        let reg = census_metrics::Registry::new();
+        let mut rec_rng = SmallRng::seed_from_u64(32);
+        let mut ctx = census_metrics::RunCtx::with_recorder(&g, &mut rec_rng, &reg);
+        let recorded = sc
             .collect_with(&mut ctx, NodeId::new(0))
             .expect("connected");
-        assert_eq!(old, new, "recording must not perturb the draws");
+        assert_eq!(bare, recorded, "recording must not perturb the draws");
+        assert_eq!(reg.message_total(), recorded.messages);
     }
 
     #[test]
@@ -961,8 +931,7 @@ mod tests {
         use census_sampling::quality::SamplerFlaw;
         let mut rng = SmallRng::seed_from_u64(34);
         let g = generators::balanced(200, 6, &mut rng);
-        let adaptive =
-            AdaptiveSampleCollide::new(5, 1.0).with_sojourn(Sojourn::Deterministic);
+        let adaptive = AdaptiveSampleCollide::new(5, 1.0).with_sojourn(Sojourn::Deterministic);
         assert_eq!(adaptive.sojourn(), Sojourn::Deterministic);
         let reg = Registry::new();
         let mut ctx = census_metrics::RunCtx::with_recorder(&g, &mut rng, &reg);

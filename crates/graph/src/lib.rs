@@ -12,6 +12,11 @@
 //!   [`Graph::freeze`] — the same topology with every neighbour list laid
 //!   out contiguously, which is what the walk engines iterate over in the
 //!   figure-scale hot loops.
+//! - [`ShardedFrozenView`]: a [`FrozenView`] partitioned into per-shard
+//!   CSR slabs joined by cut-edge connector tables, enabling shard-local
+//!   walk segments that are stitched back together bit-identically to the
+//!   unsharded walk (`census-walk`'s segment kernel, the sharded census
+//!   service).
 //! - [`Topology`]: the minimal neighbour-oracle interface the random walk
 //!   engines need — a walker only ever asks a node for its degree and for a
 //!   uniformly random neighbour, exactly the locality constraint of an
@@ -55,9 +60,11 @@ pub mod spectral;
 mod frozen;
 mod graph;
 mod node;
+mod sharded;
 mod topology;
 
 pub use frozen::FrozenView;
 pub use graph::{Graph, GraphError};
 pub use node::NodeId;
+pub use sharded::{Connector, Route, ShardSlab, ShardedFrozenView};
 pub use topology::Topology;

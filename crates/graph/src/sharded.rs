@@ -1,0 +1,697 @@
+//! Sharded CSR snapshots: a [`FrozenView`] partitioned into per-shard
+//! slabs joined by cut-edge connector tables.
+//!
+//! Das Sarma et al.'s distributed walk line (PAPERS.md) decomposes a long
+//! random walk into short shard-local *segments* stitched together at the
+//! edges that cross shard boundaries. [`ShardedFrozenView`] is the
+//! topology side of that decomposition: the slot space of a frozen
+//! snapshot is split into `S` contiguous vertex ranges of uniform stride,
+//! each materialised as its own CSR slab, and every adjacency entry is
+//! annotated with a *route* — either the target's local slot in the same
+//! slab, or an index into the slab's connector table giving the target's
+//! `(shard, local)` address on the far side of the cut.
+//!
+//! # Determinism contract
+//!
+//! Partitioning is a pure layout transformation. Every slab stores its
+//! nodes' neighbour lists with the *same global identifiers in the same
+//! per-node order* as the source [`FrozenView`], so the [`Topology`]
+//! implementation is bit-compatible with the unsharded snapshot: a walk
+//! driven by the same RNG visits the identical node sequence on either
+//! representation, and [`ShardedFrozenView::random_node`] consumes
+//! exactly one draw to pick exactly the node the unsharded
+//! [`FrozenView::random_node`] would pick. `shards = 1` therefore
+//! reproduces today's `FrozenView` behaviour exactly (and cheaply: one
+//! slab, an empty connector table, every route local).
+//!
+//! The shard of a slot is `slot / stride` with
+//! `stride = ceil(slot_count / shards)` — a pure function of the slot
+//! space and the shard count, so two freezes of the same topology always
+//! partition identically and per-shard slabs can be diffed across epochs
+//! (see `census-service`'s shard-vector refreeze).
+
+use crate::{FrozenView, NodeId, Topology};
+
+/// Marks a route as crossing a shard boundary; the low bits index the
+/// slab's connector table instead of naming a local slot.
+const CUT_BIT: u32 = 1 << 31;
+
+/// The far side of a cut edge: where a walk leaving this shard lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connector {
+    /// Index of the destination shard.
+    pub shard: u32,
+    /// The destination node's local slot within that shard's slab.
+    pub local: u32,
+}
+
+/// A decoded adjacency route: where one neighbour entry leads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The neighbour lives in the same shard, at this local slot.
+    Local(u32),
+    /// The neighbour lives across a cut edge; the [`Connector`] carries
+    /// its `(shard, local)` address.
+    Cut(Connector),
+}
+
+/// One shard's CSR slab: a contiguous vertex range of the source
+/// snapshot with its own offsets, neighbour lists, liveness bitmap,
+/// live-node index, and per-edge routes into the connector table.
+///
+/// Equality is structural (derived), so a slab can be compared across
+/// re-freezes to detect whether its shard's topology actually changed —
+/// the basis of per-shard epoch vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSlab {
+    /// First global slot of this shard's vertex range.
+    start_slot: usize,
+    /// Local CSR offsets: `offsets[l]..offsets[l + 1]` indexes the
+    /// neighbour list of local slot `l` (empty for dead slots).
+    offsets: Vec<u32>,
+    /// Neighbour lists, global [`NodeId`]s in source per-node order.
+    neighbors: Vec<NodeId>,
+    /// One route per `neighbors` entry: the target's local slot, or
+    /// `CUT_BIT | connector_index` for a boundary hop.
+    routes: Vec<u32>,
+    /// Connector table: one entry per cut-edge adjacency entry.
+    connectors: Vec<Connector>,
+    /// Per-local-slot liveness bitmap.
+    alive: Vec<bool>,
+    /// Live nodes of this shard, global ids in increasing order.
+    live: Vec<NodeId>,
+}
+
+impl ShardSlab {
+    /// First global slot of this shard's vertex range.
+    #[must_use]
+    pub fn start_slot(&self) -> usize {
+        self.start_slot
+    }
+
+    /// Number of slots (live or dead) in this shard's range.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the local slot held a live node at freeze time.
+    #[must_use]
+    pub fn is_alive(&self, local: u32) -> bool {
+        self.alive.get(local as usize).copied().unwrap_or(false)
+    }
+
+    /// The global identifier of a local slot.
+    #[must_use]
+    #[inline]
+    pub fn global(&self, local: u32) -> NodeId {
+        NodeId::new(self.start_slot + local as usize)
+    }
+
+    /// Degree of a live local slot.
+    #[must_use]
+    #[inline]
+    pub fn degree(&self, local: u32) -> usize {
+        let l = local as usize;
+        (self.offsets[l + 1] - self.offsets[l]) as usize
+    }
+
+    /// Neighbour list of a local slot, global ids in source order.
+    #[must_use]
+    #[inline]
+    pub fn neighbors(&self, local: u32) -> &[NodeId] {
+        let l = local as usize;
+        &self.neighbors[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// The routes parallel to [`ShardSlab::neighbors`]: one encoded route
+    /// per neighbour entry, decodable with [`ShardSlab::decode`].
+    #[must_use]
+    #[inline]
+    pub fn routes(&self, local: u32) -> &[u32] {
+        let l = local as usize;
+        &self.routes[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// Decodes one raw route word.
+    #[must_use]
+    #[inline]
+    pub fn decode(&self, raw: u32) -> Route {
+        if raw & CUT_BIT == 0 {
+            Route::Local(raw)
+        } else {
+            Route::Cut(self.connectors[(raw & !CUT_BIT) as usize])
+        }
+    }
+
+    /// Live nodes of this shard, global ids in increasing order.
+    #[must_use]
+    pub fn live(&self) -> &[NodeId] {
+        &self.live
+    }
+
+    /// Number of cut-edge adjacency entries leaving this shard.
+    #[must_use]
+    pub fn cut_edges(&self) -> usize {
+        self.connectors.len()
+    }
+}
+
+/// A [`FrozenView`] partitioned into `S` vertex-range shards.
+///
+/// Implements [`Topology`] bit-compatibly with the source snapshot (see
+/// the module docs), so every existing walk engine and estimator runs on
+/// it unchanged and produces identical results; the per-shard slabs and
+/// connector tables additionally support shard-local segment execution
+/// (`census_walk::segment`).
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{generators, ShardedFrozenView, Topology};
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let frozen = generators::balanced(100, 6, &mut rng).freeze();
+/// let sharded = ShardedFrozenView::partition(&frozen, 4);
+/// assert_eq!(sharded.shards(), 4);
+/// assert_eq!(sharded.num_nodes(), frozen.num_nodes());
+/// for v in frozen.nodes() {
+///     assert_eq!(sharded.neighbors_of(v), frozen.neighbors(v));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedFrozenView {
+    slabs: Vec<ShardSlab>,
+    /// Slots per shard: `shard_of(slot) = slot / stride`.
+    stride: usize,
+    slot_count: usize,
+    num_nodes: usize,
+    num_edges: usize,
+    epoch: u64,
+    /// Cumulative live-node counts per shard (`len = shards + 1`): the
+    /// global live index `k` lives in the shard `s` with
+    /// `live_prefix[s] <= k < live_prefix[s + 1]`.
+    live_prefix: Vec<usize>,
+}
+
+impl ShardedFrozenView {
+    /// Partitions `frozen` into `shards` contiguous vertex ranges.
+    ///
+    /// Cost is `O(slots + edges)`. The partition is a pure function of
+    /// the snapshot's slot space and `shards`, so re-freezing an
+    /// unchanged topology yields byte-identical slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn partition(frozen: &FrozenView, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded view needs at least one shard");
+        let slot_count = frozen.slot_count();
+        let stride = slot_count.div_ceil(shards).max(1);
+        let mut slabs = Vec::with_capacity(shards);
+        let mut live_prefix = Vec::with_capacity(shards + 1);
+        live_prefix.push(0usize);
+        for s in 0..shards {
+            let start_slot = (s * stride).min(slot_count);
+            let end_slot = ((s + 1) * stride).min(slot_count);
+            let slots = end_slot - start_slot;
+            let mut offsets = Vec::with_capacity(slots + 1);
+            let mut neighbors = Vec::new();
+            let mut routes = Vec::new();
+            let mut connectors = Vec::new();
+            let mut alive = vec![false; slots];
+            let mut live = Vec::new();
+            offsets.push(0u32);
+            for (l, slot_alive) in alive.iter_mut().enumerate() {
+                let id = NodeId::new(start_slot + l);
+                if frozen.is_alive(id) {
+                    *slot_alive = true;
+                    live.push(id);
+                    for &v in frozen.neighbors(id) {
+                        let target_shard = v.index() / stride;
+                        let target_local = u32::try_from(v.index() - target_shard * stride)
+                            .expect("local slot fits in u32");
+                        let route = if target_shard == s {
+                            debug_assert!(target_local & CUT_BIT == 0);
+                            target_local
+                        } else {
+                            let idx = u32::try_from(connectors.len())
+                                .expect("connector index fits in 31 bits");
+                            connectors.push(Connector {
+                                shard: u32::try_from(target_shard).expect("shard fits in u32"),
+                                local: target_local,
+                            });
+                            CUT_BIT | idx
+                        };
+                        neighbors.push(v);
+                        routes.push(route);
+                    }
+                }
+                offsets.push(u32::try_from(neighbors.len()).expect("adjacency entries fit in u32"));
+            }
+            live_prefix.push(live_prefix[s] + live.len());
+            slabs.push(ShardSlab {
+                start_slot,
+                offsets,
+                neighbors,
+                routes,
+                connectors,
+                alive,
+                live,
+            });
+        }
+        Self {
+            slabs,
+            stride,
+            slot_count,
+            num_nodes: frozen.num_nodes(),
+            num_edges: frozen.num_edges(),
+            epoch: frozen.epoch(),
+            live_prefix,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Slots per shard (the partitioning stride).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// One shard's slab.
+    #[must_use]
+    pub fn slab(&self, shard: u32) -> &ShardSlab {
+        &self.slabs[shard as usize]
+    }
+
+    /// Number of live nodes in the snapshot.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges between live nodes in the snapshot.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Total node slots of the source graph, including dead ones.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// Which freeze of the source graph produced this snapshot (the
+    /// stamp of the underlying [`FrozenView`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total cut-edge adjacency entries across all shards (each
+    /// undirected cut edge contributes two: one per direction).
+    #[must_use]
+    pub fn cut_edges(&self) -> usize {
+        self.slabs.iter().map(ShardSlab::cut_edges).sum()
+    }
+
+    /// The shard owning a slot.
+    #[must_use]
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        u32::try_from(node.index() / self.stride).expect("shard fits in u32")
+    }
+
+    /// The `(shard, local)` address of a slot.
+    #[must_use]
+    #[inline]
+    pub fn locate(&self, node: NodeId) -> (u32, u32) {
+        let shard = node.index() / self.stride;
+        let local = node.index() - shard * self.stride;
+        (
+            u32::try_from(shard).expect("shard fits in u32"),
+            u32::try_from(local).expect("local slot fits in u32"),
+        )
+    }
+
+    /// The global identifier at a `(shard, local)` address.
+    #[must_use]
+    #[inline]
+    pub fn global(&self, shard: u32, local: u32) -> NodeId {
+        self.slabs[shard as usize].global(local)
+    }
+
+    /// Whether `node` was alive when the snapshot was taken.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        if node.index() >= self.slot_count {
+            return false;
+        }
+        let (shard, local) = self.locate(node);
+        self.slabs[shard as usize].is_alive(local)
+    }
+
+    /// Degree of a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive in the snapshot.
+    #[must_use]
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        assert!(self.is_alive(node), "degree of dead node {node}");
+        let (shard, local) = self.locate(node);
+        self.slabs[shard as usize].degree(local)
+    }
+
+    /// Neighbour list of a live node — the same global ids in the same
+    /// order as the source [`FrozenView`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not alive in the snapshot.
+    #[must_use]
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        assert!(self.is_alive(node), "neighbors of dead node {node}");
+        let (shard, local) = self.locate(node);
+        self.slabs[shard as usize].neighbors(local)
+    }
+
+    /// Picks a live node uniformly at random in O(1 + log S): one RNG
+    /// draw into the global live index, then a prefix-sum lookup. The
+    /// draw count *and* the chosen node are identical to
+    /// [`FrozenView::random_node`] on the source snapshot.
+    pub fn random_node<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.num_nodes == 0 {
+            return None;
+        }
+        let k = rng.random_range(0..self.num_nodes);
+        // The shard whose cumulative range contains k: partition_point
+        // returns the first shard boundary strictly beyond k.
+        let shard = self.live_prefix.partition_point(|&p| p <= k) - 1;
+        Some(self.slabs[shard].live[k - self.live_prefix[shard]])
+    }
+
+    /// Iterates over live node identifiers in increasing order (shard by
+    /// shard, which *is* global order for a vertex-range partition).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slabs.iter().flat_map(|slab| slab.live.iter().copied())
+    }
+}
+
+impl Topology for ShardedFrozenView {
+    fn peer_count(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.is_alive(node)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors(node)
+    }
+
+    #[inline]
+    fn degree_of(&self, node: NodeId) -> usize {
+        self.degree(node)
+    }
+
+    fn any_peer<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        self.random_node(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn churned_frozen(n: usize, kills: usize, seed: u64) -> FrozenView {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = generators::balanced(n, 6, &mut rng);
+        for _ in 0..kills {
+            let victim = g.random_node(&mut rng).expect("non-empty");
+            let _ = g.remove_node(victim);
+        }
+        g.freeze()
+    }
+
+    #[test]
+    fn single_shard_reproduces_the_frozen_view_exactly() {
+        let frozen = churned_frozen(300, 40, 1);
+        let sharded = ShardedFrozenView::partition(&frozen, 1);
+        assert_eq!(sharded.shards(), 1);
+        assert_eq!(sharded.num_nodes(), frozen.num_nodes());
+        assert_eq!(sharded.num_edges(), frozen.num_edges());
+        assert_eq!(sharded.slot_count(), frozen.slot_count());
+        assert_eq!(sharded.epoch(), frozen.epoch());
+        assert_eq!(sharded.cut_edges(), 0, "one shard has no cut edges");
+        for slot in 0..frozen.slot_count() {
+            let id = NodeId::new(slot);
+            assert_eq!(sharded.is_alive(id), frozen.is_alive(id));
+            if frozen.is_alive(id) {
+                assert_eq!(sharded.neighbors(id), frozen.neighbors(id));
+                assert_eq!(sharded.degree(id), frozen.degree(id));
+            }
+        }
+        // Identical RNG consumption and identical picks.
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            assert_eq!(sharded.random_node(&mut a), frozen.random_node(&mut b));
+        }
+    }
+
+    #[test]
+    fn partition_is_bit_compatible_for_every_shard_count() {
+        let frozen = churned_frozen(250, 60, 2);
+        for shards in [1usize, 2, 3, 5, 8, 16] {
+            let sharded = ShardedFrozenView::partition(&frozen, shards);
+            assert_eq!(sharded.shards(), shards);
+            for v in frozen.nodes() {
+                assert_eq!(
+                    sharded.neighbors_of(v),
+                    frozen.neighbors(v),
+                    "neighbour list diverged at S={shards}"
+                );
+            }
+            assert_eq!(
+                sharded.nodes().collect::<Vec<_>>(),
+                frozen.nodes().collect::<Vec<_>>(),
+                "live-node order diverged at S={shards}"
+            );
+            let mut a = SmallRng::seed_from_u64(31);
+            let mut b = SmallRng::seed_from_u64(31);
+            for _ in 0..100 {
+                assert_eq!(
+                    sharded.random_node(&mut a),
+                    frozen.random_node(&mut b),
+                    "random_node diverged at S={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_and_connectors_address_exactly_the_neighbour_entries() {
+        let frozen = churned_frozen(200, 30, 3);
+        for shards in [2usize, 4, 8] {
+            let sharded = ShardedFrozenView::partition(&frozen, shards);
+            let mut cut_total = 0usize;
+            for s in 0..shards {
+                let slab = sharded.slab(u32::try_from(s).expect("small"));
+                for l in 0..slab.slots() {
+                    let local = u32::try_from(l).expect("small");
+                    if !slab.is_alive(local) {
+                        continue;
+                    }
+                    let neighbors = slab.neighbors(local);
+                    let routes = slab.routes(local);
+                    assert_eq!(neighbors.len(), routes.len());
+                    for (&v, &raw) in neighbors.iter().zip(routes) {
+                        match slab.decode(raw) {
+                            Route::Local(tl) => {
+                                assert_eq!(slab.global(tl), v, "local route mismatch");
+                                assert_eq!(sharded.shard_of(v) as usize, s);
+                            }
+                            Route::Cut(c) => {
+                                cut_total += 1;
+                                assert_ne!(c.shard as usize, s, "cut route within shard");
+                                assert_eq!(sharded.global(c.shard, c.local), v);
+                                assert_eq!(sharded.locate(v), (c.shard, c.local));
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(cut_total, sharded.cut_edges());
+            assert!(cut_total > 0, "a multi-shard random graph has cut edges");
+        }
+    }
+
+    #[test]
+    fn walk_stepping_consumes_identical_rng_on_both_views() {
+        let frozen = churned_frozen(150, 0, 4);
+        let sharded = ShardedFrozenView::partition(&frozen, 8);
+        let start = frozen.nodes().next().expect("non-empty");
+        let mut a = SmallRng::seed_from_u64(77);
+        let mut b = SmallRng::seed_from_u64(77);
+        let mut u = start;
+        let mut v = start;
+        for _ in 0..500 {
+            u = frozen.neighbor_of(u, &mut a).expect("connected enough");
+            v = sharded.neighbor_of(v, &mut b).expect("connected enough");
+            assert_eq!(u, v, "trajectories must coincide");
+        }
+    }
+
+    #[test]
+    fn empty_graph_partitions_to_empty_slabs() {
+        let frozen = crate::Graph::new().freeze();
+        let sharded = ShardedFrozenView::partition(&frozen, 4);
+        assert_eq!(sharded.shards(), 4);
+        assert_eq!(sharded.num_nodes(), 0);
+        assert_eq!(sharded.cut_edges(), 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sharded.random_node(&mut rng), None);
+        assert_eq!(sharded.nodes().count(), 0);
+    }
+
+    #[test]
+    fn more_shards_than_slots_leaves_trailing_slabs_empty() {
+        let mut g = crate::Graph::new();
+        let ids = g.add_nodes(3);
+        g.add_edge(ids[0], ids[1]).expect("fresh edge");
+        let frozen = g.freeze();
+        let sharded = ShardedFrozenView::partition(&frozen, 8);
+        assert_eq!(sharded.shards(), 8);
+        assert_eq!(sharded.num_nodes(), 3);
+        assert_eq!(sharded.stride(), 1);
+        for s in 3..8 {
+            assert_eq!(sharded.slab(s).slots(), 0, "slab {s} should be empty");
+        }
+        assert_eq!(sharded.neighbors(ids[0]), &[ids[1]]);
+        assert_eq!(sharded.locate(ids[2]), (2, 0));
+        assert_eq!(sharded.global(2, 0), ids[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let frozen = crate::Graph::new().freeze();
+        let _ = ShardedFrozenView::partition(&frozen, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead node")]
+    fn neighbors_of_dead_slot_panics() {
+        let mut g = crate::Graph::new();
+        let a = g.add_node();
+        g.add_node();
+        g.remove_node(a).expect("alive");
+        let sharded = ShardedFrozenView::partition(&g.freeze(), 2);
+        let _ = sharded.neighbors(a);
+    }
+
+    #[test]
+    fn slab_equality_detects_which_shards_changed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut g = generators::balanced(64, 4, &mut rng);
+        let before = ShardedFrozenView::partition(&g.freeze(), 4);
+        // Mutate one node in the last shard's range only: pick the
+        // highest-slot live node and remove it.
+        let victim = g.nodes().max_by_key(|n| n.index()).expect("non-empty");
+        g.remove_node(victim).expect("alive");
+        let after = ShardedFrozenView::partition(&g.freeze(), 4);
+        let changed: Vec<usize> = (0..4)
+            .filter(|&s| {
+                let s = u32::try_from(s).expect("small");
+                before.slab(s) != after.slab(s)
+            })
+            .collect();
+        let victim_shard = before.shard_of(victim) as usize;
+        assert!(
+            changed.contains(&victim_shard),
+            "the victim's own shard must differ"
+        );
+        // Shards holding none of the victim's neighbours are untouched.
+        let neighbour_shards: std::collections::HashSet<usize> = before
+            .neighbors(victim)
+            .iter()
+            .map(|&v| before.shard_of(v) as usize)
+            .collect();
+        for s in 0..4 {
+            if s != victim_shard && !neighbour_shards.contains(&s) {
+                let su = u32::try_from(s).expect("small");
+                assert_eq!(before.slab(su), after.slab(su), "shard {s} changed");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Structural invariants over random graphs, churn, and shard
+        /// counts: slabs tile the slot space, per-node lists round-trip,
+        /// live prefix sums close, and every route resolves.
+        #[test]
+        fn partition_invariants_hold(
+            n in 2usize..120,
+            kills in 0usize..40,
+            shards in 1usize..12,
+            seed in any::<u64>(),
+        ) {
+            let frozen = churned_frozen(n, kills.min(n / 2), seed);
+            let sharded = ShardedFrozenView::partition(&frozen, shards);
+            prop_assert_eq!(sharded.shards(), shards);
+            // Slabs tile the slot space contiguously.
+            let mut covered = 0usize;
+            for s in 0..shards {
+                let slab = sharded.slab(u32::try_from(s).expect("small"));
+                prop_assert_eq!(slab.start_slot(), covered.min(frozen.slot_count()));
+                covered = slab.start_slot() + slab.slots();
+            }
+            prop_assert_eq!(covered, frozen.slot_count());
+            // Per-node data round-trips and routes resolve.
+            let mut live_total = 0usize;
+            for slot in 0..frozen.slot_count() {
+                let id = NodeId::new(slot);
+                prop_assert_eq!(sharded.is_alive(id), frozen.is_alive(id));
+                if frozen.is_alive(id) {
+                    live_total += 1;
+                    prop_assert_eq!(sharded.neighbors(id), frozen.neighbors(id));
+                    let (s, l) = sharded.locate(id);
+                    prop_assert_eq!(sharded.global(s, l), id);
+                    let slab = sharded.slab(s);
+                    for (&v, &raw) in slab.neighbors(l).iter().zip(slab.routes(l)) {
+                        let resolved = match slab.decode(raw) {
+                            Route::Local(tl) => slab.global(tl),
+                            Route::Cut(c) => sharded.global(c.shard, c.local),
+                        };
+                        prop_assert_eq!(resolved, v);
+                    }
+                }
+            }
+            prop_assert_eq!(live_total, sharded.num_nodes());
+            prop_assert_eq!(
+                *sharded.live_prefix.last().expect("non-empty"),
+                sharded.num_nodes()
+            );
+        }
+    }
+}

@@ -175,6 +175,38 @@ impl<T: Topology + ?Sized> Topology for &T {
     }
 }
 
+/// Shared-ownership forwarding: the sharded census service hands walk
+/// state between worker threads inside cross-shard handoff flights, which
+/// need an owned (`Send + 'static`) topology handle rather than a borrow.
+impl<T: Topology + ?Sized> Topology for std::sync::Arc<T> {
+    fn peer_count(&self) -> usize {
+        (**self).peer_count()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        (**self).contains(node)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        (**self).neighbors_of(node)
+    }
+
+    #[inline]
+    fn degree_of(&self, node: NodeId) -> usize {
+        (**self).degree_of(node)
+    }
+
+    #[inline]
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        (**self).neighbor_of(node, rng)
+    }
+
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        (**self).any_peer(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +243,8 @@ mod tests {
         assert_eq!(count(&g), 1);
         let by_ref: &Graph = &g;
         assert_eq!(count(by_ref), 1);
+        let shared = std::sync::Arc::new(g);
+        assert_eq!(count(std::sync::Arc::clone(&shared)), 1);
     }
 
     #[test]

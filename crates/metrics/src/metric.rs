@@ -84,11 +84,23 @@ pub enum Metric {
     /// advances every live walk in the frontier by one visit-step, so
     /// rounds × mean occupancy ≈ total visit-steps executed batched.
     WalkBatchRounds,
+    /// Walk hops that crossed a shard boundary of a partitioned snapshot
+    /// (one per cut-edge traversal). Execution-shape, not overlay cost:
+    /// the hop itself is already charged to its walk's message-class
+    /// metric; this counts how often the sharded engine had to resolve a
+    /// connector instead of a local CSR row.
+    CutCrossings,
+    /// Handoff records enqueued between shard worker pools of a sharded
+    /// census service — fresh queries dispatched to their initiator's
+    /// home shard plus in-flight walk segments resumed on their cut
+    /// edge's destination shard. Execution-shape, like
+    /// [`Metric::WalkBatchRounds`]: the unsharded path records zero.
+    ShardHandoffs,
 }
 
 impl Metric {
     /// Every counter, in declaration (and serialisation) order.
-    pub const ALL: [Metric; 24] = [
+    pub const ALL: [Metric; 26] = [
         Metric::TourHops,
         Metric::CtrwHops,
         Metric::SampleHops,
@@ -113,6 +125,8 @@ impl Metric {
         Metric::QueriesRejected,
         Metric::QueriesExpired,
         Metric::WalkBatchRounds,
+        Metric::CutCrossings,
+        Metric::ShardHandoffs,
     ];
 
     /// Number of counters a registry allocates.
@@ -146,6 +160,8 @@ impl Metric {
             Metric::QueriesRejected => "queries_rejected",
             Metric::QueriesExpired => "queries_expired",
             Metric::WalkBatchRounds => "walk_batch_rounds",
+            Metric::CutCrossings => "cut_crossings",
+            Metric::ShardHandoffs => "shard_handoffs",
         }
     }
 
@@ -184,16 +200,23 @@ pub enum HistogramMetric {
     /// round — the frontier's drain profile (starts at W, decays as
     /// walks terminate and are compacted out).
     BatchOccupancy,
+    /// Hops one walk advanced inside a single shard before terminating
+    /// or hitting a cut edge — the shard-local segment length of the
+    /// walk-stitching engine. Short segments mean handoff-dominated
+    /// execution; long segments mean the partition has good edge
+    /// locality.
+    SegmentLength,
 }
 
 impl HistogramMetric {
     /// Every histogram, in declaration (and serialisation) order.
-    pub const ALL: [HistogramMetric; 5] = [
+    pub const ALL: [HistogramMetric; 6] = [
         HistogramMetric::TourLength,
         HistogramMetric::SampleCost,
         HistogramMetric::CtrwVirtualTime,
         HistogramMetric::QueryLatency,
         HistogramMetric::BatchOccupancy,
+        HistogramMetric::SegmentLength,
     ];
 
     /// Number of histograms a registry allocates.
@@ -208,6 +231,7 @@ impl HistogramMetric {
             HistogramMetric::CtrwVirtualTime => "ctrw_virtual_time",
             HistogramMetric::QueryLatency => "query_latency_us",
             HistogramMetric::BatchOccupancy => "batch_occupancy",
+            HistogramMetric::SegmentLength => "segment_length",
         }
     }
 }
@@ -226,6 +250,14 @@ pub enum GaugeMetric {
     QueueDepth,
     /// How many freezes behind the newest snapshot the epoch pinned by
     /// the most recent query was (0 = perfectly fresh).
+    ///
+    /// **Merge rule under sharding.** A sharded service keeps one epoch
+    /// chain *per shard* and pins a whole epoch vector per query; the
+    /// value it reports here is the **maximum** lag across the pinned
+    /// vector's shard chains — the staleness of the worst shard the
+    /// query could have walked, never an average. Combined with the
+    /// gauge's max-on-absorb merge (below), a merged registry therefore
+    /// reads "worst shard lag any worker of any replica saw".
     EpochLag,
     /// Epoch stamp of the newest snapshot published by a service or
     /// dynamic runner.

@@ -35,6 +35,15 @@
 //!   epoch-lag / snapshot-epoch gauges, and a per-query latency
 //!   histogram, all through the ordinary
 //!   [`Recorder`](census_metrics::Recorder) plumbing.
+//! - **A sharded deployment shape** ([`ShardedCensusService`]): the
+//!   snapshot is partitioned into a
+//!   [`ShardedFrozenView`](census_graph::ShardedFrozenView), each shard
+//!   gets its own worker pool and epoch stamp
+//!   ([`ShardedEpochChain`]), and a `Query::Sample` walk that crosses a
+//!   cut edge parks as a handoff flight on the destination shard —
+//!   byte-identical answers to the unsharded service at every shard
+//!   count, by the walk-stitching construction of
+//!   [`census_walk::segment`].
 //!
 //! # Examples
 //!
@@ -76,7 +85,9 @@ mod epoch;
 mod query;
 mod queue;
 mod service;
+mod sharded;
 
 pub use epoch::{EpochChain, RefreezePolicy};
 pub use query::{Counter, Query, QueryAnswer, QueryOutcome, SubmitError};
 pub use service::{CensusService, ServiceConfig, ServiceHandle};
+pub use sharded::{ShardedCensusService, ShardedEpochChain, ShardedServiceHandle, ShardedSnapshot};

@@ -5,9 +5,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use census_core::{
-    AdaptiveTimeout, EstimateError, RandomTour, SizeEstimator, Supervised,
-};
+use census_core::{AdaptiveTimeout, EstimateError, RandomTour, SizeEstimator, Supervised};
 use census_graph::{FrozenView, NodeId, Topology};
 use census_metrics::{GaugeMetric, HistogramMetric, Metric, NoopRecorder, Recorder, RunCtx, NOOP};
 use census_sampling::{CtrwSampler, Sample, Sampler};
@@ -21,7 +19,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::epoch::{EpochChain, RefreezePolicy};
 use crate::query::{Counter, Query, QueryAnswer, QueryOutcome, SubmitError};
-use crate::queue::JobQueue;
+use crate::queue::{Job, JobQueue};
 
 /// Tuning knobs of a [`CensusService`].
 ///
@@ -40,6 +38,8 @@ pub struct ServiceConfig {
     faults: Option<FaultPlan>,
     churn_pause: Duration,
     batch_drain: usize,
+    shards: usize,
+    handoff_capacity: usize,
 }
 
 impl ServiceConfig {
@@ -57,6 +57,8 @@ impl ServiceConfig {
             faults: None,
             churn_pause: Duration::ZERO,
             batch_drain: 1,
+            shards: 1,
+            handoff_capacity: 1024,
         }
     }
 
@@ -151,6 +153,38 @@ impl ServiceConfig {
         self
     }
 
+    /// Shards the snapshot is partitioned into — only read by
+    /// [`ShardedCensusService`](crate::ShardedCensusService); the
+    /// unsharded [`CensusService`] ignores it. Each shard gets its own
+    /// worker pool ([`ServiceConfig::with_workers`] workers *per shard*)
+    /// and its own entry in the epoch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "a sharded service needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Cross-shard handoff flights queued before fresh-job admission
+    /// pauses ([`ShardedCensusService`](crate::ShardedCensusService)'s
+    /// backpressure bound; see the sharded-census section of DESIGN.md).
+    /// In-flight handoffs themselves are never refused — only new work
+    /// is held back — so the bound throttles without deadlocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_handoff_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "handoff capacity must be positive");
+        self.handoff_capacity = capacity;
+        self
+    }
+
     /// The service seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -198,6 +232,18 @@ impl ServiceConfig {
     pub fn batch_drain(&self) -> usize {
         self.batch_drain
     }
+
+    /// Configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Configured cross-shard handoff bound.
+    #[must_use]
+    pub fn handoff_capacity(&self) -> usize {
+        self.handoff_capacity
+    }
 }
 
 /// The submission surface handed to the closure of
@@ -224,7 +270,8 @@ impl<Rec: Recorder + ?Sized> ServiceHandle<'_, Rec> {
         self.recorder.incr(Metric::QueriesSubmitted, 1);
         match self.queue.push(query) {
             Ok((id, depth)) => {
-                self.recorder.set_gauge(GaugeMetric::QueueDepth, depth as u64);
+                self.recorder
+                    .set_gauge(GaugeMetric::QueueDepth, depth as u64);
                 Ok(id)
             }
             Err(e) => {
@@ -401,7 +448,11 @@ impl CensusService {
             if !events.is_empty() {
                 let stop = &stop;
                 let config = &config;
-                scope.spawn(move || churn_loop(net, chain, recorder, events, config, stop));
+                scope.spawn(move || {
+                    churn_loop(net, events, config, stop, |net| {
+                        publish(net, chain, recorder);
+                    });
+                });
             }
             let guard = ShutdownGuard {
                 queue: &queue,
@@ -428,13 +479,18 @@ impl CensusService {
 
 /// Applies the membership stream to the live overlay, re-freezing under
 /// the policy. Runs on its own scoped thread.
-fn churn_loop<Rec: Recorder + ?Sized>(
+///
+/// `publish` turns the churned overlay into a new epoch — the unsharded
+/// service freezes straight into its [`EpochChain`], the sharded service
+/// partitions the freeze and diffs it into its per-shard epoch vector —
+/// so both services share one churn applier with identical pacing,
+/// policy, and flush semantics.
+pub(crate) fn churn_loop<P: Fn(&DynamicNetwork)>(
     net: &mut DynamicNetwork,
-    chain: &EpochChain,
-    recorder: &Rec,
     events: &[MembershipDelta],
     config: &ServiceConfig,
     stop: &AtomicBool,
+    publish: P,
 ) {
     // The churn stream lives in its own tagged domain, so it can never
     // collide with a query stream (or a replica / frontier stream)
@@ -452,7 +508,7 @@ fn churn_loop<Rec: Recorder + ?Sized>(
         pending_delta += event.delta.unsigned_abs();
         staleness += 1;
         if config.policy.is_due(pending_delta, staleness) {
-            publish(net, chain, recorder);
+            publish(net);
             pending_delta = 0;
             staleness = 0;
         }
@@ -469,7 +525,7 @@ fn churn_loop<Rec: Recorder + ?Sized>(
     // End fresh: any churn applied but not yet published still reaches
     // the chain before the applier exits.
     if pending_delta > 0 {
-        publish(net, chain, recorder);
+        publish(net);
     }
 }
 
@@ -537,7 +593,13 @@ fn worker_loop<Rec: Recorder + ?Sized>(
         if slots.len() > 1 {
             match config.faults {
                 Some(plan) => {
-                    coalesce_samples(&mut slots, &pinned, || plan.apply(&*pinned), recorder, config);
+                    coalesce_samples(
+                        &mut slots,
+                        &pinned,
+                        || plan.apply(&*pinned),
+                        recorder,
+                        config,
+                    );
                 }
                 None => {
                     coalesce_samples(&mut slots, &pinned, || &*pinned, recorder, config);
@@ -574,12 +636,15 @@ fn worker_loop<Rec: Recorder + ?Sized>(
                 HistogramMetric::QueryLatency,
                 started.elapsed().as_secs_f64() * 1e6,
             );
-            outcomes.lock().expect("outcomes poisoned").push(QueryOutcome {
-                id: slot.job.id,
-                query: slot.job.query,
-                epoch: pinned.epoch(),
-                result,
-            });
+            outcomes
+                .lock()
+                .expect("outcomes poisoned")
+                .push(QueryOutcome {
+                    id: slot.job.id,
+                    query: slot.job.query,
+                    epoch: pinned.epoch(),
+                    result,
+                });
         }
     }
 }
@@ -724,7 +789,9 @@ where
 }
 
 /// Executes one query on the pinned (possibly fault-wrapped) topology.
-fn run_query<T, R, Rec>(
+/// Shared with the sharded service, whose Count/Aggregate queries run
+/// whole on the initiator's home shard through this same path.
+pub(crate) fn run_query<T, R, Rec>(
     query: &Query,
     ctx: &mut RunCtx<'_, T, R, Rec>,
     initiator: NodeId,
@@ -877,10 +944,7 @@ mod tests {
             }
             assert_eq!(accepted.len() as u64 + rejected, 64);
             // Accepted ids are contiguous from zero: rejections burn no id.
-            assert_eq!(
-                accepted,
-                (0..accepted.len() as u64).collect::<Vec<_>>()
-            );
+            assert_eq!(accepted, (0..accepted.len() as u64).collect::<Vec<_>>());
         });
         let submitted = reg.counter(Metric::QueriesSubmitted);
         let rejected = reg.counter(Metric::QueriesRejected);

@@ -1,0 +1,1001 @@
+//! The sharded census service: per-shard worker pools stitching walks
+//! across partition boundaries.
+//!
+//! [`ShardedCensusService`] is the multi-shard deployment shape of
+//! [`CensusService`](crate::CensusService). The overlay snapshot is
+//! partitioned into a [`ShardedFrozenView`] — per-shard CSR slabs plus
+//! cut-edge connector tables — and each shard gets its own worker pool.
+//! A query is admitted once, routed to its initiator's home shard, and
+//! executed there; a `Query::Sample` walk advances *shard-locally*
+//! through [`census_walk::segment`] and, when it hops a cut edge, parks
+//! as a handoff flight on the destination shard's queue, carrying its
+//! RNG mid-stream. Because the segment kernels consume the RNG exactly
+//! as the serial engines do, every answer is byte-identical to the
+//! unsharded service's for the same `(seed, id, epoch)` — shard count
+//! changes *where* a walk runs, never *what* it computes.
+//!
+//! Two pieces differ from the unsharded service:
+//!
+//! - **Epoch vectors** ([`ShardedEpochChain`]): a refreeze republishes
+//!   every slab, but only the shards whose slab *content* changed adopt
+//!   the new epoch stamp; untouched shards keep their old stamp. The
+//!   `EpochLag` gauge reports the *maximum* lag across the pinned
+//!   vector, per the merge rule documented in `census_metrics`.
+//! - **Bounded handoff queues with ingress backpressure**: cross-shard
+//!   flights always enqueue and always drain (so a parked walk can never
+//!   deadlock), while *fresh* admissions pause whenever the total
+//!   handoff backlog reaches [`ServiceConfig::handoff_capacity`] —
+//!   backpressure sheds new work, never in-flight work.
+//!
+//! `Query::Count` and `Query::Aggregate` run whole on the initiator's
+//! home shard through the same `run_query` path as the unsharded
+//! service (tour stitching is proven bit-identical at the walk layer;
+//! the service keeps supervised estimates single-shard for simplicity).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Instant;
+
+use census_core::EstimateError;
+use census_graph::{NodeId, ShardedFrozenView};
+use census_metrics::{GaugeMetric, HistogramMetric, Metric, NoopRecorder, Recorder, RunCtx, NOOP};
+use census_sampling::{CtrwSampler, Sample};
+use census_sim::faults::FaultyTopology;
+use census_sim::{DynamicNetwork, MembershipDelta};
+use census_walk::segment::{ctrw_segment, ctrw_segment_on, CtrwSegmentExit, CtrwSegmentState};
+use census_walk::stream::{stream_seed, StreamDomain};
+use census_walk::WalkError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::query::{Query, QueryAnswer, QueryOutcome, SubmitError};
+use crate::queue::Job;
+use crate::service::{churn_loop, run_query, ServiceConfig};
+
+/// One pinned generation of the sharded snapshot chain: the partitioned
+/// view plus the per-shard epoch vector it was published under.
+///
+/// Cloning is two `Arc` bumps; workers pin a snapshot per query and walk
+/// it lock-free, exactly like the unsharded `Arc<FrozenView>` pin.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    view: Arc<ShardedFrozenView>,
+    epochs: Arc<Vec<u64>>,
+}
+
+impl ShardedSnapshot {
+    /// The partitioned snapshot itself.
+    #[must_use]
+    pub fn view(&self) -> &ShardedFrozenView {
+        &self.view
+    }
+
+    /// Per-shard epoch stamps: `epochs()[s]` is the epoch of the last
+    /// publish that changed shard `s`'s slab.
+    #[must_use]
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// Epoch stamp of the freeze this snapshot was partitioned from —
+    /// the value answers computed on it are stamped with.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+}
+
+/// An epoch chain over partitioned snapshots, tracking staleness per
+/// shard.
+///
+/// [`ShardedEpochChain::publish`] diffs the incoming partition against
+/// the current one slab by slab: shards whose slab content changed adopt
+/// the new view's epoch stamp, untouched shards keep their old stamp. A
+/// pinned snapshot's lag is then the *maximum* per-shard lag — the merge
+/// rule the `EpochLag` gauge documents — so a reader that is current on
+/// every shard it can reach reports zero even while other shards churn.
+#[derive(Debug)]
+pub struct ShardedEpochChain {
+    latest: RwLock<ShardedSnapshot>,
+}
+
+impl ShardedEpochChain {
+    /// Starts the chain with `view` as every shard's first epoch.
+    #[must_use]
+    pub fn new(view: ShardedFrozenView) -> Self {
+        let epochs = vec![view.epoch(); view.shards()];
+        Self {
+            latest: RwLock::new(ShardedSnapshot {
+                view: Arc::new(view),
+                epochs: Arc::new(epochs),
+            }),
+        }
+    }
+
+    /// Pins the newest snapshot (two `Arc` clones, never blocks a
+    /// publisher for long).
+    #[must_use]
+    pub fn pin(&self) -> ShardedSnapshot {
+        self.latest.read().expect("sharded chain poisoned").clone()
+    }
+
+    /// Publishes a freshly partitioned snapshot, advancing the epoch
+    /// stamp of exactly the shards whose slab content changed.
+    pub fn publish(&self, view: ShardedFrozenView) {
+        let mut latest = self.latest.write().expect("sharded chain poisoned");
+        let epoch = view.epoch();
+        let epochs: Vec<u64> = (0..view.shards())
+            .map(|s| {
+                let shard = u32::try_from(s).expect("shard index fits in u32");
+                if s < latest.view.shards() && latest.view.slab(shard) == view.slab(shard) {
+                    latest.epochs[s]
+                } else {
+                    epoch
+                }
+            })
+            .collect();
+        *latest = ShardedSnapshot {
+            view: Arc::new(view),
+            epochs: Arc::new(epochs),
+        };
+    }
+
+    /// The newest per-shard epoch vector.
+    #[must_use]
+    pub fn latest_epochs(&self) -> Vec<u64> {
+        self.latest
+            .read()
+            .expect("sharded chain poisoned")
+            .epochs
+            .to_vec()
+    }
+
+    /// How far behind the newest publish `pinned` is: the maximum
+    /// per-shard epoch lag (the `EpochLag` merge rule).
+    #[must_use]
+    pub fn lag_of(&self, pinned: &ShardedSnapshot) -> u64 {
+        let latest = self.latest.read().expect("sharded chain poisoned");
+        latest
+            .epochs
+            .iter()
+            .zip(pinned.epochs.iter())
+            .map(|(l, p)| l.saturating_sub(*p))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The per-query context every flight carries between shards: identity,
+/// private RNG stream (mid-walk position included), pinned snapshot, and
+/// the latency clock started at dequeue.
+struct FlightHead {
+    id: u64,
+    query: Query,
+    initiator: NodeId,
+    rng: SmallRng,
+    snapshot: ShardedSnapshot,
+    started: Instant,
+}
+
+/// The resumable walk state of a `Query::Sample` flight. Boxing the
+/// fault wrapper keeps parked flights small; the wrapper itself must be
+/// the *same instance* across all of a job's segments and retries so its
+/// counter-addressed fault stream replays the serial wrapper's exactly.
+struct SampleState {
+    sampler: CtrwSampler,
+    state: CtrwSegmentState,
+    attempt: u32,
+    faulty: Option<Box<FaultyTopology<Arc<ShardedFrozenView>>>>,
+}
+
+/// A query in execution, parked on (or travelling to) some shard.
+enum Flight {
+    /// Count/Aggregate: runs whole on the initiator's home shard.
+    Whole(FlightHead),
+    /// Sample: advances segment by segment, hopping shards at cut edges.
+    Sample(FlightHead, SampleState),
+}
+
+impl Flight {
+    fn head(&self) -> &FlightHead {
+        match self {
+            Flight::Whole(head) | Flight::Sample(head, _) => head,
+        }
+    }
+}
+
+/// Shared admission + handoff state for the whole worker fleet: one
+/// fresh-job queue (admission order allocates ids, like the unsharded
+/// `JobQueue`) plus one handoff queue per shard.
+struct EngineState {
+    fresh: VecDeque<Job>,
+    next_id: u64,
+    open: bool,
+    handoffs: Vec<VecDeque<Flight>>,
+    backlog: usize,
+    inflight: usize,
+}
+
+struct Engine {
+    state: Mutex<EngineState>,
+    available: Condvar,
+    capacity: usize,
+    handoff_capacity: usize,
+}
+
+impl Engine {
+    fn new(shards: usize, capacity: usize, handoff_capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(EngineState {
+                fresh: VecDeque::with_capacity(capacity),
+                next_id: 0,
+                open: true,
+                handoffs: (0..shards).map(|_| VecDeque::new()).collect(),
+                backlog: 0,
+                inflight: 0,
+            }),
+            available: Condvar::new(),
+            capacity,
+            handoff_capacity,
+        }
+    }
+
+    /// Admits `query` exactly like `JobQueue::push`: an id is allocated
+    /// only to accepted queries, and a full (or closed) queue refuses
+    /// without burning one.
+    fn push(&self, query: Query) -> Result<(u64, usize), SubmitError> {
+        let mut state = self.state.lock().expect("engine poisoned");
+        if !state.open || state.fresh.len() >= self.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.fresh.push_back(Job { id, query });
+        let depth = state.fresh.len();
+        drop(state);
+        self.available.notify_one();
+        Ok((id, depth))
+    }
+
+    /// Parks a flight on `shard`'s handoff queue. Handoffs are never
+    /// refused: backpressure gates fresh admissions instead, so every
+    /// walk already in flight can always land.
+    fn park(&self, shard: u32, flight: Flight) {
+        let mut state = self.state.lock().expect("engine poisoned");
+        state.handoffs[shard as usize].push_back(flight);
+        state.backlog += 1;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// One flight fully completed (its outcome recorded).
+    fn finish_one(&self) {
+        let mut state = self.state.lock().expect("engine poisoned");
+        state.inflight -= 1;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Stops admission and wakes every parked worker so the engine can
+    /// drain to empty.
+    fn close(&self) {
+        self.state.lock().expect("engine poisoned").open = false;
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("engine poisoned").fresh.len()
+    }
+}
+
+/// Everything a shard worker needs, bundled so flights can be handed
+/// between helpers without seven-argument signatures.
+struct ShardCtx<'s, Rec: ?Sized> {
+    engine: &'s Engine,
+    chain: &'s ShardedEpochChain,
+    recorder: &'s Rec,
+    outcomes: &'s Mutex<Vec<QueryOutcome>>,
+    config: &'s ServiceConfig,
+}
+
+impl<Rec: ?Sized> Clone for ShardCtx<'_, Rec> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<Rec: ?Sized> Copy for ShardCtx<'_, Rec> {}
+
+/// The per-shard worker loop. Priority order: (1) drain this shard's
+/// handoff queue — in-flight walks always make progress; (2) admit a
+/// fresh job, but only while the total handoff backlog is under the
+/// configured bound; (3) exit once the engine is closed and idle.
+fn shard_worker<Rec: Recorder + ?Sized>(shard: usize, ctx: ShardCtx<'_, Rec>) {
+    let mut state = ctx.engine.state.lock().expect("engine poisoned");
+    loop {
+        if let Some(flight) = state.handoffs[shard].pop_front() {
+            state.backlog -= 1;
+            drop(state);
+            ctx.engine.available.notify_all();
+            advance_flight(shard, flight, ctx);
+            state = ctx.engine.state.lock().expect("engine poisoned");
+            continue;
+        }
+        if state.backlog < ctx.engine.handoff_capacity {
+            if let Some(job) = state.fresh.pop_front() {
+                state.inflight += 1;
+                let depth = state.fresh.len();
+                drop(state);
+                ctx.recorder
+                    .set_gauge(GaugeMetric::QueueDepth, depth as u64);
+                launch_job(shard, job, ctx);
+                state = ctx.engine.state.lock().expect("engine poisoned");
+                continue;
+            }
+        }
+        if !state.open && state.fresh.is_empty() && state.inflight == 0 {
+            drop(state);
+            ctx.engine.available.notify_all();
+            return;
+        }
+        state = ctx.engine.available.wait(state).expect("engine poisoned");
+    }
+}
+
+/// Pins a snapshot, derives the query's private RNG stream, draws the
+/// initiator, and routes the resulting flight to its home shard —
+/// everything up to the initiator draw mirrors the unsharded worker, so
+/// the RNG position entering the walk is identical.
+fn launch_job<Rec: Recorder + ?Sized>(shard: usize, job: Job, ctx: ShardCtx<'_, Rec>) {
+    let started = Instant::now();
+    let snapshot = ctx.chain.pin();
+    ctx.recorder
+        .set_gauge(GaugeMetric::EpochLag, ctx.chain.lag_of(&snapshot));
+    let mut rng = SmallRng::seed_from_u64(stream_seed(
+        StreamDomain::ServiceQuery,
+        ctx.config.seed(),
+        job.id,
+    ));
+    let Some(initiator) = snapshot.view.random_node(&mut rng) else {
+        complete(
+            QueryOutcome {
+                id: job.id,
+                query: job.query,
+                epoch: snapshot.epoch(),
+                result: Err(EstimateError::Degenerate(
+                    "snapshot holds no live peers".to_owned(),
+                )),
+            },
+            started,
+            ctx,
+        );
+        return;
+    };
+    let head = FlightHead {
+        id: job.id,
+        query: job.query,
+        initiator,
+        rng,
+        snapshot,
+        started,
+    };
+    let flight = match job.query {
+        Query::Sample(sampler) => {
+            // The fault wrapper is created once per job (like the serial
+            // worker's) and rides the flight so its counter-addressed
+            // fault stream spans every segment and retry.
+            let faulty = ctx
+                .config
+                .faults()
+                .map(|plan| Box::new(plan.apply(Arc::clone(&head.snapshot.view))));
+            Flight::Sample(
+                head,
+                SampleState {
+                    sampler,
+                    state: CtrwSegmentState::launch(initiator, sampler.timer()),
+                    attempt: 0,
+                    faulty,
+                },
+            )
+        }
+        _ => Flight::Whole(head),
+    };
+    route(shard, flight, ctx);
+}
+
+/// Routes a flight to its initiator's home shard: inline if already
+/// there, otherwise a counted handoff.
+fn route<Rec: Recorder + ?Sized>(shard: usize, flight: Flight, ctx: ShardCtx<'_, Rec>) {
+    let head = flight.head();
+    let home = head.snapshot.view.shard_of(head.initiator);
+    if home as usize == shard {
+        advance_flight(shard, flight, ctx);
+    } else {
+        ctx.recorder.incr(Metric::ShardHandoffs, 1);
+        ctx.engine.park(home, flight);
+    }
+}
+
+/// Executes (or resumes) a flight on this shard.
+fn advance_flight<Rec: Recorder + ?Sized>(shard: usize, flight: Flight, ctx: ShardCtx<'_, Rec>) {
+    match flight {
+        Flight::Whole(head) => run_whole(head, ctx),
+        Flight::Sample(head, sample) => advance_sample(shard, head, sample, ctx),
+    }
+}
+
+/// Runs a Count/Aggregate query whole on the pinned sharded view — the
+/// unsharded worker's execution arm verbatim, with the sharded view (or
+/// a per-job fault wrapper over it) as the topology.
+fn run_whole<Rec: Recorder + ?Sized>(mut head: FlightHead, ctx: ShardCtx<'_, Rec>) {
+    let view = Arc::clone(&head.snapshot.view);
+    let result = match ctx.config.faults() {
+        Some(plan) => {
+            let faulty = plan.apply(&*view);
+            let mut run = RunCtx::with_recorder(&faulty, &mut head.rng, ctx.recorder);
+            run_query(&head.query, &mut run, head.initiator, ctx.config)
+        }
+        None => {
+            let mut run = RunCtx::with_recorder(&*view, &mut head.rng, ctx.recorder);
+            run_query(&head.query, &mut run, head.initiator, ctx.config)
+        }
+    };
+    complete(
+        QueryOutcome {
+            id: head.id,
+            query: head.query,
+            epoch: head.snapshot.epoch(),
+            result,
+        },
+        head.started,
+        ctx,
+    );
+}
+
+/// Advances a Sample flight shard-locally until it finishes, loses its
+/// walk, or crosses a cut edge into another shard's queue.
+///
+/// The cost accounting is the serial `sample_ctx` path's exactly —
+/// `CtrwHops` + `SojournDraws` charged per attempt, `CtrwVirtualTime` /
+/// `SamplesDrawn` / `SampleCost` on success, `WalkRetries` per retry —
+/// plus the sharded execution-shape extras (`SegmentLength` per segment,
+/// `CutCrossings` per cut-edge hop, `ShardHandoffs` per park).
+fn advance_sample<Rec: Recorder + ?Sized>(
+    shard: usize,
+    mut head: FlightHead,
+    mut sample: SampleState,
+    ctx: ShardCtx<'_, Rec>,
+) {
+    loop {
+        let before = sample.state.hops;
+        let exit = match &sample.faulty {
+            Some(faulty) => ctrw_segment_on(
+                &head.snapshot.view,
+                &**faulty,
+                &mut sample.state,
+                sample.sampler.sojourn(),
+                &mut head.rng,
+            ),
+            None => ctrw_segment(
+                &head.snapshot.view,
+                &mut sample.state,
+                sample.sampler.sojourn(),
+                &mut head.rng,
+            ),
+        };
+        ctx.recorder.observe(
+            HistogramMetric::SegmentLength,
+            (sample.state.hops - before) as f64,
+        );
+        match exit {
+            CtrwSegmentExit::Handoff(connector) => {
+                ctx.recorder.incr(Metric::CutCrossings, 1);
+                if connector.shard as usize == shard {
+                    continue;
+                }
+                ctx.recorder.incr(Metric::ShardHandoffs, 1);
+                ctx.engine
+                    .park(connector.shard, Flight::Sample(head, sample));
+                return;
+            }
+            CtrwSegmentExit::Done(out) => {
+                ctx.recorder.incr(Metric::CtrwHops, out.hops);
+                ctx.recorder.incr(Metric::SojournDraws, sample.state.draws);
+                ctx.recorder
+                    .observe(HistogramMetric::CtrwVirtualTime, sample.sampler.timer());
+                ctx.recorder.incr(Metric::SamplesDrawn, 1);
+                ctx.recorder
+                    .observe(HistogramMetric::SampleCost, out.hops as f64);
+                complete(
+                    QueryOutcome {
+                        id: head.id,
+                        query: head.query,
+                        epoch: head.snapshot.epoch(),
+                        result: Ok(QueryAnswer::Sample(Sample {
+                            node: out.node,
+                            hops: out.hops,
+                        })),
+                    },
+                    head.started,
+                    ctx,
+                );
+                return;
+            }
+            CtrwSegmentExit::Lost(node) => {
+                ctx.recorder.incr(Metric::CtrwHops, sample.state.hops);
+                ctx.recorder.incr(Metric::SojournDraws, sample.state.draws);
+                if sample.attempt >= ctx.config.retries() {
+                    complete(
+                        QueryOutcome {
+                            id: head.id,
+                            query: head.query,
+                            epoch: head.snapshot.epoch(),
+                            result: Err(EstimateError::Walk(WalkError::Lost(node))),
+                        },
+                        head.started,
+                        ctx,
+                    );
+                    return;
+                }
+                ctx.recorder.incr(Metric::WalkRetries, 1);
+                sample.attempt += 1;
+                sample.state = CtrwSegmentState::launch(head.initiator, sample.sampler.timer());
+                let home = head.snapshot.view.shard_of(head.initiator);
+                if home as usize != shard {
+                    ctx.recorder.incr(Metric::ShardHandoffs, 1);
+                    ctx.engine.park(home, Flight::Sample(head, sample));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Books a flight's terminal outcome: completion counters, latency
+/// histogram, the outcome record, and the engine's in-flight count.
+fn complete<Rec: Recorder + ?Sized>(
+    outcome: QueryOutcome,
+    started: Instant,
+    ctx: ShardCtx<'_, Rec>,
+) {
+    match &outcome.result {
+        Ok(_) => ctx.recorder.incr(Metric::QueriesCompleted, 1),
+        Err(_) => ctx.recorder.incr(Metric::QueriesExpired, 1),
+    }
+    ctx.recorder.observe(
+        HistogramMetric::QueryLatency,
+        started.elapsed().as_secs_f64() * 1e6,
+    );
+    ctx.outcomes
+        .lock()
+        .expect("outcomes poisoned")
+        .push(outcome);
+    ctx.engine.finish_one();
+}
+
+/// The submission surface [`ShardedCensusService::serve_rec`] hands its
+/// closure — the sharded twin of
+/// [`ServiceHandle`](crate::ServiceHandle), with identical admission
+/// semantics and ledger metrics.
+pub struct ShardedServiceHandle<'s, Rec: ?Sized = NoopRecorder> {
+    engine: &'s Engine,
+    chain: &'s ShardedEpochChain,
+    recorder: &'s Rec,
+}
+
+impl<Rec: Recorder + ?Sized> ShardedServiceHandle<'_, Rec> {
+    /// Submits a query, returning its id. Ids are allocated in admission
+    /// order and only to accepted queries; a full queue refuses with
+    /// [`SubmitError::Overloaded`] without consuming an id.
+    pub fn submit(&self, query: Query) -> Result<u64, SubmitError> {
+        self.recorder.incr(Metric::QueriesSubmitted, 1);
+        match self.engine.push(query) {
+            Ok((id, depth)) => {
+                self.recorder
+                    .set_gauge(GaugeMetric::QueueDepth, depth as u64);
+                Ok(id)
+            }
+            Err(e) => {
+                self.recorder.incr(Metric::QueriesRejected, 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fresh queries currently queued (racy by nature; a scheduling
+    /// hint). Parked cross-shard flights are not counted — they are
+    /// in-flight work, not admissions.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.engine.depth()
+    }
+
+    /// The newest per-shard epoch vector.
+    #[must_use]
+    pub fn latest_epochs(&self) -> Vec<u64> {
+        self.chain.latest_epochs()
+    }
+}
+
+/// Closes the engine and stops the churn applier when dropped, so worker
+/// threads always unblock — even if the submission closure panics.
+struct EngineShutdown<'s> {
+    engine: &'s Engine,
+    stop: &'s AtomicBool,
+}
+
+impl Drop for EngineShutdown<'_> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.engine.close();
+    }
+}
+
+/// A long-running census engine whose snapshot, worker pool, and epoch
+/// chain are partitioned into shards.
+///
+/// Construction partitions the first freeze into
+/// [`ServiceConfig::shards`] vertex-range slabs; [`serve`] spawns
+/// [`ServiceConfig::workers`] threads *per shard* plus the shared churn
+/// applier. The determinism contract is the unsharded service's with the
+/// epoch scalar widened to a vector: every outcome is a pure function of
+/// `(seed, id, epoch vector)`, and for any fixed epoch it is
+/// byte-identical to [`CensusService`](crate::CensusService)'s answer —
+/// at `shards = 1` the two services are the same machine.
+///
+/// [`serve`]: ShardedCensusService::serve
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::generators;
+/// use census_sampling::CtrwSampler;
+/// use census_service::{Query, ServiceConfig, ShardedCensusService};
+/// use census_sim::{DynamicNetwork, JoinRule};
+/// use rand::{SeedableRng, rngs::SmallRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let net = DynamicNetwork::new(
+///     generators::balanced(400, 8, &mut rng),
+///     JoinRule::Balanced { max_degree: 8 },
+/// );
+/// let config = ServiceConfig::new(42).with_shards(4);
+/// let mut service = ShardedCensusService::new(net, config);
+/// let (ids, outcomes) = service.serve(&[], |census| {
+///     (0..4)
+///         .map(|_| census.submit(Query::Sample(CtrwSampler::new(8.0))))
+///         .collect::<Result<Vec<_>, _>>()
+///         .expect("queue has room")
+/// });
+/// assert_eq!(ids, vec![0, 1, 2, 3]);
+/// assert!(outcomes.iter().all(|o| o.result.is_ok()));
+/// ```
+#[derive(Debug)]
+pub struct ShardedCensusService {
+    net: DynamicNetwork,
+    chain: ShardedEpochChain,
+    config: ServiceConfig,
+}
+
+impl ShardedCensusService {
+    /// Wraps `net`, freezing and partitioning it as every shard's epoch
+    /// 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured shard count is zero (which
+    /// [`ServiceConfig::with_shards`] already rejects).
+    #[must_use]
+    pub fn new(net: DynamicNetwork, config: ServiceConfig) -> Self {
+        let chain =
+            ShardedEpochChain::new(ShardedFrozenView::partition(&net.freeze(), config.shards()));
+        Self { net, chain, config }
+    }
+
+    /// The live overlay.
+    #[must_use]
+    pub fn network(&self) -> &DynamicNetwork {
+        &self.net
+    }
+
+    /// The configuration this service runs under.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Pins the newest partitioned snapshot.
+    #[must_use]
+    pub fn pin(&self) -> ShardedSnapshot {
+        self.chain.pin()
+    }
+
+    /// The newest per-shard epoch vector.
+    #[must_use]
+    pub fn latest_epochs(&self) -> Vec<u64> {
+        self.chain.latest_epochs()
+    }
+
+    /// Recovers the live overlay, dropping the snapshot chain.
+    #[must_use]
+    pub fn into_network(self) -> DynamicNetwork {
+        self.net
+    }
+
+    /// [`ShardedCensusService::serve_rec`] with the no-op recorder.
+    pub fn serve<F, O>(&mut self, events: &[MembershipDelta], f: F) -> (O, Vec<QueryOutcome>)
+    where
+        F: FnOnce(&ShardedServiceHandle<'_, NoopRecorder>) -> O,
+    {
+        self.serve_rec(events, &NOOP, f)
+    }
+
+    /// Runs the sharded service: spawns the per-shard worker pools and
+    /// the churn applier on scoped threads, hands `f` a
+    /// [`ShardedServiceHandle`], and on return drains every accepted
+    /// query — fresh and parked alike — before joining.
+    ///
+    /// Semantics match [`CensusService::serve_rec`]
+    /// (admission ledger, graceful drain, outcomes sorted by id) with
+    /// two sharded twists: the churn applier re-partitions each freeze
+    /// and publishes it into the per-shard epoch vector, and
+    /// cross-shard walks park on bounded handoff queues whose total
+    /// backlog throttles *fresh* admissions only, so in-flight walks
+    /// always drain and shutdown cannot deadlock.
+    ///
+    /// [`CensusService::serve_rec`]: crate::CensusService::serve_rec
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event stream empties the overlay.
+    pub fn serve_rec<Rec, F, O>(
+        &mut self,
+        events: &[MembershipDelta],
+        recorder: &Rec,
+        f: F,
+    ) -> (O, Vec<QueryOutcome>)
+    where
+        Rec: Recorder + Sync + ?Sized,
+        F: FnOnce(&ShardedServiceHandle<'_, Rec>) -> O,
+    {
+        let config = self.config;
+        let shards = config.shards();
+        let net = &mut self.net;
+        let chain = &self.chain;
+        let engine = Engine::new(shards, config.queue_capacity(), config.handoff_capacity());
+        let outcomes: Mutex<Vec<QueryOutcome>> = Mutex::new(Vec::new());
+        let stop = AtomicBool::new(false);
+
+        let output = thread::scope(|scope| {
+            for shard in 0..shards {
+                for _ in 0..config.workers() {
+                    let ctx = ShardCtx {
+                        engine: &engine,
+                        chain,
+                        recorder,
+                        outcomes: &outcomes,
+                        config: &config,
+                    };
+                    scope.spawn(move || shard_worker(shard, ctx));
+                }
+            }
+            if !events.is_empty() {
+                let stop = &stop;
+                let config = &config;
+                scope.spawn(move || {
+                    churn_loop(net, events, config, stop, |net| {
+                        let view = net.freeze();
+                        recorder.incr(Metric::Refreezes, 1);
+                        recorder.set_gauge(GaugeMetric::SnapshotEpoch, view.epoch());
+                        chain.publish(ShardedFrozenView::partition(&view, shards));
+                    });
+                });
+            }
+            let guard = EngineShutdown {
+                engine: &engine,
+                stop: &stop,
+            };
+            let handle = ShardedServiceHandle {
+                engine: &engine,
+                chain,
+                recorder,
+            };
+            let output = f(&handle);
+            drop(guard);
+            output
+        });
+
+        let mut results = outcomes.into_inner().expect("outcomes poisoned");
+        results.sort_unstable_by_key(|o| o.id);
+        (output, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Counter;
+    use crate::CensusService;
+    use census_core::RandomTour;
+    use census_graph::{generators, Graph};
+    use census_metrics::Registry;
+    use census_sim::faults::FaultPlan;
+    use census_sim::{JoinRule, Scenario};
+
+    fn network(n: usize, seed: u64) -> DynamicNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        DynamicNetwork::new(
+            generators::balanced(n, 8, &mut rng),
+            JoinRule::Balanced { max_degree: 8 },
+        )
+    }
+
+    fn mixed_queries() -> Vec<Query> {
+        vec![
+            Query::Count(Counter::RandomTour(RandomTour::new())),
+            Query::Sample(CtrwSampler::new(6.0)),
+            Query::Aggregate(|_| 1.0),
+            Query::Sample(CtrwSampler::new(9.0)),
+        ]
+    }
+
+    #[test]
+    fn outcomes_match_the_unsharded_service_for_every_shard_count() {
+        let config = ServiceConfig::new(11).with_workers(2);
+        let mut baseline = CensusService::new(network(300, 5), config);
+        let ((), expected) = baseline.serve(&[], |census| {
+            for q in mixed_queries().into_iter().cycle().take(12) {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        for shards in [1usize, 2, 8] {
+            let mut svc = ShardedCensusService::new(network(300, 5), config.with_shards(shards));
+            let ((), outcomes) = svc.serve(&[], |census| {
+                for q in mixed_queries().into_iter().cycle().take(12) {
+                    census.submit(q).expect("queue has room");
+                }
+            });
+            assert_eq!(outcomes, expected, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn cross_shard_walks_park_and_resume() {
+        let config = ServiceConfig::new(3).with_workers(1).with_shards(8);
+        let mut svc = ShardedCensusService::new(network(400, 9), config);
+        let reg = Registry::new();
+        let (ids, outcomes) = svc.serve_rec(&[], &reg, |census| {
+            (0..16)
+                .map(|_| census.submit(Query::Sample(CtrwSampler::new(10.0))))
+                .collect::<Result<Vec<_>, _>>()
+                .expect("queue has room")
+        });
+        assert_eq!(ids.len(), 16);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        // A balanced graph partitioned eight ways is almost all cut
+        // edges, so walks of virtual time 10 must cross shards.
+        assert!(reg.counter(Metric::CutCrossings) > 0);
+        assert!(reg.counter(Metric::ShardHandoffs) > 0);
+        // Each crossing parked a flight or continued a segment: the
+        // segment count reconciles with the crossing count.
+        assert_eq!(
+            reg.histogram_count(HistogramMetric::SegmentLength),
+            reg.counter(Metric::CutCrossings) + reg.counter(Metric::SamplesDrawn)
+        );
+    }
+
+    #[test]
+    fn ledger_reconciles_under_faults_and_churn() {
+        let events = Scenario::new().remove_gradually(0, 4, 60).events(4);
+        let config = ServiceConfig::new(23)
+            .with_workers(2)
+            .with_shards(4)
+            .with_retries(1)
+            .with_faults(
+                FaultPlan::new()
+                    .with_message_loss(0.2, 77)
+                    .with_retransmits(1),
+            );
+        let mut svc = ShardedCensusService::new(network(300, 8), config);
+        let reg = Registry::new();
+        let (submitted, outcomes) = svc.serve_rec(&events, &reg, |census| {
+            let mut submitted = 0u64;
+            for q in mixed_queries().into_iter().cycle().take(20) {
+                if census.submit(q).is_ok() {
+                    submitted += 1;
+                }
+            }
+            submitted
+        });
+        assert_eq!(outcomes.len() as u64, submitted);
+        assert_eq!(reg.counter(Metric::QueriesSubmitted), 20);
+        assert_eq!(
+            reg.counter(Metric::QueriesCompleted) + reg.counter(Metric::QueriesExpired),
+            submitted
+        );
+        // Outcomes are keyed by contiguous admission-ordered ids.
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn overload_refuses_without_burning_ids() {
+        let config = ServiceConfig::new(1).with_workers(1).with_queue_capacity(1);
+        let mut svc = ShardedCensusService::new(network(60, 2), config);
+        let reg = Registry::new();
+        let (rejected, outcomes) = svc.serve_rec(&[], &reg, |census| {
+            // Saturate the queue faster than one worker drains it; at
+            // least one of a tight burst must bounce.
+            let mut rejected = 0u32;
+            while rejected == 0 {
+                if census
+                    .submit(Query::Count(Counter::RandomTour(RandomTour::new())))
+                    .is_err()
+                {
+                    rejected += 1;
+                }
+            }
+            rejected
+        });
+        assert!(rejected > 0);
+        assert_eq!(
+            reg.counter(Metric::QueriesSubmitted),
+            outcomes.len() as u64 + u64::from(rejected)
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.id, i as u64, "rejections must not burn ids");
+        }
+    }
+
+    #[test]
+    fn epoch_vector_advances_only_for_changed_slabs() {
+        // Two 4-cliques on slots 0..4 and 4..8: with stride 4 every edge
+        // is shard-local, so churning one clique leaves the other slab
+        // (and its epoch stamp) untouched.
+        let mut g = Graph::new();
+        let nodes = g.add_nodes(8);
+        for clique in [&nodes[..4], &nodes[4..]] {
+            for (i, &a) in clique.iter().enumerate() {
+                for &b in &clique[i + 1..] {
+                    g.add_edge(a, b).expect("fresh edge");
+                }
+            }
+        }
+        let chain = ShardedEpochChain::new(ShardedFrozenView::partition(&g.freeze(), 2));
+        assert_eq!(chain.latest_epochs(), vec![0, 0]);
+
+        g.remove_node(nodes[6]).expect("live node");
+        let second = g.freeze();
+        let epoch = second.epoch();
+        chain.publish(ShardedFrozenView::partition(&second, 2));
+        assert_eq!(chain.latest_epochs(), vec![0, epoch]);
+
+        // A pin taken now lags a later publish only by its changed shards.
+        let pinned = chain.pin();
+        assert_eq!(chain.lag_of(&pinned), 0);
+        g.remove_node(nodes[1]).expect("live node");
+        let third = g.freeze();
+        chain.publish(ShardedFrozenView::partition(&third, 2));
+        assert_eq!(chain.latest_epochs(), vec![third.epoch(), epoch]);
+        assert_eq!(chain.lag_of(&pinned), third.epoch());
+    }
+
+    #[test]
+    fn churn_publishes_into_the_epoch_vector() {
+        let events = Scenario::new().remove_gradually(0, 5, 80).events(5);
+        let config = ServiceConfig::new(31).with_workers(1).with_shards(4);
+        let mut svc = ShardedCensusService::new(network(400, 3), config);
+        let ((), outcomes) = svc.serve(&events, |census| {
+            census
+                .submit(Query::Count(Counter::RandomTour(RandomTour::new())))
+                .expect("queue has room");
+        });
+        assert_eq!(outcomes.len(), 1);
+        // The unpaced stream is fully applied: some shard republished.
+        assert!(svc.latest_epochs().iter().any(|&e| e > 0));
+        assert_eq!(svc.network().size(), 400 - 80);
+    }
+}

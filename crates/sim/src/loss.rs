@@ -113,12 +113,8 @@ impl<T: Topology> Topology for LossyTopology<T> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated context-free shims are exercised deliberately: these
-    // tests pin that they keep producing the historical walks.
-    #![allow(deprecated)]
-
     use super::*;
-    use census_core::{RandomTour, SizeEstimator};
+    use census_core::{RandomTour, RunCtx, SizeEstimator};
     use census_graph::generators;
     use census_stats::OnlineMoments;
     use census_walk::WalkError;
@@ -132,7 +128,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         for _ in 0..50 {
             let est = RandomTour::new()
-                .estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng)
+                .estimate_with(
+                    &mut RunCtx::new(&lossy, &mut rng),
+                    g.nodes().next().expect("non-empty"),
+                )
                 .expect("no loss, no failure");
             assert!(est.value > 0.0);
         }
@@ -149,10 +148,9 @@ mod tests {
         let failures = (0..200)
             .filter(|_| {
                 matches!(
-                    RandomTour::new().estimate(
-                        &lossy,
+                    RandomTour::new().estimate_with(
+                        &mut RunCtx::new(&lossy, &mut rng),
                         g.nodes().next().expect("non-empty"),
-                        &mut rng
                     ),
                     Err(census_core::EstimateError::Walk(WalkError::Stuck(_)))
                 )
@@ -187,7 +185,10 @@ mod tests {
         let rt = RandomTour::new();
         let mut values = Vec::new();
         while values.len() < 4_000 {
-            if let Ok(est) = rt.estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng) {
+            if let Ok(est) = rt.estimate_with(
+                &mut RunCtx::new(&lossy, &mut rng),
+                g.nodes().next().expect("non-empty"),
+            ) {
                 values.push(est.value);
             }
         }
@@ -212,7 +213,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         for _ in 0..5 {
             assert!(RandomTour::new()
-                .estimate(&lossy, g.nodes().next().expect("non-empty"), &mut rng)
+                .estimate_with(
+                    &mut RunCtx::new(&lossy, &mut rng),
+                    g.nodes().next().expect("non-empty"),
+                )
                 .is_err());
         }
         assert_eq!(lossy.fault_snapshot().walks_killed, 5);

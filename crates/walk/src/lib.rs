@@ -30,6 +30,12 @@
 //! - [`frontier`] batches W independent walks into one lock-step
 //!   *frontier* over a shared topology — same per-walk results, bit for
 //!   bit, but with W memory accesses in flight instead of one.
+//! - [`segment`] decomposes one walk into shard-local *segments* over a
+//!   [`census_graph::ShardedFrozenView`], each run entirely inside one
+//!   shard and stitched back together at cut-edge crossings — again
+//!   bit-identical to the serial walk, which is what lets the sharded
+//!   census service spread a single query's walk across per-shard
+//!   worker pools.
 //! - [`stream`] is the canonical home of the SplitMix64 seed-stream
 //!   derivations (domain-tagged so replicas, service queries, and
 //!   frontier walks can never collide) and a two-word SplitMix64
@@ -43,6 +49,7 @@
 pub mod continuous;
 pub mod discrete;
 pub mod frontier;
+pub mod segment;
 pub mod stream;
 
 mod error;

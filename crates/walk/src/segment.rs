@@ -1,0 +1,833 @@
+//! Shard-local walk segments and the stitcher that joins them.
+//!
+//! Das Sarma et al.'s distributed walk decomposition (PAPERS.md) runs a
+//! long random walk as a chain of short *segments*, each executed
+//! entirely inside one shard of the partitioned topology, joined at the
+//! cut edges where the walk crosses a shard boundary. This module is the
+//! walk-engine half of that decomposition over
+//! [`census_graph::ShardedFrozenView`]:
+//!
+//! - the **segment kernels** ([`ctrw_segment`], [`tour_segment`]) advance
+//!   one walk shard-locally until it terminates or hits a cut edge,
+//!   returning a typed exit record ([`CtrwSegmentExit`],
+//!   [`TourSegmentExit`]) that says *why* the segment ended and — for a
+//!   boundary hop — the [`Connector`] naming the destination shard;
+//! - the **stitchers** ([`ctrw_walk_stitched`], [`tour_stitched`])
+//!   resume each walk on the destination shard with the *same per-walk
+//!   RNG stream*, so the stitched trajectory is bit-identical to the
+//!   unsharded serial walk by construction (the acceptance property of
+//!   `tests/sharded_equivalence.rs`).
+//!
+//! # Determinism contract
+//!
+//! A segment consumes the walk RNG exactly as the serial engines do: one
+//! exponential variate per CTRW visit, one uniform index per hop, drawn
+//! through calls identical to [`Topology::neighbor_of`]'s default
+//! implementation. Crossing a shard boundary consumes *nothing extra* —
+//! the connector lookup is pure table indexing — so where the walk ends,
+//! how many hops it takes, and where the RNG lands are all independent
+//! of the shard count. `shards = 1` degenerates to a single segment and
+//! zero crossings.
+//!
+//! # Cost accounting
+//!
+//! Like the [`frontier`](crate::frontier) kernel, the stitchers record
+//! only *execution-shape* metrics — one
+//! [`HistogramMetric::SegmentLength`] observation per segment and one
+//! [`Metric::CutCrossings`] increment per boundary hop; the unsharded
+//! path records zero of both. Walk costs (`CtrwHops`, `SojournDraws`,
+//! `TourHops`, tour completion events) are *not* charged here: the
+//! returned fate carries the totals and the caller charges them exactly
+//! as it would for a serial walk, so sharded and unsharded runs produce
+//! identical cost ledgers. (`Metric::ShardHandoffs` is likewise left to
+//! the service layer, which counts cross-shard *flights* between worker
+//! pools; an in-process stitcher resumes every crossing inline.)
+
+use census_graph::{Connector, NodeId, Route, ShardedFrozenView, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder};
+use rand::Rng;
+
+use crate::continuous::{standard_exponential, CtrwOutcome, Sojourn};
+use crate::discrete::Tour;
+use crate::WalkError;
+
+/// Resumable position of a continuous-time walk between segments.
+///
+/// The stitcher threads one value of this through successive
+/// [`ctrw_segment`] calls; `hops` and `draws` accumulate across segments
+/// so the final totals equal the serial walk's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtrwSegmentState {
+    /// Node the walk currently occupies.
+    pub node: NodeId,
+    /// Virtual time left on the probe's timer.
+    pub remaining: f64,
+    /// Forwarding hops taken so far, across all segments.
+    pub hops: u64,
+    /// Exponential variates drawn so far, across all segments.
+    pub draws: u64,
+}
+
+impl CtrwSegmentState {
+    /// Starts a walk of duration `timer` at `start` (no validation here;
+    /// the stitchers assert liveness and timer sanity like the serial
+    /// engine does).
+    #[must_use]
+    pub fn launch(start: NodeId, timer: f64) -> Self {
+        Self {
+            node: start,
+            remaining: timer,
+            hops: 0,
+            draws: 0,
+        }
+    }
+}
+
+/// Why a continuous-time segment ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CtrwSegmentExit {
+    /// The timer expired (or the walk is trapped on an isolated node):
+    /// the walk is finished and the outcome is final.
+    Done(CtrwOutcome),
+    /// A fault wrapper denied the neighbour probe at this node. Never
+    /// returned by the honest fast path ([`ctrw_segment`]); only the
+    /// fault-capable [`ctrw_segment_on`] can observe it.
+    Lost(NodeId),
+    /// The walk hopped across a cut edge; resume it on the shard the
+    /// [`Connector`] names. The crossing hop is already counted and the
+    /// state's `node` already sits on the far side.
+    Handoff(Connector),
+}
+
+/// Advances one continuous-time walk shard-locally over the honest
+/// sharded view until it terminates or crosses a cut edge.
+///
+/// Consumes the RNG exactly as [`ctrw_walk`](crate::continuous::ctrw_walk)
+/// does — one exponential per visit, one uniform index per hop — so a
+/// chain of segments replays the serial walk bit for bit.
+///
+/// # Panics
+///
+/// Panics if the state's node is not alive in the view.
+pub fn ctrw_segment<R: Rng>(
+    view: &ShardedFrozenView,
+    state: &mut CtrwSegmentState,
+    sojourn: Sojourn,
+    rng: &mut R,
+) -> CtrwSegmentExit {
+    let (shard, mut local) = view.locate(state.node);
+    let slab = view.slab(shard);
+    assert!(slab.is_alive(local), "segment resumed on dead node");
+    loop {
+        let degree = slab.degree(local);
+        if degree == 0 {
+            // Zero jump rate: the walk stays here forever.
+            return CtrwSegmentExit::Done(CtrwOutcome {
+                node: state.node,
+                hops: state.hops,
+            });
+        }
+        let drain = match sojourn {
+            Sojourn::Exponential => {
+                state.draws += 1;
+                standard_exponential(rng) / degree as f64
+            }
+            Sojourn::Deterministic => 1.0 / degree as f64,
+        };
+        state.remaining -= drain;
+        if state.remaining <= 0.0 {
+            return CtrwSegmentExit::Done(CtrwOutcome {
+                node: state.node,
+                hops: state.hops,
+            });
+        }
+        // Identical draw to `Topology::neighbor_of`'s default body: the
+        // routes row is parallel to the neighbour row, so indexing it
+        // picks the same neighbour the serial engine would.
+        let idx = rng.random_range(0..degree);
+        state.hops += 1;
+        match slab.decode(slab.routes(local)[idx]) {
+            Route::Local(l) => {
+                local = l;
+                state.node = slab.global(l);
+            }
+            Route::Cut(c) => {
+                state.node = view.global(c.shard, c.local);
+                return CtrwSegmentExit::Handoff(c);
+            }
+        }
+    }
+}
+
+/// [`ctrw_segment`] through an arbitrary [`Topology`] — the fault-capable
+/// path. `topology` performs the walk steps (and may deny probes, like
+/// `census-sim`'s `FaultyTopology`); `view` only classifies each hop as
+/// local or cut. The step sequence — `degree_of`, sojourn draw,
+/// `neighbor_of` — is the serial engine's exactly, so per-walk fault
+/// wrappers stay on the same fault stream as the unsharded walk.
+///
+/// # Panics
+///
+/// Panics if the state's node is not alive in the topology.
+pub fn ctrw_segment_on<T, R>(
+    view: &ShardedFrozenView,
+    topology: &T,
+    state: &mut CtrwSegmentState,
+    sojourn: Sojourn,
+    rng: &mut R,
+) -> CtrwSegmentExit
+where
+    T: Topology + ?Sized,
+    R: Rng,
+{
+    let shard = view.shard_of(state.node);
+    assert!(
+        topology.contains(state.node),
+        "segment resumed on dead node"
+    );
+    loop {
+        let degree = topology.degree_of(state.node);
+        if degree == 0 {
+            return CtrwSegmentExit::Done(CtrwOutcome {
+                node: state.node,
+                hops: state.hops,
+            });
+        }
+        let drain = match sojourn {
+            Sojourn::Exponential => {
+                state.draws += 1;
+                standard_exponential(rng) / degree as f64
+            }
+            Sojourn::Deterministic => 1.0 / degree as f64,
+        };
+        state.remaining -= drain;
+        if state.remaining <= 0.0 {
+            return CtrwSegmentExit::Done(CtrwOutcome {
+                node: state.node,
+                hops: state.hops,
+            });
+        }
+        let Some(next) = topology.neighbor_of(state.node, rng) else {
+            return CtrwSegmentExit::Lost(state.node);
+        };
+        state.node = next;
+        state.hops += 1;
+        let (next_shard, next_local) = view.locate(next);
+        if next_shard != shard {
+            return CtrwSegmentExit::Handoff(Connector {
+                shard: next_shard,
+                local: next_local,
+            });
+        }
+    }
+}
+
+/// What a stitched continuous-time walk produced and what it consumed —
+/// the segment analogue of [`frontier::CtrwFate`](crate::frontier::CtrwFate).
+/// The caller charges `hops` to [`Metric::CtrwHops`] and `draws` to
+/// [`Metric::SojournDraws`] whether the walk completed or was lost,
+/// exactly as for the serial engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrwStitchFate {
+    /// The walk's outcome, identical to the serial engine's.
+    pub result: Result<CtrwOutcome, WalkError>,
+    /// Forwarding hops taken (also charged on a lost walk).
+    pub hops: u64,
+    /// Exponential variates drawn (also charged on a lost walk).
+    pub draws: u64,
+    /// Segments executed: cut crossings + 1.
+    pub segments: u64,
+}
+
+/// Runs a complete continuous-time walk over the sharded view as a chain
+/// of shard-local segments, bit-identical to
+/// [`ctrw_walk`](crate::continuous::ctrw_walk) on the source snapshot.
+///
+/// Records one [`HistogramMetric::SegmentLength`] observation per
+/// segment (its hop count, the crossing hop included) and one
+/// [`Metric::CutCrossings`] per boundary hop; walk costs are returned in
+/// the fate for the caller to charge (see the module docs).
+///
+/// # Panics
+///
+/// Panics if `start` is not alive or `timer` is not positive and finite.
+pub fn ctrw_walk_stitched<R, Rec>(
+    view: &ShardedFrozenView,
+    start: NodeId,
+    timer: f64,
+    sojourn: Sojourn,
+    rng: &mut R,
+    recorder: &Rec,
+) -> CtrwStitchFate
+where
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    assert!(view.is_alive(start), "CTRW start must be alive");
+    assert!(
+        timer.is_finite() && timer > 0.0,
+        "CTRW timer must be positive and finite"
+    );
+    let mut state = CtrwSegmentState::launch(start, timer);
+    stitch_ctrw(&mut state, recorder, |state| {
+        ctrw_segment(view, state, sojourn, rng)
+    })
+}
+
+/// [`ctrw_walk_stitched`] through an arbitrary [`Topology`] (fault
+/// wrappers), stepping via [`ctrw_segment_on`].
+///
+/// # Panics
+///
+/// Panics if `start` is not alive or `timer` is not positive and finite.
+pub fn ctrw_walk_stitched_on<T, R, Rec>(
+    view: &ShardedFrozenView,
+    topology: &T,
+    start: NodeId,
+    timer: f64,
+    sojourn: Sojourn,
+    rng: &mut R,
+    recorder: &Rec,
+) -> CtrwStitchFate
+where
+    T: Topology + ?Sized,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    assert!(topology.contains(start), "CTRW start must be alive");
+    assert!(
+        timer.is_finite() && timer > 0.0,
+        "CTRW timer must be positive and finite"
+    );
+    let mut state = CtrwSegmentState::launch(start, timer);
+    stitch_ctrw(&mut state, recorder, |state| {
+        ctrw_segment_on(view, topology, state, sojourn, rng)
+    })
+}
+
+/// The stitching loop shared by both CTRW drivers: run segments until a
+/// terminal exit, observing segment lengths and cut crossings.
+fn stitch_ctrw<Rec, Step>(
+    state: &mut CtrwSegmentState,
+    recorder: &Rec,
+    mut step: Step,
+) -> CtrwStitchFate
+where
+    Rec: Recorder + ?Sized,
+    Step: FnMut(&mut CtrwSegmentState) -> CtrwSegmentExit,
+{
+    let mut segments = 0u64;
+    loop {
+        let before = state.hops;
+        let exit = step(state);
+        segments += 1;
+        recorder.observe(HistogramMetric::SegmentLength, (state.hops - before) as f64);
+        match exit {
+            CtrwSegmentExit::Handoff(_) => recorder.incr(Metric::CutCrossings, 1),
+            CtrwSegmentExit::Done(out) => {
+                return CtrwStitchFate {
+                    result: Ok(out),
+                    hops: state.hops,
+                    draws: state.draws,
+                    segments,
+                }
+            }
+            CtrwSegmentExit::Lost(node) => {
+                return CtrwStitchFate {
+                    result: Err(WalkError::Lost(node)),
+                    hops: state.hops,
+                    draws: state.draws,
+                    segments,
+                }
+            }
+        }
+    }
+}
+
+/// Resumable position of a random tour between segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TourSegmentState {
+    /// The initiator the tour must return to.
+    pub start: NodeId,
+    /// Node the walk currently occupies.
+    pub node: NodeId,
+    /// Steps taken so far, across all segments.
+    pub steps: u64,
+    /// Accumulated visit weight `Σ f(v)/d_v`, across all segments.
+    pub weight: f64,
+    /// Whether the launch visit (the initiator's own contribution) has
+    /// happened yet.
+    pub launched: bool,
+}
+
+impl TourSegmentState {
+    /// Starts a tour at `start`.
+    #[must_use]
+    pub fn launch(start: NodeId) -> Self {
+        Self {
+            start,
+            node: start,
+            steps: 0,
+            weight: 0.0,
+            launched: false,
+        }
+    }
+}
+
+/// Why a tour segment ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TourSegmentExit {
+    /// The walk returned to its initiator: the tour is complete.
+    Done(Tour),
+    /// The step budget ran out mid-tour.
+    Timeout(u64),
+    /// The walk was stranded: an isolated node, or a denied probe under
+    /// a fault wrapper.
+    Stuck(NodeId),
+    /// The walk hopped across a cut edge; resume on the named shard.
+    Handoff(Connector),
+}
+
+/// Advances one random tour shard-locally over the honest sharded view
+/// until it completes, times out, strands, or crosses a cut edge.
+///
+/// Visit weights accumulate as `f(v) / d_v` in serial visit order —
+/// including the initiator once at launch and *not* on the final return —
+/// exactly like [`random_tour`](crate::discrete::random_tour) driven by
+/// the estimators' visit closure (an isolated node contributes an
+/// infinite weight there too; the walk then strands).
+///
+/// # Panics
+///
+/// Panics if the state's node is not alive in the view.
+pub fn tour_segment<F, R>(
+    view: &ShardedFrozenView,
+    state: &mut TourSegmentState,
+    max_steps: Option<u64>,
+    f: &F,
+    rng: &mut R,
+) -> TourSegmentExit
+where
+    F: Fn(NodeId) -> f64,
+    R: Rng,
+{
+    let (shard, mut local) = view.locate(state.node);
+    let slab = view.slab(shard);
+    assert!(slab.is_alive(local), "segment resumed on dead node");
+    let cap = max_steps.unwrap_or(u64::MAX);
+    if !state.launched {
+        let degree = slab.degree(local);
+        state.weight += f(state.node) / degree as f64;
+        if degree == 0 {
+            return TourSegmentExit::Stuck(state.node);
+        }
+        let idx = rng.random_range(0..degree);
+        state.steps = 1;
+        state.launched = true;
+        match slab.decode(slab.routes(local)[idx]) {
+            Route::Local(l) => {
+                local = l;
+                state.node = slab.global(l);
+            }
+            Route::Cut(c) => {
+                state.node = view.global(c.shard, c.local);
+                return TourSegmentExit::Handoff(c);
+            }
+        }
+    }
+    loop {
+        if state.node == state.start {
+            return TourSegmentExit::Done(Tour { steps: state.steps });
+        }
+        if state.steps >= cap {
+            return TourSegmentExit::Timeout(state.steps);
+        }
+        let degree = slab.degree(local);
+        state.weight += f(state.node) / degree as f64;
+        if degree == 0 {
+            return TourSegmentExit::Stuck(state.node);
+        }
+        let idx = rng.random_range(0..degree);
+        state.steps += 1;
+        match slab.decode(slab.routes(local)[idx]) {
+            Route::Local(l) => {
+                local = l;
+                state.node = slab.global(l);
+            }
+            Route::Cut(c) => {
+                state.node = view.global(c.shard, c.local);
+                return TourSegmentExit::Handoff(c);
+            }
+        }
+    }
+}
+
+/// [`tour_segment`] through an arbitrary [`Topology`] — the fault-capable
+/// path; see [`ctrw_segment_on`] for the division of labour between
+/// `topology` and `view`.
+///
+/// # Panics
+///
+/// Panics if the state's node is not alive in the topology.
+pub fn tour_segment_on<T, F, R>(
+    view: &ShardedFrozenView,
+    topology: &T,
+    state: &mut TourSegmentState,
+    max_steps: Option<u64>,
+    f: &F,
+    rng: &mut R,
+) -> TourSegmentExit
+where
+    T: Topology + ?Sized,
+    F: Fn(NodeId) -> f64,
+    R: Rng,
+{
+    let shard = view.shard_of(state.node);
+    assert!(
+        topology.contains(state.node),
+        "segment resumed on dead node"
+    );
+    let cap = max_steps.unwrap_or(u64::MAX);
+    if !state.launched {
+        let degree = topology.degree_of(state.node);
+        state.weight += f(state.node) / degree as f64;
+        let Some(next) = topology.neighbor_of(state.node, rng) else {
+            return TourSegmentExit::Stuck(state.node);
+        };
+        state.steps = 1;
+        state.launched = true;
+        state.node = next;
+        let (next_shard, next_local) = view.locate(next);
+        if next_shard != shard {
+            return TourSegmentExit::Handoff(Connector {
+                shard: next_shard,
+                local: next_local,
+            });
+        }
+    }
+    loop {
+        if state.node == state.start {
+            return TourSegmentExit::Done(Tour { steps: state.steps });
+        }
+        if state.steps >= cap {
+            return TourSegmentExit::Timeout(state.steps);
+        }
+        let degree = topology.degree_of(state.node);
+        state.weight += f(state.node) / degree as f64;
+        let Some(next) = topology.neighbor_of(state.node, rng) else {
+            return TourSegmentExit::Stuck(state.node);
+        };
+        state.steps += 1;
+        state.node = next;
+        let (next_shard, next_local) = view.locate(next);
+        if next_shard != shard {
+            return TourSegmentExit::Handoff(Connector {
+                shard: next_shard,
+                local: next_local,
+            });
+        }
+    }
+}
+
+/// What a stitched tour produced — the segment analogue of
+/// [`frontier::TourFate`](crate::frontier::TourFate). The caller charges
+/// `hops` to [`Metric::TourHops`] and records the terminal event
+/// (completed / lost / timeout) exactly as for the serial engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TourStitchFate {
+    /// The tour's outcome, identical to the serial engine's.
+    pub result: Result<Tour, WalkError>,
+    /// Steps actually taken (also charged on a failed tour).
+    pub hops: u64,
+    /// Accumulated visit weight `Σ f(v)/d_v`, bit-identical to the
+    /// serial visit closure's sum.
+    pub weight: f64,
+    /// Segments executed: cut crossings + 1.
+    pub segments: u64,
+}
+
+/// Runs a complete random tour over the sharded view as a chain of
+/// shard-local segments, bit-identical to
+/// [`random_tour`](crate::discrete::random_tour) on the source snapshot
+/// (trajectory, step count, weight bits, and final RNG position).
+///
+/// Records segment metrics as [`ctrw_walk_stitched`] does; tour costs
+/// ride in the fate.
+///
+/// # Panics
+///
+/// Panics if `start` is not alive.
+pub fn tour_stitched<F, R, Rec>(
+    view: &ShardedFrozenView,
+    start: NodeId,
+    max_steps: Option<u64>,
+    f: F,
+    rng: &mut R,
+    recorder: &Rec,
+) -> TourStitchFate
+where
+    F: Fn(NodeId) -> f64,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    assert!(view.is_alive(start), "tour initiator must be alive");
+    let mut state = TourSegmentState::launch(start);
+    stitch_tour(&mut state, recorder, |state| {
+        tour_segment(view, state, max_steps, &f, rng)
+    })
+}
+
+/// [`tour_stitched`] through an arbitrary [`Topology`] (fault wrappers),
+/// stepping via [`tour_segment_on`].
+///
+/// # Panics
+///
+/// Panics if `start` is not alive.
+pub fn tour_stitched_on<T, F, R, Rec>(
+    view: &ShardedFrozenView,
+    topology: &T,
+    start: NodeId,
+    max_steps: Option<u64>,
+    f: F,
+    rng: &mut R,
+    recorder: &Rec,
+) -> TourStitchFate
+where
+    T: Topology + ?Sized,
+    F: Fn(NodeId) -> f64,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    assert!(topology.contains(start), "tour initiator must be alive");
+    let mut state = TourSegmentState::launch(start);
+    stitch_tour(&mut state, recorder, |state| {
+        tour_segment_on(view, topology, state, max_steps, &f, rng)
+    })
+}
+
+/// The stitching loop shared by both tour drivers.
+fn stitch_tour<Rec, Step>(
+    state: &mut TourSegmentState,
+    recorder: &Rec,
+    mut step: Step,
+) -> TourStitchFate
+where
+    Rec: Recorder + ?Sized,
+    Step: FnMut(&mut TourSegmentState) -> TourSegmentExit,
+{
+    let mut segments = 0u64;
+    loop {
+        let before = state.steps;
+        let exit = step(state);
+        segments += 1;
+        recorder.observe(
+            HistogramMetric::SegmentLength,
+            (state.steps - before) as f64,
+        );
+        let result = match exit {
+            TourSegmentExit::Handoff(_) => {
+                recorder.incr(Metric::CutCrossings, 1);
+                continue;
+            }
+            TourSegmentExit::Done(tour) => Ok(tour),
+            TourSegmentExit::Timeout(steps) => Err(WalkError::Timeout(steps)),
+            TourSegmentExit::Stuck(node) => Err(WalkError::Stuck(node)),
+        };
+        return TourStitchFate {
+            result,
+            hops: state.steps,
+            weight: state.weight,
+            segments,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::ctrw_walk;
+    use crate::discrete::random_tour;
+    use crate::stream::{stream_seed, SplitMix64, StreamDomain};
+    use census_graph::{generators, FrozenView};
+    use census_metrics::{NoopRecorder, Registry};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture(n: usize, seed: u64) -> FrozenView {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        generators::balanced(n, 6, &mut rng).freeze()
+    }
+
+    fn walk_rng(base: u64, i: u64) -> SplitMix64 {
+        SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, base, i))
+    }
+
+    fn visit_weight(n: NodeId) -> f64 {
+        ((n.index() % 13) as f64).mul_add(0.25, 1.0)
+    }
+
+    #[test]
+    fn stitched_ctrw_matches_serial_across_shard_counts() {
+        let frozen = fixture(200, 11);
+        let start = frozen.nodes().next().expect("non-empty");
+        for shards in [1usize, 2, 8] {
+            let view = ShardedFrozenView::partition(&frozen, shards);
+            for i in 0..20u64 {
+                let mut serial_rng = walk_rng(7, i);
+                let serial = ctrw_walk(&frozen, start, 3.0, Sojourn::Exponential, &mut serial_rng);
+                let mut rng = walk_rng(7, i);
+                let fate = ctrw_walk_stitched(
+                    &view,
+                    start,
+                    3.0,
+                    Sojourn::Exponential,
+                    &mut rng,
+                    &NoopRecorder,
+                );
+                assert_eq!(fate.result, serial, "walk {i} diverged at S={shards}");
+                assert_eq!(&rng, &serial_rng, "walk {i} RNG diverged at S={shards}");
+                let out = serial.expect("fault-free CTRW completes");
+                assert_eq!(fate.hops, out.hops);
+                assert_eq!(fate.draws, out.hops + 1, "one draw per visit");
+                if shards == 1 {
+                    assert_eq!(fate.segments, 1, "one shard means one segment");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stitched_tour_matches_serial_across_shard_counts() {
+        let frozen = fixture(150, 12);
+        let start = frozen.nodes().next().expect("non-empty");
+        for shards in [1usize, 2, 8] {
+            let view = ShardedFrozenView::partition(&frozen, shards);
+            for i in 0..10u64 {
+                let mut serial_rng = walk_rng(13, i);
+                let mut weight = 0.0f64;
+                let serial = random_tour(&frozen, start, Some(50_000), &mut serial_rng, |v| {
+                    weight += visit_weight(v) / frozen.degree_of(v) as f64;
+                });
+                let mut rng = walk_rng(13, i);
+                let fate = tour_stitched(
+                    &view,
+                    start,
+                    Some(50_000),
+                    visit_weight,
+                    &mut rng,
+                    &NoopRecorder,
+                );
+                assert_eq!(fate.result, serial, "tour {i} diverged at S={shards}");
+                assert_eq!(
+                    fate.weight.to_bits(),
+                    weight.to_bits(),
+                    "tour {i} weight not bit-identical at S={shards}"
+                );
+                assert_eq!(&rng, &serial_rng, "tour {i} RNG diverged at S={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_metrics_reconcile_with_the_fate() {
+        let frozen = fixture(200, 14);
+        let start = frozen.nodes().next().expect("non-empty");
+        let view = ShardedFrozenView::partition(&frozen, 8);
+        let reg = Registry::new();
+        let mut rng = walk_rng(15, 0);
+        let fate = ctrw_walk_stitched(&view, start, 5.0, Sojourn::Exponential, &mut rng, &reg);
+        let out = fate.result.expect("fault-free CTRW completes");
+        assert_eq!(
+            reg.counter(Metric::CutCrossings),
+            fate.segments - 1,
+            "every non-final segment ends at a cut"
+        );
+        assert_eq!(
+            reg.histogram_count(HistogramMetric::SegmentLength),
+            fate.segments
+        );
+        let sum = reg.histogram_sum(HistogramMetric::SegmentLength);
+        assert!(
+            (sum - out.hops as f64).abs() < 1e-9,
+            "segment lengths must sum to total hops: {sum} vs {}",
+            out.hops
+        );
+        assert_eq!(reg.counter(Metric::ShardHandoffs), 0, "service-level only");
+    }
+
+    #[test]
+    fn single_shard_stitching_records_no_crossings() {
+        let frozen = fixture(100, 16);
+        let start = frozen.nodes().next().expect("non-empty");
+        let view = ShardedFrozenView::partition(&frozen, 1);
+        let reg = Registry::new();
+        let mut rng = walk_rng(17, 0);
+        let fate = tour_stitched(&view, start, None, visit_weight, &mut rng, &reg);
+        assert!(fate.result.is_ok());
+        assert_eq!(fate.segments, 1);
+        assert_eq!(reg.counter(Metric::CutCrossings), 0);
+        assert_eq!(reg.histogram_count(HistogramMetric::SegmentLength), 1);
+    }
+
+    #[test]
+    fn generic_path_matches_fast_path_on_the_honest_view() {
+        let frozen = fixture(180, 18);
+        let start = frozen.nodes().next().expect("non-empty");
+        let view = ShardedFrozenView::partition(&frozen, 4);
+        for i in 0..10u64 {
+            let mut fast_rng = walk_rng(19, i);
+            let fast = ctrw_walk_stitched(
+                &view,
+                start,
+                4.0,
+                Sojourn::Exponential,
+                &mut fast_rng,
+                &NoopRecorder,
+            );
+            let mut gen_rng = walk_rng(19, i);
+            let generic = ctrw_walk_stitched_on(
+                &view,
+                &frozen,
+                start,
+                4.0,
+                Sojourn::Exponential,
+                &mut gen_rng,
+                &NoopRecorder,
+            );
+            assert_eq!(fast, generic, "walk {i}: fast and generic paths diverged");
+            assert_eq!(&fast_rng, &gen_rng);
+        }
+    }
+
+    #[test]
+    fn tour_timeout_and_weight_survive_stitching() {
+        let frozen = fixture(150, 20);
+        let start = frozen.nodes().next().expect("non-empty");
+        let view = ShardedFrozenView::partition(&frozen, 8);
+        // A cap of 2 cannot complete a tour on a simple graph (no
+        // self-loops): both paths must time out identically.
+        let mut serial_rng = walk_rng(21, 0);
+        let mut weight = 0.0f64;
+        let serial = random_tour(&frozen, start, Some(2), &mut serial_rng, |v| {
+            weight += visit_weight(v) / frozen.degree_of(v) as f64;
+        });
+        let mut rng = walk_rng(21, 0);
+        let fate = tour_stitched(&view, start, Some(2), visit_weight, &mut rng, &NoopRecorder);
+        assert_eq!(fate.result, serial);
+        assert!(matches!(fate.result, Err(WalkError::Timeout(2))));
+        assert_eq!(fate.weight.to_bits(), weight.to_bits());
+        assert_eq!(fate.hops, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be alive")]
+    fn stitched_walk_from_dead_node_panics() {
+        let mut g = census_graph::Graph::new();
+        let a = g.add_node();
+        g.add_node();
+        g.remove_node(a).expect("alive");
+        let view = ShardedFrozenView::partition(&g.freeze(), 2);
+        let mut rng = walk_rng(22, 0);
+        let _ = ctrw_walk_stitched(&view, a, 1.0, Sojourn::Exponential, &mut rng, &NoopRecorder);
+    }
+}

@@ -18,6 +18,11 @@ echo "==> frontier equivalence (release)"
 # under the optimiser the benchmarks actually run with.
 cargo test --release --test frontier_equivalence -q
 
+echo "==> sharded equivalence (release)"
+# Same contract for the sharded machinery: stitched segments and the
+# multi-shard service must stay bit-identical to the unsharded paths.
+cargo test --release --test sharded_equivalence -q
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -1,0 +1,364 @@
+//! Acceptance for the sharded census: over random graphs, seeds, and
+//! shard counts S ∈ {1, 2, 8}, the partitioned machinery is byte-for-byte
+//! the unsharded machinery — at the walk layer (stitched segments vs the
+//! serial and frontier engines: outcome, hops, draws, accumulated weight
+//! bits, final RNG position, with and without injected message loss) and
+//! at the service layer (`ShardedCensusService` vs `CensusService`:
+//! identical outcomes and identical cost ledgers for the same seed and
+//! query list).
+//!
+//! `scripts/check.sh` runs this file again in release mode: the segment
+//! kernels are hot-path code, and optimisation must not change a single
+//! bit of any fate.
+
+use overlay_census::core::{RandomTour, SampleCollide};
+use overlay_census::graph::{generators, NodeId, ShardedFrozenView, Topology};
+use overlay_census::metrics::{HistogramMetric, Metric, NoopRecorder, Registry};
+use overlay_census::sampling::CtrwSampler;
+use overlay_census::service::{CensusService, Counter, Query, ServiceConfig, ShardedCensusService};
+use overlay_census::sim::faults::FaultPlan;
+use overlay_census::sim::{DynamicNetwork, JoinRule};
+use overlay_census::walk::continuous::{ctrw_walk, Sojourn};
+use overlay_census::walk::discrete::random_tour;
+use overlay_census::walk::frontier::{ctrw_frontier, tour_frontier, CtrwSpec, TourSpec};
+use overlay_census::walk::segment::{ctrw_walk_stitched, ctrw_walk_stitched_on, tour_stitched};
+use overlay_census::walk::stream::{stream_seed, SplitMix64, StreamDomain};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The shard counts the acceptance criterion names: degenerate, minimal,
+/// and enough to make almost every edge a cut edge.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Walks compared per case against the serial and frontier references.
+const WALKS: u64 = 8;
+
+fn walk_rng(base: u64, i: u64) -> SplitMix64 {
+    SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, base, i))
+}
+
+fn visit_weight(n: NodeId) -> f64 {
+    ((n.index() % 13) as f64).mul_add(0.25, 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stitched_ctrw_is_bit_identical_to_serial_and_frontier(
+        n in 40usize..250,
+        degree in 3usize..8,
+        graph_seed in any::<u64>(),
+        base in any::<u64>(),
+        timer in 0.5f64..6.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let g = generators::balanced(n, degree, &mut rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        // Third reference: the batched frontier kernel on the same
+        // per-walk streams.
+        let mut specs: Vec<_> = (0..WALKS)
+            .map(|i| CtrwSpec {
+                topology: &frozen,
+                rng: walk_rng(base, i),
+                start,
+                timer,
+                sojourn: Sojourn::Exponential,
+            })
+            .collect();
+        let batched = ctrw_frontier(&mut specs, &NoopRecorder);
+        for shards in SHARD_COUNTS {
+            let view = ShardedFrozenView::partition(&frozen, shards);
+            for i in 0..WALKS {
+                let mut serial_rng = walk_rng(base, i);
+                let serial =
+                    ctrw_walk(&frozen, start, timer, Sojourn::Exponential, &mut serial_rng);
+                let mut stitched_rng = walk_rng(base, i);
+                let fate = ctrw_walk_stitched(
+                    &view,
+                    start,
+                    timer,
+                    Sojourn::Exponential,
+                    &mut stitched_rng,
+                    &NoopRecorder,
+                );
+                prop_assert_eq!(&fate.result, &serial, "walk {} diverged at S={}", i, shards);
+                prop_assert_eq!(
+                    &stitched_rng, &serial_rng,
+                    "walk {} RNG position diverged at S={}", i, shards
+                );
+                let frontier = &batched[i as usize];
+                prop_assert_eq!(
+                    &fate.result, &frontier.result,
+                    "walk {} disagrees with the frontier at S={}", i, shards
+                );
+                prop_assert_eq!(fate.hops, frontier.hops);
+                prop_assert_eq!(fate.draws, frontier.draws);
+                if shards == 1 {
+                    prop_assert_eq!(fate.segments, 1, "one shard means one segment");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stitched_tour_is_bit_identical_to_serial_and_frontier(
+        n in 40usize..250,
+        degree in 3usize..8,
+        graph_seed in any::<u64>(),
+        base in any::<u64>(),
+        cap in 500u64..20_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let g = generators::balanced(n, degree, &mut rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        let mut specs: Vec<_> = (0..WALKS)
+            .map(|i| TourSpec {
+                topology: &frozen,
+                rng: walk_rng(base, i),
+                start,
+                max_steps: Some(cap),
+            })
+            .collect();
+        let batched = tour_frontier(&mut specs, visit_weight, &NoopRecorder);
+        for shards in SHARD_COUNTS {
+            let view = ShardedFrozenView::partition(&frozen, shards);
+            for i in 0..WALKS {
+                let mut serial_rng = walk_rng(base, i);
+                let mut weight = 0.0f64;
+                let serial = random_tour(&frozen, start, Some(cap), &mut serial_rng, |v| {
+                    weight += visit_weight(v) / frozen.degree_of(v) as f64;
+                });
+                let mut stitched_rng = walk_rng(base, i);
+                let fate = tour_stitched(
+                    &view,
+                    start,
+                    Some(cap),
+                    visit_weight,
+                    &mut stitched_rng,
+                    &NoopRecorder,
+                );
+                prop_assert_eq!(&fate.result, &serial, "tour {} diverged at S={}", i, shards);
+                prop_assert_eq!(
+                    fate.weight.to_bits(),
+                    weight.to_bits(),
+                    "tour {} weight not bit-identical at S={}", i, shards
+                );
+                prop_assert_eq!(
+                    &stitched_rng, &serial_rng,
+                    "tour {} RNG position diverged at S={}", i, shards
+                );
+                let frontier = &batched[i as usize];
+                prop_assert_eq!(
+                    &fate.result, &frontier.result,
+                    "tour {} disagrees with the frontier at S={}", i, shards
+                );
+                prop_assert_eq!(fate.weight.to_bits(), frontier.weight.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stitched_ctrw_matches_serial_under_message_loss(
+        n in 40usize..200,
+        graph_seed in any::<u64>(),
+        base in any::<u64>(),
+        loss in 0.05f64..0.5,
+        fault_seed in any::<u64>(),
+    ) {
+        // Bit-identity under faults needs one wrapper per walk in *both*
+        // paths: `FaultyTopology` draws faults from a counter-addressed
+        // stream private to the wrapper, so a per-walk wrapper makes the
+        // fault sequence a function of the walk alone — exactly how the
+        // sharded service scopes one wrapper to each Sample flight.
+        let mut rng = SmallRng::seed_from_u64(graph_seed);
+        let g = generators::balanced(n, 6, &mut rng);
+        let frozen = g.freeze();
+        let start = g.nodes().next().expect("non-empty");
+        let plan = FaultPlan::new().with_message_loss(loss, fault_seed);
+        for shards in SHARD_COUNTS {
+            let view = ShardedFrozenView::partition(&frozen, shards);
+            for i in 0..WALKS {
+                let mut serial_rng = walk_rng(base, i);
+                let serial_faulty = plan.apply(&frozen);
+                let serial = ctrw_walk(
+                    &serial_faulty,
+                    start,
+                    4.0,
+                    Sojourn::Exponential,
+                    &mut serial_rng,
+                );
+                let mut stitched_rng = walk_rng(base, i);
+                let stitched_faulty = plan.apply(&frozen);
+                let fate = ctrw_walk_stitched_on(
+                    &view,
+                    &stitched_faulty,
+                    start,
+                    4.0,
+                    Sojourn::Exponential,
+                    &mut stitched_rng,
+                    &NoopRecorder,
+                );
+                prop_assert_eq!(
+                    &fate.result, &serial,
+                    "lossy walk {} diverged at S={}", i, shards
+                );
+                prop_assert_eq!(
+                    &stitched_rng, &serial_rng,
+                    "lossy walk {} RNG position diverged at S={}", i, shards
+                );
+            }
+        }
+    }
+}
+
+/// The cost ledger both services must agree on exactly. Execution-shape
+/// metrics are deliberately excluded: `CutCrossings`, `ShardHandoffs`,
+/// and `SegmentLength` count *where* a walk ran (zero on the unsharded
+/// service by construction), `WalkBatchRounds`/`BatchOccupancy` belong to
+/// the frontier drain mode, gauges are last-write-wins scheduling hints,
+/// and the `QueryLatency` sum is wall-clock. Everything that describes
+/// *what was computed and what it cost the overlay* is included.
+const LEDGER_COUNTERS: [Metric; 12] = [
+    Metric::TourHops,
+    Metric::CtrwHops,
+    Metric::SojournDraws,
+    Metric::SamplesDrawn,
+    Metric::ToursCompleted,
+    Metric::ToursLost,
+    Metric::WalkTimeouts,
+    Metric::WalkRetries,
+    Metric::QueriesSubmitted,
+    Metric::QueriesCompleted,
+    Metric::QueriesExpired,
+    Metric::QueriesRejected,
+];
+
+/// Histograms compared by count *and* sum: every observed value is an
+/// integer-valued or exactly-representable f64 far below 2^53, so the
+/// sums are exact regardless of accumulation order across workers.
+const LEDGER_HISTOGRAMS: [HistogramMetric; 3] = [
+    HistogramMetric::TourLength,
+    HistogramMetric::CtrwVirtualTime,
+    HistogramMetric::SampleCost,
+];
+
+type Ledger = (Vec<u64>, Vec<(u64, f64)>, u64);
+
+fn ledger(reg: &Registry) -> Ledger {
+    (
+        LEDGER_COUNTERS.iter().map(|&m| reg.counter(m)).collect(),
+        LEDGER_HISTOGRAMS
+            .iter()
+            .map(|&h| (reg.histogram_count(h), reg.histogram_sum(h)))
+            .collect(),
+        reg.histogram_count(HistogramMetric::QueryLatency),
+    )
+}
+
+fn network(n: usize, seed: u64) -> DynamicNetwork {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    DynamicNetwork::new(
+        generators::balanced(n, 8, &mut rng),
+        JoinRule::Balanced { max_degree: 8 },
+    )
+}
+
+fn aggregate_weight(n: NodeId) -> f64 {
+    ((n.index() % 7) as f64) + 1.0
+}
+
+fn mixed_queries() -> Vec<Query> {
+    vec![
+        Query::Count(Counter::RandomTour(RandomTour::new())),
+        Query::Sample(CtrwSampler::new(6.0)),
+        Query::Aggregate(aggregate_weight),
+        Query::Count(Counter::SampleCollide(SampleCollide::new(
+            CtrwSampler::new(5.0),
+            4,
+        ))),
+        Query::Sample(CtrwSampler::new(9.0)),
+    ]
+}
+
+/// Runs `service`'s unsharded twin and every sharded shard count over the
+/// same seed and query list, asserting outcome and ledger equality.
+fn assert_sharded_matches_unsharded(config: ServiceConfig, net_seed: u64, queries: usize) {
+    let baseline_reg = Registry::new();
+    let mut baseline = CensusService::new(network(300, net_seed), config);
+    let ((), expected) = baseline.serve_rec(&[], &baseline_reg, |census| {
+        for q in mixed_queries().into_iter().cycle().take(queries) {
+            census.submit(q).expect("queue has room");
+        }
+    });
+    let expected_ledger = ledger(&baseline_reg);
+    assert_eq!(expected.len(), queries);
+
+    for shards in SHARD_COUNTS {
+        let reg = Registry::new();
+        let mut svc = ShardedCensusService::new(network(300, net_seed), config.with_shards(shards));
+        let ((), outcomes) = svc.serve_rec(&[], &reg, |census| {
+            for q in mixed_queries().into_iter().cycle().take(queries) {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        assert_eq!(outcomes, expected, "outcomes diverged at {shards} shards");
+        assert_eq!(
+            ledger(&reg),
+            expected_ledger,
+            "cost ledger diverged at {shards} shards"
+        );
+        if shards == 1 {
+            assert_eq!(
+                reg.counter(Metric::CutCrossings),
+                0,
+                "one shard has no cut edges"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_service_matches_unsharded_outcomes_and_ledger() {
+    let config = ServiceConfig::new(47).with_workers(2);
+    assert_sharded_matches_unsharded(config, 5, 15);
+}
+
+#[test]
+fn sharded_service_matches_unsharded_under_message_loss() {
+    let config = ServiceConfig::new(53)
+        .with_workers(2)
+        .with_retries(2)
+        .with_faults(
+            FaultPlan::new()
+                .with_message_loss(0.15, 99)
+                .with_retransmits(1),
+        );
+    assert_sharded_matches_unsharded(config, 6, 15);
+}
+
+#[test]
+fn multi_shard_execution_actually_crosses_shards() {
+    // The equality tests above would pass vacuously if walks never left
+    // their home shard; pin that the 8-way partition of a well-mixed
+    // overlay really does stitch across cut edges.
+    let config = ServiceConfig::new(61).with_workers(1).with_shards(8);
+    let reg = Registry::new();
+    let mut svc = ShardedCensusService::new(network(300, 7), config);
+    let ((), outcomes) = svc.serve_rec(&[], &reg, |census| {
+        for _ in 0..8 {
+            census
+                .submit(Query::Sample(CtrwSampler::new(10.0)))
+                .expect("queue has room");
+        }
+    });
+    assert_eq!(outcomes.len(), 8);
+    assert!(
+        reg.counter(Metric::CutCrossings) > 0,
+        "an 8-way partition of a balanced overlay must cut walk paths"
+    );
+    assert!(reg.counter(Metric::ShardHandoffs) > 0);
+}
