@@ -46,41 +46,43 @@ fn bench_ctrw_frontier_widths(c: &mut Criterion) {
         b.iter(|| {
             (0..samples)
                 .map(|i| {
-                    ctrw_walk(&frozen, start, TIMER, Sojourn::Exponential, &mut walk_rng(i))
-                        .expect("fault-free")
-                        .hops
+                    ctrw_walk(
+                        &frozen,
+                        start,
+                        TIMER,
+                        Sojourn::Exponential,
+                        &mut walk_rng(i),
+                    )
+                    .expect("fault-free")
+                    .hops
                 })
                 .sum::<u64>()
         });
     });
     for width in [1u64, 8, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("frontier", width),
-            &width,
-            |b, &width| {
-                b.iter(|| {
-                    let mut hops = 0u64;
-                    let mut next = 0u64;
-                    while next < samples {
-                        let lanes = (samples - next).min(width);
-                        let mut specs: Vec<_> = (0..lanes)
-                            .map(|i| CtrwSpec {
-                                topology: &frozen,
-                                rng: walk_rng(next + i),
-                                start,
-                                timer: TIMER,
-                                sojourn: Sojourn::Exponential,
-                            })
-                            .collect();
-                        for fate in ctrw_frontier(&mut specs, &NoopRecorder) {
-                            hops += fate.result.expect("fault-free").hops;
-                        }
-                        next += lanes;
+        group.bench_with_input(BenchmarkId::new("frontier", width), &width, |b, &width| {
+            b.iter(|| {
+                let mut hops = 0u64;
+                let mut next = 0u64;
+                while next < samples {
+                    let lanes = (samples - next).min(width);
+                    let mut specs: Vec<_> = (0..lanes)
+                        .map(|i| CtrwSpec {
+                            topology: &frozen,
+                            rng: walk_rng(next + i),
+                            start,
+                            timer: TIMER,
+                            sojourn: Sojourn::Exponential,
+                        })
+                        .collect();
+                    for fate in ctrw_frontier(&mut specs, &NoopRecorder) {
+                        hops += fate.result.expect("fault-free").hops;
                     }
-                    hops
-                });
-            },
-        );
+                    next += lanes;
+                }
+                hops
+            });
+        });
     }
     group.finish();
 }

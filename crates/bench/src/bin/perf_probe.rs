@@ -1,87 +1,174 @@
-//! Headline performance probes: `BENCH_2.json` and `BENCH_4.json`.
-//!
-//! A dependency-free (no criterion harness) wall-clock probe of the
-//! numbers the stacked PRs promise to hold:
-//!
-//! 1. `frozen_vs_live` — CSR snapshot walk throughput vs the live
-//!    adjacency-list graph (PR 1's claim).
-//! 2. `recorder_overhead` — the no-op recorder vs a live atomic
-//!    [`Registry`] on the same tour workload (PR 2's ≤ 5% budget).
-//! 3. `--service` — end-to-end [`CensusService`] throughput
-//!    (queries/sec) at the paper's N = 100,000 for several worker
-//!    counts, with and without a concurrent churn stream (PR 4's
-//!    scaling claim). Writes `BENCH_4.json`.
-//! 4. `--batched` — CTRW samples/sec through the batched frontier
-//!    kernel vs the serial walk engine on the same per-walk streams at
-//!    the paper's N = 100,000 (PR 5's ≥ 2× claim), after asserting the
-//!    two paths produce bit-identical samples. Writes `BENCH_5.json`.
-//! 5. `--sharded` — end-to-end [`ShardedCensusService`] throughput
-//!    (queries/sec and CTRW samples/sec) vs shard count at the paper's
-//!    N = 100,000 on a mixed count + sample workload (PR 6's ≥ 1.5×
-//!    claim), after asserting every sharded arm returns outcomes
-//!    byte-identical to the unsharded service. Writes `BENCH_6.json`.
+//! The performance CLI: one-off probe arms and campaign sweeps.
 //!
 //! ```text
-//! cargo run --release -p census-bench --bin perf-probe [-- --out BENCH_2.json]
-//! cargo run --release -p census-bench --bin perf-probe -- --service [--smoke]
-//! cargo run --release -p census-bench --bin perf-probe -- --batched [--smoke]
-//! cargo run --release -p census-bench --bin perf-probe -- --sharded [--smoke]
+//! cargo run --release -p census-bench --bin perf-probe -- bench <arm> [--smoke] [--out PATH]
+//! cargo run --release -p census-bench --bin perf-probe -- campaign <spec.json> [--results DIR] [--max-runs K]
+//! cargo run --release -p census-bench --bin perf-probe -- list
 //! ```
 //!
-//! Each arm re-seeds its RNG identically, so every variant walks the
-//! exact same hop sequence and the ratio isolates the representation /
-//! recording / scheduling cost. Medians over repeated timed passes keep
-//! one noisy scheduler quantum from skewing the headline ratios.
-//! `--smoke` shrinks the service probe to a seconds-scale CI check.
+//! `bench` runs one arm of the registry in
+//! [`census_bench::probes`] (see `list` for the arms and the
+//! `BENCH_N.json` artefact each writes); `--smoke` shrinks it to a
+//! seconds-scale CI check of the same code path. `campaign` expands a
+//! declarative sweep spec ([`census_bench::campaign`]) and executes it
+//! resumably: rerunning the same spec skips every run already recorded
+//! in `results/<campaign>/manifest.json`, and `--max-runs` caps how
+//! many new runs one invocation performs.
+//!
+//! The pre-subcommand spellings (`perf-probe --service`, `--batched`,
+//! `--sharded`, and the bare headline invocation) still work but warn:
+//! they are one release from removal.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
 
-use census_core::{RandomTour, SizeEstimator};
-use census_graph::generators;
-use census_metrics::{NoopRecorder, Registry, RunCtx};
-use census_sampling::CtrwSampler;
-use census_service::{
-    CensusService, Counter, Query, QueryOutcome, ServiceConfig, ShardedCensusService,
-};
-use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
-use census_walk::continuous::{ctrw_walk, CtrwOutcome, Sojourn};
-use census_walk::frontier::{ctrw_frontier, CtrwSpec};
-use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-const PAPER_N: usize = 100_000;
-const TOURS_PER_PASS: u32 = 5;
-const REPEATS: usize = 9;
+use census_bench::campaign::{load_spec, run_campaign};
+use census_bench::probes::{run_probe, ProbeArm};
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let mut out: Option<PathBuf> = None;
-    let mut service = false;
-    let mut batched = false;
-    let mut sharded = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench") => bench_cmd(&args[1..]),
+        Some("campaign") => campaign_cmd(&args[1..]),
+        Some("list") => {
+            for arm in ProbeArm::ALL {
+                println!("{:<12} -> {}", arm.name(), arm.default_output());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h") => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        // Legacy flag-soup spellings, kept one release for scripts.
+        Some("--service" | "--batched" | "--sharded" | "--out" | "--smoke") | None => {
+            legacy_cmd(&args)
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    println!("usage: perf-probe bench <arm> [--smoke] [--out PATH]");
+    println!("       perf-probe campaign <spec.json> [--results DIR] [--max-runs K]");
+    println!("       perf-probe list");
+    print!("arms:");
+    for arm in ProbeArm::ALL {
+        print!(" {}", arm.name());
+    }
+    println!();
+}
+
+fn bench_cmd(args: &[String]) -> ExitCode {
+    let mut iter = args.iter();
+    let Some(arm) = iter.next().and_then(|a| ProbeArm::from_name(a)) else {
+        eprintln!("bench needs an arm; see `perf-probe list`");
+        return ExitCode::FAILURE;
+    };
     let mut smoke = false;
-    while let Some(arg) = args.next() {
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--smoke" => smoke = true,
             "--out" => {
-                let Some(v) = args.next() else {
+                let Some(v) = iter.next() else {
                     eprintln!("--out needs a path");
                     return ExitCode::FAILURE;
                 };
                 out = Some(PathBuf::from(v));
             }
-            "--service" => service = true,
-            "--batched" => batched = true,
-            "--sharded" => sharded = true,
+            other => {
+                eprintln!("unknown bench argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from(arm.default_output()));
+    match run_probe(arm, smoke, &out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("probe {} failed: {e}", arm.name());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn campaign_cmd(args: &[String]) -> ExitCode {
+    let mut iter = args.iter();
+    let Some(spec_path) = iter.next() else {
+        eprintln!("campaign needs a spec file");
+        return ExitCode::FAILURE;
+    };
+    let mut results = PathBuf::from("results");
+    let mut max_runs: Option<usize> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--results" => {
+                let Some(v) = iter.next() else {
+                    eprintln!("--results needs a directory");
+                    return ExitCode::FAILURE;
+                };
+                results = PathBuf::from(v);
+            }
+            "--max-runs" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(k) = parsed else {
+                    eprintln!("--max-runs needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                max_runs = Some(k);
+            }
+            other => {
+                eprintln!("unknown campaign argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let spec = match load_spec(&PathBuf::from(spec_path)) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_campaign(&spec, &results, max_runs) {
+        Ok(outcome) => {
+            println!(
+                "campaign {:?}: {} executed, {} skipped (resume), {} total",
+                spec.campaign, outcome.executed, outcome.skipped, outcome.total
+            );
+            println!("manifest -> {}", outcome.manifest_path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The pre-subcommand CLI, mapped onto the registry with a warning.
+fn legacy_cmd(args: &[String]) -> ExitCode {
+    let mut iter = args.iter();
+    let mut arm = ProbeArm::Headline;
+    let mut smoke = false;
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--service" => arm = ProbeArm::Service,
+            "--batched" => arm = ProbeArm::Batched,
+            "--sharded" => arm = ProbeArm::Sharded,
             "--smoke" => smoke = true,
-            "--help" | "-h" => {
-                println!("usage: perf-probe [--out BENCH_2.json]");
-                println!("       perf-probe --service [--smoke] [--out BENCH_4.json]");
-                println!("       perf-probe --batched [--smoke] [--out BENCH_5.json]");
-                println!("       perf-probe --sharded [--smoke] [--out BENCH_6.json]");
-                return ExitCode::SUCCESS;
+            "--out" => {
+                let Some(v) = iter.next() else {
+                    eprintln!("--out needs a path");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(v));
             }
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -89,528 +176,17 @@ fn main() -> ExitCode {
             }
         }
     }
-    if usize::from(service) + usize::from(batched) + usize::from(sharded) > 1 {
-        eprintln!("--service, --batched, and --sharded are separate probes; pick one");
-        return ExitCode::FAILURE;
-    }
-    if service {
-        service_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_4.json")), smoke)
-    } else if batched {
-        batched_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_5.json")), smoke)
-    } else if sharded {
-        sharded_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_6.json")), smoke)
-    } else {
-        headline_probe(out.unwrap_or_else(|| PathBuf::from("BENCH_2.json")))
-    }
-}
-
-fn headline_probe(out: PathBuf) -> ExitCode {
-    let mut rng = SmallRng::seed_from_u64(1);
-    let g = generators::balanced(PAPER_N, 10, &mut rng);
-    let frozen = g.freeze();
-    let probe = g.nodes().next().expect("non-empty");
-    let rt = RandomTour::new();
-    let registry = Registry::new();
-
-    println!(
-        "perf probe on balanced N = {PAPER_N} ({TOURS_PER_PASS} tours/pass, median of {REPEATS})"
+    eprintln!(
+        "warning: flag-style invocation is deprecated; use `perf-probe bench {} {}`",
+        arm.name(),
+        if smoke { "--smoke" } else { "" }
     );
-
-    let live_s = median_secs(REPEATS, || {
-        let mut rng = SmallRng::seed_from_u64(2);
-        let mut ctx = RunCtx::new(&g, &mut rng);
-        for _ in 0..TOURS_PER_PASS {
-            let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
-        }
-    });
-    let frozen_noop_s = median_secs(REPEATS, || {
-        let mut rng = SmallRng::seed_from_u64(2);
-        let mut ctx = RunCtx::new(&frozen, &mut rng);
-        for _ in 0..TOURS_PER_PASS {
-            let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
-        }
-    });
-    let frozen_registry_s = median_secs(REPEATS, || {
-        let mut rng = SmallRng::seed_from_u64(2);
-        let mut ctx = RunCtx::with_recorder(&frozen, &mut rng, &registry);
-        for _ in 0..TOURS_PER_PASS {
-            let _ = rt.estimate_with(&mut ctx, probe).expect("connected");
-        }
-    });
-
-    let frozen_speedup = live_s / frozen_noop_s;
-    let recorder_overhead_pct = (frozen_registry_s / frozen_noop_s - 1.0) * 100.0;
-    println!("  live graph        : {live_s:.4} s/pass");
-    println!("  frozen csr (noop) : {frozen_noop_s:.4} s/pass  ({frozen_speedup:.2}x vs live)");
-    println!(
-        "  frozen csr (reg)  : {frozen_registry_s:.4} s/pass  ({recorder_overhead_pct:+.2}% vs noop)"
-    );
-
-    let report = Report {
-        n: PAPER_N,
-        tours_per_pass: TOURS_PER_PASS,
-        repeats: REPEATS,
-        live_tour_pass_s: live_s,
-        frozen_noop_pass_s: frozen_noop_s,
-        frozen_registry_pass_s: frozen_registry_s,
-        frozen_speedup_vs_live: frozen_speedup,
-        recorder_overhead_pct,
-        recorder_budget_pct: 5.0,
-    };
-    write_report(&report, &out)
-}
-
-/// `BENCH_4.json`: queries/sec through the full service stack — queue,
-/// epoch pinning, worker pool — for several worker counts, with and
-/// without churn racing the queries.
-fn service_probe(out: PathBuf, smoke: bool) -> ExitCode {
-    let (n, queries, worker_counts, repeats): (usize, u64, &[usize], usize) = if smoke {
-        (5_000, 12, &[1, 2], 1)
-    } else {
-        (PAPER_N, 48, &[1, 2, 4, 8], 3)
-    };
-    // ~2% of the overlay departs across 8 events while queries run.
-    let events = Scenario::new()
-        .remove_gradually(0, 8, (n / 50) as u64)
-        .events(8);
-
-    println!(
-        "service probe on balanced N = {n} ({queries} tour queries/pass, median of {repeats})"
-    );
-    let mut arms = Vec::new();
-    for &workers in worker_counts {
-        let quiet_s = median_secs(repeats, || run_service_pass(n, workers, queries, &[]));
-        let churn_s = median_secs(repeats, || run_service_pass(n, workers, queries, &events));
-        let arm = ServiceArm {
-            workers,
-            no_churn_qps: queries as f64 / quiet_s,
-            churn_qps: queries as f64 / churn_s,
-        };
-        println!(
-            "  {workers} worker(s): {:.1} q/s quiet, {:.1} q/s under churn",
-            arm.no_churn_qps, arm.churn_qps
-        );
-        arms.push(arm);
-    }
-
-    let qps_at = |w: usize| arms.iter().find(|a| a.workers == w).map(|a| a.no_churn_qps);
-    let scaling_1_to_4 = match (qps_at(1), qps_at(4)) {
-        (Some(one), Some(four)) => Some(four / one),
-        _ => None,
-    };
-    if let Some(s) = scaling_1_to_4 {
-        println!("  1 -> 4 workers: {s:.2}x throughput");
-    }
-
-    let report = ServiceReport {
-        n,
-        queries_per_pass: queries,
-        repeats,
-        arms,
-        scaling_1_to_4,
-    };
-    write_report(&report, &out)
-}
-
-/// Serves `queries` Random Tour count queries and returns the wall-clock
-/// seconds from first submission to full drain.
-fn run_service_pass(n: usize, workers: usize, queries: u64, events: &[MembershipDelta]) -> f64 {
-    // Identical seeds per pass: every arm serves the same overlay and
-    // the same query streams; only the schedule differs.
-    let mut rng = SmallRng::seed_from_u64(11);
-    let net = DynamicNetwork::new(
-        generators::balanced(n, 10, &mut rng),
-        JoinRule::Balanced { max_degree: 10 },
-    );
-    let config = ServiceConfig::new(33)
-        .with_workers(workers)
-        .with_queue_capacity(queries.max(1) as usize);
-    let mut service = CensusService::new(net, config);
-
-    let start = Instant::now();
-    let ((), outcomes) = service.serve(events, |census| {
-        for _ in 0..queries {
-            census
-                .submit(Query::Count(Counter::RandomTour(RandomTour::new())))
-                .expect("queue sized to the full load");
-        }
-    });
-    let secs = start.elapsed().as_secs_f64();
-    assert_eq!(outcomes.len() as u64, queries, "ledger must reconcile");
-    secs
-}
-
-/// `BENCH_5.json`: CTRW sampling throughput through the batched frontier
-/// kernel vs the serial engine, on the *same* per-walk tagged streams.
-///
-/// Before timing anything, the probe runs both paths once and asserts
-/// every `(node, hops)` pair matches bit for bit — the speedup below is
-/// only meaningful because the two paths are the same random variable.
-fn batched_probe(out: PathBuf, smoke: bool) -> ExitCode {
-    let (n, samples, repeats): (usize, u64, usize) = if smoke {
-        (5_000, 512, 1)
-    } else {
-        (PAPER_N, 4_096, 5)
-    };
-    // The production frontier width (`census-sampling`'s sample_many
-    // chunks) — wide enough to overlap many CSR misses.
-    const WIDTH: u64 = 64;
-    // The paper's experimental timer setting.
-    const TIMER: f64 = 10.0;
-    const BASE_SEED: u64 = 7;
-
-    let mut rng = SmallRng::seed_from_u64(1);
-    let g = generators::balanced(n, 10, &mut rng);
-    let frozen = g.freeze();
-    let start = g.nodes().next().expect("non-empty");
-    let walk_rng = |i: u64| SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, BASE_SEED, i));
-
-    let serial_pass = || -> Vec<CtrwOutcome> {
-        (0..samples)
-            .map(|i| {
-                ctrw_walk(
-                    &frozen,
-                    start,
-                    TIMER,
-                    Sojourn::Exponential,
-                    &mut walk_rng(i),
-                )
-                .expect("fault-free CTRW completes")
-            })
-            .collect()
-    };
-    let batched_pass = || -> Vec<CtrwOutcome> {
-        let mut outs = Vec::with_capacity(samples as usize);
-        let mut next = 0u64;
-        while next < samples {
-            let width = (samples - next).min(WIDTH);
-            let mut specs: Vec<CtrwSpec<&census_graph::FrozenView, SplitMix64>> = (0..width)
-                .map(|i| CtrwSpec {
-                    topology: &frozen,
-                    rng: walk_rng(next + i),
-                    start,
-                    timer: TIMER,
-                    sojourn: Sojourn::Exponential,
-                })
-                .collect();
-            for fate in ctrw_frontier(&mut specs, &NoopRecorder) {
-                outs.push(fate.result.expect("fault-free CTRW completes"));
-            }
-            next += width;
-        }
-        outs
-    };
-
-    println!(
-        "batched frontier probe on balanced N = {n} ({samples} CTRW samples, T = {TIMER}, \
-         W = {WIDTH}, median of {repeats})"
-    );
-    let serial_out = serial_pass();
-    let batched_out = batched_pass();
-    assert_eq!(
-        serial_out, batched_out,
-        "batched samples must be bit-identical to the serial walks"
-    );
-    println!("  equivalence       : {samples} samples bit-identical across paths");
-
-    let serial_s = median_secs(repeats, || {
-        let _ = serial_pass();
-    });
-    let batched_s = median_secs(repeats, || {
-        let _ = batched_pass();
-    });
-    let serial_sps = samples as f64 / serial_s;
-    let batched_sps = samples as f64 / batched_s;
-    let speedup = serial_s / batched_s;
-    println!("  serial walks      : {serial_s:.4} s/pass  ({serial_sps:.0} samples/s)");
-    println!("  batched frontier  : {batched_s:.4} s/pass  ({batched_sps:.0} samples/s)");
-    println!("  speedup           : {speedup:.2}x (target >= 2x at N = {PAPER_N})");
-
-    let report = BatchedReport {
-        n,
-        samples,
-        frontier_width: WIDTH,
-        timer: TIMER,
-        repeats,
-        equivalent: true,
-        serial_pass_s: serial_s,
-        batched_pass_s: batched_s,
-        serial_samples_per_s: serial_sps,
-        batched_samples_per_s: batched_sps,
-        batched_speedup: speedup,
-        target_speedup: 2.0,
-    };
-    write_report(&report, &out)
-}
-
-/// `BENCH_6.json`: queries/sec and CTRW samples/sec through the sharded
-/// service — partitioned snapshot, per-shard worker pools, cross-shard
-/// walk stitching — vs shard count, on a mixed count + sample workload.
-///
-/// Every arm runs one worker per shard, so added throughput comes from
-/// the partition, not from extra threads on one snapshot. Before any arm
-/// is timed, its outcomes are asserted byte-identical to the unsharded
-/// [`CensusService`] on the same seed and workload: the scaling below is
-/// only meaningful because every arm computes the same random variable.
-fn sharded_probe(out: PathBuf, smoke: bool) -> ExitCode {
-    let (n, samples, counts, shard_counts, repeats): (usize, u64, u64, &[usize], usize) = if smoke {
-        (5_000, 12, 4, &[1, 2], 1)
-    } else {
-        (PAPER_N, 40, 8, &[1, 2, 4, 8], 3)
-    };
-    // The paper's experimental timer setting: long walks cross shard
-    // boundaries many times, exercising the handoff path the probe is
-    // pricing.
-    const TIMER: f64 = 10.0;
-    let queries = samples + counts;
-
-    println!(
-        "sharded probe on balanced N = {n} ({samples} CTRW samples + {counts} tour counts/pass, \
-         T = {TIMER}, 1 worker/shard, median of {repeats})"
-    );
-
-    let (_, expected) = run_sharded_pass(n, None, samples, counts, TIMER, queries);
-    println!("  unsharded baseline: {} outcomes", expected.len());
-
-    let mut arms = Vec::new();
-    for &shards in shard_counts {
-        let (_, outcomes) = run_sharded_pass(n, Some(shards), samples, counts, TIMER, queries);
-        assert_eq!(
-            outcomes, expected,
-            "sharded outcomes must be byte-identical to the unsharded service"
-        );
-        let secs = median_secs(repeats, || {
-            run_sharded_pass(n, Some(shards), samples, counts, TIMER, queries).0
-        });
-        let arm = ShardArm {
-            shards,
-            queries_per_s: queries as f64 / secs,
-            samples_per_s: samples as f64 / secs,
-        };
-        println!(
-            "  {shards} shard(s): {:.1} q/s, {:.1} samples/s (outcomes bit-identical)",
-            arm.queries_per_s, arm.samples_per_s
-        );
-        arms.push(arm);
-    }
-
-    let qps_at = |s: usize| arms.iter().find(|a| a.shards == s).map(|a| a.queries_per_s);
-    let best_multi = arms
-        .iter()
-        .filter(|a| a.shards > 1)
-        .map(|a| a.queries_per_s)
-        .fold(f64::NAN, f64::max);
-    let multi_shard_speedup = qps_at(1).map(|one| best_multi / one);
-    if let Some(s) = multi_shard_speedup {
-        println!("  best multi-shard vs 1 shard: {s:.2}x (target >= 1.5x at N = {PAPER_N})");
-    }
-
-    let report = ShardedReport {
-        n,
-        samples_per_pass: samples,
-        counts_per_pass: counts,
-        timer: TIMER,
-        repeats,
-        equivalent: true,
-        arms,
-        multi_shard_speedup,
-        target_speedup: 1.5,
-    };
-    write_report(&report, &out)
-}
-
-/// Serves the mixed workload on a fresh overlay — through the unsharded
-/// service when `shards` is `None`, else through the sharded service with
-/// one worker per shard — returning the serve-window seconds and the
-/// outcomes (for the equivalence assertion).
-fn run_sharded_pass(
-    n: usize,
-    shards: Option<usize>,
-    samples: u64,
-    counts: u64,
-    timer: f64,
-    queries: u64,
-) -> (f64, Vec<QueryOutcome>) {
-    assert_eq!(
-        samples + counts,
-        queries,
-        "workload quotas must reconcile with the total query count"
-    );
-    // Identical seeds per pass: every arm serves the same overlay and
-    // the same query streams; only the partition differs.
-    let mut rng = SmallRng::seed_from_u64(11);
-    let net = DynamicNetwork::new(
-        generators::balanced(n, 10, &mut rng),
-        JoinRule::Balanced { max_degree: 10 },
-    );
-    let config = ServiceConfig::new(33)
-        .with_workers(1)
-        .with_queue_capacity(queries.max(1) as usize);
-    let workload: Vec<Query> = {
-        let mut qs = Vec::with_capacity(queries as usize);
-        let mut sampled = 0u64;
-        for i in 0..queries {
-            // Alternate, front-loading samples until their quota is met.
-            if sampled < samples && (i % 2 == 0 || queries - i <= samples - sampled) {
-                qs.push(Query::Sample(CtrwSampler::new(timer)));
-                sampled += 1;
-            } else {
-                qs.push(Query::Count(Counter::RandomTour(RandomTour::new())));
-            }
-        }
-        qs
-    };
-    match shards {
-        None => {
-            let mut service = CensusService::new(net, config);
-            let start = Instant::now();
-            let ((), outcomes) = service.serve(&[], |census| {
-                for q in &workload {
-                    census.submit(*q).expect("queue sized to the full load");
-                }
-            });
-            let secs = start.elapsed().as_secs_f64();
-            assert_eq!(outcomes.len() as u64, queries, "ledger must reconcile");
-            (secs, outcomes)
-        }
-        Some(shards) => {
-            let mut service = ShardedCensusService::new(net, config.with_shards(shards));
-            let start = Instant::now();
-            let ((), outcomes) = service.serve(&[], |census| {
-                for q in &workload {
-                    census.submit(*q).expect("queue sized to the full load");
-                }
-            });
-            let secs = start.elapsed().as_secs_f64();
-            assert_eq!(outcomes.len() as u64, queries, "ledger must reconcile");
-            (secs, outcomes)
-        }
-    }
-}
-
-fn write_report<T: serde::Serialize>(report: &T, out: &PathBuf) -> ExitCode {
-    match serde_json::to_string_pretty(report) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(out, json) {
-                eprintln!("cannot write {}: {e}", out.display());
-                return ExitCode::FAILURE;
-            }
-        }
+    let out = out.unwrap_or_else(|| PathBuf::from(arm.default_output()));
+    match run_probe(arm, smoke, &out) {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("cannot serialise report: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("probe {} failed: {e}", arm.name());
+            ExitCode::FAILURE
         }
     }
-    println!("report -> {}", out.display());
-    ExitCode::SUCCESS
-}
-
-/// Median wall-clock seconds of `repeats` timed invocations of `f` —
-/// unless `f` itself returns the duration to score (the service pass
-/// times only the serve window, excluding overlay construction).
-fn median_secs<F: FnMut() -> R, R: IntoSecs>(repeats: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..repeats)
-        .map(|_| {
-            let start = Instant::now();
-            let r = f();
-            r.into_secs(start.elapsed().as_secs_f64())
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    samples[samples.len() / 2]
-}
-
-/// What a timed pass scores: `()` passes score their own wall time, `f64`
-/// passes score the duration they measured internally.
-trait IntoSecs {
-    fn into_secs(self, elapsed: f64) -> f64;
-}
-
-impl IntoSecs for () {
-    fn into_secs(self, elapsed: f64) -> f64 {
-        elapsed
-    }
-}
-
-impl IntoSecs for f64 {
-    fn into_secs(self, _elapsed: f64) -> f64 {
-        self
-    }
-}
-
-/// `BENCH_2.json` payload.
-#[derive(serde::Serialize)]
-struct Report {
-    n: usize,
-    tours_per_pass: u32,
-    repeats: usize,
-    live_tour_pass_s: f64,
-    frozen_noop_pass_s: f64,
-    frozen_registry_pass_s: f64,
-    frozen_speedup_vs_live: f64,
-    recorder_overhead_pct: f64,
-    recorder_budget_pct: f64,
-}
-
-/// `BENCH_4.json` payload.
-#[derive(serde::Serialize)]
-struct ServiceReport {
-    n: usize,
-    queries_per_pass: u64,
-    repeats: usize,
-    arms: Vec<ServiceArm>,
-    /// Quiet-overlay throughput ratio of the 4-worker arm over the
-    /// 1-worker arm; absent when either arm was not measured (`--smoke`).
-    scaling_1_to_4: Option<f64>,
-}
-
-#[derive(serde::Serialize)]
-struct ServiceArm {
-    workers: usize,
-    no_churn_qps: f64,
-    churn_qps: f64,
-}
-
-/// `BENCH_6.json` payload.
-#[derive(serde::Serialize)]
-struct ShardedReport {
-    n: usize,
-    samples_per_pass: u64,
-    counts_per_pass: u64,
-    timer: f64,
-    repeats: usize,
-    /// Always `true` when the report exists at all: the probe aborts if
-    /// any sharded arm's outcomes differ from the unsharded service's.
-    equivalent: bool,
-    arms: Vec<ShardArm>,
-    /// Best multi-shard queries/sec over the single-shard arm; absent
-    /// when the single-shard arm was not measured.
-    multi_shard_speedup: Option<f64>,
-    target_speedup: f64,
-}
-
-#[derive(serde::Serialize)]
-struct ShardArm {
-    shards: usize,
-    queries_per_s: f64,
-    samples_per_s: f64,
-}
-
-/// `BENCH_5.json` payload.
-#[derive(serde::Serialize)]
-struct BatchedReport {
-    n: usize,
-    samples: u64,
-    frontier_width: u64,
-    timer: f64,
-    repeats: usize,
-    /// Always `true` when the report exists at all: the probe aborts if
-    /// the batched samples are not bit-identical to the serial walks.
-    equivalent: bool,
-    serial_pass_s: f64,
-    batched_pass_s: f64,
-    serial_samples_per_s: f64,
-    batched_samples_per_s: f64,
-    batched_speedup: f64,
-    target_speedup: f64,
 }

@@ -1,0 +1,698 @@
+//! Declarative campaign sweeps: one spec file in, one resumable
+//! manifest of latency-percentile records out.
+//!
+//! The figure harness regenerates the paper's plots and the perf probes
+//! price individual claims, but neither answers the deployment question
+//! the service crate raises: *what query latency does a census service
+//! actually deliver across topologies, estimators, shard counts, fault
+//! plans, and arrival processes?* Answering it by hand means dozens of
+//! near-identical runs — exactly the work a machine should schedule.
+//!
+//! A [`CampaignSpec`] declares one axis per dimension; [`expand`] takes
+//! their cartesian product in a fixed order, assigning every mix a
+//! stable, filesystem-safe [`RunPoint::run_id`]. [`run_campaign`]
+//! executes the points **resumably**: the manifest at
+//! `results/<campaign>/manifest.json` is reloaded on startup, any point
+//! whose `run_id` already has a record is skipped, and the manifest is
+//! atomically rewritten after *every* completed run — kill the process
+//! anywhere and the next invocation picks up where it stopped without
+//! re-executing finished work.
+//!
+//! Each run serves `queries_per_run` queries through the real
+//! [`CensusService`] / [`ShardedCensusService`] stack with a live
+//! metrics [`Registry`], paced by the spec's deterministic
+//! [`ArrivalProcess`] trace, and distils the query-latency histogram
+//! into p50/p99/p999 microsecond percentiles (the bucket-interpolated
+//! quantiles of `census_metrics`). Per-run records also land as
+//! `results/<campaign>/runs/<run_id>.json` for tooling that wants one
+//! file per point.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use census_core::{RandomTour, SampleCollide};
+use census_graph::generators;
+use census_metrics::{HistogramMetric, Registry};
+use census_sampling::CtrwSampler;
+use census_service::{
+    ArrivalProcess, CensusService, Counter, Query, ServiceConfig, ShardedCensusService, SubmitError,
+};
+use census_sim::faults::FaultPlan;
+use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
+use census_walk::stream::splitmix64;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::report::write_json_atomic;
+
+/// Schema tag stamped on every campaign manifest.
+pub const MANIFEST_SCHEMA: &str = "overlay-census/campaign-v1";
+
+fn default_timer() -> f64 {
+    10.0
+}
+
+fn default_sc_l() -> u32 {
+    2
+}
+
+/// A declarative sweep: one axis per dimension, expanded to the full
+/// cartesian product by [`expand`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name; also the results subdirectory.
+    pub campaign: String,
+    /// Base RNG seed. Topology generation, query streams, and arrival
+    /// traces all derive from it, so a spec replays bit-compatibly.
+    pub seed: u64,
+    /// Queries served per run point.
+    pub queries_per_run: u64,
+    /// CTRW sampling timer for sample and Sample & Collide queries
+    /// (paper: `T = 10`).
+    #[serde(default = "default_timer")]
+    pub timer: f64,
+    /// Sample & Collide collision budget `l`.
+    #[serde(default = "default_sc_l")]
+    pub sc_l: u32,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Estimator axis.
+    pub estimators: Vec<EstimatorKind>,
+    /// Shard-count axis; `0` means the unsharded service.
+    pub shards: Vec<usize>,
+    /// Worker-count axis (per shard when sharded).
+    pub workers: Vec<usize>,
+    /// Fault-plan axis.
+    pub faults: Vec<FaultSpec>,
+    /// Arrival-process axis.
+    pub arrivals: Vec<ArrivalSpec>,
+}
+
+/// One topology family at one size.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "family", rename_all = "kebab-case")]
+pub enum TopologySpec {
+    /// The paper's balanced random graph (degree cap `max_degree`).
+    Balanced {
+        /// Overlay size.
+        n: usize,
+        /// Degree cap (the paper uses 10).
+        max_degree: usize,
+    },
+    /// Barabási–Albert scale-free graph with attachment count `m`.
+    ScaleFree {
+        /// Overlay size.
+        n: usize,
+        /// Edges per joining node.
+        m: usize,
+    },
+    /// A ring — the worst mixer; a stress case for walk-based counting.
+    Ring {
+        /// Overlay size.
+        n: usize,
+    },
+}
+
+impl TopologySpec {
+    fn slug(&self) -> String {
+        match *self {
+            TopologySpec::Balanced { n, max_degree } => format!("balanced-n{n}-d{max_degree}"),
+            TopologySpec::ScaleFree { n, m } => format!("scale-free-n{n}-m{m}"),
+            TopologySpec::Ring { n } => format!("ring-n{n}"),
+        }
+    }
+
+    /// Builds the overlay and the join rule churn will replay.
+    fn build(&self, seed: u64) -> DynamicNetwork {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            TopologySpec::Balanced { n, max_degree } => DynamicNetwork::new(
+                generators::balanced(n, max_degree, &mut rng),
+                JoinRule::Balanced { max_degree },
+            ),
+            TopologySpec::ScaleFree { n, m } => DynamicNetwork::new(
+                generators::barabasi_albert(n, m, &mut rng),
+                JoinRule::PreferentialAttachment { m },
+            ),
+            TopologySpec::Ring { n } => {
+                DynamicNetwork::new(generators::ring(n), JoinRule::Balanced { max_degree: 2 })
+            }
+        }
+    }
+}
+
+/// Which estimator each query of a run invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum EstimatorKind {
+    /// Random Tour counting (§3.1).
+    RandomTour,
+    /// Sample & Collide counting over the CTRW sampler (§4.2).
+    SampleCollide,
+    /// Bare CTRW uniform sampling (§4.1).
+    CtrwSample,
+}
+
+impl EstimatorKind {
+    fn slug(self) -> &'static str {
+        match self {
+            EstimatorKind::RandomTour => "random-tour",
+            EstimatorKind::SampleCollide => "sample-collide",
+            EstimatorKind::CtrwSample => "ctrw-sample",
+        }
+    }
+
+    fn query(self, timer: f64, sc_l: u32) -> Query {
+        match self {
+            EstimatorKind::RandomTour => Query::Count(Counter::RandomTour(RandomTour::new())),
+            EstimatorKind::SampleCollide => Query::Count(Counter::SampleCollide(
+                SampleCollide::new(CtrwSampler::new(timer), sc_l),
+            )),
+            EstimatorKind::CtrwSample => Query::Sample(CtrwSampler::new(timer)),
+        }
+    }
+}
+
+/// One fault regime the run executes under.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "plan", rename_all = "kebab-case")]
+pub enum FaultSpec {
+    /// Fault-free, static overlay.
+    None,
+    /// Each delivery attempt drops with probability `p`; walks retry up
+    /// to `retransmits` times (the paper's recoverable loss mode).
+    Loss {
+        /// Per-attempt loss probability.
+        p: f64,
+        /// Retransmission budget per hop.
+        retransmits: u32,
+    },
+    /// `departures` peers leave gradually across `events` churn events
+    /// racing the queries.
+    Churn {
+        /// Total peers departing during the run.
+        departures: u64,
+        /// Number of membership events the departures spread over.
+        events: u64,
+    },
+}
+
+impl FaultSpec {
+    fn slug(&self) -> String {
+        match *self {
+            FaultSpec::None => "fault-none".to_owned(),
+            FaultSpec::Loss { p, retransmits } => format!("loss-p{p}-r{retransmits}"),
+            FaultSpec::Churn { departures, events } => format!("churn-{departures}x{events}"),
+        }
+    }
+
+    fn plan(&self, seed: u64) -> Option<FaultPlan> {
+        match *self {
+            FaultSpec::Loss { p, retransmits } => Some(
+                FaultPlan::new()
+                    .with_message_loss(p, seed)
+                    .with_retransmits(retransmits),
+            ),
+            _ => None,
+        }
+    }
+
+    fn events(&self) -> Vec<MembershipDelta> {
+        match *self {
+            FaultSpec::Churn { departures, events } => Scenario::new()
+                .remove_gradually(0, events, departures)
+                .events(events),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One arrival process, as spelled in a spec file. Mirrors
+/// [`ArrivalProcess`] with serde plumbing attached.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "process", rename_all = "kebab-case")]
+pub enum ArrivalSpec {
+    /// Memoryless open-loop arrivals.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+    },
+    /// Heavy-tailed open-loop arrivals.
+    Pareto {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+        /// Tail index (must exceed 1).
+        alpha: f64,
+    },
+    /// Closed-loop arrivals keeping `concurrency` queries in flight.
+    Closed {
+        /// In-flight query budget.
+        concurrency: usize,
+    },
+}
+
+impl ArrivalSpec {
+    fn slug(&self) -> String {
+        match *self {
+            ArrivalSpec::Poisson { rate_hz } => format!("poisson-r{rate_hz}"),
+            ArrivalSpec::Pareto { rate_hz, alpha } => format!("pareto-r{rate_hz}-a{alpha}"),
+            ArrivalSpec::Closed { concurrency } => format!("closed-c{concurrency}"),
+        }
+    }
+
+    fn process(&self) -> ArrivalProcess {
+        match *self {
+            ArrivalSpec::Poisson { rate_hz } => ArrivalProcess::Poisson { rate_hz },
+            ArrivalSpec::Pareto { rate_hz, alpha } => ArrivalProcess::Pareto { rate_hz, alpha },
+            ArrivalSpec::Closed { concurrency } => ArrivalProcess::Closed { concurrency },
+        }
+    }
+}
+
+/// One point of the expanded mix space.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunPoint {
+    /// Position in expansion order (stable across resumes).
+    pub index: usize,
+    /// Topology axis value.
+    pub topology: TopologySpec,
+    /// Estimator axis value.
+    pub estimator: EstimatorKind,
+    /// Shard count (`0` = unsharded).
+    pub shards: usize,
+    /// Worker count (per shard when sharded).
+    pub workers: usize,
+    /// Fault-plan axis value.
+    pub fault: FaultSpec,
+    /// Arrival-process axis value.
+    pub arrival: ArrivalSpec,
+}
+
+impl RunPoint {
+    /// The point's stable, filesystem-safe identifier — the resume key.
+    #[must_use]
+    pub fn run_id(&self) -> String {
+        format!(
+            "{}-{}-s{}-w{}-{}-{}",
+            self.topology.slug(),
+            self.estimator.slug(),
+            self.shards,
+            self.workers,
+            self.fault.slug(),
+            self.arrival.slug()
+        )
+    }
+}
+
+/// Expands the spec's axes to the full mix space, in a fixed nesting
+/// order (topology, estimator, shards, workers, fault, arrival) so run
+/// indices are stable across invocations.
+#[must_use]
+pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
+    let mut points = Vec::new();
+    for &topology in &spec.topologies {
+        for &estimator in &spec.estimators {
+            for &shards in &spec.shards {
+                for &workers in &spec.workers {
+                    for &fault in &spec.faults {
+                        for &arrival in &spec.arrivals {
+                            points.push(RunPoint {
+                                index: points.len(),
+                                topology,
+                                estimator,
+                                shards,
+                                workers,
+                                fault,
+                                arrival,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+/// The record one executed run leaves in the manifest.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunRecord {
+    /// The point's [`RunPoint::run_id`].
+    pub run_id: String,
+    /// The point itself, echoed back for tooling.
+    pub point: RunPoint,
+    /// Queries submitted (always the spec's `queries_per_run`).
+    pub queries: u64,
+    /// Queries that produced an answer.
+    pub completed: u64,
+    /// Queries that expired (faults, churn, degenerate configs).
+    pub expired: u64,
+    /// Median query latency in microseconds, `None` when the latency
+    /// histogram is empty.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile query latency in microseconds.
+    pub p99_us: Option<f64>,
+    /// 99.9th-percentile query latency in microseconds.
+    pub p999_us: Option<f64>,
+    /// Wall-clock seconds of the serve window.
+    pub wall_s: f64,
+}
+
+/// The campaign manifest: spec echo plus every completed run record.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Manifest {
+    /// Always [`MANIFEST_SCHEMA`].
+    pub schema: String,
+    /// The campaign name, echoed from the spec.
+    pub campaign: String,
+    /// The spec that produced the records; a resume refuses to run if
+    /// the spec on disk no longer matches.
+    pub spec: CampaignSpec,
+    /// Completed run records, sorted by expansion index.
+    pub runs: Vec<RunRecord>,
+}
+
+/// What [`run_campaign`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Size of the expanded mix space.
+    pub total: usize,
+    /// Points executed by this invocation.
+    pub executed: usize,
+    /// Points skipped because the manifest already recorded them.
+    pub skipped: usize,
+    /// Where the manifest lives.
+    pub manifest_path: PathBuf,
+}
+
+/// Why a campaign could not run (to completion).
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem trouble reading the spec or writing results.
+    Io(io::Error),
+    /// The spec or an existing manifest failed to parse.
+    Parse(String),
+    /// The spec is structurally unusable (empty axis, zero queries) or
+    /// conflicts with the manifest already on disk.
+    Spec(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            CampaignError::Parse(e) => write!(f, "campaign parse error: {e}"),
+            CampaignError::Spec(e) => write!(f, "campaign spec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+/// Parses a spec file.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Io`] if the file is unreadable and
+/// [`CampaignError::Parse`] if it is not a valid spec.
+pub fn load_spec(path: &Path) -> Result<CampaignSpec, CampaignError> {
+    let body = std::fs::read_to_string(path)?;
+    serde_json::from_str(&body)
+        .map_err(|e| CampaignError::Parse(format!("{}: {e}", path.display())))
+}
+
+fn validate(spec: &CampaignSpec) -> Result<(), CampaignError> {
+    let axis = |name: &str, len: usize| {
+        if len == 0 {
+            Err(CampaignError::Spec(format!("axis {name:?} is empty")))
+        } else {
+            Ok(())
+        }
+    };
+    axis("topologies", spec.topologies.len())?;
+    axis("estimators", spec.estimators.len())?;
+    axis("shards", spec.shards.len())?;
+    axis("workers", spec.workers.len())?;
+    axis("faults", spec.faults.len())?;
+    axis("arrivals", spec.arrivals.len())?;
+    if spec.queries_per_run == 0 {
+        return Err(CampaignError::Spec(
+            "queries_per_run must be positive".into(),
+        ));
+    }
+    if spec.campaign.is_empty()
+        || !spec
+            .campaign
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(CampaignError::Spec(format!(
+            "campaign name {:?} must be a non-empty [A-Za-z0-9_-]+ slug",
+            spec.campaign
+        )));
+    }
+    Ok(())
+}
+
+/// Runs (or resumes) a campaign, writing `manifest.json` and per-run
+/// records under `<results_dir>/<campaign>/`.
+///
+/// Points already recorded in the manifest are skipped without
+/// re-execution; the manifest is atomically rewritten after every run,
+/// so an interrupt loses at most the run in flight. `max_runs` bounds
+/// how many points this *invocation* executes (skips don't count) —
+/// `None` runs the campaign to completion.
+///
+/// # Errors
+///
+/// Fails on unreadable/invalid specs, on a manifest that belongs to a
+/// different spec, and on filesystem trouble.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    results_dir: &Path,
+    max_runs: Option<usize>,
+) -> Result<CampaignOutcome, CampaignError> {
+    validate(spec)?;
+    let dir = results_dir.join(&spec.campaign);
+    let runs_dir = dir.join("runs");
+    std::fs::create_dir_all(&runs_dir)?;
+    let manifest_path = dir.join("manifest.json");
+
+    let mut manifest = if manifest_path.exists() {
+        let body = std::fs::read_to_string(&manifest_path)?;
+        let found: Manifest = serde_json::from_str(&body)
+            .map_err(|e| CampaignError::Parse(format!("{}: {e}", manifest_path.display())))?;
+        if found.spec != *spec {
+            return Err(CampaignError::Spec(format!(
+                "manifest at {} was produced by a different spec; \
+                 rename the campaign or clear its results directory",
+                manifest_path.display()
+            )));
+        }
+        found
+    } else {
+        Manifest {
+            schema: MANIFEST_SCHEMA.to_owned(),
+            campaign: spec.campaign.clone(),
+            spec: spec.clone(),
+            runs: Vec::new(),
+        }
+    };
+
+    let done: BTreeSet<String> = manifest.runs.iter().map(|r| r.run_id.clone()).collect();
+    let points = expand(spec);
+    let total = points.len();
+    let mut executed = 0usize;
+    let mut skipped = 0usize;
+
+    for point in &points {
+        let run_id = point.run_id();
+        if done.contains(&run_id) {
+            skipped += 1;
+            continue;
+        }
+        if let Some(cap) = max_runs {
+            if executed >= cap {
+                break;
+            }
+        }
+        println!("[{}/{}] {run_id}", manifest.runs.len() + 1, total);
+        let record = execute_run(spec, point);
+        println!(
+            "  {}/{} completed, p50 {} µs, p99 {} µs, p999 {} µs, {:.2}s",
+            record.completed,
+            record.queries,
+            fmt_us(record.p50_us),
+            fmt_us(record.p99_us),
+            fmt_us(record.p999_us),
+            record.wall_s
+        );
+        write_json_atomic(&record, &runs_dir.join(format!("{run_id}.json")))?;
+        manifest.runs.push(record);
+        manifest.runs.sort_by_key(|r| r.point.index);
+        write_json_atomic(&manifest, &manifest_path)?;
+        executed += 1;
+    }
+
+    Ok(CampaignOutcome {
+        total,
+        executed,
+        skipped,
+        manifest_path,
+    })
+}
+
+fn fmt_us(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_owned(), |x| format!("{x:.0}"))
+}
+
+/// Executes one run point: builds the overlay, serves the paced
+/// workload through the (possibly sharded) service with a live metrics
+/// registry, and distils the latency histogram.
+fn execute_run(spec: &CampaignSpec, point: &RunPoint) -> RunRecord {
+    // Every run gets its own deterministic topology stream; the service
+    // seed stays the spec seed so query streams match across points.
+    let topo_seed = splitmix64(spec.seed ^ point.index as u64);
+    let net = point.topology.build(topo_seed);
+    let queries = spec.queries_per_run;
+    let arrival = point.arrival.process();
+    // Open-loop arrivals need room for the full trace; closed-loop runs
+    // bound the queue at the in-flight budget and lean on backpressure.
+    let capacity = arrival
+        .concurrency()
+        .unwrap_or(queries.max(1) as usize)
+        .max(1);
+    let mut config = ServiceConfig::new(spec.seed)
+        .with_workers(point.workers.max(1))
+        .with_queue_capacity(capacity);
+    if let Some(plan) = point.fault.plan(splitmix64(spec.seed ^ 0x4641_554C_5453)) {
+        config = config.with_faults(plan);
+    }
+    let events = point.fault.events();
+    let query = point.estimator.query(spec.timer, spec.sc_l);
+    let schedule = arrival.schedule_micros(spec.seed, queries as usize);
+
+    let registry = Registry::new();
+    let start = Instant::now();
+    let submit_all = |census: &dyn Fn(Query) -> Result<u64, SubmitError>| {
+        for &at in &schedule {
+            let elapsed = start.elapsed().as_micros() as u64;
+            if at > elapsed {
+                std::thread::sleep(Duration::from_micros(at - elapsed));
+            }
+            // Closed-loop (and a briefly full open-loop queue) park here
+            // until the workers free a slot — that *is* the backpressure
+            // the process models.
+            while census(query) == Err(SubmitError::Overloaded) {
+                std::thread::yield_now();
+            }
+        }
+    };
+    let (wall_s, outcomes) = if point.shards == 0 {
+        let mut service = CensusService::new(net, config);
+        let (wall, outcomes) = service.serve_rec(&events, &registry, |census| {
+            submit_all(&|q| census.submit(q));
+            start.elapsed().as_secs_f64()
+        });
+        (wall, outcomes)
+    } else {
+        let mut service = ShardedCensusService::new(net, config.with_shards(point.shards));
+        let (wall, outcomes) = service.serve_rec(&events, &registry, |census| {
+            submit_all(&|q| census.submit(q));
+            start.elapsed().as_secs_f64()
+        });
+        (wall, outcomes)
+    };
+
+    let completed = outcomes.iter().filter(|o| o.result.is_ok()).count() as u64;
+    RunRecord {
+        run_id: point.run_id(),
+        point: point.clone(),
+        queries,
+        completed,
+        expired: outcomes.len() as u64 - completed,
+        p50_us: registry.histogram_quantile(HistogramMetric::QueryLatency, 0.50),
+        p99_us: registry.histogram_quantile(HistogramMetric::QueryLatency, 0.99),
+        p999_us: registry.histogram_quantile(HistogramMetric::QueryLatency, 0.999),
+        wall_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            campaign: "unit".to_owned(),
+            seed: 9,
+            queries_per_run: 4,
+            timer: 4.0,
+            sc_l: 2,
+            topologies: vec![
+                TopologySpec::Balanced {
+                    n: 600,
+                    max_degree: 10,
+                },
+                TopologySpec::Ring { n: 600 },
+            ],
+            estimators: vec![EstimatorKind::RandomTour, EstimatorKind::CtrwSample],
+            shards: vec![0, 2],
+            workers: vec![2],
+            faults: vec![FaultSpec::None],
+            arrivals: vec![ArrivalSpec::Closed { concurrency: 4 }],
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_ordered_cartesian_product() {
+        let points = expand(&tiny_spec());
+        assert_eq!(points.len(), 2 * 2 * 2);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // Innermost axis varies fastest: consecutive points at equal
+        // topology/estimator differ in shards before workers.
+        assert_eq!(points[0].shards, 0);
+        assert_eq!(points[1].shards, 2);
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_filesystem_safe() {
+        let points = expand(&tiny_spec());
+        let ids: BTreeSet<String> = points.iter().map(RunPoint::run_id).collect();
+        assert_eq!(ids.len(), points.len(), "run ids must be unique");
+        for id in &ids {
+            assert!(
+                id.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.'),
+                "run id {id:?} has a filesystem-hostile byte"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let mut spec = tiny_spec();
+        spec.estimators.clear();
+        let err = validate(&spec).expect_err("empty axis must fail");
+        assert!(matches!(err, CampaignError::Spec(_)));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = tiny_spec();
+        let json = serde_json::to_string(&spec).expect("serialises");
+        let back: CampaignSpec = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, spec);
+    }
+}

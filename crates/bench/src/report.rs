@@ -1,0 +1,99 @@
+//! The one JSON writer every bench artefact goes through.
+//!
+//! The perf probes used to serialise bare payload structs straight to
+//! their `BENCH_N.json` files, so every consumer had to know which file
+//! carried which shape and nothing identified a file as ours. Every
+//! probe report now ships inside an [`Envelope`] carrying a stable
+//! schema tag ([`SCHEMA`]), the probe arm that produced it, and whether
+//! it ran in smoke mode — downstream tooling can sniff the `schema`
+//! field instead of pattern-matching filenames.
+//!
+//! Writes are atomic: the JSON lands in a `.tmp` sibling first and is
+//! renamed into place, so a crash mid-write never leaves a truncated
+//! artefact where a previous good one stood. The campaign runner uses
+//! the same [`write_json_atomic`] primitive for its manifest, which is
+//! rewritten after *every* run.
+
+use std::io;
+use std::path::Path;
+
+/// Schema tag stamped on every probe envelope this crate writes.
+pub const SCHEMA: &str = "overlay-census/bench-v1";
+
+/// The stable wrapper around every probe payload.
+#[derive(Debug, serde::Serialize)]
+pub struct Envelope<T: serde::Serialize> {
+    /// Always [`SCHEMA`]; lets consumers sniff the artefact kind.
+    pub schema: &'static str,
+    /// The probe arm that produced the payload (e.g. `"snapshot-io"`).
+    pub probe: &'static str,
+    /// Whether the probe ran at reduced smoke scale — smoke numbers are
+    /// CI health checks, never headline figures.
+    pub smoke: bool,
+    /// The arm-specific measurements.
+    pub payload: T,
+}
+
+/// Serialises `value` as pretty JSON and writes it atomically: the bytes
+/// go to `<path>.tmp` first, then a rename swings them into place.
+///
+/// # Errors
+///
+/// Propagates serialisation and I/O failures; on failure the target path
+/// still holds whatever it held before.
+pub fn write_json_atomic<T: serde::Serialize>(value: &T, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Wraps `payload` in an [`Envelope`] for `probe` and writes it
+/// atomically to `path`.
+///
+/// # Errors
+///
+/// Propagates serialisation and I/O failures.
+pub fn write_envelope<T: serde::Serialize>(
+    probe: &'static str,
+    smoke: bool,
+    payload: &T,
+    path: &Path,
+) -> io::Result<()> {
+    write_json_atomic(
+        &Envelope {
+            schema: SCHEMA,
+            probe,
+            smoke,
+            payload,
+        },
+        path,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("census-bench-report-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("envelope.json");
+        write_envelope("headline", true, &42u32, &path).expect("write succeeds");
+        let body = std::fs::read_to_string(&path).expect("file exists");
+        assert!(
+            body.contains(SCHEMA),
+            "schema tag must appear in the artefact"
+        );
+        assert!(body.contains("\"probe\": \"headline\""));
+        assert!(
+            !dir.join("envelope.json.tmp").exists(),
+            "tmp sibling must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -200,6 +200,70 @@ impl FrozenView {
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// The raw CSR arrays, for the binary snapshot codec
+    /// (`crate::io`): `(offsets, neighbors, alive)`. The `live` index and
+    /// `num_edges` are derivable and re-derived on load.
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[NodeId], &[bool]) {
+        (&self.offsets, &self.neighbors, &self.alive)
+    }
+
+    /// Reassembles a view from decoded CSR arrays.
+    ///
+    /// The caller (the snapshot loader) is responsible for having
+    /// validated every CSR invariant — offsets monotone and spanning,
+    /// neighbour ids in-range and alive, `live` sorted and consistent
+    /// with `alive` — because a view violating them panics on use.
+    pub(crate) fn from_csr_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        live: Vec<NodeId>,
+        alive: Vec<bool>,
+        num_edges: usize,
+        epoch: u64,
+    ) -> Self {
+        Self {
+            offsets,
+            neighbors,
+            live,
+            alive,
+            num_edges,
+            epoch,
+        }
+    }
+}
+
+impl Graph {
+    /// Reconstructs a live, mutable graph from a frozen snapshot — the
+    /// inverse of [`Graph::freeze`] up to the freeze counter.
+    ///
+    /// The thawed graph reproduces the snapshot's slot space, liveness,
+    /// and *per-node neighbour order* exactly, so `Graph::thaw(&v).freeze()
+    /// == v` and walks driven by the same RNG visit identical node
+    /// sequences on either. Cost is `O(slots + edges)` with no per-edge
+    /// duplicate checking (the snapshot already guarantees the overlay
+    /// invariants).
+    ///
+    /// The freeze counter restarts at zero: a thawed graph is a *new*
+    /// graph instance whose first freeze stamps epoch 0, regardless of
+    /// which epoch the source snapshot carried.
+    #[must_use]
+    pub fn thaw(view: &FrozenView) -> Self {
+        let adjacency = (0..view.slot_count())
+            .map(|i| {
+                let id = NodeId::new(i);
+                if view.is_alive(id) {
+                    view.neighbors(id).to_vec()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let alive = (0..view.slot_count())
+            .map(|i| view.is_alive(NodeId::new(i)))
+            .collect();
+        Self::from_thawed_parts(adjacency, alive, view.num_nodes(), view.num_edges())
+    }
 }
 
 #[cfg(test)]

@@ -133,6 +133,28 @@ impl Graph {
         self.freeze_epoch.load(Ordering::Relaxed)
     }
 
+    /// Assembles a graph directly from adjacency lists that already
+    /// satisfy every overlay invariant (no self-loops, no duplicates,
+    /// symmetric, live endpoints) — the `Graph::thaw` fast path, which
+    /// must not pay [`Graph::add_edge`]'s per-edge duplicate scan.
+    pub(crate) fn from_thawed_parts(
+        adjacency: Vec<Vec<NodeId>>,
+        alive: Vec<bool>,
+        num_alive: usize,
+        num_edges: usize,
+    ) -> Self {
+        debug_assert_eq!(adjacency.len(), alive.len());
+        debug_assert_eq!(alive.iter().filter(|&&a| a).count(), num_alive);
+        debug_assert_eq!(adjacency.iter().map(Vec::len).sum::<usize>(), 2 * num_edges);
+        Self {
+            adjacency,
+            alive,
+            num_alive,
+            num_edges,
+            freeze_epoch: AtomicU64::new(0),
+        }
+    }
+
     /// Claims the next freeze epoch (post-incrementing the counter).
     pub(crate) fn next_freeze_epoch(&self) -> u64 {
         self.freeze_epoch.fetch_add(1, Ordering::Relaxed)

@@ -1,44 +1,719 @@
 //! Overlay snapshot I/O.
 //!
-//! Two interchange formats for [`Graph`] snapshots:
+//! Three interchange shapes for overlay snapshots:
 //!
-//! - a line-oriented **edge-list** text format (`write_edge_list` /
-//!   `read_edge_list`) for quick inspection and interop with graph tools;
+//! - a line-oriented **edge-list text** format
+//!   ([`SnapshotFormat::EdgeListText`]) for quick inspection and interop
+//!   with graph tools;
+//! - a **binary CSR** format ([`SnapshotFormat::BinaryV1`]): the frozen
+//!   snapshot's arrays ([`FrozenView`]) laid out verbatim as
+//!   little-endian sections behind a versioned, checksummed header, so a
+//!   multi-million-node snapshot reloads in a handful of bulk passes
+//!   instead of a per-edge parse (see [`load_frozen`]);
 //! - **serde** support on [`Graph`] itself (via a stable `{slots, dead,
-//!   edges}` representation), so experiments can checkpoint overlays with
-//!   any serde format.
+//!   edges}` representation), so experiments can checkpoint overlays
+//!   with any serde format.
 //!
-//! Both formats preserve dead (departed) node slots: identifiers are
+//! All of them preserve dead (departed) node slots: identifiers are
 //! never recycled (see [`crate::NodeId`]), and a faithful snapshot must
 //! keep the slot numbering intact.
+//!
+//! # Entry points
+//!
+//! [`save_snapshot`] / [`load_snapshot`] are the unified, format-
+//! negotiating surface: saving takes an explicit [`SnapshotFormat`],
+//! loading sniffs the leading magic bytes and returns a [`Snapshot`]
+//! that is either a live [`Graph`] (text) or a [`FrozenView`] (binary),
+//! convertible either way ([`Snapshot::into_graph`] thaws,
+//! [`Snapshot::into_frozen`] freezes). The path-based twins
+//! ([`save_snapshot_path`], [`load_snapshot_path`]) negotiate from the
+//! file extension and take the bulk-read fast path for binary files.
+//! The historical free functions `write_edge_list` / `read_edge_list`
+//! remain as deprecated wrappers for one release.
+//!
+//! # Binary layout (`BinaryV1`)
+//!
+//! ```text
+//! [ 0..8 )  magic  89 4F 43 53 4E 41 50 0A   ("\x89OCSNAP\n")
+//! [ 8..12)  format version, u32 LE (= 1)
+//! [12..16)  reserved, zero
+//! [16..24)  slot_count, u64 LE
+//! [24..32)  live_count, u64 LE
+//! [32..40)  entry_count, u64 LE (total adjacency entries = 2·edges)
+//! [40..48)  num_edges, u64 LE
+//! [48..56)  freeze epoch, u64 LE
+//! [56..64)  checksum, u64 LE (FNV-1a over the section words)
+//! [64..  )  offsets   section: (slot_count + 1) × u32 LE
+//!           neighbors section: entry_count × u32 LE
+//!           alive     section: ceil(slot_count / 8) bytes, LSB-first
+//! ```
+//!
+//! The file ends exactly after the alive bitmap; trailing bytes, short
+//! sections, padding bits set past `slot_count`, or a checksum mismatch
+//! are all rejected with a typed [`SnapshotError`] — a corrupt file can
+//! never panic the loader or produce a view violating CSR invariants.
 
-use std::io::{self, BufRead, Write};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, Read, Write};
+use std::path::Path;
 
-use crate::{Graph, NodeId};
+use crate::{FrozenView, Graph, NodeId};
 
-/// Magic first line of the edge-list format.
-const HEADER: &str = "# overlay-census edge list v1";
+/// Magic first line of the edge-list text format.
+const TEXT_HEADER: &str = "# overlay-census edge list v1";
 
-/// Writes a graph snapshot in the edge-list text format.
+/// Magic prefix of the binary snapshot format. The non-ASCII first byte
+/// (as in PNG) keeps binary snapshots from ever sniffing as text.
+const BINARY_MAGIC: [u8; 8] = *b"\x89OCSNAP\n";
+
+/// Binary format version this build writes and the only one it reads.
+const BINARY_VERSION: u32 = 1;
+
+/// Bytes of the fixed binary header.
+const HEADER_LEN: usize = 64;
+
+/// On-disk encodings of an overlay snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// The line-oriented `# overlay-census edge list v1` text format:
+    /// human-readable, diff-able, parsed edge by edge.
+    EdgeListText,
+    /// The versioned binary CSR format: the [`FrozenView`] arrays as
+    /// checksummed little-endian sections, decoded in bulk.
+    BinaryV1,
+}
+
+impl SnapshotFormat {
+    /// Negotiates a format from a file extension: `el`, `edges`, or
+    /// `txt` mean [`SnapshotFormat::EdgeListText`]; `snap`, `bin`, or
+    /// `csr` mean [`SnapshotFormat::BinaryV1`]. Unknown or missing
+    /// extensions return `None`.
+    #[must_use]
+    pub fn from_extension(path: &Path) -> Option<Self> {
+        match path.extension()?.to_str()? {
+            "el" | "edges" | "txt" => Some(SnapshotFormat::EdgeListText),
+            "snap" | "bin" | "csr" => Some(SnapshotFormat::BinaryV1),
+            _ => None,
+        }
+    }
+
+    /// Negotiates a format from the leading bytes of a snapshot: the
+    /// binary magic prefix, or the edge-list text header. Returns `None`
+    /// when the prefix matches neither (or is too short to tell).
+    #[must_use]
+    pub fn sniff(prefix: &[u8]) -> Option<Self> {
+        if prefix.len() >= BINARY_MAGIC.len() && prefix[..BINARY_MAGIC.len()] == BINARY_MAGIC {
+            Some(SnapshotFormat::BinaryV1)
+        } else if prefix.len() >= TEXT_HEADER.len()
+            && &prefix[..TEXT_HEADER.len()] == TEXT_HEADER.as_bytes()
+        {
+            Some(SnapshotFormat::EdgeListText)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for SnapshotFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotFormat::EdgeListText => write!(f, "edge-list-text"),
+            SnapshotFormat::BinaryV1 => write!(f, "binary-v1"),
+        }
+    }
+}
+
+/// Typed failure of any snapshot save or load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The input starts with neither the binary magic nor the edge-list
+    /// text header.
+    BadMagic,
+    /// A binary snapshot written by a newer (or corrupted) format
+    /// version.
+    UnsupportedVersion(u32),
+    /// A section ended before its header-declared length.
+    Truncated {
+        /// Which part of the file came up short.
+        section: &'static str,
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The section checksum did not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed over the sections read.
+        actual: u64,
+    },
+    /// The input parsed but violates a structural invariant (offsets not
+    /// monotone, a neighbour pointing at a dead slot, a malformed
+    /// edge-list line, ...).
+    Corrupt(String),
+    /// A path-based entry point could not negotiate a format from the
+    /// file extension.
+    UnknownExtension(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::BadMagic => write!(f, "not an overlay-census snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported binary snapshot version {v}")
+            }
+            SnapshotError::Truncated {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "truncated snapshot: {section} holds {actual} of {expected} expected bytes"
+            ),
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#018x}, sections hash to {actual:#018x}"
+            ),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::UnknownExtension(ext) => {
+                write!(f, "cannot negotiate a snapshot format from extension {ext:?}")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        // The edge-list parser reports malformed input as
+        // `InvalidData`; fold that into the structural-corruption
+        // variant so callers match one arm for "bad file".
+        if e.kind() == io::ErrorKind::InvalidData {
+            SnapshotError::Corrupt(e.to_string())
+        } else {
+            SnapshotError::Io(e)
+        }
+    }
+}
+
+/// What [`load_snapshot`] hands back: the representation native to the
+/// negotiated format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Snapshot {
+    /// A live graph parsed from the edge-list text format.
+    Graph(Graph),
+    /// A frozen CSR view decoded from the binary format.
+    Frozen(FrozenView),
+}
+
+impl Snapshot {
+    /// The format this snapshot was loaded from.
+    #[must_use]
+    pub fn format(&self) -> SnapshotFormat {
+        match self {
+            Snapshot::Graph(_) => SnapshotFormat::EdgeListText,
+            Snapshot::Frozen(_) => SnapshotFormat::BinaryV1,
+        }
+    }
+
+    /// Live node count, whichever representation is held.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            Snapshot::Graph(g) => g.num_nodes(),
+            Snapshot::Frozen(v) => v.num_nodes(),
+        }
+    }
+
+    /// The snapshot as a frozen CSR view, freezing a text-loaded graph
+    /// (stamping epoch 0 of the fresh graph's counter) if necessary.
+    #[must_use]
+    pub fn into_frozen(self) -> FrozenView {
+        match self {
+            Snapshot::Graph(g) => g.freeze(),
+            Snapshot::Frozen(v) => v,
+        }
+    }
+
+    /// The snapshot as a live, mutable graph, thawing a binary-loaded
+    /// view (see [`Graph::thaw`]) if necessary.
+    #[must_use]
+    pub fn into_graph(self) -> Graph {
+        match self {
+            Snapshot::Graph(g) => g,
+            Snapshot::Frozen(v) => Graph::thaw(&v),
+        }
+    }
+}
+
+/// Writes a graph snapshot in the requested format.
+///
+/// `BinaryV1` freezes the graph (advancing its freeze counter, exactly
+/// like any other [`Graph::freeze`]) and writes the CSR arrays; use
+/// [`write_frozen`] to save an already-frozen view without re-freezing.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// Propagates writer failures as [`SnapshotError::Io`].
 ///
 /// # Examples
 ///
 /// ```
-/// use census_graph::{generators, io};
+/// use census_graph::io::{self, Snapshot, SnapshotFormat};
+/// use census_graph::generators;
 ///
 /// let g = generators::ring(4);
 /// let mut buf = Vec::new();
-/// io::write_edge_list(&g, &mut buf)?;
-/// let restored = io::read_edge_list(&buf[..])?;
-/// assert_eq!(g, restored);
-/// # Ok::<(), std::io::Error>(())
+/// io::save_snapshot(&g, SnapshotFormat::BinaryV1, &mut buf)?;
+/// let Snapshot::Frozen(view) = io::load_snapshot(&buf[..])? else {
+///     unreachable!("binary snapshots load frozen");
+/// };
+/// assert_eq!(view.num_nodes(), 4);
+/// # Ok::<(), census_graph::io::SnapshotError>(())
 /// ```
-pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
-    writeln!(w, "{HEADER}")?;
+pub fn save_snapshot<W: Write>(
+    g: &Graph,
+    format: SnapshotFormat,
+    w: W,
+) -> Result<(), SnapshotError> {
+    match format {
+        SnapshotFormat::EdgeListText => write_edge_list_impl(g, w).map_err(SnapshotError::from),
+        SnapshotFormat::BinaryV1 => write_frozen(&g.freeze(), w),
+    }
+}
+
+/// Reads a snapshot in either format, negotiating from the leading
+/// magic bytes.
+///
+/// # Errors
+///
+/// [`SnapshotError::BadMagic`] when the input matches neither format;
+/// otherwise whatever the negotiated decoder reports.
+pub fn load_snapshot<R: BufRead>(mut r: R) -> Result<Snapshot, SnapshotError> {
+    let prefix = r.fill_buf().map_err(SnapshotError::Io)?;
+    match SnapshotFormat::sniff(prefix) {
+        Some(SnapshotFormat::BinaryV1) => read_frozen(r).map(Snapshot::Frozen),
+        Some(SnapshotFormat::EdgeListText) => read_edge_list_impl(r)
+            .map(Snapshot::Graph)
+            .map_err(SnapshotError::from),
+        None => Err(SnapshotError::BadMagic),
+    }
+}
+
+/// Saves a graph snapshot to `path`, negotiating the format from the
+/// extension (see [`SnapshotFormat::from_extension`]). Returns the
+/// format written.
+///
+/// # Errors
+///
+/// [`SnapshotError::UnknownExtension`] when no format matches the
+/// extension; otherwise whatever [`save_snapshot`] reports.
+pub fn save_snapshot_path(g: &Graph, path: &Path) -> Result<SnapshotFormat, SnapshotError> {
+    let format = SnapshotFormat::from_extension(path)
+        .ok_or_else(|| SnapshotError::UnknownExtension(format!("{}", path.display())))?;
+    let file = fs::File::create(path).map_err(SnapshotError::Io)?;
+    save_snapshot(g, format, io::BufWriter::new(file))?;
+    Ok(format)
+}
+
+/// Loads a snapshot from `path`, negotiating the format from the file
+/// contents. Binary snapshots go through the bulk single-read path of
+/// [`load_frozen`].
+///
+/// # Errors
+///
+/// See [`load_snapshot`].
+pub fn load_snapshot_path(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let bytes = fs::read(path).map_err(SnapshotError::Io)?;
+    match SnapshotFormat::sniff(&bytes) {
+        Some(SnapshotFormat::BinaryV1) => decode_frozen(&bytes).map(Snapshot::Frozen),
+        Some(SnapshotFormat::EdgeListText) => read_edge_list_impl(&bytes[..])
+            .map(Snapshot::Graph)
+            .map_err(SnapshotError::from),
+        None => Err(SnapshotError::BadMagic),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary CSR codec
+// ---------------------------------------------------------------------
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Integrity checksum over the section byte stream, folded 8 bytes at a
+/// time (FNV-1a over little-endian u64 words, zero-padded tail) so
+/// hashing keeps pace with the bulk decode it guards.
+#[derive(Debug)]
+struct SectionHasher {
+    state: u64,
+}
+
+impl SectionHasher {
+    fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+            self.state = (self.state ^ word).wrapping_mul(FNV_PRIME);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.state = (self.state ^ u64::from_le_bytes(tail)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Encodes `words` little-endian into `w` through a fixed scratch
+/// buffer, feeding the same bytes to `hasher`.
+fn write_u32_section<W: Write>(
+    words: impl Iterator<Item = u32>,
+    w: &mut W,
+    hasher: &mut SectionHasher,
+) -> io::Result<()> {
+    // 16 KiB of scratch: big enough to amortise write calls, small
+    // enough to stay cache-resident.
+    const CHUNK_WORDS: usize = 4096;
+    let mut buf = Vec::with_capacity(CHUNK_WORDS * 4);
+    for word in words {
+        buf.extend_from_slice(&word.to_le_bytes());
+        if buf.len() == CHUNK_WORDS * 4 {
+            hasher.update(&buf);
+            w.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    if !buf.is_empty() {
+        hasher.update(&buf);
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// The LSB-first liveness bitmap section of a view.
+fn alive_bitmap(alive: &[bool]) -> Vec<u8> {
+    let mut bitmap = vec![0u8; alive.len().div_ceil(8)];
+    for (i, &is_alive) in alive.iter().enumerate() {
+        if is_alive {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bitmap
+}
+
+/// Writes a frozen view in the binary CSR format (see the module docs
+/// for the layout).
+///
+/// # Errors
+///
+/// Propagates writer failures as [`SnapshotError::Io`].
+pub fn write_frozen<W: Write>(view: &FrozenView, mut w: W) -> Result<(), SnapshotError> {
+    let (offsets, neighbors, alive) = view.csr_parts();
+    let bitmap = alive_bitmap(alive);
+
+    // Pass 1: checksum the sections (cheap word folds over in-memory
+    // arrays); pass 2: stream them out. Nothing file-sized is buffered.
+    let mut hasher = SectionHasher::new();
+    let sink = &mut io::sink();
+    write_u32_section(offsets.iter().copied(), sink, &mut hasher)
+        .expect("hashing to a sink cannot fail");
+    write_u32_section(
+        neighbors.iter().map(|n| n.index() as u32),
+        sink,
+        &mut hasher,
+    )
+    .expect("hashing to a sink cannot fail");
+    hasher.update(&bitmap);
+    let checksum = hasher.finish();
+
+    let mut header = [0u8; HEADER_LEN];
+    header[..8].copy_from_slice(&BINARY_MAGIC);
+    header[8..12].copy_from_slice(&BINARY_VERSION.to_le_bytes());
+    // [12..16) reserved, zero.
+    header[16..24].copy_from_slice(&(view.slot_count() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(view.num_nodes() as u64).to_le_bytes());
+    header[32..40].copy_from_slice(&(view.degree_sum() as u64).to_le_bytes());
+    header[40..48].copy_from_slice(&(view.num_edges() as u64).to_le_bytes());
+    header[48..56].copy_from_slice(&view.epoch().to_le_bytes());
+    header[56..64].copy_from_slice(&checksum.to_le_bytes());
+    w.write_all(&header).map_err(SnapshotError::Io)?;
+
+    let mut discard = SectionHasher::new();
+    write_u32_section(offsets.iter().copied(), &mut w, &mut discard).map_err(SnapshotError::Io)?;
+    write_u32_section(
+        neighbors.iter().map(|n| n.index() as u32),
+        &mut w,
+        &mut discard,
+    )
+    .map_err(SnapshotError::Io)?;
+    w.write_all(&bitmap).map_err(SnapshotError::Io)?;
+    w.flush().map_err(SnapshotError::Io)?;
+    Ok(())
+}
+
+/// Saves a frozen view to `path` in the binary CSR format.
+///
+/// # Errors
+///
+/// See [`write_frozen`].
+pub fn save_frozen(view: &FrozenView, path: &Path) -> Result<(), SnapshotError> {
+    let file = fs::File::create(path).map_err(SnapshotError::Io)?;
+    write_frozen(view, io::BufWriter::new(file))
+}
+
+/// Loads a binary frozen snapshot from `path` through the bulk path:
+/// one `fs::read` of the whole file, then a handful of linear decode
+/// and validation passes over the in-memory bytes — no per-edge
+/// parsing, no intermediate graph. This is the campaign-scale reload
+/// path: a multi-million-node snapshot loads in a small fraction of the
+/// time generating and freezing it took (`perf-probe bench snapshot-io`
+/// holds the ratio under 1%).
+///
+/// # Errors
+///
+/// See [`read_frozen`].
+pub fn load_frozen(path: &Path) -> Result<FrozenView, SnapshotError> {
+    let bytes = fs::read(path).map_err(SnapshotError::Io)?;
+    decode_frozen(&bytes)
+}
+
+/// Reads a binary frozen snapshot from an arbitrary reader (buffering
+/// it fully; prefer [`load_frozen`] for files).
+///
+/// # Errors
+///
+/// Every malformation maps to a typed [`SnapshotError`]; no input can
+/// panic the decoder or yield a view violating CSR invariants.
+pub fn read_frozen<R: Read>(mut r: R) -> Result<FrozenView, SnapshotError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes).map_err(SnapshotError::Io)?;
+    decode_frozen(&bytes)
+}
+
+/// Reads a little-endian u64 from a fixed header position.
+fn header_u64(header: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(header[at..at + 8].try_into().expect("8-byte header field"))
+}
+
+/// Decodes a 4-byte-aligned little-endian u32 section. On little-endian
+/// targets the loop compiles to a bulk copy.
+fn decode_u32_section(bytes: &[u8]) -> Vec<u32> {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+        .collect()
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// The slice-level binary decoder behind [`load_frozen`] /
+/// [`read_frozen`]: validates the header against the actual byte count
+/// *before* allocating, checksums the sections, then decodes and checks
+/// every CSR invariant.
+fn decode_frozen(bytes: &[u8]) -> Result<FrozenView, SnapshotError> {
+    if bytes.len() < BINARY_MAGIC.len() || bytes[..BINARY_MAGIC.len()] != BINARY_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            section: "header",
+            expected: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let header = &bytes[..HEADER_LEN];
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4-byte version"));
+    if version != BINARY_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let slot_count = header_u64(header, 16);
+    let live_count = header_u64(header, 24);
+    let entry_count = header_u64(header, 32);
+    let num_edges = header_u64(header, 40);
+    let epoch = header_u64(header, 48);
+    let checksum = header_u64(header, 56);
+
+    // Section geometry, validated against the real byte count before any
+    // header-sized allocation happens.
+    let offsets_len = slot_count
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| corrupt("slot count overflows the offsets section"))?;
+    let neighbors_len = entry_count
+        .checked_mul(4)
+        .ok_or_else(|| corrupt("entry count overflows the neighbors section"))?;
+    let bitmap_len = slot_count.div_ceil(8);
+    let body_len = offsets_len
+        .checked_add(neighbors_len)
+        .and_then(|n| n.checked_add(bitmap_len))
+        .ok_or_else(|| corrupt("section lengths overflow"))?;
+    let expected = (HEADER_LEN as u64)
+        .checked_add(body_len)
+        .ok_or_else(|| corrupt("file length overflows"))?;
+    let actual = bytes.len() as u64;
+    if actual < expected {
+        return Err(SnapshotError::Truncated {
+            section: "sections",
+            expected,
+            actual,
+        });
+    }
+    if actual > expected {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the alive bitmap",
+            actual - expected
+        )));
+    }
+
+    let body = &bytes[HEADER_LEN..];
+    let (offsets_bytes, rest) = body.split_at(offsets_len as usize);
+    let (neighbors_bytes, bitmap) = rest.split_at(neighbors_len as usize);
+
+    let mut hasher = SectionHasher::new();
+    hasher.update(offsets_bytes);
+    hasher.update(neighbors_bytes);
+    hasher.update(bitmap);
+    let recomputed = hasher.finish();
+    if recomputed != checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            expected: checksum,
+            actual: recomputed,
+        });
+    }
+
+    // Decode sections.
+    let slots = usize::try_from(slot_count).map_err(|_| corrupt("slot count exceeds usize"))?;
+    let offsets = decode_u32_section(offsets_bytes);
+    let neighbor_words = decode_u32_section(neighbors_bytes);
+    let mut alive = vec![false; slots];
+    let mut live: Vec<NodeId> = Vec::with_capacity(
+        usize::try_from(live_count).map_err(|_| corrupt("live count exceeds usize"))?,
+    );
+    for (i, slot_alive) in alive.iter_mut().enumerate() {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            *slot_alive = true;
+            live.push(NodeId::new(i));
+        }
+    }
+    // Padding bits past slot_count must be zero: the writer never sets
+    // them, and rejecting them keeps save∘load byte-idempotent.
+    if slots % 8 != 0 {
+        if let Some(&last) = bitmap.last() {
+            if last >> (slots % 8) != 0 {
+                return Err(corrupt("alive bitmap has padding bits set"));
+            }
+        }
+    }
+
+    // CSR invariants: everything a FrozenView consumer assumes.
+    if live.len() as u64 != live_count {
+        return Err(corrupt(format!(
+            "header claims {live_count} live nodes, bitmap holds {}",
+            live.len()
+        )));
+    }
+    if entry_count != num_edges.wrapping_mul(2) {
+        return Err(corrupt(format!(
+            "entry count {entry_count} is not twice the edge count {num_edges}"
+        )));
+    }
+    if offsets.first() != Some(&0) {
+        return Err(corrupt("offsets section must start at zero"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt("offsets section is not monotone"));
+    }
+    if u64::from(*offsets.last().expect("offsets section is non-empty")) != entry_count {
+        return Err(corrupt(
+            "offsets section does not span the neighbor section",
+        ));
+    }
+    for (i, &slot_alive) in alive.iter().enumerate() {
+        if !slot_alive && offsets[i] != offsets[i + 1] {
+            return Err(corrupt(format!("dead slot {i} has a non-empty CSR row")));
+        }
+    }
+    let neighbors: Vec<NodeId> = neighbor_words
+        .into_iter()
+        .map(|w| {
+            let i = w as usize;
+            if i < slots && alive[i] {
+                Ok(NodeId::new(i))
+            } else {
+                Err(corrupt(format!(
+                    "neighbor entry n{w} is out of range or dead"
+                )))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let edges = usize::try_from(num_edges).map_err(|_| corrupt("edge count exceeds usize"))?;
+    Ok(FrozenView::from_csr_parts(
+        offsets, neighbors, live, alive, edges, epoch,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Edge-list text codec
+// ---------------------------------------------------------------------
+
+/// Writes a graph snapshot in the edge-list text format. Deprecated
+/// entry point: prefer [`save_snapshot`] with
+/// [`SnapshotFormat::EdgeListText`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+#[deprecated(note = "use save_snapshot(g, SnapshotFormat::EdgeListText, w) instead")]
+pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> io::Result<()> {
+    write_edge_list_impl(g, w)
+}
+
+/// Reads a graph snapshot written in the edge-list text format.
+/// Deprecated entry point: prefer [`load_snapshot`], which negotiates
+/// the format.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on any malformed line, unknown
+/// directive, out-of-range index, duplicate edge, or edge touching a dead
+/// slot, in addition to propagating reader errors.
+#[deprecated(note = "use load_snapshot(r) instead")]
+pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
+    read_edge_list_impl(r)
+}
+
+fn write_edge_list_impl<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "{TEXT_HEADER}")?;
     writeln!(w, "slots {}", g.slot_count())?;
     for i in 0..g.slot_count() {
         if !g.is_alive(NodeId::new(i)) {
@@ -55,19 +730,12 @@ fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Reads a graph snapshot written by [`write_edge_list`].
-///
-/// # Errors
-///
-/// Returns [`io::ErrorKind::InvalidData`] on any malformed line, unknown
-/// directive, out-of-range index, duplicate edge, or edge touching a dead
-/// slot, in addition to propagating reader errors.
-pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
+fn read_edge_list_impl<R: BufRead>(r: R) -> io::Result<Graph> {
     let mut lines = r.lines();
     let first = lines
         .next()
         .ok_or_else(|| bad_data("empty input".into()))??;
-    if first.trim() != HEADER {
+    if first.trim() != TEXT_HEADER {
         return Err(bad_data(format!("missing header, got {first:?}")));
     }
     let mut graph: Option<Graph> = None;
@@ -141,23 +809,219 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
+    fn churned(n: usize, kills: usize, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut g = generators::balanced(n, 10, &mut rng);
+        for _ in 0..kills {
+            let victim = g.random_node(&mut rng).expect("non-empty");
+            let _ = g.remove_node(victim);
+        }
+        g
+    }
+
     #[test]
-    fn roundtrip_preserves_everything() {
-        let mut rng = SmallRng::seed_from_u64(1);
-        let mut g = generators::balanced(100, 10, &mut rng);
+    fn text_roundtrip_preserves_everything() {
+        let mut g = churned(100, 0, 1);
         g.remove_node(NodeId::new(7)).expect("alive");
         g.remove_node(NodeId::new(42)).expect("alive");
         let mut buf = Vec::new();
-        write_edge_list(&g, &mut buf).expect("write");
-        let restored = read_edge_list(&buf[..]).expect("read");
+        save_snapshot(&g, SnapshotFormat::EdgeListText, &mut buf).expect("write");
+        let restored = load_snapshot(&buf[..]).expect("read");
+        assert_eq!(restored.format(), SnapshotFormat::EdgeListText);
+        let restored = restored.into_graph();
         assert_eq!(g, restored);
         assert!(!restored.is_alive(NodeId::new(7)));
         assert_eq!(restored.num_edges(), g.num_edges());
     }
 
     #[test]
-    fn empty_graph_roundtrips() {
+    fn binary_roundtrip_is_identical_including_epoch() {
+        let g = churned(200, 50, 2);
+        let _ = g.freeze(); // advance the counter so the epoch is non-zero
+        let frozen = g.freeze();
+        assert_eq!(frozen.epoch(), 1);
+        let mut buf = Vec::new();
+        write_frozen(&frozen, &mut buf).expect("write");
+        let back = read_frozen(&buf[..]).expect("read");
+        assert_eq!(back, frozen);
+        assert_eq!(back.epoch(), frozen.epoch());
+        let (o1, n1, a1) = frozen.csr_parts();
+        let (o2, n2, a2) = back.csr_parts();
+        assert_eq!((o1, n1, a1), (o2, n2, a2), "arrays must match bit for bit");
+    }
+
+    #[test]
+    fn empty_graph_roundtrips_in_both_formats() {
         let g = Graph::new();
+        let mut text = Vec::new();
+        save_snapshot(&g, SnapshotFormat::EdgeListText, &mut text).expect("write");
+        assert_eq!(load_snapshot(&text[..]).expect("read").into_graph(), g);
+        let frozen = g.freeze();
+        let mut bin = Vec::new();
+        write_frozen(&frozen, &mut bin).expect("write");
+        assert_eq!(read_frozen(&bin[..]).expect("read"), frozen);
+    }
+
+    #[test]
+    fn save_snapshot_binary_matches_write_frozen() {
+        let g = churned(64, 10, 3);
+        let mut via_graph = Vec::new();
+        save_snapshot(&g.clone(), SnapshotFormat::BinaryV1, &mut via_graph).expect("write");
+        let loaded = load_snapshot(&via_graph[..]).expect("read").into_frozen();
+        assert_eq!(loaded, g.freeze());
+    }
+
+    #[test]
+    fn thaw_then_freeze_reproduces_the_view() {
+        let g = churned(150, 40, 4);
+        let frozen = g.freeze();
+        let thawed = Graph::thaw(&frozen);
+        assert_eq!(thawed.num_nodes(), g.num_nodes());
+        assert_eq!(thawed.num_edges(), g.num_edges());
+        assert_eq!(
+            thawed.freeze_count(),
+            0,
+            "thawed graphs restart the counter"
+        );
+        let refrozen = thawed.freeze();
+        assert_eq!(refrozen, frozen);
+        assert_eq!(refrozen.epoch(), 0);
+        // Neighbour order — the walk-equivalence invariant — survives.
+        for v in g.nodes() {
+            assert_eq!(thawed.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn sniff_and_extension_negotiate_consistently() {
+        assert_eq!(
+            SnapshotFormat::sniff(TEXT_HEADER.as_bytes()),
+            Some(SnapshotFormat::EdgeListText)
+        );
+        assert_eq!(
+            SnapshotFormat::sniff(&BINARY_MAGIC),
+            Some(SnapshotFormat::BinaryV1)
+        );
+        assert_eq!(SnapshotFormat::sniff(b"plain nonsense"), None);
+        assert_eq!(SnapshotFormat::sniff(b"#"), None, "too short to tell");
+        assert_eq!(
+            SnapshotFormat::from_extension(Path::new("a/b.snap")),
+            Some(SnapshotFormat::BinaryV1)
+        );
+        assert_eq!(
+            SnapshotFormat::from_extension(Path::new("a/b.el")),
+            Some(SnapshotFormat::EdgeListText)
+        );
+        assert_eq!(SnapshotFormat::from_extension(Path::new("a/b.json")), None);
+        assert_eq!(SnapshotFormat::from_extension(Path::new("noext")), None);
+    }
+
+    #[test]
+    fn path_entry_points_roundtrip_both_formats() {
+        let dir = std::env::temp_dir().join("census-io-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let g = churned(80, 20, 5);
+
+        let bin = dir.join("overlay.snap");
+        assert_eq!(
+            save_snapshot_path(&g.clone(), &bin).expect("save"),
+            SnapshotFormat::BinaryV1
+        );
+        let loaded = load_snapshot_path(&bin).expect("load");
+        assert_eq!(loaded.format(), SnapshotFormat::BinaryV1);
+        assert_eq!(loaded.num_nodes(), g.num_nodes());
+        assert_eq!(loaded.into_frozen(), g.freeze());
+
+        let text = dir.join("overlay.el");
+        assert_eq!(
+            save_snapshot_path(&g, &text).expect("save"),
+            SnapshotFormat::EdgeListText
+        );
+        assert_eq!(load_snapshot_path(&text).expect("load").into_graph(), g);
+
+        let err = save_snapshot_path(&g, &dir.join("overlay.json")).expect_err("unknown ext");
+        assert!(matches!(err, SnapshotError::UnknownExtension(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(matches!(
+            load_snapshot(&b"garbage that is neither format"[..]),
+            Err(SnapshotError::BadMagic)
+        ));
+        let frozen = churned(50, 5, 6).freeze();
+        let mut buf = Vec::new();
+        write_frozen(&frozen, &mut buf).expect("write");
+        // Every strict prefix must fail with a typed error, never panic.
+        for cut in [8, HEADER_LEN - 1, HEADER_LEN, buf.len() - 1] {
+            let err = read_frozen(&buf[..cut]).expect_err("truncated input");
+            assert!(
+                matches!(err, SnapshotError::Truncated { .. }),
+                "cut at {cut} gave {err}"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut longer = buf.clone();
+        longer.push(0);
+        assert!(matches!(
+            read_frozen(&longer[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_version_checksum_and_structural_corruption() {
+        let frozen = churned(50, 5, 7).freeze();
+        let mut buf = Vec::new();
+        write_frozen(&frozen, &mut buf).expect("write");
+
+        let mut wrong_version = buf.clone();
+        wrong_version[8] = 9;
+        assert!(matches!(
+            read_frozen(&wrong_version[..]),
+            Err(SnapshotError::UnsupportedVersion(9))
+        ));
+
+        // Flip one neighbor byte: the checksum catches it first.
+        let mut flipped = buf.clone();
+        let mid = HEADER_LEN + (buf.len() - HEADER_LEN) / 2;
+        flipped[mid] ^= 0xFF;
+        assert!(matches!(
+            read_frozen(&flipped[..]),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Corrupt the header edge count: sections still hash clean, but
+        // the structural validation rejects the inconsistency.
+        let mut bad_edges = buf;
+        bad_edges[40..48].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frozen(&bad_edges[..]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SnapshotError::Truncated {
+            section: "sections",
+            expected: 100,
+            actual: 7,
+        };
+        assert!(e.to_string().contains("7 of 100"));
+        assert!(SnapshotError::BadMagic.to_string().contains("magic"));
+        let c = SnapshotError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(c.to_string().contains("checksum"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_roundtrip() {
+        let g = churned(40, 4, 8);
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).expect("write");
         assert_eq!(read_edge_list(&buf[..]).expect("read"), g);
@@ -165,41 +1029,36 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = format!("{HEADER}\n\n# a comment\nslots 2\nedge 0 1\n");
-        let g = read_edge_list(text.as_bytes()).expect("read");
+        let text = format!("{TEXT_HEADER}\n\n# a comment\nslots 2\nedge 0 1\n");
+        let g = load_snapshot(text.as_bytes()).expect("read").into_graph();
         assert_eq!(g.num_edges(), 1);
     }
 
     #[test]
-    fn rejects_missing_header() {
-        let err = read_edge_list("slots 2\n".as_bytes()).expect_err("must fail");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-    }
-
-    #[test]
-    fn rejects_edge_out_of_range() {
-        let text = format!("{HEADER}\nslots 2\nedge 0 5\n");
-        assert!(read_edge_list(text.as_bytes()).is_err());
-    }
-
-    #[test]
-    fn rejects_duplicate_edge() {
-        let text = format!("{HEADER}\nslots 2\nedge 0 1\nedge 1 0\n");
-        assert!(read_edge_list(text.as_bytes()).is_err());
-    }
-
-    #[test]
-    fn rejects_self_loop_and_dead_endpoint() {
-        let loop_text = format!("{HEADER}\nslots 2\nedge 1 1\n");
-        assert!(read_edge_list(loop_text.as_bytes()).is_err());
-        let dead_text = format!("{HEADER}\nslots 2\ndead 0\nedge 0 1\n");
-        assert!(read_edge_list(dead_text.as_bytes()).is_err());
-    }
-
-    #[test]
-    fn rejects_unknown_directive() {
-        let text = format!("{HEADER}\nslots 1\nfrobnicate 3\n");
-        assert!(read_edge_list(text.as_bytes()).is_err());
+    fn text_rejects_malformed_input() {
+        let cases = [
+            "slots 2\n".to_owned(),                                  // missing header
+            format!("{TEXT_HEADER}\nslots 2\nedge 0 5\n"),           // out of range
+            format!("{TEXT_HEADER}\nslots 2\nedge 0 1\nedge 1 0\n"), // duplicate
+            format!("{TEXT_HEADER}\nslots 2\nedge 1 1\n"),           // self-loop
+            format!("{TEXT_HEADER}\nslots 2\ndead 0\nedge 0 1\n"),   // dead endpoint
+            format!("{TEXT_HEADER}\nslots 1\nfrobnicate 3\n"),       // unknown directive
+        ];
+        for text in cases {
+            let err = read_edge_list_impl(text.as_bytes()).expect_err("must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{text:?}");
+        }
+        // The unified loader wraps the same failures as Corrupt (except
+        // the missing header, which is a magic mismatch).
+        assert!(matches!(
+            load_snapshot("slots 2\n".as_bytes()),
+            Err(SnapshotError::BadMagic)
+        ));
+        let dup = format!("{TEXT_HEADER}\nslots 2\nedge 0 1\nedge 1 0\n");
+        assert!(matches!(
+            load_snapshot(dup.as_bytes()),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! random walk into short shard-local *segments* stitched together at the
 //! edges that cross shard boundaries. [`ShardedFrozenView`] is the
 //! topology side of that decomposition: the slot space of a frozen
-//! snapshot is split into `S` contiguous vertex ranges of uniform stride,
+//! snapshot is split into `S` contiguous, balanced vertex ranges,
 //! each materialised as its own CSR slab, and every adjacency entry is
 //! annotated with a *route* — either the target's local slot in the same
 //! slab, or an index into the slab's connector table giving the target's
@@ -24,11 +24,21 @@
 //! reproduces today's `FrozenView` behaviour exactly (and cheaply: one
 //! slab, an empty connector table, every route local).
 //!
-//! The shard of a slot is `slot / stride` with
-//! `stride = ceil(slot_count / shards)` — a pure function of the slot
-//! space and the shard count, so two freezes of the same topology always
-//! partition identically and per-shard slabs can be diffed across epochs
-//! (see `census-service`'s shard-vector refreeze).
+//! Slots are split as evenly as possible: with `q = slot_count / S` and
+//! `r = slot_count % S`, the first `r` shards take `q + 1` slots and the
+//! rest take `q`, so slab sizes never differ by more than one and — the
+//! historical failure mode of the ceil-stride split — no shard ends up
+//! silently empty while slots remain (`10` slots over `8` shards used to
+//! yield stride `2` and five non-empty slabs; now every shard holds at
+//! least one slot whenever `slot_count >= S`). When `S > slot_count`
+//! there are simply not enough slots to go around: the first
+//! `slot_count` shards hold one slot each and the rest are empty *by
+//! construction* — the slab count always equals the requested shard
+//! count, an invariant the service layer relies on to diff slabs
+//! per-shard across epochs while churn grows the slot space. The shard
+//! of a slot remains a pure O(1) function of `(slot_count, S)`, so two
+//! freezes of the same topology always partition identically (see
+//! `census-service`'s shard-vector refreeze).
 
 use crate::{FrozenView, NodeId, Topology};
 
@@ -184,8 +194,11 @@ impl ShardSlab {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedFrozenView {
     slabs: Vec<ShardSlab>,
-    /// Slots per shard: `shard_of(slot) = slot / stride`.
-    stride: usize,
+    /// Base slots per shard: `slot_count / shards`.
+    base: usize,
+    /// Shards holding one extra slot: `slot_count % shards`. The first
+    /// `extra` shards have `base + 1` slots, the rest `base`.
+    extra: usize,
     slot_count: usize,
     num_nodes: usize,
     num_edges: usize,
@@ -197,7 +210,12 @@ pub struct ShardedFrozenView {
 }
 
 impl ShardedFrozenView {
-    /// Partitions `frozen` into `shards` contiguous vertex ranges.
+    /// Partitions `frozen` into `shards` contiguous vertex ranges of
+    /// balanced size (differing by at most one slot; see the module
+    /// docs). Whenever `slot_count >= shards` every slab is non-empty;
+    /// with more shards than slots the trailing `shards - slot_count`
+    /// slabs are empty by construction, and the slab count still equals
+    /// `shards` so per-shard epoch diffing stays well-defined.
     ///
     /// Cost is `O(slots + edges)`. The partition is a pure function of
     /// the snapshot's slot space and `shards`, so re-freezing an
@@ -210,14 +228,15 @@ impl ShardedFrozenView {
     pub fn partition(frozen: &FrozenView, shards: usize) -> Self {
         assert!(shards > 0, "a sharded view needs at least one shard");
         let slot_count = frozen.slot_count();
-        let stride = slot_count.div_ceil(shards).max(1);
+        let base = slot_count / shards;
+        let extra = slot_count % shards;
         let mut slabs = Vec::with_capacity(shards);
         let mut live_prefix = Vec::with_capacity(shards + 1);
         live_prefix.push(0usize);
+        let mut start_slot = 0usize;
         for s in 0..shards {
-            let start_slot = (s * stride).min(slot_count);
-            let end_slot = ((s + 1) * stride).min(slot_count);
-            let slots = end_slot - start_slot;
+            let slots = base + usize::from(s < extra);
+            let end_slot = start_slot + slots;
             let mut offsets = Vec::with_capacity(slots + 1);
             let mut neighbors = Vec::new();
             let mut routes = Vec::new();
@@ -231,9 +250,8 @@ impl ShardedFrozenView {
                     *slot_alive = true;
                     live.push(id);
                     for &v in frozen.neighbors(id) {
-                        let target_shard = v.index() / stride;
-                        let target_local = u32::try_from(v.index() - target_shard * stride)
-                            .expect("local slot fits in u32");
+                        let (target_shard, local) = Self::address(base, extra, v.index());
+                        let target_local = u32::try_from(local).expect("local slot fits in u32");
                         let route = if target_shard == s {
                             debug_assert!(target_local & CUT_BIT == 0);
                             target_local
@@ -262,10 +280,13 @@ impl ShardedFrozenView {
                 alive,
                 live,
             });
+            start_slot = end_slot;
         }
+        debug_assert_eq!(start_slot, slot_count, "slabs must tile the slot space");
         Self {
             slabs,
-            stride,
+            base,
+            extra,
             slot_count,
             num_nodes: frozen.num_nodes(),
             num_edges: frozen.num_edges(),
@@ -278,12 +299,6 @@ impl ShardedFrozenView {
     #[must_use]
     pub fn shards(&self) -> usize {
         self.slabs.len()
-    }
-
-    /// Slots per shard (the partitioning stride).
-    #[must_use]
-    pub fn stride(&self) -> usize {
-        self.stride
     }
 
     /// One shard's slab.
@@ -324,19 +339,37 @@ impl ShardedFrozenView {
         self.slabs.iter().map(ShardSlab::cut_edges).sum()
     }
 
+    /// The `(shard, local)` address of a slot under the balanced split:
+    /// the first `extra` shards hold `base + 1` slots, the rest `base`.
+    /// O(1) and a pure function of `(slot_count, shards)`. The `base ==
+    /// 0` case (more shards than slots) never reaches the second branch
+    /// for an in-range slot — every such slot sits in a width-one shard
+    /// below the boundary — so the `max(1)` guard only keeps the
+    /// arithmetic total for out-of-range inputs.
+    #[inline]
+    fn address(base: usize, extra: usize, slot: usize) -> (usize, usize) {
+        let boundary = extra * (base + 1);
+        if slot < boundary {
+            (slot / (base + 1), slot % (base + 1))
+        } else {
+            let past = slot - boundary;
+            (extra + past / base.max(1), past % base.max(1))
+        }
+    }
+
     /// The shard owning a slot.
     #[must_use]
     #[inline]
     pub fn shard_of(&self, node: NodeId) -> u32 {
-        u32::try_from(node.index() / self.stride).expect("shard fits in u32")
+        let (shard, _) = Self::address(self.base, self.extra, node.index());
+        u32::try_from(shard).expect("shard fits in u32")
     }
 
     /// The `(shard, local)` address of a slot.
     #[must_use]
     #[inline]
     pub fn locate(&self, node: NodeId) -> (u32, u32) {
-        let shard = node.index() / self.stride;
-        let local = node.index() - shard * self.stride;
+        let (shard, local) = Self::address(self.base, self.extra, node.index());
         (
             u32::try_from(shard).expect("shard fits in u32"),
             u32::try_from(local).expect("local slot fits in u32"),
@@ -573,7 +606,12 @@ mod tests {
     }
 
     #[test]
-    fn more_shards_than_slots_leaves_trailing_slabs_empty() {
+    fn more_shards_than_slots_fills_one_slot_per_leading_slab() {
+        // With S > slot_count there are not enough slots to go around:
+        // the first slot_count shards take one slot each, the rest stay
+        // empty by construction, and the slab count still equals the
+        // requested shard count (the service's per-shard epoch diffing
+        // depends on that).
         let mut g = crate::Graph::new();
         let ids = g.add_nodes(3);
         g.add_edge(ids[0], ids[1]).expect("fresh edge");
@@ -581,13 +619,44 @@ mod tests {
         let sharded = ShardedFrozenView::partition(&frozen, 8);
         assert_eq!(sharded.shards(), 8);
         assert_eq!(sharded.num_nodes(), 3);
-        assert_eq!(sharded.stride(), 1);
+        for s in 0..3 {
+            assert_eq!(sharded.slab(s).slots(), 1, "slab {s} should hold one slot");
+        }
         for s in 3..8 {
             assert_eq!(sharded.slab(s).slots(), 0, "slab {s} should be empty");
         }
         assert_eq!(sharded.neighbors(ids[0]), &[ids[1]]);
         assert_eq!(sharded.locate(ids[2]), (2, 0));
         assert_eq!(sharded.global(2, 0), ids[2]);
+        // The lone cross-shard edge routes as a cut in both directions.
+        assert_eq!(sharded.cut_edges(), 2);
+    }
+
+    #[test]
+    fn no_slab_is_empty_when_slots_cover_the_shards() {
+        // The ceil-stride split used to strand trailing shards with zero
+        // slots even when slots outnumbered shards (10 slots over 8
+        // shards: stride 2, five non-empty slabs). The balanced split
+        // sizes every slab within one slot of its peers.
+        for (slots, shards) in [(10usize, 8usize), (9, 8), (17, 4), (5, 5), (100, 7)] {
+            let mut g = crate::Graph::new();
+            g.add_nodes(slots);
+            let sharded = ShardedFrozenView::partition(&g.freeze(), shards);
+            assert_eq!(sharded.shards(), shards);
+            let sizes: Vec<usize> = (0..shards)
+                .map(|s| sharded.slab(u32::try_from(s).expect("small")).slots())
+                .collect();
+            assert!(
+                sizes.iter().all(|&n| n >= 1),
+                "{slots} slots over {shards} shards left an empty slab: {sizes:?}"
+            );
+            let (min, max) = (
+                *sizes.iter().min().expect("non-empty"),
+                *sizes.iter().max().expect("non-empty"),
+            );
+            assert!(max - min <= 1, "slab sizes must be balanced, got {sizes:?}");
+            assert_eq!(sizes.iter().sum::<usize>(), slots, "slabs must tile");
+        }
     }
 
     #[test]
@@ -667,6 +736,17 @@ mod tests {
                 covered = slab.start_slot() + slab.slots();
             }
             prop_assert_eq!(covered, frozen.slot_count());
+            // Balanced split: no slab sits empty while slots remain, and
+            // sizes stay within one slot of each other.
+            let sizes: Vec<usize> = (0..shards)
+                .map(|s| sharded.slab(u32::try_from(s).expect("small")).slots())
+                .collect();
+            if frozen.slot_count() >= shards {
+                prop_assert!(sizes.iter().all(|&c| c >= 1), "empty slab in {:?}", sizes);
+            }
+            let min = sizes.iter().min().copied().expect("non-empty");
+            let max = sizes.iter().max().copied().expect("non-empty");
+            prop_assert!(max - min <= 1, "unbalanced slabs {:?}", sizes);
             // Per-node data round-trips and routes resolve.
             let mut live_total = 0usize;
             for slot in 0..frozen.slot_count() {

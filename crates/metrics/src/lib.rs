@@ -29,4 +29,4 @@ mod registry;
 pub use ctx::RunCtx;
 pub use metric::{GaugeMetric, HistogramMetric, Metric};
 pub use recorder::{NoopRecorder, Recorder, NOOP};
-pub use registry::{HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS};
+pub use registry::{bucket_bounds, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS};

@@ -31,6 +31,53 @@ fn bucket_of(value: f64) -> usize {
     bits.min(HISTOGRAM_BUCKETS - 1)
 }
 
+/// The value range a bucket covers: bucket `0` is `[0, 1)`, bucket `b ≥
+/// 1` is `[2^(b−1), 2^b)`. The last bucket is open-ended at the top; its
+/// nominal upper bound is still returned so quantile interpolation has a
+/// finite range to work with.
+///
+/// # Panics
+///
+/// Panics if `bucket >= HISTOGRAM_BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(bucket: usize) -> (f64, f64) {
+    assert!(bucket < HISTOGRAM_BUCKETS, "bucket {bucket} out of range");
+    if bucket == 0 {
+        (0.0, 1.0)
+    } else {
+        ((1u64 << (bucket - 1)) as f64, (1u64 << bucket) as f64)
+    }
+}
+
+/// Quantile estimate over raw bucket counts: find the bucket holding the
+/// rank `q·count`, then interpolate linearly inside it. Shared by
+/// [`Registry::histogram_quantile`] and [`HistogramSnapshot::quantile`].
+fn quantile_from_buckets(buckets: &[u64], count: u64, q: f64) -> Option<f64> {
+    if count == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let rank = q * count as f64;
+    let mut below = 0u64;
+    for (b, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let cum = below + c;
+        if cum as f64 >= rank {
+            let (lower, upper) = bucket_bounds(b);
+            let within = ((rank - below as f64) / c as f64).clamp(0.0, 1.0);
+            return Some(lower + (upper - lower) * within);
+        }
+        below = cum;
+    }
+    // Rounding pushed the rank past the final cumulative count: the
+    // answer is the upper edge of the last non-empty bucket.
+    buckets
+        .iter()
+        .rposition(|&c| c != 0)
+        .map(|b| bucket_bounds(b).1)
+}
+
 /// One fixed-bucket histogram: per-bucket counts plus an exact count and
 /// floating-point sum for mean reconstruction.
 #[derive(Debug)]
@@ -134,6 +181,26 @@ impl Registry {
     #[must_use]
     pub fn gauge(&self, gauge: GaugeMetric) -> u64 {
         self.gauges[gauge as usize].load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`) of one histogram, linearly
+    /// interpolated within its power-of-two bucket.
+    ///
+    /// Bucket geometry bounds the error: the true value and the estimate
+    /// share a bucket, so the estimate is within a factor of two of the
+    /// true quantile — coarse, but faithful in ordering, and exactly
+    /// what the fixed-footprint registry can answer without keeping raw
+    /// samples. Returns `None` for an empty histogram or a `q` outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn histogram_quantile(&self, metric: HistogramMetric, q: f64) -> Option<f64> {
+        let hist = &self.histograms[metric as usize];
+        let buckets: Vec<u64> = hist
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_from_buckets(&buckets, hist.count.load(Ordering::Relaxed), q)
     }
 
     /// Total overlay messages recorded: the sum of every message-class
@@ -272,6 +339,15 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Quantile estimate over the snapshotted buckets; see
+    /// [`Registry::histogram_quantile`] for semantics and error bounds.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.buckets, self.count, q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +365,88 @@ mod tests {
         assert_eq!(bucket_of(f64::INFINITY), HISTOGRAM_BUCKETS - 1);
         assert_eq!(bucket_of(-3.0), 0);
         assert_eq!(bucket_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_positive_axis() {
+        assert_eq!(bucket_bounds(0), (0.0, 1.0));
+        assert_eq!(bucket_bounds(1), (1.0, 2.0));
+        assert_eq!(bucket_bounds(10), (512.0, 1024.0));
+        for b in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_bounds(b).0, bucket_bounds(b - 1).1, "gap at {b}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        let reg = Registry::new();
+        assert_eq!(
+            reg.histogram_quantile(HistogramMetric::QueryLatency, 0.5),
+            None
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["query_latency_us"].quantile(0.99), None);
+    }
+
+    #[test]
+    fn quantiles_reject_out_of_range_q() {
+        let reg = Registry::new();
+        reg.observe(HistogramMetric::QueryLatency, 100.0);
+        assert_eq!(
+            reg.histogram_quantile(HistogramMetric::QueryLatency, -0.1),
+            None
+        );
+        assert_eq!(
+            reg.histogram_quantile(HistogramMetric::QueryLatency, 1.5),
+            None
+        );
+        assert_eq!(
+            reg.histogram_quantile(HistogramMetric::QueryLatency, f64::NAN),
+            None
+        );
+    }
+
+    #[test]
+    fn quantiles_land_in_the_observed_bucket() {
+        // Every observation is 100 μs: all mass sits in [64, 128), so
+        // every quantile estimate must too.
+        let reg = Registry::new();
+        for _ in 0..1000 {
+            reg.observe(HistogramMetric::QueryLatency, 100.0);
+        }
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            let v = reg
+                .histogram_quantile(HistogramMetric::QueryLatency, q)
+                .expect("non-empty");
+            assert!((64.0..=128.0).contains(&v), "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_split_bimodal_mass() {
+        // 900 fast observations at ~10 μs, 100 slow at ~10 ms: p50 must
+        // sit in the fast mode, p99/p999 in the slow mode, and the
+        // estimates must be monotone in q.
+        let reg = Registry::new();
+        for _ in 0..900 {
+            reg.observe(HistogramMetric::QueryLatency, 10.0);
+        }
+        for _ in 0..100 {
+            reg.observe(HistogramMetric::QueryLatency, 10_000.0);
+        }
+        let q = |p: f64| {
+            reg.histogram_quantile(HistogramMetric::QueryLatency, p)
+                .expect("non-empty")
+        };
+        let (p50, p99, p999) = (q(0.50), q(0.99), q(0.999));
+        assert!((8.0..=16.0).contains(&p50), "p50={p50}");
+        assert!((8192.0..=16384.0).contains(&p99), "p99={p99}");
+        assert!((8192.0..=16384.0).contains(&p999), "p999={p999}");
+        assert!(p50 <= p99 && p99 <= p999, "quantiles must be monotone");
+        // The snapshot path answers identically.
+        let snap = reg.snapshot();
+        let h = &snap.histograms["query_latency_us"];
+        assert_eq!(h.quantile(0.99), Some(p99));
     }
 
     #[test]

@@ -176,11 +176,7 @@ impl Sampler for CtrwSampler {
             let mut specs: Vec<CtrwSpec<&T, SplitMix64>> = (0..width)
                 .map(|i| CtrwSpec {
                     topology: ctx.topology,
-                    rng: SplitMix64::new(stream_seed(
-                        StreamDomain::FrontierWalk,
-                        chunk_seed,
-                        i,
-                    )),
+                    rng: SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, chunk_seed, i)),
                     start: initiator,
                     timer: self.timer,
                     sojourn: self.sojourn,

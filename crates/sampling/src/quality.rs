@@ -290,8 +290,7 @@ mod tests {
         }
         let tv_flagged =
             empirical_tv_to_uniform(&Fixed(flagged, NodeId::new(0)), &g, 20_000, &mut rng);
-        let tv_sound =
-            empirical_tv_to_uniform(&Fixed(sound, NodeId::new(0)), &g, 20_000, &mut rng);
+        let tv_sound = empirical_tv_to_uniform(&Fixed(sound, NodeId::new(0)), &g, 20_000, &mut rng);
         // One side holds half the mass, so the stuck law's TV is ~1/2.
         assert!(tv_flagged > 0.4, "deterministic TV {tv_flagged}");
         assert!(tv_sound < 0.1, "exponential TV {tv_sound}");

@@ -1,0 +1,222 @@
+//! Deterministic query arrival processes for trace-style workloads.
+//!
+//! Benchmarks against the service so far submitted queries in a burst:
+//! fill the queue, drain it, measure. Real census traffic arrives over
+//! time, and *how* it arrives changes what the latency histogram sees —
+//! a Poisson stream keeps the queue short, while a heavy-tailed process
+//! front-loads bursts that pile queries behind one another and stretch
+//! the tail percentiles. The campaign runner in `census-bench` needs
+//! both shapes, and it needs them reproducibly: the same spec must
+//! replay the same arrival trace on every machine.
+//!
+//! [`ArrivalProcess`] delivers that. Each inter-arrival gap is a pure
+//! function of `(process, base_seed, index)`: gap `i` draws from its own
+//! RNG stream seeded with
+//! `stream_seed(StreamDomain::Arrival, base_seed, i)`, so a schedule's
+//! prefix never depends on how many arrivals are eventually sampled,
+//! and the [`StreamDomain::Arrival`] tag keeps the trace decorrelated
+//! from the walk and churn streams even at equal base seeds.
+//!
+//! Gaps are in integer microseconds — the same unit the service's
+//! query-latency histogram records — so a driver can pace submissions
+//! with plain `sleep` calls or compress the trace for smoke runs by
+//! scaling the gaps.
+
+use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
+use rand::Rng;
+
+/// A deterministic query arrival process: how inter-arrival gaps between
+/// consecutive query submissions are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless open-loop traffic: exponential gaps with the given
+    /// mean arrival rate (arrivals per second).
+    Poisson {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+    },
+    /// Heavy-tailed open-loop traffic: Pareto-distributed gaps whose
+    /// scale is chosen so the *mean* rate matches `rate_hz`, but whose
+    /// tail index `alpha` controls burstiness — smaller `alpha` (must
+    /// exceed 1 for the mean to exist) piles more mass into rare long
+    /// gaps and, symmetrically, dense bursts between them.
+    Pareto {
+        /// Mean arrivals per second.
+        rate_hz: f64,
+        /// Tail index; must be `> 1.0` so the mean gap is finite.
+        alpha: f64,
+    },
+    /// Closed-loop traffic: `concurrency` queries are kept in flight at
+    /// all times, each submission waiting on a completion rather than a
+    /// clock. All gaps are zero; the pacing comes from the service
+    /// itself.
+    Closed {
+        /// Number of queries the driver keeps in flight.
+        concurrency: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// The inter-arrival gap, in microseconds, between submissions
+    /// `index` and `index + 1`.
+    ///
+    /// Pure in `(self, base_seed, index)`: gap `i` is drawn from its own
+    /// domain-tagged stream, so schedules of different lengths agree on
+    /// their common prefix.
+    #[must_use]
+    pub fn gap_micros(&self, base_seed: u64, index: u64) -> u64 {
+        let mut rng = SplitMix64::new(stream_seed(StreamDomain::Arrival, base_seed, index));
+        // u ∈ [0, 1), so 1 - u ∈ (0, 1]: ln never sees zero and the
+        // Pareto power never divides by zero.
+        let survival = 1.0 - rng.random::<f64>();
+        let gap_secs = match *self {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(rate_hz > 0.0, "Poisson rate must be positive");
+                -survival.ln() / rate_hz
+            }
+            ArrivalProcess::Pareto { rate_hz, alpha } => {
+                assert!(rate_hz > 0.0, "Pareto rate must be positive");
+                assert!(
+                    alpha > 1.0,
+                    "Pareto tail index must exceed 1 for a finite mean"
+                );
+                // Pareto(x_m, alpha) has mean alpha·x_m/(alpha-1); pick
+                // x_m so the mean gap is 1/rate.
+                let x_m = (alpha - 1.0) / (alpha * rate_hz);
+                x_m * survival.powf(-1.0 / alpha)
+            }
+            ArrivalProcess::Closed { .. } => 0.0,
+        };
+        // Saturate instead of wrapping: a pathological tail draw becomes
+        // "wait a very long time", never a tiny wrapped gap.
+        let micros = gap_secs * 1e6;
+        if micros >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            micros as u64
+        }
+    }
+
+    /// Absolute submission offsets (microseconds from trace start) for
+    /// the first `count` arrivals: the cumulative sums of
+    /// [`gap_micros`](Self::gap_micros), saturating at `u64::MAX`.
+    #[must_use]
+    pub fn schedule_micros(&self, base_seed: u64, count: usize) -> Vec<u64> {
+        let mut at = 0u64;
+        (0..count as u64)
+            .map(|i| {
+                let here = at;
+                at = at.saturating_add(self.gap_micros(base_seed, i));
+                here
+            })
+            .collect()
+    }
+
+    /// The number of queries the driver keeps in flight: `concurrency`
+    /// for closed-loop processes, `None` for open-loop ones (arrivals
+    /// ignore completions).
+    #[must_use]
+    pub fn concurrency(&self) -> Option<usize> {
+        match *self {
+            ArrivalProcess::Closed { concurrency } => Some(concurrency),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_are_pure_functions_of_seed_and_index() {
+        let p = ArrivalProcess::Poisson { rate_hz: 100.0 };
+        for i in 0..32 {
+            assert_eq!(p.gap_micros(7, i), p.gap_micros(7, i));
+        }
+        // Different base seeds give different traces.
+        let a: Vec<u64> = (0..32).map(|i| p.gap_micros(1, i)).collect();
+        let b: Vec<u64> = (0..32).map(|i| p.gap_micros(2, i)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn schedule_prefixes_agree_across_lengths() {
+        let p = ArrivalProcess::Pareto {
+            rate_hz: 50.0,
+            alpha: 1.5,
+        };
+        let short = p.schedule_micros(9, 10);
+        let long = p.schedule_micros(9, 100);
+        assert_eq!(short[..], long[..10]);
+    }
+
+    #[test]
+    fn schedules_start_at_zero_and_are_monotone() {
+        for p in [
+            ArrivalProcess::Poisson { rate_hz: 200.0 },
+            ArrivalProcess::Pareto {
+                rate_hz: 200.0,
+                alpha: 2.5,
+            },
+        ] {
+            let sched = p.schedule_micros(3, 64);
+            assert_eq!(sched[0], 0);
+            for w in sched.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_has_zero_gaps_and_reports_concurrency() {
+        let p = ArrivalProcess::Closed { concurrency: 8 };
+        assert_eq!(p.concurrency(), Some(8));
+        assert!(p.schedule_micros(1, 16).iter().all(|&t| t == 0));
+        let open = ArrivalProcess::Poisson { rate_hz: 10.0 };
+        assert_eq!(open.concurrency(), None);
+    }
+
+    #[test]
+    fn poisson_mean_gap_tracks_the_rate() {
+        // 1000 gaps at 1 kHz should average ~1000 µs; a factor-of-two
+        // band is far wider than the sampling noise at n = 4096.
+        let p = ArrivalProcess::Poisson { rate_hz: 1000.0 };
+        let n = 4096u64;
+        let total: u64 = (0..n).map(|i| p.gap_micros(11, i)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (500.0..2000.0).contains(&mean),
+            "mean Poisson gap {mean} µs far from the 1000 µs target"
+        );
+    }
+
+    #[test]
+    fn pareto_is_burstier_than_poisson_at_equal_rate() {
+        // Same mean rate, but the heavy tail concentrates most gaps
+        // below the mean while a few huge ones carry the balance: the
+        // Pareto trace's maximum gap should dominate Poisson's.
+        let n = 4096u64;
+        let poisson = ArrivalProcess::Poisson { rate_hz: 100.0 };
+        let pareto = ArrivalProcess::Pareto {
+            rate_hz: 100.0,
+            alpha: 1.2,
+        };
+        let max_poisson = (0..n).map(|i| poisson.gap_micros(5, i)).max().unwrap();
+        let max_pareto = (0..n).map(|i| pareto.gap_micros(5, i)).max().unwrap();
+        assert!(
+            max_pareto > max_poisson,
+            "heavy tail should produce the longest gap (pareto {max_pareto} vs poisson {max_poisson})"
+        );
+    }
+
+    #[test]
+    fn arrival_traces_differ_from_walk_streams_at_equal_seed() {
+        // The domain tag is doing its job: the first arrival stream and
+        // the first service-query stream from the same base seed differ.
+        assert_ne!(
+            stream_seed(StreamDomain::Arrival, 42, 0),
+            stream_seed(StreamDomain::ServiceQuery, 42, 0),
+        );
+    }
+}

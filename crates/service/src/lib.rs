@@ -81,12 +81,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod epoch;
 mod query;
 mod queue;
 mod service;
 mod sharded;
 
+pub use arrival::ArrivalProcess;
 pub use epoch::{EpochChain, RefreezePolicy};
 pub use query::{Counter, Query, QueryAnswer, QueryOutcome, SubmitError};
 pub use service::{CensusService, ServiceConfig, ServiceHandle};

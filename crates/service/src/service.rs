@@ -721,8 +721,7 @@ fn coalesce_samples<T, F, Rec>(
     // RNGs until the iterator is exhausted.
     let mut answers: Vec<(usize, Result<QueryAnswer, EstimateError>)> =
         Vec::with_capacity(lanes.len());
-    for ((mut spec, fate), &(lane_slot, sampler, initiator)) in
-        specs.into_iter().zip(fates).zip(&lanes)
+    for ((spec, fate), &(lane_slot, sampler, initiator)) in specs.into_iter().zip(fates).zip(&lanes)
     {
         recorder.incr(Metric::CtrwHops, fate.hops);
         recorder.incr(Metric::SojournDraws, fate.draws);
@@ -742,7 +741,7 @@ fn coalesce_samples<T, F, Rec>(
             first,
             sampler,
             &spec.topology,
-            &mut spec.rng,
+            spec.rng,
             initiator,
             recorder,
             config,

@@ -264,10 +264,7 @@ where
     F: Fn(NodeId) -> f64 + Sync,
 {
     assert!(tours > 0, "need at least one tour per replica");
-    assert!(
-        topology.contains(initiator),
-        "tour initiator must be alive"
-    );
+    assert!(topology.contains(initiator), "tour initiator must be alive");
     let degree = topology.degree_of(initiator) as f64;
     replicate_recorded(n_replicas, base_seed, |r, reg| {
         let mut specs: Vec<TourSpec<&T, SplitMix64>> = (0..tours)

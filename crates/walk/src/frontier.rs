@@ -162,7 +162,10 @@ where
     let mut draws: Vec<u64> = vec![0; width];
     let mut fates: Vec<Option<Result<CtrwOutcome, WalkError>>> = vec![None; width];
     for spec in specs.iter() {
-        assert!(spec.topology.contains(spec.start), "CTRW start must be alive");
+        assert!(
+            spec.topology.contains(spec.start),
+            "CTRW start must be alive"
+        );
         assert!(
             spec.timer.is_finite() && spec.timer > 0.0,
             "CTRW timer must be positive and finite"
@@ -404,8 +407,7 @@ mod tests {
         ctrw_frontier(&mut specs, &NoopRecorder);
         for (i, spec) in specs.iter().enumerate() {
             let mut serial_rng = walk_rng(i as u64);
-            ctrw_walk(&g, start, 2.0, Sojourn::Exponential, &mut serial_rng)
-                .expect("completes");
+            ctrw_walk(&g, start, 2.0, Sojourn::Exponential, &mut serial_rng).expect("completes");
             assert_eq!(spec.rng, serial_rng, "walk {i} RNG position diverged");
         }
     }

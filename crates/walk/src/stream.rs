@@ -50,6 +50,9 @@ pub enum StreamDomain {
     FrontierWalk,
     /// The service's background churn driver.
     Churn,
+    /// Per-campaign query arrival processes (`census-service`'s arrival
+    /// driver pacing trace-style workloads).
+    Arrival,
 }
 
 impl StreamDomain {
@@ -65,15 +68,17 @@ impl StreamDomain {
             StreamDomain::ServiceQuery => 0x5345_5256_4943_4551,
             StreamDomain::FrontierWalk => 0x4652_4F4E_5449_4552,
             StreamDomain::Churn => 0x4348_5552_4E21_4E21,
+            StreamDomain::Arrival => 0x4152_5249_5641_4C21,
         }
     }
 
     /// Every domain, for exhaustive pairwise tests.
-    pub const ALL: [StreamDomain; 4] = [
+    pub const ALL: [StreamDomain; 5] = [
         StreamDomain::Replica,
         StreamDomain::ServiceQuery,
         StreamDomain::FrontierWalk,
         StreamDomain::Churn,
+        StreamDomain::Arrival,
     ];
 }
 

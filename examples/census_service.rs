@@ -34,7 +34,9 @@ fn main() {
     let mut service = CensusService::new(net, config);
 
     // A fifth of the overlay departs across 10 membership events.
-    let events = Scenario::new().remove_gradually(0, 10, n as u64 / 5).events(10);
+    let events = Scenario::new()
+        .remove_gradually(0, 10, n as u64 / 5)
+        .events(10);
 
     let costs = Registry::new();
     let ((submitted, rejected), outcomes) = service.serve_rec(&events, &costs, |census| {
@@ -62,9 +64,17 @@ fn main() {
     println!(" id  epoch  kind        answer");
     for o in &outcomes {
         let (kind, answer) = match &o.result {
-            Ok(QueryAnswer::Count(e)) => ("count", format!("N ≈ {:>8.0}  ({} msgs)", e.value, e.messages)),
-            Ok(QueryAnswer::Sample(s)) => ("sample", format!("peer {:?} after {} hops", s.node, s.hops)),
-            Ok(QueryAnswer::Aggregate(e)) => ("aggregate", format!("Σf ≈ {:>8.0}  ({} msgs)", e.value, e.messages)),
+            Ok(QueryAnswer::Count(e)) => (
+                "count",
+                format!("N ≈ {:>8.0}  ({} msgs)", e.value, e.messages),
+            ),
+            Ok(QueryAnswer::Sample(s)) => {
+                ("sample", format!("peer {:?} after {} hops", s.node, s.hops))
+            }
+            Ok(QueryAnswer::Aggregate(e)) => (
+                "aggregate",
+                format!("Σf ≈ {:>8.0}  ({} msgs)", e.value, e.messages),
+            ),
             Err(e) => ("expired", format!("{e}")),
         };
         println!("{:>3}  {:>5}  {kind:<10}  {answer}", o.id, o.epoch);
@@ -72,12 +82,21 @@ fn main() {
 
     let completed = costs.counter(Metric::QueriesCompleted);
     let expired = costs.counter(Metric::QueriesExpired);
-    println!("\nledger: {submitted} submitted = {} accepted + {rejected} rejected", outcomes.len());
-    println!("        {} accepted = {completed} completed + {expired} expired", outcomes.len());
+    println!(
+        "\nledger: {submitted} submitted = {} accepted + {rejected} rejected",
+        outcomes.len()
+    );
+    println!(
+        "        {} accepted = {completed} completed + {expired} expired",
+        outcomes.len()
+    );
     println!(
         "epochs: final snapshot epoch {} (last observed reader lag {})",
         costs.gauge(GaugeMetric::SnapshotEpoch),
         costs.gauge(GaugeMetric::EpochLag),
     );
-    println!("cost:   {} overlay messages across all queries", costs.message_total());
+    println!(
+        "cost:   {} overlay messages across all queries",
+        costs.message_total()
+    );
 }

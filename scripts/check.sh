@@ -23,6 +23,12 @@ echo "==> sharded equivalence (release)"
 # multi-shard service must stay bit-identical to the unsharded paths.
 cargo test --release --test sharded_equivalence -q
 
+echo "==> snapshot round-trip (release)"
+# The binary snapshot codec is the cold-start path of every campaign
+# run; the byte-identity and corruption-rejection properties must hold
+# under the optimiser too.
+cargo test --release --test snapshot_roundtrip -q
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -1,0 +1,115 @@
+//! Acceptance for the campaign runner's resume contract: a killed
+//! campaign picks up where it stopped, re-executing nothing.
+//!
+//! The test simulates an interrupt with `max_runs`: the first
+//! invocation executes exactly two of four points and exits, the second
+//! finishes the remaining two while *skipping* the recorded ones, and a
+//! third finds nothing left to do. Skipping must be real — the
+//! per-run record files written by the first invocation survive the
+//! resume byte for byte (re-execution would at minimum perturb the
+//! measured wall-clock and latency fields).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use census_bench::campaign::{
+    expand, run_campaign, ArrivalSpec, CampaignSpec, EstimatorKind, FaultSpec, TopologySpec,
+};
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        campaign: "resume-acceptance".to_owned(),
+        seed: 61,
+        queries_per_run: 4,
+        timer: 4.0,
+        sc_l: 2,
+        topologies: vec![TopologySpec::Balanced {
+            n: 600,
+            max_degree: 10,
+        }],
+        estimators: vec![EstimatorKind::RandomTour, EstimatorKind::CtrwSample],
+        shards: vec![0, 2],
+        workers: vec![2],
+        faults: vec![FaultSpec::None],
+        arrivals: vec![ArrivalSpec::Closed { concurrency: 4 }],
+    }
+}
+
+/// Bytes of every per-run record currently on disk, keyed by file name.
+fn run_records(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut records = BTreeMap::new();
+    for entry in std::fs::read_dir(dir.join("runs")).expect("runs dir exists") {
+        let entry = entry.expect("readable entry");
+        records.insert(
+            entry.file_name().to_string_lossy().into_owned(),
+            std::fs::read(entry.path()).expect("readable record"),
+        );
+    }
+    records
+}
+
+#[test]
+fn interrupted_campaign_resumes_without_reexecution() {
+    let spec = tiny_spec();
+    assert_eq!(
+        expand(&spec).len(),
+        4,
+        "the acceptance mix space is 4 points"
+    );
+
+    let results = std::env::temp_dir().join(format!(
+        "overlay-census-campaign-resume-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&results);
+    let campaign_dir = results.join(&spec.campaign);
+
+    // "Interrupt" after two runs.
+    let first = run_campaign(&spec, &results, Some(2)).expect("partial campaign runs");
+    assert_eq!(first.total, 4);
+    assert_eq!(first.executed, 2);
+    assert_eq!(first.skipped, 0);
+    assert!(
+        first.manifest_path.exists(),
+        "manifest written mid-campaign"
+    );
+    let after_first = run_records(&campaign_dir);
+    assert_eq!(after_first.len(), 2, "one record per executed run");
+
+    // Resume: the two recorded points are skipped, the rest execute.
+    let second = run_campaign(&spec, &results, None).expect("resume runs");
+    assert_eq!(second.total, 4);
+    assert_eq!(second.skipped, 2);
+    assert_eq!(second.executed, 2);
+    let after_second = run_records(&campaign_dir);
+    assert_eq!(after_second.len(), 4, "all four records on disk");
+    for (name, bytes) in &after_first {
+        assert_eq!(
+            after_second.get(name),
+            Some(bytes),
+            "resume must not rewrite {name} — skipped runs are not re-executed"
+        );
+    }
+
+    // Nothing left: a third pass is a pure no-op.
+    let manifest_before = std::fs::read(&second.manifest_path).expect("manifest readable");
+    let third = run_campaign(&spec, &results, None).expect("no-op rerun");
+    assert_eq!(third.executed, 0);
+    assert_eq!(third.skipped, 4);
+    assert_eq!(
+        std::fs::read(&third.manifest_path).expect("manifest readable"),
+        manifest_before,
+        "a fully recorded campaign leaves the manifest untouched"
+    );
+
+    // A conflicting spec under the same campaign name must refuse to
+    // reuse the manifest rather than silently mixing records.
+    let mut conflicting = tiny_spec();
+    conflicting.seed = 62;
+    assert!(
+        run_campaign(&conflicting, &results, None).is_err(),
+        "a changed spec must not resume another spec's manifest"
+    );
+
+    let _ = std::fs::remove_dir_all(&results);
+}

@@ -1,0 +1,229 @@
+//! Acceptance for the binary snapshot codec and the format-negotiating
+//! snapshot API.
+//!
+//! Property tests drive churned graphs — random edges, killed slots,
+//! isolated nodes, the empty graph — through encode → decode → re-encode
+//! and assert the bytes reproduce exactly; [`Graph::thaw`] must invert
+//! freezing just as losslessly. The rejection half feeds the decoder
+//! corrupted headers, truncations at *every* prefix length, flipped
+//! payload bytes, and arbitrary junk, and requires a typed
+//! [`SnapshotError`] every time — never a panic, never a silently
+//! wrong view.
+//!
+//! `scripts/check.sh` reruns this file in release mode: the codec is
+//! the cold-start path of every campaign run, and optimisation must not
+//! change a byte of the format.
+
+use overlay_census::graph::io::{
+    load_snapshot_path, read_frozen, save_snapshot_path, write_frozen, Snapshot, SnapshotError,
+    SnapshotFormat,
+};
+use overlay_census::graph::Graph;
+use proptest::prelude::*;
+
+/// A graph with `slots` nodes, the given candidate edges, and the given
+/// slots churned out (dead slots keep their index; edge/kill indices
+/// fold into range). Mirrors how overlays actually look mid-experiment:
+/// dead slots interleaved with live ones, isolated nodes included.
+fn churned(slots: usize, edges: &[(usize, usize)], kills: &[usize]) -> Graph {
+    let mut g = Graph::with_capacity(slots);
+    let ids = g.add_nodes(slots);
+    for &(a, b) in edges {
+        let (a, b) = (a % slots, b % slots);
+        if a != b {
+            let _ = g.add_edge(ids[a], ids[b]);
+        }
+    }
+    for &k in kills {
+        let _ = g.remove_node(ids[k % slots]);
+    }
+    g
+}
+
+/// Encodes a freeze of `g` without advancing `g`'s own epoch counter
+/// (every `freeze()` stamps the next epoch, so encoding through a clone
+/// keeps repeated encodes of one graph byte-comparable).
+fn encode(g: &Graph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frozen(&g.clone().freeze(), &mut bytes).expect("in-memory encode cannot fail");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_codec_round_trips_churned_graphs(
+        slots in 1usize..40,
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+        kills in proptest::collection::vec(0usize..40, 0..10),
+    ) {
+        let g = churned(slots, &edges, &kills);
+        let bytes = encode(&g);
+        let view = read_frozen(&bytes[..]).expect("own encoding decodes");
+        let mut again = Vec::new();
+        write_frozen(&view, &mut again).expect("re-encode");
+        prop_assert_eq!(&bytes, &again, "decode → encode must be the identity on bytes");
+        prop_assert_eq!(view.num_nodes(), g.num_nodes());
+        prop_assert_eq!(view.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn thaw_inverts_freeze_byte_for_byte(
+        slots in 1usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..60),
+        kills in proptest::collection::vec(0usize..30, 0..8),
+    ) {
+        let g = churned(slots, &edges, &kills);
+        let thawed = Graph::thaw(&g.clone().freeze());
+        prop_assert_eq!(
+            encode(&g),
+            encode(&thawed),
+            "thawed graph must refreeze to the identical snapshot"
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panicking(
+        slots in 1usize..12,
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..20),
+    ) {
+        let bytes = encode(&churned(slots, &edges, &[]));
+        for len in 0..bytes.len() {
+            prop_assert!(
+                read_frozen(&bytes[..len]).is_err(),
+                "prefix of {len}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_junk_never_panics(junk in proptest::collection::vec(0u8..=255, 0..200)) {
+        // Typed error or (for junk that happens to spell a valid tiny
+        // snapshot — impossible below 64 bytes of exact structure, but
+        // the property doesn't rely on that) a view; never a panic.
+        let _ = read_frozen(&junk[..]);
+    }
+}
+
+#[test]
+fn empty_and_isolated_graphs_round_trip() {
+    // Fully churned out: every slot dead.
+    let all_dead = churned(3, &[(0, 1), (1, 2)], &[0, 1, 2]);
+    assert_eq!(all_dead.num_nodes(), 0);
+    let bytes = encode(&all_dead);
+    let view = read_frozen(&bytes[..]).expect("all-dead snapshot decodes");
+    assert_eq!(view.num_nodes(), 0);
+
+    // Isolated live nodes, no edges at all.
+    let isolated = churned(5, &[], &[]);
+    let bytes = encode(&isolated);
+    let view = read_frozen(&bytes[..]).expect("edgeless snapshot decodes");
+    assert_eq!(view.num_nodes(), 5);
+    assert_eq!(view.num_edges(), 0);
+
+    // A graph with zero slots.
+    let empty = Graph::new();
+    let bytes = encode(&empty);
+    let view = read_frozen(&bytes[..]).expect("empty snapshot decodes");
+    assert_eq!(view.slot_count(), 0);
+}
+
+#[test]
+fn corrupted_headers_yield_typed_errors() {
+    let g = churned(8, &[(0, 1), (1, 2), (2, 3), (4, 5)], &[6]);
+    let good = encode(&g);
+
+    // Flipped magic: not our file.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    assert!(matches!(
+        read_frozen(&bad[..]),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Future format version.
+    let mut bad = good.clone();
+    bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+    assert!(matches!(
+        read_frozen(&bad[..]),
+        Err(SnapshotError::UnsupportedVersion(99))
+    ));
+
+    // Header cut short.
+    assert!(matches!(
+        read_frozen(&good[..10]),
+        Err(SnapshotError::Truncated { .. })
+    ));
+
+    // A flipped payload byte must trip the checksum.
+    let mut bad = good.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0x01;
+    assert!(matches!(
+        read_frozen(&bad[..]),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // A flipped checksum byte equally so.
+    let mut bad = good.clone();
+    bad[56] ^= 0x01;
+    assert!(matches!(
+        read_frozen(&bad[..]),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // Trailing garbage after a well-formed snapshot.
+    let mut bad = good.clone();
+    bad.push(0);
+    assert!(
+        read_frozen(&bad[..]).is_err(),
+        "trailing bytes must be rejected"
+    );
+}
+
+#[test]
+fn path_entry_points_negotiate_formats_from_extensions() {
+    let dir = std::env::temp_dir().join("overlay-census-snapshot-roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let g = churned(10, &[(0, 1), (2, 3), (4, 5), (5, 6)], &[7]);
+    // Baseline bytes before any save advances g's epoch counter.
+    let g_bytes = encode(&g);
+
+    let binary = dir.join("overlay.snap");
+    assert_eq!(
+        save_snapshot_path(&g, &binary).expect("binary save"),
+        SnapshotFormat::BinaryV1
+    );
+    match load_snapshot_path(&binary).expect("binary load") {
+        Snapshot::Frozen(view) => {
+            assert_eq!(view.num_nodes(), g.num_nodes());
+            assert_eq!(view.num_edges(), g.num_edges());
+        }
+        Snapshot::Graph(_) => panic!(".snap must load as a frozen view"),
+    }
+
+    let text = dir.join("overlay.el");
+    assert_eq!(
+        save_snapshot_path(&g, &text).expect("text save"),
+        SnapshotFormat::EdgeListText
+    );
+    match load_snapshot_path(&text).expect("text load") {
+        Snapshot::Graph(back) => {
+            assert_eq!(back.num_nodes(), g.num_nodes());
+            assert_eq!(back.num_edges(), g.num_edges());
+            // Same snapshot bytes ⇒ same graph, edge for edge.
+            assert_eq!(encode(&back), g_bytes);
+        }
+        Snapshot::Frozen(_) => panic!(".el must load as a live graph"),
+    }
+
+    let unknown = dir.join("overlay.xyz");
+    assert!(matches!(
+        save_snapshot_path(&g, &unknown),
+        Err(SnapshotError::UnknownExtension(_))
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
