@@ -5,7 +5,8 @@
 //! price individual claims, but neither answers the deployment question
 //! the service crate raises: *what query latency does a census service
 //! actually deliver across topologies, estimators, shard counts, fault
-//! plans, and arrival processes?* Answering it by hand means dozens of
+//! plans, arrival processes, and Byzantine attack plans?* Answering it
+//! by hand means dozens of
 //! near-identical runs — exactly the work a machine should schedule.
 //!
 //! A [`CampaignSpec`] declares one axis per dimension; [`expand`] takes
@@ -40,6 +41,7 @@ use census_sampling::CtrwSampler;
 use census_service::{
     ArrivalProcess, CensusService, Counter, Query, ServiceConfig, ShardedCensusService, SubmitError,
 };
+use census_sim::attacks::AttackPlan;
 use census_sim::faults::FaultPlan;
 use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
 use census_walk::stream::splitmix64;
@@ -89,6 +91,15 @@ pub struct CampaignSpec {
     pub faults: Vec<FaultSpec>,
     /// Arrival-process axis.
     pub arrivals: Vec<ArrivalSpec>,
+    /// Attack-plan axis. Absent in pre-adversary specs and manifests,
+    /// where it defaults to the single no-adversary point — old
+    /// campaigns keep their run ids and resume untouched.
+    #[serde(default = "default_attacks")]
+    pub attacks: Vec<AttackSpec>,
+}
+
+fn default_attacks() -> Vec<AttackSpec> {
+    vec![AttackSpec::None]
 }
 
 /// One topology family at one size.
@@ -230,6 +241,108 @@ impl FaultSpec {
     }
 }
 
+/// One Byzantine regime the run executes under. Mirrors
+/// [`AttackPlan`] with serde plumbing attached; the `none` variant is
+/// the default the axis takes when a spec predates adversaries.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "plan", rename_all = "kebab-case")]
+pub enum AttackSpec {
+    /// No adversary: the service runs exactly as before the attack
+    /// layer existed (the inert [`AttackPlan::default`]).
+    #[default]
+    None,
+    /// `fraction` of peers is subverted (selected from `seed`), with the
+    /// optional behaviours switched on per field.
+    Byzantine {
+        /// Subverted fraction of the overlay.
+        fraction: f64,
+        /// Attack-stream seed (selects *which* peers are subverted).
+        seed: u64,
+        /// Degree-inflation factor (> 1), if degree lies are on.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        inflation: Option<f64>,
+        /// Degree-deflation factor (> 1), if degree lies are on.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        deflation: Option<f64>,
+        /// Per-delivery walk-swallow probability.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        swallow: Option<f64>,
+        /// Sample & Collide collision-forgery probability.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        forgery: Option<f64>,
+        /// Junk queries flooded against the admission queue.
+        #[serde(default)]
+        flood: u32,
+    },
+}
+
+impl AttackSpec {
+    fn slug(&self) -> String {
+        match *self {
+            AttackSpec::None => "attack-none".to_owned(),
+            AttackSpec::Byzantine {
+                fraction,
+                seed,
+                inflation,
+                deflation,
+                swallow,
+                forgery,
+                flood,
+            } => {
+                let mut s = format!("byz-f{fraction}-s{seed}");
+                if let Some(x) = inflation {
+                    s.push_str(&format!("-i{x}"));
+                }
+                if let Some(x) = deflation {
+                    s.push_str(&format!("-d{x}"));
+                }
+                if let Some(x) = swallow {
+                    s.push_str(&format!("-w{x}"));
+                }
+                if let Some(x) = forgery {
+                    s.push_str(&format!("-c{x}"));
+                }
+                if flood > 0 {
+                    s.push_str(&format!("-q{flood}"));
+                }
+                s.replace('.', "p")
+            }
+        }
+    }
+
+    fn plan(&self) -> Option<AttackPlan> {
+        match *self {
+            AttackSpec::None => None,
+            AttackSpec::Byzantine {
+                fraction,
+                seed,
+                inflation,
+                deflation,
+                swallow,
+                forgery,
+                flood,
+            } => {
+                let mut plan = AttackPlan::new()
+                    .with_byzantine(fraction, seed)
+                    .with_queue_flood(flood);
+                if let Some(x) = inflation {
+                    plan = plan.with_degree_inflation(x);
+                }
+                if let Some(x) = deflation {
+                    plan = plan.with_degree_deflation(x);
+                }
+                if let Some(x) = swallow {
+                    plan = plan.with_walk_swallow(x);
+                }
+                if let Some(x) = forgery {
+                    plan = plan.with_collision_forgery(x);
+                }
+                Some(plan)
+            }
+        }
+    }
+}
+
 /// One arrival process, as spelled in a spec file. Mirrors
 /// [`ArrivalProcess`] with serde plumbing attached.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -289,13 +402,21 @@ pub struct RunPoint {
     pub fault: FaultSpec,
     /// Arrival-process axis value.
     pub arrival: ArrivalSpec,
+    /// Attack-plan axis value (defaults to no adversary, so records
+    /// written before the axis existed still deserialise).
+    #[serde(default)]
+    pub attack: AttackSpec,
 }
 
 impl RunPoint {
     /// The point's stable, filesystem-safe identifier — the resume key.
+    ///
+    /// The attack slug is appended only for a real adversary:
+    /// no-adversary points keep the exact ids they had before the attack
+    /// axis existed, so old manifests resume without re-execution.
     #[must_use]
     pub fn run_id(&self) -> String {
-        format!(
+        let mut id = format!(
             "{}-{}-s{}-w{}-{}-{}",
             self.topology.slug(),
             self.estimator.slug(),
@@ -303,13 +424,20 @@ impl RunPoint {
             self.workers,
             self.fault.slug(),
             self.arrival.slug()
-        )
+        );
+        if self.attack != AttackSpec::None {
+            id.push('-');
+            id.push_str(&self.attack.slug());
+        }
+        id
     }
 }
 
 /// Expands the spec's axes to the full mix space, in a fixed nesting
-/// order (topology, estimator, shards, workers, fault, arrival) so run
-/// indices are stable across invocations.
+/// order (topology, estimator, shards, workers, fault, arrival, attack)
+/// so run indices are stable across invocations. The attack axis sits
+/// innermost: a pre-adversary spec's single default point leaves every
+/// older index untouched.
 #[must_use]
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
     let mut points = Vec::new();
@@ -319,15 +447,26 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
                 for &workers in &spec.workers {
                     for &fault in &spec.faults {
                         for &arrival in &spec.arrivals {
-                            points.push(RunPoint {
-                                index: points.len(),
-                                topology,
-                                estimator,
-                                shards,
-                                workers,
-                                fault,
-                                arrival,
-                            });
+                            // An absent/empty attack axis means "no
+                            // adversary", never "no points": pre-attack
+                            // specs keep their exact expansion.
+                            let attacks = if spec.attacks.is_empty() {
+                                &[AttackSpec::None][..]
+                            } else {
+                                &spec.attacks
+                            };
+                            for &attack in attacks {
+                                points.push(RunPoint {
+                                    index: points.len(),
+                                    topology,
+                                    estimator,
+                                    shards,
+                                    workers,
+                                    fault,
+                                    arrival,
+                                    attack,
+                                });
+                            }
                         }
                     }
                 }
@@ -444,6 +583,8 @@ fn validate(spec: &CampaignSpec) -> Result<(), CampaignError> {
     axis("workers", spec.workers.len())?;
     axis("faults", spec.faults.len())?;
     axis("arrivals", spec.arrivals.len())?;
+    // `attacks` is deliberately exempt: an empty axis is the
+    // pre-adversary spelling and expands to the no-adversary point.
     if spec.queries_per_run == 0 {
         return Err(CampaignError::Spec(
             "queries_per_run must be positive".into(),
@@ -577,6 +718,9 @@ fn execute_run(spec: &CampaignSpec, point: &RunPoint) -> RunRecord {
     if let Some(plan) = point.fault.plan(splitmix64(spec.seed ^ 0x4641_554C_5453)) {
         config = config.with_faults(plan);
     }
+    if let Some(plan) = point.attack.plan() {
+        config = config.with_attacks(plan);
+    }
     let events = point.fault.events();
     let query = point.estimator.query(spec.timer, spec.sc_l);
     let schedule = arrival.schedule_micros(spec.seed, queries as usize);
@@ -650,6 +794,7 @@ mod tests {
             workers: vec![2],
             faults: vec![FaultSpec::None],
             arrivals: vec![ArrivalSpec::Closed { concurrency: 4 }],
+            attacks: vec![AttackSpec::None],
         }
     }
 
@@ -694,5 +839,125 @@ mod tests {
         let json = serde_json::to_string(&spec).expect("serialises");
         let back: CampaignSpec = serde_json::from_str(&json).expect("deserialises");
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn pre_adversary_specs_parse_and_keep_their_run_ids() {
+        // A spec spelled before the attack axis existed: no "attacks"
+        // key anywhere. Rather than hard-coding one JSON dialect, the
+        // test serialises mirror structs that *lack* the new fields —
+        // whatever the active serialiser writes is exactly what an old
+        // binary would have written on this toolchain.
+        #[derive(serde::Serialize)]
+        struct PreAdversarySpec {
+            campaign: String,
+            seed: u64,
+            queries_per_run: u64,
+            timer: f64,
+            sc_l: u32,
+            topologies: Vec<TopologySpec>,
+            estimators: Vec<EstimatorKind>,
+            shards: Vec<usize>,
+            workers: Vec<usize>,
+            faults: Vec<FaultSpec>,
+            arrivals: Vec<ArrivalSpec>,
+        }
+        let new = tiny_spec();
+        let old_json = serde_json::to_string(&PreAdversarySpec {
+            campaign: new.campaign.clone(),
+            seed: new.seed,
+            queries_per_run: new.queries_per_run,
+            timer: new.timer,
+            sc_l: new.sc_l,
+            topologies: new.topologies.clone(),
+            estimators: new.estimators.clone(),
+            shards: new.shards.clone(),
+            workers: new.workers.clone(),
+            faults: new.faults.clone(),
+            arrivals: new.arrivals.clone(),
+        })
+        .expect("serialises");
+        assert!(
+            !old_json.contains("attacks"),
+            "the mirror must predate the axis"
+        );
+        let spec: CampaignSpec = serde_json::from_str(&old_json).expect("old specs still parse");
+        assert!(
+            spec.attacks.is_empty() || spec.attacks == vec![AttackSpec::None],
+            "a missing attack axis must mean no adversary, got {:?}",
+            spec.attacks
+        );
+        let points = expand(&spec);
+        assert_eq!(
+            points,
+            expand(&new),
+            "pre- and post-axis spellings must expand identically"
+        );
+        assert_eq!(
+            points[0].run_id(),
+            "balanced-n600-d10-random-tour-s0-w2-fault-none-closed-c4",
+            "no-adversary points must keep the pre-attack id format"
+        );
+        // An old manifest's RunPoint (no "attack" field) deserialises
+        // to the same point, so the resume key matches.
+        #[derive(serde::Serialize)]
+        struct PreAdversaryPoint {
+            index: usize,
+            topology: TopologySpec,
+            estimator: EstimatorKind,
+            shards: usize,
+            workers: usize,
+            fault: FaultSpec,
+            arrival: ArrivalSpec,
+        }
+        let old_point = serde_json::to_string(&PreAdversaryPoint {
+            index: points[0].index,
+            topology: points[0].topology,
+            estimator: points[0].estimator,
+            shards: points[0].shards,
+            workers: points[0].workers,
+            fault: points[0].fault,
+            arrival: points[0].arrival,
+        })
+        .expect("serialises");
+        assert!(!old_point.contains("attack"));
+        let point: RunPoint = serde_json::from_str(&old_point).expect("old points still parse");
+        assert_eq!(point, points[0]);
+    }
+
+    #[test]
+    fn attack_axis_expands_innermost_with_distinct_slugged_ids() {
+        let mut spec = tiny_spec();
+        spec.attacks.push(AttackSpec::Byzantine {
+            fraction: 0.2,
+            seed: 7,
+            inflation: Some(10.0),
+            deflation: None,
+            swallow: Some(0.15),
+            forgery: None,
+            flood: 16,
+        });
+        let points = expand(&spec);
+        assert_eq!(points.len(), 2 * 2 * 2 * 2);
+        // Innermost axis: consecutive points differ in attack first.
+        assert_eq!(points[0].attack, AttackSpec::None);
+        assert_ne!(points[1].attack, AttackSpec::None);
+        let id = points[1].run_id();
+        assert!(
+            id.ends_with("byz-f0p2-s7-i10-w0p15-q16"),
+            "attack slug missing or malformed in {id:?}"
+        );
+        assert!(
+            id.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.'),
+            "run id {id:?} has a filesystem-hostile byte"
+        );
+        // The spelled plan reaches a real AttackPlan.
+        let plan = points[1]
+            .attack
+            .plan()
+            .expect("a byzantine point has a plan");
+        assert!((plan.byzantine_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(plan.queue_flood(), 16);
     }
 }

@@ -12,6 +12,7 @@
 //! | `batched` | batched CTRW frontier ≥ 2× the serial engine | `BENCH_5.json` |
 //! | `sharded` | sharded service ≥ 1.5× unsharded, bit-identical | `BENCH_6.json` |
 //! | `snapshot-io` | binary snapshot reload < 1% of generate+freeze | `BENCH_7.json` |
+//! | `byzantine` | hardened sampler ≥ 3× less bias at 20% subverted | `BENCH_8.json` |
 //!
 //! Every arm re-seeds its RNG identically across variants, so ratios
 //! isolate the representation / recording / scheduling cost, and medians
@@ -31,10 +32,11 @@ use census_core::{RandomTour, SizeEstimator};
 use census_graph::generators;
 use census_graph::io::{load_frozen, save_frozen, write_frozen};
 use census_metrics::{NoopRecorder, Registry, RunCtx};
-use census_sampling::CtrwSampler;
+use census_sampling::{CtrwSampler, HardenedMetropolisSampler, MetropolisSampler, Sampler};
 use census_service::{
     CensusService, Counter, Query, QueryOutcome, ServiceConfig, ShardedCensusService,
 };
+use census_sim::attacks::AttackPlan;
 use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
 use census_walk::continuous::{ctrw_walk, CtrwOutcome, Sojourn};
 use census_walk::frontier::{ctrw_frontier, CtrwSpec};
@@ -61,16 +63,20 @@ pub enum ProbeArm {
     Sharded,
     /// Binary snapshot save/reload vs regeneration (`BENCH_7.json`).
     SnapshotIo,
+    /// Hardened-vs-naive Metropolis sampling under a Byzantine
+    /// degree-inflation + walk-swallow adversary (`BENCH_8.json`).
+    Byzantine,
 }
 
 impl ProbeArm {
     /// Every arm, in registry order.
-    pub const ALL: [ProbeArm; 5] = [
+    pub const ALL: [ProbeArm; 6] = [
         ProbeArm::Headline,
         ProbeArm::Service,
         ProbeArm::Batched,
         ProbeArm::Sharded,
         ProbeArm::SnapshotIo,
+        ProbeArm::Byzantine,
     ];
 
     /// The arm's registry name, as spelled on the command line.
@@ -82,6 +88,7 @@ impl ProbeArm {
             ProbeArm::Batched => "batched",
             ProbeArm::Sharded => "sharded",
             ProbeArm::SnapshotIo => "snapshot-io",
+            ProbeArm::Byzantine => "byzantine",
         }
     }
 
@@ -100,6 +107,7 @@ impl ProbeArm {
             ProbeArm::Batched => "BENCH_5.json",
             ProbeArm::Sharded => "BENCH_6.json",
             ProbeArm::SnapshotIo => "BENCH_7.json",
+            ProbeArm::Byzantine => "BENCH_8.json",
         }
     }
 }
@@ -122,6 +130,7 @@ pub fn run_probe(arm: ProbeArm, smoke: bool, out: &Path) -> io::Result<()> {
         ProbeArm::Batched => write_envelope(arm.name(), smoke, &batched_probe(smoke), out),
         ProbeArm::Sharded => write_envelope(arm.name(), smoke, &sharded_probe(smoke), out),
         ProbeArm::SnapshotIo => write_envelope(arm.name(), smoke, &snapshot_io_probe(smoke), out),
+        ProbeArm::Byzantine => write_envelope(arm.name(), smoke, &byzantine_probe(smoke), out),
     }?;
     println!("report -> {}", out.display());
     Ok(())
@@ -592,6 +601,164 @@ fn snapshot_io_probe(smoke: bool) -> SnapshotIoReport {
     }
 }
 
+/// `BENCH_8.json`: the price and the payoff of Byzantine hardening.
+///
+/// Two measurements on the same balanced overlay:
+///
+/// 1. **honest overhead** — wall-clock of a naive Metropolis sampling
+///    pass vs the audited [`HardenedMetropolisSampler`] pass on the
+///    attack-free overlay, identical seeds. The audit spends extra
+///    messages but no extra RNG draws, so the percentage is the pure
+///    cost of hardening when nobody attacks.
+/// 2. **attacked bias** — with 20% of peers subverted (10× degree
+///    inflation + 15% walk swallowing, the `byzantine-sweep` headline
+///    cell), the relative error of each sampler's subverted-peer share
+///    vs the population share. At full scale the probe *asserts* the
+///    acceptance claim: the hardened error is at least 3× smaller.
+fn byzantine_probe(smoke: bool) -> ByzantineReport {
+    let (n, samples, repeats) = if smoke {
+        (5_000, 96, 1)
+    } else {
+        (50_000, 512, 5)
+    };
+    const FRACTION: f64 = 0.20;
+    const INFLATION: f64 = 10.0;
+    const SWALLOW: f64 = 0.15;
+    const RETRIES: u32 = 50;
+    const TARGET_ADVANTAGE: f64 = 3.0;
+    let steps = (((n as f64).ln() * 10.0).ceil() as u64).max(40);
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let frozen = generators::balanced(n, 10, &mut rng).freeze();
+    let start = frozen.nodes().next().expect("non-empty");
+    let naive = MetropolisSampler::new(steps).with_retries(RETRIES);
+    let hardened = HardenedMetropolisSampler::new(steps).with_retries(RETRIES);
+
+    println!(
+        "byzantine probe on balanced N = {n} ({samples} Metropolis samples x {steps} steps, \
+         {:.0}% subverted, {INFLATION:.0}x inflation, {:.0}% swallow, median of {repeats})",
+        100.0 * FRACTION,
+        100.0 * SWALLOW
+    );
+
+    // 1. Honest-overlay wall clock: what the audit costs when every
+    // degree claim checks out.
+    let naive_s = median_secs(repeats, || {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..samples {
+            let _ = naive.sample(&frozen, start, &mut rng).expect("connected");
+        }
+    });
+    let hardened_s = median_secs(repeats, || {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..samples {
+            let _ = hardened
+                .sample(&frozen, start, &mut rng)
+                .expect("connected");
+        }
+    });
+    let overhead_pct = (hardened_s / naive_s - 1.0) * 100.0;
+    println!("  naive (honest)    : {naive_s:.4} s/pass");
+    println!("  hardened (honest) : {hardened_s:.4} s/pass  ({overhead_pct:+.2}% vs naive)");
+
+    // 2. Attacked bias: subverted-peer share of each output law,
+    // scored exactly like the sweep — the median over `repeats`
+    // replications, each arm pair sharing a replication seed so the
+    // comparison is paired.
+    let plan = AttackPlan::new()
+        .with_byzantine(FRACTION, 0xB12)
+        .with_degree_inflation(INFLATION)
+        .with_walk_swallow(SWALLOW);
+    let truth = frozen.nodes().filter(|&v| plan.is_byzantine(v)).count() as f64 / n as f64;
+    let rel_err = |sampler: &dyn SampleOnce| -> f64 {
+        let mut errs: Vec<f64> = (0..repeats as u64)
+            .map(|r| {
+                let hostile = plan.apply(&frozen);
+                let mut rng = SmallRng::seed_from_u64(3 ^ (0x9E37 * (r + 1)));
+                let mut completed = 0u64;
+                let mut hits = 0u64;
+                for _ in 0..samples {
+                    if let Some(node) = sampler.sample_once(&hostile, start, &mut rng) {
+                        completed += 1;
+                        if plan.is_byzantine(node) {
+                            hits += 1;
+                        }
+                    }
+                }
+                assert!(
+                    completed > 0,
+                    "the restart budget must keep some samples alive"
+                );
+                (hits as f64 / completed as f64 - truth).abs() / truth
+            })
+            .collect();
+        errs.sort_by(f64::total_cmp);
+        errs[errs.len() / 2]
+    };
+    let naive_err = rel_err(&naive);
+    let hardened_err = rel_err(&hardened);
+    let advantage = naive_err / hardened_err.max(1e-6);
+    println!("  naive rel. error  : {naive_err:.3} (truth {truth:.3})");
+    println!("  hardened rel. err : {hardened_err:.3}");
+    println!("  advantage         : {advantage:.2}x (target >= {TARGET_ADVANTAGE}x at full scale)");
+    if !smoke {
+        assert!(
+            advantage >= TARGET_ADVANTAGE,
+            "hardening bought only {advantage:.2}x bias reduction (target {TARGET_ADVANTAGE}x)"
+        );
+    }
+
+    ByzantineReport {
+        n,
+        samples,
+        steps,
+        repeats,
+        byzantine_fraction: FRACTION,
+        degree_inflation: INFLATION,
+        walk_swallow: SWALLOW,
+        naive_honest_pass_s: naive_s,
+        hardened_honest_pass_s: hardened_s,
+        hardening_overhead_pct: overhead_pct,
+        naive_rel_err: naive_err,
+        hardened_rel_err: hardened_err,
+        hardened_advantage: advantage,
+        target_advantage: TARGET_ADVANTAGE,
+    }
+}
+
+/// Object-safe sampling shim for the probe's two arms (the [`Sampler`]
+/// trait itself is not object safe — generic over topology and RNG).
+trait SampleOnce {
+    fn sample_once(
+        &self,
+        topology: &census_sim::attacks::AdversarialTopology<&census_graph::FrozenView>,
+        start: census_graph::NodeId,
+        rng: &mut SmallRng,
+    ) -> Option<census_graph::NodeId>;
+}
+
+impl SampleOnce for MetropolisSampler {
+    fn sample_once(
+        &self,
+        topology: &census_sim::attacks::AdversarialTopology<&census_graph::FrozenView>,
+        start: census_graph::NodeId,
+        rng: &mut SmallRng,
+    ) -> Option<census_graph::NodeId> {
+        self.sample(topology, start, rng).ok().map(|s| s.node)
+    }
+}
+
+impl SampleOnce for HardenedMetropolisSampler {
+    fn sample_once(
+        &self,
+        topology: &census_sim::attacks::AdversarialTopology<&census_graph::FrozenView>,
+        start: census_graph::NodeId,
+        rng: &mut SmallRng,
+    ) -> Option<census_graph::NodeId> {
+        self.sample(topology, start, rng).ok().map(|s| s.node)
+    }
+}
+
 /// Median wall-clock seconds of `repeats` timed invocations of `f` —
 /// unless `f` itself returns the duration to score (the service pass
 /// times only the serve window, excluding overlay construction).
@@ -716,6 +883,27 @@ struct SnapshotIoReport {
     /// Always `true` when the report exists at all: the probe aborts if
     /// the reloaded view does not re-encode byte-identically.
     byte_identical: bool,
+}
+
+/// `BENCH_8.json` payload.
+#[derive(serde::Serialize)]
+struct ByzantineReport {
+    n: usize,
+    samples: u64,
+    steps: u64,
+    repeats: usize,
+    byzantine_fraction: f64,
+    degree_inflation: f64,
+    walk_swallow: f64,
+    naive_honest_pass_s: f64,
+    hardened_honest_pass_s: f64,
+    hardening_overhead_pct: f64,
+    naive_rel_err: f64,
+    hardened_rel_err: f64,
+    /// Naive relative error over hardened relative error at the attacked
+    /// cell; at full scale the probe aborts below `target_advantage`.
+    hardened_advantage: f64,
+    target_advantage: f64,
 }
 
 /// Keeps `PathBuf` in the public signature story for the binary without

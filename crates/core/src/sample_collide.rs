@@ -176,10 +176,17 @@ impl<S: Sampler> SampleCollide<S> {
         let mut seen: HashSet<NodeId> = HashSet::new();
         let mut collisions = 0u32;
         let target = self.l;
+        // The collision check is initiator-local bookkeeping, but the
+        // protocol has the sampled peer confirm the probe — so the check
+        // routes through `Topology::reports_collision`, giving adversarial
+        // wrappers their forgery surface. Honest topologies echo
+        // `locally_marked` and the behaviour is unchanged.
+        let topology = ctx.topology;
         let batch = self
             .sampler
             .sample_many(ctx, initiator, u64::MAX, |s, _cost| {
-                if !seen.insert(s.node) {
+                let locally_marked = !seen.insert(s.node);
+                if topology.reports_collision(s.node, locally_marked) {
                     collisions += 1;
                     if collisions == target {
                         return ControlFlow::Break(());

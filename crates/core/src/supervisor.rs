@@ -202,19 +202,22 @@ pub struct Supervised<E> {
     inner: E,
     retries: u32,
     backoff: f64,
+    panel: u32,
     state: Mutex<SupervisorState>,
 }
 
 impl<E> Supervised<E> {
     /// Wraps `inner` with the default supervision policy: 5 retries,
-    /// backoff ×2 per attempt, and a `mean + 3·std` timeout learned after
-    /// a 10-trip warmup (unbounded until then).
+    /// backoff ×2 per attempt, no outlier-rejection panel, and a
+    /// `mean + 3·std` timeout learned after a 10-trip warmup (unbounded
+    /// until then).
     #[must_use]
     pub fn new(inner: E) -> Self {
         Self {
             inner,
             retries: 5,
             backoff: 2.0,
+            panel: 1,
             state: Mutex::new(SupervisorState {
                 tracker: AdaptiveTimeout::new(u64::MAX, 3.0).with_warmup(10),
                 stats: SupervisorStats::default(),
@@ -242,6 +245,34 @@ impl<E> Supervised<E> {
         assert!(backoff >= 1.0, "backoff must not shrink the budget");
         self.backoff = backoff;
         self
+    }
+
+    /// Enables median-of-`panel` outlier rejection: each estimate runs
+    /// `panel` independent supervised attempts and reports the one with
+    /// the *median value*, summing every attempt's message bill.
+    ///
+    /// This is the initiator-side defence against a Byzantine minority
+    /// corrupting individual runs — forged Sample & Collide collisions
+    /// or a swallowed-walk survivorship skew poison single estimates,
+    /// but to move the median the adversary must corrupt more than half
+    /// of the panel in the *same direction*. A panel of 1 (the default)
+    /// disables the rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panel` is even or zero — a median needs an odd count
+    /// to land on an actual estimate.
+    #[must_use]
+    pub fn with_outlier_rejection(mut self, panel: u32) -> Self {
+        assert!(panel % 2 == 1, "the panel must be odd (and non-zero)");
+        self.panel = panel;
+        self
+    }
+
+    /// The configured panel size (1 = no outlier rejection).
+    #[must_use]
+    pub fn panel(&self) -> u32 {
+        self.panel
     }
 
     /// Replaces the timeout tracker (e.g. to choose the multiplier `k`
@@ -297,8 +328,10 @@ fn escalated(base: u64, backoff: f64, attempt: u32) -> u64 {
     }
 }
 
-impl<E: StepBudgeted> SizeEstimator for Supervised<E> {
-    fn estimate_with<T, R, Rec>(
+impl<E: StepBudgeted> Supervised<E> {
+    /// One full supervised estimate: up to `1 + retries` budgeted
+    /// attempts with escalation, stats and tracker updates.
+    fn estimate_once<T, R, Rec>(
         &self,
         ctx: &mut RunCtx<'_, T, R, Rec>,
         initiator: NodeId,
@@ -342,6 +375,50 @@ impl<E: StepBudgeted> SizeEstimator for Supervised<E> {
             }
         }
         Err(last_error.expect("the attempt loop runs at least once"))
+    }
+}
+
+impl<E: StepBudgeted> SizeEstimator for Supervised<E> {
+    fn estimate_with<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Estimate, EstimateError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        if self.panel == 1 {
+            return self.estimate_once(ctx, initiator);
+        }
+        // Outlier rejection: run the panel, report the median-valued
+        // member. Degenerate failures abort (a parameter problem poisons
+        // every member identically); other failures shrink the panel —
+        // the median over the survivors is still the robust choice.
+        let mut panel: Vec<Estimate> = Vec::with_capacity(self.panel as usize);
+        let mut last_error = None;
+        for _ in 0..self.panel {
+            match self.estimate_once(ctx, initiator) {
+                Ok(est) => panel.push(est),
+                Err(e) => {
+                    if LossClass::of(&e) == LossClass::Degenerate {
+                        return Err(e);
+                    }
+                    last_error = Some(e);
+                }
+            }
+        }
+        if panel.is_empty() {
+            return Err(last_error.expect("an empty panel saw every member fail"));
+        }
+        panel.sort_by(|a, b| a.value.total_cmp(&b.value));
+        let median = panel[panel.len() / 2].value;
+        let messages = panel.iter().map(|e| e.messages).sum();
+        Ok(Estimate {
+            value: median,
+            messages,
+        })
     }
 }
 
@@ -452,6 +529,44 @@ mod tests {
             budget < u64::MAX && budget > 2,
             "budget {budget} should be learned and sane"
         );
+    }
+
+    #[test]
+    fn outlier_rejection_reports_the_median_and_bills_the_whole_panel() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::balanced(300, 10, &mut rng);
+        let initiator = g.nodes().next().expect("non-empty");
+        let paneled = Supervised::new(RandomTour::new()).with_outlier_rejection(3);
+        let mut a = SmallRng::seed_from_u64(7);
+        let est = paneled
+            .estimate_with(&mut RunCtx::new(&g, &mut a), initiator)
+            .expect("connected");
+        // The same RNG stream drives three plain supervised estimates,
+        // so the panel's members are exactly these three runs.
+        let plain = Supervised::new(RandomTour::new());
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut members: Vec<Estimate> = (0..3)
+            .map(|_| {
+                plain
+                    .estimate_with(&mut RunCtx::new(&g, &mut b), initiator)
+                    .expect("connected")
+            })
+            .collect();
+        let billed: u64 = members.iter().map(|e| e.messages).sum();
+        members.sort_by(|x, y| x.value.total_cmp(&y.value));
+        assert_eq!(
+            est.value, members[1].value,
+            "the panel must report the median member"
+        );
+        assert_eq!(est.messages, billed, "every member's bill is charged");
+        assert_eq!(paneled.stats().attempts, 3);
+        assert_eq!(paneled.panel(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_panels_are_rejected() {
+        let _ = Supervised::new(RandomTour::new()).with_outlier_rejection(2);
     }
 
     #[test]

@@ -88,11 +88,14 @@ pub enum SnapshotFormat {
 impl SnapshotFormat {
     /// Negotiates a format from a file extension: `el`, `edges`, or
     /// `txt` mean [`SnapshotFormat::EdgeListText`]; `snap`, `bin`, or
-    /// `csr` mean [`SnapshotFormat::BinaryV1`]. Unknown or missing
+    /// `csr` mean [`SnapshotFormat::BinaryV1`]. Matching is
+    /// case-insensitive (`.SNAP` and `.El` negotiate like their
+    /// lowercase twins — filesystems that uppercase extensions must not
+    /// fall to [`SnapshotError::UnknownExtension`]). Unknown or missing
     /// extensions return `None`.
     #[must_use]
     pub fn from_extension(path: &Path) -> Option<Self> {
-        match path.extension()?.to_str()? {
+        match path.extension()?.to_str()?.to_ascii_lowercase().as_str() {
             "el" | "edges" | "txt" => Some(SnapshotFormat::EdgeListText),
             "snap" | "bin" | "csr" => Some(SnapshotFormat::BinaryV1),
             _ => None,
@@ -914,6 +917,40 @@ mod tests {
         );
         assert_eq!(SnapshotFormat::from_extension(Path::new("a/b.json")), None);
         assert_eq!(SnapshotFormat::from_extension(Path::new("noext")), None);
+    }
+
+    #[test]
+    fn extension_negotiation_is_case_insensitive() {
+        for (spelled, format) in [
+            ("a/b.SNAP", SnapshotFormat::BinaryV1),
+            ("a/b.Snap", SnapshotFormat::BinaryV1),
+            ("a/b.BIN", SnapshotFormat::BinaryV1),
+            ("a/b.CSR", SnapshotFormat::BinaryV1),
+            ("a/b.El", SnapshotFormat::EdgeListText),
+            ("a/b.EDGES", SnapshotFormat::EdgeListText),
+            ("a/b.TXT", SnapshotFormat::EdgeListText),
+        ] {
+            assert_eq!(
+                SnapshotFormat::from_extension(Path::new(spelled)),
+                Some(format),
+                "{spelled} must negotiate case-insensitively"
+            );
+        }
+        assert_eq!(SnapshotFormat::from_extension(Path::new("a/b.JSON")), None);
+        // The path entry points inherit the normalisation.
+        let dir = std::env::temp_dir().join("census-io-case-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let g = churned(40, 10, 3);
+        let upper = dir.join("overlay.SNAP");
+        assert_eq!(
+            save_snapshot_path(&g, &upper).expect("uppercase extension saves"),
+            SnapshotFormat::BinaryV1
+        );
+        assert_eq!(
+            load_snapshot_path(&upper).expect("load").into_frozen(),
+            g.freeze()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -91,6 +91,23 @@ pub trait Topology {
     /// A uniformly random live peer, used to pick experiment initiators.
     /// Returns `None` when the overlay is empty.
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId>;
+
+    /// Whether the peer at `node` reports this visit as a Sample & Collide
+    /// collision. `locally_marked` is the initiator's own bookkeeping
+    /// (it has seen this peer in the current batch before); an honest
+    /// peer simply confirms it, and the default implementation does
+    /// exactly that.
+    ///
+    /// The collision *check* is initiator-local, but the paper's protocol
+    /// has the visited peer answer the probe — which is what a Byzantine
+    /// peer can lie about. Adversarial environment wrappers override this
+    /// to forge collisions (`false → true`); the estimators therefore
+    /// consult the topology rather than trusting their local set alone.
+    #[inline]
+    fn reports_collision(&self, node: NodeId, locally_marked: bool) -> bool {
+        let _ = node;
+        locally_marked
+    }
 }
 
 impl Topology for Graph {
@@ -173,6 +190,11 @@ impl<T: Topology + ?Sized> Topology for &T {
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         (**self).any_peer(rng)
     }
+
+    #[inline]
+    fn reports_collision(&self, node: NodeId, locally_marked: bool) -> bool {
+        (**self).reports_collision(node, locally_marked)
+    }
 }
 
 /// Shared-ownership forwarding: the sharded census service hands walk
@@ -205,6 +227,11 @@ impl<T: Topology + ?Sized> Topology for std::sync::Arc<T> {
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         (**self).any_peer(rng)
     }
+
+    #[inline]
+    fn reports_collision(&self, node: NodeId, locally_marked: bool) -> bool {
+        (**self).reports_collision(node, locally_marked)
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +255,9 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(0);
             assert_eq!(t.neighbor_of(a, &mut rng), Some(b));
             assert!(t.any_peer(&mut rng).is_some());
+            // Honest peers confirm exactly the initiator's bookkeeping.
+            assert!(t.reports_collision(a, true));
+            assert!(!t.reports_collision(a, false));
         }
         probe(&g, a, b);
         probe(&g.freeze(), a, b);

@@ -96,11 +96,23 @@ pub enum Metric {
     /// edge's destination shard. Execution-shape, like
     /// [`Metric::WalkBatchRounds`]: the unsharded path records zero.
     ShardHandoffs,
+    /// Walk steps that touched a Byzantine (adversarial) node — an
+    /// `AttackPlan` wrapper's encounter tally, absorbed after each run.
+    /// Simulation-side ground truth: a deployed initiator cannot observe
+    /// it, which is exactly why the bias experiments need it.
+    ByzantineEncounters,
+    /// Walks dropped by a Byzantine node's `WalkSwallow` behaviour (the
+    /// probe message is eaten; the initiator sees a stuck/lost walk).
+    SwallowedWalks,
+    /// Sample & Collide collision reports forged by Byzantine nodes —
+    /// claims of a repeat visit that never happened, inflating `C_l` and
+    /// deflating the size estimate.
+    ForgedCollisions,
 }
 
 impl Metric {
     /// Every counter, in declaration (and serialisation) order.
-    pub const ALL: [Metric; 26] = [
+    pub const ALL: [Metric; 29] = [
         Metric::TourHops,
         Metric::CtrwHops,
         Metric::SampleHops,
@@ -127,6 +139,9 @@ impl Metric {
         Metric::WalkBatchRounds,
         Metric::CutCrossings,
         Metric::ShardHandoffs,
+        Metric::ByzantineEncounters,
+        Metric::SwallowedWalks,
+        Metric::ForgedCollisions,
     ];
 
     /// Number of counters a registry allocates.
@@ -162,6 +177,9 @@ impl Metric {
             Metric::WalkBatchRounds => "walk_batch_rounds",
             Metric::CutCrossings => "cut_crossings",
             Metric::ShardHandoffs => "shard_handoffs",
+            Metric::ByzantineEncounters => "byzantine_encounters",
+            Metric::SwallowedWalks => "swallowed_walks",
+            Metric::ForgedCollisions => "forged_collisions",
         }
     }
 

@@ -1,0 +1,394 @@
+//! Byzantine-hardened Metropolis–Hastings sampling.
+
+use census_graph::{NodeId, Topology};
+use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
+use census_walk::WalkError;
+use rand::Rng;
+
+use crate::{Sample, Sampler};
+
+/// A Metropolis–Hastings sampler that refuses to trust self-reported
+/// degrees.
+///
+/// The plain [`MetropolisSampler`](crate::MetropolisSampler) accepts a
+/// proposed move `u → v` with probability `min(1, d_u/d_v)`, taking both
+/// degrees on faith. A Byzantine peer breaks that faith cheaply: *deflate*
+/// `d_v` and the walk almost always accepts moves onto the liar (the
+/// adversary becomes an absorbing attractor of the "uniform" sampler);
+/// *inflate* it and honest walks bounce off, erasing the peer — and its
+/// colluders — from the sample space. This sampler counters with two
+/// local defences, both built from information a walk already has:
+///
+/// - **degree cross-audit**: before using a peer's degree, spot-check up
+///   to `audit_checks` of its claimed adjacency entries against the
+///   mutually-verified edge set (each neighbour of `v` knows whether `v`
+///   is truly its neighbour, so a claim that disagrees with the edge set
+///   fails confirmation). A claim consistent with the checks is used as
+///   is; an inconsistent one is replaced by the verified adjacency count.
+///   Each spot check costs one overlay message, charged to the sample.
+/// - **min-degree clamp**: audited or not, no degree below `degree_floor`
+///   enters the acceptance ratio, bounding how strongly any single
+///   deflating liar can attract the walk even when the audit budget is
+///   exhausted (`min(1, d_u/d_v) ≤ d_u/floor`).
+///
+/// Swallowed walks (an adversary eating the probe) are restarted from the
+/// initiator up to `retries` times — liveness, shared with
+/// [`MetropolisSampler::with_retries`](crate::MetropolisSampler::with_retries);
+/// the *bias* resistance is the audit and the clamp.
+///
+/// On an honest topology every audit confirms the claim, so the chain —
+/// and its RNG draw sequence — is identical to the plain Metropolis
+/// sampler's; hardening then costs only the audit messages.
+///
+/// # Examples
+///
+/// ```
+/// use census_sampling::HardenedMetropolisSampler;
+///
+/// let sampler = HardenedMetropolisSampler::new(100)
+///     .with_audit_checks(3)
+///     .with_degree_floor(2)
+///     .with_retries(4);
+/// assert_eq!(sampler.steps(), 100);
+/// assert_eq!(sampler.audit_checks(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardenedMetropolisSampler {
+    steps: u64,
+    retries: u32,
+    audit_checks: u32,
+    degree_floor: usize,
+}
+
+impl HardenedMetropolisSampler {
+    /// Creates the hardened sampler with the default defence posture:
+    /// 2 spot checks per degree query, a degree floor of 2, and 3
+    /// stranded-walk restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    #[must_use]
+    pub fn new(steps: u64) -> Self {
+        assert!(steps > 0, "a zero-step walk cannot sample");
+        Self {
+            steps,
+            retries: 3,
+            audit_checks: 2,
+            degree_floor: 2,
+        }
+    }
+
+    /// Sets the number of neighbours-of-neighbours spot checks spent per
+    /// degree query (0 disables the audit and trusts claims, leaving
+    /// only the floor).
+    #[must_use]
+    pub fn with_audit_checks(mut self, audit_checks: u32) -> Self {
+        self.audit_checks = audit_checks;
+        self
+    }
+
+    /// Sets the minimum degree admitted into the acceptance ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree_floor` is zero (a zero divisor).
+    #[must_use]
+    pub fn with_degree_floor(mut self, degree_floor: usize) -> Self {
+        assert!(degree_floor > 0, "the degree floor must be positive");
+        self.degree_floor = degree_floor;
+        self
+    }
+
+    /// Sets how many times a stranded walk is restarted from the
+    /// initiator before [`WalkError::Stuck`] surfaces.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The configured number of Metropolis steps.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The configured spot checks per degree query.
+    #[must_use]
+    pub fn audit_checks(&self) -> u32 {
+        self.audit_checks
+    }
+
+    /// The configured minimum degree.
+    #[must_use]
+    pub fn degree_floor(&self) -> usize {
+        self.degree_floor
+    }
+
+    /// The configured number of stranded-walk restarts.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// The degree of `node` this sampler is willing to believe, plus the
+    /// overlay messages the audit spent.
+    ///
+    /// With spot checks enabled, a claim that disagrees with the
+    /// mutually-verified adjacency is discarded for the verified count —
+    /// inflation beyond the edge set fails confirmation, deflation below
+    /// it is contradicted by a confirmed extra edge. The floor applies
+    /// in every case.
+    fn audited_degree<T>(&self, topology: &T, node: NodeId) -> (usize, u64)
+    where
+        T: Topology + ?Sized,
+    {
+        let claimed = topology.degree_of(node);
+        if self.audit_checks == 0 {
+            return (claimed.max(self.degree_floor), 0);
+        }
+        let verified = topology.neighbors_of(node).len();
+        let cost = u64::from(self.audit_checks).min(verified as u64);
+        let believed = if claimed == verified {
+            claimed
+        } else {
+            verified
+        };
+        (believed.max(self.degree_floor), cost)
+    }
+
+    /// The walk shared by both trait entry points: final node, accepted
+    /// moves, rejected proposals, and audit messages, totalled across
+    /// restarts.
+    fn walk<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<(NodeId, u64, u64, u64), WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        if topology.neighbors_of(initiator).is_empty() {
+            return Err(WalkError::Stuck(initiator));
+        }
+        let mut hops = 0u64;
+        let mut rejections = 0u64;
+        let mut audits = 0u64;
+        'attempt: for _ in 0..=self.retries {
+            let mut current = initiator;
+            let (mut d_cur, cost) = self.audited_degree(topology, current);
+            audits += cost;
+            for _ in 0..self.steps {
+                let Some(v) = topology.neighbor_of(current, rng) else {
+                    continue 'attempt;
+                };
+                let (d_v, cost) = self.audited_degree(topology, v);
+                audits += cost;
+                // Accept with probability min(1, d_cur / d_v), on the
+                // audited-and-clamped degrees.
+                if d_v <= d_cur || rng.random::<f64>() * d_v as f64 <= d_cur as f64 {
+                    current = v;
+                    d_cur = d_v;
+                    hops += 1;
+                } else {
+                    rejections += 1;
+                }
+            }
+            return Ok((current, hops, rejections, audits));
+        }
+        Err(WalkError::Stuck(initiator))
+    }
+}
+
+impl Sampler for HardenedMetropolisSampler {
+    /// The reported [`Sample::hops`] is the full message bill: accepted
+    /// moves plus audit messages.
+    fn sample<T, R>(
+        &self,
+        topology: &T,
+        initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let (node, hops, _rejections, audits) = self.walk(topology, initiator, rng)?;
+        Ok(Sample {
+            node,
+            hops: hops + audits,
+        })
+    }
+
+    /// Records accepted moves *and* audit messages on
+    /// [`Metric::MetropolisHops`] (both are overlay messages of the
+    /// Metropolis machinery) and the rejected proposals on
+    /// [`Metric::MetropolisRejections`].
+    fn sample_ctx<T, R, Rec>(
+        &self,
+        ctx: &mut RunCtx<'_, T, R, Rec>,
+        initiator: NodeId,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+        Rec: Recorder + ?Sized,
+    {
+        let topology = ctx.topology;
+        let (node, hops, rejections, audits) = self.walk(topology, initiator, &mut *ctx.rng)?;
+        ctx.on_message(Metric::MetropolisHops, hops + audits);
+        ctx.on_event(Metric::MetropolisRejections, rejections);
+        ctx.on_event(Metric::SamplesDrawn, 1);
+        ctx.observe(HistogramMetric::SampleCost, (hops + audits) as f64);
+        Ok(Sample {
+            node,
+            hops: hops + audits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{quality, MetropolisSampler};
+    use census_graph::{generators, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn near_uniform_on_star() {
+        let g = generators::star(8);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sampler = HardenedMetropolisSampler::new(200).with_degree_floor(1);
+        let tv = quality::empirical_tv_to_uniform(&sampler, &g, 30_000, &mut rng);
+        assert!(tv < 0.04, "hardened Metropolis TV {tv} too large");
+    }
+
+    #[test]
+    fn matches_plain_metropolis_on_honest_topologies() {
+        // Every audit confirms the claim, the floor of 1 never binds:
+        // the chain must be draw-for-draw identical to the naive sampler,
+        // differing only in the audit messages on the bill.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(150, 3, &mut rng);
+        let naive = MetropolisSampler::new(120);
+        let hardened = HardenedMetropolisSampler::new(120)
+            .with_degree_floor(1)
+            .with_audit_checks(2);
+        let start = g.nodes().next().expect("non-empty");
+        for i in 0..50u64 {
+            let mut a = SmallRng::seed_from_u64(10 + i);
+            let mut b = SmallRng::seed_from_u64(10 + i);
+            let plain = naive.sample(&g, start, &mut a).expect("connected");
+            let hard = hardened.sample(&g, start, &mut b).expect("connected");
+            assert_eq!(plain.node, hard.node, "walk {i} diverged");
+            assert!(hard.hops >= plain.hops, "audits only add messages");
+        }
+    }
+
+    #[test]
+    fn floor_of_one_without_audit_is_plain_metropolis() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::balanced(200, 6, &mut rng);
+        let naive = MetropolisSampler::new(80);
+        let hardened = HardenedMetropolisSampler::new(80)
+            .with_degree_floor(1)
+            .with_audit_checks(0);
+        let start = g.nodes().next().expect("non-empty");
+        for i in 0..30u64 {
+            let mut a = SmallRng::seed_from_u64(i);
+            let mut b = SmallRng::seed_from_u64(i);
+            assert_eq!(
+                naive.sample(&g, start, &mut a).expect("connected"),
+                hardened.sample(&g, start, &mut b).expect("connected"),
+                "audit-free hardened sampler must equal the naive one bill included"
+            );
+        }
+    }
+
+    #[test]
+    fn audit_discards_degree_lies() {
+        /// A topology claiming every degree is 1 while adjacency says
+        /// otherwise — the deflation attack in its purest form.
+        struct Deflating(Graph);
+        impl Topology for Deflating {
+            fn peer_count(&self) -> usize {
+                self.0.peer_count()
+            }
+            fn contains(&self, node: NodeId) -> bool {
+                self.0.contains(node)
+            }
+            fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+                self.0.neighbors_of(node)
+            }
+            fn degree_of(&self, _node: NodeId) -> usize {
+                1
+            }
+            fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+                self.0.any_peer(rng)
+            }
+        }
+        let g = generators::star(9); // 9 peers: hub degree 8, leaves degree 1
+        let hub = g.nodes().next().expect("non-empty");
+        let lying = Deflating(g);
+        let audited = HardenedMetropolisSampler::new(10).with_degree_floor(1);
+        let (d, cost) = audited.audited_degree(&lying, hub);
+        assert_eq!(d, 8, "audit must recover the verified degree");
+        assert_eq!(cost, 2, "two spot checks were spent");
+        let trusting = audited.with_audit_checks(0);
+        assert_eq!(
+            trusting.audited_degree(&lying, hub),
+            (1, 0),
+            "without the audit the lie stands (modulo the floor)"
+        );
+    }
+
+    #[test]
+    fn floor_clamps_deflation_when_audit_is_off() {
+        let g = generators::star(9);
+        let hub = g.nodes().next().expect("non-empty");
+        let leaf = g.nodes().nth(1).expect("a leaf");
+        let floored = HardenedMetropolisSampler::new(10)
+            .with_audit_checks(0)
+            .with_degree_floor(3);
+        assert_eq!(floored.audited_degree(&g, hub), (8, 0));
+        assert_eq!(
+            floored.audited_degree(&g, leaf),
+            (3, 0),
+            "the floor binds below it"
+        );
+    }
+
+    #[test]
+    fn isolated_initiator_is_stuck() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            HardenedMetropolisSampler::new(5).sample(&g, a, &mut rng),
+            Err(WalkError::Stuck(a))
+        );
+    }
+
+    #[test]
+    fn ctx_bill_includes_audit_messages() {
+        use census_metrics::{Metric, Registry, RunCtx};
+        let g = generators::star(10);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let sampler = HardenedMetropolisSampler::new(50).with_degree_floor(1);
+        let s = sampler
+            .sample_ctx(&mut ctx, g.nodes().next().expect("non-empty"))
+            .expect("walk completes");
+        assert_eq!(reg.counter(Metric::MetropolisHops), s.hops);
+        assert!(
+            s.hops > 50 - reg.counter(Metric::MetropolisRejections),
+            "the bill must exceed the accepted moves by the audit cost"
+        );
+        assert_eq!(ctx.messages_total(), s.hops);
+    }
+}

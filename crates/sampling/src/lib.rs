@@ -18,6 +18,11 @@
 //!   Metropolis–Hastings walk whose acceptance ratio `min(1, d_u/d_v)`
 //!   makes the uniform distribution stationary. Included as an extension
 //!   baseline for the sampler-bias ablation.
+//! - [`HardenedMetropolisSampler`]: the Byzantine-resistant variant —
+//!   the same chain over *audited* degrees (neighbours-of-neighbours
+//!   spot checks against the mutually-verified edge set) with a
+//!   min-degree clamp, so degree-lying peers cannot attract or repel the
+//!   walk; identical to the plain sampler on honest overlays.
 //!
 //! The [`quality`] module measures how close a sampler's output law is to
 //! uniform (empirically, and exactly for the CTRW via uniformization).
@@ -46,6 +51,7 @@ pub mod quality;
 
 mod ctrw;
 mod dtrw;
+mod hardened;
 mod metropolis;
 mod oracle;
 
@@ -58,6 +64,7 @@ use rand::Rng;
 
 pub use ctrw::CtrwSampler;
 pub use dtrw::DtrwSampler;
+pub use hardened::HardenedMetropolisSampler;
 pub use metropolis::MetropolisSampler;
 pub use oracle::OracleSampler;
 

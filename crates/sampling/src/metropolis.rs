@@ -29,11 +29,12 @@ use crate::{Sample, Sampler};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetropolisSampler {
     steps: u64,
+    retries: u32,
 }
 
 impl MetropolisSampler {
     /// Creates a sampler running `steps` Metropolis steps (accepted or
-    /// not) before reporting the current node.
+    /// not) before reporting the current node, with no walk retries.
     ///
     /// # Panics
     ///
@@ -41,7 +42,19 @@ impl MetropolisSampler {
     #[must_use]
     pub fn new(steps: u64) -> Self {
         assert!(steps > 0, "a zero-step walk cannot sample");
-        Self { steps }
+        Self { steps, retries: 0 }
+    }
+
+    /// Restarts a walk stranded mid-flight (a hop that could not be
+    /// delivered — message loss, or an adversarial peer swallowing the
+    /// probe) from the initiator, up to `retries` times, before
+    /// surfacing [`WalkError::Stuck`]. Messages spent on stranded
+    /// attempts stay on the bill. On a fault-free topology this setting
+    /// is inert: a walk only strands when the environment drops it.
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
     }
 
     /// The configured number of Metropolis steps.
@@ -50,9 +63,15 @@ impl MetropolisSampler {
         self.steps
     }
 
+    /// The configured number of stranded-walk restarts.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
     /// The walk itself, shared by both trait entry points: returns the
     /// final node, the accepted moves (= messages), and the rejected
-    /// proposals.
+    /// proposals, both totalled across restarts.
     fn walk<T, R>(
         &self,
         topology: &T,
@@ -66,24 +85,30 @@ impl MetropolisSampler {
         if topology.degree_of(initiator) == 0 {
             return Err(WalkError::Stuck(initiator));
         }
-        let mut current = initiator;
         let mut hops = 0u64;
         let mut rejections = 0u64;
-        for _ in 0..self.steps {
-            let d_u = topology.degree_of(current);
-            let v = topology
-                .neighbor_of(current, rng)
-                .expect("positive degree implies a neighbour");
-            let d_v = topology.degree_of(v);
-            // Accept with probability min(1, d_u / d_v).
-            if d_v <= d_u || rng.random::<f64>() * d_v as f64 <= d_u as f64 {
-                current = v;
-                hops += 1;
-            } else {
-                rejections += 1;
+        'attempt: for _ in 0..=self.retries {
+            let mut current = initiator;
+            for _ in 0..self.steps {
+                let d_u = topology.degree_of(current);
+                // An undeliverable hop (dropped or swallowed probe)
+                // strands the walk; restart it from the initiator if the
+                // retry budget allows.
+                let Some(v) = topology.neighbor_of(current, rng) else {
+                    continue 'attempt;
+                };
+                let d_v = topology.degree_of(v);
+                // Accept with probability min(1, d_u / d_v).
+                if d_v <= d_u || rng.random::<f64>() * d_v as f64 <= d_u as f64 {
+                    current = v;
+                    hops += 1;
+                } else {
+                    rejections += 1;
+                }
             }
+            return Ok((current, hops, rejections));
         }
-        Ok((current, hops, rejections))
+        Err(WalkError::Stuck(initiator))
     }
 }
 
@@ -201,6 +226,72 @@ mod tests {
             "no generic double count"
         );
         assert_eq!(ctx.messages_total(), s.hops);
+    }
+
+    #[test]
+    fn retries_restart_stranded_walks_from_the_initiator() {
+        use std::cell::Cell;
+        /// Swallows the next `failures` hop deliveries, then is honest.
+        struct Flaky<'a> {
+            inner: &'a Graph,
+            failures: Cell<u32>,
+        }
+        impl Topology for Flaky<'_> {
+            fn peer_count(&self) -> usize {
+                self.inner.peer_count()
+            }
+            fn contains(&self, node: NodeId) -> bool {
+                self.inner.contains(node)
+            }
+            fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+                self.inner.neighbors_of(node)
+            }
+            fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+                self.inner.any_peer(rng)
+            }
+            fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+                let hop = self.inner.neighbor_of(node, rng)?;
+                if self.failures.get() > 0 {
+                    self.failures.set(self.failures.get() - 1);
+                    return None;
+                }
+                Some(hop)
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::balanced(60, 6, &mut rng);
+        let start = g.nodes().next().expect("non-empty");
+        // Without a retry budget the first swallowed hop strands the walk.
+        let flaky = Flaky {
+            inner: &g,
+            failures: Cell::new(3),
+        };
+        let mut a = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            MetropolisSampler::new(40).sample(&flaky, start, &mut a),
+            Err(WalkError::Stuck(start))
+        );
+        // A budget of 3 absorbs the three swallowed hops: the fourth
+        // attempt runs on an honest transport and lands on a live peer.
+        let flaky = Flaky {
+            inner: &g,
+            failures: Cell::new(3),
+        };
+        let mut b = SmallRng::seed_from_u64(7);
+        let s = MetropolisSampler::new(40)
+            .with_retries(3)
+            .sample(&flaky, start, &mut b)
+            .expect("restarts absorb the swallowed hops");
+        assert!(g.contains(s.node));
+        // On a fault-free topology the setting is inert.
+        let mut c = SmallRng::seed_from_u64(8);
+        let mut d = SmallRng::seed_from_u64(8);
+        assert_eq!(
+            MetropolisSampler::new(40).sample(&g, start, &mut c),
+            MetropolisSampler::new(40)
+                .with_retries(5)
+                .sample(&g, start, &mut d),
+        );
     }
 
     #[test]

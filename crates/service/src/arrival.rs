@@ -210,6 +210,56 @@ mod tests {
         );
     }
 
+    proptest::proptest! {
+        /// Purity: a Pareto gap is a function of `(process, seed, index)`
+        /// alone — re-evaluation, neighbouring indices, and other seeds
+        /// never perturb it, so schedule prefixes are stable by
+        /// construction.
+        #[test]
+        fn pareto_gap_is_a_pure_per_index_function_of_the_seed(
+            seed in proptest::prelude::any::<u64>(),
+            rate_hz in 1.0f64..50.0,
+            alpha in 1.2f64..4.0,
+            index in 0u64..4096,
+        ) {
+            let p = ArrivalProcess::Pareto { rate_hz, alpha };
+            let first = p.gap_micros(seed, index);
+            // Interleave draws that must not matter.
+            let _ = p.gap_micros(seed.wrapping_add(1), index);
+            let _ = p.gap_micros(seed, index.wrapping_add(1));
+            proptest::prop_assert_eq!(p.gap_micros(seed, index), first);
+            // The gap never undershoots the distribution's scale x_m
+            // (up to the integer-microsecond floor).
+            let x_m_micros = (alpha - 1.0) / (alpha * rate_hz) * 1e6;
+            proptest::prop_assert!(first as f64 >= x_m_micros.floor());
+        }
+
+        /// Shape: the empirical tail mass above `2·x_m` matches the
+        /// Pareto survival `(x_m/t)^alpha = 2^-alpha` within sampling
+        /// tolerance, for every seed and tail index.
+        #[test]
+        fn pareto_tail_mass_matches_the_shape(
+            seed in proptest::prelude::any::<u64>(),
+            rate_hz in 1.0f64..50.0,
+            alpha in 1.2f64..4.0,
+        ) {
+            let p = ArrivalProcess::Pareto { rate_hz, alpha };
+            let n = 4096u64;
+            let x_m_micros = (alpha - 1.0) / (alpha * rate_hz) * 1e6;
+            let threshold = 2.0 * x_m_micros;
+            let tail = (0..n)
+                .filter(|&i| p.gap_micros(seed, i) as f64 > threshold)
+                .count();
+            let empirical = tail as f64 / n as f64;
+            let expected = 0.5f64.powf(alpha);
+            proptest::prop_assert!(
+                (empirical - expected).abs() < 0.04,
+                "tail mass {} far from 2^-alpha = {} (alpha = {})",
+                empirical, expected, alpha
+            );
+        }
+    }
+
     #[test]
     fn arrival_traces_differ_from_walk_streams_at_equal_seed() {
         // The domain tag is doing its job: the first arrival stream and

@@ -9,6 +9,7 @@ use census_core::{AdaptiveTimeout, EstimateError, RandomTour, SizeEstimator, Sup
 use census_graph::{FrozenView, NodeId, Topology};
 use census_metrics::{GaugeMetric, HistogramMetric, Metric, NoopRecorder, Recorder, RunCtx, NOOP};
 use census_sampling::{CtrwSampler, Sample, Sampler};
+use census_sim::attacks::AttackPlan;
 use census_sim::faults::FaultPlan;
 use census_sim::{DynamicNetwork, MembershipDelta};
 use census_walk::frontier::{ctrw_frontier, CtrwSpec};
@@ -36,6 +37,7 @@ pub struct ServiceConfig {
     retries: u32,
     policy: RefreezePolicy,
     faults: Option<FaultPlan>,
+    attacks: Option<AttackPlan>,
     churn_pause: Duration,
     batch_drain: usize,
     shards: usize,
@@ -55,6 +57,7 @@ impl ServiceConfig {
             retries: 0,
             policy: RefreezePolicy::eager(),
             faults: None,
+            attacks: None,
             churn_pause: Duration::ZERO,
             batch_drain: 1,
             shards: 1,
@@ -120,6 +123,17 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Injects Byzantine adversaries: every query executes through
+    /// `plan`'s adversarial wrapper (layered over the fault wrapper when
+    /// both are configured), and the plan's queue-flood pressure is
+    /// applied before the submission closure runs. An empty plan is
+    /// provably inert — every answer stays bit-identical.
+    #[must_use]
+    pub fn with_attacks(mut self, plan: AttackPlan) -> Self {
+        self.attacks = Some(plan);
         self
     }
 
@@ -225,6 +239,12 @@ impl ServiceConfig {
     #[must_use]
     pub fn faults(&self) -> Option<FaultPlan> {
         self.faults
+    }
+
+    /// Configured attack plan, if any.
+    #[must_use]
+    pub fn attacks(&self) -> Option<AttackPlan> {
+        self.attacks
     }
 
     /// Configured batch-drain width.
@@ -463,6 +483,16 @@ impl CensusService {
                 chain,
                 recorder,
             };
+            // QueueFlood: the adversary's junk submissions land through
+            // the same admission path as honest queries — consuming real
+            // slots, ids, and worker time — before the caller submits a
+            // thing. Bounced floods still show up as rejections, so the
+            // submitted/rejected/completed/expired ledger reconciles.
+            if let Some(attack) = config.attacks {
+                for _ in 0..attack.queue_flood() {
+                    let _ = handle.submit(Query::Sample(CtrwSampler::new(1.0)));
+                }
+            }
             let output = f(&handle);
             // Normal shutdown: stop admitting, let the pool drain, then
             // the scope joins every thread. A panic in `f` takes the same
@@ -589,20 +619,45 @@ fn worker_loop<Rec: Recorder + ?Sized>(
             .collect();
 
         // Batch mode: run the Sample queries' first attempts as one
-        // lock-step frontier over the shared pinned epoch.
+        // lock-step frontier over the shared pinned epoch. The attack
+        // wrapper sits outermost (adversaries act on the overlay the
+        // faults left standing), one wrapper per lane like the serial
+        // path, and each lane's attack footprint is absorbed into the
+        // recorder when the lane finishes.
         if slots.len() > 1 {
-            match config.faults {
-                Some(plan) => {
+            match (config.faults, config.attacks) {
+                (None, None) => {
+                    coalesce_samples(&mut slots, &pinned, || &*pinned, |_| {}, recorder, config);
+                }
+                (Some(plan), None) => {
                     coalesce_samples(
                         &mut slots,
                         &pinned,
                         || plan.apply(&*pinned),
+                        |_| {},
                         recorder,
                         config,
                     );
                 }
-                None => {
-                    coalesce_samples(&mut slots, &pinned, || &*pinned, recorder, config);
+                (None, Some(attack)) => {
+                    coalesce_samples(
+                        &mut slots,
+                        &pinned,
+                        || attack.apply(&*pinned),
+                        |t| t.attack_snapshot().charge(recorder),
+                        recorder,
+                        config,
+                    );
+                }
+                (Some(plan), Some(attack)) => {
+                    coalesce_samples(
+                        &mut slots,
+                        &pinned,
+                        || attack.apply(plan.apply(&*pinned)),
+                        |t| t.attack_snapshot().charge(recorder),
+                        recorder,
+                        config,
+                    );
                 }
             }
         }
@@ -614,15 +669,31 @@ fn worker_loop<Rec: Recorder + ?Sized>(
                     None => Err(EstimateError::Degenerate(
                         "snapshot holds no live peers".to_owned(),
                     )),
-                    Some(initiator) => match config.faults {
-                        Some(plan) => {
+                    Some(initiator) => match (config.faults, config.attacks) {
+                        (None, None) => {
+                            let mut ctx = RunCtx::with_recorder(&*pinned, &mut slot.rng, recorder);
+                            run_query(&slot.job.query, &mut ctx, initiator, config)
+                        }
+                        (Some(plan), None) => {
                             let faulty = plan.apply(&*pinned);
                             let mut ctx = RunCtx::with_recorder(&faulty, &mut slot.rng, recorder);
                             run_query(&slot.job.query, &mut ctx, initiator, config)
                         }
-                        None => {
-                            let mut ctx = RunCtx::with_recorder(&*pinned, &mut slot.rng, recorder);
-                            run_query(&slot.job.query, &mut ctx, initiator, config)
+                        (None, Some(attack)) => {
+                            let adversarial = attack.apply(&*pinned);
+                            let mut ctx =
+                                RunCtx::with_recorder(&adversarial, &mut slot.rng, recorder);
+                            let result = run_query(&slot.job.query, &mut ctx, initiator, config);
+                            adversarial.attack_snapshot().charge(recorder);
+                            result
+                        }
+                        (Some(plan), Some(attack)) => {
+                            let adversarial = attack.apply(plan.apply(&*pinned));
+                            let mut ctx =
+                                RunCtx::with_recorder(&adversarial, &mut slot.rng, recorder);
+                            let result = run_query(&slot.job.query, &mut ctx, initiator, config);
+                            adversarial.attack_snapshot().charge(recorder);
+                            result
                         }
                     },
                 },
@@ -659,15 +730,17 @@ fn worker_loop<Rec: Recorder + ?Sized>(
 /// to serial execution; only memory access patterns change. Slots the
 /// pass fills have `result = Some(..)`; other queries are left untouched
 /// for the serial fallback.
-fn coalesce_samples<T, F, Rec>(
+fn coalesce_samples<T, F, A, Rec>(
     slots: &mut [BatchSlot],
     pinned: &FrozenView,
     make_topology: F,
+    absorb: A,
     recorder: &Rec,
     config: &ServiceConfig,
 ) where
     T: Topology,
     F: Fn() -> T,
+    A: Fn(&T),
     Rec: Recorder + ?Sized,
 {
     // Draw each Sample job's initiator from its private stream — the
@@ -746,6 +819,7 @@ fn coalesce_samples<T, F, Rec>(
             recorder,
             config,
         );
+        absorb(&spec.topology);
         answers.push((lane_slot, answer));
     }
     for (lane_slot, answer) in answers {
@@ -993,6 +1067,117 @@ mod tests {
         assert_eq!(svc.latest_epoch(), 3);
         // The final flush still leaves the chain fresh.
         assert_eq!(svc.pin().num_nodes(), svc.network().size());
+    }
+
+    #[test]
+    fn default_attack_plan_is_inert_for_the_service() {
+        use census_sim::attacks::AttackPlan;
+        let config = ServiceConfig::new(17).with_workers(2);
+        let mut plain = service(300, 1, config);
+        let ((), expected) = plain.serve(&[], |census| {
+            for q in mixed_queries().into_iter().cycle().take(12) {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        // Same seed, same queries, the attack layer threaded but empty:
+        // every outcome must stay bit-identical.
+        let mut attacked = service(300, 1, config.with_attacks(AttackPlan::default()));
+        let reg = Registry::new();
+        let ((), outcomes) = attacked.serve_rec(&[], &reg, |census| {
+            for q in mixed_queries().into_iter().cycle().take(12) {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        assert_eq!(outcomes, expected);
+        assert_eq!(reg.counter(Metric::ByzantineEncounters), 0);
+        assert_eq!(reg.counter(Metric::SwallowedWalks), 0);
+        assert_eq!(reg.counter(Metric::ForgedCollisions), 0);
+    }
+
+    #[test]
+    fn default_attack_plan_is_inert_in_batch_drain_mode() {
+        use census_sim::attacks::AttackPlan;
+        let config = ServiceConfig::new(19).with_workers(1).with_batch_drain(8);
+        let mut plain = service(300, 1, config);
+        let ((), expected) = plain.serve(&[], |census| {
+            for _ in 0..8 {
+                census
+                    .submit(Query::Sample(CtrwSampler::new(6.0)))
+                    .expect("queue has room");
+            }
+        });
+        let mut attacked = service(300, 1, config.with_attacks(AttackPlan::default()));
+        let ((), outcomes) = attacked.serve(&[], |census| {
+            for _ in 0..8 {
+                census
+                    .submit(Query::Sample(CtrwSampler::new(6.0)))
+                    .expect("queue has room");
+            }
+        });
+        assert_eq!(outcomes, expected, "the coalesced frontier path diverged");
+    }
+
+    #[test]
+    fn queue_flood_consumes_slots_and_reconciles() {
+        use census_sim::attacks::AttackPlan;
+        // A 2-slot queue floods with 32 junk queries before the honest
+        // caller gets a word in: some flood submissions must bounce, and
+        // the ledger still reconciles with flood traffic included.
+        let plan = AttackPlan::default().with_queue_flood(32);
+        let config = ServiceConfig::new(29)
+            .with_workers(1)
+            .with_queue_capacity(2);
+        let mut svc = service(200, 3, config.with_attacks(plan));
+        let reg = Registry::new();
+        let ((), outcomes) = svc.serve_rec(&[], &reg, |census| {
+            for q in mixed_queries() {
+                let _ = census.submit(q);
+            }
+        });
+        let submitted = reg.counter(Metric::QueriesSubmitted);
+        let rejected = reg.counter(Metric::QueriesRejected);
+        assert_eq!(submitted, 32 + 4, "flood and honest submissions both count");
+        assert!(rejected > 0, "a 32-query flood must overwhelm 2 slots");
+        assert_eq!(outcomes.len() as u64, submitted - rejected);
+        assert_eq!(
+            reg.counter(Metric::QueriesCompleted) + reg.counter(Metric::QueriesExpired),
+            submitted - rejected
+        );
+    }
+
+    #[test]
+    fn swallowing_adversaries_expire_queries_but_reconcile() {
+        use census_sim::attacks::AttackPlan;
+        // 30% of peers swallow every traversing walk: long CTRW draws
+        // cannot all dodge them, so some queries expire — and the attack
+        // counters absorbed from the per-query wrappers show why.
+        let plan = AttackPlan::default()
+            .with_byzantine(0.3, 99)
+            .with_walk_swallow(1.0);
+        let config = ServiceConfig::new(37)
+            .with_workers(2)
+            .with_retries(1)
+            .with_attacks(plan);
+        let mut svc = service(200, 8, config);
+        let reg = Registry::new();
+        let ((), outcomes) = svc.serve_rec(&[], &reg, |census| {
+            for _ in 0..8 {
+                census
+                    .submit(Query::Sample(CtrwSampler::new(8.0)))
+                    .expect("queue has room");
+            }
+        });
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(
+            reg.counter(Metric::QueriesCompleted) + reg.counter(Metric::QueriesExpired),
+            8
+        );
+        assert!(reg.counter(Metric::QueriesExpired) > 0);
+        assert!(reg.counter(Metric::SwallowedWalks) > 0);
+        assert!(
+            reg.counter(Metric::ByzantineEncounters) >= reg.counter(Metric::SwallowedWalks),
+            "every swallow is an encounter"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ use census_core::EstimateError;
 use census_graph::{NodeId, ShardedFrozenView};
 use census_metrics::{GaugeMetric, HistogramMetric, Metric, NoopRecorder, Recorder, RunCtx, NOOP};
 use census_sampling::{CtrwSampler, Sample};
+use census_sim::attacks::AdversarialTopology;
 use census_sim::faults::FaultyTopology;
 use census_sim::{DynamicNetwork, MembershipDelta};
 use census_walk::segment::{ctrw_segment, ctrw_segment_on, CtrwSegmentExit, CtrwSegmentState};
@@ -179,15 +180,55 @@ struct FlightHead {
     started: Instant,
 }
 
-/// The resumable walk state of a `Query::Sample` flight. Boxing the
-/// fault wrapper keeps parked flights small; the wrapper itself must be
-/// the *same instance* across all of a job's segments and retries so its
-/// counter-addressed fault stream replays the serial wrapper's exactly.
+/// The wrapped topology a `Query::Sample` flight walks. Built once per
+/// job and riding the flight, so the wrapper is the *same instance*
+/// across all of the job's segments and retries — its counter-addressed
+/// fault and attack streams replay the serial worker's exactly. Boxing
+/// keeps parked flights small.
+enum FlightTopology {
+    /// Honest overlay: segments run on the raw sharded view's fast path.
+    Bare,
+    /// Fault wrapper only (the historical `with_faults` path).
+    Faulty(Box<FaultyTopology<Arc<ShardedFrozenView>>>),
+    /// Attack wrapper only.
+    Adversarial(Box<AdversarialTopology<Arc<ShardedFrozenView>>>),
+    /// Attacks layered over faults — adversaries act on the overlay the
+    /// faults left standing, matching the unsharded worker's stacking.
+    Both(Box<AdversarialTopology<FaultyTopology<Arc<ShardedFrozenView>>>>),
+}
+
+impl FlightTopology {
+    fn build(config: &ServiceConfig, view: &Arc<ShardedFrozenView>) -> Self {
+        match (config.faults(), config.attacks()) {
+            (None, None) => FlightTopology::Bare,
+            (Some(plan), None) => FlightTopology::Faulty(Box::new(plan.apply(Arc::clone(view)))),
+            (None, Some(attack)) => {
+                FlightTopology::Adversarial(Box::new(attack.apply(Arc::clone(view))))
+            }
+            (Some(plan), Some(attack)) => {
+                FlightTopology::Both(Box::new(attack.apply(plan.apply(Arc::clone(view)))))
+            }
+        }
+    }
+
+    /// Absorbs the wrapper's attack footprint into the recorder — called
+    /// once per flight, at its terminal outcome, so swallowed-mid-handoff
+    /// walks charge their counters exactly once.
+    fn absorb<Rec: Recorder + ?Sized>(&self, recorder: &Rec) {
+        match self {
+            FlightTopology::Bare | FlightTopology::Faulty(_) => {}
+            FlightTopology::Adversarial(t) => t.attack_snapshot().charge(recorder),
+            FlightTopology::Both(t) => t.attack_snapshot().charge(recorder),
+        }
+    }
+}
+
+/// The resumable walk state of a `Query::Sample` flight.
 struct SampleState {
     sampler: CtrwSampler,
     state: CtrwSegmentState,
     attempt: u32,
-    faulty: Option<Box<FaultyTopology<Arc<ShardedFrozenView>>>>,
+    topology: FlightTopology,
 }
 
 /// A query in execution, parked on (or travelling to) some shard.
@@ -383,20 +424,17 @@ fn launch_job<Rec: Recorder + ?Sized>(shard: usize, job: Job, ctx: ShardCtx<'_, 
     };
     let flight = match job.query {
         Query::Sample(sampler) => {
-            // The fault wrapper is created once per job (like the serial
+            // The wrapper stack is created once per job (like the serial
             // worker's) and rides the flight so its counter-addressed
-            // fault stream spans every segment and retry.
-            let faulty = ctx
-                .config
-                .faults()
-                .map(|plan| Box::new(plan.apply(Arc::clone(&head.snapshot.view))));
+            // fault and attack streams span every segment and retry.
+            let topology = FlightTopology::build(ctx.config, &head.snapshot.view);
             Flight::Sample(
                 head,
                 SampleState {
                     sampler,
                     state: CtrwSegmentState::launch(initiator, sampler.timer()),
                     attempt: 0,
-                    faulty,
+                    topology,
                 },
             )
         }
@@ -431,15 +469,29 @@ fn advance_flight<Rec: Recorder + ?Sized>(shard: usize, flight: Flight, ctx: Sha
 /// a per-job fault wrapper over it) as the topology.
 fn run_whole<Rec: Recorder + ?Sized>(mut head: FlightHead, ctx: ShardCtx<'_, Rec>) {
     let view = Arc::clone(&head.snapshot.view);
-    let result = match ctx.config.faults() {
-        Some(plan) => {
+    let result = match (ctx.config.faults(), ctx.config.attacks()) {
+        (None, None) => {
+            let mut run = RunCtx::with_recorder(&*view, &mut head.rng, ctx.recorder);
+            run_query(&head.query, &mut run, head.initiator, ctx.config)
+        }
+        (Some(plan), None) => {
             let faulty = plan.apply(&*view);
             let mut run = RunCtx::with_recorder(&faulty, &mut head.rng, ctx.recorder);
             run_query(&head.query, &mut run, head.initiator, ctx.config)
         }
-        None => {
-            let mut run = RunCtx::with_recorder(&*view, &mut head.rng, ctx.recorder);
-            run_query(&head.query, &mut run, head.initiator, ctx.config)
+        (None, Some(attack)) => {
+            let adversarial = attack.apply(&*view);
+            let mut run = RunCtx::with_recorder(&adversarial, &mut head.rng, ctx.recorder);
+            let result = run_query(&head.query, &mut run, head.initiator, ctx.config);
+            adversarial.attack_snapshot().charge(ctx.recorder);
+            result
+        }
+        (Some(plan), Some(attack)) => {
+            let adversarial = attack.apply(plan.apply(&*view));
+            let mut run = RunCtx::with_recorder(&adversarial, &mut head.rng, ctx.recorder);
+            let result = run_query(&head.query, &mut run, head.initiator, ctx.config);
+            adversarial.attack_snapshot().charge(ctx.recorder);
+            result
         }
     };
     complete(
@@ -470,16 +522,30 @@ fn advance_sample<Rec: Recorder + ?Sized>(
 ) {
     loop {
         let before = sample.state.hops;
-        let exit = match &sample.faulty {
-            Some(faulty) => ctrw_segment_on(
+        let exit = match &sample.topology {
+            FlightTopology::Bare => ctrw_segment(
                 &head.snapshot.view,
-                &**faulty,
                 &mut sample.state,
                 sample.sampler.sojourn(),
                 &mut head.rng,
             ),
-            None => ctrw_segment(
+            FlightTopology::Faulty(t) => ctrw_segment_on(
                 &head.snapshot.view,
+                &**t,
+                &mut sample.state,
+                sample.sampler.sojourn(),
+                &mut head.rng,
+            ),
+            FlightTopology::Adversarial(t) => ctrw_segment_on(
+                &head.snapshot.view,
+                &**t,
+                &mut sample.state,
+                sample.sampler.sojourn(),
+                &mut head.rng,
+            ),
+            FlightTopology::Both(t) => ctrw_segment_on(
+                &head.snapshot.view,
+                &**t,
                 &mut sample.state,
                 sample.sampler.sojourn(),
                 &mut head.rng,
@@ -508,6 +574,7 @@ fn advance_sample<Rec: Recorder + ?Sized>(
                 ctx.recorder.incr(Metric::SamplesDrawn, 1);
                 ctx.recorder
                     .observe(HistogramMetric::SampleCost, out.hops as f64);
+                sample.topology.absorb(ctx.recorder);
                 complete(
                     QueryOutcome {
                         id: head.id,
@@ -527,6 +594,7 @@ fn advance_sample<Rec: Recorder + ?Sized>(
                 ctx.recorder.incr(Metric::CtrwHops, sample.state.hops);
                 ctx.recorder.incr(Metric::SojournDraws, sample.state.draws);
                 if sample.attempt >= ctx.config.retries() {
+                    sample.topology.absorb(ctx.recorder);
                     complete(
                         QueryOutcome {
                             id: head.id,
@@ -802,6 +870,15 @@ impl ShardedCensusService {
                 chain,
                 recorder,
             };
+            // QueueFlood: adversarial junk submissions through the same
+            // admission path as honest queries, before the caller runs —
+            // the sharded twin of the unsharded flood, hitting the
+            // fresh-admission queue the handoff backpressure also gates.
+            if let Some(attack) = config.attacks() {
+                for _ in 0..attack.queue_flood() {
+                    let _ = handle.submit(Query::Sample(CtrwSampler::new(1.0)));
+                }
+            }
             let output = f(&handle);
             drop(guard);
             output
@@ -918,6 +995,76 @@ mod tests {
         // Outcomes are keyed by contiguous admission-ordered ids.
         for (i, outcome) in outcomes.iter().enumerate() {
             assert_eq!(outcome.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn default_attack_plan_is_inert_for_the_sharded_service() {
+        use census_sim::attacks::AttackPlan;
+        let config = ServiceConfig::new(11).with_workers(2).with_shards(4);
+        let mut plain = ShardedCensusService::new(network(300, 5), config);
+        let ((), expected) = plain.serve(&[], |census| {
+            for q in mixed_queries().into_iter().cycle().take(12) {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        let mut attacked =
+            ShardedCensusService::new(network(300, 5), config.with_attacks(AttackPlan::default()));
+        let reg = Registry::new();
+        let ((), outcomes) = attacked.serve_rec(&[], &reg, |census| {
+            for q in mixed_queries().into_iter().cycle().take(12) {
+                census.submit(q).expect("queue has room");
+            }
+        });
+        assert_eq!(outcomes, expected, "an empty plan must be bit-inert");
+        assert_eq!(reg.counter(Metric::ByzantineEncounters), 0);
+        assert_eq!(reg.counter(Metric::SwallowedWalks), 0);
+    }
+
+    #[test]
+    fn swallowed_walks_mid_handoff_reconcile_the_ledger() {
+        use census_sim::attacks::AttackPlan;
+        // Regression (PR 8): a swallowed walk often dies parked on a
+        // *remote* shard's handoff queue, after the handoff bookkeeping
+        // already counted it. Every such flight must still reach exactly
+        // one terminal outcome — submitted = completed + expired, with
+        // contiguous ids — and charge its attack counters exactly once.
+        let plan = AttackPlan::default()
+            .with_byzantine(0.25, 41)
+            .with_walk_swallow(1.0);
+        let config = ServiceConfig::new(7)
+            .with_workers(2)
+            .with_shards(8)
+            .with_retries(1)
+            .with_attacks(plan);
+        let mut svc = ShardedCensusService::new(network(400, 9), config);
+        let reg = Registry::new();
+        let (submitted, outcomes) = svc.serve_rec(&[], &reg, |census| {
+            let mut submitted = 0u64;
+            for _ in 0..16 {
+                if census.submit(Query::Sample(CtrwSampler::new(10.0))).is_ok() {
+                    submitted += 1;
+                }
+            }
+            submitted
+        });
+        assert_eq!(outcomes.len() as u64, submitted);
+        assert_eq!(reg.counter(Metric::QueriesSubmitted), 16);
+        assert_eq!(
+            reg.counter(Metric::QueriesCompleted) + reg.counter(Metric::QueriesExpired),
+            submitted
+        );
+        assert!(
+            reg.counter(Metric::SwallowedWalks) > 0,
+            "a quarter of 400 peers swallowing everything must bite"
+        );
+        assert!(reg.counter(Metric::QueriesExpired) > 0);
+        assert!(
+            reg.counter(Metric::ShardHandoffs) > 0,
+            "an 8-way partition must hand walks off before they die"
+        );
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.id, i as u64, "ledger must stay contiguous");
         }
     }
 

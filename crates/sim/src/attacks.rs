@@ -1,0 +1,796 @@
+//! Byzantine attack plans: adversarial peers for overlay walks.
+//!
+//! [`crate::faults`] models honest-but-faulty behaviour — messages drop,
+//! peers crash, links go stale. This module models *adversaries*: a
+//! fraction of peers that stay protocol-visible but lie. The paper's
+//! estimators are exactly the primitives such peers can silently poison:
+//!
+//! - **degree misreports** skew the Random Tour weight `Σ f(j)/d_j`, the
+//!   initiator factor `d_i`, the CTRW sojourn `Exp(1)/d_j`, and the
+//!   Metropolis acceptance ratio `min(1, d_u/d_v)` — every place the
+//!   protocol trusts a peer's self-reported degree;
+//! - **walk swallowing** drops traversing probes, preferentially killing
+//!   long tours (survivorship bias, amplified because the adversary
+//!   *chooses* to eat);
+//! - **walk biasing** routes probes toward colluding neighbours, warping
+//!   the sampler's output law;
+//! - **collision forgery** fakes Sample & Collide hits, inflating `C_l`
+//!   and deflating the size estimate;
+//! - **queue flooding** saturates a census service's admission queue with
+//!   junk queries (executed by the service layer; the plan only carries
+//!   the intensity).
+//!
+//! The design rules mirror [`crate::faults`]:
+//!
+//! - the Byzantine *set* is a pure function of the plan's seed: node `v`
+//!   is subverted iff a `[0, 1)` value derived from
+//!   `stream_seed(StreamDomain::Attack, seed, v)` falls below the
+//!   configured fraction — no draws, no ordering sensitivity;
+//! - per-traversal decisions (swallow? forge?) draw from a dedicated
+//!   counter-addressed [`AttackRng`] stream, *after* the walk RNG has
+//!   chosen the honest next hop, so an attack can truncate or redirect a
+//!   walk but never perturbs the randomness of walks it leaves alone;
+//! - [`AttackPlan::default`] subverts nobody and is provably inert: every
+//!   walk through an empty plan's wrapper is bit-identical to the
+//!   unwrapped walk (pinned by the workspace bit-identity suites).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use census_graph::{NodeId, Topology};
+use census_metrics::{Metric, Recorder};
+use census_walk::stream::{stream_seed, StreamDomain};
+use rand::Rng;
+
+use crate::parallel::splitmix64;
+
+/// A `Sync` counter-based adversary RNG: a seeded, lock-free stream of
+/// uniform `[0, 1)` draws, identical in construction to
+/// [`crate::faults::FaultRng`] but fed from its own seed so attack
+/// decisions never correlate with fault injection.
+#[derive(Debug)]
+pub struct AttackRng {
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl AttackRng {
+    /// An attack-decision stream seeded by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed: splitmix64(seed),
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The next uniform draw in `[0, 1)`.
+    pub fn next_f64(&self) -> f64 {
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        let z = splitmix64(self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (z >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Number of draws taken so far.
+    #[must_use]
+    pub fn draws(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+}
+
+fn assert_probability(p: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{what} probability must lie in [0, 1], got {p}"
+    );
+}
+
+/// Declarative description of a Byzantine adversary: which fraction of
+/// peers is subverted (from which seed) and what each subverted peer
+/// does. Plain configuration (`Copy`); [`AttackPlan::apply`] turns it
+/// into a live [`AdversarialTopology`] wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use census_graph::{generators, Topology};
+/// use census_sim::attacks::AttackPlan;
+///
+/// let g = generators::ring(100);
+/// let hostile = AttackPlan::new()
+///     .with_byzantine(0.2, 7)
+///     .with_degree_inflation(10.0)
+///     .with_walk_swallow(0.5)
+///     .apply(&g);
+/// assert_eq!(hostile.peer_count(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttackPlan {
+    fraction: f64,
+    seed: u64,
+    inflation: Option<f64>,
+    deflation: Option<f64>,
+    swallow: Option<f64>,
+    bias: Option<f64>,
+    forgery: Option<f64>,
+    flood: u32,
+}
+
+impl AttackPlan {
+    /// An empty plan: nobody is subverted, nothing is attacked.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subverts each peer independently with probability `fraction`,
+    /// selected deterministically from the [`StreamDomain::Attack`]
+    /// stream over `seed`. The selection is a pure per-node function, so
+    /// the same plan marks the same peers on every run and in every
+    /// wrapper instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_byzantine(mut self, fraction: f64, seed: u64) -> Self {
+        assert_probability(fraction, "byzantine fraction");
+        self.fraction = fraction;
+        self.seed = seed;
+        self
+    }
+
+    /// Subverted peers report their degree multiplied by `factor`
+    /// (rounded up). Inflation repels Metropolis walks (the acceptance
+    /// ratio divides by the candidate's degree), deflates tour visit
+    /// weights, and inflates the initiator factor `d_i` of tours started
+    /// at a subverted peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0` or degree deflation is already set.
+    #[must_use]
+    pub fn with_degree_inflation(mut self, factor: f64) -> Self {
+        assert!(factor > 1.0, "inflation factor must exceed 1, got {factor}");
+        assert!(
+            self.deflation.is_none(),
+            "a peer cannot inflate and deflate its degree at once"
+        );
+        self.inflation = Some(factor);
+        self
+    }
+
+    /// Subverted peers report their degree divided by `factor` (rounded
+    /// down, floored at 1 for connected peers). Deflation *attracts*
+    /// Metropolis walks — a peer claiming degree 1 is almost always
+    /// accepted — concentrating "uniform" samples on the adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0` or degree inflation is already set.
+    #[must_use]
+    pub fn with_degree_deflation(mut self, factor: f64) -> Self {
+        assert!(factor > 1.0, "deflation factor must exceed 1, got {factor}");
+        assert!(
+            self.inflation.is_none(),
+            "a peer cannot inflate and deflate its degree at once"
+        );
+        self.deflation = Some(factor);
+        self
+    }
+
+    /// A walk delivered to a subverted peer is dropped with probability
+    /// `p` (the peer simply never forwards the probe). The initiator
+    /// observes a stuck walk, indistinguishable from an honest fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_walk_swallow(mut self, p: f64) -> Self {
+        assert_probability(p, "walk swallow");
+        self.swallow = Some(p);
+        self
+    }
+
+    /// A subverted peer holding a walk reroutes it, with probability `p`,
+    /// to a colluding (also subverted) neighbour instead of the honest
+    /// uniform choice — when it has one; otherwise the honest hop stands.
+    /// The honest next-hop draw is still consumed first, so unbiased
+    /// hops remain bit-identical to the attack-free walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_walk_bias(mut self, p: f64) -> Self {
+        assert_probability(p, "walk bias");
+        self.bias = Some(p);
+        self
+    }
+
+    /// A subverted peer asked to confirm a Sample & Collide visit forges
+    /// a collision with probability `p` even when the initiator has not
+    /// seen it before, inflating `C_l` and deflating the size estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn with_collision_forgery(mut self, p: f64) -> Self {
+        assert_probability(p, "collision forgery");
+        self.forgery = Some(p);
+        self
+    }
+
+    /// The adversary submits `n` junk queries against the census
+    /// service's admission queue before the honest workload, exercising
+    /// its backpressure ledger. Carried by the plan; executed by the
+    /// service layer (a topology wrapper cannot submit queries).
+    #[must_use]
+    pub fn with_queue_flood(mut self, n: u32) -> Self {
+        self.flood = n;
+        self
+    }
+
+    /// The configured Byzantine fraction.
+    #[must_use]
+    pub fn byzantine_fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// The configured queue-flood intensity (junk queries to submit).
+    #[must_use]
+    pub fn queue_flood(&self) -> u32 {
+        self.flood
+    }
+
+    /// Whether the plan attacks nothing at all (no subverted peers and
+    /// no queue flood) — the provably-inert configuration.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fraction == 0.0 && self.flood == 0
+    }
+
+    /// Whether `node` is subverted under this plan: a pure function of
+    /// `(seed, node)`, shared by every wrapper built from the plan.
+    #[must_use]
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        if self.fraction <= 0.0 {
+            return false;
+        }
+        let z = stream_seed(StreamDomain::Attack, self.seed, node.index() as u64);
+        let u = (z >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        u < self.fraction
+    }
+
+    /// Wraps `inner` with this plan's adversary.
+    #[must_use]
+    pub fn apply<T: Topology>(self, inner: T) -> AdversarialTopology<T> {
+        AdversarialTopology {
+            inner,
+            plan: self,
+            rng: AttackRng::new(self.seed ^ 0x4154_5441_434B_2121),
+            counters: AttackCounters::default(),
+        }
+    }
+}
+
+/// Lock-free tally of adversarial actions, kept by an
+/// [`AdversarialTopology`]. Simulation-side ground truth: a deployed
+/// initiator cannot observe any of it, which is exactly why the bias
+/// experiments need the ledger.
+#[derive(Debug, Default)]
+pub struct AttackCounters {
+    encounters: AtomicU64,
+    swallowed: AtomicU64,
+    biased_hops: AtomicU64,
+    degree_misreports: AtomicU64,
+    forged_collisions: AtomicU64,
+}
+
+impl AttackCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the tally.
+    #[must_use]
+    pub fn snapshot(&self) -> AttackSnapshot {
+        AttackSnapshot {
+            encounters: self.encounters.load(Ordering::Relaxed),
+            swallowed: self.swallowed.load(Ordering::Relaxed),
+            biased_hops: self.biased_hops.load(Ordering::Relaxed),
+            degree_misreports: self.degree_misreports.load(Ordering::Relaxed),
+            forged_collisions: self.forged_collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time values of an [`AttackCounters`] tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct AttackSnapshot {
+    /// Walk deliveries that landed on a subverted peer.
+    pub encounters: u64,
+    /// Walks dropped by a subverted peer (`WalkSwallow`).
+    pub swallowed: u64,
+    /// Hops rerouted toward a colluder (`WalkBias`).
+    pub biased_hops: u64,
+    /// Degree queries answered with a lie.
+    pub degree_misreports: u64,
+    /// Sample & Collide collisions forged out of thin air.
+    pub forged_collisions: u64,
+}
+
+impl AttackSnapshot {
+    /// Charges this tally (usually a delta) to the registry counters
+    /// `ByzantineEncounters` / `SwallowedWalks` / `ForgedCollisions` —
+    /// the service layer absorbs each query's wrapper tally this way.
+    pub fn charge<Rec: Recorder + ?Sized>(&self, recorder: &Rec) {
+        recorder.incr(Metric::ByzantineEncounters, self.encounters);
+        recorder.incr(Metric::SwallowedWalks, self.swallowed);
+        recorder.incr(Metric::ForgedCollisions, self.forged_collisions);
+    }
+
+    /// Component-wise difference `self - earlier`, for charging only the
+    /// actions since a previous snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &AttackSnapshot) -> AttackSnapshot {
+        AttackSnapshot {
+            encounters: self.encounters - earlier.encounters,
+            swallowed: self.swallowed - earlier.swallowed,
+            biased_hops: self.biased_hops - earlier.biased_hops,
+            degree_misreports: self.degree_misreports - earlier.degree_misreports,
+            forged_collisions: self.forged_collisions - earlier.forged_collisions,
+        }
+    }
+}
+
+/// A [`Topology`] wrapper executing an [`AttackPlan`] on every protocol
+/// surface a Byzantine peer controls.
+///
+/// Each hop through [`Topology::neighbor_of`] stages as:
+///
+/// 1. **honest next-hop choice**: the walk RNG is consumed *exactly
+///    once*, before any attack decision, so unattacked walks are
+///    bit-identical to the attack-free ones;
+/// 2. **bias** (holder is subverted): with the configured probability the
+///    probe is rerouted to a colluding neighbour, chosen from the attack
+///    stream;
+/// 3. **swallow** (destination is subverted): with the configured
+///    probability the probe is eaten — the walk engines report
+///    [`census_walk::WalkError::Stuck`] (or `Lost`), exactly what the
+///    §5.3.1 initiator sees for an honest fault.
+///
+/// [`Topology::degree_of`] lies at subverted peers (inflation/deflation);
+/// [`Topology::neighbors_of`] stays truthful — edges are mutually known,
+/// so a peer cannot unilaterally fake its adjacency, only its claims
+/// about it. [`Topology::reports_collision`] forges Sample & Collide
+/// confirmations. All bookkeeping is lock-free, so the wrapper stays
+/// `Sync` and eligible for `parallel::replicate`.
+#[derive(Debug)]
+pub struct AdversarialTopology<T> {
+    inner: T,
+    plan: AttackPlan,
+    rng: AttackRng,
+    counters: AttackCounters,
+}
+
+impl<T: Topology> AdversarialTopology<T> {
+    /// The wrapped topology.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The plan this wrapper executes.
+    #[must_use]
+    pub fn plan(&self) -> &AttackPlan {
+        &self.plan
+    }
+
+    /// Whether `node` is subverted (delegates to the plan's pure
+    /// membership function).
+    #[must_use]
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        self.plan.is_byzantine(node)
+    }
+
+    /// The live attack tally.
+    #[must_use]
+    pub fn counters(&self) -> &AttackCounters {
+        &self.counters
+    }
+
+    /// Snapshot of the attack tally.
+    #[must_use]
+    pub fn attack_snapshot(&self) -> AttackSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl<T: Topology> Topology for AdversarialTopology<T> {
+    fn peer_count(&self) -> usize {
+        self.inner.peer_count()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.inner.contains(node)
+    }
+
+    fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        // Truthful: adjacency is mutually verifiable, so the adversary
+        // cannot fake edges — only its *claims* (degree, collisions).
+        self.inner.neighbors_of(node)
+    }
+
+    fn degree_of(&self, node: NodeId) -> usize {
+        let truth = self.inner.degree_of(node);
+        if truth == 0 || !self.plan.is_byzantine(node) {
+            return truth;
+        }
+        if let Some(factor) = self.plan.inflation {
+            AttackCounters::bump(&self.counters.degree_misreports);
+            return (truth as f64 * factor).ceil() as usize;
+        }
+        if let Some(factor) = self.plan.deflation {
+            AttackCounters::bump(&self.counters.degree_misreports);
+            return ((truth as f64 / factor).floor() as usize).max(1);
+        }
+        truth
+    }
+
+    // Overrides the slice-indexing default: the walk engines forward
+    // through `neighbor_of` precisely so this injection point sits on
+    // the path of every hop.
+    fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
+        // Stage 1 — the walk RNG chooses the honest next hop, exactly
+        // once per hop, attacks or not.
+        let mut next = self.inner.neighbor_of(node, rng)?;
+        // Stage 2 — a subverted holder may reroute toward a colluder.
+        if let Some(p) = self.plan.bias {
+            if self.plan.is_byzantine(node) && self.rng.next_f64() < p {
+                let list = self.inner.neighbors_of(node);
+                let colluders = list.iter().filter(|&&v| self.plan.is_byzantine(v));
+                let count = colluders.clone().count();
+                if count > 0 {
+                    let pick = (self.rng.next_f64() * count as f64) as usize;
+                    let pick = pick.min(count - 1);
+                    next = *colluders
+                        .clone()
+                        .nth(pick)
+                        .expect("pick is bounded by the colluder count");
+                    AttackCounters::bump(&self.counters.biased_hops);
+                }
+            }
+        }
+        // Stage 3 — a subverted destination may eat the probe.
+        if self.plan.is_byzantine(next) {
+            AttackCounters::bump(&self.counters.encounters);
+            if let Some(p) = self.plan.swallow {
+                if self.rng.next_f64() < p {
+                    AttackCounters::bump(&self.counters.swallowed);
+                    return None;
+                }
+            }
+        }
+        Some(next)
+    }
+
+    fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        self.inner.any_peer(rng)
+    }
+
+    fn reports_collision(&self, node: NodeId, locally_marked: bool) -> bool {
+        let honest = self.inner.reports_collision(node, locally_marked);
+        if honest || !self.plan.is_byzantine(node) {
+            return honest;
+        }
+        if let Some(p) = self.plan.forgery {
+            if self.rng.next_f64() < p {
+                AttackCounters::bump(&self.counters.forged_collisions);
+                return true;
+            }
+        }
+        honest
+    }
+}
+
+// Compile-time check: the adversary wrapper must stay `Sync` (same
+// contract as the fault wrappers, same reason).
+fn _assert_sync<T: Sync>() {}
+fn _attack_wrappers_are_sync() {
+    _assert_sync::<AttackRng>();
+    _assert_sync::<AdversarialTopology<census_graph::Graph>>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_core::{RandomTour, SampleCollide, SizeEstimator};
+    use census_graph::generators;
+    use census_metrics::{Registry, RunCtx};
+    use census_sampling::{CtrwSampler, MetropolisSampler, Sampler};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attack_rng_is_deterministic_and_uniform() {
+        let a = AttackRng::new(9);
+        let b = AttackRng::new(9);
+        let xs: Vec<f64> = (0..1_000).map(|_| a.next_f64()).collect();
+        let ys: Vec<f64> = (0..1_000).map(|_| b.next_f64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "uniform mean, got {mean}");
+        assert_eq!(a.draws(), 1_000);
+    }
+
+    #[test]
+    fn byzantine_selection_is_pure_and_tracks_the_fraction() {
+        let plan = AttackPlan::new().with_byzantine(0.3, 11);
+        let g = generators::ring(10_000);
+        let marked = g.nodes().filter(|&v| plan.is_byzantine(v)).count();
+        let frac = marked as f64 / 10_000.0;
+        assert!(
+            (frac - 0.3).abs() < 0.02,
+            "marked fraction {frac} far from 0.3"
+        );
+        // Purity: two wrappers over different topologies agree node by node.
+        let wrapped = plan.apply(&g);
+        for v in g.nodes().take(100) {
+            assert_eq!(plan.is_byzantine(v), wrapped.is_byzantine(v));
+        }
+        // A different seed marks a different set.
+        let other = AttackPlan::new().with_byzantine(0.3, 12);
+        assert!(g
+            .nodes()
+            .any(|v| plan.is_byzantine(v) != other.is_byzantine(v)));
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let g = generators::ring(50);
+        let hostile = AttackPlan::new().apply(&g);
+        assert!(hostile.plan().is_empty());
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let plain = RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&g, &mut a), NodeId::new(0))
+                .expect("connected");
+            let wrapped = RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&hostile, &mut b), NodeId::new(0))
+                .expect("no adversaries configured");
+            assert_eq!(plain, wrapped);
+        }
+        assert_eq!(hostile.attack_snapshot(), AttackSnapshot::default());
+        assert_eq!(hostile.counters().snapshot(), AttackSnapshot::default());
+    }
+
+    #[test]
+    fn unattacked_walks_are_bit_identical_under_pure_degree_lies() {
+        // Degree misreports alter estimates, never trajectories: the walk
+        // RNG stream (and hence every sampled node sequence) is untouched.
+        let g = generators::complete(30);
+        let hostile = AttackPlan::new()
+            .with_byzantine(0.4, 3)
+            .with_degree_inflation(8.0)
+            .apply(&g);
+        let sampler = CtrwSampler::new(4.0);
+        let start = g.nodes().next().expect("non-empty");
+        for i in 0..20u64 {
+            let mut a = SmallRng::seed_from_u64(100 + i);
+            let mut b = SmallRng::seed_from_u64(100 + i);
+            let plain = sampler.sample(&g, start, &mut a);
+            let attacked = sampler.sample(&hostile, start, &mut b);
+            // Trajectory identical; only the *sojourn drains* differ, so
+            // hop counts can diverge — but the RNG positions must match
+            // draw for draw if the hop counts agree.
+            if let (Ok(p), Ok(q)) = (&plain, &attacked) {
+                if p.hops == q.hops {
+                    assert_eq!(p.node, q.node, "walk {i} trajectory diverged");
+                }
+            }
+        }
+        assert!(hostile.attack_snapshot().degree_misreports > 0);
+    }
+
+    #[test]
+    fn degree_lies_are_what_they_claim() {
+        let g = generators::complete(11); // every degree is 10
+        let plan = AttackPlan::new().with_byzantine(0.5, 21);
+        let byz = g
+            .nodes()
+            .find(|&v| plan.is_byzantine(v))
+            .expect("half the clique is subverted");
+        let honest = g
+            .nodes()
+            .find(|&v| !plan.is_byzantine(v))
+            .expect("half the clique is honest");
+
+        let inflating = plan.with_degree_inflation(3.0).apply(&g);
+        assert_eq!(inflating.degree_of(byz), 30);
+        assert_eq!(inflating.degree_of(honest), 10);
+
+        let deflating = plan.with_degree_deflation(4.0).apply(&g);
+        assert_eq!(deflating.degree_of(byz), 2);
+        assert_eq!(deflating.degree_of(honest), 10);
+        // The neighbour list never lies.
+        assert_eq!(inflating.neighbors_of(byz).len(), 10);
+    }
+
+    #[test]
+    fn swallowed_walks_strand_and_are_counted() {
+        let g = generators::complete(20);
+        let hostile = AttackPlan::new()
+            .with_byzantine(0.3, 5)
+            .with_walk_swallow(0.8)
+            .apply(&g);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut failures = 0u64;
+        for _ in 0..100 {
+            if RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&hostile, &mut rng), NodeId::new(0))
+                .is_err()
+            {
+                failures += 1;
+            }
+        }
+        let snap = hostile.attack_snapshot();
+        assert!(failures > 30, "swallowing broke only {failures}/100 tours");
+        assert_eq!(snap.swallowed, failures, "every failure is one swallow");
+        assert!(snap.encounters >= snap.swallowed);
+    }
+
+    #[test]
+    fn walk_bias_herds_walks_toward_colluders() {
+        // A clique where 30% collude and always reroute: deliveries to
+        // Byzantine peers should far exceed the honest-walk share.
+        let g = generators::complete(40);
+        let plan = AttackPlan::new().with_byzantine(0.3, 17);
+        let hostile = plan.with_walk_bias(1.0).apply(&g);
+        let honest_frac = g.nodes().filter(|&v| plan.is_byzantine(v)).count() as f64 / 40.0;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hits = 0u64;
+        let runs = 2_000u64;
+        let start = g
+            .nodes()
+            .find(|&v| plan.is_byzantine(v))
+            .expect("somebody colludes");
+        for _ in 0..runs {
+            let next = hostile
+                .neighbor_of(start, &mut rng)
+                .expect("clique is connected");
+            if plan.is_byzantine(next) {
+                hits += 1;
+            }
+        }
+        let observed = hits as f64 / runs as f64;
+        assert!(
+            observed > honest_frac + 0.3,
+            "bias should concentrate deliveries on colluders: {observed} vs honest {honest_frac}"
+        );
+        assert!(hostile.attack_snapshot().biased_hops > 0);
+    }
+
+    #[test]
+    fn collision_forgery_deflates_sample_and_collide() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::balanced(400, 8, &mut rng);
+        let start = g.nodes().next().expect("non-empty");
+        let estimator = SampleCollide::new(CtrwSampler::new(20.0), 8);
+        let honest = (0..10)
+            .map(|i| {
+                let mut r = SmallRng::seed_from_u64(40 + i);
+                estimator
+                    .estimate_with(&mut RunCtx::new(&g, &mut r), start)
+                    .expect("connected")
+                    .value
+            })
+            .sum::<f64>()
+            / 10.0;
+        let hostile = AttackPlan::new()
+            .with_byzantine(0.25, 6)
+            .with_collision_forgery(0.9)
+            .apply(&g);
+        let attacked = (0..10)
+            .map(|i| {
+                let mut r = SmallRng::seed_from_u64(40 + i);
+                estimator
+                    .estimate_with(&mut RunCtx::new(&hostile, &mut r), start)
+                    .expect("forgery only accelerates termination")
+                    .value
+            })
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            attacked < honest / 2.0,
+            "forged collisions must deflate the estimate: {attacked} vs honest {honest}"
+        );
+        assert!(hostile.attack_snapshot().forged_collisions > 0);
+    }
+
+    #[test]
+    fn degree_deflation_attracts_metropolis_walks() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::balanced(300, 8, &mut rng);
+        let plan = AttackPlan::new().with_byzantine(0.2, 31);
+        let hostile = plan.with_degree_deflation(8.0).apply(&g);
+        let sampler = MetropolisSampler::new(60);
+        let start = g.nodes().next().expect("non-empty");
+        let byz_frac =
+            g.nodes().filter(|&v| plan.is_byzantine(v)).count() as f64 / g.peer_count() as f64;
+        let runs = 600u64;
+        let mut hostile_hits = 0u64;
+        for i in 0..runs {
+            let mut r = SmallRng::seed_from_u64(1_000 + i);
+            let s = sampler.sample(&hostile, start, &mut r).expect("connected");
+            if plan.is_byzantine(s.node) {
+                hostile_hits += 1;
+            }
+        }
+        let attacked_frac = hostile_hits as f64 / runs as f64;
+        assert!(
+            attacked_frac > byz_frac * 1.5,
+            "deflation should over-sample the adversary: {attacked_frac} vs population {byz_frac}"
+        );
+    }
+
+    #[test]
+    fn snapshot_charge_and_since_round_trip() {
+        let reg = Registry::new();
+        let a = AttackSnapshot {
+            encounters: 10,
+            swallowed: 4,
+            biased_hops: 3,
+            degree_misreports: 7,
+            forged_collisions: 2,
+        };
+        let b = AttackSnapshot {
+            encounters: 4,
+            swallowed: 1,
+            biased_hops: 1,
+            degree_misreports: 2,
+            forged_collisions: 0,
+        };
+        let delta = a.since(&b);
+        delta.charge(&reg);
+        assert_eq!(reg.counter(Metric::ByzantineEncounters), 6);
+        assert_eq!(reg.counter(Metric::SwallowedWalks), 3);
+        assert_eq!(reg.counter(Metric::ForgedCollisions), 2);
+        let json = serde_json::to_string(&delta).expect("serialises");
+        let back: AttackSnapshot = serde_json::from_str(&json).expect("deserialises");
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inflate and deflate")]
+    fn conflicting_degree_lies_are_rejected() {
+        let _ = AttackPlan::new()
+            .with_degree_inflation(2.0)
+            .with_degree_deflation(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn out_of_range_fraction_is_rejected() {
+        let _ = AttackPlan::new().with_byzantine(1.5, 0);
+    }
+
+    #[test]
+    fn plan_accessors_round_trip() {
+        let plan = AttackPlan::new()
+            .with_byzantine(0.1, 9)
+            .with_queue_flood(32);
+        assert!((plan.byzantine_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(plan.queue_flood(), 32);
+        assert!(!plan.is_empty());
+        let g = generators::ring(5);
+        let hostile = plan.apply(&g);
+        assert_eq!(hostile.inner().peer_count(), 5);
+        assert!(hostile.contains(NodeId::new(0)));
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(hostile.any_peer(&mut rng).is_some());
+    }
+}

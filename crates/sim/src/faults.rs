@@ -370,6 +370,12 @@ impl<T: Topology> Topology for FaultyTopology<T> {
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         self.inner.any_peer(rng)
     }
+
+    // Faults are honest-but-faulty: collision reports pass through to the
+    // inner topology (which may itself be adversarial).
+    fn reports_collision(&self, node: NodeId, locally_marked: bool) -> bool {
+        self.inner.reports_collision(node, locally_marked)
+    }
 }
 
 // Compile-time check: the fault wrappers must stay `Sync`, or they would

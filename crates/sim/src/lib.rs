@@ -24,6 +24,11 @@
 //!   reproducible, with an optional per-hop retransmission budget.
 //! - [`loss`]: single-layer message-loss sugar over [`faults`], plus the
 //!   re-exported adaptive trip-time initiator timeout.
+//! - [`attacks`]: the Byzantine counterpart of [`faults`] — an
+//!   [`attacks::AttackPlan`] subverting a deterministic fraction of peers
+//!   that misreport degrees, swallow or reroute walks, and forge
+//!   Sample & Collide collisions, with all adversarial randomness drawn
+//!   from a dedicated stream so honest walks stay bit-identical.
 //! - [`parallel`]: a deterministic replication engine — run `n`
 //!   independent replications of an experiment on scoped threads, each
 //!   with a SplitMix64-derived RNG stream, merged in replica order so
@@ -57,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attacks;
 pub mod faults;
 pub mod loss;
 pub mod parallel;

@@ -109,6 +109,10 @@ impl<T: Topology> Topology for LossyTopology<T> {
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         self.faulty.any_peer(rng)
     }
+
+    fn reports_collision(&self, node: NodeId, locally_marked: bool) -> bool {
+        self.faulty.reports_collision(node, locally_marked)
+    }
 }
 
 #[cfg(test)]

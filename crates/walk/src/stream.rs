@@ -53,6 +53,12 @@ pub enum StreamDomain {
     /// Per-campaign query arrival processes (`census-service`'s arrival
     /// driver pacing trace-style workloads).
     Arrival,
+    /// Byzantine adversary decisions (`census_sim::attacks`): which nodes
+    /// are subverted and what each subverted node does to a traversing
+    /// walk. A dedicated domain keeps adversarial randomness fully
+    /// decorrelated from honest-walk streams, so an empty attack plan
+    /// leaves every walk bit-identical.
+    Attack,
 }
 
 impl StreamDomain {
@@ -69,16 +75,18 @@ impl StreamDomain {
             StreamDomain::FrontierWalk => 0x4652_4F4E_5449_4552,
             StreamDomain::Churn => 0x4348_5552_4E21_4E21,
             StreamDomain::Arrival => 0x4152_5249_5641_4C21,
+            StreamDomain::Attack => 0x4154_5441_434B_2121,
         }
     }
 
     /// Every domain, for exhaustive pairwise tests.
-    pub const ALL: [StreamDomain; 5] = [
+    pub const ALL: [StreamDomain; 6] = [
         StreamDomain::Replica,
         StreamDomain::ServiceQuery,
         StreamDomain::FrontierWalk,
         StreamDomain::Churn,
         StreamDomain::Arrival,
+        StreamDomain::Attack,
     ];
 }
 

@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use census_bench::campaign::{
-    expand, run_campaign, ArrivalSpec, CampaignSpec, EstimatorKind, FaultSpec, TopologySpec,
+    expand, run_campaign, ArrivalSpec, AttackSpec, CampaignSpec, EstimatorKind, FaultSpec,
+    TopologySpec,
 };
 
 fn tiny_spec() -> CampaignSpec {
@@ -32,6 +33,7 @@ fn tiny_spec() -> CampaignSpec {
         workers: vec![2],
         faults: vec![FaultSpec::None],
         arrivals: vec![ArrivalSpec::Closed { concurrency: 4 }],
+        attacks: vec![AttackSpec::None],
     }
 }
 
