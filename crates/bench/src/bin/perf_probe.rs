@@ -14,10 +14,6 @@
 //! resumably: rerunning the same spec skips every run already recorded
 //! in `results/<campaign>/manifest.json`, and `--max-runs` caps how
 //! many new runs one invocation performs.
-//!
-//! The pre-subcommand spellings (`perf-probe --service`, `--batched`,
-//! `--sharded`, and the bare headline invocation) still work but warn:
-//! they are one release from removal.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -40,9 +36,9 @@ fn main() -> ExitCode {
             usage();
             ExitCode::SUCCESS
         }
-        // Legacy flag-soup spellings, kept one release for scripts.
-        Some("--service" | "--batched" | "--sharded" | "--out" | "--smoke") | None => {
-            legacy_cmd(&args)
+        None => {
+            usage();
+            ExitCode::FAILURE
         }
         Some(other) => {
             eprintln!("unknown command {other:?}");
@@ -146,46 +142,6 @@ fn campaign_cmd(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// The pre-subcommand CLI, mapped onto the registry with a warning.
-fn legacy_cmd(args: &[String]) -> ExitCode {
-    let mut iter = args.iter();
-    let mut arm = ProbeArm::Headline;
-    let mut smoke = false;
-    let mut out: Option<PathBuf> = None;
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--service" => arm = ProbeArm::Service,
-            "--batched" => arm = ProbeArm::Batched,
-            "--sharded" => arm = ProbeArm::Sharded,
-            "--smoke" => smoke = true,
-            "--out" => {
-                let Some(v) = iter.next() else {
-                    eprintln!("--out needs a path");
-                    return ExitCode::FAILURE;
-                };
-                out = Some(PathBuf::from(v));
-            }
-            other => {
-                eprintln!("unknown argument {other:?}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    eprintln!(
-        "warning: flag-style invocation is deprecated; use `perf-probe bench {} {}`",
-        arm.name(),
-        if smoke { "--smoke" } else { "" }
-    );
-    let out = out.unwrap_or_else(|| PathBuf::from(arm.default_output()));
-    match run_probe(arm, smoke, &out) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("probe {} failed: {e}", arm.name());
             ExitCode::FAILURE
         }
     }

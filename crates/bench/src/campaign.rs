@@ -37,6 +37,9 @@ use std::time::{Duration, Instant};
 use census_core::{RandomTour, SampleCollide};
 use census_graph::generators;
 use census_metrics::{HistogramMetric, Registry};
+use census_overlay::{
+    GradientConfig, GradientOverlay, OverlayEngine, ScaleFreeConfig, ScaleFreeConstruction,
+};
 use census_sampling::CtrwSampler;
 use census_service::{
     ArrivalProcess, CensusService, Counter, Query, ServiceConfig, ShardedCensusService, SubmitError,
@@ -96,10 +99,20 @@ pub struct CampaignSpec {
     /// campaigns keep their run ids and resume untouched.
     #[serde(default = "default_attacks")]
     pub attacks: Vec<AttackSpec>,
+    /// Overlay-protocol axis: a self-constructing overlay driving the
+    /// topology while queries run. Absent in pre-overlay specs and
+    /// manifests, where it defaults to the single static point — old
+    /// campaigns keep their run ids and resume untouched.
+    #[serde(default = "default_overlays")]
+    pub overlays: Vec<OverlaySpec>,
 }
 
 fn default_attacks() -> Vec<AttackSpec> {
     vec![AttackSpec::None]
+}
+
+fn default_overlays() -> Vec<OverlaySpec> {
+    vec![OverlaySpec::None]
 }
 
 /// One topology family at one size.
@@ -343,6 +356,45 @@ impl AttackSpec {
     }
 }
 
+/// One self-constructing overlay protocol, as spelled in a spec file.
+/// A non-`None` value replaces the run's churn applier with a
+/// `census-overlay` engine: each service step executes one protocol
+/// tick against the live overlay through
+/// [`census_overlay::OverlayEngine::driver`], so the refreeze policy
+/// sees self-assembly exactly as it sees churn. The `none` variant is
+/// the static default (and what the axis becomes when a spec predates
+/// self-construction).
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "protocol", rename_all = "kebab-case")]
+pub enum OverlaySpec {
+    /// No protocol: the topology axis's overlay serves as built.
+    #[default]
+    None,
+    /// Random-walk preferential attachment growing the overlay towards
+    /// `target` live nodes while queries run.
+    ScaleFree {
+        /// Construction target size.
+        target: usize,
+        /// Service steps — one engine tick each — in the serve window.
+        steps: u64,
+    },
+    /// Utility-gradient rewiring of the topology axis's overlay.
+    Gradient {
+        /// Service steps — one engine tick each — in the serve window.
+        steps: u64,
+    },
+}
+
+impl OverlaySpec {
+    fn slug(&self) -> String {
+        match *self {
+            OverlaySpec::None => "overlay-none".to_owned(),
+            OverlaySpec::ScaleFree { target, steps } => format!("grow-sf-n{target}-t{steps}"),
+            OverlaySpec::Gradient { steps } => format!("gradient-t{steps}"),
+        }
+    }
+}
+
 /// One arrival process, as spelled in a spec file. Mirrors
 /// [`ArrivalProcess`] with serde plumbing attached.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -406,14 +458,19 @@ pub struct RunPoint {
     /// written before the axis existed still deserialise).
     #[serde(default)]
     pub attack: AttackSpec,
+    /// Overlay-protocol axis value (defaults to the static overlay, so
+    /// records written before the axis existed still deserialise).
+    #[serde(default)]
+    pub overlay: OverlaySpec,
 }
 
 impl RunPoint {
     /// The point's stable, filesystem-safe identifier — the resume key.
     ///
-    /// The attack slug is appended only for a real adversary:
-    /// no-adversary points keep the exact ids they had before the attack
-    /// axis existed, so old manifests resume without re-execution.
+    /// The attack and overlay slugs are appended only for a real
+    /// adversary / a real protocol: static no-adversary points keep the
+    /// exact ids they had before either axis existed, so old manifests
+    /// resume without re-execution.
     #[must_use]
     pub fn run_id(&self) -> String {
         let mut id = format!(
@@ -429,15 +486,19 @@ impl RunPoint {
             id.push('-');
             id.push_str(&self.attack.slug());
         }
+        if self.overlay != OverlaySpec::None {
+            id.push('-');
+            id.push_str(&self.overlay.slug());
+        }
         id
     }
 }
 
 /// Expands the spec's axes to the full mix space, in a fixed nesting
-/// order (topology, estimator, shards, workers, fault, arrival, attack)
-/// so run indices are stable across invocations. The attack axis sits
-/// innermost: a pre-adversary spec's single default point leaves every
-/// older index untouched.
+/// order (topology, estimator, shards, workers, fault, arrival, attack,
+/// overlay) so run indices are stable across invocations. Each new axis
+/// sits innermost at introduction: a pre-adversary or pre-overlay spec's
+/// single default point leaves every older index untouched.
 #[must_use]
 pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
     let mut points = Vec::new();
@@ -447,25 +508,34 @@ pub fn expand(spec: &CampaignSpec) -> Vec<RunPoint> {
                 for &workers in &spec.workers {
                     for &fault in &spec.faults {
                         for &arrival in &spec.arrivals {
-                            // An absent/empty attack axis means "no
-                            // adversary", never "no points": pre-attack
-                            // specs keep their exact expansion.
+                            // An absent/empty attack (or overlay) axis
+                            // means "no adversary" / "static overlay",
+                            // never "no points": older specs keep their
+                            // exact expansion.
                             let attacks = if spec.attacks.is_empty() {
                                 &[AttackSpec::None][..]
                             } else {
                                 &spec.attacks
                             };
+                            let overlays = if spec.overlays.is_empty() {
+                                &[OverlaySpec::None][..]
+                            } else {
+                                &spec.overlays
+                            };
                             for &attack in attacks {
-                                points.push(RunPoint {
-                                    index: points.len(),
-                                    topology,
-                                    estimator,
-                                    shards,
-                                    workers,
-                                    fault,
-                                    arrival,
-                                    attack,
-                                });
+                                for &overlay in overlays {
+                                    points.push(RunPoint {
+                                        index: points.len(),
+                                        topology,
+                                        estimator,
+                                        shards,
+                                        workers,
+                                        fault,
+                                        arrival,
+                                        attack,
+                                        overlay,
+                                    });
+                                }
                             }
                         }
                     }
@@ -583,8 +653,29 @@ fn validate(spec: &CampaignSpec) -> Result<(), CampaignError> {
     axis("workers", spec.workers.len())?;
     axis("faults", spec.faults.len())?;
     axis("arrivals", spec.arrivals.len())?;
-    // `attacks` is deliberately exempt: an empty axis is the
-    // pre-adversary spelling and expands to the no-adversary point.
+    // `attacks` and `overlays` are deliberately exempt: an empty axis is
+    // the older spelling and expands to the no-adversary / static point.
+    let driven = spec.overlays.iter().any(|o| *o != OverlaySpec::None);
+    if driven && spec.shards.iter().any(|&s| s > 0) {
+        return Err(CampaignError::Spec(
+            "self-constructing overlay points cannot run sharded \
+             (the sharded service has no step driver); drop the non-zero \
+             shard counts or split the campaign"
+                .into(),
+        ));
+    }
+    if driven
+        && spec
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::Churn { .. }))
+    {
+        return Err(CampaignError::Spec(
+            "a self-constructing overlay replaces the churn applier; \
+             combine it with loss faults, not churn faults"
+                .into(),
+        ));
+    }
     if spec.queries_per_run == 0 {
         return Err(CampaignError::Spec(
             "queries_per_run must be positive".into(),
@@ -741,7 +832,35 @@ fn execute_run(spec: &CampaignSpec, point: &RunPoint) -> RunRecord {
             }
         }
     };
-    let (wall_s, outcomes) = if point.shards == 0 {
+    let (wall_s, outcomes) = if point.shards == 0 && point.overlay != OverlaySpec::None {
+        // A self-constructing point: the overlay engine replaces the
+        // churn applier, one protocol tick per service step, from its
+        // own deterministic seed stream.
+        let engine_seed = splitmix64(spec.seed ^ 0x004F_5645_524C_4159);
+        let mut service = CensusService::new(net, config);
+        match point.overlay {
+            OverlaySpec::None => unreachable!("guarded by the branch condition"),
+            OverlaySpec::ScaleFree { target, steps } => {
+                let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+                    target_size: target,
+                    ..ScaleFreeConfig::default()
+                });
+                let mut engine = OverlayEngine::new(proto, engine_seed);
+                service.serve_driven_rec(steps, &registry, engine.driver(&registry), |census| {
+                    submit_all(&|q| census.submit(q));
+                    start.elapsed().as_secs_f64()
+                })
+            }
+            OverlaySpec::Gradient { steps } => {
+                let proto = GradientOverlay::new(GradientConfig::default());
+                let mut engine = OverlayEngine::new(proto, engine_seed);
+                service.serve_driven_rec(steps, &registry, engine.driver(&registry), |census| {
+                    submit_all(&|q| census.submit(q));
+                    start.elapsed().as_secs_f64()
+                })
+            }
+        }
+    } else if point.shards == 0 {
         let mut service = CensusService::new(net, config);
         let (wall, outcomes) = service.serve_rec(&events, &registry, |census| {
             submit_all(&|q| census.submit(q));
@@ -795,6 +914,7 @@ mod tests {
             faults: vec![FaultSpec::None],
             arrivals: vec![ArrivalSpec::Closed { concurrency: 4 }],
             attacks: vec![AttackSpec::None],
+            overlays: vec![OverlaySpec::None],
         }
     }
 
@@ -959,5 +1079,126 @@ mod tests {
             .expect("a byzantine point has a plan");
         assert!((plan.byzantine_fraction() - 0.2).abs() < 1e-12);
         assert_eq!(plan.queue_flood(), 16);
+    }
+
+    #[test]
+    fn pre_overlay_specs_parse_and_keep_their_run_ids() {
+        // A spec spelled before the overlay axis existed: it has the
+        // attack axis but no "overlays" key. Same mirror-struct trick as
+        // the pre-adversary test.
+        #[derive(serde::Serialize)]
+        struct PreOverlaySpec {
+            campaign: String,
+            seed: u64,
+            queries_per_run: u64,
+            timer: f64,
+            sc_l: u32,
+            topologies: Vec<TopologySpec>,
+            estimators: Vec<EstimatorKind>,
+            shards: Vec<usize>,
+            workers: Vec<usize>,
+            faults: Vec<FaultSpec>,
+            arrivals: Vec<ArrivalSpec>,
+            attacks: Vec<AttackSpec>,
+        }
+        let new = tiny_spec();
+        let old_json = serde_json::to_string(&PreOverlaySpec {
+            campaign: new.campaign.clone(),
+            seed: new.seed,
+            queries_per_run: new.queries_per_run,
+            timer: new.timer,
+            sc_l: new.sc_l,
+            topologies: new.topologies.clone(),
+            estimators: new.estimators.clone(),
+            shards: new.shards.clone(),
+            workers: new.workers.clone(),
+            faults: new.faults.clone(),
+            arrivals: new.arrivals.clone(),
+            attacks: new.attacks.clone(),
+        })
+        .expect("serialises");
+        assert!(
+            !old_json.contains("overlays"),
+            "the mirror must predate the axis"
+        );
+        let spec: CampaignSpec = serde_json::from_str(&old_json).expect("old specs still parse");
+        // The serde default fills `[None]`; expand() also normalises an
+        // empty axis to the same, so either way the point set below is
+        // what proves a missing axis means a static overlay.
+        let points = expand(&spec);
+        assert_eq!(
+            points,
+            expand(&new),
+            "pre- and post-axis spellings must expand identically"
+        );
+        assert_eq!(
+            points[0].run_id(),
+            "balanced-n600-d10-random-tour-s0-w2-fault-none-closed-c4",
+            "static points must keep the pre-overlay id format"
+        );
+        // An old manifest's RunPoint (no "overlay" field) deserialises
+        // to the same point, so the resume key matches.
+        #[derive(serde::Serialize)]
+        struct PreOverlayPoint {
+            index: usize,
+            topology: TopologySpec,
+            estimator: EstimatorKind,
+            shards: usize,
+            workers: usize,
+            fault: FaultSpec,
+            arrival: ArrivalSpec,
+            attack: AttackSpec,
+        }
+        let old_point = serde_json::to_string(&PreOverlayPoint {
+            index: points[0].index,
+            topology: points[0].topology,
+            estimator: points[0].estimator,
+            shards: points[0].shards,
+            workers: points[0].workers,
+            fault: points[0].fault,
+            arrival: points[0].arrival,
+            attack: points[0].attack,
+        })
+        .expect("serialises");
+        assert!(!old_point.contains("overlay"));
+        let point: RunPoint = serde_json::from_str(&old_point).expect("old points still parse");
+        assert_eq!(point, points[0]);
+    }
+
+    #[test]
+    fn overlay_axis_expands_innermost_with_distinct_slugged_ids() {
+        let mut spec = tiny_spec();
+        spec.shards = vec![0];
+        spec.overlays.push(OverlaySpec::ScaleFree {
+            target: 900,
+            steps: 64,
+        });
+        spec.overlays.push(OverlaySpec::Gradient { steps: 32 });
+        let points = expand(&spec);
+        assert_eq!(points.len(), 2 * 2 * 3);
+        // Innermost axis: consecutive points differ in overlay first.
+        assert_eq!(points[0].overlay, OverlaySpec::None);
+        assert_ne!(points[1].overlay, OverlaySpec::None);
+        assert!(points[1].run_id().ends_with("grow-sf-n900-t64"));
+        assert!(points[2].run_id().ends_with("gradient-t32"));
+        let ids: BTreeSet<String> = points.iter().map(RunPoint::run_id).collect();
+        assert_eq!(ids.len(), points.len(), "run ids must stay unique");
+    }
+
+    #[test]
+    fn driven_overlays_reject_sharded_and_churned_points() {
+        let mut spec = tiny_spec();
+        spec.overlays.push(OverlaySpec::Gradient { steps: 16 });
+        // tiny_spec's shard axis includes 2: driven points cannot shard.
+        let err = validate(&spec).expect_err("sharded driven points must fail");
+        assert!(matches!(err, CampaignError::Spec(_)));
+        spec.shards = vec![0];
+        validate(&spec).expect("unsharded driven points are fine");
+        spec.faults.push(FaultSpec::Churn {
+            departures: 5,
+            events: 2,
+        });
+        let err = validate(&spec).expect_err("churn + driver must fail");
+        assert!(matches!(err, CampaignError::Spec(_)));
     }
 }

@@ -13,6 +13,7 @@
 //! | `sharded` | sharded service ≥ 1.5× unsharded, bit-identical | `BENCH_6.json` |
 //! | `snapshot-io` | binary snapshot reload < 1% of generate+freeze | `BENCH_7.json` |
 //! | `byzantine` | hardened sampler ≥ 3× less bias at 20% subverted | `BENCH_8.json` |
+//! | `overlay` | self-construction throughput; coupled census ≥ 2× less error | `BENCH_9.json` |
 //!
 //! Every arm re-seeds its RNG identically across variants, so ratios
 //! isolate the representation / recording / scheduling cost, and medians
@@ -32,6 +33,9 @@ use census_core::{RandomTour, SizeEstimator};
 use census_graph::generators;
 use census_graph::io::{load_frozen, save_frozen, write_frozen};
 use census_metrics::{NoopRecorder, Registry, RunCtx};
+use census_overlay::{
+    run_scenario, OverlayEngine, ScaleFreeConfig, ScaleFreeConstruction, ScenarioConfig,
+};
 use census_sampling::{CtrwSampler, HardenedMetropolisSampler, MetropolisSampler, Sampler};
 use census_service::{
     CensusService, Counter, Query, QueryOutcome, ServiceConfig, ShardedCensusService,
@@ -66,17 +70,21 @@ pub enum ProbeArm {
     /// Hardened-vs-naive Metropolis sampling under a Byzantine
     /// degree-inflation + walk-swallow adversary (`BENCH_8.json`).
     Byzantine,
+    /// Overlay self-construction throughput and the naive-vs-coupled
+    /// census bias gap under adaptation (`BENCH_9.json`).
+    Overlay,
 }
 
 impl ProbeArm {
     /// Every arm, in registry order.
-    pub const ALL: [ProbeArm; 6] = [
+    pub const ALL: [ProbeArm; 7] = [
         ProbeArm::Headline,
         ProbeArm::Service,
         ProbeArm::Batched,
         ProbeArm::Sharded,
         ProbeArm::SnapshotIo,
         ProbeArm::Byzantine,
+        ProbeArm::Overlay,
     ];
 
     /// The arm's registry name, as spelled on the command line.
@@ -89,6 +97,7 @@ impl ProbeArm {
             ProbeArm::Sharded => "sharded",
             ProbeArm::SnapshotIo => "snapshot-io",
             ProbeArm::Byzantine => "byzantine",
+            ProbeArm::Overlay => "overlay",
         }
     }
 
@@ -108,6 +117,7 @@ impl ProbeArm {
             ProbeArm::Sharded => "BENCH_6.json",
             ProbeArm::SnapshotIo => "BENCH_7.json",
             ProbeArm::Byzantine => "BENCH_8.json",
+            ProbeArm::Overlay => "BENCH_9.json",
         }
     }
 }
@@ -131,6 +141,7 @@ pub fn run_probe(arm: ProbeArm, smoke: bool, out: &Path) -> io::Result<()> {
         ProbeArm::Sharded => write_envelope(arm.name(), smoke, &sharded_probe(smoke), out),
         ProbeArm::SnapshotIo => write_envelope(arm.name(), smoke, &snapshot_io_probe(smoke), out),
         ProbeArm::Byzantine => write_envelope(arm.name(), smoke, &byzantine_probe(smoke), out),
+        ProbeArm::Overlay => write_envelope(arm.name(), smoke, &overlay_probe(smoke), out),
     }?;
     println!("report -> {}", out.display());
     Ok(())
@@ -726,6 +737,110 @@ fn byzantine_probe(smoke: bool) -> ByzantineReport {
     }
 }
 
+/// `BENCH_9.json`: the cost of self-construction and the payoff of
+/// coupling the census to it.
+///
+/// Before timing anything the probe replays the construction and asserts
+/// the rebuilt overlay is bit-identical — the throughput below is only
+/// meaningful because the workload is a pure function of the seed. Then:
+///
+/// 1. **construction throughput** — median wall-clock of growing a
+///    scale-free overlay from a seed clique to the target size through
+///    the synchronous-round engine (ticks/s, joins/s).
+/// 2. **census bias under adaptation** — one `run_scenario` pass scoring
+///    Random Tours over the stale pre-construction snapshot (naive)
+///    against tours over a checkpoint-refrozen snapshot (coupled). At
+///    full scale the probe *asserts* the headline claim: the coupled
+///    arm's relative error is at least 2× smaller.
+fn overlay_probe(smoke: bool) -> OverlayReport {
+    let (target, repeats) = if smoke { (2_000, 1) } else { (20_000, 5) };
+    const JOINS_PER_TICK: usize = 16;
+    const TARGET_GAP: f64 = 2.0;
+    let config = ScaleFreeConfig {
+        target_size: target,
+        joins_per_tick: JOINS_PER_TICK,
+        adapt_every: 0,
+        ..ScaleFreeConfig::default()
+    };
+    let seed_size = config.edges_per_join + 2;
+    let ticks = (target as u64).div_ceil(JOINS_PER_TICK as u64) + 40;
+
+    let build = || {
+        let mut g = generators::complete(seed_size);
+        let mut engine = OverlayEngine::new(ScaleFreeConstruction::new(config), 1);
+        engine.run(&mut g, ticks, &NoopRecorder);
+        g
+    };
+
+    println!(
+        "overlay probe: clique {seed_size} -> scale-free N = {target} \
+         ({JOINS_PER_TICK} joins/tick, {ticks} ticks, median of {repeats})"
+    );
+    let first = build().freeze();
+    assert_eq!(
+        first,
+        build().freeze(),
+        "replaying the construction must reproduce the overlay bit for bit"
+    );
+    println!(
+        "  determinism       : {} nodes / {} edges bit-identical across replays",
+        first.num_nodes(),
+        first.num_edges()
+    );
+
+    let construct_s = median_secs(repeats, || {
+        std::hint::black_box(build().num_edges());
+    });
+    let ticks_per_s = ticks as f64 / construct_s;
+    let joins_per_s = (target - seed_size) as f64 / construct_s;
+    println!("  construction      : {construct_s:.4} s/pass  ({ticks_per_s:.0} ticks/s, {joins_per_s:.0} joins/s)");
+
+    // The census-under-adaptation pass: a single final checkpoint keeps
+    // the probe about the gap, not about λ₂ tracing (that is the
+    // `overlay-convergence` figure's job).
+    let mut g = generators::complete(seed_size);
+    let mut engine = OverlayEngine::new(ScaleFreeConstruction::new(config), 1);
+    let scenario = ScenarioConfig {
+        ticks,
+        checkpoint_every: ticks,
+        tours_per_checkpoint: 32,
+        spectral_iters: 500,
+        spectral_tol: 1e-4,
+    };
+    let checkpoints = run_scenario(&mut engine, &mut g, &scenario, 17, &NoopRecorder);
+    let last = checkpoints.last().expect("final checkpoint");
+    let naive_err = last.naive_rel_error();
+    let coupled_err = last.coupled_rel_error();
+    let gap = naive_err / coupled_err.max(1e-6);
+    println!("  naive rel. error  : {naive_err:.3} (stale pre-construction snapshot)");
+    println!("  coupled rel. err  : {coupled_err:.3} (checkpoint-refrozen snapshot)");
+    println!("  coupling gap      : {gap:.2}x (target >= {TARGET_GAP}x at full scale)");
+    if !smoke {
+        assert!(
+            gap >= TARGET_GAP,
+            "refreeze coupling bought only {gap:.2}x error reduction (target {TARGET_GAP}x)"
+        );
+    }
+
+    OverlayReport {
+        n: target,
+        seed_size,
+        joins_per_tick: JOINS_PER_TICK,
+        ticks,
+        repeats,
+        deterministic: true,
+        construct_pass_s: construct_s,
+        ticks_per_s,
+        joins_per_s,
+        lambda2_final: last.lambda2,
+        connected_final: last.connected,
+        naive_rel_err: naive_err,
+        coupled_rel_err: coupled_err,
+        coupling_gap: gap,
+        target_gap: TARGET_GAP,
+    }
+}
+
 /// Object-safe sampling shim for the probe's two arms (the [`Sampler`]
 /// trait itself is not object safe — generic over topology and RNG).
 trait SampleOnce {
@@ -904,6 +1019,30 @@ struct ByzantineReport {
     /// cell; at full scale the probe aborts below `target_advantage`.
     hardened_advantage: f64,
     target_advantage: f64,
+}
+
+/// `BENCH_9.json` payload.
+#[derive(serde::Serialize)]
+struct OverlayReport {
+    n: usize,
+    seed_size: usize,
+    joins_per_tick: usize,
+    ticks: u64,
+    repeats: usize,
+    /// Always `true` when the report exists at all: the probe aborts if
+    /// replaying the construction does not reproduce the overlay.
+    deterministic: bool,
+    construct_pass_s: f64,
+    ticks_per_s: f64,
+    joins_per_s: f64,
+    lambda2_final: f64,
+    connected_final: bool,
+    naive_rel_err: f64,
+    coupled_rel_err: f64,
+    /// Naive relative error over coupled relative error at the final
+    /// checkpoint; at full scale the probe aborts below `target_gap`.
+    coupling_gap: f64,
+    target_gap: f64,
 }
 
 /// Keeps `PathBuf` in the public signature story for the binary without

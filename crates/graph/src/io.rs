@@ -28,8 +28,6 @@
 //! [`Snapshot::into_frozen`] freezes). The path-based twins
 //! ([`save_snapshot_path`], [`load_snapshot_path`]) negotiate from the
 //! file extension and take the bulk-read fast path for binary files.
-//! The historical free functions `write_edge_list` / `read_edge_list`
-//! remain as deprecated wrappers for one release.
 //!
 //! # Binary layout (`BinaryV1`)
 //!
@@ -689,32 +687,6 @@ fn decode_frozen(bytes: &[u8]) -> Result<FrozenView, SnapshotError> {
 // Edge-list text codec
 // ---------------------------------------------------------------------
 
-/// Writes a graph snapshot in the edge-list text format. Deprecated
-/// entry point: prefer [`save_snapshot`] with
-/// [`SnapshotFormat::EdgeListText`].
-///
-/// # Errors
-///
-/// Propagates I/O errors from the writer.
-#[deprecated(note = "use save_snapshot(g, SnapshotFormat::EdgeListText, w) instead")]
-pub fn write_edge_list<W: Write>(g: &Graph, w: W) -> io::Result<()> {
-    write_edge_list_impl(g, w)
-}
-
-/// Reads a graph snapshot written in the edge-list text format.
-/// Deprecated entry point: prefer [`load_snapshot`], which negotiates
-/// the format.
-///
-/// # Errors
-///
-/// Returns [`io::ErrorKind::InvalidData`] on any malformed line, unknown
-/// directive, out-of-range index, duplicate edge, or edge touching a dead
-/// slot, in addition to propagating reader errors.
-#[deprecated(note = "use load_snapshot(r) instead")]
-pub fn read_edge_list<R: BufRead>(r: R) -> io::Result<Graph> {
-    read_edge_list_impl(r)
-}
-
 fn write_edge_list_impl<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
     writeln!(w, "{TEXT_HEADER}")?;
     writeln!(w, "slots {}", g.slot_count())?;
@@ -1053,15 +1025,6 @@ mod tests {
             actual: 2,
         };
         assert!(c.to_string().contains("checksum"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_roundtrip() {
-        let g = churned(40, 4, 8);
-        let mut buf = Vec::new();
-        write_edge_list(&g, &mut buf).expect("write");
-        assert_eq!(read_edge_list(&buf[..]).expect("read"), g);
     }
 
     #[test]

@@ -127,6 +127,14 @@ pub struct GapEstimate {
     pub fiedler: Vec<f64>,
     /// Number of iterations performed.
     pub iterations: usize,
+    /// Whether the graph was connected. Disconnected graphs have λ₂ = 0
+    /// *by definition*, so a tiny `lambda2` on its own is ambiguous
+    /// between "barely-connected expander bottleneck" and "two islands";
+    /// this flag (computed structurally by BFS, not inferred from the
+    /// iteration) disambiguates. Mid-construction overlays are routinely
+    /// disconnected, so callers tracking λ₂ trajectories should gate on
+    /// it before interpreting the value.
+    pub connected: bool,
 }
 
 /// Estimates the Laplacian spectral gap λ₂ and Fiedler vector by power
@@ -138,9 +146,14 @@ pub struct GapEstimate {
 /// between λ₂ and λ₃ (e.g. long rings) convergence is geometric with rate
 /// `(c−λ₃)/(c−λ₂)`; pass a generous `max_iters` there.
 ///
-/// Disconnected graphs have λ₂ = 0 and the iteration converges to (near)
-/// zero — callers should treat values below ~1e-6 as "disconnected or
-/// barely connected".
+/// **Contract for disconnected graphs.** λ₂ = 0 exactly when the graph is
+/// disconnected, and the iteration converges to (near) zero there — it
+/// does not fail or panic. The returned [`GapEstimate::connected`] flag,
+/// computed structurally by BFS, says which case a near-zero `lambda2`
+/// is: `connected = false` means the zero is definitional (two or more
+/// components), `connected = true` means the graph really is a slow
+/// mixer. Callers that previously thresholded on `lambda2 < 1e-6` should
+/// consult the flag instead.
 ///
 /// # Panics
 ///
@@ -150,6 +163,7 @@ pub fn spectral_gap_with(g: &Graph, max_iters: usize, tol: f64) -> GapEstimate {
     let idx = DenseIndex::new(g);
     let n = idx.len();
     assert!(n >= 2, "spectral gap needs at least two nodes");
+    let connected = crate::algo::component_size(g, idx.node(0)) == n;
     let c = 2.0 * g.max_degree() as f64;
     if c == 0.0 {
         // No edges at all: L = 0, every non-constant vector has eigenvalue 0.
@@ -159,6 +173,7 @@ pub fn spectral_gap_with(g: &Graph, max_iters: usize, tol: f64) -> GapEstimate {
             lambda2: 0.0,
             fiedler,
             iterations: 0,
+            connected,
         };
     }
 
@@ -198,6 +213,7 @@ pub fn spectral_gap_with(g: &Graph, max_iters: usize, tol: f64) -> GapEstimate {
         lambda2: lambda2.max(0.0),
         fiedler: x,
         iterations,
+        connected,
     }
 }
 
@@ -463,6 +479,46 @@ mod tests {
         let mut g = Graph::new();
         g.add_nodes(3);
         assert_eq!(spectral_gap(&g), 0.0);
+    }
+
+    #[test]
+    fn connected_flag_disambiguates_near_zero_gaps() {
+        // Regression: a near-zero lambda2 used to be silently ambiguous
+        // between "disconnected" (definitional zero) and "slow mixer".
+        // Isolated node next to a clique: disconnected, gap ~ 0.
+        let mut g = generators::complete(4);
+        let _ = g.add_node();
+        let est = spectral_gap_with(&g, 50_000, 1e-12);
+        assert!(!est.connected, "clique + isolate is disconnected");
+        assert!(est.lambda2 < 1e-6);
+
+        // Edgeless early-return path carries the flag too.
+        let mut e = Graph::new();
+        e.add_nodes(3);
+        let est = spectral_gap_with(&e, 50_000, 1e-12);
+        assert!(!est.connected, "edgeless graph is disconnected");
+        assert_eq!(est.lambda2, 0.0);
+        assert_eq!(est.iterations, 0);
+
+        // Two cliques joined by one bridge: tiny gap but connected —
+        // exactly the case the flag exists to tell apart.
+        let mut b = Graph::new();
+        let ids = b.add_nodes(10);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                b.add_edge(ids[i], ids[j]).expect("fresh edge");
+                b.add_edge(ids[i + 5], ids[j + 5]).expect("fresh edge");
+            }
+        }
+        b.add_edge(ids[0], ids[5]).expect("bridge");
+        let est = spectral_gap_with(&b, 50_000, 1e-12);
+        assert!(est.connected, "bridged barbell is connected");
+        assert!(est.lambda2 > 0.0);
+
+        // And an honest expander reads connected with a healthy gap.
+        let est = spectral_gap_with(&generators::complete(6), 50_000, 1e-12);
+        assert!(est.connected);
+        assert!(est.lambda2 > 1.0);
     }
 
     #[test]

@@ -108,11 +108,20 @@ pub enum Metric {
     /// claims of a repeat visit that never happened, inflating `C_l` and
     /// deflating the size estimate.
     ForgedCollisions,
+    /// Edges rewired by a self-adapting overlay protocol (`census-overlay`):
+    /// one unit per edge replaced by an adaptation or gradient-swap step.
+    /// Event-class: the protocol's walk traffic is simulated topology
+    /// construction, not estimator overlay cost.
+    RewireOps,
+    /// Synchronous rounds executed by an overlay engine — one unit per
+    /// node activated per tick. Event-class, like
+    /// [`Metric::WalkBatchRounds`]: execution shape, not message cost.
+    OverlayTicks,
 }
 
 impl Metric {
     /// Every counter, in declaration (and serialisation) order.
-    pub const ALL: [Metric; 29] = [
+    pub const ALL: [Metric; 31] = [
         Metric::TourHops,
         Metric::CtrwHops,
         Metric::SampleHops,
@@ -142,6 +151,8 @@ impl Metric {
         Metric::ByzantineEncounters,
         Metric::SwallowedWalks,
         Metric::ForgedCollisions,
+        Metric::RewireOps,
+        Metric::OverlayTicks,
     ];
 
     /// Number of counters a registry allocates.
@@ -180,6 +191,8 @@ impl Metric {
             Metric::ByzantineEncounters => "byzantine_encounters",
             Metric::SwallowedWalks => "swallowed_walks",
             Metric::ForgedCollisions => "forged_collisions",
+            Metric::RewireOps => "rewire_ops",
+            Metric::OverlayTicks => "overlay_ticks",
         }
     }
 
@@ -280,14 +293,19 @@ pub enum GaugeMetric {
     /// Epoch stamp of the newest snapshot published by a service or
     /// dynamic runner.
     SnapshotEpoch,
+    /// λ₂ checkpoints recorded so far by an overlay scenario runner —
+    /// the length of the spectral-gap trajectory captured while the
+    /// overlay was still wiring itself.
+    Lambda2Checkpoints,
 }
 
 impl GaugeMetric {
     /// Every gauge, in declaration (and serialisation) order.
-    pub const ALL: [GaugeMetric; 3] = [
+    pub const ALL: [GaugeMetric; 4] = [
         GaugeMetric::QueueDepth,
         GaugeMetric::EpochLag,
         GaugeMetric::SnapshotEpoch,
+        GaugeMetric::Lambda2Checkpoints,
     ];
 
     /// Number of gauges a registry allocates.
@@ -300,6 +318,7 @@ impl GaugeMetric {
             GaugeMetric::QueueDepth => "queue_depth",
             GaugeMetric::EpochLag => "epoch_lag",
             GaugeMetric::SnapshotEpoch => "snapshot_epoch",
+            GaugeMetric::Lambda2Checkpoints => "lambda2_checkpoints",
         }
     }
 }

@@ -1,0 +1,308 @@
+//! The synchronous-round executor driving a protocol over a live graph.
+
+use census_graph::{Graph, NodeId};
+use census_metrics::{Metric, Recorder};
+use census_proto::OverlayEnvelope;
+use census_sim::{DynamicNetwork, MembershipDelta};
+use census_walk::stream::{stream_seed, StreamDomain};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::protocol::{OverlayCtx, OverlayProtocol};
+
+/// What one engine tick did to the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickReport {
+    /// The tick index that ran (0-based).
+    pub tick: u64,
+    /// Live nodes activated via `on_tick`.
+    pub activations: u64,
+    /// Messages from the previous tick delivered (dead addressees drop
+    /// their mail silently and are not counted).
+    pub delivered: u64,
+    /// Nodes that joined.
+    pub joins: u64,
+    /// Nodes that departed.
+    pub leaves: u64,
+    /// Edges atomically rewired.
+    pub rewires: u64,
+    /// Total mutations — joins + leaves + individual edge changes (a
+    /// rewire counts two). This is the number a service refreeze policy
+    /// should treat as the tick's pending delta.
+    pub mutations: u64,
+}
+
+/// Executes an [`OverlayProtocol`] in synchronous rounds over a graph it
+/// does *not* own, so the same engine drives a standalone [`Graph`] (the
+/// construction experiments) or a [`DynamicNetwork`] living inside a
+/// running `census-service` (via [`OverlayEngine::driver`]).
+///
+/// # Determinism
+///
+/// Tick `t` draws exclusively from
+/// `SmallRng::seed_from_u64(stream_seed(StreamDomain::Overlay, seed, t))`
+/// — a fresh, counter-addressed stream per tick, in the dedicated
+/// `Overlay` domain. Hook order within a tick is fixed (deliver in send
+/// order, then `on_round`, then `on_tick` in dense node order), so the
+/// entire construction — edge set, message trace, delta stream — is a
+/// pure function of `(initial graph, protocol, seed)`. Because no other
+/// domain ever derives an `Overlay`-tagged seed, interleaving engine
+/// ticks with estimator queries cannot perturb any walk stream.
+#[derive(Debug)]
+pub struct OverlayEngine<P> {
+    protocol: P,
+    seed: u64,
+    tick: u64,
+    inbox: Vec<OverlayEnvelope>,
+    deltas: Vec<MembershipDelta>,
+}
+
+impl<P: OverlayProtocol> OverlayEngine<P> {
+    /// An engine at tick 0 with an empty mailbox.
+    #[must_use]
+    pub fn new(protocol: P, seed: u64) -> Self {
+        Self {
+            protocol,
+            seed,
+            tick: 0,
+            inbox: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+
+    /// The protocol being executed.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Ticks executed so far.
+    #[must_use]
+    pub fn ticks_run(&self) -> u64 {
+        self.tick
+    }
+
+    /// Messages currently in flight (sent last tick, undelivered).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// The membership stream the construction produced so far: one
+    /// [`MembershipDelta`] per tick with a non-zero net join−leave count,
+    /// `run` = tick index. This is the same event format the
+    /// `census-service` churn applier consumes, so a recorded
+    /// construction can be replayed through `serve_rec` as ordinary
+    /// churn.
+    #[must_use]
+    pub fn deltas(&self) -> &[MembershipDelta] {
+        &self.deltas
+    }
+
+    /// Runs one synchronous round over `g`, charging `OverlayTicks` and
+    /// `RewireOps` to the recorder.
+    pub fn tick<Rec: Recorder + ?Sized>(&mut self, g: &mut Graph, recorder: &Rec) -> TickReport {
+        let mut rng =
+            SmallRng::seed_from_u64(stream_seed(StreamDomain::Overlay, self.seed, self.tick));
+        let inbox = std::mem::take(&mut self.inbox);
+        let mut outbox = Vec::new();
+        let mut ctx = OverlayCtx::new(g, &mut rng, &mut outbox, self.tick);
+
+        let mut delivered = 0u64;
+        for env in inbox {
+            if ctx.graph().is_alive(env.to) {
+                self.protocol.on_message(env.to, env.message, &mut ctx);
+                delivered += 1;
+            }
+        }
+
+        self.protocol.on_round(&mut ctx);
+
+        let nodes: Vec<NodeId> = ctx.graph().nodes().collect();
+        let mut activations = 0u64;
+        for v in nodes {
+            if ctx.graph().is_alive(v) {
+                self.protocol.on_tick(v, &mut ctx);
+                activations += 1;
+            }
+        }
+
+        let (joins, leaves, rewires, edge_ops) = ctx.counts();
+        self.inbox = outbox;
+
+        recorder.incr(Metric::OverlayTicks, activations);
+        if rewires > 0 {
+            recorder.incr(Metric::RewireOps, rewires);
+        }
+        let net = i64::try_from(joins).expect("join count fits")
+            - i64::try_from(leaves).expect("leave count fits");
+        if net != 0 {
+            self.deltas.push(MembershipDelta {
+                run: self.tick,
+                delta: net,
+            });
+        }
+
+        let report = TickReport {
+            tick: self.tick,
+            activations,
+            delivered,
+            joins,
+            leaves,
+            rewires,
+            mutations: joins + leaves + edge_ops,
+        };
+        self.tick += 1;
+        report
+    }
+
+    /// Runs `ticks` rounds, returning the total mutation count.
+    pub fn run<Rec: Recorder + ?Sized>(
+        &mut self,
+        g: &mut Graph,
+        ticks: u64,
+        recorder: &Rec,
+    ) -> u64 {
+        (0..ticks).map(|_| self.tick(g, recorder).mutations).sum()
+    }
+
+    /// Adapts the engine into the step driver
+    /// [`CensusService::serve_driven_rec`] expects: each service step
+    /// runs one protocol tick against the live network and reports its
+    /// mutation count, so the refreeze policy sees overlay self-assembly
+    /// exactly as it sees churn.
+    ///
+    /// [`CensusService::serve_driven_rec`]: census_service::CensusService::serve_driven_rec
+    pub fn driver<'a, Rec: Recorder + ?Sized>(
+        &'a mut self,
+        recorder: &'a Rec,
+    ) -> impl FnMut(&mut DynamicNetwork) -> u64 + 'a {
+        move |net| self.tick(net.graph_mut(), recorder).mutations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use census_metrics::{Registry, NOOP};
+    use census_proto::OverlayMessage;
+
+    /// A protocol that pings a fixed target every tick and counts
+    /// deliveries — enough to pin down the engine's phase order and
+    /// delivery semantics.
+    struct Pinger {
+        target: NodeId,
+        got: u64,
+        rounds: u64,
+    }
+
+    impl OverlayProtocol for Pinger {
+        fn on_round(&mut self, _ctx: &mut OverlayCtx<'_>) {
+            self.rounds += 1;
+        }
+
+        fn on_tick(&mut self, node: NodeId, ctx: &mut OverlayCtx<'_>) {
+            if node != self.target {
+                ctx.send(
+                    self.target,
+                    OverlayMessage::UtilityReply {
+                        candidate: node,
+                        utility: 0.0,
+                    },
+                );
+            }
+        }
+
+        fn on_message(&mut self, to: NodeId, _m: OverlayMessage, _ctx: &mut OverlayCtx<'_>) {
+            assert_eq!(to, self.target);
+            self.got += 1;
+        }
+    }
+
+    #[test]
+    fn messages_arrive_exactly_one_tick_later() {
+        let mut g = generators::ring(5);
+        let target = g.nodes().next().expect("non-empty");
+        let mut engine = OverlayEngine::new(
+            Pinger {
+                target,
+                got: 0,
+                rounds: 0,
+            },
+            7,
+        );
+        let r0 = engine.tick(&mut g, &NOOP);
+        assert_eq!(r0.delivered, 0, "nothing in flight at tick 0");
+        assert_eq!(r0.activations, 5);
+        assert_eq!(engine.in_flight(), 4);
+        let r1 = engine.tick(&mut g, &NOOP);
+        assert_eq!(r1.delivered, 4, "tick 0's sends arrive at tick 1");
+        assert_eq!(engine.protocol().got, 4);
+        assert_eq!(engine.protocol().rounds, 2);
+    }
+
+    #[test]
+    fn mail_to_departed_nodes_is_dropped() {
+        /// Every survivor pings `victim` each tick; the victim departs in
+        /// `on_round` of tick 1 — after that tick's delivery phase, so
+        /// tick 0's pings still land but tick 1's drop at tick 2.
+        struct PingVictim {
+            victim: NodeId,
+        }
+        impl OverlayProtocol for PingVictim {
+            fn on_round(&mut self, ctx: &mut OverlayCtx<'_>) {
+                if ctx.tick() == 1 {
+                    ctx.depart(self.victim);
+                }
+            }
+            fn on_tick(&mut self, node: NodeId, ctx: &mut OverlayCtx<'_>) {
+                if node != self.victim {
+                    ctx.send(
+                        self.victim,
+                        OverlayMessage::UtilityReply {
+                            candidate: node,
+                            utility: 0.0,
+                        },
+                    );
+                }
+            }
+            fn on_message(&mut self, to: NodeId, _m: OverlayMessage, _ctx: &mut OverlayCtx<'_>) {
+                assert_eq!(to, self.victim, "only the victim is ever addressed");
+            }
+        }
+        let mut g = generators::ring(6);
+        let victim = g.nodes().next().expect("non-empty");
+        let mut engine = OverlayEngine::new(PingVictim { victim }, 3);
+        let r0 = engine.tick(&mut g, &NOOP);
+        assert_eq!(r0.activations, 6);
+        assert_eq!(engine.in_flight(), 5);
+        let r1 = engine.tick(&mut g, &NOOP);
+        // Delivery precedes the departure, so tick 0's pings all land.
+        assert_eq!(r1.delivered, 5);
+        assert_eq!(r1.leaves, 1);
+        assert_eq!(g.num_nodes(), 5);
+        let r2 = engine.tick(&mut g, &NOOP);
+        // Tick 1's pings were addressed to the now-dead victim: all drop.
+        assert_eq!(r2.delivered, 0);
+        assert_eq!(engine.deltas(), &[MembershipDelta { run: 1, delta: -1 }]);
+    }
+
+    #[test]
+    fn tick_metrics_are_charged() {
+        let mut g = generators::ring(4);
+        let target = g.nodes().next().expect("non-empty");
+        let reg = Registry::new();
+        let mut engine = OverlayEngine::new(
+            Pinger {
+                target,
+                got: 0,
+                rounds: 0,
+            },
+            9,
+        );
+        engine.run(&mut g, 3, &reg);
+        assert_eq!(reg.counter(Metric::OverlayTicks), 12);
+        assert_eq!(reg.counter(Metric::RewireOps), 0);
+    }
+}

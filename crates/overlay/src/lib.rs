@@ -1,0 +1,50 @@
+//! Self-constructing, self-adapting overlays for overlay-census.
+//!
+//! The crates below this one treat the overlay graph as *given*: the
+//! estimators of `census-core` walk it, `census-sim` churns it with
+//! scripted membership events, `census-service` refreezes snapshots of
+//! it. This crate closes the loop by making the overlay build and tune
+//! *itself* through the same message-passing, random-walk machinery the
+//! estimators use — and then asks the census question the paper cares
+//! about: what happens to peer counting while the topology underneath is
+//! still moving?
+//!
+//! # Pieces
+//!
+//! * [`OverlayProtocol`] — a deterministic per-node state machine
+//!   (`on_round` / `on_tick` / `on_message`) over [`OverlayMessage`]
+//!   envelopes, executed in synchronous rounds by [`OverlayEngine`].
+//!   All randomness flows through [`OverlayCtx`] from dedicated
+//!   [`StreamDomain::Overlay`] streams, so a construction is a pure
+//!   function of `(initial graph, protocol, seed)` and provably cannot
+//!   perturb estimator walk streams.
+//! * [`ScaleFreeConstruction`] — random-walk preferential attachment
+//!   (Scholtes, arXiv:1005.5628) with temperature-style adaptation of
+//!   the walk bias towards a target power-law exponent.
+//! * [`GradientOverlay`] — utility-gradient neighbor selection
+//!   (Terelius et al., arXiv:1103.5678): local probe/swap search until
+//!   every node has a strictly-higher-utility neighbor.
+//! * [`run_scenario`] — census-under-adaptation workloads interleaving
+//!   protocol ticks with Random Tour queries and λ₂ checkpoints, naive
+//!   (stale snapshot) vs refreeze-coupled arms.
+//! * [`OverlayEngine::driver`] — adapts an engine into the step driver
+//!   `census_service::CensusService::serve_driven_rec` consumes, so a
+//!   live service refreezes over an overlay assembling itself.
+//!
+//! [`StreamDomain::Overlay`]: census_walk::stream::StreamDomain
+//! [`OverlayMessage`]: census_proto::OverlayMessage
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod gradient;
+mod protocol;
+mod scale_free;
+mod scenario;
+
+pub use engine::{OverlayEngine, TickReport};
+pub use gradient::{monotone_fraction, node_utility, GradientConfig, GradientOverlay};
+pub use protocol::{OverlayCtx, OverlayProtocol};
+pub use scale_free::{biased_neighbor, fitted_exponent, ScaleFreeConfig, ScaleFreeConstruction};
+pub use scenario::{run_scenario, Checkpoint, ScenarioConfig};

@@ -1,0 +1,202 @@
+//! The per-node protocol state machine and its execution context.
+
+use census_graph::{Graph, NodeId};
+use census_proto::{OverlayEnvelope, OverlayMessage};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Everything a protocol hook may touch during one tick: the live graph,
+/// the tick's private RNG stream, and the outbox of messages to deliver
+/// next tick.
+///
+/// Mutations go through the context's methods — [`OverlayCtx::join`],
+/// [`OverlayCtx::connect`], [`OverlayCtx::rewire`], … — so the engine can
+/// count them: the tallies feed the service's refreeze policy (pending
+/// delta), the `RewireOps` metric, and the [`MembershipDelta`] stream
+/// the engine emits.
+///
+/// [`MembershipDelta`]: census_sim::MembershipDelta
+#[derive(Debug)]
+pub struct OverlayCtx<'a> {
+    graph: &'a mut Graph,
+    rng: &'a mut SmallRng,
+    outbox: &'a mut Vec<OverlayEnvelope>,
+    tick: u64,
+    joins: u64,
+    leaves: u64,
+    rewires: u64,
+    edge_ops: u64,
+}
+
+impl<'a> OverlayCtx<'a> {
+    pub(crate) fn new(
+        graph: &'a mut Graph,
+        rng: &'a mut SmallRng,
+        outbox: &'a mut Vec<OverlayEnvelope>,
+        tick: u64,
+    ) -> Self {
+        Self {
+            graph,
+            rng,
+            outbox,
+            tick,
+            joins: 0,
+            leaves: 0,
+            rewires: 0,
+            edge_ops: 0,
+        }
+    }
+
+    /// Read access to the live overlay.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The engine tick currently executing (0-based).
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The tick's private RNG stream
+    /// (`stream_seed(StreamDomain::Overlay, seed, tick)`), shared by
+    /// every hook invocation of the tick in a fixed order — which is what
+    /// makes a whole construction run a pure function of one seed.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Simultaneous graph + RNG access, for samplers that weigh graph
+    /// state while drawing (e.g. degree-biased next-hop selection).
+    pub fn split(&mut self) -> (&Graph, &mut SmallRng) {
+        (&*self.graph, self.rng)
+    }
+
+    /// Draws `true` with probability `p` from the tick stream.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.random::<f64>() < p
+    }
+
+    /// A uniformly random live node, if any.
+    pub fn random_node(&mut self) -> Option<NodeId> {
+        self.graph.random_node(self.rng)
+    }
+
+    /// A uniformly random neighbor of `v`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not alive.
+    pub fn random_neighbor(&mut self, v: NodeId) -> Option<NodeId> {
+        self.graph.random_neighbor(v, self.rng)
+    }
+
+    /// Queues a message for delivery at the start of the next tick.
+    /// Messages to nodes dead at delivery time are dropped (the
+    /// departing-node-takes-the-message semantics of the estimator sim).
+    pub fn send(&mut self, to: NodeId, message: OverlayMessage) {
+        self.outbox.push(OverlayEnvelope { to, message });
+    }
+
+    /// A new node joins the overlay with no edges; the protocol wires it
+    /// up through walks. Counted as one membership mutation.
+    pub fn join(&mut self) -> NodeId {
+        self.joins += 1;
+        self.graph.add_node()
+    }
+
+    /// `node` departs, taking its edges. Counted as one membership
+    /// mutation. Returns false if it was already gone.
+    pub fn depart(&mut self, node: NodeId) -> bool {
+        if self.graph.remove_node(node).is_ok() {
+            self.leaves += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds the edge `(a, b)` if both ends are alive, distinct, and not
+    /// already adjacent. Returns whether an edge was added; a false
+    /// return is a benign no-op, not an error (walk endpoints routinely
+    /// land on existing neighbors).
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a == b || !self.graph.is_alive(a) || !self.graph.is_alive(b) || self.graph.has_edge(a, b)
+        {
+            return false;
+        }
+        self.graph
+            .add_edge(a, b)
+            .expect("endpoints checked alive, distinct, and fresh");
+        self.edge_ops += 1;
+        true
+    }
+
+    /// Atomically replaces the edge `(origin, drop)` with
+    /// `(origin, fresh)`: the old edge is removed only if the new one can
+    /// be added, so the overlay never passes through a state where the
+    /// rewiring node lost an edge and gained nothing. Returns whether the
+    /// swap happened; counted as one rewire (two edge mutations).
+    pub fn rewire(&mut self, origin: NodeId, drop: NodeId, fresh: NodeId) -> bool {
+        if fresh == origin
+            || fresh == drop
+            || !self.graph.is_alive(origin)
+            || !self.graph.is_alive(fresh)
+            || !self.graph.has_edge(origin, drop)
+            || self.graph.has_edge(origin, fresh)
+        {
+            return false;
+        }
+        self.graph
+            .remove_edge(origin, drop)
+            .expect("edge existence checked");
+        self.graph
+            .add_edge(origin, fresh)
+            .expect("endpoints checked alive, distinct, and fresh");
+        self.rewires += 1;
+        self.edge_ops += 2;
+        true
+    }
+
+    /// The tick's mutation tallies `(joins, leaves, rewires, edge_ops)`.
+    pub(crate) fn counts(&self) -> (u64, u64, u64, u64) {
+        (self.joins, self.leaves, self.rewires, self.edge_ops)
+    }
+}
+
+/// A self-constructing overlay protocol: a deterministic per-node state
+/// machine executed in synchronous rounds by
+/// [`OverlayEngine`](crate::OverlayEngine).
+///
+/// Each tick runs three phases in a fixed order, all drawing from the
+/// tick's private [`StreamDomain::Overlay`] stream:
+///
+/// 1. **deliver** — every message sent last tick arrives via
+///    [`OverlayProtocol::on_message`] (messages to dead nodes are
+///    dropped);
+/// 2. **round** — the global [`OverlayProtocol::on_round`] hook runs
+///    once (joins, parameter adaptation — anything not tied to one
+///    node);
+/// 3. **activate** — [`OverlayProtocol::on_tick`] runs once per live
+///    node, in dense id order.
+///
+/// Protocols never hold their own RNG: all randomness flows through the
+/// context, which is what keeps construction runs bit-identical across
+/// replays and provably decorrelated from estimator walk streams.
+///
+/// [`StreamDomain::Overlay`]: census_walk::stream::StreamDomain
+pub trait OverlayProtocol {
+    /// Global per-tick hook, run after message delivery and before node
+    /// activations. Default: nothing.
+    fn on_round(&mut self, ctx: &mut OverlayCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Per-node activation: `node` gets a chance to act (launch a probe,
+    /// start a rewire walk, …).
+    fn on_tick(&mut self, node: NodeId, ctx: &mut OverlayCtx<'_>);
+
+    /// Delivers a message sent at the previous tick to `to`.
+    fn on_message(&mut self, to: NodeId, message: OverlayMessage, ctx: &mut OverlayCtx<'_>);
+}

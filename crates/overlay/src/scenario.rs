@@ -1,0 +1,272 @@
+//! Census-under-adaptation workloads: estimator accuracy while the
+//! overlay is still wiring itself.
+//!
+//! The runner interleaves protocol ticks with Random Tour size queries
+//! and tracks the mixing structure (the Laplacian spectral gap λ₂) at
+//! configurable checkpoints. Two query arms run at every checkpoint:
+//!
+//! * **naive** — tours run over the snapshot frozen *before* the
+//!   construction started (a service that never refreezes while the
+//!   overlay adapts under it);
+//! * **coupled** — tours run over a snapshot refrozen at the checkpoint
+//!   (a service whose refreeze policy is driven by the engine's mutation
+//!   counts, as [`OverlayEngine::driver`] wires up).
+//!
+//! The spread between the arms is the headline result of the
+//! `overlay-convergence` experiment: under heavy adaptation the naive
+//! arm's relative error grows with the overlay while the coupled arm
+//! keeps tracking the truth.
+//!
+//! [`OverlayEngine::driver`]: crate::OverlayEngine::driver
+
+use census_core::{RandomTour, SizeEstimator};
+use census_graph::spectral::spectral_gap_with;
+use census_graph::{FrozenView, Graph};
+use census_metrics::{GaugeMetric, Recorder, RunCtx};
+use census_walk::stream::{stream_seed, StreamDomain};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::engine::OverlayEngine;
+use crate::protocol::OverlayProtocol;
+
+/// Shape of an adaptation workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Protocol ticks to run in total.
+    pub ticks: u64,
+    /// Ticks between checkpoints (the final tick always checkpoints).
+    pub checkpoint_every: u64,
+    /// Random Tour queries averaged per arm per checkpoint.
+    pub tours_per_checkpoint: usize,
+    /// Power-iteration budget of each λ₂ evaluation.
+    pub spectral_iters: usize,
+    /// Convergence tolerance of each λ₂ evaluation.
+    pub spectral_tol: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            ticks: 200,
+            checkpoint_every: 25,
+            tours_per_checkpoint: 16,
+            spectral_iters: 2_000,
+            spectral_tol: 1e-6,
+        }
+    }
+}
+
+/// One checkpoint of an adaptation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Ticks completed when the checkpoint was taken.
+    pub tick: u64,
+    /// Live nodes at the checkpoint — the ground truth both arms are
+    /// trying to estimate.
+    pub truth: usize,
+    /// Edges at the checkpoint.
+    pub edges: usize,
+    /// λ₂ of the overlay at the checkpoint (0 when disconnected — see
+    /// [`spectral_gap_with`]'s contract).
+    pub lambda2: f64,
+    /// Whether the overlay was one component at the checkpoint.
+    pub connected: bool,
+    /// Mean Random Tour estimate over the *stale* epoch-0 snapshot.
+    pub naive_estimate: f64,
+    /// Mean Random Tour estimate over a snapshot refrozen here.
+    pub coupled_estimate: f64,
+}
+
+impl Checkpoint {
+    /// Relative error of the naive arm against the checkpoint truth.
+    #[must_use]
+    pub fn naive_rel_error(&self) -> f64 {
+        rel_error(self.naive_estimate, self.truth)
+    }
+
+    /// Relative error of the coupled arm against the checkpoint truth.
+    #[must_use]
+    pub fn coupled_rel_error(&self) -> f64 {
+        rel_error(self.coupled_estimate, self.truth)
+    }
+}
+
+fn rel_error(estimate: f64, truth: usize) -> f64 {
+    (estimate - truth as f64).abs() / truth as f64
+}
+
+/// Runs `engine` for [`ScenarioConfig::ticks`] rounds over `graph`,
+/// checkpointing the λ₂ trajectory and both query arms along the way.
+///
+/// # Determinism
+///
+/// Construction randomness comes from the engine's own
+/// [`StreamDomain::Overlay`] streams; checkpoint queries draw from
+/// `stream_seed(StreamDomain::ServiceQuery, query_seed, checkpoint_index)`
+/// — so the two are decorrelated by construction, and running the
+/// queries (or not) cannot change what the overlay builds. The gauge
+/// [`GaugeMetric::Lambda2Checkpoints`] tracks how many checkpoints have
+/// been recorded.
+///
+/// # Panics
+///
+/// Panics if `checkpoint_every` is 0 or the graph has fewer than two
+/// nodes (λ₂ is undefined).
+pub fn run_scenario<P: OverlayProtocol, Rec: Recorder + ?Sized>(
+    engine: &mut OverlayEngine<P>,
+    graph: &mut Graph,
+    config: &ScenarioConfig,
+    query_seed: u64,
+    recorder: &Rec,
+) -> Vec<Checkpoint> {
+    assert!(
+        config.checkpoint_every > 0,
+        "checkpoint interval must be positive"
+    );
+    let stale = graph.freeze();
+    let mut checkpoints = Vec::new();
+    for t in 0..config.ticks {
+        engine.tick(graph, recorder);
+        let done = t + 1 == config.ticks;
+        if (t + 1) % config.checkpoint_every != 0 && !done {
+            continue;
+        }
+        let mut rng = SmallRng::seed_from_u64(stream_seed(
+            StreamDomain::ServiceQuery,
+            query_seed,
+            checkpoints.len() as u64,
+        ));
+        let gap = spectral_gap_with(graph, config.spectral_iters, config.spectral_tol);
+        let fresh = graph.freeze();
+        let naive = mean_tour_estimate(&stale, config.tours_per_checkpoint, &mut rng);
+        let coupled = mean_tour_estimate(&fresh, config.tours_per_checkpoint, &mut rng);
+        checkpoints.push(Checkpoint {
+            tick: t + 1,
+            truth: graph.num_nodes(),
+            edges: graph.num_edges(),
+            lambda2: gap.lambda2,
+            connected: gap.connected,
+            naive_estimate: naive,
+            coupled_estimate: coupled,
+        });
+        recorder.set_gauge(GaugeMetric::Lambda2Checkpoints, checkpoints.len() as u64);
+    }
+    checkpoints
+}
+
+/// Mean of `tours` Random Tour estimates over `view`, each initiated at
+/// a uniformly random live node. Failed tours (step-budget exhaustion on
+/// a pathological view) are skipped; returns NaN if every tour failed.
+fn mean_tour_estimate(view: &FrozenView, tours: usize, rng: &mut SmallRng) -> f64 {
+    let estimator = RandomTour::new();
+    let mut acc = 0.0;
+    let mut ok = 0usize;
+    for _ in 0..tours {
+        let Some(initiator) = view.random_node(rng) else {
+            continue;
+        };
+        if let Ok(est) = estimator.estimate_with(&mut RunCtx::new(view, rng), initiator) {
+            acc += est.value;
+            ok += 1;
+        }
+    }
+    if ok == 0 {
+        f64::NAN
+    } else {
+        acc / ok as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use census_graph::generators;
+    use census_metrics::{Registry, NOOP};
+
+    use crate::scale_free::{ScaleFreeConfig, ScaleFreeConstruction};
+
+    #[test]
+    fn checkpoints_track_growth_and_gap() {
+        let mut g = generators::complete(8);
+        let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+            target_size: 150,
+            adapt_every: 0,
+            ..ScaleFreeConfig::default()
+        });
+        let mut engine = OverlayEngine::new(proto, 31);
+        let config = ScenarioConfig {
+            ticks: 80,
+            checkpoint_every: 20,
+            tours_per_checkpoint: 8,
+            spectral_iters: 500,
+            spectral_tol: 1e-4,
+        };
+        let reg = Registry::new();
+        let cps = run_scenario(&mut engine, &mut g, &config, 17, &reg);
+        assert_eq!(cps.len(), 4);
+        assert_eq!(cps.last().expect("non-empty").truth, 150);
+        assert!(cps.windows(2).all(|w| w[0].truth <= w[1].truth));
+        assert!(cps
+            .iter()
+            .all(|c| c.lambda2.is_finite() && c.lambda2 >= 0.0));
+        assert_eq!(reg.gauge(GaugeMetric::Lambda2Checkpoints), 4);
+    }
+
+    #[test]
+    fn naive_arm_goes_stale_while_coupled_tracks_truth() {
+        let mut g = generators::complete(8);
+        let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+            target_size: 200,
+            adapt_every: 0,
+            ..ScaleFreeConfig::default()
+        });
+        let mut engine = OverlayEngine::new(proto, 5);
+        let config = ScenarioConfig {
+            ticks: 100,
+            checkpoint_every: 100,
+            tours_per_checkpoint: 32,
+            spectral_iters: 200,
+            spectral_tol: 1e-3,
+        };
+        let cps = run_scenario(&mut engine, &mut g, &config, 3, &NOOP);
+        let last = cps.last().expect("final checkpoint");
+        assert_eq!(last.truth, 200);
+        // The stale arm still sees the 8-node seed: its relative error is
+        // near 1. The coupled arm estimates the live 200-node overlay.
+        assert!(
+            last.naive_rel_error() > 0.7,
+            "naive arm unexpectedly accurate: {:?}",
+            last
+        );
+        assert!(
+            last.coupled_rel_error() < last.naive_rel_error(),
+            "coupling did not help: {:?}",
+            last
+        );
+    }
+
+    #[test]
+    fn queries_do_not_perturb_construction() {
+        // Same engine seed, radically different query load — identical
+        // final overlay.
+        let build = |tours: usize| {
+            let mut g = generators::complete(6);
+            let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+                target_size: 80,
+                ..ScaleFreeConfig::default()
+            });
+            let mut engine = OverlayEngine::new(proto, 99);
+            let config = ScenarioConfig {
+                ticks: 60,
+                checkpoint_every: 10,
+                tours_per_checkpoint: tours,
+                spectral_iters: 100,
+                spectral_tol: 1e-3,
+            };
+            run_scenario(&mut engine, &mut g, &config, 1, &NOOP);
+            g.freeze()
+        };
+        assert_eq!(build(1), build(40));
+    }
+}

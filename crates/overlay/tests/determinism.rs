@@ -1,0 +1,139 @@
+//! The overlay determinism contract, end to end: a construction is a
+//! pure function of `(initial graph, protocol, seed)`, replayable
+//! bit-for-bit, and running it never perturbs estimator walk streams —
+//! the RNG-isolation half of the census-under-adaptation story.
+
+use census_core::{RandomTour, SizeEstimator};
+use census_graph::{generators, FrozenView, Graph};
+use census_metrics::{RunCtx, NOOP};
+use census_overlay::{
+    GradientConfig, GradientOverlay, OverlayEngine, ScaleFreeConfig, ScaleFreeConstruction,
+};
+use census_sim::MembershipDelta;
+use census_walk::stream::{stream_seed, StreamDomain};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One full scale-free construction: returns the frozen edge set and the
+/// membership stream, the two artifacts a replay must reproduce exactly.
+fn build_scale_free(seed: u64, ticks: u64) -> (FrozenView, Vec<MembershipDelta>) {
+    let mut g = generators::complete(5);
+    let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+        target_size: 120,
+        ..ScaleFreeConfig::default()
+    });
+    let mut engine = OverlayEngine::new(proto, seed);
+    engine.run(&mut g, ticks, &NOOP);
+    (g.freeze(), engine.deltas().to_vec())
+}
+
+fn build_gradient(seed: u64, ticks: u64) -> FrozenView {
+    let mut g = generators::ring(48);
+    let proto = GradientOverlay::new(GradientConfig::default());
+    let mut engine = OverlayEngine::new(proto, seed);
+    engine.run(&mut g, ticks, &NOOP);
+    g.freeze()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed, same initial graph → bit-identical overlay and
+    /// bit-identical delta stream, for any seed.
+    #[test]
+    fn scale_free_construction_replays_bit_identically(seed in 0u64..1_000_000) {
+        let (view_a, deltas_a) = build_scale_free(seed, 60);
+        let (view_b, deltas_b) = build_scale_free(seed, 60);
+        prop_assert_eq!(view_a, view_b);
+        prop_assert_eq!(deltas_a, deltas_b);
+    }
+
+    /// The gradient protocol is a rewiring (not growing) protocol; its
+    /// final edge set must replay exactly too.
+    #[test]
+    fn gradient_adaptation_replays_bit_identically(seed in 0u64..1_000_000) {
+        prop_assert_eq!(build_gradient(seed, 80), build_gradient(seed, 80));
+    }
+
+    /// Interleaving engine ticks with an estimator run cannot perturb
+    /// the estimator: a Random Tour over a pinned snapshot returns the
+    /// same estimate and message count whether or not a construction is
+    /// running "next to" it. This is the load-bearing guarantee behind
+    /// `run_scenario` — query arms observe the overlay, never steer it —
+    /// and it holds because overlay ticks draw only from
+    /// `StreamDomain::Overlay` streams while the walk holds its own RNG.
+    #[test]
+    fn engine_ticks_do_not_perturb_estimator_walks(
+        walk_seed in 0u64..100_000,
+        engine_seed in 0u64..100_000,
+    ) {
+        let snapshot = {
+            let mut rng = SmallRng::seed_from_u64(7);
+            generators::balanced(200, 6, &mut rng).freeze()
+        };
+        let tour = |interleave: bool| {
+            let mut g = generators::complete(5);
+            let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+                target_size: 60,
+                ..ScaleFreeConfig::default()
+            });
+            let mut engine = OverlayEngine::new(proto, engine_seed);
+            if interleave {
+                engine.run(&mut g, 10, &NOOP);
+            }
+            let mut rng = SmallRng::seed_from_u64(stream_seed(
+                StreamDomain::ServiceQuery,
+                walk_seed,
+                0,
+            ));
+            let initiator = snapshot.random_node(&mut rng).expect("non-empty");
+            let est = RandomTour::new()
+                .estimate_with(&mut RunCtx::new(&snapshot, &mut rng), initiator)
+                .expect("tour completes on a static balanced graph");
+            if interleave {
+                engine.run(&mut g, 10, &NOOP);
+            }
+            (est.value.to_bits(), est.messages)
+        };
+        prop_assert_eq!(tour(false), tour(true));
+    }
+}
+
+/// The delta stream is replayable through the service's churn applier:
+/// its net sum must equal the actual membership change of the build.
+#[test]
+fn delta_stream_accounts_for_every_join() {
+    let mut g = generators::complete(5);
+    let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+        target_size: 90,
+        ..ScaleFreeConfig::default()
+    });
+    let mut engine = OverlayEngine::new(proto, 41);
+    engine.run(&mut g, 40, &NOOP);
+    let net: i64 = engine.deltas().iter().map(|d| d.delta).sum();
+    assert_eq!(net, g.num_nodes() as i64 - 5);
+    assert!(
+        engine.deltas().windows(2).all(|w| w[0].run < w[1].run),
+        "delta stream must be strictly ordered by tick"
+    );
+}
+
+/// Determinism survives the engine being driven one tick at a time with
+/// pauses (the service-driver pattern) rather than in one `run` burst.
+#[test]
+fn piecewise_ticking_matches_one_burst() {
+    let build = |chunks: &[u64]| {
+        let mut g: Graph = generators::complete(5);
+        let proto = ScaleFreeConstruction::new(ScaleFreeConfig {
+            target_size: 100,
+            ..ScaleFreeConfig::default()
+        });
+        let mut engine = OverlayEngine::new(proto, 13);
+        for &c in chunks {
+            engine.run(&mut g, c, &NOOP);
+        }
+        g.freeze()
+    };
+    assert_eq!(build(&[50]), build(&[1, 7, 30, 12]));
+}

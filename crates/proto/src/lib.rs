@@ -45,10 +45,12 @@
 
 mod event;
 mod message;
+mod overlay;
 mod sim;
 mod time;
 
 pub use event::{Event, EventQueue};
 pub use message::{Envelope, Message};
+pub use overlay::{OverlayEnvelope, OverlayMessage};
 pub use sim::{Completion, OperationId, Outcome, ProtocolSim};
 pub use time::{Latency, SimTime};

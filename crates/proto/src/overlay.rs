@@ -1,0 +1,100 @@
+//! Wire messages of the self-constructing overlay protocols.
+//!
+//! `census-overlay`'s protocols (`ScaleFreeConstruction`,
+//! `GradientOverlay`) are per-node state machines exchanging these
+//! payloads in synchronous rounds: a message sent at tick `t` is
+//! delivered at tick `t + 1`. They are deliberately decoupled from
+//! [`crate::Message`] — estimator probes belong to an *operation* run by
+//! the discrete-event simulator, while overlay messages belong to no
+//! operation: they are the topology rewriting itself underneath whatever
+//! estimators happen to be running.
+
+use census_graph::NodeId;
+
+/// Payloads exchanged by self-constructing overlay protocols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverlayMessage {
+    /// A joining node's attachment walk (Scholtes-style construction).
+    /// The walk hops until its TTL expires; the node it lands on becomes
+    /// one of the joiner's initial neighbors. Because a random walk's
+    /// stationary distribution is proportional to degree, TTL-expired
+    /// endpoints implement preferential attachment without any global
+    /// degree knowledge.
+    JoinWalk {
+        /// The node seeking attachment points.
+        joiner: NodeId,
+        /// Remaining hop budget; the walk attaches where it expires.
+        ttl: u32,
+    },
+    /// An adaptation walk rewiring an existing edge. The edge
+    /// `(origin, drop)` is replaced only when the walk lands on a valid
+    /// new endpoint, so rewiring is atomic — the overlay never passes
+    /// through a state with the old edge removed and no replacement.
+    RewireWalk {
+        /// The node rewiring one of its edges.
+        origin: NodeId,
+        /// The neighbor whose edge is to be replaced.
+        drop: NodeId,
+        /// Remaining hop budget; the walk rewires where it expires.
+        ttl: u32,
+    },
+    /// A gradient overlay's candidate-sampling walk: a uniform random
+    /// walk that aggregates on board — each node it visits offers itself,
+    /// and the walk keeps whichever candidate the origin would prefer.
+    /// When the TTL expires the best candidate seen is reported back to
+    /// the origin with [`OverlayMessage::UtilityReply`]. On-walk
+    /// aggregation is what lets a uniform (well-mixing) walk serve a
+    /// biased query: the walk visits `ttl` nodes, not one.
+    UtilityProbe {
+        /// The node looking for a better neighbor.
+        origin: NodeId,
+        /// The origin's scalar utility, carried so visited nodes can
+        /// rank themselves without extra round trips.
+        origin_utility: f64,
+        /// Best candidate seen so far (initially the origin itself).
+        best: NodeId,
+        /// The best candidate's scalar utility.
+        best_utility: f64,
+        /// Remaining hop budget.
+        ttl: u32,
+    },
+    /// The sampled candidate reporting itself to a gradient origin (one
+    /// direct message, like [`crate::Message::SampleReply`]).
+    UtilityReply {
+        /// The node where the probe expired.
+        candidate: NodeId,
+        /// The candidate's scalar utility.
+        utility: f64,
+    },
+}
+
+/// An overlay message in flight towards a peer, delivered next tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlayEnvelope {
+    /// Destination peer.
+    pub to: NodeId,
+    /// Payload.
+    pub message: OverlayMessage,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_are_plain_values() {
+        let e = OverlayEnvelope {
+            to: NodeId::new(3),
+            message: OverlayMessage::JoinWalk {
+                joiner: NodeId::new(9),
+                ttl: 16,
+            },
+        };
+        let copy = e;
+        assert_eq!(e, copy);
+        assert!(matches!(
+            copy.message,
+            OverlayMessage::JoinWalk { ttl: 16, .. }
+        ));
+    }
+}

@@ -505,6 +505,94 @@ impl CensusService {
         results.sort_unstable_by_key(|o| o.id);
         (output, results)
     }
+
+    /// [`CensusService::serve_driven_rec`] with the no-op recorder.
+    pub fn serve_driven<D, F, O>(&mut self, steps: u64, driver: D, f: F) -> (O, Vec<QueryOutcome>)
+    where
+        D: FnMut(&mut DynamicNetwork) -> u64 + Send,
+        F: FnOnce(&ServiceHandle<'_, NoopRecorder>) -> O,
+    {
+        self.serve_driven_rec(steps, &NOOP, driver, f)
+    }
+
+    /// Runs the service over a *protocol-driven* overlay: like
+    /// [`CensusService::serve_rec`], but instead of consuming a
+    /// [`MembershipDelta`] stream, the background thread calls `driver`
+    /// once per step with mutable access to the live overlay. The driver
+    /// returns how many membership/edge mutations it applied; that count
+    /// feeds the configured [`RefreezePolicy`] exactly as a churn event's
+    /// node delta would, so the service refreezes over an overlay that is
+    /// still wiring itself — the `census-overlay` engine is the intended
+    /// driver, one protocol tick per step.
+    ///
+    /// Query determinism is unchanged (each answer is a pure function of
+    /// `(seed, id, pinned epoch)`); what the driver changes is which
+    /// epochs exist to pin. Pacing and the final flush mirror the churn
+    /// applier: an unpaced driver always runs all `steps`, a paced one
+    /// checks for shutdown between steps, and any unpublished mutations
+    /// are published before the thread exits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the driver empties the overlay.
+    pub fn serve_driven_rec<Rec, D, F, O>(
+        &mut self,
+        steps: u64,
+        recorder: &Rec,
+        driver: D,
+        f: F,
+    ) -> (O, Vec<QueryOutcome>)
+    where
+        Rec: Recorder + Sync + ?Sized,
+        D: FnMut(&mut DynamicNetwork) -> u64 + Send,
+        F: FnOnce(&ServiceHandle<'_, Rec>) -> O,
+    {
+        let config = self.config;
+        let net = &mut self.net;
+        let chain = &self.chain;
+        let queue = JobQueue::new(config.queue_capacity);
+        let outcomes: Mutex<Vec<QueryOutcome>> = Mutex::new(Vec::new());
+        let stop = AtomicBool::new(false);
+
+        let output = thread::scope(|scope| {
+            for _ in 0..config.workers {
+                let queue = &queue;
+                let outcomes = &outcomes;
+                let config = &config;
+                scope.spawn(move || worker_loop(queue, chain, recorder, outcomes, config));
+            }
+            if steps > 0 {
+                let stop = &stop;
+                let config = &config;
+                scope.spawn(move || {
+                    driven_loop(net, steps, config, stop, driver, |net| {
+                        publish(net, chain, recorder);
+                    });
+                });
+            }
+            let guard = ShutdownGuard {
+                queue: &queue,
+                stop: &stop,
+            };
+            let handle = ServiceHandle {
+                queue: &queue,
+                chain,
+                recorder,
+            };
+            if let Some(attack) = config.attacks {
+                for _ in 0..attack.queue_flood() {
+                    let _ = handle.submit(Query::Sample(CtrwSampler::new(1.0)));
+                }
+            }
+            let output = f(&handle);
+            drop(guard);
+            output
+        });
+
+        let mut results = outcomes.into_inner().expect("outcomes poisoned");
+        results.sort_unstable_by_key(|o| o.id);
+        (output, results)
+    }
 }
 
 /// Applies the membership stream to the live overlay, re-freezing under
@@ -554,6 +642,45 @@ pub(crate) fn churn_loop<P: Fn(&DynamicNetwork)>(
     }
     // End fresh: any churn applied but not yet published still reaches
     // the chain before the applier exits.
+    if pending_delta > 0 {
+        publish(net);
+    }
+}
+
+/// Advances a protocol driver over the live overlay, re-freezing under
+/// the policy. The driven twin of [`churn_loop`]: per-step mutation
+/// counts play the role of membership deltas, and pacing, shutdown, and
+/// the final flush behave identically.
+fn driven_loop<D, P>(
+    net: &mut DynamicNetwork,
+    steps: u64,
+    config: &ServiceConfig,
+    stop: &AtomicBool,
+    mut driver: D,
+    publish: P,
+) where
+    D: FnMut(&mut DynamicNetwork) -> u64,
+    P: Fn(&DynamicNetwork),
+{
+    let mut pending_delta = 0u64;
+    let mut staleness = 0u64;
+    for _ in 0..steps {
+        let mutated = driver(net);
+        assert!(net.size() > 0, "the driver emptied the overlay");
+        pending_delta += mutated;
+        staleness += 1;
+        if config.policy.is_due(pending_delta, staleness) {
+            publish(net);
+            pending_delta = 0;
+            staleness = 0;
+        }
+        if !config.churn_pause.is_zero() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            thread::sleep(config.churn_pause);
+        }
+    }
     if pending_delta > 0 {
         publish(net);
     }
@@ -1178,6 +1305,37 @@ mod tests {
             reg.counter(Metric::ByzantineEncounters) >= reg.counter(Metric::SwallowedWalks),
             "every swallow is an encounter"
         );
+    }
+
+    #[test]
+    fn driven_loop_publishes_epochs_from_driver_mutations() {
+        // A protocol driver stands in for the churn applier: each step
+        // mutates the live overlay directly and reports its mutation
+        // count, and the eager policy turns every step into an epoch.
+        let config = ServiceConfig::new(31)
+            .with_workers(1)
+            .with_policy(RefreezePolicy::eager());
+        let mut svc = service(200, 9, config);
+        let reg = Registry::new();
+        let mut drng = SmallRng::seed_from_u64(99);
+        let ((), outcomes) = svc.serve_driven_rec(
+            5,
+            &reg,
+            |net| {
+                net.churn(3, 1, &mut drng);
+                4
+            },
+            |census| {
+                for q in mixed_queries() {
+                    census.submit(q).expect("queue has room");
+                }
+            },
+        );
+        assert_eq!(svc.latest_epoch(), 5);
+        assert_eq!(reg.counter(Metric::Refreezes), 5);
+        assert_eq!(svc.network().size(), 200 + 5 * 2);
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.epoch <= 5));
     }
 
     #[test]

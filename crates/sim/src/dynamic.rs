@@ -55,6 +55,17 @@ impl DynamicNetwork {
         &self.graph
     }
 
+    /// Mutable access to the underlying overlay graph, for protocol
+    /// drivers (`census-overlay`) that rewrite the topology edge by edge
+    /// rather than through the churn rules. Any outstanding
+    /// [`FrozenView`] stays valid — it is an immutable copy — but grows
+    /// stale; callers that publish snapshots should re-freeze after
+    /// mutating, exactly as after [`Self::churn`].
+    #[must_use]
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
     /// The configured join rule.
     #[must_use]
     pub fn join_rule(&self) -> JoinRule {

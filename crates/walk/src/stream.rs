@@ -59,6 +59,12 @@ pub enum StreamDomain {
     /// decorrelated from honest-walk streams, so an empty attack plan
     /// leaves every walk bit-identical.
     Attack,
+    /// Self-constructing overlay protocols (`census-overlay`): join
+    /// walks, rewiring decisions, and gradient swaps. A dedicated domain
+    /// keeps protocol randomness fully decorrelated from estimator walk
+    /// streams, so overlay ticks never perturb the walks measuring them
+    /// (the same isolation contract as [`StreamDomain::Attack`]).
+    Overlay,
 }
 
 impl StreamDomain {
@@ -76,17 +82,19 @@ impl StreamDomain {
             StreamDomain::Churn => 0x4348_5552_4E21_4E21,
             StreamDomain::Arrival => 0x4152_5249_5641_4C21,
             StreamDomain::Attack => 0x4154_5441_434B_2121,
+            StreamDomain::Overlay => 0x4F56_4552_4C41_5921,
         }
     }
 
     /// Every domain, for exhaustive pairwise tests.
-    pub const ALL: [StreamDomain; 6] = [
+    pub const ALL: [StreamDomain; 7] = [
         StreamDomain::Replica,
         StreamDomain::ServiceQuery,
         StreamDomain::FrontierWalk,
         StreamDomain::Churn,
         StreamDomain::Arrival,
         StreamDomain::Attack,
+        StreamDomain::Overlay,
     ];
 }
 

@@ -29,6 +29,11 @@ echo "==> snapshot round-trip (release)"
 # under the optimiser too.
 cargo test --release --test snapshot_roundtrip -q
 
+echo "==> census under self-construction (release)"
+# The overlay-convergence headline (coupled refreezes beat the stale
+# snapshot by >= 2x) and per-seed replay identity, at release speed.
+cargo test --release --test overlay_census -q
+
 echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -14,7 +14,7 @@ use std::path::Path;
 
 use census_bench::campaign::{
     expand, run_campaign, ArrivalSpec, AttackSpec, CampaignSpec, EstimatorKind, FaultSpec,
-    TopologySpec,
+    OverlaySpec, TopologySpec,
 };
 
 fn tiny_spec() -> CampaignSpec {
@@ -34,6 +34,7 @@ fn tiny_spec() -> CampaignSpec {
         faults: vec![FaultSpec::None],
         arrivals: vec![ArrivalSpec::Closed { concurrency: 4 }],
         attacks: vec![AttackSpec::None],
+        overlays: vec![OverlaySpec::None],
     }
 }
 

@@ -1,0 +1,81 @@
+//! Integration: the self-constructing overlay end to end — the
+//! `overlay-convergence` experiment meets its acceptance bar (a census
+//! whose refreezes are coupled to the construction protocol tracks the
+//! growing overlay, while a never-refrozen snapshot drifts towards 100%
+//! error) and replays bit-identically per seed.
+
+use census_bench::{run_experiment, Params};
+
+fn tiny() -> Params {
+    let mut p = Params::scaled(0.01);
+    p.n = 1_500;
+    p
+}
+
+fn rows(csv: &str) -> Vec<Vec<f64>> {
+    csv.lines()
+        .skip(1)
+        .map(|l| l.split(',').map(|c| c.parse().expect("numeric")).collect())
+        .collect()
+}
+
+#[test]
+fn coupled_refreezes_beat_the_stale_snapshot_at_the_final_checkpoint() {
+    let r = run_experiment("overlay-convergence", &tiny());
+    let rows = rows(&r.table.to_csv_string());
+    // Columns: tick, truth, edges, lambda2, connected, naive_estimate,
+    // coupled_estimate, naive_rel_err, coupled_rel_err.
+    let last = rows.last().expect("the scenario checkpoints");
+    assert_eq!(
+        last[1] as usize,
+        tiny().n,
+        "the construction must reach the target size before the bar applies"
+    );
+    assert_eq!(last[4], 1.0, "the finished overlay must be connected");
+    let (naive, coupled) = (last[7], last[8]);
+    assert!(
+        naive > 0.5,
+        "the stale snapshot still sizes the seed clique, so its error \
+         must have climbed past 50%: got {naive}"
+    );
+    assert!(
+        coupled < 0.3,
+        "refreezing on the protocol's mutation counts must keep the \
+         coupled arm within 30% of the truth: got {coupled}"
+    );
+    assert!(
+        naive >= 2.0 * coupled,
+        "the headline gap: naive {naive} vs coupled {coupled}"
+    );
+    // The drift is monotone in spirit: the naive error at the end
+    // dominates the error at the first checkpoint.
+    assert!(
+        naive > rows[0][7],
+        "staleness must hurt more as the overlay grows"
+    );
+    // The finished overlay is a healthy mixer: a strictly positive
+    // Laplacian gap (the structural `connected` flag above already
+    // rules out a definitional zero).
+    assert!(last[3] > 0.0 && last[3].is_finite());
+}
+
+#[test]
+fn overlay_convergence_replays_bit_identically_per_seed() {
+    let p = tiny();
+    let a = run_experiment("overlay-convergence", &p);
+    let b = run_experiment("overlay-convergence", &p);
+    assert_eq!(
+        a.table.to_csv_string(),
+        b.table.to_csv_string(),
+        "the experiment must be a pure function of its params"
+    );
+    assert_eq!(a.summary, b.summary);
+    let mut other = p;
+    other.seed ^= 0x5EED;
+    let c = run_experiment("overlay-convergence", &other);
+    assert_ne!(
+        a.table.to_csv_string(),
+        c.table.to_csv_string(),
+        "a different seed must produce a different trace"
+    );
+}
