@@ -9,7 +9,7 @@
 //! |-----|-------|----------|
 //! | `headline` | CSR snapshot walks beat the live graph; recorder ≤ 5% | `BENCH_2.json` |
 //! | `service` | service throughput scales with workers, churn racing | `BENCH_4.json` |
-//! | `batched` | batched CTRW frontier ≥ 2× the serial engine | `BENCH_5.json` |
+//! | `batched` | exact frontier ≥ 3× serial at the memory wall (N = 1M), ≥ 2× at N = 100k | `BENCH_10.json` |
 //! | `sharded` | sharded service ≥ 1.5× unsharded, bit-identical | `BENCH_6.json` |
 //! | `snapshot-io` | binary snapshot reload < 1% of generate+freeze | `BENCH_7.json` |
 //! | `byzantine` | hardened sampler ≥ 3× less bias at 20% subverted | `BENCH_8.json` |
@@ -43,7 +43,7 @@ use census_service::{
 use census_sim::attacks::AttackPlan;
 use census_sim::{DynamicNetwork, JoinRule, MembershipDelta, Scenario};
 use census_walk::continuous::{ctrw_walk, CtrwOutcome, Sojourn};
-use census_walk::frontier::{ctrw_frontier, CtrwSpec};
+use census_walk::frontier::{ctrw_frontier_with, CtrwSpec, FrontierMode};
 use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -61,7 +61,8 @@ pub enum ProbeArm {
     Headline,
     /// End-to-end service queries/sec vs worker count (`BENCH_4.json`).
     Service,
-    /// Batched CTRW frontier vs the serial engine (`BENCH_5.json`).
+    /// Batched CTRW frontier vs the serial engine, across execution
+    /// modes and snapshot scales (`BENCH_10.json`).
     Batched,
     /// Sharded service scaling vs shard count (`BENCH_6.json`).
     Sharded,
@@ -113,7 +114,7 @@ impl ProbeArm {
         match self {
             ProbeArm::Headline => "BENCH_2.json",
             ProbeArm::Service => "BENCH_4.json",
-            ProbeArm::Batched => "BENCH_5.json",
+            ProbeArm::Batched => "BENCH_10.json",
             ProbeArm::Sharded => "BENCH_6.json",
             ProbeArm::SnapshotIo => "BENCH_7.json",
             ProbeArm::Byzantine => "BENCH_8.json",
@@ -287,105 +288,177 @@ fn run_service_pass(n: usize, workers: usize, queries: u64, events: &[Membership
     secs
 }
 
-/// `BENCH_5.json`: CTRW sampling throughput through the batched frontier
-/// kernel vs the serial engine, on the *same* per-walk tagged streams.
+/// `BENCH_10.json`: CTRW sampling throughput on a mode × scale grid —
+/// the serial engine, the exact frontier (alias starts, node bucketing,
+/// prefetch; bit-identical), and the `FastStatEq` frontier (pooled block
+/// RNG; statistically equivalent) — at the paper scale and 10× it.
 ///
-/// Before timing anything, the probe runs both paths once and asserts
-/// every `(node, hops)` pair matches bit for bit — the speedup below is
-/// only meaningful because the two paths are the same random variable.
+/// Start nodes are drawn degree-weighted through the snapshot's
+/// precomputed [`census_graph::AliasTables`] and shared verbatim by all
+/// three arms, so the arms time the same workload. Before timing, the
+/// exact frontier's output is asserted bit-identical to the serial walks
+/// on every scale. The exact mode must clear 3× serial at the
+/// memory-wall scale (N = 1M, where the 64 MB CSR defeats the last
+/// cache level and the serial chain pays DRAM latency per hop) and 2×
+/// at the paper scale — at N = 100k the snapshot is largely
+/// L3-resident, so serial stalls bound the achievable ratio near 2.9×
+/// (the in-cache serial rate over the N = 100k serial rate) and a 3×
+/// demand there would assert above the hardware's ceiling.
+///
+/// Speedups are medians of per-repeat interleaved ratios; see the
+/// measurement comment in the body.
 fn batched_probe(smoke: bool) -> BatchedReport {
-    let (n, samples, repeats): (usize, u64, usize) = if smoke {
-        (5_000, 512, 1)
+    let (scales, samples, repeats): (&[usize], u64, usize) = if smoke {
+        (&[4_000], 512, 1)
     } else {
-        (PAPER_N, 4_096, 5)
+        (&[PAPER_N, 10 * PAPER_N], 4_096, 9)
     };
-    // The production frontier width (`census-sampling`'s sample_many
-    // chunks) — wide enough to overlap many CSR misses.
-    const WIDTH: u64 = 64;
+    // Much wider than `census-sampling`'s 64-walk production chunks: the
+    // probe drives the kernel toward the memory wall, and a frontier's
+    // drain tail (hundreds of near-empty rounds as the last walks die)
+    // is a fixed cost per chunk, so fewer, wider chunks amortise it —
+    // 1024 lanes are ~32 KB of walk state, still cache-resident next to
+    // the CSR lines. Width is pure scheduling, so bit-identity is
+    // unaffected.
+    const WIDTH: u64 = 1024;
     // The paper's experimental timer setting.
     const TIMER: f64 = 10.0;
     const BASE_SEED: u64 = 7;
-
-    let mut rng = SmallRng::seed_from_u64(1);
-    let g = generators::balanced(n, 10, &mut rng);
-    let frozen = g.freeze();
-    let start = g.nodes().next().expect("non-empty");
-    let walk_rng = |i: u64| SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, BASE_SEED, i));
-
-    let serial_pass = || -> Vec<CtrwOutcome> {
-        (0..samples)
-            .map(|i| {
-                ctrw_walk(
-                    &frozen,
-                    start,
-                    TIMER,
-                    Sojourn::Exponential,
-                    &mut walk_rng(i),
-                )
-                .expect("fault-free CTRW completes")
-            })
-            .collect()
-    };
-    let batched_pass = || -> Vec<CtrwOutcome> {
-        let mut outs = Vec::with_capacity(samples as usize);
-        let mut next = 0u64;
-        while next < samples {
-            let width = (samples - next).min(WIDTH);
-            let mut specs: Vec<CtrwSpec<&census_graph::FrozenView, SplitMix64>> = (0..width)
-                .map(|i| CtrwSpec {
-                    topology: &frozen,
-                    rng: walk_rng(next + i),
-                    start,
-                    timer: TIMER,
-                    sojourn: Sojourn::Exponential,
-                })
-                .collect();
-            for fate in ctrw_frontier(&mut specs, &NoopRecorder) {
-                outs.push(fate.result.expect("fault-free CTRW completes"));
-            }
-            next += width;
-        }
-        outs
-    };
+    // Asserted at the memory-wall scale (the largest non-smoke N).
+    const TARGET_EXACT_SPEEDUP: f64 = 3.0;
+    // Floor at the paper scale, whose mostly-L3-resident snapshot caps
+    // the physically possible ratio below 3 (see the doc comment).
+    const PAPER_SCALE_EXACT_SPEEDUP: f64 = 2.0;
 
     println!(
-        "batched frontier probe on balanced N = {n} ({samples} CTRW samples, T = {TIMER}, \
-         W = {WIDTH}, median of {repeats})"
+        "batched frontier probe ({samples} CTRW samples/pass, T = {TIMER}, W = {WIDTH}, \
+         degree-weighted alias starts, interleaved ratio median of {repeats})"
     );
-    let serial_out = serial_pass();
-    let batched_out = batched_pass();
-    assert_eq!(
-        serial_out, batched_out,
-        "batched samples must be bit-identical to the serial walks"
-    );
-    println!("  equivalence       : {samples} samples bit-identical across paths");
+    let mut arms = Vec::new();
+    for &n in scales {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = generators::balanced(n, 10, &mut rng);
+        let frozen = g.freeze();
+        // Degree-weighted start selection through the precomputed alias
+        // tables: two RNG draws per start, O(1), identical across arms.
+        let tables = frozen.alias_tables();
+        let mut start_rng = SmallRng::seed_from_u64(BASE_SEED);
+        let starts: Vec<census_graph::NodeId> = (0..samples)
+            .map(|_| tables.sample(&mut start_rng).expect("overlay has edges"))
+            .collect();
+        let walk_rng =
+            |i: u64| SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, BASE_SEED, i));
 
-    let serial_s = median_secs(repeats, || {
-        let _ = serial_pass();
-    });
-    let batched_s = median_secs(repeats, || {
-        let _ = batched_pass();
-    });
-    let serial_sps = samples as f64 / serial_s;
-    let batched_sps = samples as f64 / batched_s;
-    let speedup = serial_s / batched_s;
-    println!("  serial walks      : {serial_s:.4} s/pass  ({serial_sps:.0} samples/s)");
-    println!("  batched frontier  : {batched_s:.4} s/pass  ({batched_sps:.0} samples/s)");
-    println!("  speedup           : {speedup:.2}x (target >= 2x at N = {PAPER_N})");
+        let serial_pass = || -> Vec<CtrwOutcome> {
+            (0..samples)
+                .map(|i| {
+                    ctrw_walk(
+                        &frozen,
+                        starts[i as usize],
+                        TIMER,
+                        Sojourn::Exponential,
+                        &mut walk_rng(i),
+                    )
+                    .expect("fault-free CTRW completes")
+                })
+                .collect()
+        };
+        let frontier_pass = |mode: FrontierMode| -> Vec<CtrwOutcome> {
+            let mut outs = Vec::with_capacity(samples as usize);
+            let mut next = 0u64;
+            while next < samples {
+                let width = (samples - next).min(WIDTH);
+                let mut specs: Vec<CtrwSpec<&census_graph::FrozenView, SplitMix64>> = (0..width)
+                    .map(|i| CtrwSpec {
+                        topology: &frozen,
+                        rng: walk_rng(next + i),
+                        start: starts[(next + i) as usize],
+                        timer: TIMER,
+                        sojourn: Sojourn::Exponential,
+                    })
+                    .collect();
+                for fate in ctrw_frontier_with(&mut specs, mode, &NoopRecorder) {
+                    outs.push(fate.result.expect("fault-free CTRW completes"));
+                }
+                next += width;
+            }
+            outs
+        };
+
+        let serial_out = serial_pass();
+        let exact_out = frontier_pass(FrontierMode::default());
+        assert_eq!(
+            serial_out, exact_out,
+            "exact-mode samples must be bit-identical to the serial walks"
+        );
+        println!("  N = {n}: {samples} samples bit-identical across serial/exact paths");
+
+        // Interleave the arms within each repeat and score the *median
+        // of per-repeat ratios*: on shared hardware the clock available
+        // to this process swings by integer factors from second to
+        // second (noisy neighbours), so back-to-back serial/exact/fast
+        // timings see the same machine state and their ratio is stable
+        // where independent medians of each arm are not.
+        let mut serial_times = Vec::with_capacity(repeats);
+        let mut exact_times = Vec::with_capacity(repeats);
+        let mut fast_times = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            serial_times.push(median_secs(1, || {
+                let _ = serial_pass();
+            }));
+            exact_times.push(median_secs(1, || {
+                let _ = frontier_pass(FrontierMode::default());
+            }));
+            fast_times.push(median_secs(1, || {
+                let _ = frontier_pass(FrontierMode::FastStatEq);
+            }));
+        }
+        let ratio = |num: &[f64], den: &[f64]| {
+            let mut rs: Vec<f64> = num.iter().zip(den).map(|(a, b)| a / b).collect();
+            rs.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+            rs[rs.len() / 2]
+        };
+        let med = |xs: &[f64]| ratio(xs, &vec![1.0; xs.len()]);
+        let arm = BatchedScale {
+            n,
+            equivalent: true,
+            serial_samples_per_s: samples as f64 / med(&serial_times),
+            exact_samples_per_s: samples as f64 / med(&exact_times),
+            fast_samples_per_s: samples as f64 / med(&fast_times),
+            exact_speedup: ratio(&serial_times, &exact_times),
+            fast_speedup: ratio(&serial_times, &fast_times),
+        };
+        println!(
+            "  N = {n}: serial {:.0}/s | exact {:.0}/s ({:.2}x) | fast {:.0}/s ({:.2}x)",
+            arm.serial_samples_per_s,
+            arm.exact_samples_per_s,
+            arm.exact_speedup,
+            arm.fast_samples_per_s,
+            arm.fast_speedup
+        );
+        if !smoke {
+            let floor = if n == PAPER_N {
+                PAPER_SCALE_EXACT_SPEEDUP
+            } else {
+                TARGET_EXACT_SPEEDUP
+            };
+            assert!(
+                arm.exact_speedup >= floor,
+                "exact frontier speedup {:.2}x below the {floor}x target at N = {n}",
+                arm.exact_speedup
+            );
+        }
+        arms.push(arm);
+    }
 
     BatchedReport {
-        n,
         samples,
         frontier_width: WIDTH,
         timer: TIMER,
         repeats,
-        equivalent: true,
-        serial_pass_s: serial_s,
-        batched_pass_s: batched_s,
-        serial_samples_per_s: serial_sps,
-        batched_samples_per_s: batched_sps,
-        batched_speedup: speedup,
-        target_speedup: 2.0,
+        target_exact_speedup: TARGET_EXACT_SPEEDUP,
+        paper_scale_exact_speedup: PAPER_SCALE_EXACT_SPEEDUP,
+        scales: arms,
     }
 }
 
@@ -940,23 +1013,33 @@ struct ServiceArm {
     churn_qps: f64,
 }
 
-/// `BENCH_5.json` payload.
+/// `BENCH_10.json` payload.
 #[derive(serde::Serialize)]
 struct BatchedReport {
-    n: usize,
     samples: u64,
     frontier_width: u64,
     timer: f64,
     repeats: usize,
+    /// Asserted at the memory-wall scale (the largest non-smoke `n`).
+    target_exact_speedup: f64,
+    /// Floor asserted at the paper scale, where the mostly-L3-resident
+    /// snapshot caps the physically achievable ratio below 3×.
+    paper_scale_exact_speedup: f64,
+    scales: Vec<BatchedScale>,
+}
+
+/// One snapshot scale of the batched probe's mode grid.
+#[derive(serde::Serialize)]
+struct BatchedScale {
+    n: usize,
     /// Always `true` when the report exists at all: the probe aborts if
-    /// the batched samples are not bit-identical to the serial walks.
+    /// the exact-mode samples are not bit-identical to the serial walks.
     equivalent: bool,
-    serial_pass_s: f64,
-    batched_pass_s: f64,
     serial_samples_per_s: f64,
-    batched_samples_per_s: f64,
-    batched_speedup: f64,
-    target_speedup: f64,
+    exact_samples_per_s: f64,
+    fast_samples_per_s: f64,
+    exact_speedup: f64,
+    fast_speedup: f64,
 }
 
 /// `BENCH_6.json` payload.

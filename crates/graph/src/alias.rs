@@ -1,0 +1,242 @@
+//! Walker/Vose alias tables for O(1) weighted node draws.
+//!
+//! Several layers need draws from the *degree-proportional* law — the
+//! DTRW's stationary distribution `π_j = d_j / Σ d` (Eq. (1) of the
+//! paper): stationary-start walk launches in the benches, and the
+//! degree-law oracle sampler that calibrates the §4 bias ablations.
+//! Sampling that law naively costs a binary search over a cumulative
+//! degree array per draw; the alias method precomputes two flat tables in
+//! `O(n)` and then serves every draw with one uniform index, one uniform
+//! variate, and at most two array reads — O(1), branch-light, and
+//! cache-friendly.
+//!
+//! Construction is Vose's stable two-stack variant: each column `i`
+//! either keeps its own node (probability `prob[i]`) or defers to a
+//! single donor column `alias[i]`, and every column's total mass is
+//! exactly `w_i / Σ w` up to one floating-point rounding per pairing.
+
+use rand::Rng;
+
+use crate::NodeId;
+
+/// Precomputed alias tables over a weighted node set; see the module
+/// docs. Built by [`crate::FrozenView::alias_tables`] for the
+/// degree-proportional law, or from any non-negative weighting via
+/// [`AliasTables::from_weights`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTables {
+    nodes: Vec<NodeId>,
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTables {
+    /// Builds alias tables assigning `nodes[i]` probability
+    /// `weights[i] / Σ weights`.
+    ///
+    /// Zero-weight nodes are kept in the tables but receive exactly zero
+    /// acceptance mass (their column always defers to its donor), so an
+    /// isolated node can never be drawn from the degree law. If *all*
+    /// weights are zero — or `nodes` is empty — the law is undefined and
+    /// the tables are empty: [`AliasTables::sample`] returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, any weight is negative or non-finite,
+    /// or there are more than `u32::MAX` nodes.
+    #[must_use]
+    pub fn from_weights(nodes: Vec<NodeId>, weights: &[f64]) -> Self {
+        assert_eq!(nodes.len(), weights.len(), "one weight per node");
+        assert!(
+            u32::try_from(nodes.len()).is_ok(),
+            "alias tables index columns with u32"
+        );
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        if nodes.is_empty() || total <= 0.0 {
+            return Self {
+                nodes: Vec::new(),
+                prob: Vec::new(),
+                alias: Vec::new(),
+            };
+        }
+
+        let n = nodes.len();
+        // Scale so the mean column mass is 1: columns below 1 need a
+        // donor, columns above 1 have mass to donate.
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Donor `l` tops column `s` up to exactly 1.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is within floating-point rounding of 1; pin it
+        // so the acceptance test `u < prob[i]` cannot leak through to an
+        // uninitialised-looking alias.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { nodes, prob, alias }
+    }
+
+    /// Number of columns (nodes with a defined law; zero when the total
+    /// weight was zero).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tables are empty (empty node set or all-zero weights).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Draws one node from the encoded law in O(1): a uniform column, a
+    /// uniform acceptance variate, two table reads. Returns `None` when
+    /// the tables are empty. Consumes exactly two RNG values per call
+    /// regardless of the outcome.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let i = rng.random_range(0..self.nodes.len());
+        let u: f64 = rng.random();
+        Some(if u < self.prob[i] {
+            self.nodes[i]
+        } else {
+            self.nodes[self.alias[i] as usize]
+        })
+    }
+
+    /// The exact probability mass the tables assign to each column's
+    /// node, in `nodes` order — the verification hook: construction is
+    /// correct iff this equals `w_i / Σ w` up to rounding.
+    #[must_use]
+    pub fn encoded_mass(&self) -> Vec<(NodeId, f64)> {
+        let n = self.nodes.len() as f64;
+        let mut mass = vec![0.0f64; self.nodes.len()];
+        for i in 0..self.nodes.len() {
+            mass[i] += self.prob[i] / n;
+            if self.prob[i] < 1.0 {
+                mass[self.alias[i] as usize] += (1.0 - self.prob[i]) / n;
+            }
+        }
+        self.nodes.iter().copied().zip(mass).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, Graph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoded_mass_is_the_degree_law() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::balanced(300, 8, &mut rng);
+        let frozen = g.freeze();
+        let tables = frozen.alias_tables();
+        assert_eq!(tables.len(), frozen.num_nodes());
+        let total = frozen.degree_sum() as f64;
+        for (node, mass) in tables.encoded_mass() {
+            let want = frozen.degree(node) as f64 / total;
+            assert!(
+                (mass - want).abs() < 1e-12,
+                "node {node}: encoded {mass} vs degree law {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_draws_match_degree_law_on_star() {
+        // The star maximally separates uniform from degree-weighted: the
+        // hub holds half the total degree.
+        let g = generators::star(9);
+        let tables = g.freeze().alias_tables();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let runs = 40_000u32;
+        let hub = (0..runs)
+            .filter(|_| tables.sample(&mut rng).expect("non-empty") == NodeId::new(0))
+            .count();
+        let frac = f64::from(hub as u32) / f64::from(runs);
+        assert!((frac - 0.5).abs() < 0.01, "hub mass {frac} should be ~1/2");
+    }
+
+    #[test]
+    fn zero_weight_nodes_are_never_drawn() {
+        // A live but isolated node has degree 0: representable, never
+        // sampled.
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let lone = g.add_node();
+        g.add_edge(a, b).expect("fresh edge");
+        let tables = g.freeze().alias_tables();
+        assert_eq!(tables.len(), 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            let drawn = tables.sample(&mut rng).expect("non-empty");
+            assert_ne!(drawn, lone, "zero-degree node drawn");
+        }
+    }
+
+    #[test]
+    fn all_isolated_snapshot_has_no_law() {
+        let mut g = Graph::new();
+        g.add_nodes(4);
+        let tables = g.freeze().alias_tables();
+        assert!(tables.is_empty());
+        let mut rng = SmallRng::seed_from_u64(6);
+        assert_eq!(tables.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_law() {
+        let tables = Graph::new().freeze().alias_tables();
+        assert!(tables.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weights_panic() {
+        let _ = AliasTables::from_weights(vec![NodeId::new(0)], &[-1.0]);
+    }
+
+    #[test]
+    fn sample_consumes_exactly_two_draws() {
+        // Fixed RNG budget per draw is part of the contract: callers
+        // interleave alias draws with other stream consumers.
+        let g = generators::star(5);
+        let tables = g.freeze().alias_tables();
+        let mut counted = SmallRng::seed_from_u64(7);
+        let mut twin = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            tables.sample(&mut counted).expect("non-empty");
+            let _ = twin.random_range(0..tables.len());
+            let _: f64 = twin.random();
+        }
+        assert_eq!(counted.random::<u64>(), twin.random::<u64>());
+    }
+}

@@ -189,6 +189,50 @@ impl FrozenView {
         self.neighbors.len()
     }
 
+    /// Best-effort cache hint for `node`'s CSR neighbour row; see
+    /// [`crate::prefetch_read`].
+    ///
+    /// Hints both ends of the row: at mean degree 10 a row spans 40
+    /// bytes, so about half of all rows straddle a cache-line boundary
+    /// and a first-byte-only hint would still miss on the far half when
+    /// the walk's neighbour draw lands there.
+    ///
+    /// Safe for *any* id — dead slots and out-of-range indices simply do
+    /// nothing (or warm an adjacent row's line, which is equally
+    /// harmless). No RNG, no fault draws, no panics: kernels prefetch
+    /// speculatively ahead of walks that may never take their next step.
+    #[inline]
+    pub fn prefetch_row(&self, node: NodeId) {
+        let i = node.index();
+        let (Some(&off), Some(&end)) = (self.offsets.get(i), self.offsets.get(i + 1)) else {
+            return;
+        };
+        if let Some(first) = self.neighbors.get(off as usize) {
+            crate::prefetch_read(first);
+        }
+        if end > off {
+            if let Some(last) = self.neighbors.get(end as usize - 1) {
+                crate::prefetch_read(last);
+            }
+        }
+    }
+
+    /// Builds Walker/Vose [`AliasTables`](crate::AliasTables) over the
+    /// snapshot's live nodes weighted by degree — O(1) draws from the
+    /// DTRW stationary law `π_j = d_j / Σ d` (Eq. (1)).
+    ///
+    /// An opt-in side structure: `O(n)` to build and two `Vec`s of extra
+    /// memory, so callers that sample the degree law repeatedly
+    /// (stationary-start walk launches, the degree-law oracle sampler)
+    /// build it once per snapshot; one-off consumers should not bother.
+    /// Isolated live nodes carry zero mass; a snapshot with no edges
+    /// yields empty tables (`sample` returns `None`).
+    #[must_use]
+    pub fn alias_tables(&self) -> crate::AliasTables {
+        let weights: Vec<f64> = self.live.iter().map(|&n| self.degree(n) as f64).collect();
+        crate::AliasTables::from_weights(self.live.clone(), &weights)
+    }
+
     /// Which freeze of the source graph produced this snapshot.
     ///
     /// The first [`Graph::freeze`] stamps epoch 0 and every subsequent

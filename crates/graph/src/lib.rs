@@ -47,7 +47,9 @@
 //! assert!((6.0..9.0).contains(&avg), "paper reports average degree 7-8");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// scoped `allow` on the prefetch hint intrinsic in `prefetch`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;
@@ -57,14 +59,18 @@ pub mod io;
 pub mod metrics;
 pub mod spectral;
 
+mod alias;
 mod frozen;
 mod graph;
 mod node;
+mod prefetch;
 mod sharded;
 mod topology;
 
+pub use alias::AliasTables;
 pub use frozen::FrozenView;
 pub use graph::{Graph, GraphError};
 pub use node::NodeId;
+pub use prefetch::prefetch_read;
 pub use sharded::{Connector, Route, ShardSlab, ShardedFrozenView};
 pub use topology::Topology;

@@ -88,6 +88,21 @@ pub trait Topology {
         }
     }
 
+    /// Hints the memory system to start pulling `node`'s neighbour row
+    /// toward cache, without reading it.
+    ///
+    /// Strictly advisory, and the default does nothing. Implementations
+    /// must have **no observable effect** — no RNG consumption, no fault
+    /// draws, no panics, for *any* id including dead or out-of-range ones
+    /// — because batched kernels issue this speculatively for walks whose
+    /// next step may never happen. [`FrozenView`] overrides it with a
+    /// real `prefetcht0` on the CSR row; environment wrappers that do not
+    /// forward it merely forgo the hint.
+    #[inline]
+    fn prefetch_row(&self, node: NodeId) {
+        let _ = node;
+    }
+
     /// A uniformly random live peer, used to pick experiment initiators.
     /// Returns `None` when the overlay is empty.
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId>;
@@ -158,6 +173,11 @@ impl Topology for FrozenView {
         self.degree(node)
     }
 
+    #[inline]
+    fn prefetch_row(&self, node: NodeId) {
+        FrozenView::prefetch_row(self, node);
+    }
+
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
         self.random_node(rng)
     }
@@ -185,6 +205,11 @@ impl<T: Topology + ?Sized> Topology for &T {
     #[inline]
     fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
         (**self).neighbor_of(node, rng)
+    }
+
+    #[inline]
+    fn prefetch_row(&self, node: NodeId) {
+        (**self).prefetch_row(node);
     }
 
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
@@ -222,6 +247,11 @@ impl<T: Topology + ?Sized> Topology for std::sync::Arc<T> {
     #[inline]
     fn neighbor_of<R: Rng + ?Sized>(&self, node: NodeId, rng: &mut R) -> Option<NodeId> {
         (**self).neighbor_of(node, rng)
+    }
+
+    #[inline]
+    fn prefetch_row(&self, node: NodeId) {
+        (**self).prefetch_row(node);
     }
 
     fn any_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {

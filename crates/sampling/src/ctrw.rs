@@ -5,7 +5,7 @@ use std::ops::ControlFlow;
 use census_graph::{NodeId, Topology};
 use census_metrics::{HistogramMetric, Metric, Recorder, RunCtx};
 use census_walk::continuous::{ctrw_walk, ctrw_walk_ctx, Sojourn};
-use census_walk::frontier::{ctrw_frontier, CtrwSpec};
+use census_walk::frontier::{ctrw_frontier_with, CtrwSpec, FrontierMode};
 use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
 use census_walk::WalkError;
 use rand::Rng;
@@ -47,6 +47,7 @@ const BATCH_WIDTH: u64 = 64;
 pub struct CtrwSampler {
     timer: f64,
     sojourn: Sojourn,
+    mode: FrontierMode,
 }
 
 impl CtrwSampler {
@@ -64,6 +65,7 @@ impl CtrwSampler {
         Self {
             timer,
             sojourn: Sojourn::Exponential,
+            mode: FrontierMode::default(),
         }
     }
 
@@ -80,6 +82,24 @@ impl CtrwSampler {
         let mut s = Self::new(timer);
         s.sojourn = Sojourn::Deterministic;
         s
+    }
+
+    /// Selects the frontier execution mode of [`Sampler::sample_many`]
+    /// (serial [`Sampler::sample`] calls are unaffected). The default —
+    /// [`FrontierMode::Exact`] with everything tuned on — keeps batched
+    /// samples bit-identical to their per-walk serial twins;
+    /// [`FrontierMode::FastStatEq`] trades that for throughput while
+    /// preserving the sample *law* (see `census-walk`'s frontier docs).
+    #[must_use]
+    pub fn with_frontier_mode(mut self, mode: FrontierMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured frontier execution mode.
+    #[must_use]
+    pub fn frontier_mode(&self) -> FrontierMode {
+        self.mode
     }
 
     /// The configured timer `T`.
@@ -150,6 +170,12 @@ impl Sampler for CtrwSampler {
     /// discarded *uncharged*, preserving the ledger invariant that the
     /// registry's message total equals the reported batch cost.
     ///
+    /// All of the above holds verbatim in the default exact mode; under
+    /// [`Self::with_frontier_mode`]`(FrontierMode::FastStatEq)` each
+    /// chunk's walks instead drain one pooled block-SplitMix64 stream, so
+    /// samples keep the serial *law* (and per-sample accounting) but are
+    /// no longer bit-comparable to per-walk serial twins.
+    ///
     /// # Errors
     ///
     /// As the default loop: the first failed walk (possible only under
@@ -182,7 +208,7 @@ impl Sampler for CtrwSampler {
                     sojourn: self.sojourn,
                 })
                 .collect();
-            for fate in ctrw_frontier(&mut specs, ctx.recorder) {
+            for fate in ctrw_frontier_with(&mut specs, self.mode, ctx.recorder) {
                 // The walk's true traffic is charged whether it sampled
                 // or was lost to a fault — exactly as the serial path.
                 ctx.on_message(Metric::CtrwHops, fate.hops);
@@ -346,6 +372,29 @@ mod tests {
         assert_eq!(reg.counter(Metric::CtrwHops), batch.messages);
         assert_eq!(reg.message_total(), batch.messages, "ledger must close");
         assert_eq!(ctx.messages_total(), batch.messages);
+    }
+
+    #[test]
+    fn fast_mode_sample_many_keeps_count_and_ledger() {
+        // FastStatEq changes which bits each walk draws, not the
+        // accounting contract: every requested sample arrives and the
+        // registry's message total still closes against the batch.
+        use census_metrics::{Registry, RunCtx};
+        use std::ops::ControlFlow;
+
+        let g = generators::complete(9);
+        let start = g.nodes().next().expect("non-empty");
+        let sampler = CtrwSampler::new(4.0).with_frontier_mode(FrontierMode::FastStatEq);
+        assert_eq!(sampler.frontier_mode(), FrontierMode::FastStatEq);
+        let reg = Registry::new();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut ctx = RunCtx::with_recorder(&g, &mut rng, &reg);
+        let batch = sampler
+            .sample_many(&mut ctx, start, 100, |_, _| ControlFlow::Continue(()))
+            .expect("fault-free");
+        assert_eq!(batch.samples, 100);
+        assert_eq!(reg.counter(Metric::SamplesDrawn), 100);
+        assert_eq!(reg.message_total(), batch.messages, "ledger must close");
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use ctrw::CtrwSampler;
 pub use dtrw::DtrwSampler;
 pub use hardened::HardenedMetropolisSampler;
 pub use metropolis::MetropolisSampler;
-pub use oracle::OracleSampler;
+pub use oracle::{DegreeOracleSampler, OracleSampler};
 
 /// A peer returned by a sampler, with its message cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,6 +1,7 @@
-//! A perfectly uniform oracle sampler (calibration only).
+//! Oracle samplers drawing from known laws using global knowledge
+//! (calibration only).
 
-use census_graph::{NodeId, Topology};
+use census_graph::{AliasTables, FrozenView, NodeId, Topology};
 use census_walk::WalkError;
 use rand::Rng;
 
@@ -57,6 +58,61 @@ impl Sampler for OracleSampler {
     }
 }
 
+/// A sampler that returns a peer from the exact *degree* law
+/// `π(i) = d_i / Σ_j d_j` using global knowledge — the stationary
+/// distribution of the discrete-time random walk, i.e. the bias §4.1's
+/// CTRW corrects.
+///
+/// Like [`OracleSampler`], no protocol can implement it; it exists to
+/// calibrate. Where `OracleSampler` is the uniform reference, this is the
+/// degree-law reference: chi-square harnesses validating degree-weighted
+/// machinery (the frontier kernels' alias-table start selection, DTRW
+/// endpoint laws) compare empirical draws against it. Built on
+/// [`FrozenView::alias_tables`], so each sample costs exactly two RNG
+/// draws and O(1) work; message cost is reported as zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeOracleSampler {
+    tables: AliasTables,
+}
+
+impl DegreeOracleSampler {
+    /// Precomputes the degree law of `view`'s live peers.
+    #[must_use]
+    pub fn new(view: &FrozenView) -> Self {
+        Self {
+            tables: view.alias_tables(),
+        }
+    }
+
+    /// The encoded law, as `(node, probability)` pairs over live peers —
+    /// the exact expected frequencies for chi-square validation.
+    #[must_use]
+    pub fn law(&self) -> Vec<(NodeId, f64)> {
+        self.tables.encoded_mass()
+    }
+}
+
+impl Sampler for DegreeOracleSampler {
+    /// Draws from the precomputed tables; the `topology` argument is
+    /// ignored (the law was pinned at construction).
+    fn sample<T, R>(
+        &self,
+        _topology: &T,
+        _initiator: NodeId,
+        rng: &mut R,
+    ) -> Result<Sample, WalkError>
+    where
+        T: Topology + ?Sized,
+        R: Rng,
+    {
+        let node = self
+            .tables
+            .sample(rng)
+            .expect("cannot sample an edgeless overlay");
+        Ok(Sample { node, hops: 0 })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +127,35 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let tv = quality::empirical_tv_to_uniform(&OracleSampler::new(), &g, 40_000, &mut rng);
         assert!(tv < 0.02, "oracle TV {tv}");
+    }
+
+    #[test]
+    fn degree_oracle_matches_the_degree_law_on_star() {
+        // Star on 8 leaves: hub degree 8, leaves degree 1 — hub mass 1/2.
+        let g = generators::star(8);
+        let frozen = g.freeze();
+        let oracle = DegreeOracleSampler::new(&frozen);
+        let hub_mass = oracle
+            .law()
+            .iter()
+            .find(|(n, _)| n.index() == 0)
+            .map(|&(_, p)| p)
+            .expect("hub in law");
+        assert!((hub_mass - 0.5).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let runs = 40_000u32;
+        let mut hub = 0u64;
+        for _ in 0..runs {
+            let s = oracle
+                .sample(&frozen, NodeId::new(1), &mut rng)
+                .expect("cannot fail");
+            assert_eq!(s.hops, 0);
+            if s.node.index() == 0 {
+                hub += 1;
+            }
+        }
+        let frac = hub as f64 / f64::from(runs);
+        assert!((frac - 0.5).abs() < 0.01, "hub mass {frac} should be ~1/2");
     }
 
     #[test]

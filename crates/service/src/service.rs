@@ -12,7 +12,7 @@ use census_sampling::{CtrwSampler, Sample, Sampler};
 use census_sim::attacks::AttackPlan;
 use census_sim::faults::FaultPlan;
 use census_sim::{DynamicNetwork, MembershipDelta};
-use census_walk::frontier::{ctrw_frontier, CtrwSpec};
+use census_walk::frontier::{ctrw_frontier_with, CtrwSpec, FrontierMode};
 use census_walk::stream::{stream_seed, StreamDomain};
 use census_walk::WalkError;
 use rand::rngs::SmallRng;
@@ -40,6 +40,7 @@ pub struct ServiceConfig {
     attacks: Option<AttackPlan>,
     churn_pause: Duration,
     batch_drain: usize,
+    frontier_mode: FrontierMode,
     shards: usize,
     handoff_capacity: usize,
 }
@@ -60,6 +61,7 @@ impl ServiceConfig {
             attacks: None,
             churn_pause: Duration::ZERO,
             batch_drain: 1,
+            frontier_mode: FrontierMode::default(),
             shards: 1,
             handoff_capacity: 1024,
         }
@@ -167,6 +169,22 @@ impl ServiceConfig {
         self
     }
 
+    /// The execution mode of the coalesced batch-drain frontier (only
+    /// consulted when `batch_drain > 1`). The default —
+    /// [`FrontierMode::Exact`], fully tuned — keeps the service's answer
+    /// contract: every query's answer is a pure function of its private
+    /// stream, byte-identical across worker counts and batch widths.
+    /// [`FrontierMode::FastStatEq`] buys extra frontier throughput but
+    /// makes each coalesced answer depend on its batch's composition
+    /// (still deterministic for a fixed submission schedule, still the
+    /// same answer *law*); replayable-audit deployments must leave this
+    /// at the default.
+    #[must_use]
+    pub fn with_frontier_mode(mut self, mode: FrontierMode) -> Self {
+        self.frontier_mode = mode;
+        self
+    }
+
     /// Shards the snapshot is partitioned into — only read by
     /// [`ShardedCensusService`](crate::ShardedCensusService); the
     /// unsharded [`CensusService`] ignores it. Each shard gets its own
@@ -251,6 +269,12 @@ impl ServiceConfig {
     #[must_use]
     pub fn batch_drain(&self) -> usize {
         self.batch_drain
+    }
+
+    /// Configured batch-drain frontier execution mode.
+    #[must_use]
+    pub fn frontier_mode(&self) -> FrontierMode {
+        self.frontier_mode
     }
 
     /// Configured shard count.
@@ -854,7 +878,11 @@ fn worker_loop<Rec: Recorder + ?Sized>(
 /// Each lane owns its topology handle (`make_topology` is called once per
 /// job, mirroring the serial path's one fault wrapper per job) and
 /// borrows its slot's private RNG, so per-job results are bit-identical
-/// to serial execution; only memory access patterns change. Slots the
+/// to serial execution; only memory access patterns change. That
+/// guarantee holds for the default [`FrontierMode::Exact`] under any
+/// kernel tuning; [`ServiceConfig::with_frontier_mode`] can trade it for
+/// [`FrontierMode::FastStatEq`] throughput, making coalesced answers
+/// batch-composition-dependent (same law, different bits). Slots the
 /// pass fills have `result = Some(..)`; other queries are left untouched
 /// for the serial fallback.
 fn coalesce_samples<T, F, A, Rec>(
@@ -912,7 +940,7 @@ fn coalesce_samples<T, F, A, Rec>(
         next = lane_iter.next();
     }
 
-    let fates = ctrw_frontier(&mut specs, recorder);
+    let fates = ctrw_frontier_with(&mut specs, config.frontier_mode, recorder);
 
     // Finish each lane: charge the walk's true traffic like the serial
     // engine, then either book the sample or continue with serial

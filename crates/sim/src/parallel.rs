@@ -43,7 +43,7 @@
 use census_core::{Estimate, EstimateError, SizeEstimator, StepBudgeted};
 use census_graph::{NodeId, Topology};
 use census_metrics::{HistogramMetric, Metric, Recorder, Registry};
-use census_walk::frontier::{tour_frontier, TourFate, TourSpec};
+use census_walk::frontier::{tour_frontier_with, FrontierMode, TourFate, TourSpec};
 use census_walk::stream::{stream_seed, SplitMix64, StreamDomain};
 use census_walk::WalkError;
 use rand::rngs::SmallRng;
@@ -263,6 +263,45 @@ where
     T: Topology + Sync + ?Sized,
     F: Fn(NodeId) -> f64 + Sync,
 {
+    replicate_tour_frontiers_with(
+        topology,
+        initiator,
+        f,
+        tours,
+        max_steps,
+        n_replicas,
+        base_seed,
+        FrontierMode::default(),
+    )
+}
+
+/// [`replicate_tour_frontiers`] with an explicit frontier execution
+/// mode. The serial bit-identity guarantee above holds for any
+/// [`FrontierMode::Exact`] tuning; [`FrontierMode::FastStatEq`] keeps the
+/// estimates unbiased and the per-tour accounting identical, but the
+/// individual tours are no longer bit-comparable to serial streams (each
+/// replica's frontier drains one pooled stream — see `census-walk`'s
+/// frontier docs). Replica results remain fully deterministic in
+/// `base_seed` either way.
+///
+/// # Panics
+///
+/// As [`replicate_tour_frontiers`].
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_tour_frontiers_with<T, F>(
+    topology: &T,
+    initiator: NodeId,
+    f: F,
+    tours: u64,
+    max_steps: Option<u64>,
+    n_replicas: u64,
+    base_seed: u64,
+    mode: FrontierMode,
+) -> (Vec<Vec<Result<Estimate, EstimateError>>>, Registry)
+where
+    T: Topology + Sync + ?Sized,
+    F: Fn(NodeId) -> f64 + Sync,
+{
     assert!(tours > 0, "need at least one tour per replica");
     assert!(topology.contains(initiator), "tour initiator must be alive");
     let degree = topology.degree_of(initiator) as f64;
@@ -275,7 +314,7 @@ where
                 max_steps,
             })
             .collect();
-        tour_frontier(&mut specs, &f, reg)
+        tour_frontier_with(&mut specs, &f, mode, reg)
             .into_iter()
             .map(|fate| charge_tour_fate(fate, degree, reg))
             .collect()

@@ -81,6 +81,60 @@ pub fn chi_square_uniform(counts: &[(usize, u64)], support: usize) -> (f64, usiz
     (stat, support - 1)
 }
 
+/// Chi-square statistic of observed counts against an arbitrary expected
+/// probability vector — the general form of [`chi_square_uniform`], for
+/// targets like the exact CTRW law of
+/// `census_walk::continuous::exact_distribution` or a degree law.
+///
+/// `counts[i]` is the observation count for support point `i` and
+/// `expected[i]` its target probability. Support points with expected
+/// probability zero are excluded from the statistic (and from the degrees
+/// of freedom) but must have zero observations — a single draw landing on
+/// a zero-probability point is an infinite-statistic refutation, reported
+/// as `f64::INFINITY`. Returns `(statistic, degrees_of_freedom)` with
+/// `dof = (included support points) - 1`; like [`chi_square_uniform`],
+/// callers test against `mean + k·std = dof + k·sqrt(2·dof)`.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ, if `expected` has entries that
+/// are negative or non-finite, if its total mass is not ≈ 1, or if there
+/// are no observations.
+#[must_use]
+pub fn chi_square_expected(counts: &[u64], expected: &[f64]) -> (f64, usize) {
+    assert_eq!(
+        counts.len(),
+        expected.len(),
+        "counts and expected must share a support"
+    );
+    assert!(
+        expected.iter().all(|&p| p.is_finite() && p >= 0.0),
+        "expected probabilities must be finite and non-negative"
+    );
+    let mass: f64 = expected.iter().sum();
+    assert!(
+        (mass - 1.0).abs() < 1e-6,
+        "expected probabilities must sum to 1, got {mass}"
+    );
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "chi-square needs observations");
+    let mut stat = 0.0;
+    let mut included = 0usize;
+    for (&c, &p) in counts.iter().zip(expected) {
+        if p == 0.0 {
+            if c > 0 {
+                return (f64::INFINITY, counts.len().saturating_sub(1));
+            }
+            continue;
+        }
+        included += 1;
+        let e = total as f64 * p;
+        let d = c as f64 - e;
+        stat += d * d / e;
+    }
+    (stat, included.saturating_sub(1))
+}
+
 /// One-sample Kolmogorov–Smirnov statistic: the maximal absolute deviation
 /// between the empirical CDF of `sample` and the reference CDF `cdf`.
 ///
@@ -164,6 +218,40 @@ mod tests {
         let expected = 25.0;
         let by_hand = 2.0 * (25.0f64.powi(2) / expected) + 2.0 * expected;
         assert!((stat - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_expected_matches_uniform_special_case() {
+        let counts = [48u64, 52, 61, 39];
+        let pairs: Vec<(usize, u64)> = counts.iter().copied().enumerate().collect();
+        let (general, dof_g) = chi_square_expected(&counts, &[0.25; 4]);
+        let (uniform, dof_u) = chi_square_uniform(&pairs, 4);
+        assert!((general - uniform).abs() < 1e-9);
+        assert_eq!(dof_g, dof_u);
+    }
+
+    #[test]
+    fn chi_square_expected_is_zero_on_exact_counts() {
+        // 1000 draws split exactly as the 0.5/0.3/0.2 target.
+        let (stat, dof) = chi_square_expected(&[500, 300, 200], &[0.5, 0.3, 0.2]);
+        assert!(stat.abs() < 1e-9);
+        assert_eq!(dof, 2);
+    }
+
+    #[test]
+    fn chi_square_expected_refutes_mass_on_zero_probability_point() {
+        let (stat, _) = chi_square_expected(&[99, 0, 1], &[0.5, 0.5, 0.0]);
+        assert!(stat.is_infinite());
+        // Zero-probability points with zero observations are excluded.
+        let (ok, dof) = chi_square_expected(&[50, 50, 0], &[0.5, 0.5, 0.0]);
+        assert!(ok.is_finite());
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn chi_square_expected_rejects_unnormalised_targets() {
+        let _ = chi_square_expected(&[1, 1], &[0.9, 0.9]);
     }
 
     #[test]

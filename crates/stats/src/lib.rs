@@ -12,8 +12,9 @@
 //!   plots of Figures 4 and 5.
 //! - [`Histogram`]: uniform-bin histogram.
 //! - distance measures ([`total_variation`], [`chi_square_uniform`],
-//!   [`ks_statistic`]) used to quantify the quality of peer-sampling
-//!   distributions against the uniform target.
+//!   [`chi_square_expected`], [`ks_statistic`]) used to quantify the
+//!   quality of peer-sampling distributions against the uniform target
+//!   (or any explicit target law).
 //! - [`Summary`]: one-shot descriptive statistics of a sample.
 //!
 //! # Examples
@@ -42,7 +43,9 @@ mod window;
 
 pub mod csv;
 
-pub use distance::{chi_square_uniform, empirical_distribution, ks_statistic, total_variation};
+pub use distance::{
+    chi_square_expected, chi_square_uniform, empirical_distribution, ks_statistic, total_variation,
+};
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use moments::OnlineMoments;

@@ -106,6 +106,14 @@ where
 {
     let topology = ctx.topology;
     assert!(topology.contains(start), "tour initiator must be alive");
+    // An isolated initiator is stuck *before* the launch visit: the tour
+    // estimator's visit weight divides by d(start), which is undefined at
+    // zero, so callers must never see a visit they cannot weight. The
+    // degree probe draws nothing, so the RNG stream is unchanged.
+    if topology.degree_of(start) == 0 {
+        ctx.on_event(Metric::ToursLost, 1);
+        return Err(WalkError::Stuck(start));
+    }
     on_visit(start);
     let Some(mut current) = topology.neighbor_of(start, &mut *ctx.rng) else {
         ctx.on_event(Metric::ToursLost, 1);
@@ -325,9 +333,23 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node();
         let mut rng = SmallRng::seed_from_u64(3);
+        // Regression: the launch visit used to fire before the stuck
+        // check, handing estimators a visit they must weight by
+        // f(a)/d(a) = f(a)/0. A stuck-at-launch tour now reports no
+        // visits at all, and consumes no RNG on the way out.
+        let mut visits = 0u64;
         assert_eq!(
-            random_tour(&g, a, None, &mut rng, |_| {}),
+            random_tour(&g, a, None, &mut rng, |_| visits += 1),
             Err(WalkError::Stuck(a))
+        );
+        assert_eq!(visits, 0, "no visit may be charged at an isolated start");
+        // The RNG is still at its launch position: its next word matches
+        // a fresh twin's first word.
+        let mut twin = SmallRng::seed_from_u64(3);
+        assert_eq!(
+            rng.random::<u64>(),
+            twin.random::<u64>(),
+            "stuck launch draws nothing"
         );
     }
 

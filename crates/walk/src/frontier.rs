@@ -13,7 +13,39 @@
 //! distributed walk line gets its speedups the same way — many short walk
 //! segments batched over the same topology.
 //!
-//! # Determinism contract
+//! # Execution modes
+//!
+//! Every kernel entry point takes a [`FrontierMode`]:
+//!
+//! - [`FrontierMode::Exact`] keeps the bit-identity contract below and
+//!   carries a [`KernelTuning`] of scheduling-only optimisations —
+//!   frontier *bucketing by current node* (a stable O(W) counting pass
+//!   groups the active set by id-space shard each round, so walks about
+//!   to touch neighbouring CSR rows run back-to-back) and *software
+//!   prefetch* of the CSR row a few walks ahead
+//!   ([`Topology::prefetch_row`]). Both reorder or hint memory traffic
+//!   *between* walks and change no walk's own draw sequence, so every
+//!   tuning combination is bit-identical to the serial engines —
+//!   `tests/frontier_equivalence.rs` asserts exactly that over the full
+//!   [`KernelTuning::ALL`] matrix.
+//! - [`FrontierMode::FastStatEq`] additionally changes *where draws come
+//!   from*: all walks share one block-refilled
+//!   [`BlockSplitMix64`](crate::stream::BlockSplitMix64) stream (seeded
+//!   by one word from the first spec's RNG), consumed in scheduling
+//!   order. Each draw is still an independent uniform variate, so every
+//!   walk remains an honest CTRW/tour and the *law* of every fate is
+//!   unchanged — but per-walk streams are no longer the serial ones, so
+//!   results are not bit-comparable to serial runs (they remain a pure
+//!   deterministic function of the specs' seeds and the frontier's
+//!   composition). The statistical-equivalence bar lives in
+//!   `tests/frontier_modes.rs`: chi-square against the exact CTRW law
+//!   (`census-stats` + [`crate::continuous::exact_distribution`]) and
+//!   Random Tour unbiasedness. After a fast frontier, spec RNG positions
+//!   are *not* serial-compatible (spec 0 has consumed exactly one extra
+//!   seeding word; the rest are untouched) — callers must not resume
+//!   serial retries on them expecting serial streams.
+//!
+//! # Determinism contract (exact mode)
 //!
 //! Results are **bit-identical to the serial path** by construction, not
 //! by tolerance: every walk carries its *own* RNG and its own topology
@@ -21,8 +53,9 @@
 //! walk-private state. The kernel replicates the serial engines'
 //! per-visit sequence exactly — degree probe, sojourn draw, timer check,
 //! neighbour draw, in that order — and merely reorders *between* walks,
-//! which no walk can observe. Compaction via `swap_remove` changes only
-//! the round-iteration order of the survivors, never any walk's stream.
+//! which no walk can observe. Compaction via `swap_remove` and bucketing
+//! change only the round-iteration order of the survivors, never any
+//! walk's stream; prefetch hints are architecturally invisible.
 //!
 //! One caveat inherited from the fault model: `FaultyTopology` draws its
 //! faults from a shared counter-addressed stream, so two walks sharing
@@ -33,10 +66,11 @@
 //!
 //! # State layout
 //!
-//! Per-walk mutable state lives in struct-of-arrays form — positions,
-//! timers, hop counts in separate contiguous vectors — so a round's sweep
-//! touches dense arrays instead of striding over fat per-walk structs,
-//! and the whole frontier's hot state stays cache-resident next to the
+//! Per-walk mutable state lives in one small fixed-size *lane* per walk
+//! (position, timer, hop count packed into 32 bytes), indexed by the
+//! compacted active list. A round's sweep therefore pays one bounds
+//! check and touches one cache line per walk for all of its hot fields,
+//! and the whole frontier's lane state stays cache-resident next to the
 //! CSR lines it probes.
 //!
 //! # Cost accounting
@@ -44,12 +78,15 @@
 //! The kernel records only its own execution-shape metrics —
 //! [`Metric::WalkBatchRounds`] once per frontier and one
 //! [`HistogramMetric::BatchOccupancy`] observation per round (the live
-//! walk count, tracing how the frontier drains). Per-walk cost metrics
-//! (`CtrwHops`, `TourHops`, outcome counters) are deliberately left to
-//! the caller, who charges them per reported fate: a caller that stops
-//! consuming early (Sample & Collide breaking at the l-th collision)
-//! must be able to discard surplus walks *uncharged*, or the ledger
-//! (`message_total == reported messages`) breaks.
+//! walk count, tracing how the frontier drains) — identically in every
+//! mode, and nothing at all for an empty or launch-only frontier (zero
+//! rounds run, so no zero-occupancy observation and no rounds
+//! increment). Per-walk cost metrics (`CtrwHops`, `TourHops`, outcome
+//! counters) are deliberately left to the caller, who charges them per
+//! reported fate: a caller that stops consuming early (Sample & Collide
+//! breaking at the l-th collision) must be able to discard surplus walks
+//! *uncharged*, or the ledger (`message_total == reported messages`)
+//! breaks.
 //!
 //! # When batching loses
 //!
@@ -65,7 +102,148 @@ use rand::Rng;
 
 use crate::continuous::{standard_exponential, CtrwOutcome, Sojourn};
 use crate::discrete::Tour;
+use crate::stream::BlockSplitMix64;
 use crate::WalkError;
+
+/// How far ahead of the sweep the exact kernel's prefetch hint runs:
+/// walk `j + LOOKAHEAD`'s CSR row is requested while walk `j` executes.
+/// Far enough for a memory fetch to land before its walk's turn, close
+/// enough that the line is still resident when it does.
+pub const PREFETCH_LOOKAHEAD: usize = 16;
+
+/// How many id-space shards [`KernelTuning::bucket_by_node`] groups a
+/// round's active set into. 256 keeps the counting pass's bucket table
+/// inside one cache line pair and still carves a 100k-node id space into
+/// ~400-node CSR regions.
+pub const BUCKET_SHARDS: usize = 256;
+
+/// Occupancy below which a round skips bucketing even when
+/// [`KernelTuning::bucket_by_node`] is on: the counting pass walks its
+/// [`BUCKET_SHARDS`]-entry table every round regardless of how few
+/// walks remain, so in a frontier's long drain tail (most rounds run a
+/// handful of survivors) it costs more than the sweep it reorders.
+/// Scheduling-only, like the toggle itself.
+pub const MIN_BUCKET_OCCUPANCY: usize = 64;
+
+/// Stably reorders `active` so walks whose current node shares an
+/// id-space shard become adjacent: a two-pass counting bucket, O(W) per
+/// round where a comparison sort would pay O(W log W) with a worse
+/// constant. `node_of` maps a walk index to its current node id. Pure
+/// between-walk scheduling — within a shard, arrival order is kept.
+fn bucket_by_shard(active: &mut Vec<u32>, scratch: &mut Vec<u32>, node_of: impl Fn(u32) -> usize) {
+    let max_id = active.iter().map(|&i| node_of(i)).max().unwrap_or(0);
+    let id_bits = usize::BITS - (max_id + 1).leading_zeros();
+    let shift = id_bits.saturating_sub(BUCKET_SHARDS.trailing_zeros());
+    let mut bounds = [0u32; BUCKET_SHARDS + 1];
+    for &i in active.iter() {
+        bounds[(node_of(i) >> shift) + 1] += 1;
+    }
+    for b in 0..BUCKET_SHARDS {
+        bounds[b + 1] += bounds[b];
+    }
+    scratch.resize(active.len(), 0);
+    for &i in active.iter() {
+        let b = node_of(i) >> shift;
+        scratch[bounds[b] as usize] = i;
+        bounds[b] += 1;
+    }
+    std::mem::swap(active, scratch);
+}
+
+/// Scheduling-only toggles of the exact kernel. Every combination
+/// preserves the bit-identity contract — these change *when and in what
+/// order between walks* memory is touched, never any walk's own draw
+/// sequence — so callers may flip them freely; the matrix is pinned by
+/// `tests/frontier_equivalence.rs` over [`KernelTuning::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTuning {
+    /// Group the active set by current node's id-space shard at the
+    /// start of every round (a stable two-pass counting bucket over
+    /// [`BUCKET_SHARDS`] shards, O(W) — a comparison sort here costs
+    /// more than the locality it buys), so walks about to touch
+    /// neighbouring CSR rows run back-to-back and same-node walks share
+    /// one adjacency-row touch.
+    pub bucket_by_node: bool,
+    /// Issue a software prefetch ([`Topology::prefetch_row`]) for walk
+    /// `j + `[`PREFETCH_LOOKAHEAD`]'s row while processing walk `j`.
+    pub prefetch: bool,
+}
+
+impl KernelTuning {
+    /// The PR-5 kernel: arrival-order sweeps, no hints.
+    #[must_use]
+    pub const fn serial_order() -> Self {
+        Self {
+            bucket_by_node: false,
+            prefetch: false,
+        }
+    }
+
+    /// The measured-fastest default on the BENCH_10 reference hardware:
+    /// prefetch on, bucketing off. No toggle can change results, so the
+    /// choice is purely empirical — row prefetch reliably buys back the
+    /// serial path's stall time, while shard bucketing's O(W) counting
+    /// pass costs more than the locality it recovers below frontier
+    /// widths of several thousand (256 walks spread over a 100k-node id
+    /// space almost never share rows). Flip `bucket_by_node` on for very
+    /// wide frontiers over huge snapshots.
+    #[must_use]
+    pub const fn tuned() -> Self {
+        Self {
+            bucket_by_node: false,
+            prefetch: true,
+        }
+    }
+
+    /// Every toggle combination, for equivalence-test matrices.
+    pub const ALL: [Self; 4] = [
+        Self {
+            bucket_by_node: false,
+            prefetch: false,
+        },
+        Self {
+            bucket_by_node: true,
+            prefetch: false,
+        },
+        Self {
+            bucket_by_node: false,
+            prefetch: true,
+        },
+        Self {
+            bucket_by_node: true,
+            prefetch: true,
+        },
+    ];
+}
+
+impl Default for KernelTuning {
+    fn default() -> Self {
+        Self::tuned()
+    }
+}
+
+/// How a frontier kernel schedules walks and sources their draws; see
+/// the module docs for the full contract of each mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierMode {
+    /// Bit-identical to the serial engines under any [`KernelTuning`].
+    /// The default (with [`KernelTuning::tuned`]), and the only mode the
+    /// deterministic-replay layers (`census-service` defaults, campaign
+    /// records) may use.
+    Exact(KernelTuning),
+    /// Fast, *statistically* equivalent: all walks draw from one shared
+    /// block-refilled SplitMix64 in scheduling order. Same fate law,
+    /// different bits; spec RNGs are left non-serial-compatible (spec 0
+    /// consumes one seeding word). Gate it behind workloads that consume
+    /// fates only in aggregate.
+    FastStatEq,
+}
+
+impl Default for FrontierMode {
+    fn default() -> Self {
+        Self::Exact(KernelTuning::default())
+    }
+}
 
 /// One CTRW walk's launch state: everything private to the walk.
 ///
@@ -73,9 +251,11 @@ use crate::WalkError;
 /// an owned per-walk `FaultyTopology` under fault injection) and its RNG,
 /// so the walk's draw sequence cannot depend on its neighbours in the
 /// frontier. Specs are taken `&mut`: the kernel advances the RNGs in
-/// place, so after the frontier returns, each spec's RNG has consumed
-/// exactly what the serial walk would have — callers can continue on it
-/// (e.g. serial retries of a failed walk).
+/// place, so after an exact-mode frontier returns, each spec's RNG has
+/// consumed exactly what the serial walk would have — callers can
+/// continue on it (e.g. serial retries of a failed walk). Fast mode
+/// instead consumes one seeding word from the *first* spec's RNG and
+/// leaves every other RNG untouched.
 #[derive(Debug)]
 pub struct CtrwSpec<T, R> {
     /// The walk's view of the overlay.
@@ -93,7 +273,7 @@ pub struct CtrwSpec<T, R> {
 /// How one CTRW walk in a frontier ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CtrwFate {
-    /// The walk's outcome — identical to what the serial
+    /// The walk's outcome — in exact mode, identical to what the serial
     /// [`crate::continuous::ctrw_walk`] returns for the same spec.
     pub result: Result<CtrwOutcome, WalkError>,
     /// Forwarding hops actually sent (also inside `result` when `Ok`;
@@ -120,24 +300,48 @@ pub struct TourSpec<T, R> {
 /// How one Random Tour in a frontier ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TourFate {
-    /// The tour's outcome — identical to what the serial
+    /// The tour's outcome — in exact mode, identical to what the serial
     /// [`crate::discrete::random_tour`] returns for the same spec.
     pub result: Result<Tour, WalkError>,
     /// Hops to charge as `TourHops`: the steps actually sent. Zero for a
     /// tour stuck at launch (the serial path charges none there).
     pub hops: u64,
     /// The visit accumulator `Σ f(X_k)/d(X_k)` over the tour's visits, in
-    /// serial visit order (bit-identical f64 to the serial closure sum).
+    /// serial visit order (bit-identical f64 to the serial closure sum in
+    /// exact mode). Exactly `0.0` for a tour stuck at an isolated
+    /// initiator: the launch visit never happens there, because its
+    /// weight `f(start)/0` is undefined.
     pub weight: f64,
 }
 
-/// Advances a frontier of CTRW walks to completion and returns each
-/// walk's fate, indexed like `specs`.
+/// Advances a frontier of CTRW walks to completion in the default mode
+/// ([`FrontierMode::Exact`] with [`KernelTuning::tuned`]) and returns
+/// each walk's fate, indexed like `specs`. See [`ctrw_frontier_with`].
+///
+/// # Panics
+///
+/// Panics if any spec's `start` is not alive or its `timer` is not
+/// positive and finite — the serial preconditions, checked up front
+/// before any RNG is touched.
+pub fn ctrw_frontier<T, R, Rec>(specs: &mut [CtrwSpec<T, R>], recorder: &Rec) -> Vec<CtrwFate>
+where
+    T: Topology,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    ctrw_frontier_with(specs, FrontierMode::default(), recorder)
+}
+
+/// Advances a frontier of CTRW walks to completion under `mode` and
+/// returns each walk's fate, indexed like `specs`.
 ///
 /// Each round issues one visit-step — degree probe, sojourn draw, timer
 /// check, neighbour draw — for every live walk, then compacts finished
-/// walks out of the active set. Per-walk results are bit-identical to
-/// running [`crate::continuous::ctrw_walk`] on each spec serially.
+/// walks out of the active set. In exact mode, per-walk results are
+/// bit-identical to running [`crate::continuous::ctrw_walk`] on each
+/// spec serially, for every [`KernelTuning`]; in
+/// [`FrontierMode::FastStatEq`] they are identically *distributed*
+/// instead (module docs).
 ///
 /// Records [`Metric::WalkBatchRounds`] and per-round
 /// [`HistogramMetric::BatchOccupancy`] on `recorder`; per-walk cost
@@ -147,20 +351,21 @@ pub struct TourFate {
 /// # Panics
 ///
 /// Panics if any spec's `start` is not alive or its `timer` is not
-/// positive and finite — the serial preconditions, checked up front.
-pub fn ctrw_frontier<T, R, Rec>(specs: &mut [CtrwSpec<T, R>], recorder: &Rec) -> Vec<CtrwFate>
+/// positive and finite. The whole frontier is validated *before* any
+/// spec's RNG consumes a draw, so a precondition panic leaves every RNG
+/// at its launch position.
+pub fn ctrw_frontier_with<T, R, Rec>(
+    specs: &mut [CtrwSpec<T, R>],
+    mode: FrontierMode,
+    recorder: &Rec,
+) -> Vec<CtrwFate>
 where
     T: Topology,
     R: Rng,
     Rec: Recorder + ?Sized,
 {
-    let width = specs.len();
-    // SoA hot state: one cache-dense lane per per-walk variable.
-    let mut position: Vec<NodeId> = Vec::with_capacity(width);
-    let mut remaining: Vec<f64> = Vec::with_capacity(width);
-    let mut hops: Vec<u64> = vec![0; width];
-    let mut draws: Vec<u64> = vec![0; width];
-    let mut fates: Vec<Option<Result<CtrwOutcome, WalkError>>> = vec![None; width];
+    // Validation pre-pass: every precondition panic fires before any
+    // RNG (including the fast mode's pool seed) has consumed a draw.
     for spec in specs.iter() {
         assert!(
             spec.topology.contains(spec.start),
@@ -170,20 +375,82 @@ where
             spec.timer.is_finite() && spec.timer > 0.0,
             "CTRW timer must be positive and finite"
         );
-        position.push(spec.start);
-        remaining.push(spec.timer);
     }
+    match mode {
+        FrontierMode::Exact(tuning) => ctrw_rounds::<_, _, _, false>(specs, tuning, None, recorder),
+        FrontierMode::FastStatEq => {
+            let mut pool = specs
+                .first_mut()
+                .map(|spec| BlockSplitMix64::new(spec.rng.random()));
+            ctrw_rounds::<_, _, _, true>(specs, KernelTuning::tuned(), pool.as_mut(), recorder)
+        }
+    }
+}
+
+/// One CTRW walk's hot mutable state, packed so a visit-step touches a
+/// single cache line (and pays a single bounds check) for all of it.
+struct CtrwLane {
+    position: NodeId,
+    remaining: f64,
+    hops: u64,
+    draws: u64,
+}
+
+/// The CTRW round loop shared by both modes, monomorphised on the draw
+/// source: with `POOLED` false every draw comes from the walk's own
+/// `spec.rng` (exact mode) and `pool` is never consulted; with `POOLED`
+/// true every draw drains the fast mode's shared stream in scheduling
+/// order. A const parameter rather than an `Option` test so the exact
+/// kernel's visit-step carries no dead branch.
+fn ctrw_rounds<T, R, Rec, const POOLED: bool>(
+    specs: &mut [CtrwSpec<T, R>],
+    tuning: KernelTuning,
+    mut pool: Option<&mut BlockSplitMix64>,
+    recorder: &Rec,
+) -> Vec<CtrwFate>
+where
+    T: Topology,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+{
+    let width = specs.len();
+    let mut lanes: Vec<CtrwLane> = specs
+        .iter()
+        .map(|spec| CtrwLane {
+            position: spec.start,
+            remaining: spec.timer,
+            hops: 0,
+            draws: 0,
+        })
+        .collect();
+    let mut fates: Vec<Option<Result<CtrwOutcome, WalkError>>> = vec![None; width];
 
     let mut active: Vec<u32> = (0..width as u32).collect();
+    let mut scratch: Vec<u32> = Vec::new();
     let mut rounds: u64 = 0;
     while !active.is_empty() {
         recorder.observe(HistogramMetric::BatchOccupancy, active.len() as f64);
         rounds += 1;
+        if tuning.bucket_by_node && active.len() >= MIN_BUCKET_OCCUPANCY {
+            bucket_by_shard(&mut active, &mut scratch, |i| {
+                lanes[i as usize].position.index()
+            });
+        }
         let mut j = 0;
         while j < active.len() {
+            if tuning.prefetch {
+                // Request the row a few walks ahead; advisory, so it is
+                // fine that compaction may reshuffle who actually runs
+                // there (see `Topology::prefetch_row`'s no-effect rule).
+                if let Some(&ahead) = active.get(j + PREFETCH_LOOKAHEAD) {
+                    let a = ahead as usize;
+                    specs[a].topology.prefetch_row(lanes[a].position);
+                }
+            }
             let i = active[j] as usize;
             let spec = &mut specs[i];
-            let current = position[i];
+            let lane = &mut lanes[i];
+            let current = lane.position;
             let degree = spec.topology.degree_of(current);
             // One serial visit-step: the walk ends here (zero degree or
             // timer death), hops on, or is lost to a faulty neighbour
@@ -191,27 +458,39 @@ where
             let finished = if degree == 0 {
                 Some(Ok(CtrwOutcome {
                     node: current,
-                    hops: hops[i],
+                    hops: lane.hops,
                 }))
             } else {
                 let drain = match spec.sojourn {
                     Sojourn::Exponential => {
-                        draws[i] += 1;
-                        standard_exponential(&mut spec.rng) / degree as f64
+                        lane.draws += 1;
+                        let x = if POOLED {
+                            let p: &mut BlockSplitMix64 = pool.as_mut().expect("fast mode pool");
+                            standard_exponential(p)
+                        } else {
+                            standard_exponential(&mut spec.rng)
+                        };
+                        x / degree as f64
                     }
                     Sojourn::Deterministic => 1.0 / degree as f64,
                 };
-                remaining[i] -= drain;
-                if remaining[i] <= 0.0 {
+                lane.remaining -= drain;
+                if lane.remaining <= 0.0 {
                     Some(Ok(CtrwOutcome {
                         node: current,
-                        hops: hops[i],
+                        hops: lane.hops,
                     }))
                 } else {
-                    match spec.topology.neighbor_of(current, &mut spec.rng) {
+                    let step = if POOLED {
+                        let p: &mut BlockSplitMix64 = pool.as_mut().expect("fast mode pool");
+                        spec.topology.neighbor_of(current, p)
+                    } else {
+                        spec.topology.neighbor_of(current, &mut spec.rng)
+                    };
+                    match step {
                         Some(next) => {
-                            position[i] = next;
-                            hops[i] += 1;
+                            lane.position = next;
+                            lane.hops += 1;
                             None
                         }
                         None => Some(Err(WalkError::Lost(current))),
@@ -233,30 +512,23 @@ where
 
     fates
         .into_iter()
-        .enumerate()
-        .map(|(i, result)| CtrwFate {
+        .zip(&lanes)
+        .map(|(result, lane)| CtrwFate {
             result: result.expect("every walk reaches a fate"),
-            hops: hops[i],
-            draws: draws[i],
+            hops: lane.hops,
+            draws: lane.draws,
         })
         .collect()
 }
 
-/// Advances a frontier of Random Tours to completion under the shared
-/// visit weight `f`, returning each tour's fate indexed like `specs`.
-///
-/// Replicates [`crate::discrete::random_tour`]'s sequence per walk: a
-/// launch visit and launch hop, then rounds of (return check, budget
-/// check, visit, neighbour draw). `f` is the Random Tour estimator's node
-/// function; each fate's `weight` accumulates `f(X_k)/d(X_k)` in serial
-/// visit order, so `d(start) · weight` is the §3.1 estimate, bit-identical
-/// to the serial closure's sum.
-///
-/// Metrics: as [`ctrw_frontier`] — frontier-shape only.
+/// Advances a frontier of Random Tours to completion in the default mode
+/// ([`FrontierMode::Exact`] with [`KernelTuning::tuned`]) under the
+/// shared visit weight `f`; see [`tour_frontier_with`].
 ///
 /// # Panics
 ///
-/// Panics if any spec's `start` is not a live member of its topology.
+/// Panics if any spec's `start` is not a live member of its topology —
+/// checked for the whole frontier before any RNG is touched.
 pub fn tour_frontier<T, R, Rec, F>(
     specs: &mut [TourSpec<T, R>],
     f: F,
@@ -268,59 +540,187 @@ where
     Rec: Recorder + ?Sized,
     F: Fn(NodeId) -> f64,
 {
+    tour_frontier_with(specs, f, FrontierMode::default(), recorder)
+}
+
+/// Advances a frontier of Random Tours to completion under `mode` and
+/// the shared visit weight `f`, returning each tour's fate indexed like
+/// `specs`.
+///
+/// Replicates [`crate::discrete::random_tour`]'s sequence per walk: a
+/// launch visit and launch hop, then rounds of (return check, budget
+/// check, visit, neighbour draw). `f` is the Random Tour estimator's node
+/// function; each fate's `weight` accumulates `f(X_k)/d(X_k)` in serial
+/// visit order, so `d(start) · weight` is the §3.1 estimate — in exact
+/// mode bit-identical to the serial closure's sum. A tour launched at an
+/// *isolated* initiator reports `Stuck` with **zero** weight and hops:
+/// its launch visit never happens, because the visit weight `f(start)/0`
+/// is undefined (the serial path skips `on_visit` there identically).
+///
+/// Metrics: as [`ctrw_frontier_with`] — frontier-shape only.
+///
+/// # Panics
+///
+/// Panics if any spec's `start` is not a live member of its topology.
+/// The whole frontier is validated *before* any spec's RNG consumes a
+/// draw, so a precondition panic leaves every RNG at its launch
+/// position.
+pub fn tour_frontier_with<T, R, Rec, F>(
+    specs: &mut [TourSpec<T, R>],
+    f: F,
+    mode: FrontierMode,
+    recorder: &Rec,
+) -> Vec<TourFate>
+where
+    T: Topology,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+    F: Fn(NodeId) -> f64,
+{
+    // Validation pre-pass: the documented "checked up front" contract.
+    // Asserting inside the launch loop instead would let earlier specs'
+    // RNGs consume launch draws before spec k's panic fires.
+    for spec in specs.iter() {
+        assert!(
+            spec.topology.contains(spec.start),
+            "tour initiator must be alive"
+        );
+    }
+    match mode {
+        FrontierMode::Exact(tuning) => {
+            tour_rounds::<_, _, _, _, false>(specs, f, tuning, None, recorder)
+        }
+        FrontierMode::FastStatEq => {
+            let mut pool = specs
+                .first_mut()
+                .map(|spec| BlockSplitMix64::new(spec.rng.random()));
+            tour_rounds::<_, _, _, _, true>(
+                specs,
+                f,
+                KernelTuning::tuned(),
+                pool.as_mut(),
+                recorder,
+            )
+        }
+    }
+}
+
+/// One tour's hot mutable state; see [`CtrwLane`].
+struct TourLane {
+    position: NodeId,
+    steps: u64,
+    weight: f64,
+}
+
+/// The tour launch phase and round loop shared by both modes; `POOLED`
+/// and `pool` as in [`ctrw_rounds`].
+fn tour_rounds<T, R, Rec, F, const POOLED: bool>(
+    specs: &mut [TourSpec<T, R>],
+    f: F,
+    tuning: KernelTuning,
+    mut pool: Option<&mut BlockSplitMix64>,
+    recorder: &Rec,
+) -> Vec<TourFate>
+where
+    T: Topology,
+    R: Rng,
+    Rec: Recorder + ?Sized,
+    F: Fn(NodeId) -> f64,
+{
     let width = specs.len();
-    let mut position: Vec<NodeId> = vec![NodeId::new(0); width];
-    let mut steps: Vec<u64> = vec![0; width];
-    let mut weight: Vec<f64> = vec![0.0; width];
+    let mut lanes: Vec<TourLane> = (0..width)
+        .map(|_| TourLane {
+            position: NodeId::new(0),
+            steps: 0,
+            weight: 0.0,
+        })
+        .collect();
     let mut fates: Vec<Option<TourFate>> = Vec::with_capacity(width);
     let mut active: Vec<u32> = Vec::with_capacity(width);
 
     // Launch phase: the initiator's visit and first hop, exactly as the
     // serial tour performs them before entering its loop.
     for (i, spec) in specs.iter_mut().enumerate() {
-        assert!(
-            spec.topology.contains(spec.start),
-            "tour initiator must be alive"
-        );
-        weight[i] += f(spec.start) / spec.topology.degree_of(spec.start) as f64;
-        match spec.topology.neighbor_of(spec.start, &mut spec.rng) {
+        let launch_degree = spec.topology.degree_of(spec.start);
+        if launch_degree == 0 {
+            // Isolated initiator: stuck *before* the launch visit. The
+            // visit weight f(start)/0 is undefined — folding it in would
+            // poison the fate with ±inf/NaN — so the fate carries zero
+            // weight and zero hops, like the serial path, which skips
+            // `on_visit` for this case. No RNG draw happens either way
+            // (an empty neighbour list never consumes one).
+            fates.push(Some(TourFate {
+                result: Err(WalkError::Stuck(spec.start)),
+                hops: 0,
+                weight: 0.0,
+            }));
+            continue;
+        }
+        lanes[i].weight += f(spec.start) / launch_degree as f64;
+        let step = if POOLED {
+            let p: &mut BlockSplitMix64 = pool.as_mut().expect("fast mode pool");
+            spec.topology.neighbor_of(spec.start, p)
+        } else {
+            spec.topology.neighbor_of(spec.start, &mut spec.rng)
+        };
+        match step {
             Some(next) => {
-                position[i] = next;
-                steps[i] = 1;
+                lanes[i].position = next;
+                lanes[i].steps = 1;
                 active.push(i as u32);
                 fates.push(None);
             }
+            // A faulty launch probe (degree > 0, probe killed): the
+            // serial path has already charged the launch visit, so the
+            // fate keeps its weight; it still charges no TourHops.
             None => fates.push(Some(TourFate {
                 result: Err(WalkError::Stuck(spec.start)),
-                // The serial path charges no TourHops for a launch
-                // failure; neither do we.
                 hops: 0,
-                weight: weight[i],
+                weight: lanes[i].weight,
             })),
         }
     }
 
+    let mut scratch: Vec<u32> = Vec::new();
     let mut rounds: u64 = 0;
     while !active.is_empty() {
         recorder.observe(HistogramMetric::BatchOccupancy, active.len() as f64);
         rounds += 1;
+        if tuning.bucket_by_node && active.len() >= MIN_BUCKET_OCCUPANCY {
+            bucket_by_shard(&mut active, &mut scratch, |i| {
+                lanes[i as usize].position.index()
+            });
+        }
         let mut j = 0;
         while j < active.len() {
+            if tuning.prefetch {
+                if let Some(&ahead) = active.get(j + PREFETCH_LOOKAHEAD) {
+                    let a = ahead as usize;
+                    specs[a].topology.prefetch_row(lanes[a].position);
+                }
+            }
             let i = active[j] as usize;
             let spec = &mut specs[i];
-            let current = position[i];
+            let lane = &mut lanes[i];
+            let current = lane.position;
             // One iteration of the serial tour loop, with the loop's
             // `current != start` test first.
             let finished = if current == spec.start {
-                Some(Ok(Tour { steps: steps[i] }))
-            } else if steps[i] >= spec.max_steps.unwrap_or(u64::MAX) {
-                Some(Err(WalkError::Timeout(steps[i])))
+                Some(Ok(Tour { steps: lane.steps }))
+            } else if lane.steps >= spec.max_steps.unwrap_or(u64::MAX) {
+                Some(Err(WalkError::Timeout(lane.steps)))
             } else {
-                weight[i] += f(current) / spec.topology.degree_of(current) as f64;
-                match spec.topology.neighbor_of(current, &mut spec.rng) {
+                lane.weight += f(current) / spec.topology.degree_of(current) as f64;
+                let step = if POOLED {
+                    let p: &mut BlockSplitMix64 = pool.as_mut().expect("fast mode pool");
+                    spec.topology.neighbor_of(current, p)
+                } else {
+                    spec.topology.neighbor_of(current, &mut spec.rng)
+                };
+                match step {
                     Some(next) => {
-                        position[i] = next;
-                        steps[i] += 1;
+                        lane.position = next;
+                        lane.steps += 1;
                         None
                     }
                     None => Some(Err(WalkError::Stuck(current))),
@@ -330,8 +730,8 @@ where
                 Some(result) => {
                     fates[i] = Some(TourFate {
                         result,
-                        hops: steps[i],
-                        weight: weight[i],
+                        hops: lane.steps,
+                        weight: lane.weight,
                     });
                     active.swap_remove(j);
                 }
@@ -367,24 +767,31 @@ mod tests {
         let g = generators::complete(17);
         let frozen = g.freeze();
         let start = g.nodes().next().expect("non-empty");
-        for width in [1usize, 7, 64] {
-            let mut specs: Vec<_> = (0..width)
-                .map(|i| CtrwSpec {
-                    topology: &frozen,
-                    rng: walk_rng(i as u64),
-                    start,
-                    timer: 4.0,
-                    sojourn: Sojourn::Exponential,
-                })
-                .collect();
-            let fates = ctrw_frontier(&mut specs, &NoopRecorder);
-            for (i, fate) in fates.iter().enumerate() {
-                let mut rng = walk_rng(i as u64);
-                let serial = ctrw_walk(&frozen, start, 4.0, Sojourn::Exponential, &mut rng)
-                    .expect("fault-free walk completes");
-                assert_eq!(fate.result, Ok(serial), "walk {i} diverged at W={width}");
-                assert_eq!(fate.hops, serial.hops);
-                assert_eq!(fate.draws, serial.hops + 1);
+        for tuning in KernelTuning::ALL {
+            for width in [1usize, 7, 64] {
+                let mut specs: Vec<_> = (0..width)
+                    .map(|i| CtrwSpec {
+                        topology: &frozen,
+                        rng: walk_rng(i as u64),
+                        start,
+                        timer: 4.0,
+                        sojourn: Sojourn::Exponential,
+                    })
+                    .collect();
+                let fates =
+                    ctrw_frontier_with(&mut specs, FrontierMode::Exact(tuning), &NoopRecorder);
+                for (i, fate) in fates.iter().enumerate() {
+                    let mut rng = walk_rng(i as u64);
+                    let serial = ctrw_walk(&frozen, start, 4.0, Sojourn::Exponential, &mut rng)
+                        .expect("fault-free walk completes");
+                    assert_eq!(
+                        fate.result,
+                        Ok(serial),
+                        "walk {i} diverged at W={width} under {tuning:?}"
+                    );
+                    assert_eq!(fate.hops, serial.hops);
+                    assert_eq!(fate.draws, serial.hops + 1);
+                }
             }
         }
     }
@@ -419,34 +826,40 @@ mod tests {
         let frozen = g.freeze();
         let start = g.nodes().next().expect("non-empty");
         let f = |n: NodeId| ((n.index() % 13) as f64).mul_add(0.25, 1.0);
-        for width in [1usize, 7, 64] {
-            let mut specs: Vec<_> = (0..width)
-                .map(|i| TourSpec {
-                    topology: &frozen,
-                    rng: walk_rng(1000 + i as u64),
-                    start,
-                    max_steps: Some(50_000),
-                })
-                .collect();
-            let fates = tour_frontier(&mut specs, f, &NoopRecorder);
-            for (i, fate) in fates.iter().enumerate() {
-                let mut rng = walk_rng(1000 + i as u64);
-                let mut weight = 0.0f64;
-                let serial = random_tour(&frozen, start, Some(50_000), &mut rng, |n| {
-                    weight += f(n) / frozen.degree_of(n) as f64;
-                });
-                assert_eq!(fate.result, serial, "tour {i} diverged at W={width}");
-                assert_eq!(
-                    fate.weight.to_bits(),
-                    weight.to_bits(),
-                    "tour {i} weight not bit-identical at W={width}"
-                );
+        for tuning in KernelTuning::ALL {
+            for width in [1usize, 7, 64] {
+                let mut specs: Vec<_> = (0..width)
+                    .map(|i| TourSpec {
+                        topology: &frozen,
+                        rng: walk_rng(1000 + i as u64),
+                        start,
+                        max_steps: Some(50_000),
+                    })
+                    .collect();
+                let fates =
+                    tour_frontier_with(&mut specs, f, FrontierMode::Exact(tuning), &NoopRecorder);
+                for (i, fate) in fates.iter().enumerate() {
+                    let mut rng = walk_rng(1000 + i as u64);
+                    let mut weight = 0.0f64;
+                    let serial = random_tour(&frozen, start, Some(50_000), &mut rng, |n| {
+                        weight += f(n) / frozen.degree_of(n) as f64;
+                    });
+                    assert_eq!(
+                        fate.result, serial,
+                        "tour {i} diverged at W={width} under {tuning:?}"
+                    );
+                    assert_eq!(
+                        fate.weight.to_bits(),
+                        weight.to_bits(),
+                        "tour {i} weight not bit-identical at W={width} under {tuning:?}"
+                    );
+                }
             }
         }
     }
 
     #[test]
-    fn tour_stuck_at_launch_charges_no_hops() {
+    fn tour_stuck_at_launch_charges_no_hops_and_no_weight() {
         let mut g = census_graph::Graph::new();
         let lone = g.add_node();
         let mut specs = vec![TourSpec {
@@ -458,6 +871,8 @@ mod tests {
         let fates = tour_frontier(&mut specs, |_| 1.0, &NoopRecorder);
         assert_eq!(fates[0].result, Err(WalkError::Stuck(lone)));
         assert_eq!(fates[0].hops, 0);
+        // Regression: the launch visit used to fold in f(start)/0 = inf.
+        assert_eq!(fates[0].weight.to_bits(), 0.0f64.to_bits());
     }
 
     #[test]
@@ -492,5 +907,35 @@ mod tests {
         let fates = ctrw_frontier::<&census_graph::Graph, SplitMix64, _>(&mut [], &reg);
         assert!(fates.is_empty());
         assert_eq!(reg.counter(Metric::WalkBatchRounds), 0);
+    }
+
+    #[test]
+    fn fast_mode_is_deterministic_and_consumes_one_seed_word() {
+        let g = generators::complete(13);
+        let start = g.nodes().next().expect("non-empty");
+        let build = || -> Vec<_> {
+            (0..16u64)
+                .map(|i| CtrwSpec {
+                    topology: &g,
+                    rng: walk_rng(i),
+                    start,
+                    timer: 3.0,
+                    sojourn: Sojourn::Exponential,
+                })
+                .collect()
+        };
+        let mut a = build();
+        let mut b = build();
+        let fates_a = ctrw_frontier_with(&mut a, FrontierMode::FastStatEq, &NoopRecorder);
+        let fates_b = ctrw_frontier_with(&mut b, FrontierMode::FastStatEq, &NoopRecorder);
+        assert_eq!(fates_a, fates_b, "fast mode must be replayable");
+        // Spec 0 donated exactly one pool-seeding word; the rest are
+        // untouched (their streams are simply never consulted).
+        let mut seed_twin = walk_rng(0);
+        let _: u64 = rand::Rng::random(&mut seed_twin);
+        assert_eq!(a[0].rng, seed_twin);
+        for (i, spec) in a.iter().enumerate().skip(1) {
+            assert_eq!(spec.rng, walk_rng(i as u64), "spec {i} RNG was consumed");
+        }
     }
 }

@@ -15,8 +15,16 @@ cargo test --workspace -q
 
 echo "==> frontier equivalence (release)"
 # The batched walk kernel must stay bit-identical to the serial engines
-# under the optimiser the benchmarks actually run with.
+# under the optimiser the benchmarks actually run with — for every
+# exact-mode KernelTuning combination (bucketing x prefetch).
 cargo test --release --test frontier_equivalence -q
+
+echo "==> frontier fast-mode statistical equivalence (release)"
+# FastStatEq trades bit-identity for throughput; its substitute bars —
+# chi-square against the exact CTRW law, total-variation distance,
+# Random Tour unbiasedness, replay determinism — must hold at release
+# optimisation where the mode is actually used.
+cargo test --release --test frontier_modes fast_ -q
 
 echo "==> sharded equivalence (release)"
 # Same contract for the sharded machinery: stitched segments and the

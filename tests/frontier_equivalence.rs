@@ -1,19 +1,26 @@
 //! Property acceptance for the batched walk-stepping kernel: over random
-//! graphs, seeds, and frontier widths, every fate the frontier reports —
-//! outcome, hop count, sojourn draws, accumulated tour weight, and the
-//! final RNG position — is byte-identical to running the serial engine
-//! on the same per-walk stream, with and without injected message loss.
+//! graphs, seeds, frontier widths, and every exact-mode kernel tuning
+//! (node bucketing × prefetch, [`KernelTuning::ALL`]), every fate the
+//! frontier reports — outcome, hop count, sojourn draws, accumulated
+//! tour weight, and the final RNG position — is byte-identical to
+//! running the serial engine on the same per-walk stream, with and
+//! without injected message loss.
 //!
 //! `scripts/check.sh` runs this file again in release mode: the frontier
 //! is a hot-path kernel, and optimisation must not change a single bit
-//! of any fate (no fast-math, no re-association, no reordering).
+//! of any fate (no fast-math, no re-association, no reordering). The
+//! `FastStatEq` mode is *excluded* by design — it trades bit-identity
+//! for throughput and answers to the statistical-equivalence suite in
+//! `tests/frontier_modes.rs` instead.
 
 use overlay_census::graph::{generators, NodeId, Topology};
 use overlay_census::metrics::NoopRecorder;
 use overlay_census::sim::faults::FaultPlan;
 use overlay_census::walk::continuous::{ctrw_walk, Sojourn};
 use overlay_census::walk::discrete::random_tour;
-use overlay_census::walk::frontier::{ctrw_frontier, tour_frontier, CtrwSpec, TourSpec};
+use overlay_census::walk::frontier::{
+    ctrw_frontier_with, tour_frontier_with, CtrwSpec, FrontierMode, KernelTuning, TourSpec,
+};
 use overlay_census::walk::stream::{stream_seed, SplitMix64, StreamDomain};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -46,30 +53,36 @@ proptest! {
         let g = generators::balanced(n, degree, &mut rng);
         let frozen = g.freeze();
         let start = g.nodes().next().expect("non-empty");
-        for width in WIDTHS {
-            let mut specs: Vec<_> = (0..width)
-                .map(|i| CtrwSpec {
-                    topology: &frozen,
-                    rng: walk_rng(base, i),
-                    start,
-                    timer,
-                    sojourn: Sojourn::Exponential,
-                })
-                .collect();
-            let fates = ctrw_frontier(&mut specs, &NoopRecorder);
-            for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
-                let mut serial_rng = walk_rng(base, i as u64);
-                let serial =
-                    ctrw_walk(&frozen, start, timer, Sojourn::Exponential, &mut serial_rng);
-                prop_assert_eq!(&fate.result, &serial, "walk {} diverged at W={}", i, width);
-                let out = serial.expect("fault-free CTRW completes");
-                prop_assert_eq!(fate.hops, out.hops);
-                // Fault-free: one exponential per visit, hops + 1 visits.
-                prop_assert_eq!(fate.draws, out.hops + 1);
-                prop_assert_eq!(
-                    &spec.rng, &serial_rng,
-                    "walk {} RNG position diverged at W={}", i, width
-                );
+        for tuning in KernelTuning::ALL {
+            for width in WIDTHS {
+                let mut specs: Vec<_> = (0..width)
+                    .map(|i| CtrwSpec {
+                        topology: &frozen,
+                        rng: walk_rng(base, i),
+                        start,
+                        timer,
+                        sojourn: Sojourn::Exponential,
+                    })
+                    .collect();
+                let fates =
+                    ctrw_frontier_with(&mut specs, FrontierMode::Exact(tuning), &NoopRecorder);
+                for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
+                    let mut serial_rng = walk_rng(base, i as u64);
+                    let serial =
+                        ctrw_walk(&frozen, start, timer, Sojourn::Exponential, &mut serial_rng);
+                    prop_assert_eq!(
+                        &fate.result, &serial,
+                        "walk {} diverged at W={} under {:?}", i, width, tuning
+                    );
+                    let out = serial.expect("fault-free CTRW completes");
+                    prop_assert_eq!(fate.hops, out.hops);
+                    // Fault-free: one exponential per visit, hops + 1 visits.
+                    prop_assert_eq!(fate.draws, out.hops + 1);
+                    prop_assert_eq!(
+                        &spec.rng, &serial_rng,
+                        "walk {} RNG position diverged at W={} under {:?}", i, width, tuning
+                    );
+                }
             }
         }
     }
@@ -86,32 +99,42 @@ proptest! {
         let g = generators::balanced(n, degree, &mut rng);
         let frozen = g.freeze();
         let start = g.nodes().next().expect("non-empty");
-        for width in WIDTHS {
-            let mut specs: Vec<_> = (0..width)
-                .map(|i| TourSpec {
-                    topology: &frozen,
-                    rng: walk_rng(base, i),
-                    start,
-                    max_steps: Some(cap),
-                })
-                .collect();
-            let fates = tour_frontier(&mut specs, visit_weight, &NoopRecorder);
-            for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
-                let mut serial_rng = walk_rng(base, i as u64);
-                let mut weight = 0.0f64;
-                let serial = random_tour(&frozen, start, Some(cap), &mut serial_rng, |v| {
-                    weight += visit_weight(v) / frozen.degree_of(v) as f64;
-                });
-                prop_assert_eq!(&fate.result, &serial, "tour {} diverged at W={}", i, width);
-                prop_assert_eq!(
-                    fate.weight.to_bits(),
-                    weight.to_bits(),
-                    "tour {} weight not bit-identical at W={}", i, width
+        for tuning in KernelTuning::ALL {
+            for width in WIDTHS {
+                let mut specs: Vec<_> = (0..width)
+                    .map(|i| TourSpec {
+                        topology: &frozen,
+                        rng: walk_rng(base, i),
+                        start,
+                        max_steps: Some(cap),
+                    })
+                    .collect();
+                let fates = tour_frontier_with(
+                    &mut specs,
+                    visit_weight,
+                    FrontierMode::Exact(tuning),
+                    &NoopRecorder,
                 );
-                prop_assert_eq!(
-                    &spec.rng, &serial_rng,
-                    "tour {} RNG position diverged at W={}", i, width
-                );
+                for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
+                    let mut serial_rng = walk_rng(base, i as u64);
+                    let mut weight = 0.0f64;
+                    let serial = random_tour(&frozen, start, Some(cap), &mut serial_rng, |v| {
+                        weight += visit_weight(v) / frozen.degree_of(v) as f64;
+                    });
+                    prop_assert_eq!(
+                        &fate.result, &serial,
+                        "tour {} diverged at W={} under {:?}", i, width, tuning
+                    );
+                    prop_assert_eq!(
+                        fate.weight.to_bits(),
+                        weight.to_bits(),
+                        "tour {} weight not bit-identical at W={} under {:?}", i, width, tuning
+                    );
+                    prop_assert_eq!(
+                        &spec.rng, &serial_rng,
+                        "tour {} RNG position diverged at W={} under {:?}", i, width, tuning
+                    );
+                }
             }
         }
     }
@@ -134,26 +157,29 @@ proptest! {
         let frozen = g.freeze();
         let start = g.nodes().next().expect("non-empty");
         let plan = FaultPlan::new().with_message_loss(loss, fault_seed);
-        for width in WIDTHS {
-            let mut specs: Vec<_> = (0..width)
-                .map(|i| CtrwSpec {
-                    topology: plan.apply(&frozen),
-                    rng: walk_rng(base, i),
-                    start,
-                    timer: 4.0,
-                    sojourn: Sojourn::Exponential,
-                })
-                .collect();
-            let fates = ctrw_frontier(&mut specs, &NoopRecorder);
-            for (i, fate) in fates.iter().enumerate() {
-                let mut serial_rng = walk_rng(base, i as u64);
-                let faulty = plan.apply(&frozen);
-                let serial =
-                    ctrw_walk(&faulty, start, 4.0, Sojourn::Exponential, &mut serial_rng);
-                prop_assert_eq!(
-                    &fate.result, &serial,
-                    "lossy walk {} diverged at W={}", i, width
-                );
+        for tuning in KernelTuning::ALL {
+            for width in WIDTHS {
+                let mut specs: Vec<_> = (0..width)
+                    .map(|i| CtrwSpec {
+                        topology: plan.apply(&frozen),
+                        rng: walk_rng(base, i),
+                        start,
+                        timer: 4.0,
+                        sojourn: Sojourn::Exponential,
+                    })
+                    .collect();
+                let fates =
+                    ctrw_frontier_with(&mut specs, FrontierMode::Exact(tuning), &NoopRecorder);
+                for (i, fate) in fates.iter().enumerate() {
+                    let mut serial_rng = walk_rng(base, i as u64);
+                    let faulty = plan.apply(&frozen);
+                    let serial =
+                        ctrw_walk(&faulty, start, 4.0, Sojourn::Exponential, &mut serial_rng);
+                    prop_assert_eq!(
+                        &fate.result, &serial,
+                        "lossy walk {} diverged at W={} under {:?}", i, width, tuning
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,479 @@
+//! Edge-case and mode acceptance for the frontier kernels, complementing
+//! the bit-identity properties of `tests/frontier_equivalence.rs`:
+//!
+//! - degenerate frontiers (isolated initiators, all-stuck launches,
+//!   empty batches, width 1, deterministic sojourns, mixed fates) behave
+//!   identically to the serial engines under every exact kernel tuning;
+//! - precondition violations panic *before* any walk's RNG consumes a
+//!   draw, in both kernels;
+//! - the `FastStatEq` mode — which abandons per-walk streams for one
+//!   pooled block generator — still draws from the correct *law*: its
+//!   CTRW endpoints pass a chi-square test against the uniformization
+//!   oracle [`exact_distribution`], and its Random Tour estimates stay
+//!   unbiased. `scripts/check.sh` re-runs the `fast_` tests in release
+//!   mode alongside the equivalence suite.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use overlay_census::graph::spectral::DenseIndex;
+use overlay_census::graph::{generators, Graph, NodeId, Topology};
+use overlay_census::metrics::{HistogramMetric, Metric, NoopRecorder, Registry};
+use overlay_census::sim::faults::FaultPlan;
+use overlay_census::stats::{chi_square_expected, total_variation};
+use overlay_census::walk::continuous::{ctrw_walk, exact_distribution, Sojourn};
+use overlay_census::walk::discrete::random_tour;
+use overlay_census::walk::frontier::{
+    ctrw_frontier_with, tour_frontier_with, CtrwSpec, FrontierMode, KernelTuning, TourSpec,
+};
+use overlay_census::walk::stream::{stream_seed, SplitMix64, StreamDomain};
+use overlay_census::walk::WalkError;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn walk_rng(base: u64, i: u64) -> SplitMix64 {
+    SplitMix64::new(stream_seed(StreamDomain::FrontierWalk, base, i))
+}
+
+/// Every mode a frontier can run in: the full exact tuning matrix plus
+/// the pooled fast mode.
+fn all_modes() -> Vec<FrontierMode> {
+    let mut modes: Vec<FrontierMode> = KernelTuning::ALL
+        .into_iter()
+        .map(FrontierMode::Exact)
+        .collect();
+    modes.push(FrontierMode::FastStatEq);
+    modes
+}
+
+/// A connected hub-and-spoke component plus one isolated (alive,
+/// degree-0) node.
+fn graph_with_isolated_node() -> (Graph, NodeId, NodeId) {
+    let mut g = Graph::new();
+    let hub = g.add_node();
+    for _ in 0..4 {
+        let leaf = g.add_node();
+        g.add_edge(hub, leaf).expect("fresh edge");
+    }
+    let lone = g.add_node();
+    (g, hub, lone)
+}
+
+#[test]
+fn isolated_tour_initiator_is_stuck_with_zero_weight_in_every_mode() {
+    // Regression for the launch division by zero: a tour launched at an
+    // alive, degree-0 initiator must report Stuck with NO visit weight
+    // charged — f(start)/d(start) is undefined — in the serial engine
+    // and in every frontier mode, bit for bit.
+    let (g, hub, lone) = graph_with_isolated_node();
+    let f = |n: NodeId| ((n.index() % 5) as f64).mul_add(0.5, 1.0);
+
+    // Serial reference: stuck, no visits, RNG untouched.
+    let mut serial_rng = walk_rng(3, 0);
+    let mut visits = 0u32;
+    assert_eq!(
+        random_tour(&g, lone, None, &mut serial_rng, |_| visits += 1),
+        Err(WalkError::Stuck(lone))
+    );
+    assert_eq!(visits, 0);
+    assert_eq!(
+        serial_rng,
+        walk_rng(3, 0),
+        "serial stuck launch draws nothing"
+    );
+
+    for mode in all_modes() {
+        // Mix stuck and healthy lanes so the frontier exercises both the
+        // degree-0 early-out and the normal launch in one batch.
+        let mut specs: Vec<_> = (0..6u64)
+            .map(|i| TourSpec {
+                topology: &g,
+                rng: walk_rng(3, i),
+                start: if i % 2 == 0 { lone } else { hub },
+                max_steps: Some(10_000),
+            })
+            .collect();
+        let fates = tour_frontier_with(&mut specs, f, mode, &NoopRecorder);
+        for (i, fate) in fates.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(
+                    fate.result,
+                    Err(WalkError::Stuck(lone)),
+                    "lane {i} under {mode:?}"
+                );
+                assert_eq!(fate.hops, 0, "stuck launch sent nothing ({mode:?})");
+                assert_eq!(
+                    fate.weight.to_bits(),
+                    0.0f64.to_bits(),
+                    "stuck launch must charge no visit weight ({mode:?})"
+                );
+            } else {
+                assert!(fate.result.is_ok(), "healthy lane {i} under {mode:?}");
+                assert!(fate.weight.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn tour_precondition_panics_before_any_rng_draw() {
+    // The "checked up front" contract: when spec k's initiator is
+    // invalid, the panic must fire before ANY spec — including the
+    // earlier, valid ones — consumes a launch draw. SplitMix64 is
+    // PartialEq, so RNG positions compare exactly.
+    let (mut g, hub, _) = graph_with_isolated_node();
+    let dead = g.add_node();
+    g.remove_node(dead).expect("dead node departs");
+    for mode in all_modes() {
+        let mut specs: Vec<_> = (0..4u64)
+            .map(|i| TourSpec {
+                topology: &g,
+                rng: walk_rng(7, i),
+                start: if i == 3 { dead } else { hub },
+                max_steps: None,
+            })
+            .collect();
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let _ = tour_frontier_with(&mut specs, |_| 1.0, mode, &NoopRecorder);
+        }))
+        .is_err();
+        assert!(panicked, "dead initiator must panic under {mode:?}");
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(
+                spec.rng,
+                walk_rng(7, i as u64),
+                "spec {i} RNG consumed before the validation panic ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn ctrw_precondition_panics_before_any_rng_draw() {
+    let (g, hub, _) = graph_with_isolated_node();
+    for mode in all_modes() {
+        let mut specs: Vec<_> = (0..4u64)
+            .map(|i| CtrwSpec {
+                topology: &g,
+                rng: walk_rng(8, i),
+                start: hub,
+                // The last spec carries an invalid timer.
+                timer: if i == 3 { -1.0 } else { 2.0 },
+                sojourn: Sojourn::Exponential,
+            })
+            .collect();
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let _ = ctrw_frontier_with(&mut specs, mode, &NoopRecorder);
+        }))
+        .is_err();
+        assert!(panicked, "invalid timer must panic under {mode:?}");
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(
+                spec.rng,
+                walk_rng(8, i as u64),
+                "spec {i} RNG consumed before the validation panic ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_frontier_records_nothing_in_every_mode() {
+    // The accounting contract new kernels inherit: an empty spec list
+    // runs zero rounds, so there is no spurious zero-occupancy
+    // observation and no WalkBatchRounds increment — in any mode.
+    for mode in all_modes() {
+        let reg = Registry::new();
+        let ctrw = ctrw_frontier_with::<&Graph, SplitMix64, _>(&mut [], mode, &reg);
+        assert!(ctrw.is_empty());
+        let tours = tour_frontier_with::<&Graph, SplitMix64, _, _>(&mut [], |_| 1.0, mode, &reg);
+        assert!(tours.is_empty());
+        assert_eq!(reg.counter(Metric::WalkBatchRounds), 0, "{mode:?}");
+        assert_eq!(
+            reg.histogram_count(HistogramMetric::BatchOccupancy),
+            0,
+            "{mode:?}"
+        );
+        assert_eq!(reg.message_total(), 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn all_stuck_tour_frontier_is_launch_only_and_records_nothing() {
+    // Every lane dies at launch (isolated initiators): the round loop
+    // never runs, so the frontier-shape metrics must stay silent exactly
+    // like the empty frontier — stuck fates are launch events, not
+    // rounds.
+    let mut g = Graph::new();
+    let loners: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+    for mode in all_modes() {
+        let reg = Registry::new();
+        let mut specs: Vec<_> = loners
+            .iter()
+            .enumerate()
+            .map(|(i, &lone)| TourSpec {
+                topology: &g,
+                rng: walk_rng(9, i as u64),
+                start: lone,
+                max_steps: None,
+            })
+            .collect();
+        let fates = tour_frontier_with(&mut specs, |_| 1.0, mode, &reg);
+        for (fate, &lone) in fates.iter().zip(&loners) {
+            assert_eq!(fate.result, Err(WalkError::Stuck(lone)), "{mode:?}");
+            assert_eq!(fate.hops, 0);
+            assert_eq!(fate.weight.to_bits(), 0.0f64.to_bits());
+        }
+        assert_eq!(reg.counter(Metric::WalkBatchRounds), 0, "{mode:?}");
+        assert_eq!(
+            reg.histogram_count(HistogramMetric::BatchOccupancy),
+            0,
+            "{mode:?}"
+        );
+    }
+}
+
+#[test]
+fn deterministic_sojourn_frontier_matches_serial_with_zero_draws() {
+    // Remark 1 walks consume RNG only for neighbour choices; the kernel
+    // must report zero sojourn draws and still match the serial engine
+    // bit for bit under every exact tuning.
+    let mut rng = SmallRng::seed_from_u64(13);
+    let g = generators::balanced(120, 6, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    for tuning in KernelTuning::ALL {
+        let mut specs: Vec<_> = (0..5u64)
+            .map(|i| CtrwSpec {
+                topology: &frozen,
+                rng: walk_rng(11, i),
+                start,
+                timer: 3.0,
+                sojourn: Sojourn::Deterministic,
+            })
+            .collect();
+        let fates = ctrw_frontier_with(&mut specs, FrontierMode::Exact(tuning), &NoopRecorder);
+        for (i, (fate, spec)) in fates.iter().zip(&specs).enumerate() {
+            let mut serial_rng = walk_rng(11, i as u64);
+            let serial = ctrw_walk(&frozen, start, 3.0, Sojourn::Deterministic, &mut serial_rng);
+            assert_eq!(fate.result, serial, "walk {i} under {tuning:?}");
+            assert_eq!(fate.draws, 0, "deterministic sojourns draw nothing");
+            assert_eq!(spec.rng, serial_rng, "walk {i} RNG position ({tuning:?})");
+        }
+    }
+}
+
+#[test]
+fn mixed_fate_tour_frontier_matches_serial_across_tunings() {
+    // One frontier holding completions, timeouts, and fault-stuck walks
+    // at once: per-lane caps force timeouts, a lossy wrapper strands
+    // some walks mid-tour, the rest complete. Every fate must still be
+    // the serial one, bit for bit, under every exact tuning.
+    let mut rng = SmallRng::seed_from_u64(17);
+    let g = generators::balanced(150, 6, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    // Three lane flavours, cycling: fault-free with a 1-step cap (a
+    // guaranteed timeout), heavy loss with a generous cap (stuck, almost
+    // surely), fault-free with a generous cap (completes, almost
+    // surely). The serial twin below reconstructs the same flavour.
+    let quiet = FaultPlan::new();
+    let lossy = FaultPlan::new().with_message_loss(0.75, 99);
+    let plan_for = move |i: u64| if i % 3 == 1 { lossy } else { quiet };
+    let cap_for = |i: u64| {
+        if i.is_multiple_of(3) {
+            Some(1)
+        } else {
+            Some(50_000)
+        }
+    };
+    let f = |n: NodeId| ((n.index() % 7) as f64).mul_add(0.25, 1.0);
+    for tuning in KernelTuning::ALL {
+        let mut specs: Vec<_> = (0..24u64)
+            .map(|i| TourSpec {
+                topology: plan_for(i).apply(&frozen),
+                rng: walk_rng(19, i),
+                start,
+                max_steps: cap_for(i),
+            })
+            .collect();
+        let fates = tour_frontier_with(&mut specs, f, FrontierMode::Exact(tuning), &NoopRecorder);
+        let mut kinds = [0u32; 3]; // completed, timeout, stuck
+        for (i, fate) in fates.iter().enumerate() {
+            let mut serial_rng = walk_rng(19, i as u64);
+            let faulty = plan_for(i as u64).apply(&frozen);
+            let mut weight = 0.0f64;
+            let serial = random_tour(&faulty, start, cap_for(i as u64), &mut serial_rng, |v| {
+                weight += f(v) / faulty.degree_of(v) as f64;
+            });
+            assert_eq!(fate.result, serial, "tour {i} under {tuning:?}");
+            assert_eq!(
+                fate.weight.to_bits(),
+                weight.to_bits(),
+                "tour {i} weight ({tuning:?})"
+            );
+            match fate.result {
+                Ok(_) => kinds[0] += 1,
+                Err(WalkError::Timeout(_)) => kinds[1] += 1,
+                Err(_) => kinds[2] += 1,
+            }
+        }
+        assert!(
+            kinds.iter().all(|&k| k > 0),
+            "fixture must mix all three fates, got {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn width_one_frontier_degenerates_to_the_serial_engine() {
+    // W = 1 is the degenerate frontier: one walk, no interleaving at
+    // all. Exact modes must be bit-identical to serial; fast mode must
+    // still complete and report a live endpoint.
+    let mut rng = SmallRng::seed_from_u64(23);
+    let g = generators::balanced(80, 5, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    for tuning in KernelTuning::ALL {
+        let mut specs = vec![CtrwSpec {
+            topology: &frozen,
+            rng: walk_rng(29, 0),
+            start,
+            timer: 4.0,
+            sojourn: Sojourn::Exponential,
+        }];
+        let fates = ctrw_frontier_with(&mut specs, FrontierMode::Exact(tuning), &NoopRecorder);
+        let mut serial_rng = walk_rng(29, 0);
+        let serial = ctrw_walk(&frozen, start, 4.0, Sojourn::Exponential, &mut serial_rng);
+        assert_eq!(fates[0].result, serial, "{tuning:?}");
+        assert_eq!(specs[0].rng, serial_rng, "{tuning:?}");
+    }
+    let mut specs = vec![CtrwSpec {
+        topology: &frozen,
+        rng: walk_rng(29, 0),
+        start,
+        timer: 4.0,
+        sojourn: Sojourn::Exponential,
+    }];
+    let fates = ctrw_frontier_with(&mut specs, FrontierMode::FastStatEq, &NoopRecorder);
+    let out = fates[0].result.expect("fault-free walk completes");
+    assert!(frozen.contains(out.node));
+}
+
+// ---------------------------------------------------------------------
+// FastStatEq statistical acceptance (`scripts/check.sh` re-runs these in
+// release mode: `cargo test --release --test frontier_modes fast_`).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fast_ctrw_endpoint_law_matches_the_exact_distribution() {
+    // The pooled generator changes which bits each walk sees, never the
+    // law: endpoint counts over many fast frontiers must fit the
+    // uniformization oracle exp(−Lt)δ_start within chi-square noise.
+    let mut rng = SmallRng::seed_from_u64(31);
+    let g = generators::balanced(64, 5, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    const TIMER: f64 = 6.0;
+    let expected = exact_distribution(&g, start, TIMER);
+    let idx = DenseIndex::new(&g);
+
+    const WIDTH: u64 = 64;
+    const DRAWS: u64 = 60_000;
+    let mut counts = vec![0u64; expected.len()];
+    let mut launched = 0u64;
+    while launched < DRAWS {
+        let width = (DRAWS - launched).min(WIDTH);
+        let mut specs: Vec<_> = (0..width)
+            .map(|i| CtrwSpec {
+                topology: &frozen,
+                rng: walk_rng(37, launched + i),
+                start,
+                timer: TIMER,
+                sojourn: Sojourn::Exponential,
+            })
+            .collect();
+        for fate in ctrw_frontier_with(&mut specs, FrontierMode::FastStatEq, &NoopRecorder) {
+            let out = fate.result.expect("fault-free walk completes");
+            counts[idx.dense(out.node)] += 1;
+        }
+        launched += width;
+    }
+
+    let (stat, dof) = chi_square_expected(&counts, &expected);
+    let bar = dof as f64 + 6.0 * (2.0 * dof as f64).sqrt();
+    assert!(
+        stat <= bar,
+        "fast-mode chi-square {stat:.1} exceeds {bar:.1} (dof {dof})"
+    );
+    let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / DRAWS as f64).collect();
+    let tv = total_variation(&empirical, &expected);
+    assert!(tv < 0.02, "fast-mode TV to the exact law is {tv:.4}");
+}
+
+#[test]
+fn fast_tour_estimates_remain_unbiased() {
+    // Random Tour with f ≡ 1 estimates the component size (§3.1). The
+    // fast mode must keep E[d(start)·Σ 1/d(X_k)] = N.
+    let mut rng = SmallRng::seed_from_u64(41);
+    let g = generators::barabasi_albert(150, 3, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    let degree = frozen.degree_of(start) as f64;
+
+    const WIDTH: u64 = 64;
+    const TOURS: u64 = 3_000;
+    let mut total = 0.0f64;
+    let mut completed = 0u64;
+    let mut launched = 0u64;
+    while launched < TOURS {
+        let width = (TOURS - launched).min(WIDTH);
+        let mut specs: Vec<_> = (0..width)
+            .map(|i| TourSpec {
+                topology: &frozen,
+                rng: walk_rng(43, launched + i),
+                start,
+                max_steps: Some(2_000_000),
+            })
+            .collect();
+        for fate in tour_frontier_with(&mut specs, |_| 1.0, FrontierMode::FastStatEq, &NoopRecorder)
+        {
+            if fate.result.is_ok() {
+                total += degree * fate.weight;
+                completed += 1;
+            }
+        }
+        launched += width;
+    }
+    assert!(completed > TOURS * 9 / 10, "tours should complete");
+    let mean = total / completed as f64;
+    let n = g.num_nodes() as f64;
+    assert!(
+        (mean - n).abs() / n < 0.15,
+        "fast-mode tour estimate {mean:.1} vs true {n} drifts beyond 15%"
+    );
+}
+
+#[test]
+fn fast_mode_is_replay_deterministic() {
+    // Fast mode abandons serial streams, not determinism: the same specs
+    // and batch composition must reproduce identical fates.
+    let mut rng = SmallRng::seed_from_u64(47);
+    let g = generators::balanced(100, 6, &mut rng);
+    let frozen = g.freeze();
+    let start = g.nodes().next().expect("non-empty");
+    let build = || -> Vec<TourSpec<&overlay_census::graph::FrozenView, SplitMix64>> {
+        (0..32u64)
+            .map(|i| TourSpec {
+                topology: &frozen,
+                rng: walk_rng(53, i),
+                start,
+                max_steps: Some(100_000),
+            })
+            .collect()
+    };
+    let mut a = build();
+    let mut b = build();
+    let fa = tour_frontier_with(&mut a, |_| 1.0, FrontierMode::FastStatEq, &NoopRecorder);
+    let fb = tour_frontier_with(&mut b, |_| 1.0, FrontierMode::FastStatEq, &NoopRecorder);
+    assert_eq!(fa, fb, "fast tours must replay bit-identically");
+}
